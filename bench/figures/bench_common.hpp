@@ -1,0 +1,53 @@
+// Shared plumbing for the figure-reproduction benches.
+//
+// Every bench stands up the paper's testbed shape — 120 nodes, 8 workers,
+// 2-character geohash partitions (§VIII-A) — on the deterministic
+// simulator and prints the same series the corresponding figure plots.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "workload/workload.hpp"
+
+namespace stash::bench {
+
+inline std::shared_ptr<const NamGenerator> shared_generator() {
+  static auto gen = std::make_shared<const NamGenerator>();
+  return gen;
+}
+
+inline cluster::ClusterConfig paper_cluster_config(
+    cluster::SystemMode mode = cluster::SystemMode::Stash) {
+  cluster::ClusterConfig config;
+  config.num_nodes = 120;       // §VIII-A
+  config.workers_per_node = 8;  // 8-core Xeon E5-2560V2
+  config.mode = mode;
+  return config;
+}
+
+inline std::unique_ptr<cluster::StashCluster> make_cluster(
+    cluster::SystemMode mode = cluster::SystemMode::Stash) {
+  return std::make_unique<cluster::StashCluster>(paper_cluster_config(mode),
+                                                 shared_generator());
+}
+
+inline double mean_latency_ms(const std::vector<cluster::QueryStats>& stats) {
+  if (stats.empty()) return 0.0;
+  sim::SimTime total = 0;
+  for (const auto& s : stats) total += s.latency();
+  return sim::to_millis(total) / static_cast<double>(stats.size());
+}
+
+inline void print_header(const std::string& figure, const std::string& title) {
+  std::printf("\n=== %s — %s ===\n", figure.c_str(), title.c_str());
+}
+
+/// A separator the bench outputs use between scenario blocks.
+inline void print_rule() { std::printf("%s\n", std::string(72, '-').c_str()); }
+
+}  // namespace stash::bench

@@ -1,0 +1,69 @@
+// Extension bench — realistic mixed multi-user sessions.
+//
+// The paper's figures replay isolated operator sequences; production
+// traffic mixes them.  Here `users` analysts each walk a Markov session
+// (momentum pans, zooms, slices, occasional jumps) against the shared
+// cluster, and we report full latency distributions (p50/p95/p99) for
+// STASH vs the basic system — percentile tails are where interactivity
+// lives.
+
+#include "bench_common.hpp"
+#include "common/histogram.hpp"
+#include "workload/session.hpp"
+
+using namespace stash;
+using namespace stash::bench;
+
+namespace {
+
+LatencyStats run(cluster::SystemMode mode,
+                 const std::vector<AggregationQuery>& traffic) {
+  auto cluster = make_cluster(mode);
+  LatencyStats stats;
+  for (const auto& q : traffic) stats.record(cluster->run_query(q).latency());
+  return stats;
+}
+
+}  // namespace
+
+void run_scenario(const char* label, const workload::SessionConfig& config) {
+  std::printf("-- %s --\n", label);
+  workload::SessionGenerator gen;
+  for (std::size_t users : {1u, 4u, 16u}) {
+    workload::SessionGenerator fresh;  // same sessions for every mode/user set
+    const auto traffic = fresh.interleaved(config, users);
+    const LatencyStats with_stash = run(cluster::SystemMode::Stash, traffic);
+    const LatencyStats basic = run(cluster::SystemMode::Basic, traffic);
+    std::printf("%2zu user(s), %3zu queries\n", users, traffic.size());
+    std::printf("  STASH  %s\n", with_stash.summary_us().c_str());
+    std::printf("  basic  %s\n", basic.summary_us().c_str());
+    std::printf("  mean speedup %.1fx, p50 speedup %.1fx\n\n",
+                basic.mean() / with_stash.mean(),
+                static_cast<double>(basic.p50()) /
+                    static_cast<double>(with_stash.p50()));
+  }
+}
+
+int main() {
+  print_header("Extension", "mixed multi-user sessions (Markov operators)");
+  workload::SessionConfig config;
+  config.actions = 25;
+  config.start_group = workload::QueryGroup::State;
+  config.min_spatial = 4;
+  config.max_spatial = 7;
+
+  // Independent users exploring different regions: caching helps each
+  // user's own revisits only.
+  run_scenario("independent regions", config);
+
+  // A popular event: every user converges on the same county (§V-B's
+  // collective caching; the Fig 6d hotspot demand shape without the burst).
+  config.start_center = LatLng{38.3, -98.4};
+  run_scenario("shared popular region", config);
+
+  std::printf("expected shape: mixed sessions gain ~2x in the mean/median "
+              "(novel slices and drill-downs stay disk-bound, capping the "
+              "tail), and sharing a region grows the gain with the user "
+              "count — each user rides the others' cache fills (§V-B).\n");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Fig 6a — Query latency vs query size for three scenarios:
+//   basic   : plain Galileo, no STASH (every query scans disk)
+//   worst   : STASH enabled but empty (lookup overhead + disk)
+//   best    : STASH with every relevant Cell in memory (duplicate query)
+//
+// Paper: "STASH with all necessary Cells in-memory outperforms the other
+// two scenarios with ~5x improvement over no STASH scenarios for large
+// query sizes such as country and state", and the worst case is slightly
+// slower than basic (§VIII-C).
+
+#include "bench_common.hpp"
+
+using namespace stash;
+using namespace stash::bench;
+using workload::QueryGroup;
+
+namespace {
+
+constexpr int kQueriesPerGroup = 10;
+
+double scenario_latency_ms(cluster::SystemMode mode, QueryGroup group,
+                           bool preload) {
+  workload::WorkloadGenerator wl;  // same seed -> same rectangles per scenario
+  std::vector<cluster::QueryStats> stats;
+  for (int i = 0; i < kQueriesPerGroup; ++i) {
+    auto cluster = make_cluster(mode);
+    const AggregationQuery query = wl.random_query(group);
+    if (preload) cluster->preload(query);
+    stats.push_back(cluster->run_query(query));
+  }
+  return mean_latency_ms(stats);
+}
+
+}  // namespace
+
+int main() {
+  print_header("Fig 6a", "query latency vs query size (avg of 10 queries)");
+  std::printf("%-9s %12s %14s %13s %14s\n", "size", "basic(ms)",
+              "worst-case(ms)", "best-case(ms)", "best-vs-basic");
+  print_rule();
+  for (QueryGroup group : {QueryGroup::Country, QueryGroup::State,
+                           QueryGroup::County, QueryGroup::City}) {
+    const double basic =
+        scenario_latency_ms(cluster::SystemMode::Basic, group, false);
+    const double worst =
+        scenario_latency_ms(cluster::SystemMode::Stash, group, false);
+    const double best =
+        scenario_latency_ms(cluster::SystemMode::Stash, group, true);
+    std::printf("%-9s %12.2f %14.2f %13.2f %13.1fx\n",
+                workload::to_string(group).c_str(), basic, worst, best,
+                basic / best);
+  }
+  std::printf("\nexpected shape: best-case ~5x faster than basic at country/"
+              "state; worst-case slightly above basic.\n");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Front-end caching + predictive prefetch (paper §IX-A future work).
+//
+// Follows a storm-chasing analyst panning steadily east: after two pans
+// the Markov predictor recognises the momentum, prefetches the next view
+// into the client-side STASH graph, and subsequent pans stop touching the
+// back-end entirely.
+//
+//   ./build/examples/frontend_prefetch
+
+#include <cstdio>
+
+#include "client/caching_client.hpp"
+#include "common/civil_time.hpp"
+
+using namespace stash;
+
+int main() {
+  auto generator = std::make_shared<const NamGenerator>();
+  cluster::ClusterConfig cluster_config;
+  cluster_config.num_nodes = 32;
+  cluster::StashCluster cluster(cluster_config, generator);
+
+  client::CachingClientConfig config;
+  config.enable_prefetch = true;
+  config.predictor_min_support = 2;
+  client::CachingClient client(cluster, config);
+
+  AggregationQuery view{{38.0, 38.704, -101.0, -99.594},
+                        {unix_seconds({2015, 2, 2}), unix_seconds({2015, 2, 3})},
+                        {6, TemporalRes::Day}};
+
+  std::printf("%-6s %-10s %12s %8s %10s %10s %12s\n", "step", "action",
+              "latency(ms)", "local?", "fe-cells", "be-cells", "prediction");
+  for (int step = 0; step < 10; ++step) {
+    const client::ClientResponse response = client.query(view);
+    const auto last = client.predictor().last_action();
+    std::printf("%-6d %-10s %12.2f %8s %10zu %10zu %12s\n", step,
+                step == 0 ? "dice" : "pan-E",
+                sim::to_millis(response.latency),
+                response.fully_local ? "yes" : "no",
+                response.cells_from_frontend, response.cells_from_backend,
+                last.has_value() ? to_string(*last).c_str() : "-");
+    view.area = view.area.translated(0.0, 0.25 * view.area.width());
+  }
+
+  const auto& m = client.metrics();
+  std::printf("\nsession: %llu queries, %llu back-end round-trips, "
+              "%llu fully local, %llu prefetches (%llu hits)\n",
+              static_cast<unsigned long long>(m.queries),
+              static_cast<unsigned long long>(m.backend_queries),
+              static_cast<unsigned long long>(m.fully_local),
+              static_cast<unsigned long long>(m.prefetches_issued),
+              static_cast<unsigned long long>(m.prefetch_hits));
+  std::printf("front-end cache holds %zu cells\n", client.cache().total_cells());
+  return 0;
+}

@@ -1,0 +1,130 @@
+// stashctl — ad-hoc aggregation queries against a simulated STASH cluster.
+//
+// Usage:
+//   stashctl [options] <lat_min> <lat_max> <lng_min> <lng_max>
+//     --date YYYY-MM-DD     query day            (default 2015-02-02)
+//     --sres N              spatial resolution   (default 6)
+//     --tres hour|day|month temporal resolution  (default day)
+//     --nodes N             cluster size         (default 32)
+//     --mode stash|basic    system mode          (default stash)
+//     --repeat N            issue the query N times (default 2: cold+warm)
+//     --json                print the JSON payload of the last run
+//
+// Example:
+//   ./build/examples/stashctl 36 40 -102 -94 --repeat 3 --json
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "client/visual_client.hpp"
+#include "common/civil_time.hpp"
+
+using namespace stash;
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--date YYYY-MM-DD] [--sres N] "
+               "[--tres hour|day|month] [--nodes N] [--mode stash|basic] "
+               "[--repeat N] [--json] <lat_min> <lat_max> <lng_min> <lng_max>\n",
+               argv0);
+  std::exit(2);
+}
+
+bool parse_date(const std::string& text, CivilDate* out) {
+  if (text.size() != 10 || text[4] != '-' || text[7] != '-') return false;
+  out->year = std::atoi(text.substr(0, 4).c_str());
+  out->month = std::atoi(text.substr(5, 2).c_str());
+  out->day = std::atoi(text.substr(8, 2).c_str());
+  return out->month >= 1 && out->month <= 12 && out->day >= 1 &&
+         out->day <= days_in_month(out->year, out->month);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CivilDate date{2015, 2, 2};
+  int sres = 6;
+  TemporalRes tres = TemporalRes::Day;
+  std::uint32_t nodes = 32;
+  cluster::SystemMode mode = cluster::SystemMode::Stash;
+  int repeat = 2;
+  bool json = false;
+  std::vector<double> coords;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--date") {
+      if (!parse_date(next(), &date)) usage(argv[0]);
+    } else if (arg == "--sres") {
+      sres = std::atoi(next().c_str());
+    } else if (arg == "--tres") {
+      const std::string t = next();
+      if (t == "hour") tres = TemporalRes::Hour;
+      else if (t == "day") tres = TemporalRes::Day;
+      else if (t == "month") tres = TemporalRes::Month;
+      else usage(argv[0]);
+    } else if (arg == "--nodes") {
+      nodes = static_cast<std::uint32_t>(std::atoi(next().c_str()));
+    } else if (arg == "--mode") {
+      const std::string m = next();
+      if (m == "stash") mode = cluster::SystemMode::Stash;
+      else if (m == "basic") mode = cluster::SystemMode::Basic;
+      else usage(argv[0]);
+    } else if (arg == "--repeat") {
+      repeat = std::atoi(next().c_str());
+    } else if (arg == "--json") {
+      json = true;
+    } else if (!arg.empty() && (std::isdigit(arg[0]) || arg[0] == '-')) {
+      coords.push_back(std::atof(arg.c_str()));
+    } else {
+      usage(argv[0]);
+    }
+  }
+  if (coords.size() != 4 || sres < 2 || sres > 12 || repeat < 1 || nodes < 1)
+    usage(argv[0]);
+
+  const AggregationQuery query{
+      {coords[0], coords[1], coords[2], coords[3]},
+      {unix_seconds(date), unix_seconds(date) + 86400},
+      {sres, tres}};
+  if (!query.valid()) usage(argv[0]);
+
+  cluster::ClusterConfig config;
+  config.num_nodes = nodes;
+  config.mode = mode;
+  cluster::StashCluster cluster(config, std::make_shared<const NamGenerator>());
+  client::VisualClient client(cluster);
+  client.set_view(query);
+
+  std::printf("query %s on %s at %s over %u nodes (%s)\n",
+              query.area.to_string().c_str(),
+              TemporalBin(TemporalRes::Day, date.year, date.month, date.day)
+                  .label()
+                  .c_str(),
+              query.res.to_string().c_str(), nodes,
+              mode == cluster::SystemMode::Stash ? "STASH" : "basic");
+
+  client::ViewResult last;
+  for (int r = 0; r < repeat; ++r) {
+    last = client.refresh();
+    std::printf("  run %d: %5zu cells in %8.2f ms  (cache=%zu synth=%zu "
+                "disk=%zu chunks)\n",
+                r + 1, last.cells.size(),
+                sim::to_millis(last.stats.latency()),
+                last.stats.breakdown.chunks_from_cache,
+                last.stats.breakdown.chunks_synthesized,
+                last.stats.breakdown.chunks_scanned);
+  }
+  if (json)
+    std::printf("%s\n", client::VisualClient::to_json(last, 10).c_str());
+  return 0;
+}

@@ -1,0 +1,144 @@
+#include "baseline/elastic.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/hash.hpp"
+
+namespace stash::baseline {
+
+ElasticSearchSim::ElasticSearchSim(EsConfig config,
+                                   std::shared_ptr<const NamGenerator> generator)
+    : config_(config), generator_(generator), store_(std::move(generator)) {
+  if (!generator_) throw std::invalid_argument("ElasticSearchSim: null generator");
+  if (config_.data_nodes == 0 || config_.shards == 0)
+    throw std::invalid_argument("ElasticSearchSim: need nodes and shards");
+}
+
+std::uint64_t ElasticSearchSim::query_hash(const AggregationQuery& query,
+                                           bool filter_only) {
+  std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+  const auto mix_double = [&h](double v) {
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    __builtin_memcpy(&bits, &v, sizeof(bits));
+    hash_combine(h, bits);
+  };
+  mix_double(query.area.lat_min);
+  mix_double(query.area.lat_max);
+  mix_double(query.area.lng_min);
+  mix_double(query.area.lng_max);
+  hash_combine(h, static_cast<std::uint64_t>(query.time.begin));
+  hash_combine(h, static_cast<std::uint64_t>(query.time.end));
+  if (!filter_only) {
+    hash_combine(h, static_cast<std::uint64_t>(query.res.spatial));
+    hash_combine(h, static_cast<std::uint64_t>(query.res.temporal));
+  }
+  return h;
+}
+
+EsQueryStats ElasticSearchSim::run_query(const AggregationQuery& query) {
+  if (!query.valid())
+    throw std::invalid_argument("ElasticSearchSim: invalid query");
+  EsQueryStats stats;
+  const auto& cost = config_.cost;
+
+  // The aggregation itself — executed for real so the result is identical
+  // to what the STASH cluster serves for the same query.
+  const ScanResult result = store_.scan(query.area, query.time, query.res);
+  stats.result_cells = result.cells.size();
+  stats.docs_matched = result.stats.records_scanned;
+  const std::size_t response_bytes =
+      stats.result_cells * config_.response_cell_bytes + 256;
+
+  const std::uint64_t request_key = query_hash(query, /*filter_only=*/false);
+  if (config_.enable_request_cache && request_cache_.contains(request_key)) {
+    // Every shard answers from its request cache; the coordinator still
+    // reduces 600 responses.
+    stats.request_cache_hit = true;
+    stats.latency = cost.net_transfer(config_.request_bytes) +
+                    cost.cache_probes(config_.shards) +
+                    static_cast<sim::SimTime>(config_.shards) *
+                        config_.reduce_per_shard +
+                    cost.net_transfer(response_bytes) +
+                    config_.frontend_overhead;
+    return stats;
+  }
+
+  const std::uint64_t filter_key = query_hash(query, /*filter_only=*/true);
+  stats.filter_cache_hit =
+      config_.enable_filter_cache && filter_cache_.contains(filter_key);
+
+  // Day slices whose doc values are already in the page cache cost memory
+  // bandwidth instead of disk.
+  const std::int64_t first_day =
+      query.time.begin / 86400 - (query.time.begin % 86400 < 0 ? 1 : 0);
+  const std::int64_t last_day = (query.time.end - 1) / 86400;
+  std::size_t cold_days = 0;
+  for (std::int64_t day = first_day; day <= last_day; ++day)
+    if (!config_.enable_page_cache || !warm_days_.contains(day)) ++cold_days;
+  stats.cold_days = cold_days;
+  const auto total_days = static_cast<std::size_t>(last_day - first_day + 1);
+  const double cold_fraction =
+      static_cast<double>(cold_days) / static_cast<double>(total_days);
+
+  // Hash routing spreads matching docs evenly over every shard.
+  const std::size_t docs_per_shard =
+      (stats.docs_matched + config_.shards - 1) / config_.shards;
+
+  // Per-document aggregation cost: the agg framework multiplier, reduced by
+  // a filter-cache hit; cold slices additionally stream doc values from disk.
+  sim::SimTime per_shard = config_.shard_overhead;
+  double doc_ns = static_cast<double>(cost.scan_ns_per_record) *
+                  config_.agg_doc_factor;
+  if (stats.filter_cache_hit) doc_ns *= 1.0 - config_.filter_cache_saving;
+  per_shard += static_cast<sim::SimTime>(
+      static_cast<double>(docs_per_shard) * doc_ns / 1000.0);
+  per_shard += static_cast<sim::SimTime>(
+      cold_fraction *
+      static_cast<double>(cost.disk_stream(docs_per_shard * kObservationBytes)));
+
+  // Cold slices page-in memory-mapped segments: a one-off per-day penalty
+  // per node rather than a raw seek per shard.
+  const sim::SimTime node_seeks =
+      static_cast<sim::SimTime>(cold_days) * config_.cold_day_penalty;
+
+  // Shards per node execute in parallel across the worker pool.
+  const std::size_t shards_per_node =
+      (config_.shards + config_.data_nodes - 1) / config_.data_nodes;
+  const std::size_t waves =
+      (shards_per_node + static_cast<std::size_t>(config_.workers_per_node) - 1) /
+      static_cast<std::size_t>(config_.workers_per_node);
+  const sim::SimTime node_time =
+      node_seeks + per_shard * static_cast<sim::SimTime>(std::max<std::size_t>(waves, 1));
+
+  stats.latency = cost.net_transfer(config_.request_bytes) + node_time +
+                  static_cast<sim::SimTime>(config_.shards) *
+                      config_.reduce_per_shard +
+                  cost.net_transfer(response_bytes) + config_.frontend_overhead;
+
+  // Warm the caches for subsequent queries.
+  if (config_.enable_request_cache)
+    request_cache_.emplace(request_key, stats.result_cells);
+  if (config_.enable_filter_cache) filter_cache_.insert(filter_key);
+  if (config_.enable_page_cache)
+    for (std::int64_t day = first_day; day <= last_day; ++day)
+      warm_days_.insert(day);
+  return stats;
+}
+
+std::vector<EsQueryStats> ElasticSearchSim::run_sequence(
+    const std::vector<AggregationQuery>& queries) {
+  std::vector<EsQueryStats> out;
+  out.reserve(queries.size());
+  for (const auto& q : queries) out.push_back(run_query(q));
+  return out;
+}
+
+void ElasticSearchSim::clear_caches() {
+  request_cache_.clear();
+  filter_cache_.clear();
+  warm_days_.clear();
+}
+
+}  // namespace stash::baseline

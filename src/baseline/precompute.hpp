@@ -1,0 +1,71 @@
+// Precomputation baseline — the Nanocubes/imMens family (paper §III).
+//
+// "[19] uses a data cube structure which stores all possible precomputed
+// aggregations at multiple levels of resolutions over the database. ...
+// However, the above systems do not scale with dataset size as they house
+// the data structure in-memory."
+//
+// PrecomputedCube materialises EVERY Cell of a coverage region × time
+// window across a range of spatial resolutions at build time: queries are
+// pure in-memory lookups (the best latency possible), but memory grows
+// with the dataset rather than with the working set — the trade-off STASH
+// is designed to escape.  Used by the precompute ablation bench and the
+// baseline tests.
+#pragma once
+
+#include <memory>
+
+#include "core/query.hpp"
+#include "sim/cost_model.hpp"
+#include "storage/galileo_store.hpp"
+
+namespace stash::baseline {
+
+struct CubeConfig {
+  /// The spatiotemporal slab to precompute.
+  BoundingBox coverage{36.0, 40.0, -102.0, -94.0};
+  TimeRange window;  // defaults to 2015-02-02 .. 2015-02-03
+  int min_spatial = 2;
+  int max_spatial = 6;
+  TemporalRes temporal = TemporalRes::Day;
+  sim::CostModel cost;
+
+  CubeConfig();
+};
+
+struct CubeQueryStats {
+  sim::SimTime latency = 0;
+  std::size_t result_cells = 0;
+  bool covered = true;  // false: the query left the precomputed slab
+};
+
+class PrecomputedCube {
+ public:
+  PrecomputedCube(CubeConfig config, std::shared_ptr<const NamGenerator> generator);
+
+  /// Pure-lookup query.  Queries outside the precomputed slab (area, time
+  /// window, or resolution range) report covered=false and fall back to a
+  /// disk scan, like the real systems would have to.
+  [[nodiscard]] CubeQueryStats query(const AggregationQuery& query) const;
+
+  /// Exact cells for a covered query (for correctness tests).
+  [[nodiscard]] CellSummaryMap cells_for(const AggregationQuery& query) const;
+
+  [[nodiscard]] std::size_t total_cells() const noexcept { return total_cells_; }
+  [[nodiscard]] std::size_t memory_bytes() const noexcept { return memory_bytes_; }
+  /// Modeled one-off build cost (the precomputation the paper critiques).
+  [[nodiscard]] sim::SimTime build_time() const noexcept { return build_time_; }
+
+  [[nodiscard]] bool covers(const AggregationQuery& query) const;
+
+ private:
+  CubeConfig config_;
+  GalileoStore store_;
+  /// One Cell map per spatial resolution in [min_spatial, max_spatial].
+  std::vector<CellSummaryMap> levels_;
+  std::size_t total_cells_ = 0;
+  std::size_t memory_bytes_ = 0;
+  sim::SimTime build_time_ = 0;
+};
+
+}  // namespace stash::baseline

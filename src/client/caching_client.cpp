@@ -1,0 +1,71 @@
+#include "client/caching_client.hpp"
+
+namespace stash::client {
+
+CachingClient::CachingClient(cluster::StashCluster& cluster,
+                             CachingClientConfig config)
+    : cluster_(cluster),
+      config_(config),
+      cache_(config.cache),
+      predictor_(config.predictor_min_support) {}
+
+ClientResponse CachingClient::query(const AggregationQuery& view) {
+  if (!view.valid())
+    throw std::invalid_argument("CachingClient::query: invalid view");
+  ++metrics_.queries;
+
+  ClientResponse response;
+  FrontendLookup local = cache_.lookup(view);
+  response.cells_from_frontend = local.cells.size();
+  response.cells = std::move(local.cells);
+  response.latency = local.local_time;
+
+  if (!local.missing_bounds.has_value()) {
+    // Entirely served at the front-end — the future-work payoff.
+    response.fully_local = true;
+    ++metrics_.fully_local;
+    if (outstanding_prefetch_.has_value()) ++metrics_.prefetch_hits;
+  } else {
+    // Ask the back-end only for the missing sub-rectangle.
+    AggregationQuery backend_query = view;
+    backend_query.area = *local.missing_bounds;
+    ++metrics_.backend_queries;
+    CellSummaryMap backend_cells;
+    response.backend = cluster_.run_query(backend_query, &backend_cells);
+    response.latency += response.backend->latency();
+    response.cells_from_backend = backend_cells.size();
+    cache_.absorb(backend_query, backend_cells, cluster_.loop().now());
+    // The back-end query was chunk-aligned (possibly larger than the
+    // view): clip the rendered response back to what the user asked for.
+    for (auto& [key, summary] : backend_cells) {
+      if (!key.bounds().intersects(view.area)) continue;
+      if (!key.time_range().intersects(view.time)) continue;
+      response.cells.try_emplace(key, std::move(summary));
+    }
+  }
+  outstanding_prefetch_.reset();
+
+  // Learn the transition and maybe prefetch the predicted next view.
+  if (previous_view_.has_value()) predictor_.observe(*previous_view_, view);
+  previous_view_ = view;
+  if (config_.enable_prefetch) maybe_prefetch(view);
+  return response;
+}
+
+void CachingClient::maybe_prefetch(const AggregationQuery& view) {
+  const auto predicted = predictor_.predict(view);
+  if (!predicted.has_value() || !predicted->valid()) return;
+  const FrontendLookup probe = cache_.lookup(*predicted);
+  if (!probe.missing_bounds.has_value()) return;  // already resident
+  AggregationQuery prefetch = *predicted;
+  prefetch.area = *probe.missing_bounds;
+  ++metrics_.prefetches_issued;
+  outstanding_prefetch_ = prefetch;
+  // The prefetch runs in the background (its virtual time does not gate a
+  // user response — the next user action simply finds the cache warm).
+  CellSummaryMap cells;
+  cluster_.run_query(prefetch, &cells);
+  cache_.absorb(prefetch, cells, cluster_.loop().now());
+}
+
+}  // namespace stash::client

@@ -1,0 +1,74 @@
+// CachingClient — the §IX-A front-end: a small client-side STASH graph plus
+// an access-pattern predictor driving prefetch queries.
+//
+// Query path:
+//   1. Probe the FrontendCache; fully-resident views never leave the
+//      client ("reducing the number of queries needed to be evaluated at
+//      the back-end").
+//   2. Otherwise query the cluster for the *missing sub-rectangle* only,
+//      merge with the local cells, and absorb the response.
+//   3. Feed the navigation history to the AccessPredictor; when it is
+//      confident about the next view, issue that query to the cluster in
+//      the background and absorb it — the user's next action then hits the
+//      front-end cache.
+#pragma once
+
+#include <optional>
+
+#include "client/frontend_cache.hpp"
+#include "client/predictor.hpp"
+#include "cluster/cluster.hpp"
+
+namespace stash::client {
+
+struct CachingClientConfig {
+  FrontendCacheConfig cache;
+  bool enable_prefetch = true;
+  std::uint32_t predictor_min_support = 2;
+};
+
+struct ClientResponse {
+  CellSummaryMap cells;
+  sim::SimTime latency = 0;          // what the user waited
+  bool fully_local = false;          // served without touching the cluster
+  std::size_t cells_from_frontend = 0;
+  std::size_t cells_from_backend = 0;
+  std::optional<cluster::QueryStats> backend;  // set when the cluster ran
+};
+
+struct ClientMetrics {
+  std::uint64_t queries = 0;
+  std::uint64_t fully_local = 0;
+  std::uint64_t backend_queries = 0;
+  std::uint64_t prefetches_issued = 0;
+  std::uint64_t prefetch_hits = 0;  // query fully local right after a prefetch
+};
+
+class CachingClient {
+ public:
+  CachingClient(cluster::StashCluster& cluster, CachingClientConfig config = {});
+
+  /// Runs one user query (advances the cluster's virtual time to
+  /// completion, including any background prefetch).
+  ClientResponse query(const AggregationQuery& view);
+
+  [[nodiscard]] const ClientMetrics& metrics() const noexcept { return metrics_; }
+  [[nodiscard]] const FrontendCache& cache() const noexcept { return cache_; }
+  [[nodiscard]] const AccessPredictor& predictor() const noexcept {
+    return predictor_;
+  }
+
+ private:
+  void maybe_prefetch(const AggregationQuery& view);
+
+  cluster::StashCluster& cluster_;
+  CachingClientConfig config_;
+  FrontendCache cache_;
+  AccessPredictor predictor_;
+  std::optional<AggregationQuery> previous_view_;
+  bool last_query_prefetched_ = false;
+  std::optional<AggregationQuery> outstanding_prefetch_;
+  ClientMetrics metrics_;
+};
+
+}  // namespace stash::client

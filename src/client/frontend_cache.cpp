@@ -1,0 +1,91 @@
+#include "client/frontend_cache.hpp"
+
+#include <algorithm>
+
+namespace stash::client {
+
+FrontendCache::FrontendCache(FrontendCacheConfig config)
+    : config_(config), graph_(config.stash) {}
+
+std::vector<std::pair<ChunkKey, bool>> FrontendCache::chunks_of(
+    const AggregationQuery& query) const {
+  std::vector<std::pair<ChunkKey, bool>> out;
+  const int chunk_prec = chunk_spatial_precision(query.res.spatial,
+                                                 config_.stash.chunk_precision);
+  const auto bins = temporal_covering(query.time, query.res.temporal);
+  for (const auto& prefix : geohash::covering(query.area, chunk_prec)) {
+    const bool inside = query.area.contains(geohash::decode(prefix));
+    for (const auto& bin : bins) {
+      // Temporal containment: the bin must lie inside the query range for
+      // a full contribution.
+      const TimeRange r = bin.range();
+      const bool t_inside = query.time.begin <= r.begin && r.end <= query.time.end;
+      out.emplace_back(ChunkKey(prefix, bin), inside && t_inside);
+    }
+  }
+  return out;
+}
+
+FrontendLookup FrontendCache::lookup(const AggregationQuery& query) const {
+  if (!query.valid())
+    throw std::invalid_argument("FrontendCache::lookup: invalid query");
+  FrontendLookup out;
+  for (const auto& [chunk, inside] : chunks_of(query)) {
+    ++out.chunks_probed;
+    if (graph_.chunk_complete(query.res, chunk)) {
+      graph_.collect_chunk(query.res, chunk, query.area, query.time, out.cells);
+    } else {
+      out.missing_chunks.push_back(chunk);
+      // Chunk-aligned: fetching whole chunks lets absorb() mark them
+      // complete, so the region becomes locally servable.
+      const BoundingBox box = chunk.bounds();
+      if (!out.missing_bounds) {
+        out.missing_bounds = box;
+      } else {
+        out.missing_bounds = BoundingBox{
+            std::min(out.missing_bounds->lat_min, box.lat_min),
+            std::max(out.missing_bounds->lat_max, box.lat_max),
+            std::min(out.missing_bounds->lng_min, box.lng_min),
+            std::max(out.missing_bounds->lng_max, box.lng_max)};
+      }
+    }
+  }
+  out.local_time = config_.cost.cache_probes(out.chunks_probed) +
+                   config_.cost.merge(out.cells.size());
+  return out;
+}
+
+std::size_t FrontendCache::absorb(const AggregationQuery& query,
+                                  const CellSummaryMap& cells,
+                                  sim::SimTime now) {
+  if (!query.valid())
+    throw std::invalid_argument("FrontendCache::absorb: invalid query");
+  // Group the response cells by chunk.
+  std::unordered_map<ChunkKey, std::vector<std::pair<CellKey, Summary>>,
+                     ChunkKeyHash>
+      grouped;
+  for (const auto& [key, summary] : cells)
+    grouped[chunk_of(key, config_.stash.chunk_precision)].emplace_back(key,
+                                                                       summary);
+  std::size_t inserted = 0;
+  std::vector<ChunkKey> touched;
+  for (const auto& [chunk, inside] : chunks_of(query)) {
+    if (!inside) continue;  // edge chunks: response covers them partially
+    if (graph_.chunk_complete(query.res, chunk)) continue;
+    ChunkContribution contribution;
+    contribution.res = query.res;
+    contribution.chunk = chunk;
+    const auto it = grouped.find(chunk);
+    if (it != grouped.end()) contribution.cells = it->second;
+    const std::int64_t first = chunk.first_day();
+    for (std::size_t i = 0; i < chunk.day_count(); ++i)
+      contribution.days.push_back(first + static_cast<std::int64_t>(i));
+    inserted += graph_.absorb(contribution, now);
+    touched.push_back(chunk);
+  }
+  graph_.touch_region(query.res, touched, now);
+  graph_.evict_if_needed(now);
+  return inserted;
+}
+
+}  // namespace stash::client

@@ -1,0 +1,78 @@
+// Front-end (client-side) STASH cache — paper §IX-A, future work #1:
+//
+// "a smaller-capacity STASH graph at the front-end can greatly reduce
+// latency in case users tend to browse a narrow spatiotemporal region,
+// thus reducing the number of queries needed to be evaluated at the
+// back-end."
+//
+// A FrontendCache holds a small StashGraph inside the client process.
+// Queries are probed locally first; only the missing sub-region is sent to
+// the cluster, and responses are absorbed back — but only chunks that lie
+// *fully inside* the query area (edge chunks are partially covered by a
+// response and must not be marked complete).
+#pragma once
+
+#include <optional>
+
+#include "core/query_engine.hpp"
+#include "sim/cost_model.hpp"
+
+namespace stash::client {
+
+struct FrontendCacheConfig {
+  StashConfig stash = [] {
+    StashConfig config;
+    config.max_cells = 200'000;  // "smaller-capacity" than a storage node
+    return config;
+  }();
+  sim::CostModel cost;  // local probe/merge costs for latency accounting
+};
+
+struct FrontendLookup {
+  CellSummaryMap cells;                  // locally served cells
+  std::vector<ChunkKey> missing_chunks;  // not resident locally
+  /// Chunk-aligned bounding box of the missing chunks (the reduced
+  /// back-end query), or nullopt when everything was served locally.
+  /// Chunk alignment may extend slightly past the query area so the
+  /// fetched chunks become complete — callers clip the response for
+  /// rendering.
+  std::optional<BoundingBox> missing_bounds;
+  sim::SimTime local_time = 0;           // probe + merge cost
+  std::size_t chunks_probed = 0;
+};
+
+class FrontendCache {
+ public:
+  explicit FrontendCache(FrontendCacheConfig config = {});
+
+  /// Probes the local graph for the query; reports what is resident and
+  /// the sub-region that still needs the back-end.
+  [[nodiscard]] FrontendLookup lookup(const AggregationQuery& query) const;
+
+  /// Absorbs a back-end response: every chunk of `query` fully inside the
+  /// query area becomes resident (including empty ones).  Returns cells
+  /// inserted.
+  std::size_t absorb(const AggregationQuery& query, const CellSummaryMap& cells,
+                     sim::SimTime now);
+
+  /// Drops stale state after a real-time update upstream.
+  std::size_t invalidate_block(std::string_view partition, std::int64_t day) {
+    return graph_.invalidate_block(partition, day);
+  }
+
+  [[nodiscard]] std::size_t total_cells() const noexcept {
+    return graph_.total_cells();
+  }
+  [[nodiscard]] const StashGraph& graph() const noexcept { return graph_; }
+  void clear() { graph_.clear(); }
+
+ private:
+  /// Chunk keys covering the query, paired with full-containment flags.
+  [[nodiscard]] std::vector<std::pair<ChunkKey, bool>> chunks_of(
+      const AggregationQuery& query) const;
+
+  FrontendCacheConfig config_;
+  StashGraph graph_;
+};
+
+}  // namespace stash::client

@@ -1,0 +1,170 @@
+#include "client/predictor.hpp"
+
+#include <cmath>
+
+namespace stash::client {
+namespace {
+
+constexpr double kPanTolerance = 0.05;  // fraction of extent
+
+/// Pan directions indexed (dlat, dlng) in {-1,0,1}.
+std::optional<NavAction> pan_action(double dlat_frac, double dlng_frac) {
+  const auto quantize = [](double f) -> std::optional<int> {
+    if (std::fabs(f) < kPanTolerance) return 0;
+    if (f > 0.0 && f <= 1.1) return 1;
+    if (f < 0.0 && f >= -1.1) return -1;
+    return std::nullopt;  // too large: a jump, not a pan
+  };
+  const auto qlat = quantize(dlat_frac);
+  const auto qlng = quantize(dlng_frac);
+  if (!qlat || !qlng) return std::nullopt;
+  if (*qlat == 0 && *qlng == 0) return NavAction::Repeat;
+  if (*qlat == 1 && *qlng == 0) return NavAction::PanN;
+  if (*qlat == 1 && *qlng == 1) return NavAction::PanNE;
+  if (*qlat == 0 && *qlng == 1) return NavAction::PanE;
+  if (*qlat == -1 && *qlng == 1) return NavAction::PanSE;
+  if (*qlat == -1 && *qlng == 0) return NavAction::PanS;
+  if (*qlat == -1 && *qlng == -1) return NavAction::PanSW;
+  if (*qlat == 0 && *qlng == -1) return NavAction::PanW;
+  return NavAction::PanNW;
+}
+
+bool is_pan(NavAction action) {
+  return static_cast<std::uint8_t>(action) <=
+         static_cast<std::uint8_t>(NavAction::PanNW);
+}
+
+}  // namespace
+
+std::string to_string(NavAction action) {
+  switch (action) {
+    case NavAction::PanN: return "pan-N";
+    case NavAction::PanNE: return "pan-NE";
+    case NavAction::PanE: return "pan-E";
+    case NavAction::PanSE: return "pan-SE";
+    case NavAction::PanS: return "pan-S";
+    case NavAction::PanSW: return "pan-SW";
+    case NavAction::PanW: return "pan-W";
+    case NavAction::PanNW: return "pan-NW";
+    case NavAction::DrillDown: return "drill-down";
+    case NavAction::RollUp: return "roll-up";
+    case NavAction::SliceNext: return "slice-next";
+    case NavAction::SlicePrev: return "slice-prev";
+    case NavAction::Repeat: return "repeat";
+    case NavAction::Jump: return "jump";
+  }
+  return "?";
+}
+
+NavAction classify_transition(const AggregationQuery& from,
+                              const AggregationQuery& to) {
+  if (to.res.temporal != from.res.temporal) return NavAction::Jump;
+  if (to.res.spatial == from.res.spatial + 1 && to.area == from.area &&
+      to.time == from.time)
+    return NavAction::DrillDown;
+  if (to.res.spatial == from.res.spatial - 1 && to.area == from.area &&
+      to.time == from.time)
+    return NavAction::RollUp;
+  if (to.res.spatial != from.res.spatial) return NavAction::Jump;
+
+  if (to.area == from.area && to.time != from.time) {
+    const std::int64_t width = from.time.end - from.time.begin;
+    if (to.time.begin == from.time.end && to.time.end - to.time.begin == width)
+      return NavAction::SliceNext;
+    if (to.time.end == from.time.begin && to.time.end - to.time.begin == width)
+      return NavAction::SlicePrev;
+    return NavAction::Jump;
+  }
+  if (to.time != from.time) return NavAction::Jump;
+
+  // Same shape required for a pan.
+  if (std::fabs(to.area.height() - from.area.height()) > 1e-9 ||
+      std::fabs(to.area.width() - from.area.width()) > 1e-9)
+    return NavAction::Jump;
+  const double dlat_frac =
+      (to.area.lat_min - from.area.lat_min) / from.area.height();
+  const double dlng_frac =
+      (to.area.lng_min - from.area.lng_min) / from.area.width();
+  return pan_action(dlat_frac, dlng_frac).value_or(NavAction::Jump);
+}
+
+std::optional<AggregationQuery> apply_action(const AggregationQuery& view,
+                                             NavAction action, int min_spatial,
+                                             double pan_step) {
+  AggregationQuery out = view;
+  const auto pan = [&](double dlat, double dlng) {
+    out.area = view.area.translated(dlat * pan_step * view.area.height(),
+                                    dlng * pan_step * view.area.width());
+    return out;
+  };
+  switch (action) {
+    case NavAction::PanN: return pan(1, 0);
+    case NavAction::PanNE: return pan(1, 1);
+    case NavAction::PanE: return pan(0, 1);
+    case NavAction::PanSE: return pan(-1, 1);
+    case NavAction::PanS: return pan(-1, 0);
+    case NavAction::PanSW: return pan(-1, -1);
+    case NavAction::PanW: return pan(0, -1);
+    case NavAction::PanNW: return pan(1, -1);
+    case NavAction::DrillDown:
+      if (view.res.spatial >= geohash::kMaxPrecision) return std::nullopt;
+      ++out.res.spatial;
+      return out;
+    case NavAction::RollUp:
+      if (view.res.spatial <= min_spatial) return std::nullopt;
+      --out.res.spatial;
+      return out;
+    case NavAction::SliceNext:
+      out.time = {view.time.end, view.time.end + (view.time.end - view.time.begin)};
+      return out;
+    case NavAction::SlicePrev:
+      out.time = {view.time.begin - (view.time.end - view.time.begin),
+                  view.time.begin};
+      return out;
+    case NavAction::Repeat:
+      return out;
+    case NavAction::Jump:
+      return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+void AccessPredictor::observe(const AggregationQuery& from,
+                              const AggregationQuery& to) {
+  const NavAction action = classify_transition(from, to);
+  if (is_pan(action)) {
+    const double magnitude =
+        std::max(std::fabs(to.area.lat_min - from.area.lat_min) /
+                     from.area.height(),
+                 std::fabs(to.area.lng_min - from.area.lng_min) /
+                     from.area.width());
+    pan_step_ema_ = 0.5 * pan_step_ema_ + 0.5 * magnitude;
+  }
+  if (last_action_.has_value()) {
+    ++counts_[static_cast<std::size_t>(*last_action_)]
+             [static_cast<std::size_t>(action)];
+    ++total_;
+  }
+  last_action_ = action;
+}
+
+std::optional<AggregationQuery> AccessPredictor::predict(
+    const AggregationQuery& current) const {
+  if (!last_action_.has_value()) return std::nullopt;
+  const Row& row = counts_[static_cast<std::size_t>(*last_action_)];
+  std::size_t best = 0;
+  std::uint32_t best_count = 0;
+  for (std::size_t a = 0; a < kNavActionCount; ++a) {
+    if (row[a] > best_count) {
+      best_count = row[a];
+      best = a;
+    }
+  }
+  if (best_count < min_support_) return std::nullopt;
+  const auto action = static_cast<NavAction>(best);
+  if (action == NavAction::Jump || action == NavAction::Repeat)
+    return std::nullopt;
+  return apply_action(current, action, 2, pan_step_ema_);
+}
+
+}  // namespace stash::client

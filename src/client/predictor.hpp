@@ -1,0 +1,77 @@
+// User access-pattern prediction — paper §IX-A, future work #2:
+//
+// "constructing a trained model that accurately predicts a user's access
+// pattern can assist in the construction of prefetching queries that
+// augment regions that the model predicts would be of interest in future
+// with the region to be requested currently."
+//
+// A first-order Markov model over *navigation actions*: consecutive views
+// are classified into pan (8 quantized directions), drill-down, roll-up,
+// temporal slice (prev/next), repeat, or jump; transition counts drive the
+// prediction, and the predicted action is applied to the current view to
+// form a prefetch query.  Momentum falls out naturally: after two pans
+// east, pan-east → pan-east dominates the table.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "core/query.hpp"
+
+namespace stash::client {
+
+enum class NavAction : std::uint8_t {
+  PanN, PanNE, PanE, PanSE, PanS, PanSW, PanW, PanNW,
+  DrillDown, RollUp,
+  SliceNext, SlicePrev,
+  Repeat,
+  Jump,  // anything unclassifiable — never predicted
+};
+inline constexpr std::size_t kNavActionCount = 14;
+
+[[nodiscard]] std::string to_string(NavAction action);
+
+/// Classifies the transition between two consecutive views.
+[[nodiscard]] NavAction classify_transition(const AggregationQuery& from,
+                                            const AggregationQuery& to);
+
+/// Applies an action to a view; nullopt when impossible (resolution limit,
+/// Jump, etc.).  `min_spatial` guards roll-up (DHT partition prefix);
+/// `pan_step` is the pan distance as a fraction of the view extent.
+[[nodiscard]] std::optional<AggregationQuery> apply_action(
+    const AggregationQuery& view, NavAction action, int min_spatial = 2,
+    double pan_step = 0.25);
+
+class AccessPredictor {
+ public:
+  /// Minimum observations of a transition before it is trusted.
+  explicit AccessPredictor(std::uint32_t min_support = 2)
+      : min_support_(min_support) {}
+
+  /// Feeds one observed transition.
+  void observe(const AggregationQuery& from, const AggregationQuery& to);
+
+  /// Predicts the next view after `current`, given the last action taken
+  /// to reach it; nullopt when the model has no confident prediction.
+  [[nodiscard]] std::optional<AggregationQuery> predict(
+      const AggregationQuery& current) const;
+
+  [[nodiscard]] std::uint64_t observations() const noexcept { return total_; }
+  [[nodiscard]] std::optional<NavAction> last_action() const noexcept {
+    return last_action_;
+  }
+
+ private:
+  using Row = std::array<std::uint32_t, kNavActionCount>;
+  std::array<Row, kNavActionCount> counts_{};
+  std::optional<NavAction> last_action_;
+  std::uint64_t total_ = 0;
+  std::uint32_t min_support_;
+  /// Exponential moving average of observed pan magnitudes, so predicted
+  /// pans land where this user's pans actually land.
+  double pan_step_ema_ = 0.25;
+};
+
+}  // namespace stash::client

@@ -1,0 +1,137 @@
+#include "client/visual_client.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/civil_time.hpp"
+
+namespace stash::client {
+
+VisualClient::VisualClient(cluster::StashCluster& cluster) : cluster_(cluster) {
+  // Initial view: the dataset's coverage at the paper's default resolution.
+  view_.area = {16.0, 59.0, -134.0, -56.0};
+  view_.time = {unix_seconds({2015, 2, 2}), unix_seconds({2015, 2, 3})};
+  view_.res = {6, TemporalRes::Day};
+}
+
+void VisualClient::set_view(const AggregationQuery& view) {
+  if (!view.valid()) throw std::invalid_argument("VisualClient: invalid view");
+  view_ = view;
+}
+
+ViewResult VisualClient::execute() {
+  CellSummaryMap cells;
+  ViewResult out;
+  out.stats = cluster_.run_query(view_, &cells);
+  out.cells.reserve(cells.size());
+  for (auto& [key, summary] : cells)
+    out.cells.push_back({key, std::move(summary)});
+  std::sort(out.cells.begin(), out.cells.end(),
+            [](const ResultCell& a, const ResultCell& b) { return a.key < b.key; });
+  return out;
+}
+
+ViewResult VisualClient::dice(const BoundingBox& area, const TimeRange& time) {
+  view_.area = area;
+  view_.time = time;
+  return execute();
+}
+
+ViewResult VisualClient::slice(const TimeRange& time) {
+  view_.time = time;
+  return execute();
+}
+
+ViewResult VisualClient::pan(double dlat_fraction, double dlng_fraction) {
+  view_.area = view_.area.translated(dlat_fraction * view_.area.height(),
+                                     dlng_fraction * view_.area.width());
+  return execute();
+}
+
+ViewResult VisualClient::drill_down() {
+  if (view_.res.spatial >= geohash::kMaxPrecision)
+    throw std::logic_error("VisualClient: already at max spatial resolution");
+  ++view_.res.spatial;
+  return execute();
+}
+
+ViewResult VisualClient::roll_up() {
+  // Cells coarser than the DHT partition prefix would span storage nodes.
+  if (view_.res.spatial <= cluster_.config().partition_prefix_length)
+    throw std::logic_error("VisualClient: already at min spatial resolution");
+  --view_.res.spatial;
+  return execute();
+}
+
+ViewResult VisualClient::refresh() { return execute(); }
+
+std::string VisualClient::to_json(const ViewResult& result, std::size_t max_cells) {
+  std::ostringstream out;
+  out << "{\"latency_ms\":" << sim::to_millis(result.stats.latency())
+      << ",\"cells\":" << result.cells.size() << ",\"data\":[";
+  const std::size_t n = std::min(max_cells, result.cells.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& cell = result.cells[i];
+    if (i > 0) out << ",";
+    out << "{\"geohash\":\"" << cell.key.geohash_str() << "\",\"time\":\""
+        << cell.key.bin().label() << "\",\"count\":"
+        << cell.summary.observation_count();
+    for (std::size_t a = 0; a < cell.summary.num_attributes(); ++a) {
+      out << ",\"" << attribute_name(static_cast<NamAttribute>(a))
+          << "\":" << cell.summary.attribute(a).mean();
+    }
+    out << "}";
+  }
+  if (result.cells.size() > n) out << ",{\"truncated\":true}";
+  out << "]}";
+  return out.str();
+}
+
+std::string VisualClient::ascii_heatmap(const ViewResult& result,
+                                        const BoundingBox& area,
+                                        NamAttribute attribute, int rows,
+                                        int cols) {
+  if (rows < 1 || cols < 1)
+    throw std::invalid_argument("ascii_heatmap: rows/cols >= 1");
+  const auto attr = static_cast<std::size_t>(attribute);
+  std::vector<double> sum(static_cast<std::size_t>(rows * cols), 0.0);
+  std::vector<double> weight(static_cast<std::size_t>(rows * cols), 0.0);
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -lo;
+  for (const auto& cell : result.cells) {
+    const LatLng c = cell.key.bounds().center();
+    if (!area.contains(c) || cell.summary.empty()) continue;
+    const int r = std::min(rows - 1, static_cast<int>((area.lat_max - c.lat) /
+                                                      area.height() * rows));
+    const int col = std::min(cols - 1, static_cast<int>((c.lng - area.lng_min) /
+                                                        area.width() * cols));
+    const double v = cell.summary.attribute(attr).mean();
+    const auto idx = static_cast<std::size_t>(r * cols + col);
+    sum[idx] += v;
+    weight[idx] += 1.0;
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  static constexpr std::string_view kRamp = " .:-=+*#%@";
+  std::ostringstream out;
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      const auto idx = static_cast<std::size_t>(r * cols + c);
+      if (weight[idx] == 0.0) {
+        out << ' ';
+        continue;
+      }
+      const double v = sum[idx] / weight[idx];
+      const double t = hi > lo ? (v - lo) / (hi - lo) : 0.5;
+      const auto shade = static_cast<std::size_t>(
+          std::min(t, 0.999) * static_cast<double>(kRamp.size()));
+      out << kRamp[shade];
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace stash::client

@@ -1,0 +1,70 @@
+// Front-end visualization client (paper §VI-A).
+//
+// Stand-in for the Grafana WorldMap front-end: translates user actions
+// (the §V-B OLAP operators — slice, dice, pan, drill-down, roll-up) into
+// aggregation queries against a StashCluster, tracks the current view
+// state like a map widget would, and renders responses as JSON (what
+// Grafana would parse) or as an ASCII heatmap for terminal examples.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "model/observation.hpp"
+
+namespace stash::client {
+
+/// One Cell of a response, flattened for rendering.
+struct ResultCell {
+  CellKey key;
+  Summary summary;
+};
+
+struct ViewResult {
+  std::vector<ResultCell> cells;  // sorted by key for stable output
+  cluster::QueryStats stats;
+};
+
+class VisualClient {
+ public:
+  /// The client drives one cluster; the initial view is the whole domain
+  /// at the paper's default resolution (s6/Day, 2015-02-02).
+  explicit VisualClient(cluster::StashCluster& cluster);
+
+  // --- view state ---
+  [[nodiscard]] const AggregationQuery& view() const noexcept { return view_; }
+  void set_view(const AggregationQuery& view);
+
+  // --- §V-B navigation operators; each issues one query ---
+  /// Dice: constrain both space and time.
+  ViewResult dice(const BoundingBox& area, const TimeRange& time);
+  /// Slice: fix the temporal dimension only, keeping the current area.
+  ViewResult slice(const TimeRange& time);
+  /// Pan: move the view by (fraction of height, fraction of width).
+  ViewResult pan(double dlat_fraction, double dlng_fraction);
+  /// Drill-down: one step finer spatial resolution (zoom in).
+  ViewResult drill_down();
+  /// Roll-up: one step coarser spatial resolution (zoom out).
+  ViewResult roll_up();
+  /// Re-issues the current view (refresh).
+  ViewResult refresh();
+
+  // --- rendering ---
+  /// JSON in the shape a Grafana-like panel consumes.
+  [[nodiscard]] static std::string to_json(const ViewResult& result,
+                                           std::size_t max_cells = 50);
+  /// rows x cols ASCII heatmap of one attribute's mean over the view area.
+  [[nodiscard]] static std::string ascii_heatmap(const ViewResult& result,
+                                                 const BoundingBox& area,
+                                                 NamAttribute attribute,
+                                                 int rows = 16, int cols = 48);
+
+ private:
+  ViewResult execute();
+
+  cluster::StashCluster& cluster_;
+  AggregationQuery view_;
+};
+
+}  // namespace stash::client

@@ -1,0 +1,464 @@
+#include "cluster/cluster.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+#include "common/codec.hpp"
+
+namespace stash::cluster {
+
+StashCluster::Node::Node(NodeId node_id, const StashConfig& stash_config,
+                         const GalileoStore& store, sim::EventLoop& loop,
+                         int workers, std::uint64_t seed)
+    : id(node_id),
+      graph(stash_config),
+      guest_graph(stash_config),
+      engine(graph, store),
+      guest_engine(guest_graph, store),
+      server(loop, workers),
+      maintenance(loop, 1),  // the paper's "separate thread" for population
+      last_handoff(std::numeric_limits<sim::SimTime>::min() / 2),
+      last_handoff_attempt(std::numeric_limits<sim::SimTime>::min() / 2),
+      rng(seed) {}
+
+StashCluster::StashCluster(ClusterConfig config,
+                           std::shared_ptr<const NamGenerator> generator)
+    : config_(config),
+      dht_(config.num_nodes, config.partition_prefix_length),
+      generator_(std::move(generator)),
+      store_(generator_, config.partition_prefix_length) {
+  if (!generator_) throw std::invalid_argument("StashCluster: null generator");
+  nodes_.reserve(config_.num_nodes);
+  for (NodeId id = 0; id < config_.num_nodes; ++id)
+    nodes_.push_back(std::make_unique<Node>(id, config_.stash, store_, loop_,
+                                            config_.workers_per_node,
+                                            config_.seed ^ mix64(id)));
+}
+
+sim::SimTime StashCluster::service_time(const EvalBreakdown& b) const {
+  const auto& cost = config_.cost;
+  sim::SimTime t = config_.subquery_overhead;
+  t += cost.cache_probes(b.cache_probes);
+  t += static_cast<sim::SimTime>(b.scan.blocks_touched) * cost.disk_seek;
+  t += cost.disk_stream(b.scan.bytes_read);
+  t += cost.scan(b.scan.records_scanned);
+  t += cost.merge(b.synthesis_merges);
+  t += cost.merge(b.cells_from_cache + b.cells_scanned + b.cells_synthesized);
+  return t;
+}
+
+sim::SimTime StashCluster::maintenance_time(const MaintenanceStats& m) const {
+  const auto& cost = config_.cost;
+  return cost.cell_inserts(m.cells_absorbed) +
+         cost.freshness_updates(m.freshness_updates) +
+         cost.cell_inserts(m.cells_evicted / 4);  // eviction is cheaper than insert
+}
+
+std::vector<ChunkKey> StashCluster::subquery_chunks(
+    const AggregationQuery& query, const std::string& partition) const {
+  std::vector<ChunkKey> out;
+  const BoundingBox clipped = query.area.intersection(geohash::decode(partition));
+  if (!clipped.valid()) return out;
+  const int chunk_prec = chunk_spatial_precision(query.res.spatial,
+                                                 config_.stash.chunk_precision);
+  const auto bins = temporal_covering(query.time, query.res.temporal);
+  for (const auto& prefix : geohash::covering(clipped, chunk_prec))
+    for (const auto& bin : bins) out.emplace_back(prefix, bin);
+  return out;
+}
+
+void StashCluster::submit(const AggregationQuery& query, RichCallback done) {
+  submit_impl(query, nullptr, std::move(done));
+}
+
+void StashCluster::submit(const AggregationQuery& query, Callback done) {
+  submit_impl(query, std::move(done), nullptr);
+}
+
+void StashCluster::submit_impl(const AggregationQuery& query, Callback done,
+                               RichCallback done_rich) {
+  if (!query.valid()) throw std::invalid_argument("StashCluster: invalid query");
+  const std::uint64_t id = next_query_id_++;
+  Pending pending;
+  pending.query = query;
+  pending.done = std::move(done);
+  pending.done_rich = std::move(done_rich);
+  pending.stats.submitted_at = loop_.now();
+  const auto partitions =
+      geohash::covering(query.area, config_.partition_prefix_length);
+  pending.remaining = partitions.size();
+  pending.stats.subqueries = partitions.size();
+  pending_.emplace(id, std::move(pending));
+  for (const auto& partition : partitions) {
+    loop_.schedule(config_.cost.net_transfer(config_.request_bytes),
+                   [this, id, partition] { route_subquery(id, partition, true); });
+  }
+}
+
+void StashCluster::route_subquery(std::uint64_t query_id,
+                                  const std::string& partition,
+                                  bool allow_reroute) {
+  const auto it = pending_.find(query_id);
+  if (it == pending_.end()) return;
+  const NodeId owner = dht_.node_for_partition(partition);
+  Node& node = *nodes_[owner];
+
+  if (config_.mode == SystemMode::Stash && allow_reroute &&
+      !node.routing.empty()) {
+    const auto chunks = subquery_chunks(it->second.query, partition);
+    const auto helper = node.routing.lookup(it->second.query.res, chunks,
+                                            loop_.now(), config_.stash.routing_ttl);
+    if (helper.has_value() &&
+        node.rng.bernoulli(config_.stash.reroute_probability)) {
+      ++metrics_.reroutes;
+      ++it->second.stats.rerouted_subqueries;
+      loop_.schedule(config_.cost.net_transfer(config_.request_bytes),
+                     [this, helper = *helper, owner, query_id, partition] {
+                       enqueue_guest(helper, owner, query_id, partition);
+                     });
+      return;
+    }
+  }
+  enqueue_local(owner, query_id, partition);
+}
+
+void StashCluster::enqueue_local(NodeId node_id, std::uint64_t query_id,
+                                 const std::string& partition) {
+  Node& node = *nodes_[node_id];
+  const EvalMode mode = config_.mode == SystemMode::Basic ? EvalMode::Basic
+                                                          : EvalMode::Cached;
+  auto slot = std::make_shared<Evaluation>();
+  node.server.submit(
+      [this, &node, query_id, partition, mode, slot]() -> sim::SimTime {
+        const auto it = pending_.find(query_id);
+        if (it == pending_.end()) return 0;
+        *slot = node.engine.evaluate_partition(partition, it->second.query, mode);
+        return service_time(slot->breakdown);
+      },
+      [this, &node, query_id, slot] {
+        ++metrics_.subqueries_processed;
+        const auto it = pending_.find(query_id);
+        if (it == pending_.end()) return;
+        // Background maintenance: populate the graph off the response path.
+        if (config_.mode != SystemMode::Basic &&
+            (!slot->fetched.empty() || !slot->touched_chunks.empty())) {
+          const Resolution res = it->second.query.res;
+          auto maintenance_slot = slot;
+          node.maintenance.submit([this, &node, res,
+                                   maintenance_slot]() -> sim::SimTime {
+            const MaintenanceStats stats =
+                node.engine.absorb(*maintenance_slot, res, loop_.now());
+            const sim::SimTime t = maintenance_time(stats);
+            ++metrics_.maintenance_tasks;
+            metrics_.total_maintenance_time += t;
+            return t;
+          });
+        }
+        const std::size_t bytes =
+            slot->cells.size() * config_.response_cell_bytes + 128;
+        loop_.schedule(config_.cost.net_transfer(bytes),
+                       [this, query_id, slot]() mutable {
+                         deliver_response(query_id, std::move(*slot));
+                       });
+        // Re-check as the queue drains: a *cold* hotspot has nothing to
+        // replicate at arrival time, but once maintenance populates the
+        // graph a handoff becomes possible.
+        maybe_start_handoff(node.id);
+      });
+  maybe_start_handoff(node_id);
+}
+
+void StashCluster::enqueue_guest(NodeId helper_id, NodeId owner_id,
+                                 std::uint64_t query_id,
+                                 const std::string& partition) {
+  Node& helper = *nodes_[helper_id];
+  auto slot = std::make_shared<Evaluation>();
+  helper.server.submit(
+      [this, &helper, query_id, partition, slot]() -> sim::SimTime {
+        const auto it = pending_.find(query_id);
+        if (it == pending_.end()) return 0;
+        // Lazily purge idle guest Cliques before serving (§VII-D).
+        helper.guest_graph.purge_older_than(loop_.now(), config_.stash.guest_ttl);
+        *slot = helper.guest_engine.evaluate_partition(
+            partition, it->second.query, EvalMode::CacheOnly);
+        return service_time(slot->breakdown);
+      },
+      [this, &helper, owner_id, query_id, partition, slot] {
+        ++metrics_.subqueries_processed;
+        const auto it = pending_.find(query_id);
+        if (it == pending_.end()) return;
+        if (slot->breakdown.chunks_missing > 0) {
+          // Replica purged or incomplete: fall back to the owning node
+          // (no further rerouting to avoid a loop).
+          ++metrics_.guest_fallbacks;
+          loop_.schedule(config_.cost.net_transfer(config_.request_bytes),
+                         [this, owner_id, query_id, partition] {
+                           (void)owner_id;
+                           route_subquery(query_id, partition, false);
+                         });
+          return;
+        }
+        // Keep served guest regions fresh so the TTL purge spares them.
+        const Resolution res = it->second.query.res;
+        helper.guest_engine.absorb(*slot, res, loop_.now());
+        const std::size_t bytes =
+            slot->cells.size() * config_.response_cell_bytes + 128;
+        loop_.schedule(config_.cost.net_transfer(bytes),
+                       [this, query_id, slot]() mutable {
+                         deliver_response(query_id, std::move(*slot));
+                       });
+      });
+}
+
+void StashCluster::deliver_response(std::uint64_t query_id, Evaluation&& eval) {
+  const auto it = pending_.find(query_id);
+  if (it == pending_.end()) return;
+  Pending& pending = it->second;
+  pending.stats.breakdown += eval.breakdown;
+  if (config_.discard_payload) {
+    // Cells are disjoint across partitions: counting is exact.
+    pending.stats.result_cells += eval.cells.size();
+  } else {
+    for (auto& [key, summary] : eval.cells) {
+      auto [cell_it, inserted] =
+          pending.cells.try_emplace(key, std::move(summary));
+      if (!inserted) cell_it->second.merge(summary);
+    }
+  }
+  if (--pending.remaining > 0) return;
+  // Gather complete: charge the front-end merge + render overhead.
+  const std::size_t merged_cells = config_.discard_payload
+                                       ? pending.stats.result_cells
+                                       : pending.cells.size();
+  const sim::SimTime finish =
+      config_.frontend_overhead + config_.cost.merge(merged_cells);
+  loop_.schedule(finish, [this, query_id] {
+    const auto done_it = pending_.find(query_id);
+    if (done_it == pending_.end()) return;
+    Pending finished = std::move(done_it->second);
+    pending_.erase(done_it);
+    finished.stats.completed_at = loop_.now();
+    if (!config_.discard_payload)
+      finished.stats.result_cells = finished.cells.size();
+    ++metrics_.queries_completed;
+    if (finished.done) finished.done(finished.stats);
+    if (finished.done_rich)
+      finished.done_rich(finished.stats, std::move(finished.cells));
+  });
+}
+
+void StashCluster::maybe_start_handoff(NodeId node_id) {
+  if (config_.mode != SystemMode::Stash) return;
+  Node& node = *nodes_[node_id];
+  if (node.server.queue_length() <= config_.stash.hotspot_queue_threshold) return;
+  if (loop_.now() - node.last_handoff < config_.stash.hotspot_cooldown) return;
+  // Back off briefly between attempts so a saturated node does not run
+  // clique selection on every enqueue.
+  if (loop_.now() - node.last_handoff_attempt < 2 * sim::kMillisecond) return;
+  node.last_handoff_attempt = loop_.now();
+
+  const CliqueSelector selector(node.graph);
+  auto cliques = selector.select_top(loop_.now(),
+                                     config_.stash.max_replicated_cells,
+                                     config_.stash.max_cliques_per_handoff,
+                                     config_.stash.clique_depth);
+  // A cold hotspot (nothing cached yet) has nothing to replicate; do not
+  // burn the cooldown — retry once maintenance has populated the graph.
+  if (cliques.empty()) return;
+  node.last_handoff = loop_.now();
+  ++metrics_.handoffs_initiated;
+  for (auto& clique : cliques) send_distress(node_id, std::move(clique), 0);
+}
+
+void StashCluster::send_distress(NodeId hot_id, Clique clique, int attempt) {
+  if (attempt > config_.antipode_retries) {
+    ++metrics_.distress_rejections;
+    return;
+  }
+  Node& hot = *nodes_[hot_id];
+  // Antipode selection (§VII-B.3): first try the node owning the region
+  // diametrically opposite the Clique; on rejection wander randomly around
+  // that antipode.  (HelperPolicy::Neighbor is the related-work ablation:
+  // replicate to a node owning an adjacent region instead.)
+  std::string target_gh;
+  if (config_.helper_policy == HelperPolicy::Antipode) {
+    target_gh = geohash::antipode(clique.root.prefix_str());
+  } else {
+    const auto east =
+        geohash::neighbor(clique.root.prefix_str(), geohash::Direction::E);
+    target_gh = east.value_or(geohash::antipode(clique.root.prefix_str()));
+  }
+  for (int i = 0; i < attempt; ++i) {
+    const auto neighbors = geohash::neighbors(target_gh);
+    target_gh = neighbors[hot.rng.next_below(neighbors.size())];
+  }
+  const NodeId target = dht_.node_for(target_gh);
+  if (target == hot_id) {
+    send_distress(hot_id, std::move(clique), attempt + 1);
+    return;
+  }
+
+  loop_.schedule(
+      config_.cost.net_transfer(config_.request_bytes),
+      [this, hot_id, target, clique = std::move(clique), attempt]() mutable {
+        Node& helper = *nodes_[target];
+        const bool accept =
+            helper.server.queue_length() <=
+                config_.stash.hotspot_queue_threshold &&
+            helper.guest_graph.total_cells() + clique.cell_count <=
+                config_.stash.guest_capacity_cells;
+        if (!accept) {
+          ++metrics_.distress_rejections;
+          // Negative acknowledgement: retry around the antipode.
+          loop_.schedule(config_.cost.net_transfer(64),
+                         [this, hot_id, clique = std::move(clique),
+                          attempt]() mutable {
+                           send_distress(hot_id, std::move(clique), attempt + 1);
+                         });
+          return;
+        }
+        // Positive ack travels back, then the Replication Request ships the
+        // Clique's Cells — encoded with the real wire codec so transfer
+        // time reflects actual bytes.
+        Node& hot_node = *nodes_[hot_id];
+        const auto payload = clique_payload(hot_node.graph, clique);
+        std::size_t cells = 0;
+        for (const auto& c : payload) cells += c.cells.size();
+        codec::Buffer wire = codec::encode_replication_payload(payload);
+        const std::size_t bytes = wire.size() + config_.request_bytes;
+        const sim::SimTime ack_and_transfer =
+            config_.cost.net_transfer(64) + config_.cost.net_transfer(bytes);
+        loop_.schedule(
+            ack_and_transfer,
+            [this, hot_id, target, clique = std::move(clique),
+             wire = std::move(wire), cells]() {
+              Node& helper_node = *nodes_[target];
+              for (const auto& contribution :
+                   codec::decode_replication_payload(wire))
+                helper_node.guest_graph.absorb(contribution, loop_.now());
+              ++metrics_.cliques_replicated;
+              metrics_.cells_replicated += cells;
+              // Replication Response: populate the routing table (§VII-B.5).
+              loop_.schedule(
+                  config_.cost.net_transfer(64), [this, hot_id, target, clique] {
+                    Node& hot_after = *nodes_[hot_id];
+                    for (const auto& member : clique.members)
+                      hot_after.routing.add(member.res, member.chunk, target,
+                                            loop_.now());
+                  });
+            });
+      });
+}
+
+QueryStats StashCluster::run_query(const AggregationQuery& query,
+                                   CellSummaryMap* cells_out) {
+  QueryStats out;
+  submit(query, [&out, cells_out](const QueryStats& stats, CellSummaryMap&& cells) {
+    out = stats;
+    if (cells_out != nullptr) *cells_out = std::move(cells);
+  });
+  loop_.run();
+  return out;
+}
+
+std::vector<QueryStats> StashCluster::run_burst(
+    const std::vector<AggregationQuery>& queries) {
+  std::vector<QueryStats> out(queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i)
+    submit(queries[i], [&out, i](const QueryStats& stats) { out[i] = stats; });
+  loop_.run();
+  return out;
+}
+
+std::vector<QueryStats> StashCluster::run_open_loop(
+    const std::vector<AggregationQuery>& queries, sim::SimTime interarrival) {
+  std::vector<QueryStats> out(queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    loop_.schedule(static_cast<sim::SimTime>(i) * interarrival,
+                   [this, &out, i, query = queries[i]] {
+                     submit(query, [&out, i](const QueryStats& stats) {
+                       out[i] = stats;
+                     });
+                   });
+  }
+  loop_.run();
+  return out;
+}
+
+std::vector<QueryStats> StashCluster::run_sequence(
+    const std::vector<AggregationQuery>& queries) {
+  std::vector<QueryStats> out(queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    submit(queries[i], [&out, i](const QueryStats& stats) { out[i] = stats; });
+    loop_.run();
+  }
+  return out;
+}
+
+const StashGraph& StashCluster::node_graph(NodeId id) const {
+  return nodes_.at(id)->graph;
+}
+
+const StashGraph& StashCluster::node_guest_graph(NodeId id) const {
+  return nodes_.at(id)->guest_graph;
+}
+
+const RoutingTable& StashCluster::node_routing(NodeId id) const {
+  return nodes_.at(id)->routing;
+}
+
+std::size_t StashCluster::node_queue_length(NodeId id) const {
+  return nodes_.at(id)->server.queue_length();
+}
+
+std::size_t StashCluster::total_cached_cells() const {
+  std::size_t total = 0;
+  for (const auto& node : nodes_) total += node->graph.total_cells();
+  return total;
+}
+
+std::size_t StashCluster::total_guest_cells() const {
+  std::size_t total = 0;
+  for (const auto& node : nodes_) total += node->guest_graph.total_cells();
+  return total;
+}
+
+std::size_t StashCluster::preload(const AggregationQuery& query) {
+  std::size_t inserted = 0;
+  for (const auto& partition :
+       geohash::covering(query.area, config_.partition_prefix_length)) {
+    Node& node = *nodes_[dht_.node_for_partition(partition)];
+    const Evaluation eval =
+        node.engine.evaluate_partition(partition, query, EvalMode::Cached);
+    const MaintenanceStats stats =
+        node.engine.absorb(eval, query.res, loop_.now());
+    inserted += stats.cells_absorbed;
+  }
+  return inserted;
+}
+
+void StashCluster::clear_caches() {
+  for (auto& node : nodes_) {
+    node->graph.clear();
+    node->guest_graph.clear();
+    node->routing.purge(loop_.now() + config_.stash.routing_ttl * 2,
+                        config_.stash.routing_ttl);
+  }
+}
+
+void StashCluster::invalidate_block(const std::string& partition,
+                                    std::int64_t day) {
+  for (auto& node : nodes_) {
+    node->graph.invalidate_block(partition, day);
+    node->guest_graph.invalidate_block(partition, day);
+  }
+}
+
+std::uint64_t StashCluster::ingest_update(const std::string& partition,
+                                          std::int64_t day) {
+  const std::uint64_t version = store_.ingest_update(BlockKey{partition, day});
+  invalidate_block(partition, day);
+  return version;
+}
+
+}  // namespace stash::cluster

@@ -1,0 +1,212 @@
+// The simulated STASH cluster (paper §VI, §VII, §VIII-A).
+//
+// Assembles the full system: a 120-node (configurable) cluster where each
+// node runs a Galileo block store, a local STASH graph + guest graph, a
+// query engine, a routing table, and an 8-worker request server — all on a
+// shared deterministic event loop.  A front-end splits each user query
+// into per-partition subqueries (scatter), routes them over the zero-hop
+// DHT, and merges the Cell summaries (gather).
+//
+// Hotspot autoscaling (§VII) runs exactly the paper's protocol: pending-
+// queue threshold detection, top-Clique selection, antipode helper search
+// with Distress/Ack, Replication Request/Response, routing-table
+// population, probabilistic rerouting, cooldown, and TTL purging.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/clique.hpp"
+#include "core/query_engine.hpp"
+#include "core/routing_table.hpp"
+#include "dht/partitioner.hpp"
+#include "sim/cost_model.hpp"
+#include "sim/event_loop.hpp"
+#include "sim/server.hpp"
+
+namespace stash::cluster {
+
+enum class SystemMode {
+  Basic,                // plain Galileo: every query scans disk
+  Stash,                // full STASH: caching + dynamic replication
+  StashNoReplication,   // STASH caching without hotspot handoff (Fig 6d base)
+};
+
+/// Where a hotspotted node looks for Clique helpers (§VII-B.3 vs the
+/// nearby-replication strategy of related work [17] — kept for ablation).
+enum class HelperPolicy {
+  Antipode,   // node owning the diametrically opposite region (the paper)
+  Neighbor,   // node owning a lateral neighbor region of the hot Clique
+};
+
+struct ClusterConfig {
+  std::uint32_t num_nodes = 120;       // §VIII-A testbed size
+  int workers_per_node = 8;            // 8-core Xeon per node
+  int partition_prefix_length = 2;     // first 2 geohash characters
+  SystemMode mode = SystemMode::Stash;
+  StashConfig stash;
+  sim::CostModel cost;
+  std::uint64_t seed = 0x5354415348ULL;
+
+  // Message sizing for the network cost model.
+  std::size_t request_bytes = 256;
+  std::size_t response_cell_bytes = 12;   // cell id + requested aggregate
+  // (Replication transfers are sized from the real wire codec, not a
+  // per-cell constant — see send_distress.)
+  /// Front-end parse/render overhead added to every query's latency.
+  sim::SimTime frontend_overhead = 1 * sim::kMillisecond;
+  /// Per-subquery fixed server-side overhead (dispatch, deserialize).
+  sim::SimTime subquery_overhead = 200;   // 0.2 ms
+  /// Attempts to find a helper around the antipode before giving up.
+  int antipode_retries = 8;
+  HelperPolicy helper_policy = HelperPolicy::Antipode;
+  /// Throughput-bench mode: count result Cells but do not retain their
+  /// summaries at the front-end (bounds memory for 10k-query bursts).
+  bool discard_payload = false;
+};
+
+struct QueryStats {
+  sim::SimTime submitted_at = 0;
+  sim::SimTime completed_at = 0;
+  std::size_t result_cells = 0;
+  std::size_t subqueries = 0;
+  std::size_t rerouted_subqueries = 0;
+  EvalBreakdown breakdown;  // summed over subqueries
+
+  [[nodiscard]] sim::SimTime latency() const noexcept {
+    return completed_at - submitted_at;
+  }
+};
+
+struct ClusterMetrics {
+  std::uint64_t queries_completed = 0;
+  std::uint64_t subqueries_processed = 0;
+  std::uint64_t handoffs_initiated = 0;
+  std::uint64_t cliques_replicated = 0;
+  std::uint64_t cells_replicated = 0;
+  std::uint64_t distress_rejections = 0;
+  std::uint64_t reroutes = 0;
+  std::uint64_t guest_fallbacks = 0;
+  std::uint64_t maintenance_tasks = 0;
+  sim::SimTime total_maintenance_time = 0;
+};
+
+class StashCluster {
+ public:
+  StashCluster(ClusterConfig config, std::shared_ptr<const NamGenerator> generator);
+
+  [[nodiscard]] sim::EventLoop& loop() noexcept { return loop_; }
+  [[nodiscard]] const ZeroHopDht& dht() const noexcept { return dht_; }
+  [[nodiscard]] const ClusterConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const ClusterMetrics& metrics() const noexcept { return metrics_; }
+
+  using Callback = std::function<void(const QueryStats&)>;
+  /// Completion callback that also receives the merged Cell payload (what
+  /// the front-end renders).
+  using RichCallback = std::function<void(const QueryStats&, CellSummaryMap&&)>;
+
+  /// Submits a query at the current virtual time; `done` fires on
+  /// completion.  Does not advance the loop.
+  void submit(const AggregationQuery& query, Callback done);
+  void submit(const AggregationQuery& query, RichCallback done);
+
+  /// Submits one query and runs the loop to quiescence.  When `cells_out`
+  /// is given it receives the merged Cell summaries.
+  QueryStats run_query(const AggregationQuery& query,
+                       CellSummaryMap* cells_out = nullptr);
+
+  /// Submits all queries at the current virtual time (a burst) and runs to
+  /// quiescence; stats are returned in submission order.
+  std::vector<QueryStats> run_burst(const std::vector<AggregationQuery>& queries);
+
+  /// Submits queries one after another (each waits for the previous), as a
+  /// single user's exploration session does; runs to quiescence.
+  std::vector<QueryStats> run_sequence(const std::vector<AggregationQuery>& queries);
+
+  /// Open-loop arrivals: query i is submitted at now + i * interarrival —
+  /// the §VIII-E hotspot traffic shape — then runs to quiescence.
+  std::vector<QueryStats> run_open_loop(
+      const std::vector<AggregationQuery>& queries, sim::SimTime interarrival);
+
+  // --- node introspection (tests, benches) ---
+  [[nodiscard]] const StashGraph& node_graph(NodeId id) const;
+  [[nodiscard]] const StashGraph& node_guest_graph(NodeId id) const;
+  [[nodiscard]] const RoutingTable& node_routing(NodeId id) const;
+  [[nodiscard]] std::size_t node_queue_length(NodeId id) const;
+  [[nodiscard]] std::size_t total_cached_cells() const;
+  [[nodiscard]] std::size_t total_guest_cells() const;
+
+  /// Pre-populates every node's cache for the query (the Fig 6a best case)
+  /// without going through the network path; returns cells inserted.
+  std::size_t preload(const AggregationQuery& query);
+
+  /// Drops all cached state (local and guest graphs, routing tables).
+  void clear_caches();
+
+  /// Invalidates one storage block cluster-wide (real-time update model).
+  void invalidate_block(const std::string& partition, std::int64_t day);
+
+  /// Real-time ingest (§IV-D): rewrites one block's contents on disk and
+  /// invalidates every dependent cached chunk cluster-wide, so the next
+  /// query recomputes fresh values.  Returns the block's new version.
+  std::uint64_t ingest_update(const std::string& partition, std::int64_t day);
+
+ private:
+  struct Node {
+    NodeId id;
+    StashGraph graph;
+    StashGraph guest_graph;
+    QueryEngine engine;
+    QueryEngine guest_engine;
+    RoutingTable routing;
+    sim::SimServer server;
+    sim::SimServer maintenance;
+    sim::SimTime last_handoff;
+    sim::SimTime last_handoff_attempt;
+    Rng rng;
+
+    Node(NodeId node_id, const StashConfig& stash_config,
+         const GalileoStore& store, sim::EventLoop& loop, int workers,
+         std::uint64_t seed);
+  };
+
+  struct Pending {
+    AggregationQuery query;
+    Callback done;
+    RichCallback done_rich;
+    std::size_t remaining = 0;
+    QueryStats stats;
+    CellSummaryMap cells;
+  };
+
+  void submit_impl(const AggregationQuery& query, Callback done,
+                   RichCallback done_rich);
+  void route_subquery(std::uint64_t query_id, const std::string& partition,
+                      bool allow_reroute);
+  void enqueue_local(NodeId node_id, std::uint64_t query_id,
+                     const std::string& partition);
+  void enqueue_guest(NodeId helper_id, NodeId owner_id, std::uint64_t query_id,
+                     const std::string& partition);
+  void deliver_response(std::uint64_t query_id, Evaluation&& eval);
+  void maybe_start_handoff(NodeId node_id);
+  void send_distress(NodeId hot_id, Clique clique, int attempt);
+  [[nodiscard]] sim::SimTime service_time(const EvalBreakdown& b) const;
+  [[nodiscard]] sim::SimTime maintenance_time(const MaintenanceStats& m) const;
+  [[nodiscard]] std::vector<ChunkKey> subquery_chunks(
+      const AggregationQuery& query, const std::string& partition) const;
+
+  ClusterConfig config_;
+  sim::EventLoop loop_;
+  ZeroHopDht dht_;
+  std::shared_ptr<const NamGenerator> generator_;
+  GalileoStore store_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::unordered_map<std::uint64_t, Pending> pending_;
+  std::uint64_t next_query_id_ = 0;
+  ClusterMetrics metrics_;
+};
+
+}  // namespace stash::cluster

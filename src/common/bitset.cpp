@@ -1,0 +1,50 @@
+#include "common/bitset.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace stash {
+
+std::size_t DynamicBitset::count() const noexcept {
+  std::size_t total = 0;
+  for (auto w : words_) total += static_cast<std::size_t>(std::popcount(w));
+  return total;
+}
+
+std::vector<std::size_t> DynamicBitset::zero_indices() const {
+  std::vector<std::size_t> out;
+  out.reserve(bits_ - count());
+  for (std::size_t i = 0; i < bits_; ++i)
+    if (!test(i)) out.push_back(i);
+  return out;
+}
+
+std::vector<std::size_t> DynamicBitset::one_indices() const {
+  std::vector<std::size_t> out;
+  out.reserve(count());
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    std::uint64_t word = words_[w];
+    while (word != 0) {
+      const int bit = std::countr_zero(word);
+      out.push_back((w << 6) + static_cast<std::size_t>(bit));
+      word &= word - 1;
+    }
+  }
+  return out;
+}
+
+DynamicBitset& DynamicBitset::operator|=(const DynamicBitset& other) {
+  if (bits_ != other.bits_)
+    throw std::invalid_argument("DynamicBitset::operator|=: size mismatch");
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  return *this;
+}
+
+DynamicBitset& DynamicBitset::operator&=(const DynamicBitset& other) {
+  if (bits_ != other.bits_)
+    throw std::invalid_argument("DynamicBitset::operator&=: size mismatch");
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  return *this;
+}
+
+}  // namespace stash

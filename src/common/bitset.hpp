@@ -1,0 +1,53 @@
+// Dynamic bitset used by the Precision-Level Map (PLM).
+//
+// The PLM (paper §IV-D) is "a memory-resident bitmap that associates the
+// Cells contained in-memory for a given level to the actual data blocks in
+// the distributed storage".  Completeness checks need fast popcount and
+// missing-bit enumeration, which std::vector<bool> does not provide.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace stash {
+
+class DynamicBitset {
+ public:
+  DynamicBitset() = default;
+  explicit DynamicBitset(std::size_t bits)
+      : bits_(bits), words_((bits + 63) / 64, 0) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return bits_; }
+
+  void set(std::size_t i) noexcept { words_[i >> 6] |= (1ULL << (i & 63)); }
+  void reset(std::size_t i) noexcept { words_[i >> 6] &= ~(1ULL << (i & 63)); }
+  [[nodiscard]] bool test(std::size_t i) const noexcept {
+    return (words_[i >> 6] >> (i & 63)) & 1ULL;
+  }
+
+  void clear() noexcept {
+    for (auto& w : words_) w = 0;
+  }
+
+  /// Number of set bits.
+  [[nodiscard]] std::size_t count() const noexcept;
+  [[nodiscard]] bool all() const noexcept { return count() == bits_; }
+  [[nodiscard]] bool none() const noexcept { return count() == 0; }
+
+  /// Indices of zero bits (the "missing" Cells for a PLM completeness check).
+  [[nodiscard]] std::vector<std::size_t> zero_indices() const;
+  /// Indices of set bits.
+  [[nodiscard]] std::vector<std::size_t> one_indices() const;
+
+  DynamicBitset& operator|=(const DynamicBitset& other);
+  DynamicBitset& operator&=(const DynamicBitset& other);
+
+  bool operator==(const DynamicBitset&) const = default;
+
+ private:
+  std::size_t bits_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace stash

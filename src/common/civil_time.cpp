@@ -1,0 +1,55 @@
+#include "common/civil_time.hpp"
+
+namespace stash {
+
+bool is_leap_year(int year) noexcept {
+  return year % 4 == 0 && (year % 100 != 0 || year % 400 == 0);
+}
+
+int days_in_month(int year, int month) noexcept {
+  static constexpr int kDays[] = {31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31};
+  if (month == 2 && is_leap_year(year)) return 29;
+  return kDays[month - 1];
+}
+
+std::int64_t days_from_civil(const CivilDate& d) noexcept {
+  // Howard Hinnant, "chrono-Compatible Low-Level Date Algorithms".
+  const int y = d.year - (d.month <= 2 ? 1 : 0);
+  const std::int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - static_cast<int>(era) * 400);
+  const unsigned doy = static_cast<unsigned>(
+      (153 * (d.month + (d.month > 2 ? -3 : 9)) + 2) / 5 + d.day - 1);
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return era * 146097 + static_cast<std::int64_t>(doe) - 719468;
+}
+
+CivilDate civil_from_days(std::int64_t days) noexcept {
+  days += 719468;
+  const std::int64_t era = (days >= 0 ? days : days - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(days - era * 146097);
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const int y = static_cast<int>(yoe) + static_cast<int>(era) * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned mp = (5 * doy + 2) / 153;
+  const unsigned day = doy - (153 * mp + 2) / 5 + 1;
+  const unsigned month = mp + (mp < 10 ? 3 : static_cast<unsigned>(-9));
+  return CivilDate{y + (month <= 2 ? 1 : 0), static_cast<int>(month),
+                   static_cast<int>(day)};
+}
+
+std::int64_t unix_seconds(const CivilDate& d, int hour, int minute,
+                          int second) noexcept {
+  return days_from_civil(d) * 86400 + hour * 3600 + minute * 60 + second;
+}
+
+CivilDateTime civil_from_unix_seconds(std::int64_t ts) noexcept {
+  std::int64_t days = ts / 86400;
+  std::int64_t rem = ts % 86400;
+  if (rem < 0) {
+    rem += 86400;
+    --days;
+  }
+  return CivilDateTime{civil_from_days(days), static_cast<int>(rem / 3600)};
+}
+
+}  // namespace stash

@@ -1,0 +1,40 @@
+// Civil (proleptic Gregorian, UTC) calendar arithmetic.
+//
+// STASH's temporal hierarchy (Year → Month → Day → Hour) needs exact
+// month-length and epoch conversions.  The days-from-civil / civil-from-days
+// algorithms are Howard Hinnant's public-domain formulas.
+#pragma once
+
+#include <cstdint>
+
+namespace stash {
+
+struct CivilDate {
+  int year = 1970;
+  int month = 1;  // 1..12
+  int day = 1;    // 1..31
+
+  bool operator==(const CivilDate&) const = default;
+};
+
+[[nodiscard]] bool is_leap_year(int year) noexcept;
+[[nodiscard]] int days_in_month(int year, int month) noexcept;
+
+/// Days since 1970-01-01 (can be negative).
+[[nodiscard]] std::int64_t days_from_civil(const CivilDate& d) noexcept;
+[[nodiscard]] CivilDate civil_from_days(std::int64_t days) noexcept;
+
+/// Unix seconds (UTC, no leap seconds) of midnight of the given date.
+[[nodiscard]] std::int64_t unix_seconds(const CivilDate& d, int hour = 0,
+                                        int minute = 0, int second = 0) noexcept;
+
+struct CivilDateTime {
+  CivilDate date;
+  int hour = 0;  // 0..23
+
+  bool operator==(const CivilDateTime&) const = default;
+};
+
+[[nodiscard]] CivilDateTime civil_from_unix_seconds(std::int64_t ts) noexcept;
+
+}  // namespace stash

@@ -1,0 +1,193 @@
+#include "common/codec.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace stash::codec {
+
+void put_varint(Buffer& out, std::uint64_t value) {
+  while (value >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(value) | 0x80);
+    value >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(value));
+}
+
+void put_u32(Buffer& out, std::uint32_t value) {
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<std::uint8_t>(value >> (8 * i)));
+}
+
+void put_u64(Buffer& out, std::uint64_t value) {
+  for (int i = 0; i < 8; ++i)
+    out.push_back(static_cast<std::uint8_t>(value >> (8 * i)));
+}
+
+void put_double(Buffer& out, double value) {
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(value));
+  std::memcpy(&bits, &value, sizeof(bits));
+  put_u64(out, bits);
+}
+
+void Reader::need(std::size_t n) const {
+  if (pos_ + n > size_) throw std::out_of_range("codec::Reader: truncated input");
+}
+
+std::uint64_t Reader::varint() {
+  std::uint64_t value = 0;
+  int shift = 0;
+  while (true) {
+    need(1);
+    const std::uint8_t byte = data_[pos_++];
+    if (shift >= 64 || (shift == 63 && (byte & 0x7e) != 0))
+      throw std::overflow_error("codec::Reader: varint overflow");
+    value |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) return value;
+    shift += 7;
+  }
+}
+
+std::uint32_t Reader::u32() {
+  need(4);
+  std::uint32_t value = 0;
+  for (int i = 0; i < 4; ++i)
+    value |= static_cast<std::uint32_t>(data_[pos_++]) << (8 * i);
+  return value;
+}
+
+std::uint64_t Reader::u64() {
+  need(8);
+  std::uint64_t value = 0;
+  for (int i = 0; i < 8; ++i)
+    value |= static_cast<std::uint64_t>(data_[pos_++]) << (8 * i);
+  return value;
+}
+
+double Reader::f64() {
+  const std::uint64_t bits = u64();
+  double value;
+  std::memcpy(&value, &bits, sizeof(value));
+  return value;
+}
+
+void encode(Buffer& out, const CellKey& key) {
+  put_u64(out, key.spatial);
+  put_u32(out, key.temporal);
+}
+
+CellKey decode_cell_key(Reader& in) {
+  CellKey key;
+  key.spatial = in.u64();
+  key.temporal = in.u32();
+  // Validate by unpacking (throws on malformed labels).
+  (void)key.geohash_str();
+  (void)key.bin();
+  return key;
+}
+
+void encode(Buffer& out, const AttributeSummary& summary) {
+  put_varint(out, summary.count);
+  if (summary.count == 0) return;
+  put_double(out, summary.min);
+  put_double(out, summary.max);
+  put_double(out, summary.sum);
+  put_double(out, summary.sum_sq);
+}
+
+AttributeSummary decode_attribute_summary(Reader& in) {
+  AttributeSummary summary;
+  summary.count = in.varint();
+  if (summary.count == 0) return summary;
+  summary.min = in.f64();
+  summary.max = in.f64();
+  summary.sum = in.f64();
+  summary.sum_sq = in.f64();
+  return summary;
+}
+
+void encode(Buffer& out, const Summary& summary) {
+  put_varint(out, summary.num_attributes());
+  for (const auto& attr : summary.attributes()) encode(out, attr);
+}
+
+Summary decode_summary(Reader& in) {
+  const std::uint64_t n = in.varint();
+  if (n > 1024) throw std::out_of_range("codec: implausible attribute count");
+  std::vector<AttributeSummary> attrs;
+  attrs.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i)
+    attrs.push_back(decode_attribute_summary(in));
+  return Summary::from_attributes(std::move(attrs));
+}
+
+void encode(Buffer& out, const ChunkContribution& contribution) {
+  put_varint(out, static_cast<std::uint64_t>(contribution.res.spatial));
+  put_varint(out, static_cast<std::uint64_t>(contribution.res.temporal));
+  put_u64(out, contribution.chunk.prefix);
+  put_u32(out, contribution.chunk.temporal);
+  put_varint(out, contribution.days.size());
+  for (std::int64_t day : contribution.days)
+    put_varint(out, static_cast<std::uint64_t>(day));
+  put_varint(out, contribution.cells.size());
+  for (const auto& [key, summary] : contribution.cells) {
+    encode(out, key);
+    encode(out, summary);
+  }
+}
+
+ChunkContribution decode_chunk_contribution(Reader& in) {
+  ChunkContribution c;
+  c.res.spatial = static_cast<int>(in.varint());
+  c.res.temporal = static_cast<TemporalRes>(in.varint());
+  if (!c.res.valid()) throw std::out_of_range("codec: bad resolution");
+  c.chunk.prefix = in.u64();
+  c.chunk.temporal = in.u32();
+  const std::uint64_t days = in.varint();
+  if (days > 100000) throw std::out_of_range("codec: implausible day count");
+  c.days.reserve(static_cast<std::size_t>(days));
+  for (std::uint64_t i = 0; i < days; ++i)
+    c.days.push_back(static_cast<std::int64_t>(in.varint()));
+  const std::uint64_t cells = in.varint();
+  if (cells > 100'000'000) throw std::out_of_range("codec: implausible cell count");
+  c.cells.reserve(static_cast<std::size_t>(cells));
+  for (std::uint64_t i = 0; i < cells; ++i) {
+    CellKey key = decode_cell_key(in);
+    Summary summary = decode_summary(in);
+    c.cells.emplace_back(key, std::move(summary));
+  }
+  return c;
+}
+
+Buffer encode_replication_payload(const std::vector<ChunkContribution>& payload) {
+  Buffer out;
+  put_varint(out, payload.size());
+  for (const auto& contribution : payload) encode(out, contribution);
+  return out;
+}
+
+std::vector<ChunkContribution> decode_replication_payload(const Buffer& buffer) {
+  Reader in(buffer);
+  const std::uint64_t n = in.varint();
+  if (n > 1'000'000) throw std::out_of_range("codec: implausible payload size");
+  std::vector<ChunkContribution> payload;
+  payload.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i)
+    payload.push_back(decode_chunk_contribution(in));
+  if (!in.done()) throw std::out_of_range("codec: trailing bytes");
+  return payload;
+}
+
+std::size_t encoded_size(const ChunkContribution& contribution) {
+  Buffer scratch;
+  encode(scratch, contribution);
+  return scratch.size();
+}
+
+std::size_t encoded_size(const std::vector<ChunkContribution>& payload) {
+  std::size_t total = 1;  // payload-count varint (payloads are small counts)
+  for (const auto& contribution : payload) total += encoded_size(contribution);
+  return total;
+}
+
+}  // namespace stash::codec

@@ -1,0 +1,73 @@
+// Binary serialization for STASH's wire objects.
+//
+// Replication Requests ship Cliques of Cells between nodes (§VII-B.4) and
+// subquery responses ship Cell summaries to the front-end; this codec
+// defines the byte format (little-endian fixed ints, LEB128 varints for
+// counts) so transfer sizes in the simulator come from real encoded bytes
+// rather than guessed constants.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/summary.hpp"
+#include "core/graph.hpp"
+#include "geo/cell_key.hpp"
+
+namespace stash::codec {
+
+using Buffer = std::vector<std::uint8_t>;
+
+// --- primitives ---
+void put_varint(Buffer& out, std::uint64_t value);
+void put_u32(Buffer& out, std::uint32_t value);
+void put_u64(Buffer& out, std::uint64_t value);
+void put_double(Buffer& out, double value);
+
+class Reader {
+ public:
+  Reader(const std::uint8_t* data, std::size_t size) : data_(data), size_(size) {}
+  explicit Reader(const Buffer& buffer) : Reader(buffer.data(), buffer.size()) {}
+
+  [[nodiscard]] std::uint64_t varint();
+  [[nodiscard]] std::uint32_t u32();
+  [[nodiscard]] std::uint64_t u64();
+  [[nodiscard]] double f64();
+
+  [[nodiscard]] std::size_t remaining() const noexcept { return size_ - pos_; }
+  [[nodiscard]] bool done() const noexcept { return pos_ == size_; }
+
+ private:
+  void need(std::size_t n) const;
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+// --- STASH objects ---
+void encode(Buffer& out, const CellKey& key);
+[[nodiscard]] CellKey decode_cell_key(Reader& in);
+
+void encode(Buffer& out, const AttributeSummary& summary);
+[[nodiscard]] AttributeSummary decode_attribute_summary(Reader& in);
+
+void encode(Buffer& out, const Summary& summary);
+[[nodiscard]] Summary decode_summary(Reader& in);
+
+void encode(Buffer& out, const ChunkContribution& contribution);
+[[nodiscard]] ChunkContribution decode_chunk_contribution(Reader& in);
+
+/// A full Replication Request payload (§VII-B.4).
+[[nodiscard]] Buffer encode_replication_payload(
+    const std::vector<ChunkContribution>& payload);
+[[nodiscard]] std::vector<ChunkContribution> decode_replication_payload(
+    const Buffer& buffer);
+
+/// Encoded size without materialising the buffer (cheap cost accounting).
+[[nodiscard]] std::size_t encoded_size(const ChunkContribution& contribution);
+[[nodiscard]] std::size_t encoded_size(
+    const std::vector<ChunkContribution>& payload);
+
+}  // namespace stash::codec

@@ -1,0 +1,61 @@
+#include "common/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+namespace stash {
+
+void LatencyStats::sort_if_needed() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+std::int64_t LatencyStats::min() const {
+  if (samples_.empty()) throw std::logic_error("LatencyStats: no samples");
+  sort_if_needed();
+  return samples_.front();
+}
+
+std::int64_t LatencyStats::max() const {
+  if (samples_.empty()) throw std::logic_error("LatencyStats: no samples");
+  sort_if_needed();
+  return samples_.back();
+}
+
+double LatencyStats::mean() const {
+  if (samples_.empty()) throw std::logic_error("LatencyStats: no samples");
+  const auto total =
+      std::accumulate(samples_.begin(), samples_.end(), std::int64_t{0});
+  return static_cast<double>(total) / static_cast<double>(samples_.size());
+}
+
+std::int64_t LatencyStats::percentile(double q) const {
+  if (samples_.empty()) throw std::logic_error("LatencyStats: no samples");
+  if (q < 0.0 || q > 1.0)
+    throw std::invalid_argument("LatencyStats: quantile out of [0,1]");
+  sort_if_needed();
+  // Nearest-rank: the smallest value with cumulative proportion >= q.
+  const auto n = samples_.size();
+  const double raw = std::ceil(q * static_cast<double>(n)) - 1.0;
+  const double clamped =
+      std::clamp(raw, 0.0, static_cast<double>(n) - 1.0);
+  return samples_[static_cast<std::size_t>(clamped)];
+}
+
+std::string LatencyStats::summary_us() const {
+  std::ostringstream out;
+  out.setf(std::ios::fixed);
+  out.precision(2);
+  out << "mean=" << mean() / 1000.0 << "ms p50="
+      << static_cast<double>(p50()) / 1000.0 << "ms p95="
+      << static_cast<double>(p95()) / 1000.0 << "ms p99="
+      << static_cast<double>(p99()) / 1000.0 << "ms (n=" << count() << ")";
+  return out.str();
+}
+
+}  // namespace stash

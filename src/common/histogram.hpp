@@ -1,0 +1,48 @@
+// Latency statistics for benches and examples: exact percentiles over a
+// recorded sample set (bench scale is small enough that we keep samples
+// rather than approximate with buckets).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace stash {
+
+class LatencyStats {
+ public:
+  void record(std::int64_t value) {
+    samples_.push_back(value);
+    sorted_ = false;
+  }
+
+  template <typename Range>
+  void record_all(const Range& values) {
+    for (const auto& v : values) record(v);
+  }
+
+  [[nodiscard]] std::size_t count() const noexcept { return samples_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return samples_.empty(); }
+
+  [[nodiscard]] std::int64_t min() const;
+  [[nodiscard]] std::int64_t max() const;
+  [[nodiscard]] double mean() const;
+  /// Exact q-quantile (0 <= q <= 1) by the nearest-rank method.
+  [[nodiscard]] std::int64_t percentile(double q) const;
+
+  [[nodiscard]] std::int64_t p50() const { return percentile(0.50); }
+  [[nodiscard]] std::int64_t p95() const { return percentile(0.95); }
+  [[nodiscard]] std::int64_t p99() const { return percentile(0.99); }
+
+  /// "mean=1.23ms p50=1.1ms p95=2.2ms p99=3.0ms (n=100)" with values
+  /// interpreted as microseconds.
+  [[nodiscard]] std::string summary_us() const;
+
+ private:
+  void sort_if_needed() const;
+
+  mutable std::vector<std::int64_t> samples_;
+  mutable bool sorted_ = false;
+};
+
+}  // namespace stash

@@ -1,0 +1,54 @@
+// Deterministic random number generation.
+//
+// Every stochastic piece of the reproduction (synthetic NAM-like records,
+// workload rectangles, probabilistic rerouting under hotspot) is seeded so
+// that benchmark runs and tests are exactly repeatable.  We use
+// xoshiro256** seeded via SplitMix64 — fast, tiny state, good quality.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace stash {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5741534853544153ULL) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept;
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64() noexcept;
+
+  /// Uniform double in [0, 1).
+  double next_double() noexcept {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * next_double();
+  }
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t next_below(std::uint64_t n) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+    return lo + static_cast<std::int64_t>(
+                    next_below(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool bernoulli(double p) noexcept { return next_double() < p; }
+
+  /// Standard normal via Marsaglia polar method.
+  double normal(double mean = 0.0, double stddev = 1.0) noexcept;
+
+ private:
+  std::uint64_t s_[4]{};
+  bool has_spare_ = false;
+  double spare_ = 0.0;
+};
+
+}  // namespace stash

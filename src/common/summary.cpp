@@ -1,0 +1,104 @@
+#include "common/summary.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace stash {
+
+void AttributeSummary::add(double value) noexcept {
+  ++count;
+  min = std::min(min, value);
+  max = std::max(max, value);
+  sum += value;
+  sum_sq += value * value;
+}
+
+void AttributeSummary::merge(const AttributeSummary& other) noexcept {
+  if (other.count == 0) return;
+  count += other.count;
+  min = std::min(min, other.min);
+  max = std::max(max, other.max);
+  sum += other.sum;
+  sum_sq += other.sum_sq;
+}
+
+double AttributeSummary::mean() const noexcept {
+  return count == 0 ? 0.0 : sum / static_cast<double>(count);
+}
+
+double AttributeSummary::variance() const noexcept {
+  if (count < 2) return 0.0;
+  const double n = static_cast<double>(count);
+  const double m = sum / n;
+  // Guard against catastrophic cancellation producing a tiny negative value.
+  return std::max(0.0, sum_sq / n - m * m);
+}
+
+double AttributeSummary::stddev() const noexcept { return std::sqrt(variance()); }
+
+namespace {
+bool close(double a, double b, double rel_tol) noexcept {
+  const double scale = std::max({std::fabs(a), std::fabs(b), 1.0});
+  return std::fabs(a - b) <= rel_tol * scale;
+}
+}  // namespace
+
+bool AttributeSummary::approx_equals(const AttributeSummary& other,
+                                     double rel_tol) const noexcept {
+  if (count != other.count) return false;
+  if (count == 0) return true;
+  return close(min, other.min, rel_tol) && close(max, other.max, rel_tol) &&
+         close(sum, other.sum, rel_tol) && close(sum_sq, other.sum_sq, rel_tol);
+}
+
+Summary Summary::from_attributes(std::vector<AttributeSummary> attrs) {
+  if (attrs.empty()) return Summary{};
+  for (const auto& a : attrs) {
+    if (a.count != attrs.front().count)
+      throw std::invalid_argument(
+          "Summary::from_attributes: inconsistent observation counts");
+  }
+  Summary out;
+  out.attrs_ = std::move(attrs);
+  return out;
+}
+
+void Summary::add_observation(const double* values, std::size_t n) {
+  if (n != attrs_.size())
+    throw std::invalid_argument("Summary::add_observation: attribute count mismatch");
+  for (std::size_t i = 0; i < n; ++i) attrs_[i].add(values[i]);
+}
+
+void Summary::merge(const Summary& other) {
+  if (attrs_.empty()) {
+    attrs_ = other.attrs_;
+    return;
+  }
+  if (other.attrs_.empty()) return;
+  if (attrs_.size() != other.attrs_.size())
+    throw std::invalid_argument("Summary::merge: attribute count mismatch");
+  for (std::size_t i = 0; i < attrs_.size(); ++i) attrs_[i].merge(other.attrs_[i]);
+}
+
+bool Summary::approx_equals(const Summary& other, double rel_tol) const noexcept {
+  if (attrs_.size() != other.attrs_.size()) return false;
+  for (std::size_t i = 0; i < attrs_.size(); ++i)
+    if (!attrs_[i].approx_equals(other.attrs_[i], rel_tol)) return false;
+  return true;
+}
+
+std::string Summary::to_string() const {
+  std::ostringstream out;
+  out << "{n=" << observation_count();
+  for (std::size_t i = 0; i < attrs_.size(); ++i) {
+    const auto& a = attrs_[i];
+    out << ", a" << i << "=[min=" << a.min << ", max=" << a.max
+        << ", mean=" << a.mean() << "]";
+  }
+  out << "}";
+  return out.str();
+}
+
+}  // namespace stash

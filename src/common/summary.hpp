@@ -1,0 +1,87 @@
+// Mergeable summary statistics — the payload of a STASH Cell.
+//
+// A Cell (paper §IV-A, Table I) stores "aggregated summary statistics" for
+// every attribute of the observations that fall inside its spatiotemporal
+// bin.  The statistics must be *mergeable* so that
+//   * a coarse Cell can be synthesised by rolling up its children, and
+//   * partial scans over several storage blocks can be combined.
+// count / min / max / sum / sum-of-squares satisfy this and yield
+// mean / variance / stddev on demand.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace stash {
+
+/// Statistics for a single numeric attribute over a set of observations.
+struct AttributeSummary {
+  std::uint64_t count = 0;
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+  double sum = 0.0;
+  double sum_sq = 0.0;
+
+  void add(double value) noexcept;
+  void merge(const AttributeSummary& other) noexcept;
+
+  [[nodiscard]] bool empty() const noexcept { return count == 0; }
+  [[nodiscard]] double mean() const noexcept;
+  /// Population variance; 0 for fewer than 2 samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+
+  bool operator==(const AttributeSummary&) const = default;
+
+  /// True when the two summaries agree within a relative tolerance —
+  /// merge order perturbs floating-point sums.
+  [[nodiscard]] bool approx_equals(const AttributeSummary& other,
+                                   double rel_tol = 1e-9) const noexcept;
+};
+
+/// Summary over all attributes of a dataset schema, in schema order.
+class Summary {
+ public:
+  Summary() = default;
+  explicit Summary(std::size_t num_attributes) : attrs_(num_attributes) {}
+
+  /// Reassembles a Summary from per-attribute statistics (deserialization).
+  /// All attributes must report the same observation count.
+  [[nodiscard]] static Summary from_attributes(std::vector<AttributeSummary> attrs);
+
+  void add_observation(const double* values, std::size_t n);
+  void merge(const Summary& other);
+
+  [[nodiscard]] std::size_t num_attributes() const noexcept { return attrs_.size(); }
+  [[nodiscard]] std::uint64_t observation_count() const noexcept {
+    return attrs_.empty() ? 0 : attrs_.front().count;
+  }
+  [[nodiscard]] bool empty() const noexcept { return observation_count() == 0; }
+
+  [[nodiscard]] const AttributeSummary& attribute(std::size_t i) const {
+    return attrs_.at(i);
+  }
+  [[nodiscard]] const std::vector<AttributeSummary>& attributes() const noexcept {
+    return attrs_;
+  }
+
+  [[nodiscard]] bool approx_equals(const Summary& other,
+                                   double rel_tol = 1e-9) const noexcept;
+
+  /// In-memory footprint used by the cache-capacity accounting.
+  [[nodiscard]] std::size_t byte_size() const noexcept {
+    return sizeof(Summary) + attrs_.size() * sizeof(AttributeSummary);
+  }
+
+  bool operator==(const Summary&) const = default;
+
+  /// Compact single-line rendering, e.g. for JSON responses and examples.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<AttributeSummary> attrs_;
+};
+
+}  // namespace stash

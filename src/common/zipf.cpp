@@ -1,0 +1,33 @@
+#include "common/zipf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace stash {
+
+ZipfDistribution::ZipfDistribution(std::size_t n, double skew) {
+  if (n == 0) throw std::invalid_argument("ZipfDistribution: n must be > 0");
+  if (skew < 0.0) throw std::invalid_argument("ZipfDistribution: skew must be >= 0");
+  cdf_.resize(n);
+  double accum = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    accum += 1.0 / std::pow(static_cast<double>(k + 1), skew);
+    cdf_[k] = accum;
+  }
+  for (auto& c : cdf_) c /= accum;
+  cdf_.back() = 1.0;  // guard against floating-point shortfall
+}
+
+std::size_t ZipfDistribution::sample(Rng& rng) const {
+  const double u = rng.next_double();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+double ZipfDistribution::pmf(std::size_t k) const {
+  if (k >= cdf_.size()) throw std::out_of_range("ZipfDistribution::pmf");
+  return k == 0 ? cdf_[0] : cdf_[k] - cdf_[k - 1];
+}
+
+}  // namespace stash

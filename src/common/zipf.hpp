@@ -1,0 +1,32 @@
+// Zipf-distributed sampling.
+//
+// The paper (§V-A) notes that the popularity of spatiotemporal regions
+// follows Zipf's law; the hotspot workloads (Fig 6d) concentrate traffic on
+// a few regions.  This sampler draws ranks 1..n with P(k) ∝ 1/k^s.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace stash {
+
+class ZipfDistribution {
+ public:
+  /// n: number of ranks; s: skew exponent (s=0 → uniform, s≈1 classic Zipf).
+  ZipfDistribution(std::size_t n, double skew);
+
+  /// Draws a rank in [0, n). Rank 0 is the most popular.
+  std::size_t sample(Rng& rng) const;
+
+  std::size_t size() const noexcept { return cdf_.size(); }
+
+  /// Probability mass of rank k.
+  double pmf(std::size_t k) const;
+
+ private:
+  std::vector<double> cdf_;  // cumulative probabilities, cdf_.back() == 1
+};
+
+}  // namespace stash

@@ -1,0 +1,31 @@
+// The STASH Cell: minimum unit of data storage (paper §IV-A, Table I).
+//
+// A Cell's three components per Table I:
+//   (a) spatiotemporal labels      -> CellKey (geohash + temporal bin)
+//   (b) aggregated summary stats   -> Summary (count/min/max/sum/sum_sq
+//                                     per attribute)
+//   (c) edge information           -> *derived*, not stored: §IV-D replaces
+//       per-Cell neighbor pointers with "composable vertex discovery
+//       schemes" (see core/edges.hpp), which is why a Cell here is only a
+//       key + payload.
+#pragma once
+
+#include "common/summary.hpp"
+#include "geo/cell_key.hpp"
+
+namespace stash {
+
+struct Cell {
+  CellKey key;
+  Summary summary;
+
+  Cell() = default;
+  Cell(CellKey k, Summary s) : key(k), summary(std::move(s)) {}
+
+  /// In-memory footprint for capacity accounting.
+  [[nodiscard]] std::size_t byte_size() const noexcept {
+    return sizeof(CellKey) + summary.byte_size();
+  }
+};
+
+}  // namespace stash

@@ -1,0 +1,16 @@
+#include "core/chunk.hpp"
+
+namespace stash {
+
+std::vector<ChunkKey> chunk_neighbors(const ChunkKey& key) {
+  std::vector<ChunkKey> out;
+  out.reserve(10);
+  const std::string prefix = key.prefix_str();
+  const TemporalBin bin = key.bin();
+  for (const auto& n : geohash::neighbors(prefix)) out.emplace_back(n, bin);
+  out.emplace_back(prefix, bin.prev());
+  out.emplace_back(prefix, bin.next());
+  return out;
+}
+
+}  // namespace stash

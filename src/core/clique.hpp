@@ -1,0 +1,63 @@
+// Cliques: the unit of hotspot replication (paper §VII-B.2).
+//
+// "We define Cliques as a subgraph of Cells from the STASH graph of a
+// pre-configured size (depth).  For example a Clique of depth 2 would
+// consist of a Cell C_i and all its children Cells ... Cliques are
+// identified by the spatiotemporal label of their topmost parent Cell."
+//
+// Our Cells live in chunks, so a Clique is a root chunk plus the resident
+// chunks of hierarchically finer levels covering the same region, down to
+// `depth` levels.  The hotspotted node picks the top-K Cliques by
+// cumulative freshness whose total size stays within N replicable Cells.
+#pragma once
+
+#include <vector>
+
+#include "core/graph.hpp"
+
+namespace stash {
+
+struct CliqueMember {
+  Resolution res;
+  ChunkKey chunk;
+  std::size_t cell_count = 0;
+};
+
+struct Clique {
+  Resolution root_res;
+  ChunkKey root;  // the identifying spatiotemporal label (§VII-B.2)
+  std::vector<CliqueMember> members;
+  std::size_t cell_count = 0;
+  double freshness = 0.0;  // cumulative, at selection time
+
+  [[nodiscard]] std::string label() const { return root.label(); }
+};
+
+class CliqueSelector {
+ public:
+  explicit CliqueSelector(const StashGraph& graph) : graph_(graph) {}
+
+  /// Builds the Clique rooted at (res, root): the root chunk plus resident
+  /// descendant-level chunks within `depth` hierarchy levels (spatial and
+  /// temporal refinements).
+  [[nodiscard]] Clique build(const Resolution& res, const ChunkKey& root,
+                             int depth, sim::SimTime now) const;
+
+  /// Top Cliques by cumulative freshness: greedily picks non-overlapping
+  /// Cliques until `max_cells` total or `max_cliques` are selected.
+  [[nodiscard]] std::vector<Clique> select_top(sim::SimTime now,
+                                               std::size_t max_cells,
+                                               std::size_t max_cliques,
+                                               int depth) const;
+
+ private:
+  const StashGraph& graph_;
+};
+
+/// Extracts a Clique's Cells from a graph as ready-to-install contributions
+/// — the payload of a Replication Request (§VII-B.4).  Only complete chunks
+/// are shipped: a helper must never serve partial summaries.
+[[nodiscard]] std::vector<ChunkContribution> clique_payload(
+    const StashGraph& graph, const Clique& clique);
+
+}  // namespace stash

@@ -1,0 +1,71 @@
+// STASH configuration knobs.
+//
+// Every threshold the paper calls "configurable" lives here with the value
+// used in its evaluation where one is stated (§VII, §VIII), or a sensible
+// default otherwise.
+#pragma once
+
+#include <cstddef>
+
+#include "sim/clock.hpp"
+
+namespace stash {
+
+struct StashConfig {
+  // --- data layout ---
+  /// Geohash precision of a *chunk*, the granularity at which missing data
+  /// is fetched from disk and residency is tracked in the PLM ("STASH
+  /// consults the PLM to identify and retrieve missing chunks", §IV-D).
+  /// Cells at spatial resolution >= this nest inside chunks; coarser levels
+  /// use the cell's own precision.
+  int chunk_precision = 4;
+
+  // --- cell replacement (§V-C) ---
+  /// Threshold for the total number of Cells allowed in STASH
+  /// ("configurable and limited", §V-C).
+  std::size_t max_cells = 2'000'000;
+  /// Eviction drains to this fraction of max_cells ("till the capacity goes
+  /// below a safe limit").
+  double safe_limit_fraction = 0.8;
+  /// Freshness increment applied to an accessed region (f_inc, §V-C.2).
+  double freshness_increment = 1.0;
+  /// Fraction of f_inc dispersed to the immediate spatiotemporal
+  /// neighborhood of an accessed region.
+  double dispersion_fraction = 0.25;
+  /// Half-life of the freshness time-decay function, in virtual time.
+  sim::SimTime freshness_half_life = 60 * sim::kSecond;
+
+  // --- hotspot autoscaling (§VII) ---
+  /// Pending-request queue length that marks a node hotspotted
+  /// (§VIII-E: "configured to initiate Clique handoff with pending
+  /// requests of over 100").
+  std::size_t hotspot_queue_threshold = 100;
+  /// Clique depth: a Clique of depth d spans the root Cells plus d-1
+  /// descendant levels (§VII-B.2).
+  int clique_depth = 2;
+  /// Maximum number of Cells replicated per handoff (N in §VII-B.2).
+  std::size_t max_replicated_cells = 50'000;
+  /// Maximum Cliques per handoff (K in §VII-B.2).  Must be large enough to
+  /// cover a hot region's chunk footprint: rerouting requires *full*
+  /// replication of a query's region (§VII-C).
+  std::size_t max_cliques_per_handoff = 64;
+  /// Probability of rerouting a fully-replicated query to its helper node
+  /// (§VII-C: "probabilistically rerouted").
+  double reroute_probability = 0.5;
+  /// Cooldown after a handoff before the node may hand off again (§VII-D).
+  sim::SimTime hotspot_cooldown = 30 * sim::kSecond;
+  /// Guest Cliques unused for this long are purged (§VII-D).
+  sim::SimTime guest_ttl = 120 * sim::kSecond;
+  /// Routing-table entries older than this are purged (§VII-D).
+  sim::SimTime routing_ttl = 120 * sim::kSecond;
+  /// A helper node refuses Distress Requests while its guest graph holds
+  /// more cells than this.
+  std::size_t guest_capacity_cells = 500'000;
+
+  [[nodiscard]] std::size_t safe_limit() const noexcept {
+    return static_cast<std::size_t>(static_cast<double>(max_cells) *
+                                    safe_limit_fraction);
+  }
+};
+
+}  // namespace stash

@@ -1,0 +1,59 @@
+#include "core/edges.hpp"
+
+namespace stash::edges {
+
+std::vector<CellKey> hierarchical_parents(const CellKey& key) {
+  std::vector<CellKey> out;
+  const std::string gh = key.geohash_str();
+  const TemporalBin bin = key.bin();
+  const auto s_parent = geohash::parent(gh);
+  const auto t_parent = bin.parent();
+  if (s_parent) out.emplace_back(*s_parent, bin);
+  if (t_parent) out.emplace_back(gh, *t_parent);
+  if (s_parent && t_parent) out.emplace_back(*s_parent, *t_parent);
+  return out;
+}
+
+std::vector<CellKey> spatial_children(const CellKey& key) {
+  std::vector<CellKey> out;
+  const std::string gh = key.geohash_str();
+  if (gh.size() >= static_cast<std::size_t>(geohash::kMaxPrecision)) return out;
+  const TemporalBin bin = key.bin();
+  out.reserve(geohash::kChildrenPerCell);
+  for (const auto& child : geohash::children(gh)) out.emplace_back(child, bin);
+  return out;
+}
+
+std::vector<CellKey> temporal_children(const CellKey& key) {
+  std::vector<CellKey> out;
+  const std::string gh = key.geohash_str();
+  for (const auto& child_bin : key.bin().children()) out.emplace_back(gh, child_bin);
+  return out;
+}
+
+std::vector<CellKey> hierarchical_children(const CellKey& key) {
+  std::vector<CellKey> out = spatial_children(key);
+  const std::string gh = key.geohash_str();
+  const auto t_children = key.bin().children();
+  for (const auto& bin : t_children) out.emplace_back(gh, bin);
+  // Both axes one step finer: each spatial child crossed with each
+  // temporal child.
+  if (gh.size() < static_cast<std::size_t>(geohash::kMaxPrecision)) {
+    for (const auto& child_gh : geohash::children(gh))
+      for (const auto& bin : t_children) out.emplace_back(child_gh, bin);
+  }
+  return out;
+}
+
+std::vector<CellKey> lateral_neighbors(const CellKey& key) {
+  std::vector<CellKey> out;
+  const std::string gh = key.geohash_str();
+  const TemporalBin bin = key.bin();
+  out.reserve(10);
+  for (const auto& n : geohash::neighbors(gh)) out.emplace_back(n, bin);
+  out.emplace_back(gh, bin.prev());
+  out.emplace_back(gh, bin.next());
+  return out;
+}
+
+}  // namespace stash::edges

@@ -1,0 +1,41 @@
+// Edge derivation: the inter-Cell relationships of §IV-B, computed on
+// demand.
+//
+// "STASH provides a set of composable vertex discovery schemes (through
+// hierarchical and linear edge), instead of each Cell storing pointers to
+// all its neighborhood Cells, that reduce the memory requirement and
+// network communications significantly." (§IV-D)
+//
+// Hierarchical edges (E_H): up to 3 parents (one step coarser spatially,
+// temporally, or both) and the matching child sets.  Lateral edges (E_L):
+// the 8 spatial neighbors at equal resolution plus the 2 temporal
+// neighbors (Fig 1).
+#pragma once
+
+#include <vector>
+
+#include "geo/cell_key.hpp"
+
+namespace stash::edges {
+
+/// Hierarchical parents of a Cell: spatial parent, temporal parent,
+/// spatiotemporal parent — whichever exist (paper §IV-B: "Each Cell can
+/// have 3 different parent precisions").
+[[nodiscard]] std::vector<CellKey> hierarchical_parents(const CellKey& key);
+
+/// The spatial children (32 cells, one geohash character finer) at the same
+/// temporal bin; empty at max spatial precision.
+[[nodiscard]] std::vector<CellKey> spatial_children(const CellKey& key);
+
+/// The temporal children (12/28–31/24 bins) at the same geohash; empty at
+/// Hour resolution.
+[[nodiscard]] std::vector<CellKey> temporal_children(const CellKey& key);
+
+/// All hierarchical children one level away on either (or both) axes.
+[[nodiscard]] std::vector<CellKey> hierarchical_children(const CellKey& key);
+
+/// Lateral edges: up to 8 spatial neighbors at the same bin plus the two
+/// temporal neighbors at the same geohash (paper Fig 1).
+[[nodiscard]] std::vector<CellKey> lateral_neighbors(const CellKey& key);
+
+}  // namespace stash::edges

@@ -1,0 +1,37 @@
+// Freshness: the Cell-replacement metric of §V-C.1.
+//
+// "Freshness is calculated as the product of the number of accesses to a
+// Cell (updated every time it gets accessed), and a time decay function.
+// Hence, both frequency and recency of access are contributors."
+//
+// We store (value, last_update) and decay lazily: an entry's effective
+// freshness at time `now` is value * 2^-((now - last_update)/half_life).
+// Touching folds the decay in and adds the increment, so repeated access
+// grows the score (frequency) while idleness shrinks it (recency).
+#pragma once
+
+#include <cmath>
+
+#include "sim/clock.hpp"
+
+namespace stash {
+
+struct Freshness {
+  double value = 0.0;
+  sim::SimTime last_update = 0;
+
+  /// Effective score at `now` under exponential decay.
+  [[nodiscard]] double at(sim::SimTime now, sim::SimTime half_life) const noexcept {
+    if (value == 0.0) return 0.0;
+    const double dt = static_cast<double>(now - last_update);
+    return value * std::exp2(-dt / static_cast<double>(half_life));
+  }
+
+  /// Records an access worth `increment` at `now`.
+  void touch(double increment, sim::SimTime now, sim::SimTime half_life) noexcept {
+    value = at(now, half_life) + increment;
+    last_update = now;
+  }
+};
+
+}  // namespace stash

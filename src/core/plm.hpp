@@ -1,0 +1,75 @@
+// Precision-Level Map (PLM), paper §IV-D.
+//
+// "Across multiple precision levels, STASH relies on the precision-level
+// map (PLM) to check for completeness of the in-memory data.  The PLM is a
+// memory-resident bitmap that associates the Cells contained in-memory for
+// a given level to the actual data blocks in the distributed storage."
+//
+// Concretely: for every level, each resident chunk carries a bitmap with
+// one bit per storage block (= per day) that has contributed its records.
+// A chunk is complete when all its days have contributed; queries fetch
+// only the missing days.  Real-time ingest invalidates the affected days
+// so stale summaries are recomputed (§IV-D, §VII-A).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bitset.hpp"
+#include "core/chunk.hpp"
+#include "geo/resolution.hpp"
+
+namespace stash {
+
+class PrecisionLevelMap {
+ public:
+  /// Marks one storage block (epoch day) of a chunk as contributed.
+  void mark_day(int level, const ChunkKey& chunk, std::int64_t day);
+
+  /// Marks every contributing block of a chunk (after a full-bin scan).
+  void mark_all(int level, const ChunkKey& chunk);
+
+  /// True when every contributing block of the chunk is in memory.
+  [[nodiscard]] bool is_complete(int level, const ChunkKey& chunk) const;
+
+  /// True when the chunk has at least one contribution recorded.
+  [[nodiscard]] bool is_known(int level, const ChunkKey& chunk) const;
+
+  /// Epoch days still missing for a chunk (all of them if unknown).
+  [[nodiscard]] std::vector<std::int64_t> missing_days(int level,
+                                                       const ChunkKey& chunk) const;
+
+  /// Removes a chunk's residency record entirely (on eviction).
+  void erase(int level, const ChunkKey& chunk);
+
+  /// Invalidates one storage block everywhere it contributed: every chunk
+  /// of every level whose prefix lies inside `partition` and whose bin
+  /// covers `day` loses that day bit.  Models a real-time data update
+  /// ("the PLM can be adjusted during an update ... so that stale data
+  /// summaries are recomputed in case of future access").  Returns the
+  /// number of chunks demoted from complete to incomplete.
+  std::size_t invalidate_block(std::string_view partition, std::int64_t day);
+
+  [[nodiscard]] std::size_t chunk_count(int level) const;
+  [[nodiscard]] std::size_t total_chunks() const;
+
+  /// All tracked chunks of a level, for diagnostics and clique selection.
+  template <typename Fn>
+  void for_each_chunk(int level, Fn&& fn) const {
+    for (const auto& [key, bits] : levels_[static_cast<std::size_t>(level)])
+      fn(key, bits);
+  }
+
+ private:
+  using LevelMap = std::unordered_map<ChunkKey, DynamicBitset, ChunkKeyHash>;
+
+  [[nodiscard]] LevelMap& level(int idx);
+  [[nodiscard]] const LevelMap& level(int idx) const;
+
+  std::array<LevelMap, kNumLevels> levels_;
+};
+
+}  // namespace stash

@@ -1,0 +1,32 @@
+// Aggregation queries for visual exploration (paper §II-B).
+//
+// The query a front-end action translates to: "select max(temperature), ...
+// where coordinates in Query_Polygon and time_stamp in Query_Time group by
+// spatial_resolution, temporal_resolution".  Query_Polygon is a lat/lon
+// rectangle; the result is one full-bin Cell per (geohash, temporal-bin)
+// whose bounds intersect the query — tile semantics, so Cells are reusable
+// across overlapping queries (§V-B).
+#pragma once
+
+#include "geo/latlng.hpp"
+#include "geo/resolution.hpp"
+#include "geo/temporal.hpp"
+
+namespace stash {
+
+struct AggregationQuery {
+  BoundingBox area;
+  TimeRange time;
+  Resolution res;
+
+  [[nodiscard]] bool valid() const noexcept {
+    return area.valid() && time.valid() && time.begin < time.end && res.valid();
+  }
+
+  [[nodiscard]] std::string to_string() const {
+    return area.to_string() + " x [" + std::to_string(time.begin) + "," +
+           std::to_string(time.end) + ") @ " + res.to_string();
+  }
+};
+
+}  // namespace stash

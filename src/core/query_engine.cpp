@@ -1,0 +1,255 @@
+#include "core/query_engine.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace stash {
+
+EvalBreakdown& EvalBreakdown::operator+=(const EvalBreakdown& other) noexcept {
+  chunks_total += other.chunks_total;
+  chunks_from_cache += other.chunks_from_cache;
+  chunks_synthesized += other.chunks_synthesized;
+  chunks_scanned += other.chunks_scanned;
+  chunks_missing += other.chunks_missing;
+  cache_probes += other.cache_probes;
+  cells_from_cache += other.cells_from_cache;
+  cells_synthesized += other.cells_synthesized;
+  cells_scanned += other.cells_scanned;
+  synthesis_merges += other.synthesis_merges;
+  scan += other.scan;
+  return *this;
+}
+
+QueryEngine::QueryEngine(StashGraph& graph, const GalileoStore& store)
+    : graph_(graph), store_(store) {}
+
+namespace {
+
+/// Appends `source` cells intersecting box × time into the response.
+void filter_into(const CellSummaryMap& source, const BoundingBox& box,
+                 const TimeRange& time, CellSummaryMap& out) {
+  for (const auto& [key, summary] : source) {
+    if (!key.bounds().intersects(box)) continue;
+    if (!key.time_range().intersects(time)) continue;
+    auto [it, inserted] = out.try_emplace(key, summary);
+    if (!inserted) it->second.merge(summary);
+  }
+}
+
+}  // namespace
+
+std::optional<ChunkContribution> QueryEngine::synthesize(
+    const Resolution& res, const ChunkKey& chunk,
+    EvalBreakdown& breakdown) const {
+  const int chunk_prec = graph_.config().chunk_precision;
+  const std::string prefix = chunk.prefix_str();
+  const TemporalBin bin = chunk.bin();
+
+  // Candidate child levels, spatial first (§V-B roll-up is the common case).
+  struct Candidate {
+    Resolution child_res;
+    std::vector<ChunkKey> child_chunks;
+    bool spatial;  // roll up geohashes (true) or temporal bins (false)
+  };
+  std::vector<Candidate> candidates;
+  if (res.spatial < geohash::kMaxPrecision) {
+    Candidate c{{res.spatial + 1, res.temporal}, {}, true};
+    if (res.spatial < chunk_prec) {
+      // Child chunks are the 32 finer prefixes.
+      for (const auto& child : geohash::children(prefix))
+        c.child_chunks.emplace_back(child, bin);
+    } else {
+      // Chunk precision saturated: the child level shares this chunk key.
+      c.child_chunks.emplace_back(prefix, bin);
+    }
+    candidates.push_back(std::move(c));
+  }
+  if (const auto finer_t = finer(res.temporal)) {
+    Candidate c{{res.spatial, *finer_t}, {}, false};
+    for (const auto& child_bin : bin.children())
+      c.child_chunks.emplace_back(prefix, child_bin);
+    candidates.push_back(std::move(c));
+  }
+
+  for (const auto& candidate : candidates) {
+    // Probe with early exit: the common case (child level absent) must cost
+    // one probe, or the §VIII-C.2 "slightly more than basic" worst case
+    // would balloon.
+    bool all_complete = true;
+    for (const auto& ck : candidate.child_chunks) {
+      ++breakdown.cache_probes;
+      if (!graph_.chunk_complete(candidate.child_res, ck)) {
+        all_complete = false;
+        break;
+      }
+    }
+    if (!all_complete) continue;
+
+    // Roll every child Cell up into its parent at (res).
+    CellSummaryMap rolled;
+    std::size_t merges = 0;
+    for (const auto& child_chunk : candidate.child_chunks) {
+      const auto* data = graph_.find_chunk(candidate.child_res, child_chunk);
+      if (data == nullptr) continue;  // complete but empty region
+      for (const auto& [child_key, summary] : data->cells) {
+        CellKey parent_key =
+            candidate.spatial
+                ? CellKey(*geohash::parent(child_key.geohash_str()),
+                          child_key.bin())
+                : CellKey(child_key.geohash_str(), *child_key.bin().parent());
+        auto [it, inserted] = rolled.try_emplace(parent_key, summary);
+        if (!inserted) it->second.merge(summary);
+        ++merges;
+      }
+    }
+    ChunkContribution out;
+    out.res = res;
+    out.chunk = chunk;
+    out.cells.assign(rolled.begin(), rolled.end());
+    const std::int64_t first = chunk.first_day();
+    for (std::size_t i = 0; i < chunk.day_count(); ++i)
+      out.days.push_back(first + static_cast<std::int64_t>(i));
+    breakdown.synthesis_merges += merges;
+    return out;
+  }
+  return std::nullopt;
+}
+
+Evaluation QueryEngine::evaluate_partition(std::string_view partition,
+                                           const AggregationQuery& query,
+                                           EvalMode mode) const {
+  if (!query.valid())
+    throw std::invalid_argument("QueryEngine: invalid query");
+  if (query.res.spatial < store_.partition_prefix_length())
+    throw std::invalid_argument(
+        "QueryEngine: spatial resolution must be >= the DHT partition prefix "
+        "length (coarser Cells would span storage partitions)");
+
+  Evaluation eval;
+  const BoundingBox clipped =
+      query.area.intersection(geohash::decode(partition));
+  if (!clipped.valid() || !clipped.intersects(query.area)) return eval;
+
+  const int chunk_prec = chunk_spatial_precision(
+      query.res.spatial, graph_.config().chunk_precision);
+  const auto prefixes = geohash::covering(clipped, chunk_prec);
+  const auto bins = temporal_covering(query.time, query.res.temporal);
+  // All chunks of one (partition, day) live in a single block file: disk
+  // seeks are charged per unique day, not per chunk scanned.
+  std::set<std::int64_t> days_scanned;
+
+  for (const auto& prefix : prefixes) {
+    for (const auto& bin : bins) {
+      const ChunkKey chunk(prefix, bin);
+      ++eval.breakdown.chunks_total;
+      eval.touched_chunks.push_back(chunk);
+
+      if (mode != EvalMode::Basic) {
+        ++eval.breakdown.cache_probes;
+        if (graph_.chunk_complete(query.res, chunk)) {
+          eval.breakdown.cells_from_cache += graph_.collect_chunk(
+              query.res, chunk, clipped, query.time, eval.cells);
+          ++eval.breakdown.chunks_from_cache;
+          continue;
+        }
+        // Synthesis only for untouched chunks: merging a rolled-up full
+        // bin over a partial one would double-count contributions.
+        if (!graph_.chunk_known(query.res, chunk)) {
+          if (auto synth = synthesize(query.res, chunk, eval.breakdown)) {
+            CellSummaryMap synth_map(synth->cells.begin(), synth->cells.end());
+            filter_into(synth_map, clipped, query.time, eval.cells);
+            eval.breakdown.cells_synthesized += synth->cells.size();
+            ++eval.breakdown.chunks_synthesized;
+            eval.fetched.push_back(std::move(*synth));
+            continue;
+          }
+        }
+        if (mode == EvalMode::CacheOnly) {
+          ++eval.breakdown.chunks_missing;
+          continue;
+        }
+      }
+
+      // Disk path: merge the resident partial contribution (if any) with a
+      // scan of the missing days.
+      CellSummaryMap local;
+      std::vector<std::int64_t> days;
+      if (mode == EvalMode::Basic) {
+        const std::int64_t first = chunk.first_day();
+        for (std::size_t i = 0; i < chunk.day_count(); ++i)
+          days.push_back(first + static_cast<std::int64_t>(i));
+      } else {
+        eval.breakdown.cells_from_cache +=
+            graph_.collect_chunk(query.res, chunk, clipped, query.time, local);
+        days = graph_.chunk_missing_days(query.res, chunk);
+      }
+
+      ChunkContribution contribution;
+      contribution.res = query.res;
+      contribution.chunk = chunk;
+      contribution.days = days;
+      CellSummaryMap scanned;
+      const BoundingBox chunk_box = chunk.bounds();
+      days_scanned.insert(days.begin(), days.end());
+      for (std::int64_t day : days) {
+        const TimeRange day_range{day * 86400, (day + 1) * 86400};
+        const TimeRange scan_range{
+            std::max(day_range.begin, bin.range().begin),
+            std::min(day_range.end, bin.range().end)};
+        ScanResult part =
+            store_.scan_partition(partition, chunk_box, scan_range, query.res);
+        eval.breakdown.scan += part.stats;
+        for (auto& [key, summary] : part.cells) {
+          auto [it, inserted] = scanned.try_emplace(key, std::move(summary));
+          if (!inserted) it->second.merge(summary);
+        }
+      }
+      eval.breakdown.cells_scanned += scanned.size();
+      ++eval.breakdown.chunks_scanned;
+      contribution.cells.assign(scanned.begin(), scanned.end());
+      if (mode != EvalMode::Basic && !contribution.days.empty())
+        eval.fetched.push_back(std::move(contribution));
+
+      // Response = resident partial + freshly scanned, filtered to query.
+      for (const auto& [key, summary] : scanned) {
+        auto [it, inserted] = local.try_emplace(key, summary);
+        if (!inserted) it->second.merge(summary);
+      }
+      filter_into(local, clipped, query.time, eval.cells);
+    }
+  }
+  eval.breakdown.scan.blocks_touched = days_scanned.size();
+  return eval;
+}
+
+Evaluation QueryEngine::evaluate(const AggregationQuery& query,
+                                 EvalMode mode) const {
+  Evaluation total;
+  for (const auto& partition :
+       geohash::covering(query.area, store_.partition_prefix_length())) {
+    Evaluation part = evaluate_partition(partition, query, mode);
+    total.breakdown += part.breakdown;
+    for (auto& [key, summary] : part.cells) {
+      auto [it, inserted] = total.cells.try_emplace(key, std::move(summary));
+      if (!inserted) it->second.merge(summary);
+    }
+    std::move(part.fetched.begin(), part.fetched.end(),
+              std::back_inserter(total.fetched));
+    std::move(part.touched_chunks.begin(), part.touched_chunks.end(),
+              std::back_inserter(total.touched_chunks));
+  }
+  return total;
+}
+
+MaintenanceStats QueryEngine::absorb(const Evaluation& eval,
+                                     const Resolution& res, sim::SimTime now) {
+  MaintenanceStats stats;
+  for (const auto& contribution : eval.fetched)
+    stats.cells_absorbed += graph_.absorb(contribution, now);
+  stats.freshness_updates = graph_.touch_region(res, eval.touched_chunks, now);
+  stats.cells_evicted = graph_.evict_if_needed(now);
+  return stats;
+}
+
+}  // namespace stash

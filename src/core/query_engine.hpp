@@ -1,0 +1,96 @@
+// Query evaluation strategy (paper §IV-D, §V-B).
+//
+// "Any subsequent query will be evaluated over the cached values first.
+// Disk access is required only if (a) there are missing values for
+// completing query evaluation, and (b) those missing values are not
+// available by computing from the existing cached values."
+//
+// The engine realises that contract per chunk:
+//   1. PLM says complete      -> serve from the graph (cache hit),
+//   2. children levels resident -> synthesize by roll-up (no disk),
+//   3. otherwise              -> scan only the missing days from Galileo.
+// Fetched/synthesized Cells are returned for the background maintenance
+// pass (absorb), which populates the graph "in a separate thread" (§VIII-C.2)
+// so response latency excludes population cost (Fig 6c measures it).
+#pragma once
+
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "core/graph.hpp"
+#include "core/query.hpp"
+#include "storage/galileo_store.hpp"
+
+namespace stash {
+
+enum class EvalMode {
+  Basic,      // no cache at all: every chunk scans disk (the "no STASH" system)
+  Cached,     // cache first, synthesis second, disk for the remainder
+  CacheOnly,  // guest-graph mode: never touch disk; misses are reported
+};
+
+struct EvalBreakdown {
+  std::size_t chunks_total = 0;
+  std::size_t chunks_from_cache = 0;
+  std::size_t chunks_synthesized = 0;
+  std::size_t chunks_scanned = 0;
+  std::size_t chunks_missing = 0;  // CacheOnly misses
+  std::size_t cache_probes = 0;
+  std::size_t cells_from_cache = 0;
+  std::size_t cells_synthesized = 0;
+  std::size_t cells_scanned = 0;
+  std::size_t synthesis_merges = 0;
+  ScanStats scan;
+
+  EvalBreakdown& operator+=(const EvalBreakdown& other) noexcept;
+};
+
+struct Evaluation {
+  CellSummaryMap cells;                    // the response payload
+  EvalBreakdown breakdown;
+  std::vector<ChunkContribution> fetched;  // for the maintenance pass
+  std::vector<ChunkKey> touched_chunks;    // freshness region of this query
+};
+
+struct MaintenanceStats {
+  std::size_t cells_absorbed = 0;
+  std::size_t freshness_updates = 0;
+  std::size_t cells_evicted = 0;
+};
+
+class QueryEngine {
+ public:
+  QueryEngine(StashGraph& graph, const GalileoStore& store);
+
+  /// Evaluates the part of `query` that falls inside one DHT partition —
+  /// what a storage node executes for its subquery.
+  [[nodiscard]] Evaluation evaluate_partition(std::string_view partition,
+                                              const AggregationQuery& query,
+                                              EvalMode mode = EvalMode::Cached) const;
+
+  /// Whole-query evaluation across every partition the area touches
+  /// (single-process / library use).
+  [[nodiscard]] Evaluation evaluate(const AggregationQuery& query,
+                                    EvalMode mode = EvalMode::Cached) const;
+
+  /// Maintenance pass: absorbs fetched Cells into the graph, updates
+  /// freshness with neighborhood dispersion, and evicts if over capacity.
+  MaintenanceStats absorb(const Evaluation& eval, const Resolution& res,
+                          sim::SimTime now);
+
+  [[nodiscard]] StashGraph& graph() noexcept { return graph_; }
+  [[nodiscard]] const GalileoStore& store() const noexcept { return store_; }
+
+ private:
+  /// Tries to roll the chunk up from a fully-resident child level;
+  /// nullopt when no child level can cover it.
+  [[nodiscard]] std::optional<ChunkContribution> synthesize(
+      const Resolution& res, const ChunkKey& chunk,
+      EvalBreakdown& breakdown) const;
+
+  StashGraph& graph_;
+  const GalileoStore& store_;
+};
+
+}  // namespace stash

@@ -1,0 +1,53 @@
+#include "core/routing_table.hpp"
+
+namespace stash {
+
+void RoutingTable::add(const Resolution& res, const ChunkKey& chunk,
+                       NodeId helper, sim::SimTime now) {
+  entries_[Key{level_index(res), chunk}] = Entry{helper, now};
+}
+
+std::optional<NodeId> RoutingTable::lookup(const Resolution& res,
+                                           const std::vector<ChunkKey>& chunks,
+                                           sim::SimTime now,
+                                           sim::SimTime ttl) const {
+  if (chunks.empty() || entries_.empty()) return std::nullopt;
+  std::optional<NodeId> helper;
+  const int level = level_index(res);
+  for (const auto& chunk : chunks) {
+    const auto it = entries_.find(Key{level, chunk});
+    if (it == entries_.end()) return std::nullopt;
+    if (now - it->second.replicated_at > ttl) return std::nullopt;
+    if (helper.has_value() && *helper != it->second.helper) return std::nullopt;
+    helper = it->second.helper;
+  }
+  return helper;
+}
+
+std::size_t RoutingTable::purge(sim::SimTime now, sim::SimTime ttl) {
+  std::size_t purged = 0;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (now - it->second.replicated_at > ttl) {
+      it = entries_.erase(it);
+      ++purged;
+    } else {
+      ++it;
+    }
+  }
+  return purged;
+}
+
+std::size_t RoutingTable::drop_helper(NodeId helper) {
+  std::size_t dropped = 0;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->second.helper == helper) {
+      it = entries_.erase(it);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  return dropped;
+}
+
+}  // namespace stash

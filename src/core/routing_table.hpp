@@ -1,0 +1,72 @@
+// Routing table for replicated Cliques (paper §VII-B.5, §VII-C).
+//
+// "The hotspotted node maintains a routing table of Cliques that are
+// replicated at helper nodes, along with a bitmap of the actual Cells
+// contained in the Clique. ... a user query is first checked against
+// entries in the routing table and if the spatiotemporal region of the
+// user query is found to be fully replicated at another helper node, the
+// user request is probabilistically rerouted."
+//
+// We key entries by (level, chunk) — the granularity at which queries are
+// planned — so "fully replicated" is an exact all-chunks-present check.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/chunk.hpp"
+#include "dht/partitioner.hpp"
+#include "geo/resolution.hpp"
+#include "sim/clock.hpp"
+
+namespace stash {
+
+class RoutingTable {
+ public:
+  /// Registers a replicated chunk at `helper` (on Replication Response).
+  void add(const Resolution& res, const ChunkKey& chunk, NodeId helper,
+           sim::SimTime now);
+
+  /// Helper node holding *all* of the query's chunks, if one exists and no
+  /// entry is older than `ttl`.  Entries from different helpers do not
+  /// combine: a reroute targets a single node.
+  [[nodiscard]] std::optional<NodeId> lookup(const Resolution& res,
+                                             const std::vector<ChunkKey>& chunks,
+                                             sim::SimTime now,
+                                             sim::SimTime ttl) const;
+
+  /// Drops entries older than `ttl` ("stale routing-table entries also get
+  /// purged ... signifying the retreat of hotspot", §VII-D).  Returns the
+  /// number purged.
+  std::size_t purge(sim::SimTime now, sim::SimTime ttl);
+
+  /// Drops every entry pointing at `helper` (e.g. helper purged its guests).
+  std::size_t drop_helper(NodeId helper);
+
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return entries_.empty(); }
+
+ private:
+  struct Key {
+    int level;
+    ChunkKey chunk;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    [[nodiscard]] std::size_t operator()(const Key& k) const noexcept {
+      std::uint64_t h = ChunkKeyHash{}(k.chunk);
+      hash_combine(h, static_cast<std::uint64_t>(k.level));
+      return static_cast<std::size_t>(h);
+    }
+  };
+  struct Entry {
+    NodeId helper;
+    sim::SimTime replicated_at;
+  };
+
+  std::unordered_map<Key, Entry, KeyHash> entries_;
+};
+
+}  // namespace stash

@@ -1,0 +1,58 @@
+#include "dht/partitioner.hpp"
+
+#include <stdexcept>
+
+#include "common/hash.hpp"
+#include "geo/geohash.hpp"
+
+namespace stash {
+
+ZeroHopDht::ZeroHopDht(std::uint32_t num_nodes, int prefix_length)
+    : num_nodes_(num_nodes), prefix_length_(prefix_length) {
+  if (num_nodes == 0) throw std::invalid_argument("ZeroHopDht: need >= 1 node");
+  if (prefix_length < 1 || prefix_length > geohash::kMaxPrecision)
+    throw std::invalid_argument("ZeroHopDht: bad prefix length");
+}
+
+std::string ZeroHopDht::partition_key(std::string_view gh) const {
+  if (gh.size() < static_cast<std::size_t>(prefix_length_))
+    throw std::invalid_argument(
+        "ZeroHopDht::partition_key: geohash shorter than the partition prefix");
+  return std::string(gh.substr(0, static_cast<std::size_t>(prefix_length_)));
+}
+
+NodeId ZeroHopDht::node_for(std::string_view gh) const {
+  return node_for_partition(
+      gh.substr(0, static_cast<std::size_t>(prefix_length_)));
+}
+
+NodeId ZeroHopDht::node_for_partition(std::string_view partition) const {
+  if (partition.size() != static_cast<std::size_t>(prefix_length_))
+    throw std::invalid_argument("ZeroHopDht::node_for_partition: bad key length");
+  return static_cast<NodeId>(mix64(fnv1a(partition)) % num_nodes_);
+}
+
+NodeId ZeroHopDht::node_for_point(const LatLng& point) const {
+  return node_for(geohash::encode(point, prefix_length_));
+}
+
+std::vector<std::string> ZeroHopDht::partitions_of(NodeId node) const {
+  std::vector<std::string> out;
+  for (auto& key : all_partitions())
+    if (node_for_partition(key) == node) out.push_back(std::move(key));
+  return out;
+}
+
+std::vector<std::string> ZeroHopDht::all_partitions() const {
+  std::vector<std::string> keys{""};
+  for (int round = 0; round < prefix_length_; ++round) {
+    std::vector<std::string> next;
+    next.reserve(keys.size() * 32);
+    for (const auto& k : keys)
+      for (char c : geohash::kAlphabet) next.push_back(k + c);
+    keys = std::move(next);
+  }
+  return keys;
+}
+
+}  // namespace stash

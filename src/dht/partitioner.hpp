@@ -1,0 +1,55 @@
+// Zero-hop DHT partitioner (Galileo-style, paper §VI-C).
+//
+// "Galileo is a zero-hop Distributed Hash Table based storage system that
+// uses Geohash to generate data partitions that store and colocate
+// geospatially proximate data points."  Every node knows the full
+// key-range → node mapping, so locating the owner of any geohash is a
+// single local computation: O(1), at most one query forwarding (§IV-D).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "geo/latlng.hpp"
+
+namespace stash {
+
+using NodeId = std::uint32_t;
+
+class ZeroHopDht {
+ public:
+  /// `num_nodes` cluster members; `prefix_length` characters of the geohash
+  /// form the partition key (paper §VIII-A: "partitioned uniformly over the
+  /// cluster based on the first 2 characters of their Geohash").
+  ZeroHopDht(std::uint32_t num_nodes, int prefix_length = 2);
+
+  [[nodiscard]] std::uint32_t num_nodes() const noexcept { return num_nodes_; }
+  [[nodiscard]] int prefix_length() const noexcept { return prefix_length_; }
+
+  /// Partition key (geohash prefix) that owns a geohash. The geohash must be
+  /// at least prefix_length characters long.
+  [[nodiscard]] std::string partition_key(std::string_view gh) const;
+
+  /// Owner node of a geohash (any precision >= prefix_length).
+  [[nodiscard]] NodeId node_for(std::string_view gh) const;
+
+  /// Owner node of a partition key (exactly prefix_length characters).
+  [[nodiscard]] NodeId node_for_partition(std::string_view partition) const;
+
+  /// Owner node of a raw point.
+  [[nodiscard]] NodeId node_for_point(const LatLng& point) const;
+
+  /// All partition keys owned by a node (for inventory / rebalance tooling).
+  [[nodiscard]] std::vector<std::string> partitions_of(NodeId node) const;
+
+  /// Every partition key in the keyspace (32^prefix_length entries).
+  [[nodiscard]] std::vector<std::string> all_partitions() const;
+
+ private:
+  std::uint32_t num_nodes_;
+  int prefix_length_;
+};
+
+}  // namespace stash

@@ -1,0 +1,266 @@
+#include "geo/geohash.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace stash::geohash {
+namespace {
+
+/// Reverse alphabet lookup: character -> value 0..31, or -1.
+constexpr std::array<int, 128> build_reverse_table() {
+  std::array<int, 128> table{};
+  for (auto& v : table) v = -1;
+  for (int i = 0; i < 32; ++i)
+    table[static_cast<std::size_t>(kAlphabet[static_cast<std::size_t>(i)])] = i;
+  return table;
+}
+constexpr auto kReverse = build_reverse_table();
+
+int char_value(char c) {
+  const auto uc = static_cast<unsigned char>(c);
+  const int v = uc < 128 ? kReverse[uc] : -1;
+  if (v < 0) throw std::invalid_argument("geohash: invalid character");
+  return v;
+}
+
+void check_valid(std::string_view gh) {
+  if (!is_valid(gh)) throw std::invalid_argument("geohash: malformed hash");
+}
+
+/// Number of longitude / latitude bits at a precision (bits alternate
+/// starting with longitude).
+constexpr int lng_bits(int precision) noexcept { return (5 * precision + 1) / 2; }
+constexpr int lat_bits(int precision) noexcept { return (5 * precision) / 2; }
+
+}  // namespace
+
+bool is_valid(std::string_view gh) noexcept {
+  if (gh.empty() || gh.size() > static_cast<std::size_t>(kMaxPrecision))
+    return false;
+  for (char c : gh) {
+    const auto uc = static_cast<unsigned char>(c);
+    if (uc >= 128 || kReverse[uc] < 0) return false;
+  }
+  return true;
+}
+
+std::string encode(const LatLng& point, int precision) {
+  if (precision < 1 || precision > kMaxPrecision)
+    throw std::invalid_argument("geohash::encode: precision out of range");
+  if (point.lat < -90.0 || point.lat > 90.0 || point.lng < -180.0 ||
+      point.lng > 180.0)
+    throw std::invalid_argument("geohash::encode: point out of range");
+
+  double lat_lo = -90.0, lat_hi = 90.0;
+  double lng_lo = -180.0, lng_hi = 180.0;
+  std::string out;
+  out.reserve(static_cast<std::size_t>(precision));
+  bool even = true;  // even bit positions refine longitude
+  int bit = 0;
+  int value = 0;
+  while (out.size() < static_cast<std::size_t>(precision)) {
+    if (even) {
+      const double mid = (lng_lo + lng_hi) / 2.0;
+      if (point.lng >= mid) {
+        value = value * 2 + 1;
+        lng_lo = mid;
+      } else {
+        value *= 2;
+        lng_hi = mid;
+      }
+    } else {
+      const double mid = (lat_lo + lat_hi) / 2.0;
+      if (point.lat >= mid) {
+        value = value * 2 + 1;
+        lat_lo = mid;
+      } else {
+        value *= 2;
+        lat_hi = mid;
+      }
+    }
+    even = !even;
+    if (++bit == 5) {
+      out.push_back(kAlphabet[static_cast<std::size_t>(value)]);
+      bit = 0;
+      value = 0;
+    }
+  }
+  return out;
+}
+
+BoundingBox decode(std::string_view gh) {
+  check_valid(gh);
+  double lat_lo = -90.0, lat_hi = 90.0;
+  double lng_lo = -180.0, lng_hi = 180.0;
+  bool even = true;
+  for (char c : gh) {
+    const int value = char_value(c);
+    for (int b = 4; b >= 0; --b) {
+      const int bit = (value >> b) & 1;
+      if (even) {
+        const double mid = (lng_lo + lng_hi) / 2.0;
+        (bit != 0 ? lng_lo : lng_hi) = mid;
+      } else {
+        const double mid = (lat_lo + lat_hi) / 2.0;
+        (bit != 0 ? lat_lo : lat_hi) = mid;
+      }
+      even = !even;
+    }
+  }
+  return {lat_lo, lat_hi, lng_lo, lng_hi};
+}
+
+LatLng decode_center(std::string_view gh) { return decode(gh).center(); }
+
+double cell_width_deg(int precision) noexcept {
+  return 360.0 / std::exp2(lng_bits(precision));
+}
+
+double cell_height_deg(int precision) noexcept {
+  return 180.0 / std::exp2(lat_bits(precision));
+}
+
+std::optional<std::string> parent(std::string_view gh) {
+  check_valid(gh);
+  if (gh.size() == 1) return std::nullopt;
+  return std::string(gh.substr(0, gh.size() - 1));
+}
+
+std::vector<std::string> children(std::string_view gh) {
+  check_valid(gh);
+  if (gh.size() >= static_cast<std::size_t>(kMaxPrecision))
+    throw std::invalid_argument("geohash::children: already at max precision");
+  std::vector<std::string> out;
+  out.reserve(kChildrenPerCell);
+  for (char c : kAlphabet) {
+    std::string child(gh);
+    child.push_back(c);
+    out.push_back(std::move(child));
+  }
+  return out;
+}
+
+std::optional<std::string> neighbor(std::string_view gh, Direction dir) {
+  const BoundingBox box = decode(gh);
+  const LatLng c = box.center();
+  double dlat = 0.0;
+  double dlng = 0.0;
+  switch (dir) {
+    case Direction::N: dlat = 1; break;
+    case Direction::NE: dlat = 1; dlng = 1; break;
+    case Direction::E: dlng = 1; break;
+    case Direction::SE: dlat = -1; dlng = 1; break;
+    case Direction::S: dlat = -1; break;
+    case Direction::SW: dlat = -1; dlng = -1; break;
+    case Direction::W: dlng = -1; break;
+    case Direction::NW: dlat = 1; dlng = -1; break;
+  }
+  double lat = c.lat + dlat * box.height();
+  if (lat > 90.0 || lat < -90.0) return std::nullopt;  // would cross a pole
+  double lng = c.lng + dlng * box.width();
+  if (lng >= 180.0) lng -= 360.0;
+  if (lng < -180.0) lng += 360.0;
+  return encode({lat, lng}, static_cast<int>(gh.size()));
+}
+
+std::vector<std::string> neighbors(std::string_view gh) {
+  std::vector<std::string> out;
+  out.reserve(8);
+  for (Direction d : kAllDirections)
+    if (auto n = neighbor(gh, d)) out.push_back(std::move(*n));
+  return out;
+}
+
+std::string antipode(std::string_view gh) {
+  const LatLng c = decode_center(gh);
+  double lng = c.lng + 180.0;
+  if (lng >= 180.0) lng -= 360.0;
+  return encode({-c.lat, lng}, static_cast<int>(gh.size()));
+}
+
+namespace {
+
+struct IndexRange {
+  std::int64_t lo = 0;
+  std::int64_t hi = -1;  // inclusive; empty when hi < lo
+  [[nodiscard]] std::int64_t count() const noexcept {
+    return hi < lo ? 0 : hi - lo + 1;
+  }
+};
+
+/// Grid cells (size `step`, origin `origin`) whose interior intersects
+/// [min, max], clamped to `max_index` cells.
+IndexRange grid_range(double min, double max, double origin, double step,
+                      std::int64_t max_index) {
+  IndexRange r;
+  r.lo = static_cast<std::int64_t>(std::floor((min - origin) / step));
+  // Cell r.lo must have its top strictly above `min` to share interior.
+  if (origin + static_cast<double>(r.lo + 1) * step <= min) ++r.lo;
+  r.hi = static_cast<std::int64_t>(std::floor((max - origin) / step));
+  // Cell r.hi must have its bottom strictly below `max`.
+  if (origin + static_cast<double>(r.hi) * step >= max) --r.hi;
+  r.lo = std::max<std::int64_t>(r.lo, 0);
+  r.hi = std::min<std::int64_t>(r.hi, max_index - 1);
+  return r;
+}
+
+}  // namespace
+
+std::vector<std::string> covering(const BoundingBox& box, int precision) {
+  if (precision < 1 || precision > kMaxPrecision)
+    throw std::invalid_argument("geohash::covering: precision out of range");
+  if (!box.valid()) throw std::invalid_argument("geohash::covering: bad box");
+  const double h = cell_height_deg(precision);
+  const double w = cell_width_deg(precision);
+  const auto lat_cells = static_cast<std::int64_t>(std::llround(180.0 / h));
+  const auto lng_cells = static_cast<std::int64_t>(std::llround(360.0 / w));
+  const IndexRange lat_r = grid_range(box.lat_min, box.lat_max, -90.0, h, lat_cells);
+  const IndexRange lng_r = grid_range(box.lng_min, box.lng_max, -180.0, w, lng_cells);
+
+  std::vector<std::string> out;
+  out.reserve(static_cast<std::size_t>(lat_r.count() * lng_r.count()));
+  for (std::int64_t i = lat_r.lo; i <= lat_r.hi; ++i) {
+    const double lat = -90.0 + (static_cast<double>(i) + 0.5) * h;
+    for (std::int64_t j = lng_r.lo; j <= lng_r.hi; ++j) {
+      const double lng = -180.0 + (static_cast<double>(j) + 0.5) * w;
+      out.push_back(encode({lat, lng}, precision));
+    }
+  }
+  return out;
+}
+
+std::size_t covering_size(const BoundingBox& box, int precision) {
+  if (precision < 1 || precision > kMaxPrecision)
+    throw std::invalid_argument("geohash::covering_size: precision out of range");
+  if (!box.valid()) throw std::invalid_argument("geohash::covering_size: bad box");
+  const double h = cell_height_deg(precision);
+  const double w = cell_width_deg(precision);
+  const auto lat_cells = static_cast<std::int64_t>(std::llround(180.0 / h));
+  const auto lng_cells = static_cast<std::int64_t>(std::llround(360.0 / w));
+  const IndexRange lat_r = grid_range(box.lat_min, box.lat_max, -90.0, h, lat_cells);
+  const IndexRange lng_r = grid_range(box.lng_min, box.lng_max, -180.0, w, lng_cells);
+  return static_cast<std::size_t>(lat_r.count()) *
+         static_cast<std::size_t>(lng_r.count());
+}
+
+std::uint64_t pack(std::string_view gh) {
+  check_valid(gh);
+  std::uint64_t bits = 0;
+  for (char c : gh) bits = (bits << 5) | static_cast<std::uint64_t>(char_value(c));
+  return (static_cast<std::uint64_t>(gh.size()) << 60) | bits;
+}
+
+std::string unpack(std::uint64_t packed) {
+  const auto len = static_cast<std::size_t>(packed >> 60);
+  if (len == 0 || len > static_cast<std::size_t>(kMaxPrecision))
+    throw std::invalid_argument("geohash::unpack: bad length nibble");
+  std::string out(len, '0');
+  std::uint64_t bits = packed & ((1ULL << 60) - 1);
+  for (std::size_t i = len; i-- > 0;) {
+    out[i] = kAlphabet[static_cast<std::size_t>(bits & 31)];
+    bits >>= 5;
+  }
+  return out;
+}
+
+}  // namespace stash::geohash

@@ -1,0 +1,45 @@
+#include "geo/latlng.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace stash {
+
+BoundingBox BoundingBox::translated(double dlat, double dlng) const noexcept {
+  BoundingBox out{lat_min + dlat, lat_max + dlat, lng_min + dlng, lng_max + dlng};
+  // Clamp by shifting back inside the globe, preserving size.
+  if (out.lat_min < -90.0) {
+    out.lat_max += -90.0 - out.lat_min;
+    out.lat_min = -90.0;
+  }
+  if (out.lat_max > 90.0) {
+    out.lat_min -= out.lat_max - 90.0;
+    out.lat_max = 90.0;
+  }
+  if (out.lng_min < -180.0) {
+    out.lng_max += -180.0 - out.lng_min;
+    out.lng_min = -180.0;
+  }
+  if (out.lng_max > 180.0) {
+    out.lng_min -= out.lng_max - 180.0;
+    out.lng_max = 180.0;
+  }
+  return out;
+}
+
+BoundingBox BoundingBox::scaled(double factor) const noexcept {
+  const double linear = std::sqrt(factor);
+  const LatLng c = center();
+  const double h = height() * linear / 2.0;
+  const double w = width() * linear / 2.0;
+  return {c.lat - h, c.lat + h, c.lng - w, c.lng + w};
+}
+
+std::string BoundingBox::to_string() const {
+  std::ostringstream out;
+  out << "[" << lat_min << "," << lat_max << "]x[" << lng_min << "," << lng_max
+      << "]";
+  return out.str();
+}
+
+}  // namespace stash

@@ -1,0 +1,79 @@
+// Geographic primitives: points and bounding boxes.
+//
+// Query_Polygon in the paper is always a lat/lon rectangle (§VIII-A uses
+// "a random rectangle over the data's entire spatial coverage"), so an
+// axis-aligned BoundingBox is the spatial query primitive.
+#pragma once
+
+#include <algorithm>
+#include <string>
+
+namespace stash {
+
+struct LatLng {
+  double lat = 0.0;  // degrees, [-90, 90]
+  double lng = 0.0;  // degrees, [-180, 180)
+
+  bool operator==(const LatLng&) const = default;
+};
+
+/// Axis-aligned geographic rectangle [lat_min,lat_max] × [lng_min,lng_max].
+/// Longitude wrap-around is not modelled: the NAM-like dataset and all
+/// paper workloads live well inside (-180, 180).
+struct BoundingBox {
+  double lat_min = 0.0;
+  double lat_max = 0.0;
+  double lng_min = 0.0;
+  double lng_max = 0.0;
+
+  [[nodiscard]] static BoundingBox whole_world() noexcept {
+    return {-90.0, 90.0, -180.0, 180.0};
+  }
+
+  [[nodiscard]] bool valid() const noexcept {
+    return lat_min <= lat_max && lng_min <= lng_max;
+  }
+
+  [[nodiscard]] double height() const noexcept { return lat_max - lat_min; }
+  [[nodiscard]] double width() const noexcept { return lng_max - lng_min; }
+  [[nodiscard]] double area() const noexcept { return height() * width(); }
+
+  [[nodiscard]] LatLng center() const noexcept {
+    return {(lat_min + lat_max) / 2.0, (lng_min + lng_max) / 2.0};
+  }
+
+  [[nodiscard]] bool contains(const LatLng& p) const noexcept {
+    return p.lat >= lat_min && p.lat <= lat_max && p.lng >= lng_min &&
+           p.lng <= lng_max;
+  }
+
+  [[nodiscard]] bool contains(const BoundingBox& other) const noexcept {
+    return other.lat_min >= lat_min && other.lat_max <= lat_max &&
+           other.lng_min >= lng_min && other.lng_max <= lng_max;
+  }
+
+  /// Open intersection test: boxes sharing only a boundary do not intersect.
+  /// This is what cell-covering wants — a query rectangle that merely
+  /// touches a geohash cell's edge contains none of its interior.
+  [[nodiscard]] bool intersects(const BoundingBox& other) const noexcept {
+    return lat_min < other.lat_max && other.lat_min < lat_max &&
+           lng_min < other.lng_max && other.lng_min < lng_max;
+  }
+
+  [[nodiscard]] BoundingBox intersection(const BoundingBox& other) const noexcept {
+    return {std::max(lat_min, other.lat_min), std::min(lat_max, other.lat_max),
+            std::max(lng_min, other.lng_min), std::min(lng_max, other.lng_max)};
+  }
+
+  /// Translates the box by (dlat, dlng) degrees, clamping to the globe.
+  [[nodiscard]] BoundingBox translated(double dlat, double dlng) const noexcept;
+
+  /// Shrinks the box around its center so that the area scales by `factor`.
+  [[nodiscard]] BoundingBox scaled(double factor) const noexcept;
+
+  [[nodiscard]] std::string to_string() const;
+
+  bool operator==(const BoundingBox&) const = default;
+};
+
+}  // namespace stash

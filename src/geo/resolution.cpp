@@ -1,0 +1,25 @@
+#include "geo/resolution.hpp"
+
+namespace stash {
+
+std::vector<Resolution> parent_resolutions(const Resolution& r) {
+  std::vector<Resolution> out;
+  const bool has_s = r.spatial > 1;
+  const auto t_up = coarser(r.temporal);
+  if (has_s) out.push_back({r.spatial - 1, r.temporal});
+  if (t_up) out.push_back({r.spatial, *t_up});
+  if (has_s && t_up) out.push_back({r.spatial - 1, *t_up});
+  return out;
+}
+
+std::vector<Resolution> child_resolutions(const Resolution& r) {
+  std::vector<Resolution> out;
+  const bool has_s = r.spatial < geohash::kMaxPrecision;
+  const auto t_down = finer(r.temporal);
+  if (has_s) out.push_back({r.spatial + 1, r.temporal});
+  if (t_down) out.push_back({r.spatial, *t_down});
+  if (has_s && t_down) out.push_back({r.spatial + 1, *t_down});
+  return out;
+}
+
+}  // namespace stash

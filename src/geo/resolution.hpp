@@ -1,0 +1,56 @@
+// Combined spatiotemporal resolution and the STASH level index.
+//
+// Paper §IV-C: "The graph level for a given spatiotemporal resolution is
+// calculated as (n_j * n_t + n_i) where n_s and n_t are the total possible
+// spatial and temporal resolutions ... and n_i and n_j are the current
+// spatial and temporal resolution."  We realise that as
+//     level = temporal_index * kMaxSpatialPrecision + (spatial - 1)
+// so each (spatial, temporal) pair maps to a unique level, and levels that
+// differ by one spatial or one temporal step are exactly the "3 different
+// parent precisions" of §IV-B.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "geo/geohash.hpp"
+#include "geo/temporal.hpp"
+
+namespace stash {
+
+struct Resolution {
+  int spatial = 6;                            // geohash precision, 1..12
+  TemporalRes temporal = TemporalRes::Day;
+
+  [[nodiscard]] bool valid() const noexcept {
+    return spatial >= 1 && spatial <= geohash::kMaxPrecision;
+  }
+
+  [[nodiscard]] std::string to_string() const {
+    return "s" + std::to_string(spatial) + "/" + stash::to_string(temporal);
+  }
+
+  bool operator==(const Resolution&) const = default;
+};
+
+inline constexpr int kNumLevels = geohash::kMaxPrecision * kNumTemporalRes;
+
+/// Unique level index in [0, kNumLevels).
+[[nodiscard]] constexpr int level_index(const Resolution& r) noexcept {
+  return static_cast<int>(r.temporal) * geohash::kMaxPrecision + (r.spatial - 1);
+}
+
+[[nodiscard]] constexpr Resolution resolution_of_level(int level) noexcept {
+  return Resolution{level % geohash::kMaxPrecision + 1,
+                    static_cast<TemporalRes>(level / geohash::kMaxPrecision)};
+}
+
+/// The up-to-3 parent resolutions: one step coarser spatially, temporally,
+/// and both (paper §IV-B).
+[[nodiscard]] std::vector<Resolution> parent_resolutions(const Resolution& r);
+
+/// The up-to-3 child resolutions (one step finer on each axis / both).
+[[nodiscard]] std::vector<Resolution> child_resolutions(const Resolution& r);
+
+}  // namespace stash

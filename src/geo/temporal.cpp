@@ -1,0 +1,196 @@
+#include "geo/temporal.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace stash {
+
+std::string to_string(TemporalRes res) {
+  switch (res) {
+    case TemporalRes::Year: return "Year";
+    case TemporalRes::Month: return "Month";
+    case TemporalRes::Day: return "Day";
+    case TemporalRes::Hour: return "Hour";
+  }
+  return "?";
+}
+
+std::optional<TemporalRes> coarser(TemporalRes res) noexcept {
+  if (res == TemporalRes::Year) return std::nullopt;
+  return static_cast<TemporalRes>(static_cast<std::uint8_t>(res) - 1);
+}
+
+std::optional<TemporalRes> finer(TemporalRes res) noexcept {
+  if (res == TemporalRes::Hour) return std::nullopt;
+  return static_cast<TemporalRes>(static_cast<std::uint8_t>(res) + 1);
+}
+
+TemporalBin::TemporalBin(TemporalRes res, int year, int month, int day, int hour)
+    : year_(static_cast<std::int16_t>(year)),
+      month_(static_cast<std::int8_t>(month)),
+      day_(static_cast<std::int8_t>(day)),
+      hour_(static_cast<std::int8_t>(hour)),
+      res_(res) {
+  const bool month_used = res >= TemporalRes::Month;
+  const bool day_used = res >= TemporalRes::Day;
+  const bool hour_used = res >= TemporalRes::Hour;
+  if (year < 0 || year > 16000) throw std::invalid_argument("TemporalBin: bad year");
+  if (month < 1 || month > 12 || (!month_used && month != 1))
+    throw std::invalid_argument("TemporalBin: bad month");
+  if (day < 1 || (!day_used && day != 1) ||
+      (day_used && day > days_in_month(year, month)))
+    throw std::invalid_argument("TemporalBin: bad day");
+  if (hour < 0 || hour > 23 || (!hour_used && hour != 0))
+    throw std::invalid_argument("TemporalBin: bad hour");
+}
+
+TemporalBin TemporalBin::of_timestamp(std::int64_t ts, TemporalRes res) {
+  const CivilDateTime dt = civil_from_unix_seconds(ts);
+  switch (res) {
+    case TemporalRes::Year: return TemporalBin(res, dt.date.year);
+    case TemporalRes::Month: return TemporalBin(res, dt.date.year, dt.date.month);
+    case TemporalRes::Day:
+      return TemporalBin(res, dt.date.year, dt.date.month, dt.date.day);
+    case TemporalRes::Hour:
+      return TemporalBin(res, dt.date.year, dt.date.month, dt.date.day, dt.hour);
+  }
+  throw std::invalid_argument("TemporalBin::of_timestamp: bad resolution");
+}
+
+TimeRange TemporalBin::range() const noexcept {
+  const std::int64_t begin =
+      unix_seconds(CivilDate{year_, month_, day_}, hour_);
+  std::int64_t end = 0;
+  switch (res_) {
+    case TemporalRes::Year:
+      end = unix_seconds(CivilDate{year_ + 1, 1, 1});
+      break;
+    case TemporalRes::Month:
+      end = month_ == 12 ? unix_seconds(CivilDate{year_ + 1, 1, 1})
+                         : unix_seconds(CivilDate{year_, month_ + 1, 1});
+      break;
+    case TemporalRes::Day:
+      end = begin + 86400;
+      break;
+    case TemporalRes::Hour:
+      end = begin + 3600;
+      break;
+  }
+  return {begin, end};
+}
+
+std::optional<TemporalBin> TemporalBin::parent() const {
+  const auto up = coarser(res_);
+  if (!up) return std::nullopt;
+  switch (*up) {
+    case TemporalRes::Year: return TemporalBin(*up, year_);
+    case TemporalRes::Month: return TemporalBin(*up, year_, month_);
+    case TemporalRes::Day: return TemporalBin(*up, year_, month_, day_);
+    case TemporalRes::Hour: break;  // unreachable: Hour has no children res
+  }
+  return std::nullopt;
+}
+
+std::vector<TemporalBin> TemporalBin::children() const {
+  const auto down = finer(res_);
+  if (!down) return {};
+  std::vector<TemporalBin> out;
+  switch (*down) {
+    case TemporalRes::Month:
+      out.reserve(12);
+      for (int m = 1; m <= 12; ++m) out.emplace_back(*down, year_, m);
+      break;
+    case TemporalRes::Day: {
+      const int n = days_in_month(year_, month_);
+      out.reserve(static_cast<std::size_t>(n));
+      for (int d = 1; d <= n; ++d) out.emplace_back(*down, year_, month_, d);
+      break;
+    }
+    case TemporalRes::Hour:
+      out.reserve(24);
+      for (int h = 0; h < 24; ++h) out.emplace_back(*down, year_, month_, day_, h);
+      break;
+    case TemporalRes::Year:
+      break;  // unreachable
+  }
+  return out;
+}
+
+TemporalBin TemporalBin::prev() const {
+  return of_timestamp(range().begin - 1, res_);
+}
+
+TemporalBin TemporalBin::next() const { return of_timestamp(range().end, res_); }
+
+bool TemporalBin::contains(const TemporalBin& other) const {
+  const TimeRange mine = range();
+  const TimeRange theirs = other.range();
+  return mine.begin <= theirs.begin && theirs.end <= mine.end;
+}
+
+std::string TemporalBin::label() const {
+  std::ostringstream out;
+  const auto pad2 = [&out](int v) {
+    if (v < 10) out << '0';
+    out << v;
+  };
+  out << year_;
+  if (res_ >= TemporalRes::Month) {
+    out << '-';
+    pad2(month_);
+  }
+  if (res_ >= TemporalRes::Day) {
+    out << '-';
+    pad2(day_);
+  }
+  if (res_ >= TemporalRes::Hour) {
+    out << 'T';
+    pad2(hour_);
+  }
+  return out.str();
+}
+
+std::uint32_t TemporalBin::pack() const noexcept {
+  return (static_cast<std::uint32_t>(res_) << 28) |
+         (static_cast<std::uint32_t>(year_) << 14) |
+         (static_cast<std::uint32_t>(month_) << 10) |
+         (static_cast<std::uint32_t>(day_) << 5) |
+         static_cast<std::uint32_t>(hour_);
+}
+
+TemporalBin TemporalBin::unpack(std::uint32_t packed) {
+  return TemporalBin(static_cast<TemporalRes>((packed >> 28) & 0x3),
+                     static_cast<int>((packed >> 14) & 0x3fff),
+                     static_cast<int>((packed >> 10) & 0xf),
+                     static_cast<int>((packed >> 5) & 0x1f),
+                     static_cast<int>(packed & 0x1f));
+}
+
+std::vector<TemporalBin> temporal_covering(const TimeRange& range,
+                                           TemporalRes res) {
+  if (!range.valid()) throw std::invalid_argument("temporal_covering: bad range");
+  std::vector<TemporalBin> out;
+  if (range.begin == range.end) return out;
+  TemporalBin bin = TemporalBin::of_timestamp(range.begin, res);
+  while (bin.range().begin < range.end) {
+    out.push_back(bin);
+    bin = bin.next();
+  }
+  return out;
+}
+
+std::size_t temporal_covering_size(const TimeRange& range, TemporalRes res) {
+  if (!range.valid())
+    throw std::invalid_argument("temporal_covering_size: bad range");
+  if (range.begin == range.end) return 0;
+  // Cheap exact counts for the fixed-width resolutions; walk for the rest.
+  if (res == TemporalRes::Hour || res == TemporalRes::Day) {
+    const std::int64_t width = res == TemporalRes::Hour ? 3600 : 86400;
+    const std::int64_t first =
+        TemporalBin::of_timestamp(range.begin, res).range().begin;
+    return static_cast<std::size_t>((range.end - first + width - 1) / width);
+  }
+  return temporal_covering(range, res).size();
+}
+
+}  // namespace stash

@@ -1,0 +1,105 @@
+// Temporal hierarchy: Year → Month → Day → Hour.
+//
+// The temporal side of a Cell's label (paper §IV-A: "chronological range
+// for the observations", resolutions like 'Month' or 'Day of the Month').
+// A TemporalBin is the temporal analogue of a geohash: it has a parent
+// (coarser bin containing it), children (finer bins partitioning it), and
+// two lateral neighbors (previous/next bin at equal resolution, Fig 1b).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/civil_time.hpp"
+
+namespace stash {
+
+enum class TemporalRes : std::uint8_t { Year = 0, Month = 1, Day = 2, Hour = 3 };
+inline constexpr int kNumTemporalRes = 4;
+
+[[nodiscard]] std::string to_string(TemporalRes res);
+
+/// One coarser resolution, if any (Hour→Day→Month→Year).
+[[nodiscard]] std::optional<TemporalRes> coarser(TemporalRes res) noexcept;
+/// One finer resolution, if any.
+[[nodiscard]] std::optional<TemporalRes> finer(TemporalRes res) noexcept;
+
+/// Half-open interval of unix seconds [begin, end).
+struct TimeRange {
+  std::int64_t begin = 0;
+  std::int64_t end = 0;
+
+  [[nodiscard]] bool valid() const noexcept { return begin <= end; }
+  [[nodiscard]] bool contains(std::int64_t ts) const noexcept {
+    return ts >= begin && ts < end;
+  }
+  [[nodiscard]] bool intersects(const TimeRange& other) const noexcept {
+    return begin < other.end && other.begin < end;
+  }
+
+  bool operator==(const TimeRange&) const = default;
+};
+
+class TemporalBin {
+ public:
+  TemporalBin() = default;
+
+  /// Constructs and validates a bin; unused finer fields must be left at
+  /// their defaults (month/day = 1, hour = 0).
+  TemporalBin(TemporalRes res, int year, int month = 1, int day = 1, int hour = 0);
+
+  /// The bin at `res` containing the given unix timestamp.
+  [[nodiscard]] static TemporalBin of_timestamp(std::int64_t ts, TemporalRes res);
+
+  [[nodiscard]] TemporalRes res() const noexcept { return res_; }
+  [[nodiscard]] int year() const noexcept { return year_; }
+  [[nodiscard]] int month() const noexcept { return month_; }
+  [[nodiscard]] int day() const noexcept { return day_; }
+  [[nodiscard]] int hour() const noexcept { return hour_; }
+
+  /// The unix-seconds interval this bin spans.
+  [[nodiscard]] TimeRange range() const noexcept;
+
+  /// Coarser bin containing this one; nullopt at Year resolution.
+  [[nodiscard]] std::optional<TemporalBin> parent() const;
+
+  /// Finer bins partitioning this one (12 months / 28–31 days / 24 hours);
+  /// empty at Hour resolution.
+  [[nodiscard]] std::vector<TemporalBin> children() const;
+
+  /// Lateral neighbors at equal resolution (paper Fig 1b).
+  [[nodiscard]] TemporalBin prev() const;
+  [[nodiscard]] TemporalBin next() const;
+
+  [[nodiscard]] bool contains(const TemporalBin& other) const;
+
+  /// ISO-ish label: "2015", "2015-03", "2015-03-02", "2015-03-02T05".
+  [[nodiscard]] std::string label() const;
+
+  /// Packs into 32 bits (res:2, year:14 offset from 0, month:4, day:5, hour:5);
+  /// stable hash/ordering key.
+  [[nodiscard]] std::uint32_t pack() const noexcept;
+  [[nodiscard]] static TemporalBin unpack(std::uint32_t packed);
+
+  bool operator==(const TemporalBin&) const = default;
+
+ private:
+  std::int16_t year_ = 1970;
+  std::int8_t month_ = 1;
+  std::int8_t day_ = 1;
+  std::int8_t hour_ = 0;
+  TemporalRes res_ = TemporalRes::Day;
+};
+
+/// All bins at `res` whose interval intersects `range` (half-open),
+/// in chronological order.
+[[nodiscard]] std::vector<TemporalBin> temporal_covering(const TimeRange& range,
+                                                         TemporalRes res);
+
+/// Number of bins `temporal_covering` would return.
+[[nodiscard]] std::size_t temporal_covering_size(const TimeRange& range,
+                                                 TemporalRes res);
+
+}  // namespace stash

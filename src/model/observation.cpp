@@ -1,0 +1,15 @@
+#include "model/observation.hpp"
+
+namespace stash {
+
+std::string attribute_name(NamAttribute a) {
+  switch (a) {
+    case NamAttribute::SurfaceTemperatureK: return "surface_temperature_k";
+    case NamAttribute::RelativeHumidityPct: return "relative_humidity_pct";
+    case NamAttribute::PrecipitationMm: return "precipitation_mm";
+    case NamAttribute::SnowDepthM: return "snow_depth_m";
+  }
+  return "?";
+}
+
+}  // namespace stash

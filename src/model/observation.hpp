@@ -1,0 +1,49 @@
+// Observation records and the dataset schema.
+//
+// The data collections STASH summarises "comprise multidimensional
+// observations ... each observation has spatial coordinates (latitude and
+// longitude) and an observational timestamp associated with it" (§I-B).
+// The evaluation dataset is NOAA NAM forecast output with "features like
+// surface temperature, relative humidity, snow and precipitation" (§VIII-B).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geo/latlng.hpp"
+
+namespace stash {
+
+/// Attribute order of the NAM-like schema.
+enum class NamAttribute : std::size_t {
+  SurfaceTemperatureK = 0,
+  RelativeHumidityPct = 1,
+  PrecipitationMm = 2,
+  SnowDepthM = 3,
+};
+inline constexpr std::size_t kNamAttributeCount = 4;
+
+[[nodiscard]] std::string attribute_name(NamAttribute a);
+
+/// One georeferenced, timestamped multidimensional observation.
+struct Observation {
+  LatLng position;
+  std::int64_t timestamp = 0;  // unix seconds, UTC
+  std::array<double, kNamAttributeCount> values{};
+
+  [[nodiscard]] double value(NamAttribute a) const noexcept {
+    return values[static_cast<std::size_t>(a)];
+  }
+};
+
+/// Serialized record size on "disk"; drives the disk-I/O cost model.
+/// NAM records carry dozens of forecast variables (~1.1 TB for one year,
+/// §VIII-B); we aggregate 4 of them but a scan still reads the full
+/// record: coordinates + timestamp + ~30 features at 8 bytes each.
+inline constexpr std::size_t kObservationBytes = 256;
+
+using ObservationList = std::vector<Observation>;
+
+}  // namespace stash

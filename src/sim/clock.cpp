@@ -1,0 +1,19 @@
+#include "sim/clock.hpp"
+
+#include <sstream>
+
+namespace stash::sim {
+
+std::string format_duration(SimTime t) {
+  std::ostringstream out;
+  if (t < kMillisecond) {
+    out << t << "us";
+  } else if (t < kSecond) {
+    out << to_millis(t) << "ms";
+  } else {
+    out << to_seconds(t) << "s";
+  }
+  return out.str();
+}
+
+}  // namespace stash::sim

@@ -1,0 +1,31 @@
+// Virtual time for the deterministic cluster simulation.
+//
+// The 120-node testbed of §VIII-A is reproduced as a discrete-event
+// simulation: real STASH/Galileo data-structure work executes natively,
+// while disk, network and scan *durations* advance a virtual clock.  All
+// times are integer microseconds so runs are exactly repeatable.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace stash::sim {
+
+/// Virtual time / duration in microseconds.
+using SimTime = std::int64_t;
+
+inline constexpr SimTime kMicrosecond = 1;
+inline constexpr SimTime kMillisecond = 1000;
+inline constexpr SimTime kSecond = 1000 * 1000;
+
+[[nodiscard]] inline double to_seconds(SimTime t) noexcept {
+  return static_cast<double>(t) / 1e6;
+}
+
+[[nodiscard]] inline double to_millis(SimTime t) noexcept {
+  return static_cast<double>(t) / 1e3;
+}
+
+[[nodiscard]] std::string format_duration(SimTime t);
+
+}  // namespace stash::sim

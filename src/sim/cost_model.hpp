@@ -1,0 +1,69 @@
+// Calibrated cost model for the simulated cluster.
+//
+// Defaults approximate the paper's 2013-era testbed nodes (HP Z420, 8-core
+// Xeon, spinning 1 TB disk) on gigabit Ethernet.  Only *relative* outcomes
+// matter for the reproduction (who wins, by what factor), and those are
+// driven by which path a query takes — disk scan vs in-memory Cells —
+// rather than by the absolute constants.
+#pragma once
+
+#include <cstddef>
+
+#include "sim/clock.hpp"
+
+namespace stash::sim {
+
+struct CostModel {
+  // --- disk ---
+  SimTime disk_seek = 4 * kMillisecond;       // HDD seek + rotational latency
+  double disk_bytes_per_us = 150.0;           // ~150 MB/s sequential read
+
+  // --- network ---
+  SimTime net_message_latency = 250;          // per-message overhead (0.25 ms)
+  double net_bytes_per_us = 125.0;            // ~1 Gb/s
+
+  // --- CPU ---
+  SimTime scan_ns_per_record = 180;           // filter + bin + aggregate
+  SimTime cache_probe_ns = 350;               // hash probe per chunk/Cell
+  SimTime cell_insert_ns = 900;               // graph insert + PLM update
+  SimTime freshness_update_ns = 120;          // per touched Cell
+  SimTime merge_ns_per_cell = 60;             // response merge per Cell
+
+  [[nodiscard]] SimTime disk_read(std::size_t bytes) const noexcept {
+    return disk_seek +
+           static_cast<SimTime>(static_cast<double>(bytes) / disk_bytes_per_us);
+  }
+
+  /// Sequential read without an extra seek (continuation of a scan).
+  [[nodiscard]] SimTime disk_stream(std::size_t bytes) const noexcept {
+    return static_cast<SimTime>(static_cast<double>(bytes) / disk_bytes_per_us);
+  }
+
+  [[nodiscard]] SimTime net_transfer(std::size_t bytes) const noexcept {
+    return net_message_latency +
+           static_cast<SimTime>(static_cast<double>(bytes) / net_bytes_per_us);
+  }
+
+  [[nodiscard]] SimTime scan(std::size_t records) const noexcept {
+    return ns(records, scan_ns_per_record);
+  }
+  [[nodiscard]] SimTime cache_probes(std::size_t probes) const noexcept {
+    return ns(probes, cache_probe_ns);
+  }
+  [[nodiscard]] SimTime cell_inserts(std::size_t cells) const noexcept {
+    return ns(cells, cell_insert_ns);
+  }
+  [[nodiscard]] SimTime freshness_updates(std::size_t cells) const noexcept {
+    return ns(cells, freshness_update_ns);
+  }
+  [[nodiscard]] SimTime merge(std::size_t cells) const noexcept {
+    return ns(cells, merge_ns_per_cell);
+  }
+
+ private:
+  [[nodiscard]] static SimTime ns(std::size_t count, SimTime per_ns) noexcept {
+    return static_cast<SimTime>(count) * per_ns / 1000;
+  }
+};
+
+}  // namespace stash::sim

@@ -1,0 +1,43 @@
+#include "sim/event_loop.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace stash::sim {
+
+void EventLoop::schedule(SimTime delay, Action action) {
+  if (delay < 0) throw std::invalid_argument("EventLoop::schedule: negative delay");
+  schedule_at(now_ + delay, std::move(action));
+}
+
+void EventLoop::schedule_at(SimTime when, Action action) {
+  if (when < now_)
+    throw std::invalid_argument("EventLoop::schedule_at: time in the past");
+  queue_.push(Event{when, next_seq_++, std::move(action)});
+}
+
+SimTime EventLoop::run() {
+  while (!queue_.empty()) {
+    // Move out of the queue before popping: the action may schedule more.
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.when;
+    ++executed_;
+    ev.action();
+  }
+  return now_;
+}
+
+SimTime EventLoop::run_until(SimTime deadline) {
+  while (!queue_.empty() && queue_.top().when <= deadline) {
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.when;
+    ++executed_;
+    ev.action();
+  }
+  if (now_ < deadline) now_ = deadline;
+  return now_;
+}
+
+}  // namespace stash::sim

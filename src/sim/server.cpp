@@ -1,0 +1,46 @@
+#include "sim/server.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace stash::sim {
+
+SimServer::SimServer(EventLoop& loop, int workers)
+    : loop_(loop), workers_(workers) {
+  if (workers < 1) throw std::invalid_argument("SimServer: need >= 1 worker");
+}
+
+void SimServer::submit(Job job, Completion on_complete) {
+  if (!job) throw std::invalid_argument("SimServer::submit: null job");
+  Pending pending{std::move(job), std::move(on_complete), loop_.now()};
+  if (busy_ < workers_) {
+    dispatch(std::move(pending));
+  } else {
+    queue_.push_back(std::move(pending));
+  }
+}
+
+void SimServer::dispatch(Pending pending) {
+  ++busy_;
+  queue_wait_ += loop_.now() - pending.enqueued_at;
+  const SimTime duration = pending.job();
+  if (duration < 0)
+    throw std::logic_error("SimServer: job returned negative service time");
+  service_time_ += duration;
+  loop_.schedule(duration, [this, done = std::move(pending.on_complete)] {
+    --busy_;
+    ++completed_;
+    if (done) done();
+    try_dispatch();
+  });
+}
+
+void SimServer::try_dispatch() {
+  while (busy_ < workers_ && !queue_.empty()) {
+    Pending next = std::move(queue_.front());
+    queue_.pop_front();
+    dispatch(std::move(next));
+  }
+}
+
+}  // namespace stash::sim

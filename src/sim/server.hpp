@@ -1,0 +1,61 @@
+// A simulated multi-worker server with a FIFO request queue.
+//
+// Models one cluster node's request-processing capacity: the paper's nodes
+// are 8-core machines, so up to `workers` jobs are serviced concurrently
+// and the rest wait in the pending queue.  The queue length is the hotspot
+// signal (§VII-B.1: "a node deems itself to be hotspotted when the number
+// of pending requests in its message queue crosses a configured threshold").
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "sim/event_loop.hpp"
+
+namespace stash::sim {
+
+class SimServer {
+ public:
+  /// A job runs its real work when dispatched and returns the virtual
+  /// service duration it occupies a worker for.
+  using Job = std::function<SimTime()>;
+  using Completion = std::function<void()>;
+
+  SimServer(EventLoop& loop, int workers);
+
+  /// Enqueues a job; `on_complete` (optional) fires when it finishes.
+  void submit(Job job, Completion on_complete = nullptr);
+
+  /// Jobs waiting for a worker (excludes the ones being serviced).
+  [[nodiscard]] std::size_t queue_length() const noexcept { return queue_.size(); }
+  [[nodiscard]] int busy_workers() const noexcept { return busy_; }
+  [[nodiscard]] int workers() const noexcept { return workers_; }
+  [[nodiscard]] bool idle() const noexcept { return busy_ == 0 && queue_.empty(); }
+
+  [[nodiscard]] std::uint64_t completed_jobs() const noexcept { return completed_; }
+  /// Cumulative virtual time jobs spent being serviced.
+  [[nodiscard]] SimTime total_service_time() const noexcept { return service_time_; }
+  /// Cumulative virtual time jobs spent queued before dispatch.
+  [[nodiscard]] SimTime total_queue_wait() const noexcept { return queue_wait_; }
+
+ private:
+  struct Pending {
+    Job job;
+    Completion on_complete;
+    SimTime enqueued_at;
+  };
+
+  void dispatch(Pending pending);
+  void try_dispatch();
+
+  EventLoop& loop_;
+  int workers_;
+  int busy_ = 0;
+  std::deque<Pending> queue_;
+  std::uint64_t completed_ = 0;
+  SimTime service_time_ = 0;
+  SimTime queue_wait_ = 0;
+};
+
+}  // namespace stash::sim

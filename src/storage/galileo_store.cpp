@@ -1,0 +1,84 @@
+#include "storage/galileo_store.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace stash {
+
+GalileoStore::GalileoStore(std::shared_ptr<const NamGenerator> generator,
+                           int partition_prefix_length)
+    : generator_(std::move(generator)), prefix_len_(partition_prefix_length) {
+  if (!generator_) throw std::invalid_argument("GalileoStore: null generator");
+  if (prefix_len_ < 1 || prefix_len_ > geohash::kMaxPrecision)
+    throw std::invalid_argument("GalileoStore: bad partition prefix length");
+}
+
+ScanResult GalileoStore::scan_partition(std::string_view partition,
+                                        const BoundingBox& region,
+                                        const TimeRange& time,
+                                        const Resolution& res) const {
+  if (partition.size() != static_cast<std::size_t>(prefix_len_))
+    throw std::invalid_argument("GalileoStore::scan_partition: bad partition key");
+  if (!res.valid())
+    throw std::invalid_argument("GalileoStore::scan_partition: bad resolution");
+  ScanResult out;
+  const BoundingBox clipped = region.intersection(geohash::decode(partition));
+  if (!clipped.valid() || !time.valid() || time.begin >= time.end) return out;
+
+  // One block file per (partition, day): each day touched costs one seek,
+  // and each day's records reflect that block's current version.
+  const std::int64_t first_day =
+      time.begin / 86400 - (time.begin % 86400 < 0 ? 1 : 0);
+  const std::int64_t last_day = (time.end - 1) / 86400;
+  for (std::int64_t day = first_day; day <= last_day; ++day) {
+    const TimeRange day_range{std::max(time.begin, day * 86400),
+                              std::min(time.end, (day + 1) * 86400)};
+    const std::uint64_t version =
+        block_version(BlockKey{std::string(partition), day});
+    const ObservationList records =
+        generator_->generate(clipped, day_range, version);
+    ++out.stats.blocks_touched;
+    out.stats.records_scanned += records.size();
+    out.stats.bytes_read += records.size() * kObservationBytes;
+    for (const auto& obs : records) {
+      const CellKey key(geohash::encode(obs.position, res.spatial),
+                        TemporalBin::of_timestamp(obs.timestamp, res.temporal));
+      auto [it, inserted] = out.cells.try_emplace(key, kNamAttributeCount);
+      it->second.add_observation(obs.values.data(), obs.values.size());
+    }
+  }
+  return out;
+}
+
+std::uint64_t GalileoStore::ingest_update(const BlockKey& key) {
+  if (key.partition.size() != static_cast<std::size_t>(prefix_len_))
+    throw std::invalid_argument("GalileoStore::ingest_update: bad partition key");
+  return ++versions_[key];
+}
+
+std::uint64_t GalileoStore::block_version(const BlockKey& key) const {
+  const auto it = versions_.find(key);
+  return it == versions_.end() ? 0 : it->second;
+}
+
+ScanResult GalileoStore::scan(const BoundingBox& region, const TimeRange& time,
+                              const Resolution& res) const {
+  ScanResult total;
+  for (const auto& partition : geohash::covering(region, prefix_len_)) {
+    ScanResult part = scan_partition(partition, region, time, res);
+    total.stats += part.stats;
+    for (auto& [key, summary] : part.cells) {
+      auto [it, inserted] = total.cells.try_emplace(key, std::move(summary));
+      if (!inserted) it->second.merge(summary);
+    }
+  }
+  return total;
+}
+
+std::size_t GalileoStore::block_bytes(const BlockKey& key) const {
+  const BoundingBox box = geohash::decode(key.partition);
+  const TimeRange day{key.day * 86400, (key.day + 1) * 86400};
+  return generator_->count(box, day) * kObservationBytes;
+}
+
+}  // namespace stash

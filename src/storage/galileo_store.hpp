@@ -1,0 +1,103 @@
+// Galileo-like back-end storage (paper §VI-C).
+//
+// "Galileo is a zero-hop DHT based storage system that uses Geohash to
+// generate data partitions that store and colocate geospatially proximate
+// data points."  One *block* holds the observations of one partition
+// (geohash prefix) for one day.  Block contents are produced by the
+// deterministic NAM-like generator, so the store behaves like a 1.1 TB
+// on-disk dataset without materialising it; the ScanStats it returns feed
+// the simulator's disk/CPU cost model.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "common/summary.hpp"
+#include "geo/cell_key.hpp"
+#include "geo/resolution.hpp"
+#include "model/nam_generator.hpp"
+
+namespace stash {
+
+/// Identifies one storage block: a partition's observations for one day.
+struct BlockKey {
+  std::string partition;   // geohash prefix (DHT partition key)
+  std::int64_t day = 0;    // epoch day
+
+  bool operator==(const BlockKey&) const = default;
+};
+
+struct BlockKeyHash {
+  [[nodiscard]] std::size_t operator()(const BlockKey& k) const noexcept {
+    std::uint64_t h = fnv1a(k.partition);
+    hash_combine(h, static_cast<std::uint64_t>(k.day));
+    return static_cast<std::size_t>(h);
+  }
+};
+
+/// Resource usage of a scan; drives the virtual-time disk/CPU charges.
+struct ScanStats {
+  std::size_t blocks_touched = 0;   // one disk seek each
+  std::size_t records_scanned = 0;
+  std::size_t bytes_read = 0;
+
+  ScanStats& operator+=(const ScanStats& other) noexcept {
+    blocks_touched += other.blocks_touched;
+    records_scanned += other.records_scanned;
+    bytes_read += other.bytes_read;
+    return *this;
+  }
+};
+
+/// Per-cell aggregates produced by a scan.
+using CellSummaryMap = std::unordered_map<CellKey, Summary, CellKeyHash>;
+
+struct ScanResult {
+  CellSummaryMap cells;
+  ScanStats stats;
+};
+
+class GalileoStore {
+ public:
+  /// `partition_prefix_length` must match the DHT's (default 2).
+  explicit GalileoStore(std::shared_ptr<const NamGenerator> generator,
+                        int partition_prefix_length = 2);
+
+  [[nodiscard]] const NamGenerator& generator() const noexcept { return *generator_; }
+  [[nodiscard]] int partition_prefix_length() const noexcept { return prefix_len_; }
+
+  /// Aggregates all observations of `partition` inside region × time into
+  /// Cells at `res`.  The scanned region is clipped to the partition's own
+  /// bounding box — a block never yields data outside its partition.
+  [[nodiscard]] ScanResult scan_partition(std::string_view partition,
+                                          const BoundingBox& region,
+                                          const TimeRange& time,
+                                          const Resolution& res) const;
+
+  /// Convenience: a full query scan across every partition the region
+  /// touches (what the basic, no-STASH system executes per query).
+  [[nodiscard]] ScanResult scan(const BoundingBox& region, const TimeRange& time,
+                                const Resolution& res) const;
+
+  /// On-disk size of one block (drives read cost when a whole block streams).
+  [[nodiscard]] std::size_t block_bytes(const BlockKey& key) const;
+
+  // --- real-time ingest (paper §IV-D: "systems with real-time data") ---
+  /// Simulates a data update rewriting one block: subsequent scans of that
+  /// (partition, day) observe new attribute values.  Returns the block's
+  /// new version.  Callers must invalidate dependent caches (the cluster's
+  /// ingest path does this via the PLM).
+  std::uint64_t ingest_update(const BlockKey& key);
+
+  [[nodiscard]] std::uint64_t block_version(const BlockKey& key) const;
+
+ private:
+  std::shared_ptr<const NamGenerator> generator_;
+  int prefix_len_;
+  std::unordered_map<BlockKey, std::uint64_t, BlockKeyHash> versions_;
+};
+
+}  // namespace stash

@@ -1,0 +1,91 @@
+#include "workload/session.hpp"
+
+#include <algorithm>
+
+namespace stash::workload {
+
+using client::NavAction;
+
+SessionGenerator::SessionGenerator(WorkloadConfig workload)
+    : workload_(workload), rng_(workload.seed ^ 0x5345535347454eULL) {}
+
+Session SessionGenerator::generate(const SessionConfig& config) {
+  Session session;
+  session.queries.push_back(
+      config.start_center.has_value()
+          ? workload_.query_at(config.start_group, *config.start_center)
+          : workload_.random_query(config.start_group));
+  std::optional<NavAction> last_pan;
+
+  static constexpr NavAction kPans[] = {
+      NavAction::PanN, NavAction::PanNE, NavAction::PanE, NavAction::PanSE,
+      NavAction::PanS, NavAction::PanSW, NavAction::PanW, NavAction::PanNW};
+
+  for (int i = 0; i < config.actions; ++i) {
+    const AggregationQuery& current = session.queries.back();
+    NavAction action;
+    if (last_pan.has_value() && rng_.bernoulli(config.momentum)) {
+      action = *last_pan;  // momentum: keep panning the same way
+    } else {
+      const double total = config.pan_weight + config.zoom_weight +
+                           config.slice_weight + config.jump_weight;
+      const double draw = rng_.uniform(0.0, total);
+      if (draw < config.pan_weight) {
+        action = kPans[rng_.next_below(8)];
+      } else if (draw < config.pan_weight + config.zoom_weight) {
+        const bool can_drill = current.res.spatial < config.max_spatial;
+        const bool can_roll = current.res.spatial > config.min_spatial;
+        if (can_drill && (!can_roll || rng_.bernoulli(0.5))) {
+          action = NavAction::DrillDown;
+        } else if (can_roll) {
+          action = NavAction::RollUp;
+        } else {
+          action = kPans[rng_.next_below(8)];
+        }
+      } else if (draw <
+                 config.pan_weight + config.zoom_weight + config.slice_weight) {
+        action = rng_.bernoulli(0.5) ? NavAction::SliceNext : NavAction::SlicePrev;
+      } else {
+        action = NavAction::Jump;
+      }
+    }
+
+    std::optional<AggregationQuery> next;
+    if (action == NavAction::Jump) {
+      AggregationQuery q = workload_.random_query(config.start_group);
+      q.res = current.res;
+      q.time = current.time;
+      next = q;
+    } else {
+      next = client::apply_action(current, action, config.min_spatial,
+                                  config.pan_fraction);
+      if (!next.has_value()) {  // hit a limit: fall back to a pan
+        action = kPans[rng_.next_below(8)];
+        next = client::apply_action(current, action, config.min_spatial,
+                                    config.pan_fraction);
+      }
+    }
+    last_pan = std::find(std::begin(kPans), std::end(kPans), action) !=
+                       std::end(kPans)
+                   ? std::make_optional(action)
+                   : std::nullopt;
+    session.actions.push_back(action);
+    session.queries.push_back(*next);
+  }
+  return session;
+}
+
+std::vector<AggregationQuery> SessionGenerator::interleaved(
+    const SessionConfig& config, std::size_t users) {
+  std::vector<Session> sessions;
+  sessions.reserve(users);
+  for (std::size_t u = 0; u < users; ++u) sessions.push_back(generate(config));
+  std::vector<AggregationQuery> out;
+  out.reserve(users * sessions.front().queries.size());
+  for (std::size_t step = 0; step < sessions.front().queries.size(); ++step)
+    for (const auto& session : sessions)
+      if (step < session.queries.size()) out.push_back(session.queries[step]);
+  return out;
+}
+
+}  // namespace stash::workload

@@ -1,0 +1,60 @@
+// Multi-user exploration-session generator.
+//
+// The figure benches replay the paper's isolated operator sequences; this
+// generator produces *realistic mixed sessions* — each simulated user
+// walks a Markov chain over the §V-B operators (pan with momentum, zoom
+// in/out, slice, re-dice elsewhere) — for the mixed-workload bench and
+// the integration tests.
+#pragma once
+
+#include <optional>
+
+#include "client/predictor.hpp"
+#include "workload/workload.hpp"
+
+namespace stash::workload {
+
+struct SessionConfig {
+  QueryGroup start_group = QueryGroup::County;
+  /// When set, every session starts at this center (a popular region all
+  /// users converge on — the collective-caching scenario); otherwise each
+  /// session starts at a random rectangle.
+  std::optional<LatLng> start_center;
+  int actions = 30;
+  /// Momentum: probability of repeating the previous pan direction.
+  double momentum = 0.6;
+  /// Probability mix of the non-momentum actions.
+  double pan_weight = 0.5;
+  double zoom_weight = 0.2;
+  double slice_weight = 0.2;
+  double jump_weight = 0.1;
+  double pan_fraction = 0.2;
+  int min_spatial = 3;
+  int max_spatial = 7;
+  std::uint64_t seed = 0x53455353ULL;  // "SESS"
+};
+
+/// One user's session: the initial dice plus `actions` derived views, with
+/// the action that produced each view.
+struct Session {
+  std::vector<AggregationQuery> queries;
+  std::vector<client::NavAction> actions;  // actions[i] produced queries[i+1]
+};
+
+class SessionGenerator {
+ public:
+  explicit SessionGenerator(WorkloadConfig workload = {});
+
+  [[nodiscard]] Session generate(const SessionConfig& config);
+
+  /// `users` independent sessions, interleaved round-robin — the traffic a
+  /// shared cluster actually sees (collective caching, §V-B).
+  [[nodiscard]] std::vector<AggregationQuery> interleaved(
+      const SessionConfig& config, std::size_t users);
+
+ private:
+  WorkloadGenerator workload_;
+  Rng rng_;
+};
+
+}  // namespace stash::workload

@@ -1,0 +1,184 @@
+#include "workload/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/civil_time.hpp"
+
+namespace stash::workload {
+
+std::string to_string(QueryGroup group) {
+  switch (group) {
+    case QueryGroup::Country: return "country";
+    case QueryGroup::State: return "state";
+    case QueryGroup::County: return "county";
+    case QueryGroup::City: return "city";
+  }
+  return "?";
+}
+
+Extent extent_of(QueryGroup group) noexcept {
+  switch (group) {
+    case QueryGroup::Country: return {16.0, 32.0};
+    case QueryGroup::State: return {4.0, 8.0};
+    case QueryGroup::County: return {0.6, 1.2};
+    case QueryGroup::City: return {0.2, 0.5};
+  }
+  return {0.0, 0.0};
+}
+
+WorkloadConfig::WorkloadConfig()
+    : time{unix_seconds({2015, 2, 2}), unix_seconds({2015, 2, 3})} {}
+
+WorkloadGenerator::WorkloadGenerator(WorkloadConfig config)
+    : config_(config), rng_(config.seed) {
+  if (!config_.domain.valid())
+    throw std::invalid_argument("WorkloadGenerator: invalid domain");
+}
+
+AggregationQuery WorkloadGenerator::query_at(QueryGroup group,
+                                             const LatLng& center) const {
+  const Extent e = extent_of(group);
+  BoundingBox box{center.lat - e.dlat / 2.0, center.lat + e.dlat / 2.0,
+                  center.lng - e.dlng / 2.0, center.lng + e.dlng / 2.0};
+  // Clamp into the domain, preserving size.
+  box = box.translated(
+      std::max(0.0, config_.domain.lat_min - box.lat_min) +
+          std::min(0.0, config_.domain.lat_max - box.lat_max),
+      std::max(0.0, config_.domain.lng_min - box.lng_min) +
+          std::min(0.0, config_.domain.lng_max - box.lng_max));
+  return {box, config_.time, config_.res};
+}
+
+AggregationQuery WorkloadGenerator::random_query(QueryGroup group) {
+  const Extent e = extent_of(group);
+  const double lat =
+      rng_.uniform(config_.domain.lat_min + e.dlat / 2.0,
+                   std::max(config_.domain.lat_min + e.dlat / 2.0,
+                            config_.domain.lat_max - e.dlat / 2.0));
+  const double lng =
+      rng_.uniform(config_.domain.lng_min + e.dlng / 2.0,
+                   std::max(config_.domain.lng_min + e.dlng / 2.0,
+                            config_.domain.lng_max - e.dlng / 2.0));
+  return query_at(group, {lat, lng});
+}
+
+std::vector<AggregationQuery> WorkloadGenerator::iterative_dicing(
+    QueryGroup start, int steps, bool descending, double dim_factor) {
+  if (steps < 1) throw std::invalid_argument("iterative_dicing: steps >= 1");
+  if (dim_factor <= 0.0 || dim_factor >= 1.0)
+    throw std::invalid_argument("iterative_dicing: dim_factor in (0,1)");
+  const AggregationQuery base = random_query(start);
+  std::vector<AggregationQuery> out;
+  out.reserve(static_cast<std::size_t>(steps));
+  const LatLng center = base.area.center();
+  double scale = 1.0;
+  for (int i = 0; i < steps; ++i) {
+    AggregationQuery q = base;
+    const double h = base.area.height() * scale / 2.0;
+    const double w = base.area.width() * scale / 2.0;
+    q.area = {center.lat - h, center.lat + h, center.lng - w, center.lng + w};
+    out.push_back(q);
+    scale *= dim_factor;
+  }
+  if (!descending) std::reverse(out.begin(), out.end());
+  return out;
+}
+
+std::vector<AggregationQuery> WorkloadGenerator::panning_sequence(
+    const AggregationQuery& base, double fraction) const {
+  std::vector<AggregationQuery> out;
+  out.reserve(9);
+  out.push_back(base);
+  static constexpr double kDir[8][2] = {{1, 0},  {1, 1},   {0, 1},  {-1, 1},
+                                        {-1, 0}, {-1, -1}, {0, -1}, {1, -1}};
+  for (const auto& d : kDir) {
+    AggregationQuery q = base;
+    q.area = base.area.translated(d[0] * fraction * base.area.height(),
+                                  d[1] * fraction * base.area.width());
+    out.push_back(q);
+  }
+  return out;
+}
+
+std::vector<AggregationQuery> WorkloadGenerator::pan_walk(
+    const AggregationQuery& base, double fraction, std::size_t steps) {
+  std::vector<AggregationQuery> out;
+  out.reserve(steps + 1);
+  out.push_back(base);
+  AggregationQuery current = base;
+  for (std::size_t i = 0; i < steps; ++i) {
+    const double angle = rng_.uniform(0.0, 2.0 * 3.14159265358979);
+    current.area = current.area.translated(
+        std::sin(angle) * fraction * current.area.height(),
+        std::cos(angle) * fraction * current.area.width());
+    out.push_back(current);
+  }
+  return out;
+}
+
+std::vector<AggregationQuery> WorkloadGenerator::zoom_sequence(
+    const AggregationQuery& base, int from, int to) const {
+  std::vector<AggregationQuery> out;
+  const int step = from <= to ? 1 : -1;
+  for (int s = from;; s += step) {
+    AggregationQuery q = base;
+    q.res.spatial = s;
+    out.push_back(q);
+    if (s == to) break;
+  }
+  return out;
+}
+
+std::vector<AggregationQuery> WorkloadGenerator::throughput_workload(
+    QueryGroup group, std::size_t rects, std::size_t pans, double fraction) {
+  // §VIII-D.4: "randomly panning around each by 10% in any random
+  // direction 100 times" — each pan is an offset from the rectangle
+  // itself, keeping the traffic clustered on the rectangle's neighborhood
+  // (spatiotemporal locality), not a drifting random walk.
+  std::vector<AggregationQuery> out;
+  out.reserve(rects * (pans + 1));
+  for (std::size_t r = 0; r < rects; ++r) {
+    const AggregationQuery base = random_query(group);
+    out.push_back(base);
+    for (std::size_t p = 0; p < pans; ++p) {
+      const double angle = rng_.uniform(0.0, 2.0 * 3.14159265358979);
+      AggregationQuery q = base;
+      q.area = base.area.translated(
+          std::sin(angle) * fraction * base.area.height(),
+          std::cos(angle) * fraction * base.area.width());
+      out.push_back(q);
+    }
+  }
+  return out;
+}
+
+std::vector<AggregationQuery> WorkloadGenerator::hotspot_burst(
+    QueryGroup group, std::size_t n, double fraction) {
+  std::vector<AggregationQuery> out;
+  out.reserve(n);
+  const AggregationQuery base = random_query(group);
+  for (std::size_t i = 0; i < n; ++i) {
+    AggregationQuery q = base;
+    q.area = base.area.translated(
+        fraction * base.area.height() * rng_.uniform(-1.0, 1.0),
+        fraction * base.area.width() * rng_.uniform(-1.0, 1.0));
+    out.push_back(q);
+  }
+  return out;
+}
+
+std::vector<AggregationQuery> WorkloadGenerator::zipf_workload(
+    QueryGroup group, std::size_t regions, std::size_t n, double skew) {
+  std::vector<AggregationQuery> bases;
+  bases.reserve(regions);
+  for (std::size_t i = 0; i < regions; ++i) bases.push_back(random_query(group));
+  const ZipfDistribution zipf(regions, skew);
+  std::vector<AggregationQuery> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(bases[zipf.sample(rng_)]);
+  return out;
+}
+
+}  // namespace stash::workload

@@ -1,0 +1,101 @@
+// Workload generators reproducing the paper's query mixes (§VIII).
+//
+// Query groups (§VIII-A): four spatial extents with a fixed one-day
+// temporal extent (2015-02-02) at spatial resolution 6 / temporal 'Day':
+//   country (16°, 32°), state (4°, 8°), county (0.6°, 1.2°), city (0.2°, 0.5°).
+// Sequences model the §V-B navigation operators: iterative dicing (Fig 7a/b),
+// panning in 8 directions (Fig 7c), drill-down / roll-up (Fig 7d/e), the
+// Fig 6b throughput mix (random rectangles, each panned 100 times), and the
+// Fig 6d hotspot burst (random pans around one point).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/zipf.hpp"
+#include "core/query.hpp"
+
+namespace stash::workload {
+
+enum class QueryGroup { Country, State, County, City };
+
+[[nodiscard]] std::string to_string(QueryGroup group);
+
+/// (latitudinal, longitudinal) extent in degrees, per §VIII-A.
+struct Extent {
+  double dlat;
+  double dlng;
+};
+[[nodiscard]] Extent extent_of(QueryGroup group) noexcept;
+
+struct WorkloadConfig {
+  /// Domain rectangles are drawn from (defaults to the NAM-like coverage,
+  /// inset so even country-sized boxes fit).
+  BoundingBox domain{16.0, 59.0, -134.0, -56.0};
+  /// Query_Time: 2015-02-02 (paper §VIII-A) unless a sequence says otherwise.
+  TimeRange time;
+  Resolution res{6, TemporalRes::Day};
+  std::uint64_t seed = 0x574c4f4144ULL;
+
+  WorkloadConfig();
+};
+
+class WorkloadGenerator {
+ public:
+  explicit WorkloadGenerator(WorkloadConfig config = {});
+
+  [[nodiscard]] const WorkloadConfig& config() const noexcept { return config_; }
+
+  /// A random rectangle of the group's extent inside the domain.
+  [[nodiscard]] AggregationQuery random_query(QueryGroup group);
+
+  /// A rectangle of the group's extent centered at `center` (clamped).
+  [[nodiscard]] AggregationQuery query_at(QueryGroup group, const LatLng& center) const;
+
+  /// Iterative dicing (Fig 7a/b): `steps` queries starting at the given
+  /// group's extent; each step scales both dimensions by `dim_factor`
+  /// (paper: "20% spatial area reduction" per step → 0.8).  Descending
+  /// starts large and shrinks; ascending is the reverse order.
+  [[nodiscard]] std::vector<AggregationQuery> iterative_dicing(
+      QueryGroup start, int steps, bool descending, double dim_factor = 0.8);
+
+  /// Panning (Fig 7c): the base query followed by moves of
+  /// `fraction` x extent in each of the 8 compass directions, returning to
+  /// the base between moves (9 queries total including the base).
+  [[nodiscard]] std::vector<AggregationQuery> panning_sequence(
+      const AggregationQuery& base, double fraction) const;
+
+  /// A random walk of pans: each step moves by `fraction` in a random
+  /// direction (the Fig 6b / Fig 6d traffic unit).
+  [[nodiscard]] std::vector<AggregationQuery> pan_walk(
+      const AggregationQuery& base, double fraction, std::size_t steps);
+
+  /// Drill-down (Fig 7d): the same area queried at spatial resolutions
+  /// `from`..`to` ascending; roll-up (Fig 7e) is descending.
+  [[nodiscard]] std::vector<AggregationQuery> zoom_sequence(
+      const AggregationQuery& base, int from, int to) const;
+
+  /// Fig 6b throughput workload: `rects` random rectangles of the group's
+  /// size, each panned `pans` times by `fraction` in random directions —
+  /// "to replicate spatiotemporal locality of requests".
+  [[nodiscard]] std::vector<AggregationQuery> throughput_workload(
+      QueryGroup group, std::size_t rects, std::size_t pans, double fraction);
+
+  /// Fig 6d hotspot burst: `n` county-level requests randomly panning
+  /// around a single random starting point.
+  [[nodiscard]] std::vector<AggregationQuery> hotspot_burst(
+      QueryGroup group, std::size_t n, double fraction);
+
+  /// Zipf-skewed region popularity (§V-A): draws `n` queries over `regions`
+  /// distinct rectangles with rank-`skew` popularity.
+  [[nodiscard]] std::vector<AggregationQuery> zipf_workload(
+      QueryGroup group, std::size_t regions, std::size_t n, double skew);
+
+ private:
+  WorkloadConfig config_;
+  Rng rng_;
+};
+
+}  // namespace stash::workload

@@ -1,0 +1,127 @@
+#include "baseline/elastic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/civil_time.hpp"
+
+namespace stash::baseline {
+namespace {
+
+AggregationQuery state_query() {
+  return {{36.0, 40.0, -102.0, -94.0},
+          {unix_seconds({2015, 2, 2}), unix_seconds({2015, 2, 3})},
+          {6, TemporalRes::Day}};
+}
+
+std::shared_ptr<const NamGenerator> shared_generator() {
+  static auto gen = std::make_shared<const NamGenerator>();
+  return gen;
+}
+
+TEST(ElasticTest, ConstructionValidation) {
+  EXPECT_THROW(ElasticSearchSim({}, nullptr), std::invalid_argument);
+  EsConfig bad;
+  bad.shards = 0;
+  EXPECT_THROW(ElasticSearchSim(bad, shared_generator()), std::invalid_argument);
+}
+
+TEST(ElasticTest, QueryReturnsRealAggregates) {
+  ElasticSearchSim es({}, shared_generator());
+  const auto stats = es.run_query(state_query());
+  EXPECT_GT(stats.result_cells, 0u);
+  EXPECT_GT(stats.docs_matched, 0u);
+  EXPECT_GT(stats.latency, 0);
+  EXPECT_FALSE(stats.request_cache_hit);
+  EXPECT_EQ(stats.cold_days, 1u);
+}
+
+TEST(ElasticTest, ExactRepeatHitsRequestCache) {
+  ElasticSearchSim es({}, shared_generator());
+  const auto first = es.run_query(state_query());
+  const auto second = es.run_query(state_query());
+  EXPECT_TRUE(second.request_cache_hit);
+  EXPECT_LT(second.latency, first.latency);
+  EXPECT_EQ(second.result_cells, first.result_cells);
+}
+
+TEST(ElasticTest, OverlappingPanMissesRequestCache) {
+  // The crux of Fig 8: ES's request cache is keyed by the exact search
+  // body, so a 10% pan gains almost nothing.
+  ElasticSearchSim es({}, shared_generator());
+  AggregationQuery base = state_query();
+  const auto first = es.run_query(base);
+  AggregationQuery panned = base;
+  panned.area = base.area.translated(0.0, base.area.width() * 0.1);
+  const auto second = es.run_query(panned);
+  EXPECT_FALSE(second.request_cache_hit);
+  EXPECT_EQ(second.cold_days, 0u);  // page cache is warm, that's all
+  // Improvement exists but is marginal (paper: ~0.6-2%).
+  EXPECT_LT(second.latency, first.latency);
+  const double reduction =
+      1.0 - static_cast<double>(second.latency) / static_cast<double>(first.latency);
+  EXPECT_LT(reduction, 0.15);
+}
+
+TEST(ElasticTest, SameFilterDifferentResolutionHitsFilterCache) {
+  ElasticSearchSim es({}, shared_generator());
+  AggregationQuery base = state_query();
+  es.run_query(base);
+  AggregationQuery coarser = base;
+  coarser.res.spatial = 5;
+  const auto stats = es.run_query(coarser);
+  EXPECT_FALSE(stats.request_cache_hit);
+  EXPECT_TRUE(stats.filter_cache_hit);
+}
+
+TEST(ElasticTest, DisabledCachesNeverHit) {
+  EsConfig config;
+  config.enable_request_cache = false;
+  config.enable_filter_cache = false;
+  config.enable_page_cache = false;
+  ElasticSearchSim es(config, shared_generator());
+  es.run_query(state_query());
+  const auto second = es.run_query(state_query());
+  EXPECT_FALSE(second.request_cache_hit);
+  EXPECT_FALSE(second.filter_cache_hit);
+  EXPECT_EQ(second.cold_days, 1u);
+}
+
+TEST(ElasticTest, ClearCachesResets) {
+  ElasticSearchSim es({}, shared_generator());
+  es.run_query(state_query());
+  es.clear_caches();
+  const auto stats = es.run_query(state_query());
+  EXPECT_FALSE(stats.request_cache_hit);
+  EXPECT_EQ(stats.cold_days, 1u);
+}
+
+TEST(ElasticTest, LatencyGrowsWithQuerySize) {
+  ElasticSearchSim es({}, shared_generator());
+  AggregationQuery county{{38.0, 38.6, -99.0, -97.8},
+                          state_query().time,
+                          {6, TemporalRes::Day}};
+  const auto small = es.run_query(county);
+  es.clear_caches();
+  const auto large = es.run_query(state_query());
+  EXPECT_GT(large.latency, small.latency);
+  EXPECT_GT(large.docs_matched, small.docs_matched);
+}
+
+TEST(ElasticTest, SequenceRunsInOrder) {
+  ElasticSearchSim es({}, shared_generator());
+  const std::vector<AggregationQuery> queries{state_query(), state_query()};
+  const auto stats = es.run_sequence(queries);
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_FALSE(stats[0].request_cache_hit);
+  EXPECT_TRUE(stats[1].request_cache_hit);
+}
+
+TEST(ElasticTest, InvalidQueryThrows) {
+  ElasticSearchSim es({}, shared_generator());
+  AggregationQuery bad = state_query();
+  bad.time = {50, 10};
+  EXPECT_THROW((void)es.run_query(bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace stash::baseline

@@ -1,0 +1,115 @@
+#include "baseline/precompute.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/civil_time.hpp"
+
+namespace stash::baseline {
+namespace {
+
+std::shared_ptr<const NamGenerator> shared_generator() {
+  static auto gen = std::make_shared<const NamGenerator>();
+  return gen;
+}
+
+CubeConfig small_cube() {
+  CubeConfig config;
+  config.coverage = {37.0, 39.0, -100.0, -97.0};
+  config.min_spatial = 3;
+  config.max_spatial = 6;
+  return config;
+}
+
+AggregationQuery covered_query(int spatial = 6) {
+  return {{37.5, 38.2, -99.0, -98.0},
+          {unix_seconds({2015, 2, 2}), unix_seconds({2015, 2, 3})},
+          {spatial, TemporalRes::Day}};
+}
+
+TEST(PrecomputedCubeTest, ConfigValidation) {
+  CubeConfig bad = small_cube();
+  bad.min_spatial = 7;
+  bad.max_spatial = 6;
+  EXPECT_THROW(PrecomputedCube(bad, shared_generator()), std::invalid_argument);
+  bad = small_cube();
+  bad.coverage = {5.0, 1.0, 0.0, 1.0};
+  EXPECT_THROW(PrecomputedCube(bad, shared_generator()), std::invalid_argument);
+}
+
+TEST(PrecomputedCubeTest, BuildMaterialisesEveryLevel) {
+  const PrecomputedCube cube(small_cube(), shared_generator());
+  EXPECT_GT(cube.total_cells(), 0u);
+  EXPECT_GT(cube.memory_bytes(), 0u);
+  EXPECT_GT(cube.build_time(), 0);
+  // Finer levels dominate the cell count: at least 32x more s6 than s3
+  // cells means total >> the coarse level alone.
+  const AggregationQuery coarse = covered_query(3);
+  const AggregationQuery fine = covered_query(6);
+  EXPECT_GT(cube.query(fine).result_cells, cube.query(coarse).result_cells);
+}
+
+TEST(PrecomputedCubeTest, CoverageChecks) {
+  const PrecomputedCube cube(small_cube(), shared_generator());
+  EXPECT_TRUE(cube.covers(covered_query()));
+  AggregationQuery outside_area = covered_query();
+  outside_area.area = {30.0, 31.0, -99.0, -98.0};
+  EXPECT_FALSE(cube.covers(outside_area));
+  AggregationQuery outside_time = covered_query();
+  outside_time.time = {unix_seconds({2015, 3, 1}), unix_seconds({2015, 3, 2})};
+  EXPECT_FALSE(cube.covers(outside_time));
+  AggregationQuery too_fine = covered_query(7);
+  EXPECT_FALSE(cube.covers(too_fine));
+  AggregationQuery wrong_tres = covered_query();
+  wrong_tres.res.temporal = TemporalRes::Hour;
+  EXPECT_FALSE(cube.covers(wrong_tres));
+}
+
+TEST(PrecomputedCubeTest, CoveredQueryMatchesColdScan) {
+  const PrecomputedCube cube(small_cube(), shared_generator());
+  for (int spatial : {3, 4, 5, 6}) {
+    const AggregationQuery q = covered_query(spatial);
+    const CellSummaryMap cube_cells = cube.cells_for(q);
+    GalileoStore store(shared_generator());
+    const ScanResult scan = store.scan(q.area, q.time, q.res);
+    // The cube holds full-coverage cells; the scan only sees records in the
+    // query box, so compare on the scan's keys with count >= scan count.
+    for (const auto& [key, summary] : scan.cells) {
+      const auto it = cube_cells.find(key);
+      ASSERT_NE(it, cube_cells.end()) << key.label();
+      EXPECT_GE(it->second.observation_count(), summary.observation_count());
+    }
+    EXPECT_EQ(cube.query(q).result_cells, cube_cells.size());
+  }
+}
+
+TEST(PrecomputedCubeTest, InCubeLatencyBeatsFallback) {
+  const PrecomputedCube cube(small_cube(), shared_generator());
+  const CubeQueryStats hit = cube.query(covered_query());
+  AggregationQuery outside = covered_query();
+  outside.area = {30.0, 30.7, -99.0, -97.8};  // off-slab: cold scan
+  const CubeQueryStats miss = cube.query(outside);
+  EXPECT_TRUE(hit.covered);
+  EXPECT_FALSE(miss.covered);
+  EXPECT_LT(hit.latency, miss.latency / 2);
+}
+
+TEST(PrecomputedCubeTest, MemoryGrowsWithWindow) {
+  // The §III critique: precomputation memory scales with the dataset.
+  CubeConfig one_day = small_cube();
+  const PrecomputedCube small(one_day, shared_generator());
+  CubeConfig week = small_cube();
+  week.window.end = week.window.begin + 7 * 86400;
+  const PrecomputedCube big(week, shared_generator());
+  EXPECT_GT(big.memory_bytes(), small.memory_bytes() * 5);
+  EXPECT_GT(big.build_time(), small.build_time() * 5);
+}
+
+TEST(PrecomputedCubeTest, CellsForRejectsUncovered) {
+  const PrecomputedCube cube(small_cube(), shared_generator());
+  AggregationQuery outside = covered_query();
+  outside.area = {10.0, 11.0, -99.0, -98.0};
+  EXPECT_THROW((void)cube.cells_for(outside), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace stash::baseline

@@ -1,0 +1,137 @@
+#include "client/caching_client.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/civil_time.hpp"
+
+namespace stash::client {
+namespace {
+
+using cluster::ClusterConfig;
+using cluster::StashCluster;
+
+AggregationQuery kansas_query() {
+  return {{38.0, 38.704, -99.0, -97.594},
+          {unix_seconds({2015, 2, 2}), unix_seconds({2015, 2, 3})},
+          {6, TemporalRes::Day}};
+}
+
+ClusterConfig small_config() {
+  ClusterConfig config;
+  config.num_nodes = 16;
+  return config;
+}
+
+std::shared_ptr<const NamGenerator> shared_generator() {
+  static auto gen = std::make_shared<const NamGenerator>();
+  return gen;
+}
+
+TEST(CachingClientTest, FirstQueryGoesToBackend) {
+  StashCluster cluster(small_config(), shared_generator());
+  CachingClient client(cluster);
+  const ClientResponse response = client.query(kansas_query());
+  EXPECT_FALSE(response.fully_local);
+  ASSERT_TRUE(response.backend.has_value());
+  EXPECT_GT(response.cells_from_backend, 0u);
+  EXPECT_FALSE(response.cells.empty());
+  EXPECT_EQ(client.metrics().backend_queries, 1u);
+}
+
+TEST(CachingClientTest, InteriorRepeatIsFullyLocal) {
+  StashCluster cluster(small_config(), shared_generator());
+  CachingClient client(cluster);
+  const auto base = kansas_query();
+  client.query(base);
+  AggregationQuery interior = base;
+  interior.area = base.area.scaled(0.25);
+  const ClientResponse local = client.query(interior);
+  EXPECT_TRUE(local.fully_local);
+  EXPECT_FALSE(local.backend.has_value());
+  EXPECT_GT(local.cells_from_frontend, 0u);
+  EXPECT_LT(local.latency, sim::kMillisecond);  // no network, no cluster
+}
+
+TEST(CachingClientTest, LocalResultsMatchBackendResults) {
+  const auto base = kansas_query();
+  AggregationQuery interior = base;
+  interior.area = base.area.scaled(0.25);
+
+  StashCluster cached_cluster(small_config(), shared_generator());
+  CachingClient client(cached_cluster);
+  client.query(base);
+  const ClientResponse local = client.query(interior);
+  ASSERT_TRUE(local.fully_local);
+
+  StashCluster plain(small_config(), shared_generator());
+  CellSummaryMap expected;
+  plain.run_query(interior, &expected);
+  for (const auto& [key, summary] : expected) {
+    const auto it = local.cells.find(key);
+    ASSERT_NE(it, local.cells.end()) << key.label();
+    EXPECT_TRUE(summary.approx_equals(it->second)) << key.label();
+  }
+}
+
+TEST(CachingClientTest, PanQueriesOnlyTheMissingStrip) {
+  StashCluster cluster(small_config(), shared_generator());
+  CachingClientConfig config;
+  config.enable_prefetch = false;
+  CachingClient client(cluster, config);
+  const auto base = kansas_query();
+  const ClientResponse first = client.query(base);
+  AggregationQuery panned = base;
+  panned.area = base.area.translated(0.0, base.area.width() * 0.25);
+  const ClientResponse second = client.query(panned);
+  ASSERT_TRUE(second.backend.has_value());
+  // The back-end query covered less area than the full view.
+  EXPECT_LT(second.backend->result_cells, first.backend->result_cells);
+  EXPECT_GT(second.cells_from_frontend, 0u);
+}
+
+TEST(CachingClientTest, MomentumPrefetchMakesNextPanLocal) {
+  StashCluster cluster(small_config(), shared_generator());
+  CachingClientConfig config;
+  config.enable_prefetch = true;
+  config.predictor_min_support = 2;
+  CachingClient client(cluster, config);
+
+  AggregationQuery view = kansas_query();
+  bool saw_local_pan = false;
+  for (int i = 0; i < 6; ++i) {
+    AggregationQuery next = view;
+    next.area = view.area.translated(0.0, view.area.width() * 0.25);
+    const ClientResponse response = client.query(next);
+    if (i >= 3 && response.fully_local) saw_local_pan = true;
+    view = next;
+  }
+  EXPECT_GT(client.metrics().prefetches_issued, 0u);
+  EXPECT_TRUE(saw_local_pan);
+  EXPECT_GT(client.metrics().prefetch_hits, 0u);
+}
+
+TEST(CachingClientTest, PrefetchDisabledIssuesNone) {
+  StashCluster cluster(small_config(), shared_generator());
+  CachingClientConfig config;
+  config.enable_prefetch = false;
+  CachingClient client(cluster, config);
+  AggregationQuery view = kansas_query();
+  for (int i = 0; i < 5; ++i) {
+    AggregationQuery next = view;
+    next.area = view.area.translated(0.0, view.area.width() * 0.25);
+    client.query(next);
+    view = next;
+  }
+  EXPECT_EQ(client.metrics().prefetches_issued, 0u);
+}
+
+TEST(CachingClientTest, InvalidViewThrows) {
+  StashCluster cluster(small_config(), shared_generator());
+  CachingClient client(cluster);
+  AggregationQuery bad = kansas_query();
+  bad.time = {5, 1};
+  EXPECT_THROW((void)client.query(bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace stash::client

@@ -1,0 +1,140 @@
+#include "client/frontend_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/civil_time.hpp"
+#include "common/rng.hpp"
+
+namespace stash::client {
+namespace {
+
+AggregationQuery kansas_query() {
+  return {{38.0, 38.704, -99.0, -97.594},  // ~4x4 chunks at precision 4
+          {unix_seconds({2015, 2, 2}), unix_seconds({2015, 2, 3})},
+          {6, TemporalRes::Day}};
+}
+
+/// A full response for the query, from a real scan.
+CellSummaryMap response_for(const AggregationQuery& query) {
+  GalileoStore store(std::make_shared<NamGenerator>());
+  return store.scan(query.area, query.time, query.res).cells;
+}
+
+TEST(FrontendCacheTest, EmptyCacheMissesEverything) {
+  FrontendCache cache;
+  const auto query = kansas_query();
+  const FrontendLookup lookup = cache.lookup(query);
+  EXPECT_TRUE(lookup.cells.empty());
+  EXPECT_FALSE(lookup.missing_chunks.empty());
+  ASSERT_TRUE(lookup.missing_bounds.has_value());
+  // The missing bounds cover the whole query.
+  EXPECT_TRUE(lookup.missing_bounds->contains(query.area.center()));
+  EXPECT_GT(lookup.local_time, 0);
+}
+
+TEST(FrontendCacheTest, AbsorbThenLookupServesInteriorLocally) {
+  FrontendCache cache;
+  const auto query = kansas_query();
+  const auto cells = response_for(query);
+  EXPECT_GT(cache.absorb(query, cells, 0), 0u);
+  EXPECT_GT(cache.total_cells(), 0u);
+
+  // A strictly interior sub-query is served entirely from the client.
+  AggregationQuery interior = query;
+  interior.area = query.area.scaled(0.25);
+  const FrontendLookup lookup = cache.lookup(interior);
+  EXPECT_FALSE(lookup.missing_bounds.has_value());
+  EXPECT_FALSE(lookup.cells.empty());
+}
+
+TEST(FrontendCacheTest, EdgeChunksAreNeverMarkedComplete) {
+  // A response only covers cells intersecting the query; chunks straddling
+  // the boundary must stay incomplete or later queries would see holes.
+  FrontendCache cache;
+  AggregationQuery query = kansas_query();
+  // Shift so the query is NOT chunk-aligned: edges are partial.
+  query.area = query.area.translated(0.05, 0.05);
+  cache.absorb(query, response_for(query), 0);
+
+  // Probing the same query again: interior chunks hit, edge chunks miss.
+  const FrontendLookup again = cache.lookup(query);
+  EXPECT_FALSE(again.cells.empty());
+  EXPECT_FALSE(again.missing_chunks.empty());
+  for (const auto& chunk : again.missing_chunks) {
+    EXPECT_FALSE(query.area.contains(chunk.bounds()))
+        << chunk.label() << " is interior but missing";
+  }
+}
+
+TEST(FrontendCacheTest, ServedCellsMatchBackendExactly) {
+  FrontendCache cache;
+  const auto query = kansas_query();
+  const auto cells = response_for(query);
+  cache.absorb(query, cells, 0);
+  AggregationQuery interior = query;
+  interior.area = query.area.scaled(0.25);
+  const FrontendLookup lookup = cache.lookup(interior);
+  for (const auto& [key, summary] : lookup.cells) {
+    const auto it = cells.find(key);
+    ASSERT_NE(it, cells.end()) << key.label();
+    EXPECT_EQ(summary, it->second);
+  }
+}
+
+TEST(FrontendCacheTest, MissingBoundsShrinkWithCoverage) {
+  FrontendCache cache;
+  // Chunk-aligned 4x4 box (precision-4 cells are 0.17578125 x 0.3515625),
+  // so the first absorb covers every chunk completely.
+  AggregationQuery query = kansas_query();
+  query.area = {37.96875, 38.671875, -99.140625, -97.734375};
+  const auto full = cache.lookup(query);
+  cache.absorb(query, response_for(query), 0);
+  ASSERT_FALSE(cache.lookup(query).missing_bounds.has_value());
+
+  // Pan east by 50% (2 chunk columns): only the eastern strip is missing.
+  AggregationQuery panned = query;
+  panned.area = query.area.translated(0.0, query.area.width() * 0.5);
+  const auto partial = cache.lookup(panned);
+  ASSERT_TRUE(partial.missing_bounds.has_value());
+  ASSERT_TRUE(full.missing_bounds.has_value());
+  EXPECT_LT(partial.missing_bounds->area(), full.missing_bounds->area());
+  // The missing region lies in the un-cached east.
+  EXPECT_GT(partial.missing_bounds->lng_min, query.area.lng_min);
+}
+
+TEST(FrontendCacheTest, CapacityEvictionKeepsCacheBounded) {
+  FrontendCacheConfig config;
+  config.stash.max_cells = 64;
+  config.stash.safe_limit_fraction = 0.5;
+  FrontendCache cache(config);
+  stash::Rng rng(3);
+  for (int i = 0; i < 10; ++i) {
+    AggregationQuery q = kansas_query();
+    q.area = q.area.translated(rng.uniform(-3.0, 3.0), rng.uniform(-3.0, 3.0));
+    cache.absorb(q, response_for(q), i);
+  }
+  EXPECT_LE(cache.total_cells(), 64u);
+}
+
+TEST(FrontendCacheTest, InvalidateBlockDropsLocalState) {
+  FrontendCache cache;
+  const auto query = kansas_query();
+  cache.absorb(query, response_for(query), 0);
+  ASSERT_GT(cache.total_cells(), 0u);
+  const std::size_t dropped =
+      cache.invalidate_block("9y", days_from_civil({2015, 2, 2}));
+  EXPECT_GT(dropped, 0u);
+  const auto lookup = cache.lookup(query);
+  EXPECT_TRUE(lookup.missing_bounds.has_value());
+}
+
+TEST(FrontendCacheTest, InvalidQueryThrows) {
+  FrontendCache cache;
+  AggregationQuery bad = kansas_query();
+  bad.time = {5, 1};
+  EXPECT_THROW((void)cache.lookup(bad), std::invalid_argument);
+  EXPECT_THROW((void)cache.absorb(bad, {}, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace stash::client

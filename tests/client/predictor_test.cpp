@@ -1,0 +1,167 @@
+#include "client/predictor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/civil_time.hpp"
+
+namespace stash::client {
+namespace {
+
+AggregationQuery base_view() {
+  return {{38.0, 39.0, -99.0, -97.0},
+          {unix_seconds({2015, 2, 2}), unix_seconds({2015, 2, 3})},
+          {6, TemporalRes::Day}};
+}
+
+TEST(ClassifyTransitionTest, PanDirections) {
+  const auto view = base_view();
+  const struct {
+    double dlat, dlng;
+    NavAction expected;
+  } cases[] = {
+      {0.25, 0.0, NavAction::PanN}, {0.25, 0.25, NavAction::PanNE},
+      {0.0, 0.25, NavAction::PanE}, {-0.25, 0.25, NavAction::PanSE},
+      {-0.25, 0.0, NavAction::PanS}, {-0.25, -0.25, NavAction::PanSW},
+      {0.0, -0.25, NavAction::PanW}, {0.25, -0.25, NavAction::PanNW},
+  };
+  for (const auto& c : cases) {
+    AggregationQuery to = view;
+    to.area = view.area.translated(c.dlat * view.area.height(),
+                                   c.dlng * view.area.width());
+    EXPECT_EQ(classify_transition(view, to), c.expected)
+        << to_string(c.expected);
+  }
+}
+
+TEST(ClassifyTransitionTest, ZoomAndSlice) {
+  const auto view = base_view();
+  AggregationQuery drill = view;
+  ++drill.res.spatial;
+  EXPECT_EQ(classify_transition(view, drill), NavAction::DrillDown);
+  AggregationQuery roll = view;
+  --roll.res.spatial;
+  EXPECT_EQ(classify_transition(view, roll), NavAction::RollUp);
+  AggregationQuery next_day = view;
+  next_day.time = {view.time.end, view.time.end + 86400};
+  EXPECT_EQ(classify_transition(view, next_day), NavAction::SliceNext);
+  AggregationQuery prev_day = view;
+  prev_day.time = {view.time.begin - 86400, view.time.begin};
+  EXPECT_EQ(classify_transition(view, prev_day), NavAction::SlicePrev);
+  EXPECT_EQ(classify_transition(view, view), NavAction::Repeat);
+}
+
+TEST(ClassifyTransitionTest, JumpsAreUnclassifiable) {
+  const auto view = base_view();
+  AggregationQuery far = view;
+  far.area = view.area.translated(20.0, 40.0);  // way beyond one extent
+  EXPECT_EQ(classify_transition(view, far), NavAction::Jump);
+  AggregationQuery reshaped = view;
+  reshaped.area = view.area.scaled(0.5);
+  EXPECT_EQ(classify_transition(view, reshaped), NavAction::Jump);
+  AggregationQuery retimed = view;
+  retimed.time = {view.time.begin + 3600, view.time.end + 7200};
+  EXPECT_EQ(classify_transition(view, retimed), NavAction::Jump);
+  AggregationQuery double_zoom = view;
+  double_zoom.res.spatial += 2;
+  EXPECT_EQ(classify_transition(view, double_zoom), NavAction::Jump);
+}
+
+TEST(ApplyActionTest, InvertsClassification) {
+  const auto view = base_view();
+  for (std::size_t a = 0; a < kNavActionCount; ++a) {
+    const auto action = static_cast<NavAction>(a);
+    if (action == NavAction::Jump) continue;
+    const auto applied = apply_action(view, action);
+    ASSERT_TRUE(applied.has_value()) << to_string(action);
+    EXPECT_EQ(classify_transition(view, *applied), action) << to_string(action);
+  }
+}
+
+TEST(ApplyActionTest, RespectsResolutionLimits) {
+  AggregationQuery finest = base_view();
+  finest.res.spatial = geohash::kMaxPrecision;
+  EXPECT_FALSE(apply_action(finest, NavAction::DrillDown).has_value());
+  AggregationQuery coarsest = base_view();
+  coarsest.res.spatial = 2;
+  EXPECT_FALSE(apply_action(coarsest, NavAction::RollUp, 2).has_value());
+}
+
+TEST(PredictorTest, NoPredictionWithoutHistory) {
+  const AccessPredictor predictor;
+  EXPECT_FALSE(predictor.predict(base_view()).has_value());
+}
+
+TEST(PredictorTest, MomentumPansArePredicted) {
+  AccessPredictor predictor(/*min_support=*/2);
+  AggregationQuery view = base_view();
+  // Pan east four times: by the third, pan-E -> pan-E has support 2.
+  for (int i = 0; i < 4; ++i) {
+    AggregationQuery next = view;
+    next.area = view.area.translated(0.0, 0.25 * view.area.width());
+    predictor.observe(view, next);
+    view = next;
+  }
+  const auto predicted = predictor.predict(view);
+  ASSERT_TRUE(predicted.has_value());
+  EXPECT_EQ(classify_transition(view, *predicted), NavAction::PanE);
+}
+
+TEST(PredictorTest, PredictedPanUsesObservedMagnitude) {
+  AccessPredictor predictor(1);
+  AggregationQuery view = base_view();
+  for (int i = 0; i < 6; ++i) {
+    AggregationQuery next = view;
+    next.area = view.area.translated(0.0, 0.10 * view.area.width());
+    predictor.observe(view, next);
+    view = next;
+  }
+  const auto predicted = predictor.predict(view);
+  ASSERT_TRUE(predicted.has_value());
+  const double shift =
+      (predicted->area.lng_min - view.area.lng_min) / view.area.width();
+  EXPECT_NEAR(shift, 0.10, 0.05);  // EMA converges toward the user's 10%
+}
+
+TEST(PredictorTest, MinSupportGatesPredictions) {
+  AccessPredictor predictor(/*min_support=*/5);
+  AggregationQuery view = base_view();
+  for (int i = 0; i < 3; ++i) {
+    AggregationQuery next = view;
+    next.area = view.area.translated(0.0, 0.25 * view.area.width());
+    predictor.observe(view, next);
+    view = next;
+  }
+  EXPECT_FALSE(predictor.predict(view).has_value());  // support only 2
+}
+
+TEST(PredictorTest, DrillRollOscillationLearned) {
+  AccessPredictor predictor(1);
+  AggregationQuery view = base_view();
+  // drill, roll, drill, roll ... : after a drill, predict a roll.
+  for (int i = 0; i < 6; ++i) {
+    const NavAction action = i % 2 == 0 ? NavAction::DrillDown : NavAction::RollUp;
+    const auto next = apply_action(view, action);
+    ASSERT_TRUE(next.has_value());
+    predictor.observe(view, *next);
+    view = *next;
+  }
+  ASSERT_EQ(predictor.last_action(), NavAction::RollUp);
+  const auto predicted = predictor.predict(view);
+  ASSERT_TRUE(predicted.has_value());
+  EXPECT_EQ(classify_transition(view, *predicted), NavAction::DrillDown);
+}
+
+TEST(PredictorTest, JumpsAreNeverPredicted) {
+  AccessPredictor predictor(1);
+  AggregationQuery view = base_view();
+  for (int i = 0; i < 5; ++i) {
+    AggregationQuery next = view;
+    next.area = view.area.translated(15.0, 30.0);  // jump after jump
+    predictor.observe(view, next);
+    view = next;
+  }
+  EXPECT_FALSE(predictor.predict(view).has_value());
+}
+
+}  // namespace
+}  // namespace stash::client

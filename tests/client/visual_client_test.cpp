@@ -1,0 +1,135 @@
+#include "client/visual_client.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/civil_time.hpp"
+
+namespace stash::client {
+namespace {
+
+using cluster::ClusterConfig;
+using cluster::StashCluster;
+using cluster::SystemMode;
+
+class VisualClientTest : public ::testing::Test {
+ protected:
+  VisualClientTest() : cluster_(make_config(), gen_), client_(cluster_) {}
+
+  static ClusterConfig make_config() {
+    ClusterConfig config;
+    config.num_nodes = 16;
+    return config;
+  }
+
+  std::shared_ptr<const NamGenerator> gen_ = std::make_shared<NamGenerator>();
+  StashCluster cluster_;
+  VisualClient client_;
+
+  static BoundingBox kansas() { return {37.0, 40.0, -102.0, -95.0}; }
+  static TimeRange feb2() {
+    return {unix_seconds({2015, 2, 2}), unix_seconds({2015, 2, 3})};
+  }
+};
+
+TEST_F(VisualClientTest, DiceReturnsSortedCells) {
+  const ViewResult result = client_.dice(kansas(), feb2());
+  ASSERT_FALSE(result.cells.empty());
+  for (std::size_t i = 1; i < result.cells.size(); ++i)
+    EXPECT_TRUE(result.cells[i - 1].key < result.cells[i].key);
+  EXPECT_EQ(result.stats.result_cells, result.cells.size());
+}
+
+TEST_F(VisualClientTest, PanMovesTheView) {
+  client_.dice(kansas(), feb2());
+  const BoundingBox before = client_.view().area;
+  client_.pan(0.0, 0.25);
+  const BoundingBox after = client_.view().area;
+  EXPECT_NEAR(after.lng_min - before.lng_min, before.width() * 0.25, 1e-9);
+  EXPECT_NEAR(after.lat_min, before.lat_min, 1e-9);
+}
+
+TEST_F(VisualClientTest, PanReusesCache) {
+  client_.dice(kansas(), feb2());
+  const ViewResult panned = client_.pan(0.0, 0.1);
+  EXPECT_GT(panned.stats.breakdown.chunks_from_cache, 0u);
+}
+
+TEST_F(VisualClientTest, DrillDownAndRollUpAdjustResolution) {
+  client_.dice(kansas(), feb2());
+  EXPECT_EQ(client_.view().res.spatial, 6);
+  client_.drill_down();
+  EXPECT_EQ(client_.view().res.spatial, 7);
+  client_.roll_up();
+  client_.roll_up();
+  EXPECT_EQ(client_.view().res.spatial, 5);
+}
+
+TEST_F(VisualClientTest, RollUpSynthesizesFromCachedFinerCells) {
+  client_.dice(kansas(), feb2());
+  const ViewResult rolled = client_.roll_up();
+  EXPECT_GT(rolled.stats.breakdown.chunks_synthesized, 0u);
+  EXPECT_EQ(rolled.stats.breakdown.scan.records_scanned, 0u);
+}
+
+TEST_F(VisualClientTest, ResolutionLimitsEnforced) {
+  AggregationQuery view{kansas(), feb2(), {12, TemporalRes::Day}};
+  client_.set_view(view);
+  EXPECT_THROW((void)client_.drill_down(), std::logic_error);
+  view.res.spatial = cluster_.config().partition_prefix_length;
+  client_.set_view(view);
+  EXPECT_THROW((void)client_.roll_up(), std::logic_error);
+}
+
+TEST_F(VisualClientTest, SliceChangesTimeOnly) {
+  client_.dice(kansas(), feb2());
+  const TimeRange feb3{unix_seconds({2015, 2, 3}), unix_seconds({2015, 2, 4})};
+  client_.slice(feb3);
+  EXPECT_EQ(client_.view().time, feb3);
+  EXPECT_EQ(client_.view().area, kansas());
+}
+
+TEST_F(VisualClientTest, RefreshHitsCache) {
+  client_.dice(kansas(), feb2());
+  const ViewResult again = client_.refresh();
+  EXPECT_EQ(again.stats.breakdown.scan.records_scanned, 0u);
+}
+
+TEST_F(VisualClientTest, SetViewValidates) {
+  AggregationQuery bad{kansas(), {50, 10}, {6, TemporalRes::Day}};
+  EXPECT_THROW(client_.set_view(bad), std::invalid_argument);
+}
+
+TEST_F(VisualClientTest, JsonContainsCellsAndAttributes) {
+  const ViewResult result = client_.dice(kansas(), feb2());
+  const std::string json = VisualClient::to_json(result, 5);
+  EXPECT_NE(json.find("\"geohash\""), std::string::npos);
+  EXPECT_NE(json.find("\"surface_temperature_k\""), std::string::npos);
+  EXPECT_NE(json.find("\"latency_ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"truncated\":true"), std::string::npos);
+  // Rough well-formedness: balanced braces/brackets.
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+}
+
+TEST_F(VisualClientTest, HeatmapHasRequestedShape) {
+  const ViewResult result = client_.dice(kansas(), feb2());
+  const std::string map = VisualClient::ascii_heatmap(
+      result, kansas(), NamAttribute::SurfaceTemperatureK, 8, 20);
+  EXPECT_EQ(std::count(map.begin(), map.end(), '\n'), 8);
+  const auto first_line = map.substr(0, map.find('\n'));
+  EXPECT_EQ(first_line.size(), 20u);
+  // Kansas in February has data everywhere: the map is not blank.
+  EXPECT_NE(map.find_first_not_of(" \n"), std::string::npos);
+}
+
+TEST_F(VisualClientTest, HeatmapValidation) {
+  const ViewResult empty;
+  EXPECT_THROW((void)VisualClient::ascii_heatmap(empty, kansas(),
+                                                 NamAttribute::SnowDepthM, 0, 5),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace stash::client

@@ -1,0 +1,119 @@
+// Determinism harness: the whole simulated system — caching, hotspot
+// protocol, workloads — must be bit-for-bit repeatable for a fixed seed
+// and sensitive to seed changes.  This is what makes the benches
+// reproducible records rather than one-off measurements.
+
+#include <gtest/gtest.h>
+
+#include "baseline/elastic.hpp"
+#include "cluster/cluster.hpp"
+#include "workload/workload.hpp"
+
+namespace stash::cluster {
+namespace {
+
+std::shared_ptr<const NamGenerator> shared_generator() {
+  static auto gen = std::make_shared<const NamGenerator>();
+  return gen;
+}
+
+struct Fingerprint {
+  std::vector<sim::SimTime> latencies;
+  std::vector<std::size_t> cells;
+  std::uint64_t events = 0;
+  std::uint64_t reroutes = 0;
+
+  bool operator==(const Fingerprint&) const = default;
+};
+
+Fingerprint run_scenario(SystemMode mode, std::uint64_t cluster_seed,
+                         std::uint64_t workload_seed) {
+  ClusterConfig config;
+  config.num_nodes = 16;
+  config.mode = mode;
+  config.seed = cluster_seed;
+  config.stash.hotspot_queue_threshold = 20;
+  StashCluster cluster(config, shared_generator());
+
+  workload::WorkloadConfig wl_config;
+  wl_config.seed = workload_seed;
+  workload::WorkloadGenerator wl(wl_config);
+  // A mixed scenario: a session, then a hotspot burst.
+  const auto session =
+      wl.panning_sequence(wl.random_query(workload::QueryGroup::State), 0.2);
+  const auto burst = wl.hotspot_burst(workload::QueryGroup::County, 300, 0.1);
+
+  Fingerprint fp;
+  for (const auto& q : session) {
+    const auto stats = cluster.run_query(q);
+    fp.latencies.push_back(stats.latency());
+    fp.cells.push_back(stats.result_cells);
+  }
+  // Warm the hotspot region so the burst exercises replication + rerouting
+  // (a cold hotspot only hands off after its own traffic fills the cache).
+  AggregationQuery warm = burst.front();
+  warm.area = warm.area.scaled(16.0);
+  cluster.run_query(warm);
+  for (const auto& stats : cluster.run_open_loop(burst, 20)) {
+    fp.latencies.push_back(stats.latency());
+    fp.cells.push_back(stats.result_cells);
+  }
+  fp.events = cluster.loop().executed();
+  fp.reroutes = cluster.metrics().reroutes;
+  return fp;
+}
+
+class DeterminismTest : public ::testing::TestWithParam<SystemMode> {};
+
+TEST_P(DeterminismTest, IdenticalSeedsIdenticalRuns) {
+  const Fingerprint a = run_scenario(GetParam(), 42, 7);
+  const Fingerprint b = run_scenario(GetParam(), 42, 7);
+  EXPECT_EQ(a, b);
+}
+
+TEST_P(DeterminismTest, WorkloadSeedChangesOutcome) {
+  const Fingerprint a = run_scenario(GetParam(), 42, 7);
+  const Fingerprint b = run_scenario(GetParam(), 42, 8);
+  EXPECT_NE(a.latencies, b.latencies);
+}
+
+std::string mode_name(const ::testing::TestParamInfo<SystemMode>& param) {
+  switch (param.param) {
+    case SystemMode::Basic: return "Basic";
+    case SystemMode::Stash: return "Stash";
+    case SystemMode::StashNoReplication: return "StashNoReplication";
+  }
+  return "unknown";
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, DeterminismTest,
+                         ::testing::Values(SystemMode::Basic, SystemMode::Stash,
+                                           SystemMode::StashNoReplication),
+                         mode_name);
+
+TEST(DeterminismTest, ElasticBaselineIsDeterministic) {
+  workload::WorkloadGenerator wl_a;
+  workload::WorkloadGenerator wl_b;
+  baseline::ElasticSearchSim es_a({}, shared_generator());
+  baseline::ElasticSearchSim es_b({}, shared_generator());
+  const auto queries_a =
+      wl_a.panning_sequence(wl_a.random_query(workload::QueryGroup::State), 0.25);
+  const auto queries_b =
+      wl_b.panning_sequence(wl_b.random_query(workload::QueryGroup::State), 0.25);
+  const auto stats_a = es_a.run_sequence(queries_a);
+  const auto stats_b = es_b.run_sequence(queries_b);
+  ASSERT_EQ(stats_a.size(), stats_b.size());
+  for (std::size_t i = 0; i < stats_a.size(); ++i) {
+    EXPECT_EQ(stats_a[i].latency, stats_b[i].latency);
+    EXPECT_EQ(stats_a[i].result_cells, stats_b[i].result_cells);
+  }
+}
+
+TEST(DeterminismTest, ReroutingActuallyHappensInFingerprint) {
+  // Guard against the scenario silently losing its hotspot behavior.
+  const Fingerprint fp = run_scenario(SystemMode::Stash, 42, 7);
+  EXPECT_GT(fp.reroutes, 0u);
+}
+
+}  // namespace
+}  // namespace stash::cluster

@@ -1,0 +1,190 @@
+// Failure and adversity injection for the distributed paths: purged
+// replicas, rejected helpers, starved caches, and mid-burst ingest must
+// degrade gracefully and never corrupt results.
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.hpp"
+#include "common/civil_time.hpp"
+#include "workload/workload.hpp"
+
+namespace stash::cluster {
+namespace {
+
+std::shared_ptr<const NamGenerator> shared_generator() {
+  static auto gen = std::make_shared<const NamGenerator>();
+  return gen;
+}
+
+AggregationQuery county_query() {
+  return {{38.0, 38.6, -99.0, -97.8},
+          {unix_seconds({2015, 2, 2}), unix_seconds({2015, 2, 3})},
+          {6, TemporalRes::Day}};
+}
+
+std::vector<AggregationQuery> burst_around(const AggregationQuery& base,
+                                           std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<AggregationQuery> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    AggregationQuery q = base;
+    q.area = base.area.translated(0.1 * base.area.height() * rng.uniform(-1, 1),
+                                  0.1 * base.area.width() * rng.uniform(-1, 1));
+    out.push_back(q);
+  }
+  return out;
+}
+
+ClusterConfig hot_config() {
+  ClusterConfig config;
+  config.num_nodes = 16;
+  config.stash.hotspot_queue_threshold = 20;
+  config.stash.reroute_probability = 0.7;
+  return config;
+}
+
+/// Reference results for a set of queries from a plain basic-mode cluster.
+std::vector<std::size_t> reference_cell_counts(
+    const std::vector<AggregationQuery>& queries) {
+  ClusterConfig config;
+  config.num_nodes = 16;
+  config.mode = SystemMode::Basic;
+  StashCluster cluster(config, shared_generator());
+  std::vector<std::size_t> out;
+  out.reserve(queries.size());
+  for (const auto& q : queries) out.push_back(cluster.run_query(q).result_cells);
+  return out;
+}
+
+TEST(FailureInjectionTest, GuestPurgeTriggersFallbackNotCorruption) {
+  // Replicas expire at the helper while routing entries survive: redirected
+  // queries must fall back to the owner and still answer correctly.
+  ClusterConfig config = hot_config();
+  config.stash.guest_ttl = 1;           // guests purge almost immediately
+  config.stash.routing_ttl = 3600 * sim::kSecond;  // routing stays "fresh"
+  StashCluster cluster(config, shared_generator());
+
+  AggregationQuery warm = county_query();
+  warm.area = warm.area.scaled(16.0);
+  cluster.run_query(warm);
+  const auto burst = burst_around(county_query(), 300, 11);
+  const auto stats = cluster.run_open_loop(burst, 20);
+
+  const auto& m = cluster.metrics();
+  ASSERT_GT(m.reroutes, 0u) << "scenario did not exercise rerouting";
+  EXPECT_GT(m.guest_fallbacks, 0u) << "purged guests should force fallbacks";
+  const auto expected = reference_cell_counts(burst);
+  for (std::size_t i = 0; i < burst.size(); ++i)
+    EXPECT_EQ(stats[i].result_cells, expected[i]) << "query " << i;
+}
+
+TEST(FailureInjectionTest, AllHelpersRefuseWhenGuestCapacityZero) {
+  ClusterConfig config = hot_config();
+  config.stash.guest_capacity_cells = 0;  // nobody can host replicas
+  StashCluster cluster(config, shared_generator());
+  AggregationQuery warm = county_query();
+  warm.area = warm.area.scaled(16.0);
+  cluster.run_query(warm);
+  const auto burst = burst_around(county_query(), 300, 13);
+  const auto stats = cluster.run_open_loop(burst, 20);
+
+  const auto& m = cluster.metrics();
+  EXPECT_GT(m.handoffs_initiated, 0u);
+  EXPECT_EQ(m.cliques_replicated, 0u);
+  EXPECT_GT(m.distress_rejections, 0u);
+  EXPECT_EQ(m.reroutes, 0u);
+  // The hotspot is slower but every answer is still produced and correct.
+  const auto expected = reference_cell_counts(burst);
+  for (std::size_t i = 0; i < burst.size(); ++i)
+    EXPECT_EQ(stats[i].result_cells, expected[i]) << "query " << i;
+}
+
+TEST(FailureInjectionTest, StarvedCacheStillAnswersCorrectly) {
+  // A pathologically small cache (smaller than a single query) must not
+  // break correctness — only performance.
+  ClusterConfig config;
+  config.num_nodes = 16;
+  config.stash.max_cells = 4;
+  config.stash.safe_limit_fraction = 0.5;
+  StashCluster cluster(config, shared_generator());
+  const auto queries = burst_around(county_query(), 10, 17);
+  const auto expected = reference_cell_counts(queries);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const auto stats = cluster.run_query(queries[i]);
+    EXPECT_EQ(stats.result_cells, expected[i]) << "query " << i;
+  }
+  EXPECT_LE(cluster.total_cached_cells(), 4u);
+}
+
+TEST(FailureInjectionTest, IngestDuringHotspotKeepsResultsFresh) {
+  ClusterConfig config = hot_config();
+  StashCluster cluster(config, shared_generator());
+  AggregationQuery warm = county_query();
+  warm.area = warm.area.scaled(16.0);
+  cluster.run_query(warm);
+
+  // Hotspot, then an ingest, then more traffic: post-ingest queries must
+  // see version-1 data even where replicas/caches held version-0 cells.
+  cluster.run_open_loop(burst_around(county_query(), 200, 19), 20);
+  const std::string partition = geohash::encode({38.3, -98.4}, 2);
+  cluster.ingest_update(partition, days_from_civil({2015, 2, 2}));
+
+  CellSummaryMap after;
+  cluster.run_query(county_query(), &after);
+
+  ClusterConfig fresh_config;
+  fresh_config.num_nodes = 16;
+  fresh_config.mode = SystemMode::Basic;
+  StashCluster fresh(fresh_config, shared_generator());
+  fresh.ingest_update(partition, days_from_civil({2015, 2, 2}));
+  CellSummaryMap expected;
+  fresh.run_query(county_query(), &expected);
+
+  ASSERT_EQ(after.size(), expected.size());
+  for (const auto& [key, summary] : expected) {
+    const auto it = after.find(key);
+    ASSERT_NE(it, after.end()) << key.label();
+    EXPECT_TRUE(summary.approx_equals(it->second)) << key.label();
+  }
+}
+
+TEST(FailureInjectionTest, DiscardPayloadKeepsCountsExact) {
+  const auto queries = burst_around(county_query(), 20, 23);
+  ClusterConfig config;
+  config.num_nodes = 16;
+  StashCluster normal(config, shared_generator());
+  config.discard_payload = true;
+  StashCluster discarding(config, shared_generator());
+  const auto a = normal.run_burst(queries);
+  const auto b = discarding.run_burst(queries);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(a[i].result_cells, b[i].result_cells) << i;
+    EXPECT_EQ(a[i].latency(), b[i].latency()) << i;
+  }
+}
+
+TEST(FailureInjectionTest, ZeroDataRegionsUnderAllModes) {
+  // Mid-ocean queries: no records anywhere; every mode must agree on the
+  // empty answer and never touch data it does not have.
+  AggregationQuery ocean = county_query();
+  ocean.area = {-10.0, -9.4, -30.0, -28.8};
+  for (SystemMode mode : {SystemMode::Basic, SystemMode::Stash,
+                          SystemMode::StashNoReplication}) {
+    ClusterConfig config;
+    config.num_nodes = 16;
+    config.mode = mode;
+    StashCluster cluster(config, shared_generator());
+    const auto first = cluster.run_query(ocean);
+    const auto second = cluster.run_query(ocean);
+    EXPECT_EQ(first.result_cells, 0u);
+    EXPECT_EQ(second.result_cells, 0u);
+    if (mode != SystemMode::Basic) {
+      EXPECT_EQ(second.breakdown.chunks_scanned, 0u)
+          << "known-empty chunks should be cached";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace stash::cluster

@@ -1,0 +1,106 @@
+#include "common/bitset.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace stash {
+namespace {
+
+TEST(DynamicBitsetTest, DefaultIsEmpty) {
+  const DynamicBitset b;
+  EXPECT_EQ(b.size(), 0u);
+  EXPECT_EQ(b.count(), 0u);
+  EXPECT_TRUE(b.none());
+}
+
+TEST(DynamicBitsetTest, SetTestReset) {
+  DynamicBitset b(130);  // spans three 64-bit words
+  EXPECT_FALSE(b.test(0));
+  b.set(0);
+  b.set(63);
+  b.set(64);
+  b.set(129);
+  EXPECT_TRUE(b.test(0));
+  EXPECT_TRUE(b.test(63));
+  EXPECT_TRUE(b.test(64));
+  EXPECT_TRUE(b.test(129));
+  EXPECT_FALSE(b.test(1));
+  EXPECT_EQ(b.count(), 4u);
+  b.reset(63);
+  EXPECT_FALSE(b.test(63));
+  EXPECT_EQ(b.count(), 3u);
+}
+
+TEST(DynamicBitsetTest, AllAndNone) {
+  DynamicBitset b(5);
+  EXPECT_TRUE(b.none());
+  EXPECT_FALSE(b.all());
+  for (std::size_t i = 0; i < 5; ++i) b.set(i);
+  EXPECT_TRUE(b.all());
+  EXPECT_FALSE(b.none());
+}
+
+TEST(DynamicBitsetTest, ZeroAndOneIndicesPartition) {
+  DynamicBitset b(100);
+  Rng rng(42);
+  for (std::size_t i = 0; i < 100; ++i)
+    if (rng.bernoulli(0.4)) b.set(i);
+  const auto zeros = b.zero_indices();
+  const auto ones = b.one_indices();
+  EXPECT_EQ(zeros.size() + ones.size(), 100u);
+  for (auto i : zeros) EXPECT_FALSE(b.test(i));
+  for (auto i : ones) EXPECT_TRUE(b.test(i));
+}
+
+TEST(DynamicBitsetTest, OneIndicesSortedAscending) {
+  DynamicBitset b(200);
+  b.set(5);
+  b.set(70);
+  b.set(199);
+  const auto ones = b.one_indices();
+  ASSERT_EQ(ones.size(), 3u);
+  EXPECT_EQ(ones[0], 5u);
+  EXPECT_EQ(ones[1], 70u);
+  EXPECT_EQ(ones[2], 199u);
+}
+
+TEST(DynamicBitsetTest, ClearResetsEverything) {
+  DynamicBitset b(64);
+  for (std::size_t i = 0; i < 64; ++i) b.set(i);
+  b.clear();
+  EXPECT_TRUE(b.none());
+}
+
+TEST(DynamicBitsetTest, OrCombines) {
+  DynamicBitset a(10);
+  DynamicBitset b(10);
+  a.set(1);
+  b.set(8);
+  a |= b;
+  EXPECT_TRUE(a.test(1));
+  EXPECT_TRUE(a.test(8));
+  EXPECT_EQ(a.count(), 2u);
+}
+
+TEST(DynamicBitsetTest, AndIntersects) {
+  DynamicBitset a(10);
+  DynamicBitset b(10);
+  a.set(1);
+  a.set(2);
+  b.set(2);
+  b.set(3);
+  a &= b;
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_TRUE(a.test(2));
+}
+
+TEST(DynamicBitsetTest, SizeMismatchThrows) {
+  DynamicBitset a(10);
+  DynamicBitset b(11);
+  EXPECT_THROW(a |= b, std::invalid_argument);
+  EXPECT_THROW(a &= b, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace stash

@@ -1,0 +1,88 @@
+#include "common/civil_time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace stash {
+namespace {
+
+TEST(CivilTimeTest, LeapYears) {
+  EXPECT_TRUE(is_leap_year(2000));
+  EXPECT_TRUE(is_leap_year(2012));
+  EXPECT_TRUE(is_leap_year(2016));
+  EXPECT_FALSE(is_leap_year(1900));
+  EXPECT_FALSE(is_leap_year(2013));
+  EXPECT_FALSE(is_leap_year(2015));
+}
+
+TEST(CivilTimeTest, DaysInMonth) {
+  EXPECT_EQ(days_in_month(2015, 1), 31);
+  EXPECT_EQ(days_in_month(2015, 2), 28);
+  EXPECT_EQ(days_in_month(2016, 2), 29);
+  EXPECT_EQ(days_in_month(2015, 4), 30);
+  EXPECT_EQ(days_in_month(2015, 12), 31);
+}
+
+TEST(CivilTimeTest, EpochIsDayZero) {
+  EXPECT_EQ(days_from_civil({1970, 1, 1}), 0);
+  EXPECT_EQ(civil_from_days(0), (CivilDate{1970, 1, 1}));
+}
+
+TEST(CivilTimeTest, KnownDates) {
+  // 2015-02-02 (the paper's Query_Time) is 16468 days after the epoch.
+  EXPECT_EQ(days_from_civil({2015, 2, 2}), 16468);
+  EXPECT_EQ(days_from_civil({2000, 3, 1}), 11017);
+  EXPECT_EQ(days_from_civil({1969, 12, 31}), -1);
+}
+
+TEST(CivilTimeTest, RoundTripOverDecades) {
+  for (std::int64_t d = -20000; d <= 40000; d += 17) {
+    const CivilDate c = civil_from_days(d);
+    EXPECT_EQ(days_from_civil(c), d);
+    EXPECT_GE(c.month, 1);
+    EXPECT_LE(c.month, 12);
+    EXPECT_GE(c.day, 1);
+    EXPECT_LE(c.day, days_in_month(c.year, c.month));
+  }
+}
+
+TEST(CivilTimeTest, ConsecutiveDaysAreConsecutive) {
+  std::int64_t prev = days_from_civil({2012, 1, 1});
+  for (int month = 1; month <= 12; ++month) {
+    for (int day = 1; day <= days_in_month(2012, month); ++day) {
+      if (month == 1 && day == 1) continue;
+      const std::int64_t cur = days_from_civil({2012, month, day});
+      EXPECT_EQ(cur, prev + 1);
+      prev = cur;
+    }
+  }
+}
+
+TEST(CivilTimeTest, UnixSecondsMidnight) {
+  EXPECT_EQ(unix_seconds({1970, 1, 1}), 0);
+  EXPECT_EQ(unix_seconds({1970, 1, 2}), 86400);
+  EXPECT_EQ(unix_seconds({2015, 2, 2}), 16468 * 86400);
+}
+
+TEST(CivilTimeTest, UnixSecondsWithTimeOfDay) {
+  EXPECT_EQ(unix_seconds({1970, 1, 1}, 1, 2, 3), 3723);
+}
+
+TEST(CivilTimeTest, CivilFromUnixSecondsRoundTrip) {
+  for (std::int64_t ts : {std::int64_t{0}, std::int64_t{123456789},
+                          std::int64_t{16468} * 86400 + 5 * 3600,
+                          std::int64_t{-86400}, std::int64_t{-1}}) {
+    const CivilDateTime dt = civil_from_unix_seconds(ts);
+    const std::int64_t back = unix_seconds(dt.date, dt.hour);
+    EXPECT_LE(back, ts);
+    EXPECT_GT(back + 3600, ts);
+  }
+}
+
+TEST(CivilTimeTest, NegativeTimestampsFloorCorrectly) {
+  const CivilDateTime dt = civil_from_unix_seconds(-1);
+  EXPECT_EQ(dt.date, (CivilDate{1969, 12, 31}));
+  EXPECT_EQ(dt.hour, 23);
+}
+
+}  // namespace
+}  // namespace stash

@@ -1,0 +1,182 @@
+#include "common/codec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace stash::codec {
+namespace {
+
+const TemporalBin kDay(TemporalRes::Day, 2015, 2, 2);
+
+TEST(CodecTest, VarintRoundTrip) {
+  const std::uint64_t values[] = {0,    1,    127,  128,   16383, 16384,
+                                  1u << 20, 1ull << 35, ~0ull};
+  for (std::uint64_t v : values) {
+    Buffer buffer;
+    put_varint(buffer, v);
+    Reader reader(buffer);
+    EXPECT_EQ(reader.varint(), v);
+    EXPECT_TRUE(reader.done());
+  }
+}
+
+TEST(CodecTest, VarintSizes) {
+  Buffer one;
+  put_varint(one, 127);
+  EXPECT_EQ(one.size(), 1u);
+  Buffer two;
+  put_varint(two, 128);
+  EXPECT_EQ(two.size(), 2u);
+  Buffer ten;
+  put_varint(ten, ~0ull);
+  EXPECT_EQ(ten.size(), 10u);
+}
+
+TEST(CodecTest, FixedWidthRoundTrip) {
+  Buffer buffer;
+  put_u32(buffer, 0xdeadbeef);
+  put_u64(buffer, 0x0123456789abcdefULL);
+  put_double(buffer, -273.15);
+  put_double(buffer, 0.0);
+  Reader reader(buffer);
+  EXPECT_EQ(reader.u32(), 0xdeadbeef);
+  EXPECT_EQ(reader.u64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(reader.f64(), -273.15);
+  EXPECT_EQ(reader.f64(), 0.0);
+  EXPECT_TRUE(reader.done());
+}
+
+TEST(CodecTest, TruncatedInputThrows) {
+  Buffer buffer;
+  put_u64(buffer, 42);
+  buffer.pop_back();
+  Reader reader(buffer);
+  EXPECT_THROW((void)reader.u64(), std::out_of_range);
+}
+
+TEST(CodecTest, VarintOverflowThrows) {
+  Buffer buffer(11, 0xff);  // unterminated 11-byte varint
+  Reader reader(buffer);
+  EXPECT_THROW((void)reader.varint(), std::exception);
+}
+
+TEST(CodecTest, CellKeyRoundTrip) {
+  const CellKey key("9q8y7z", kDay);
+  Buffer buffer;
+  encode(buffer, key);
+  Reader reader(buffer);
+  EXPECT_EQ(decode_cell_key(reader), key);
+}
+
+TEST(CodecTest, CellKeyValidationOnDecode) {
+  Buffer buffer;
+  put_u64(buffer, 0);  // length nibble 0: invalid geohash packing
+  put_u32(buffer, kDay.pack());
+  Reader reader(buffer);
+  EXPECT_THROW((void)decode_cell_key(reader), std::invalid_argument);
+}
+
+TEST(CodecTest, SummaryRoundTrip) {
+  Rng rng(1);
+  Summary summary(kNamAttributeCount);
+  for (int i = 0; i < 50; ++i) {
+    double obs[kNamAttributeCount];
+    for (auto& v : obs) v = rng.normal(0.0, 100.0);
+    summary.add_observation(obs, kNamAttributeCount);
+  }
+  Buffer buffer;
+  encode(buffer, summary);
+  Reader reader(buffer);
+  EXPECT_EQ(decode_summary(reader), summary);
+}
+
+TEST(CodecTest, EmptySummaryIsCompact) {
+  const Summary empty(kNamAttributeCount);
+  Buffer buffer;
+  encode(buffer, empty);
+  // 1 byte attr count + 1 byte zero-count per attribute.
+  EXPECT_EQ(buffer.size(), 1u + kNamAttributeCount);
+  Reader reader(buffer);
+  EXPECT_EQ(decode_summary(reader), empty);
+}
+
+ChunkContribution sample_contribution(int cells) {
+  ChunkContribution c;
+  c.res = {6, TemporalRes::Day};
+  c.chunk = ChunkKey("9q8y", kDay);
+  Rng rng(7);
+  for (int i = 0; i < cells; ++i) {
+    std::string gh = "9q8y";
+    gh.push_back(geohash::kAlphabet[static_cast<std::size_t>(i) % 32]);
+    gh.push_back(geohash::kAlphabet[static_cast<std::size_t>(i / 32) % 32]);
+    Summary s(kNamAttributeCount);
+    double obs[kNamAttributeCount] = {rng.next_double(), rng.next_double(),
+                                      rng.next_double(), rng.next_double()};
+    s.add_observation(obs, kNamAttributeCount);
+    c.cells.emplace_back(CellKey(gh, kDay), std::move(s));
+  }
+  c.days.push_back(c.chunk.first_day());
+  return c;
+}
+
+TEST(CodecTest, ChunkContributionRoundTrip) {
+  const ChunkContribution original = sample_contribution(40);
+  Buffer buffer;
+  encode(buffer, original);
+  Reader reader(buffer);
+  const ChunkContribution decoded = decode_chunk_contribution(reader);
+  EXPECT_EQ(decoded.res, original.res);
+  EXPECT_EQ(decoded.chunk, original.chunk);
+  EXPECT_EQ(decoded.days, original.days);
+  ASSERT_EQ(decoded.cells.size(), original.cells.size());
+  for (std::size_t i = 0; i < decoded.cells.size(); ++i) {
+    EXPECT_EQ(decoded.cells[i].first, original.cells[i].first);
+    EXPECT_EQ(decoded.cells[i].second, original.cells[i].second);
+  }
+}
+
+TEST(CodecTest, ReplicationPayloadRoundTrip) {
+  std::vector<ChunkContribution> payload;
+  payload.push_back(sample_contribution(12));
+  payload.push_back(sample_contribution(0));  // known-empty chunk
+  const Buffer buffer = encode_replication_payload(payload);
+  const auto decoded = decode_replication_payload(buffer);
+  ASSERT_EQ(decoded.size(), 2u);
+  EXPECT_EQ(decoded[0].cells.size(), 12u);
+  EXPECT_TRUE(decoded[1].cells.empty());
+  EXPECT_EQ(decoded[1].days, payload[1].days);
+}
+
+TEST(CodecTest, TrailingBytesRejected) {
+  Buffer buffer = encode_replication_payload({sample_contribution(1)});
+  buffer.push_back(0);
+  EXPECT_THROW((void)decode_replication_payload(buffer), std::out_of_range);
+}
+
+TEST(CodecTest, EncodedSizeMatchesActual) {
+  const std::vector<ChunkContribution> payload{sample_contribution(17),
+                                               sample_contribution(3)};
+  EXPECT_EQ(encoded_size(payload), encode_replication_payload(payload).size());
+}
+
+TEST(CodecTest, PayloadInstallsIntoGraphExactly) {
+  // End-to-end: encode a clique payload, decode it on the "helper", absorb
+  // into a guest graph — the served cells must match the source bit-for-bit.
+  StashGraph source;
+  const auto contribution = sample_contribution(25);
+  source.absorb(contribution, 0);
+  const Buffer wire = encode_replication_payload({contribution});
+
+  StashGraph guest;
+  for (const auto& decoded : decode_replication_payload(wire))
+    guest.absorb(decoded, 1000);
+  for (const auto& [key, summary] : contribution.cells) {
+    const Summary* found = guest.find_cell(key);
+    ASSERT_NE(found, nullptr);
+    EXPECT_EQ(*found, summary);
+  }
+}
+
+}  // namespace
+}  // namespace stash::codec

@@ -1,0 +1,90 @@
+#include "common/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace stash {
+namespace {
+
+TEST(LatencyStatsTest, EmptyThrows) {
+  const LatencyStats stats;
+  EXPECT_TRUE(stats.empty());
+  EXPECT_THROW((void)stats.mean(), std::logic_error);
+  EXPECT_THROW((void)stats.percentile(0.5), std::logic_error);
+  EXPECT_THROW((void)stats.min(), std::logic_error);
+}
+
+TEST(LatencyStatsTest, SingleSample) {
+  LatencyStats stats;
+  stats.record(42);
+  EXPECT_EQ(stats.count(), 1u);
+  EXPECT_EQ(stats.min(), 42);
+  EXPECT_EQ(stats.max(), 42);
+  EXPECT_DOUBLE_EQ(stats.mean(), 42.0);
+  EXPECT_EQ(stats.p50(), 42);
+  EXPECT_EQ(stats.p99(), 42);
+}
+
+TEST(LatencyStatsTest, KnownPercentiles) {
+  LatencyStats stats;
+  for (int i = 1; i <= 100; ++i) stats.record(i);  // 1..100
+  EXPECT_EQ(stats.percentile(0.50), 50);
+  EXPECT_EQ(stats.percentile(0.95), 95);
+  EXPECT_EQ(stats.percentile(0.99), 99);
+  EXPECT_EQ(stats.percentile(0.0), 1);
+  EXPECT_EQ(stats.percentile(1.0), 100);
+  EXPECT_DOUBLE_EQ(stats.mean(), 50.5);
+}
+
+TEST(LatencyStatsTest, UnsortedInputHandled) {
+  LatencyStats stats;
+  for (std::int64_t v : {9, 1, 5, 3, 7}) stats.record(v);
+  EXPECT_EQ(stats.min(), 1);
+  EXPECT_EQ(stats.max(), 9);
+  EXPECT_EQ(stats.p50(), 5);
+}
+
+TEST(LatencyStatsTest, RecordAfterQueryStaysConsistent) {
+  LatencyStats stats;
+  stats.record(10);
+  EXPECT_EQ(stats.p50(), 10);
+  stats.record(1);
+  stats.record(20);
+  EXPECT_EQ(stats.min(), 1);
+  EXPECT_EQ(stats.p50(), 10);
+  EXPECT_EQ(stats.max(), 20);
+}
+
+TEST(LatencyStatsTest, QuantileValidation) {
+  LatencyStats stats;
+  stats.record(1);
+  EXPECT_THROW((void)stats.percentile(-0.1), std::invalid_argument);
+  EXPECT_THROW((void)stats.percentile(1.1), std::invalid_argument);
+}
+
+TEST(LatencyStatsTest, RecordAllAndSummary) {
+  LatencyStats stats;
+  const std::vector<std::int64_t> values{1000, 2000, 3000};
+  stats.record_all(values);
+  EXPECT_EQ(stats.count(), 3u);
+  const std::string summary = stats.summary_us();
+  EXPECT_NE(summary.find("mean=2.00ms"), std::string::npos);
+  EXPECT_NE(summary.find("n=3"), std::string::npos);
+}
+
+TEST(LatencyStatsTest, PercentilesBracketMean) {
+  LatencyStats stats;
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i)
+    stats.record(static_cast<std::int64_t>(rng.uniform(0.0, 1e6)));
+  EXPECT_LE(stats.min(), stats.p50());
+  EXPECT_LE(stats.p50(), stats.p95());
+  EXPECT_LE(stats.p95(), stats.p99());
+  EXPECT_LE(stats.p99(), stats.max());
+  EXPECT_NEAR(stats.mean(), 5e5, 2e4);
+  EXPECT_NEAR(static_cast<double>(stats.p50()), 5e5, 2e4);
+}
+
+}  // namespace
+}  // namespace stash

@@ -1,0 +1,151 @@
+#include "common/summary.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace stash {
+namespace {
+
+TEST(AttributeSummaryTest, EmptyState) {
+  const AttributeSummary s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(AttributeSummaryTest, SingleValue) {
+  AttributeSummary s;
+  s.add(4.5);
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_EQ(s.min, 4.5);
+  EXPECT_EQ(s.max, 4.5);
+  EXPECT_EQ(s.mean(), 4.5);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(AttributeSummaryTest, KnownStatistics) {
+  AttributeSummary s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_EQ(s.count, 8u);
+  EXPECT_EQ(s.min, 2.0);
+  EXPECT_EQ(s.max, 9.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);  // classic population-variance example
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+}
+
+TEST(AttributeSummaryTest, MergeEqualsBulk) {
+  Rng rng(99);
+  AttributeSummary bulk;
+  AttributeSummary left;
+  AttributeSummary right;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-50.0, 50.0);
+    bulk.add(v);
+    (i % 2 == 0 ? left : right).add(v);
+  }
+  left.merge(right);
+  EXPECT_TRUE(left.approx_equals(bulk));
+}
+
+TEST(AttributeSummaryTest, MergeWithEmptyIsIdentity) {
+  AttributeSummary s;
+  s.add(1.0);
+  s.add(2.0);
+  const AttributeSummary before = s;
+  s.merge(AttributeSummary{});
+  EXPECT_EQ(s, before);
+
+  AttributeSummary empty;
+  empty.merge(before);
+  EXPECT_EQ(empty, before);
+}
+
+TEST(AttributeSummaryTest, MergeIsCommutative) {
+  AttributeSummary a;
+  AttributeSummary b;
+  for (double v : {1.0, 2.0, 3.0}) a.add(v);
+  for (double v : {10.0, 20.0}) b.add(v);
+  AttributeSummary ab = a;
+  ab.merge(b);
+  AttributeSummary ba = b;
+  ba.merge(a);
+  EXPECT_TRUE(ab.approx_equals(ba));
+}
+
+TEST(AttributeSummaryTest, NegativeValues) {
+  AttributeSummary s;
+  for (double v : {-3.0, -1.0, -2.0}) s.add(v);
+  EXPECT_EQ(s.min, -3.0);
+  EXPECT_EQ(s.max, -1.0);
+  EXPECT_DOUBLE_EQ(s.mean(), -2.0);
+}
+
+TEST(SummaryTest, AttributeCountMismatchThrows) {
+  Summary s(3);
+  const double two[] = {1.0, 2.0};
+  EXPECT_THROW(s.add_observation(two, 2), std::invalid_argument);
+}
+
+TEST(SummaryTest, ObservationCountTracksAdds) {
+  Summary s(2);
+  const double obs[] = {1.0, 2.0};
+  EXPECT_TRUE(s.empty());
+  s.add_observation(obs, 2);
+  s.add_observation(obs, 2);
+  EXPECT_EQ(s.observation_count(), 2u);
+  EXPECT_FALSE(s.empty());
+}
+
+TEST(SummaryTest, MergeMismatchedWidthThrows) {
+  Summary a(2);
+  Summary b(3);
+  const double obs2[] = {1.0, 2.0};
+  const double obs3[] = {1.0, 2.0, 3.0};
+  a.add_observation(obs2, 2);
+  b.add_observation(obs3, 3);
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+}
+
+TEST(SummaryTest, MergeIntoDefaultAdoptsShape) {
+  Summary a;  // default: zero attributes
+  Summary b(2);
+  const double obs[] = {3.0, 4.0};
+  b.add_observation(obs, 2);
+  a.merge(b);
+  EXPECT_EQ(a.num_attributes(), 2u);
+  EXPECT_EQ(a.observation_count(), 1u);
+}
+
+TEST(SummaryTest, SplitMergeMatchesBulk) {
+  Rng rng(7);
+  Summary bulk(4);
+  std::vector<Summary> parts(8, Summary(4));
+  for (int i = 0; i < 4000; ++i) {
+    double obs[4];
+    for (auto& v : obs) v = rng.normal(10.0, 3.0);
+    bulk.add_observation(obs, 4);
+    parts[static_cast<std::size_t>(i) % parts.size()].add_observation(obs, 4);
+  }
+  Summary merged(4);
+  for (const auto& p : parts) merged.merge(p);
+  EXPECT_TRUE(merged.approx_equals(bulk));
+}
+
+TEST(SummaryTest, ToStringMentionsCount) {
+  Summary s(1);
+  const double obs[] = {5.0};
+  s.add_observation(obs, 1);
+  EXPECT_NE(s.to_string().find("n=1"), std::string::npos);
+}
+
+TEST(SummaryTest, ByteSizeGrowsWithAttributes) {
+  EXPECT_LT(Summary(1).byte_size(), Summary(8).byte_size());
+}
+
+}  // namespace
+}  // namespace stash

@@ -1,0 +1,65 @@
+#include "common/zipf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+namespace stash {
+namespace {
+
+TEST(ZipfTest, RejectsZeroRanks) {
+  EXPECT_THROW(ZipfDistribution(0, 1.0), std::invalid_argument);
+}
+
+TEST(ZipfTest, RejectsNegativeSkew) {
+  EXPECT_THROW(ZipfDistribution(10, -0.5), std::invalid_argument);
+}
+
+TEST(ZipfTest, PmfSumsToOne) {
+  const ZipfDistribution z(100, 1.0);
+  double total = 0.0;
+  for (std::size_t k = 0; k < z.size(); ++k) total += z.pmf(k);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(ZipfTest, PmfMonotonicallyDecreasing) {
+  const ZipfDistribution z(50, 1.2);
+  for (std::size_t k = 1; k < z.size(); ++k) EXPECT_LE(z.pmf(k), z.pmf(k - 1));
+}
+
+TEST(ZipfTest, ZeroSkewIsUniform) {
+  const ZipfDistribution z(10, 0.0);
+  for (std::size_t k = 0; k < z.size(); ++k) EXPECT_NEAR(z.pmf(k), 0.1, 1e-12);
+}
+
+TEST(ZipfTest, SamplesWithinRange) {
+  const ZipfDistribution z(7, 1.0);
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(z.sample(rng), 7u);
+}
+
+TEST(ZipfTest, SampleFrequenciesMatchPmf) {
+  const ZipfDistribution z(20, 1.0);
+  Rng rng(2);
+  std::vector<int> counts(20, 0);
+  constexpr int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) ++counts[z.sample(rng)];
+  for (std::size_t k = 0; k < 20; ++k) {
+    const double observed = static_cast<double>(counts[k]) / kDraws;
+    EXPECT_NEAR(observed, z.pmf(k), 0.01) << "rank " << k;
+  }
+}
+
+TEST(ZipfTest, HighSkewConcentratesOnTopRank) {
+  const ZipfDistribution z(1000, 2.0);
+  EXPECT_GT(z.pmf(0), 0.5);
+}
+
+TEST(ZipfTest, PmfOutOfRangeThrows) {
+  const ZipfDistribution z(5, 1.0);
+  EXPECT_THROW(z.pmf(5), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace stash

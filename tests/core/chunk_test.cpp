@@ -1,0 +1,91 @@
+#include "core/chunk.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace stash {
+namespace {
+
+const TemporalBin kDay(TemporalRes::Day, 2015, 2, 2);
+
+TEST(ChunkKeyTest, RoundTrip) {
+  const ChunkKey key("9q8y", kDay);
+  EXPECT_EQ(key.prefix_str(), "9q8y");
+  EXPECT_EQ(key.bin(), kDay);
+  EXPECT_EQ(key.bounds(), geohash::decode("9q8y"));
+  EXPECT_EQ(key.label(), "9q8y@2015-02-02");
+}
+
+TEST(ChunkKeyTest, DayAccounting) {
+  EXPECT_EQ(ChunkKey("9q8y", kDay).day_count(), 1u);
+  EXPECT_EQ(ChunkKey("9q8y", TemporalBin(TemporalRes::Hour, 2015, 2, 2, 5)).day_count(),
+            1u);
+  EXPECT_EQ(ChunkKey("9q8y", TemporalBin(TemporalRes::Month, 2015, 2)).day_count(),
+            28u);
+  EXPECT_EQ(ChunkKey("9q8y", TemporalBin(TemporalRes::Year, 2016)).day_count(),
+            366u);
+  EXPECT_EQ(ChunkKey("9q8y", kDay).first_day(), 16468);  // 2015-02-02
+}
+
+TEST(ChunkSpatialPrecisionTest, SaturatesAtChunkPrecision) {
+  EXPECT_EQ(chunk_spatial_precision(2, 4), 2);
+  EXPECT_EQ(chunk_spatial_precision(4, 4), 4);
+  EXPECT_EQ(chunk_spatial_precision(6, 4), 4);
+  EXPECT_EQ(chunk_spatial_precision(12, 4), 4);
+}
+
+TEST(ChunkOfTest, FineCellMapsToPrefixChunk) {
+  const CellKey cell("9q8y7z", kDay);
+  const ChunkKey chunk = chunk_of(cell, 4);
+  EXPECT_EQ(chunk.prefix_str(), "9q8y");
+  EXPECT_EQ(chunk.bin(), kDay);
+  EXPECT_TRUE(chunk.bounds().contains(cell.bounds()));
+}
+
+TEST(ChunkOfTest, CoarseCellIsItsOwnChunk) {
+  const CellKey cell("9q", kDay);
+  EXPECT_EQ(chunk_of(cell, 4).prefix_str(), "9q");
+}
+
+TEST(ChunkOfTest, SiblingsShareChunk) {
+  std::set<ChunkKey> chunks;
+  for (const auto& gh : geohash::children("9q8y"))
+    chunks.insert(chunk_of(CellKey(gh, kDay), 4));
+  EXPECT_EQ(chunks.size(), 1u);
+}
+
+TEST(ChunkOfTest, DifferentBinsDifferentChunks) {
+  const CellKey feb(std::string("9q8y7z"), kDay);
+  const CellKey mar("9q8y7z", TemporalBin(TemporalRes::Day, 2015, 3, 2));
+  EXPECT_NE(chunk_of(feb, 4), chunk_of(mar, 4));
+}
+
+TEST(ChunkNeighborsTest, TenNeighborsInland) {
+  const auto neighbors = chunk_neighbors(ChunkKey("9q8y", kDay));
+  EXPECT_EQ(neighbors.size(), 10u);
+  std::set<std::string> prefixes;
+  int temporal = 0;
+  for (const auto& n : neighbors) {
+    if (n.bin() == kDay) {
+      prefixes.insert(n.prefix_str());
+    } else {
+      ++temporal;
+      EXPECT_EQ(n.prefix_str(), "9q8y");
+    }
+  }
+  EXPECT_EQ(prefixes.size(), 8u);
+  EXPECT_EQ(temporal, 2);
+}
+
+TEST(ChunkNeighborsTest, NeighborhoodIsSymmetric) {
+  const ChunkKey base("9q8y", kDay);
+  for (const auto& n : chunk_neighbors(base)) {
+    const auto back = chunk_neighbors(n);
+    EXPECT_NE(std::find(back.begin(), back.end(), base), back.end())
+        << n.label();
+  }
+}
+
+}  // namespace
+}  // namespace stash

@@ -1,0 +1,161 @@
+#include "core/clique.hpp"
+
+#include <gtest/gtest.h>
+
+namespace stash {
+namespace {
+
+using sim::kSecond;
+
+const TemporalBin kDay(TemporalRes::Day, 2015, 2, 2);
+const Resolution kRes4{4, TemporalRes::Day};
+const Resolution kRes5{5, TemporalRes::Day};
+const Resolution kRes6{6, TemporalRes::Day};
+
+Summary one_observation(double v) {
+  Summary s(kNamAttributeCount);
+  const double obs[kNamAttributeCount] = {v, v, v, v};
+  s.add_observation(obs, kNamAttributeCount);
+  return s;
+}
+
+ChunkContribution contribution(const Resolution& res, const std::string& prefix,
+                               int cells, const TemporalBin& bin = kDay) {
+  ChunkContribution c;
+  c.res = res;
+  c.chunk = ChunkKey(prefix, bin);
+  for (int i = 0; i < cells; ++i) {
+    std::string gh = prefix;
+    while (static_cast<int>(gh.size()) < res.spatial)
+      gh.push_back(geohash::kAlphabet[static_cast<std::size_t>(i) % 32]);
+    // Ensure distinct cell keys when several cells share a prefix length.
+    if (res.spatial > static_cast<int>(prefix.size()))
+      gh[prefix.size()] = geohash::kAlphabet[static_cast<std::size_t>(i) % 32];
+    c.cells.emplace_back(CellKey(gh, bin), one_observation(i));
+  }
+  const std::int64_t first = c.chunk.first_day();
+  for (std::size_t i = 0; i < c.chunk.day_count(); ++i)
+    c.days.push_back(first + static_cast<std::int64_t>(i));
+  return c;
+}
+
+TEST(CliqueTest, BuildCollectsRootAndDescendantLevels) {
+  StashGraph graph;
+  // Same gh4 region resident at s4, s5, s6 (chunk key identical: "9q8y").
+  graph.absorb(contribution(kRes4, "9q8y", 1), 0);
+  graph.absorb(contribution(kRes5, "9q8y", 8), 0);
+  graph.absorb(contribution(kRes6, "9q8y", 16), 0);
+  const CliqueSelector selector(graph);
+
+  const Clique depth1 = selector.build(kRes4, ChunkKey("9q8y", kDay), 1, 0);
+  EXPECT_EQ(depth1.cell_count, 1u);
+
+  const Clique depth2 = selector.build(kRes4, ChunkKey("9q8y", kDay), 2, 0);
+  EXPECT_EQ(depth2.cell_count, 1u + 8u);
+
+  const Clique depth3 = selector.build(kRes4, ChunkKey("9q8y", kDay), 3, 0);
+  EXPECT_EQ(depth3.cell_count, 1u + 8u + 16u);
+  EXPECT_GT(depth3.freshness, 0.0);
+  EXPECT_EQ(depth3.root, ChunkKey("9q8y", kDay));
+  EXPECT_EQ(depth3.label(), "9q8y@2015-02-02");
+}
+
+TEST(CliqueTest, BuildSkipsAbsentLevels) {
+  StashGraph graph;
+  graph.absorb(contribution(kRes6, "9q8y", 16), 0);
+  const CliqueSelector selector(graph);
+  const Clique clique = selector.build(kRes6, ChunkKey("9q8y", kDay), 2, 0);
+  EXPECT_EQ(clique.cell_count, 16u);
+  EXPECT_EQ(clique.members.size(), 1u);
+}
+
+TEST(CliqueTest, SelectTopPrefersFreshest) {
+  StashGraph graph;
+  const auto hot = contribution(kRes6, "9q8y", 10);
+  const auto cold = contribution(kRes6, geohash::encode({45.0, 10.0}, 4), 10);
+  graph.absorb(hot, 0);
+  graph.absorb(cold, 0);
+  for (int i = 1; i <= 5; ++i)
+    graph.touch_region(kRes6, {hot.chunk}, i * kSecond);
+  const CliqueSelector selector(graph);
+  const auto top = selector.select_top(5 * kSecond, 10, 1, 2);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].root, hot.chunk);
+}
+
+TEST(CliqueTest, SelectTopRespectsCellBudget) {
+  StashGraph graph;
+  graph.absorb(contribution(kRes6, "9q8y", 30), 0);
+  graph.absorb(contribution(kRes6, geohash::encode({45.0, 10.0}, 4), 30), 0);
+  const CliqueSelector selector(graph);
+  // Budget of 40 cells: only one 30-cell clique fits.
+  const auto top = selector.select_top(0, 40, 10, 2);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].cell_count, 30u);
+}
+
+TEST(CliqueTest, SelectTopAvoidsOverlappingCliques) {
+  StashGraph graph;
+  graph.absorb(contribution(kRes4, "9q8y", 1), 0);
+  graph.absorb(contribution(kRes5, "9q8y", 8), 0);
+  const CliqueSelector selector(graph);
+  const auto top = selector.select_top(0, 1000, 10, 2);
+  // The s5 chunk is covered by the s4-rooted clique; it must not be
+  // selected again as its own clique root with the same membership.
+  std::set<std::pair<int, ChunkKey>> seen;
+  for (const auto& clique : top) {
+    for (const auto& member : clique.members) {
+      EXPECT_TRUE(seen.insert({level_index(member.res), member.chunk}).second)
+          << member.chunk.label() << " replicated twice";
+    }
+  }
+}
+
+TEST(CliqueTest, SelectTopIgnoresZeroFreshness) {
+  StashGraph graph;
+  const CliqueSelector selector(graph);
+  EXPECT_TRUE(selector.select_top(0, 1000, 10, 2).empty());
+}
+
+TEST(CliquePayloadTest, PayloadCarriesCompleteChunksOnly) {
+  StashGraph graph;
+  const auto full = contribution(kRes6, "9q8y", 12);
+  graph.absorb(full, 0);
+  // A partial month chunk: only 1 of 28 days contributed.
+  const TemporalBin feb(TemporalRes::Month, 2015, 2);
+  ChunkContribution partial;
+  partial.res = Resolution{6, TemporalRes::Month};
+  partial.chunk = ChunkKey("9q8y", feb);
+  partial.cells.emplace_back(CellKey("9q8y00", feb), one_observation(1.0));
+  partial.days.push_back(partial.chunk.first_day());
+  graph.absorb(partial, 0);
+
+  const CliqueSelector selector(graph);
+  Clique clique = selector.build(kRes6, ChunkKey("9q8y", kDay), 1, 0);
+  clique.members.push_back({partial.res, partial.chunk, 1});
+  const auto payload = clique_payload(graph, clique);
+  ASSERT_EQ(payload.size(), 1u);  // the partial chunk was skipped
+  EXPECT_EQ(payload[0].chunk, full.chunk);
+  EXPECT_EQ(payload[0].cells.size(), 12u);
+}
+
+TEST(CliquePayloadTest, PayloadInstallsIntoGuestGraphIdentically) {
+  StashGraph source;
+  const auto c = contribution(kRes6, "9q8y", 12);
+  source.absorb(c, 0);
+  const CliqueSelector selector(source);
+  const Clique clique = selector.build(kRes6, c.chunk, 1, 0);
+
+  StashGraph guest;
+  for (const auto& contrib : clique_payload(source, clique))
+    guest.absorb(contrib, kSecond);
+  EXPECT_TRUE(guest.chunk_complete(kRes6, c.chunk));
+  for (const auto& [key, summary] : c.cells) {
+    const Summary* found = guest.find_cell(key);
+    ASSERT_NE(found, nullptr);
+    EXPECT_EQ(*found, summary);
+  }
+}
+
+}  // namespace
+}  // namespace stash

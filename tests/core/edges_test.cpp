@@ -1,0 +1,122 @@
+#include "core/edges.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace stash::edges {
+namespace {
+
+const TemporalBin kDay(TemporalRes::Day, 2015, 2, 2);
+const TemporalBin kMonth(TemporalRes::Month, 2015, 3);
+
+TEST(EdgesTest, ThreeParentPrecisions) {
+  // Paper §IV-B: spatial parent, temporal parent, spatiotemporal parent.
+  const CellKey cell("9q8y7", kDay);
+  const auto parents = hierarchical_parents(cell);
+  ASSERT_EQ(parents.size(), 3u);
+  EXPECT_EQ(parents[0], CellKey("9q8y", kDay));
+  EXPECT_EQ(parents[1], CellKey("9q8y7", TemporalBin(TemporalRes::Month, 2015, 2)));
+  EXPECT_EQ(parents[2], CellKey("9q8y", TemporalBin(TemporalRes::Month, 2015, 2)));
+}
+
+TEST(EdgesTest, ParentsAtHierarchyBoundaries) {
+  EXPECT_EQ(hierarchical_parents(CellKey("9", TemporalBin(TemporalRes::Year, 2015)))
+                .size(),
+            0u);
+  EXPECT_EQ(hierarchical_parents(CellKey("9q", TemporalBin(TemporalRes::Year, 2015)))
+                .size(),
+            1u);
+  EXPECT_EQ(hierarchical_parents(CellKey("9", kMonth)).size(), 1u);
+}
+
+TEST(EdgesTest, ParentBoundsEncloseChild) {
+  // §IV-A.2 nested coverage: the lower-resolution Cell fully encloses the
+  // higher-resolution one.
+  const CellKey cell("9q8y7", kDay);
+  for (const auto& parent : hierarchical_parents(cell)) {
+    EXPECT_TRUE(parent.bounds().contains(cell.bounds())) << parent.label();
+    const TimeRange pr = parent.time_range();
+    const TimeRange cr = cell.time_range();
+    EXPECT_LE(pr.begin, cr.begin);
+    EXPECT_GE(pr.end, cr.end);
+  }
+}
+
+TEST(EdgesTest, SpatialChildrenAreThe32Subcells) {
+  const CellKey cell("9q8y", kDay);
+  const auto kids = spatial_children(cell);
+  ASSERT_EQ(kids.size(), 32u);
+  for (const auto& kid : kids) {
+    EXPECT_EQ(kid.bin(), kDay);
+    EXPECT_TRUE(cell.bounds().contains(kid.bounds()));
+  }
+}
+
+TEST(EdgesTest, TemporalChildrenPartitionTheBin) {
+  const CellKey cell("9q8y7", kMonth);
+  const auto kids = temporal_children(cell);
+  ASSERT_EQ(kids.size(), 31u);  // March
+  for (const auto& kid : kids) EXPECT_EQ(kid.geohash_str(), "9q8y7");
+}
+
+TEST(EdgesTest, HierarchicalChildrenCountsMatchFormula) {
+  // Day cell: 32 spatial + 24 temporal + 32*24 spatiotemporal children.
+  const CellKey cell("9q8y7", kDay);
+  EXPECT_EQ(hierarchical_children(cell).size(), 32u + 24u + 32u * 24u);
+}
+
+TEST(EdgesTest, ChildrenInvertParents) {
+  const CellKey cell("9q8y", kMonth);
+  for (const auto& kid : hierarchical_children(cell)) {
+    const auto parents = hierarchical_parents(kid);
+    EXPECT_NE(std::find(parents.begin(), parents.end(), cell), parents.end())
+        << kid.label();
+  }
+}
+
+TEST(EdgesTest, NoChildrenAtFinestResolutions) {
+  const CellKey finest("bbbbbbbbbbbb", TemporalBin(TemporalRes::Hour, 2015, 1, 1, 0));
+  EXPECT_TRUE(spatial_children(finest).empty());
+  EXPECT_TRUE(temporal_children(finest).empty());
+  EXPECT_TRUE(hierarchical_children(finest).empty());
+}
+
+TEST(EdgesTest, LateralNeighborsMatchPaperFigure1) {
+  // Fig 1: cell 9q8y7 @ 2015-03 has 8 spatial neighbors and temporal
+  // neighbors 2015-02 / 2015-04.
+  const CellKey cell("9q8y7", kMonth);
+  const auto laterals = lateral_neighbors(cell);
+  ASSERT_EQ(laterals.size(), 10u);
+  std::set<std::string> spatial;
+  std::set<std::string> temporal;
+  for (const auto& n : laterals) {
+    if (n.bin() == kMonth) {
+      spatial.insert(n.geohash_str());
+    } else {
+      EXPECT_EQ(n.geohash_str(), "9q8y7");
+      temporal.insert(n.bin().label());
+    }
+  }
+  EXPECT_EQ(spatial, (std::set<std::string>{"9q8yd", "9q8ye", "9q8ys", "9q8yk",
+                                            "9q8yh", "9q8y5", "9q8y4", "9q8y6"}));
+  EXPECT_EQ(temporal, (std::set<std::string>{"2015-02", "2015-04"}));
+}
+
+TEST(EdgesTest, LateralNeighborsStayAtSameLevel) {
+  const CellKey cell("9q8y7", kDay);
+  const int lvl = level_index(cell.resolution());
+  for (const auto& n : lateral_neighbors(cell))
+    EXPECT_EQ(level_index(n.resolution()), lvl);
+}
+
+TEST(EdgesTest, LateralNeighborsAtPoleAreFewer) {
+  const std::string polar = geohash::encode({89.99, 0.0}, 5);
+  const auto laterals = lateral_neighbors(CellKey(polar, kDay));
+  EXPECT_LT(laterals.size(), 10u);
+  EXPECT_GE(laterals.size(), 7u);  // >= 5 spatial + 2 temporal
+}
+
+}  // namespace
+}  // namespace stash::edges

@@ -1,0 +1,67 @@
+#include "core/freshness.hpp"
+
+#include <gtest/gtest.h>
+
+namespace stash {
+namespace {
+
+using sim::kSecond;
+
+TEST(FreshnessTest, StartsAtZero) {
+  const Freshness f;
+  EXPECT_EQ(f.at(1000 * kSecond, 60 * kSecond), 0.0);
+}
+
+TEST(FreshnessTest, TouchAddsIncrement) {
+  Freshness f;
+  f.touch(1.0, 0, 60 * kSecond);
+  EXPECT_DOUBLE_EQ(f.at(0, 60 * kSecond), 1.0);
+}
+
+TEST(FreshnessTest, DecaysByHalfEachHalfLife) {
+  Freshness f;
+  f.touch(8.0, 0, 60 * kSecond);
+  EXPECT_DOUBLE_EQ(f.at(60 * kSecond, 60 * kSecond), 4.0);
+  EXPECT_DOUBLE_EQ(f.at(120 * kSecond, 60 * kSecond), 2.0);
+  EXPECT_DOUBLE_EQ(f.at(180 * kSecond, 60 * kSecond), 1.0);
+}
+
+TEST(FreshnessTest, FrequencyAccumulates) {
+  // Paper §V-C.1: both frequency and recency contribute.  Two accesses
+  // close together outrank a single access.
+  Freshness once;
+  once.touch(1.0, 0, 60 * kSecond);
+  Freshness twice;
+  twice.touch(1.0, 0, 60 * kSecond);
+  twice.touch(1.0, kSecond, 60 * kSecond);
+  EXPECT_GT(twice.at(10 * kSecond, 60 * kSecond),
+            once.at(10 * kSecond, 60 * kSecond));
+}
+
+TEST(FreshnessTest, RecencyBeatsStaleness) {
+  // A recently accessed entry outranks one accessed more often long ago.
+  Freshness stale;
+  for (int i = 0; i < 3; ++i)
+    stale.touch(1.0, i * kSecond, 60 * kSecond);
+  Freshness recent;
+  recent.touch(1.0, 600 * kSecond, 60 * kSecond);
+  EXPECT_GT(recent.at(601 * kSecond, 60 * kSecond),
+            stale.at(601 * kSecond, 60 * kSecond));
+}
+
+TEST(FreshnessTest, TouchFoldsDecayIn) {
+  Freshness f;
+  f.touch(4.0, 0, 60 * kSecond);
+  f.touch(1.0, 60 * kSecond, 60 * kSecond);  // 4 decayed to 2, +1 = 3
+  EXPECT_DOUBLE_EQ(f.value, 3.0);
+  EXPECT_EQ(f.last_update, 60 * kSecond);
+}
+
+TEST(FreshnessTest, FractionalIncrementForDispersion) {
+  Freshness f;
+  f.touch(0.25, 0, 60 * kSecond);  // the grey-cell dispersion share (Fig 3)
+  EXPECT_DOUBLE_EQ(f.at(0, 60 * kSecond), 0.25);
+}
+
+}  // namespace
+}  // namespace stash

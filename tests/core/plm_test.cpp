@@ -1,0 +1,139 @@
+#include "core/plm.hpp"
+
+#include <gtest/gtest.h>
+
+namespace stash {
+namespace {
+
+const TemporalBin kDay(TemporalRes::Day, 2015, 2, 2);
+const TemporalBin kFeb(TemporalRes::Month, 2015, 2);
+constexpr std::int64_t kFeb1 = 16467;  // epoch day of 2015-02-01
+const int kLevel = level_index({6, TemporalRes::Day});
+const int kMonthLevel = level_index({6, TemporalRes::Month});
+
+TEST(PlmTest, UnknownChunkIsIncomplete) {
+  const PrecisionLevelMap plm;
+  const ChunkKey chunk("9q8y", kDay);
+  EXPECT_FALSE(plm.is_known(kLevel, chunk));
+  EXPECT_FALSE(plm.is_complete(kLevel, chunk));
+  EXPECT_EQ(plm.missing_days(kLevel, chunk).size(), 1u);
+}
+
+TEST(PlmTest, SingleDayChunkCompletesWithOneMark) {
+  PrecisionLevelMap plm;
+  const ChunkKey chunk("9q8y", kDay);
+  plm.mark_day(kLevel, chunk, chunk.first_day());
+  EXPECT_TRUE(plm.is_known(kLevel, chunk));
+  EXPECT_TRUE(plm.is_complete(kLevel, chunk));
+  EXPECT_TRUE(plm.missing_days(kLevel, chunk).empty());
+}
+
+TEST(PlmTest, MonthChunkNeedsEveryDay) {
+  PrecisionLevelMap plm;
+  const ChunkKey chunk("9q8y", kFeb);
+  for (int d = 0; d < 27; ++d) plm.mark_day(kMonthLevel, chunk, kFeb1 + d);
+  EXPECT_FALSE(plm.is_complete(kMonthLevel, chunk));
+  const auto missing = plm.missing_days(kMonthLevel, chunk);
+  ASSERT_EQ(missing.size(), 1u);
+  EXPECT_EQ(missing[0], kFeb1 + 27);
+  plm.mark_day(kMonthLevel, chunk, kFeb1 + 27);
+  EXPECT_TRUE(plm.is_complete(kMonthLevel, chunk));
+}
+
+TEST(PlmTest, MarkAllCompletesInOneCall) {
+  PrecisionLevelMap plm;
+  const ChunkKey chunk("9q8y", kFeb);
+  plm.mark_all(kMonthLevel, chunk);
+  EXPECT_TRUE(plm.is_complete(kMonthLevel, chunk));
+}
+
+TEST(PlmTest, MarkingIsIdempotent) {
+  PrecisionLevelMap plm;
+  const ChunkKey chunk("9q8y", kDay);
+  plm.mark_day(kLevel, chunk, chunk.first_day());
+  plm.mark_day(kLevel, chunk, chunk.first_day());
+  EXPECT_TRUE(plm.is_complete(kLevel, chunk));
+  EXPECT_EQ(plm.chunk_count(kLevel), 1u);
+}
+
+TEST(PlmTest, DayOutsideBinThrows) {
+  PrecisionLevelMap plm;
+  const ChunkKey chunk("9q8y", kDay);
+  EXPECT_THROW(plm.mark_day(kLevel, chunk, chunk.first_day() + 1),
+               std::invalid_argument);
+  EXPECT_THROW(plm.mark_day(kLevel, chunk, chunk.first_day() - 1),
+               std::invalid_argument);
+}
+
+TEST(PlmTest, LevelsAreIndependent) {
+  PrecisionLevelMap plm;
+  const ChunkKey chunk("9q8y", kDay);
+  plm.mark_day(kLevel, chunk, chunk.first_day());
+  EXPECT_FALSE(plm.is_known(level_index({5, TemporalRes::Day}), chunk));
+  EXPECT_FALSE(plm.is_known(level_index({6, TemporalRes::Hour}), chunk));
+}
+
+TEST(PlmTest, BadLevelThrows) {
+  PrecisionLevelMap plm;
+  const ChunkKey chunk("9q8y", kDay);
+  EXPECT_THROW(plm.mark_day(-1, chunk, chunk.first_day()), std::out_of_range);
+  EXPECT_THROW(plm.mark_day(kNumLevels, chunk, chunk.first_day()),
+               std::out_of_range);
+}
+
+TEST(PlmTest, EraseRemovesResidency) {
+  PrecisionLevelMap plm;
+  const ChunkKey chunk("9q8y", kDay);
+  plm.mark_all(kLevel, chunk);
+  plm.erase(kLevel, chunk);
+  EXPECT_FALSE(plm.is_known(kLevel, chunk));
+  EXPECT_EQ(plm.total_chunks(), 0u);
+}
+
+TEST(PlmTest, InvalidateBlockDemotesCompleteChunks) {
+  // Models a real-time data update (§IV-D): the affected day's summaries
+  // must be recomputed on next access.
+  PrecisionLevelMap plm;
+  const ChunkKey day_chunk("9q8y", kDay);
+  const ChunkKey month_chunk("9q8y", kFeb);
+  plm.mark_all(kLevel, day_chunk);
+  plm.mark_all(kMonthLevel, month_chunk);
+  const std::size_t demoted = plm.invalidate_block("9q", day_chunk.first_day());
+  EXPECT_EQ(demoted, 2u);
+  EXPECT_FALSE(plm.is_complete(kLevel, day_chunk));
+  EXPECT_FALSE(plm.is_complete(kMonthLevel, month_chunk));
+  // Only the invalidated day went missing from the month chunk.
+  EXPECT_EQ(plm.missing_days(kMonthLevel, month_chunk).size(), 1u);
+}
+
+TEST(PlmTest, InvalidateBlockIgnoresOtherPartitionsAndDays) {
+  PrecisionLevelMap plm;
+  const ChunkKey chunk("9q8y", kDay);
+  plm.mark_all(kLevel, chunk);
+  EXPECT_EQ(plm.invalidate_block("9r", chunk.first_day()), 0u);
+  EXPECT_EQ(plm.invalidate_block("9q", chunk.first_day() + 5), 0u);
+  EXPECT_TRUE(plm.is_complete(kLevel, chunk));
+}
+
+TEST(PlmTest, InvalidateBlockHandlesCoarseChunks) {
+  // A chunk whose prefix is *coarser* than the partition also intersects it.
+  PrecisionLevelMap plm;
+  const int coarse_level = level_index({2, TemporalRes::Day});
+  const ChunkKey coarse("9q", kDay);
+  plm.mark_all(coarse_level, coarse);
+  EXPECT_EQ(plm.invalidate_block("9q8y", coarse.first_day()), 1u);
+  EXPECT_FALSE(plm.is_complete(coarse_level, coarse));
+}
+
+TEST(PlmTest, Counts) {
+  PrecisionLevelMap plm;
+  plm.mark_all(kLevel, ChunkKey("9q8y", kDay));
+  plm.mark_all(kLevel, ChunkKey("9q8z", kDay));
+  plm.mark_all(kMonthLevel, ChunkKey("9q8y", kFeb));
+  EXPECT_EQ(plm.chunk_count(kLevel), 2u);
+  EXPECT_EQ(plm.chunk_count(kMonthLevel), 1u);
+  EXPECT_EQ(plm.total_chunks(), 3u);
+}
+
+}  // namespace
+}  // namespace stash

@@ -1,0 +1,267 @@
+#include "core/query_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/civil_time.hpp"
+
+namespace stash {
+namespace {
+
+using sim::kSecond;
+
+class QueryEngineTest : public ::testing::Test {
+ protected:
+  QueryEngineTest() : graph_(make_config()), engine_(graph_, store_) {}
+
+  static StashConfig make_config() {
+    StashConfig config;
+    config.max_cells = 10'000'000;  // no eviction unless a test forces it
+    return config;
+  }
+
+  static AggregationQuery county_query() {
+    // County-sized (0.6° x 1.2°) around Kansas, 2015-02-02, s6/Day.
+    return {{38.0, 38.6, -99.0, -97.8},
+            TemporalBin(TemporalRes::Day, 2015, 2, 2).range(),
+            {6, TemporalRes::Day}};
+  }
+
+  /// Asserts two cell maps agree exactly on keys and approximately on sums.
+  static void expect_same_cells(const CellSummaryMap& a, const CellSummaryMap& b) {
+    ASSERT_EQ(a.size(), b.size());
+    for (const auto& [key, summary] : a) {
+      const auto it = b.find(key);
+      ASSERT_NE(it, b.end()) << key.label();
+      EXPECT_TRUE(summary.approx_equals(it->second)) << key.label();
+    }
+  }
+
+  std::shared_ptr<const NamGenerator> gen_ = std::make_shared<NamGenerator>();
+  GalileoStore store_{gen_};
+  StashGraph graph_;
+  QueryEngine engine_;
+};
+
+TEST_F(QueryEngineTest, RejectsInvalidQueries) {
+  AggregationQuery bad = county_query();
+  bad.time = {100, 50};
+  EXPECT_THROW((void)engine_.evaluate(bad), std::invalid_argument);
+  bad = county_query();
+  bad.res.spatial = 1;  // coarser than the DHT partition prefix
+  EXPECT_THROW((void)engine_.evaluate(bad), std::invalid_argument);
+}
+
+TEST_F(QueryEngineTest, ColdQueryMatchesDirectScan) {
+  const auto query = county_query();
+  const Evaluation eval = engine_.evaluate(query);
+  const ScanResult direct = store_.scan(query.area, query.time, query.res);
+  // Tile semantics: the evaluation returns every cell the raw scan finds
+  // (cells at the query edge may aggregate a few records outside the box,
+  // so compare on the keys the direct scan produced).
+  ASSERT_FALSE(direct.cells.empty());
+  for (const auto& [key, summary] : direct.cells) {
+    ASSERT_TRUE(eval.cells.contains(key)) << key.label();
+    // Full-bin cells hold at least the records the clipped scan saw.
+    EXPECT_GE(eval.cells.at(key).observation_count(), summary.observation_count());
+  }
+  EXPECT_GT(eval.breakdown.chunks_scanned, 0u);
+  EXPECT_EQ(eval.breakdown.chunks_from_cache, 0u);
+  EXPECT_GT(eval.breakdown.scan.records_scanned, 0u);
+}
+
+TEST_F(QueryEngineTest, WarmQueryIsPureCacheHitAndIdentical) {
+  const auto query = county_query();
+  Evaluation cold = engine_.evaluate(query);
+  engine_.absorb(cold, query.res, 0);
+
+  Evaluation warm = engine_.evaluate(query);
+  EXPECT_EQ(warm.breakdown.chunks_scanned, 0u);
+  EXPECT_EQ(warm.breakdown.scan.records_scanned, 0u);
+  EXPECT_EQ(warm.breakdown.chunks_from_cache, warm.breakdown.chunks_total);
+  expect_same_cells(cold.cells, warm.cells);
+}
+
+TEST_F(QueryEngineTest, BasicModeNeverUsesCache) {
+  const auto query = county_query();
+  Evaluation first = engine_.evaluate(query);
+  engine_.absorb(first, query.res, 0);
+  Evaluation again = engine_.evaluate(query, EvalMode::Basic);
+  EXPECT_EQ(again.breakdown.chunks_from_cache, 0u);
+  EXPECT_EQ(again.breakdown.cache_probes, 0u);
+  EXPECT_GT(again.breakdown.scan.records_scanned, 0u);
+  expect_same_cells(first.cells, again.cells);
+}
+
+TEST_F(QueryEngineTest, OverlappingQueryReusesSharedChunks) {
+  // The panning scenario (§VIII-D.3): shift the box 25% east; the overlap
+  // should come from cache, only the new margin from disk.
+  const auto query = county_query();
+  engine_.absorb(engine_.evaluate(query), query.res, 0);
+
+  AggregationQuery panned = query;
+  panned.area = query.area.translated(0.0, query.area.width() * 0.25);
+  const Evaluation eval = engine_.evaluate(panned);
+  EXPECT_GT(eval.breakdown.chunks_from_cache, 0u);
+  EXPECT_GT(eval.breakdown.chunks_scanned, 0u);
+  EXPECT_LT(eval.breakdown.chunks_scanned, eval.breakdown.chunks_total / 2);
+
+  // Cross-check against a fresh engine evaluating the panned query cold.
+  StashGraph cold_graph(make_config());
+  QueryEngine cold_engine(cold_graph, store_);
+  expect_same_cells(cold_engine.evaluate(panned).cells, eval.cells);
+}
+
+TEST_F(QueryEngineTest, NestedQueryIsFullyCached) {
+  // Descending iterative dicing (§VIII-D.1): a subset of a cached query
+  // needs no disk at all.
+  AggregationQuery big = county_query();
+  engine_.absorb(engine_.evaluate(big), big.res, 0);
+  AggregationQuery small = big;
+  small.area = big.area.scaled(0.5);
+  const Evaluation eval = engine_.evaluate(small);
+  EXPECT_EQ(eval.breakdown.chunks_scanned, 0u);
+  EXPECT_GT(eval.breakdown.chunks_from_cache, 0u);
+}
+
+TEST_F(QueryEngineTest, RollUpSynthesizesFromFinerSpatialLevel) {
+  // §V-B: missing values "available by computing from the existing cached
+  // values" must not touch disk.  Cache s6 cells, then query s5.
+  AggregationQuery fine = county_query();
+  engine_.absorb(engine_.evaluate(fine), fine.res, 0);
+
+  AggregationQuery coarse = fine;
+  coarse.res.spatial = 5;
+  const Evaluation eval = engine_.evaluate(coarse);
+  EXPECT_EQ(eval.breakdown.scan.records_scanned, 0u);
+  EXPECT_EQ(eval.breakdown.chunks_scanned, 0u);
+  EXPECT_GT(eval.breakdown.chunks_synthesized, 0u);
+  EXPECT_GT(eval.breakdown.synthesis_merges, 0u);
+
+  // Synthesized cells equal a cold scan at the coarse resolution.
+  StashGraph cold_graph(make_config());
+  QueryEngine cold_engine(cold_graph, store_);
+  expect_same_cells(cold_engine.evaluate(coarse).cells, eval.cells);
+}
+
+TEST_F(QueryEngineTest, RollUpSynthesizesFromFinerTemporalLevel) {
+  AggregationQuery hourly = county_query();
+  hourly.res.temporal = TemporalRes::Hour;
+  engine_.absorb(engine_.evaluate(hourly), hourly.res, 0);
+
+  AggregationQuery daily = county_query();
+  const Evaluation eval = engine_.evaluate(daily);
+  EXPECT_EQ(eval.breakdown.scan.records_scanned, 0u);
+  EXPECT_GT(eval.breakdown.chunks_synthesized, 0u);
+
+  StashGraph cold_graph(make_config());
+  QueryEngine cold_engine(cold_graph, store_);
+  expect_same_cells(cold_engine.evaluate(daily).cells, eval.cells);
+}
+
+TEST_F(QueryEngineTest, SynthesizedChunksBecomeResident) {
+  AggregationQuery fine = county_query();
+  engine_.absorb(engine_.evaluate(fine), fine.res, 0);
+  AggregationQuery coarse = fine;
+  coarse.res.spatial = 5;
+  engine_.absorb(engine_.evaluate(coarse), coarse.res, kSecond);
+  // Second coarse query: pure cache hit, no synthesis work.
+  const Evaluation again = engine_.evaluate(coarse);
+  EXPECT_EQ(again.breakdown.chunks_synthesized, 0u);
+  EXPECT_EQ(again.breakdown.chunks_from_cache, again.breakdown.chunks_total);
+}
+
+TEST_F(QueryEngineTest, CacheOnlyModeNeverScans) {
+  const auto query = county_query();
+  const Evaluation miss = engine_.evaluate(query, EvalMode::CacheOnly);
+  EXPECT_TRUE(miss.cells.empty());
+  EXPECT_EQ(miss.breakdown.scan.records_scanned, 0u);
+  EXPECT_EQ(miss.breakdown.chunks_missing, miss.breakdown.chunks_total);
+
+  engine_.absorb(engine_.evaluate(query), query.res, 0);
+  const Evaluation hit = engine_.evaluate(query, EvalMode::CacheOnly);
+  EXPECT_EQ(hit.breakdown.chunks_missing, 0u);
+  EXPECT_FALSE(hit.cells.empty());
+}
+
+TEST_F(QueryEngineTest, PartialChunkScansOnlyMissingDays) {
+  // A month query after one cached day fetches the other 27 days only.
+  AggregationQuery day = county_query();
+  engine_.absorb(engine_.evaluate(day), day.res, 0);
+
+  AggregationQuery month = county_query();
+  month.res.temporal = TemporalRes::Month;
+  month.time = TemporalBin(TemporalRes::Month, 2015, 2).range();
+  const Evaluation eval = engine_.evaluate(month);
+  // The Month level is distinct from the Day level: nothing is resident at
+  // Month yet, but a full temporal-children synthesis is impossible (only
+  // one day cached), so it scans the whole bin at Month level.
+  EXPECT_GT(eval.breakdown.scan.records_scanned, 0u);
+
+  engine_.absorb(eval, month.res, kSecond);
+  // Invalidate one day's block: affected chunks are dropped, the next
+  // month query recomputes them — and the recomputed values must equal a
+  // cold evaluation exactly (no double counting).
+  const std::int64_t feb10 = days_from_civil({2015, 2, 10});
+  EXPECT_EQ(graph_.invalidate_block("9q", feb10), 0u);  // not a Kansas partition
+  const std::size_t dropped =
+      graph_.invalidate_block(geohash::encode({38.3, -98.4}, 2), feb10);
+  EXPECT_GT(dropped, 0u);
+  const Evaluation after = engine_.evaluate(month);
+  EXPECT_GT(after.breakdown.scan.records_scanned, 0u);
+
+  StashGraph cold_graph(make_config());
+  QueryEngine cold_engine(cold_graph, store_);
+  expect_same_cells(cold_engine.evaluate(month).cells, after.cells);
+}
+
+TEST_F(QueryEngineTest, MaintenanceAccountsWorkAndEviction) {
+  StashConfig tight = make_config();
+  tight.max_cells = 8;
+  tight.safe_limit_fraction = 0.5;
+  StashGraph tight_graph(tight);
+  QueryEngine tight_engine(tight_graph, store_);
+  const auto query = county_query();
+  const Evaluation eval = tight_engine.evaluate(query);
+  const MaintenanceStats stats = tight_engine.absorb(eval, query.res, 0);
+  EXPECT_GT(stats.cells_absorbed, 0u);
+  EXPECT_GT(stats.freshness_updates, 0u);
+  EXPECT_GT(stats.cells_evicted, 0u);  // 50-cell capacity forces eviction
+  EXPECT_LE(tight_graph.total_cells(), tight.safe_limit());
+}
+
+TEST_F(QueryEngineTest, EmptyRegionQueryReturnsNoCells) {
+  AggregationQuery ocean = county_query();
+  ocean.area = {-10.0, -9.0, -30.0, -29.0};  // mid-Atlantic, outside coverage
+  const Evaluation eval = engine_.evaluate(ocean);
+  EXPECT_TRUE(eval.cells.empty());
+  // The chunks are still tracked as known-empty after absorb: no rescan.
+  engine_.absorb(eval, ocean.res, 0);
+  const Evaluation again = engine_.evaluate(ocean);
+  EXPECT_EQ(again.breakdown.chunks_scanned, 0u);
+}
+
+TEST_F(QueryEngineTest, EvaluatePartitionRestrictsToPartition) {
+  const auto query = county_query();
+  const auto partitions = geohash::covering(query.area, 2);
+  Evaluation merged;
+  for (const auto& p : partitions) {
+    Evaluation part = engine_.evaluate_partition(p, query);
+    for (const auto& [key, summary] : part.cells) {
+      EXPECT_TRUE(geohash::decode(p).contains(key.bounds())) << key.label();
+      EXPECT_TRUE(merged.cells.try_emplace(key, summary).second)
+          << "cell in two partitions: " << key.label();
+    }
+  }
+  expect_same_cells(merged.cells, engine_.evaluate(query).cells);
+}
+
+TEST_F(QueryEngineTest, TouchedChunksCoverQueryFootprint) {
+  const auto query = county_query();
+  const Evaluation eval = engine_.evaluate(query);
+  EXPECT_EQ(eval.touched_chunks.size(), eval.breakdown.chunks_total);
+  for (const auto& chunk : eval.touched_chunks)
+    EXPECT_TRUE(chunk.bounds().intersects(query.area)) << chunk.label();
+}
+
+}  // namespace
+}  // namespace stash

@@ -1,0 +1,96 @@
+#include "core/routing_table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace stash {
+namespace {
+
+using sim::kSecond;
+
+const TemporalBin kDay(TemporalRes::Day, 2015, 2, 2);
+const Resolution kRes6{6, TemporalRes::Day};
+const sim::SimTime kTtl = 60 * kSecond;
+
+TEST(RoutingTableTest, EmptyLookupMisses) {
+  const RoutingTable table;
+  EXPECT_TRUE(table.empty());
+  EXPECT_FALSE(table.lookup(kRes6, {ChunkKey("9q8y", kDay)}, 0, kTtl).has_value());
+  EXPECT_FALSE(table.lookup(kRes6, {}, 0, kTtl).has_value());
+}
+
+TEST(RoutingTableTest, FullyReplicatedRegionResolvesToHelper) {
+  RoutingTable table;
+  const ChunkKey a("9q8y", kDay);
+  const ChunkKey b("9q8z", kDay);
+  table.add(kRes6, a, 7, 0);
+  table.add(kRes6, b, 7, 0);
+  const auto helper = table.lookup(kRes6, {a, b}, kSecond, kTtl);
+  ASSERT_TRUE(helper.has_value());
+  EXPECT_EQ(*helper, 7u);
+}
+
+TEST(RoutingTableTest, PartialReplicationMisses) {
+  // §VII-C: reroute only when the region is *fully* replicated.
+  RoutingTable table;
+  table.add(kRes6, ChunkKey("9q8y", kDay), 7, 0);
+  EXPECT_FALSE(table.lookup(kRes6, {ChunkKey("9q8y", kDay), ChunkKey("9q8z", kDay)},
+                            0, kTtl)
+                   .has_value());
+}
+
+TEST(RoutingTableTest, SplitAcrossHelpersMisses) {
+  RoutingTable table;
+  table.add(kRes6, ChunkKey("9q8y", kDay), 7, 0);
+  table.add(kRes6, ChunkKey("9q8z", kDay), 9, 0);
+  EXPECT_FALSE(table.lookup(kRes6, {ChunkKey("9q8y", kDay), ChunkKey("9q8z", kDay)},
+                            0, kTtl)
+                   .has_value());
+}
+
+TEST(RoutingTableTest, LevelsAreDistinct) {
+  RoutingTable table;
+  table.add(kRes6, ChunkKey("9q8y", kDay), 7, 0);
+  EXPECT_FALSE(table.lookup({5, TemporalRes::Day}, {ChunkKey("9q8y", kDay)}, 0, kTtl)
+                   .has_value());
+}
+
+TEST(RoutingTableTest, ExpiredEntriesMiss) {
+  RoutingTable table;
+  table.add(kRes6, ChunkKey("9q8y", kDay), 7, 0);
+  EXPECT_TRUE(table.lookup(kRes6, {ChunkKey("9q8y", kDay)}, kTtl, kTtl).has_value());
+  EXPECT_FALSE(
+      table.lookup(kRes6, {ChunkKey("9q8y", kDay)}, kTtl + 1, kTtl).has_value());
+}
+
+TEST(RoutingTableTest, ReAddRefreshesTimestampAndHelper) {
+  RoutingTable table;
+  table.add(kRes6, ChunkKey("9q8y", kDay), 7, 0);
+  table.add(kRes6, ChunkKey("9q8y", kDay), 9, 50 * kSecond);
+  const auto helper =
+      table.lookup(kRes6, {ChunkKey("9q8y", kDay)}, 100 * kSecond, kTtl);
+  ASSERT_TRUE(helper.has_value());
+  EXPECT_EQ(*helper, 9u);
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(RoutingTableTest, PurgeDropsOnlyStaleEntries) {
+  RoutingTable table;
+  table.add(kRes6, ChunkKey("9q8y", kDay), 7, 0);
+  table.add(kRes6, ChunkKey("9q8z", kDay), 7, 50 * kSecond);
+  EXPECT_EQ(table.purge(70 * kSecond, kTtl), 1u);
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_TRUE(
+      table.lookup(kRes6, {ChunkKey("9q8z", kDay)}, 70 * kSecond, kTtl).has_value());
+}
+
+TEST(RoutingTableTest, DropHelperRemovesItsEntries) {
+  RoutingTable table;
+  table.add(kRes6, ChunkKey("9q8y", kDay), 7, 0);
+  table.add(kRes6, ChunkKey("9q8z", kDay), 9, 0);
+  EXPECT_EQ(table.drop_helper(7), 1u);
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_FALSE(table.lookup(kRes6, {ChunkKey("9q8y", kDay)}, 0, kTtl).has_value());
+}
+
+}  // namespace
+}  // namespace stash

@@ -1,0 +1,113 @@
+#include "dht/partitioner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/rng.hpp"
+#include "geo/geohash.hpp"
+
+namespace stash {
+namespace {
+
+TEST(ZeroHopDhtTest, ConstructionValidation) {
+  EXPECT_THROW(ZeroHopDht(0), std::invalid_argument);
+  EXPECT_THROW(ZeroHopDht(4, 0), std::invalid_argument);
+  EXPECT_THROW(ZeroHopDht(4, 13), std::invalid_argument);
+  EXPECT_NO_THROW(ZeroHopDht(120, 2));
+}
+
+TEST(ZeroHopDhtTest, PartitionKeyIsPrefix) {
+  const ZeroHopDht dht(10, 2);
+  EXPECT_EQ(dht.partition_key("9q8y7"), "9q");
+  EXPECT_EQ(dht.partition_key("9q"), "9q");
+  EXPECT_THROW((void)dht.partition_key("9"), std::invalid_argument);
+}
+
+TEST(ZeroHopDhtTest, LookupIsStable) {
+  const ZeroHopDht dht(120, 2);
+  const NodeId n = dht.node_for("9q8y7");
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(dht.node_for("9q8y7"), n);
+  // Same partition prefix -> same node regardless of suffix.
+  EXPECT_EQ(dht.node_for("9q000"), n);
+  EXPECT_EQ(dht.node_for("9qzzz"), n);
+}
+
+TEST(ZeroHopDhtTest, NodeIdsInRange) {
+  const ZeroHopDht dht(7, 2);
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const LatLng p{rng.uniform(-90.0, 90.0), rng.uniform(-180.0, 180.0)};
+    EXPECT_LT(dht.node_for_point(p), 7u);
+  }
+}
+
+TEST(ZeroHopDhtTest, PointAndGeohashAgree) {
+  const ZeroHopDht dht(120, 2);
+  Rng rng(2);
+  for (int i = 0; i < 200; ++i) {
+    const LatLng p{rng.uniform(-90.0, 90.0), rng.uniform(-180.0, 180.0)};
+    EXPECT_EQ(dht.node_for_point(p), dht.node_for(geohash::encode(p, 6)));
+  }
+}
+
+TEST(ZeroHopDhtTest, AllPartitionsEnumerated) {
+  const ZeroHopDht dht(5, 1);
+  EXPECT_EQ(dht.all_partitions().size(), 32u);
+  const ZeroHopDht dht2(5, 2);
+  EXPECT_EQ(dht2.all_partitions().size(), 1024u);
+}
+
+TEST(ZeroHopDhtTest, PartitionsOfCoverKeyspace) {
+  const ZeroHopDht dht(9, 2);
+  std::set<std::string> seen;
+  for (NodeId n = 0; n < 9; ++n) {
+    for (const auto& key : dht.partitions_of(n)) {
+      EXPECT_EQ(dht.node_for_partition(key), n);
+      EXPECT_TRUE(seen.insert(key).second) << "duplicate " << key;
+    }
+  }
+  EXPECT_EQ(seen.size(), 1024u);
+}
+
+TEST(ZeroHopDhtTest, LoadIsRoughlyUniform) {
+  // Paper §VIII-A: "data is partitioned uniformly over the cluster based on
+  // the first 2 characters of their Geohash" — 1024 partitions over 120
+  // nodes should land 8–9 partitions on most nodes.
+  const ZeroHopDht dht(120, 2);
+  std::map<NodeId, int> counts;
+  for (const auto& key : dht.all_partitions()) ++counts[dht.node_for_partition(key)];
+  EXPECT_GE(counts.size(), 115u);  // nearly every node owns something
+  for (const auto& [node, count] : counts) {
+    EXPECT_GE(count, 1);
+    EXPECT_LE(count, 22) << "node " << node << " badly overloaded";
+  }
+}
+
+TEST(ZeroHopDhtTest, SpatialLocalityWithinPartition) {
+  // All geohashes sharing a 2-char prefix decode inside that prefix's box —
+  // the property Galileo exploits to colocate proximate data.
+  const ZeroHopDht dht(120, 2);
+  const BoundingBox partition_box = geohash::decode("9q");
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    const LatLng p{rng.uniform(partition_box.lat_min + 1e-9,
+                               partition_box.lat_max - 1e-9),
+                   rng.uniform(partition_box.lng_min + 1e-9,
+                               partition_box.lng_max - 1e-9)};
+    EXPECT_EQ(dht.partition_key(geohash::encode(p, 6)), "9q");
+  }
+}
+
+TEST(ZeroHopDhtTest, DifferentClusterSizesRedistribute) {
+  const ZeroHopDht small(4, 2);
+  const ZeroHopDht large(120, 2);
+  int moved = 0;
+  for (const auto& key : small.all_partitions())
+    if (small.node_for_partition(key) != large.node_for_partition(key)) ++moved;
+  EXPECT_GT(moved, 900);  // nearly everything remaps between 4 and 120 nodes
+}
+
+}  // namespace
+}  // namespace stash

@@ -1,0 +1,66 @@
+#include "geo/cell_key.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace stash {
+namespace {
+
+TEST(CellKeyTest, RoundTripsComponents) {
+  const TemporalBin bin(TemporalRes::Month, 2015, 3);
+  const CellKey key("9q8y7", bin);
+  EXPECT_EQ(key.geohash_str(), "9q8y7");
+  EXPECT_EQ(key.bin(), bin);
+  EXPECT_EQ(key.resolution(), (Resolution{5, TemporalRes::Month}));
+  EXPECT_EQ(key.label(), "9q8y7@2015-03");
+}
+
+TEST(CellKeyTest, BoundsMatchGeohashAndBin) {
+  const CellKey key("9q8y7", TemporalBin(TemporalRes::Day, 2015, 2, 2));
+  EXPECT_EQ(key.bounds(), geohash::decode("9q8y7"));
+  EXPECT_EQ(key.time_range(), TemporalBin(TemporalRes::Day, 2015, 2, 2).range());
+}
+
+TEST(CellKeyTest, EqualityAndOrdering) {
+  const TemporalBin bin(TemporalRes::Day, 2015, 2, 2);
+  const CellKey a("9q8y7", bin);
+  const CellKey b("9q8y7", bin);
+  const CellKey c("9q8yd", bin);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_TRUE(a < c || c < a);
+}
+
+TEST(CellKeyTest, HashSpreadsKeys) {
+  const CellKeyHash hash;
+  std::unordered_set<std::size_t> hashes;
+  const TemporalBin bin(TemporalRes::Day, 2015, 2, 2);
+  for (const auto& gh : geohash::children("9q8y"))
+    hashes.insert(hash(CellKey(gh, bin)));
+  EXPECT_EQ(hashes.size(), 32u);  // no collisions among siblings
+}
+
+TEST(CellKeyTest, DistinguishesTemporalBins) {
+  const CellKey feb("9q8y7", TemporalBin(TemporalRes::Day, 2015, 2, 2));
+  const CellKey mar("9q8y7", TemporalBin(TemporalRes::Day, 2015, 3, 2));
+  EXPECT_NE(feb, mar);
+  EXPECT_NE(CellKeyHash{}(feb), CellKeyHash{}(mar));
+}
+
+TEST(CellKeyTest, DistinguishesPrecisions) {
+  const TemporalBin bin(TemporalRes::Day, 2015, 2, 2);
+  EXPECT_NE(CellKey("9q8y", bin), CellKey("9q8y0", bin));
+}
+
+TEST(CellKeyTest, UsableInUnorderedMap) {
+  std::unordered_set<CellKey, CellKeyHash> set;
+  const TemporalBin bin(TemporalRes::Day, 2015, 2, 2);
+  set.insert(CellKey("9q8y7", bin));
+  set.insert(CellKey("9q8y7", bin));  // duplicate
+  set.insert(CellKey("9q8yd", bin));
+  EXPECT_EQ(set.size(), 2u);
+}
+
+}  // namespace
+}  // namespace stash

@@ -1,0 +1,95 @@
+#include "geo/latlng.hpp"
+
+#include <gtest/gtest.h>
+
+namespace stash {
+namespace {
+
+TEST(BoundingBoxTest, BasicGeometry) {
+  const BoundingBox b{10.0, 20.0, -30.0, -10.0};
+  EXPECT_TRUE(b.valid());
+  EXPECT_DOUBLE_EQ(b.height(), 10.0);
+  EXPECT_DOUBLE_EQ(b.width(), 20.0);
+  EXPECT_DOUBLE_EQ(b.area(), 200.0);
+  EXPECT_EQ(b.center(), (LatLng{15.0, -20.0}));
+}
+
+TEST(BoundingBoxTest, ContainsPoint) {
+  const BoundingBox b{0.0, 10.0, 0.0, 10.0};
+  EXPECT_TRUE(b.contains(LatLng{5.0, 5.0}));
+  EXPECT_TRUE(b.contains(LatLng{0.0, 0.0}));    // boundary is inclusive
+  EXPECT_TRUE(b.contains(LatLng{10.0, 10.0}));
+  EXPECT_FALSE(b.contains(LatLng{-0.1, 5.0}));
+  EXPECT_FALSE(b.contains(LatLng{5.0, 10.1}));
+}
+
+TEST(BoundingBoxTest, ContainsBox) {
+  const BoundingBox outer{0.0, 10.0, 0.0, 10.0};
+  EXPECT_TRUE(outer.contains(BoundingBox{2.0, 8.0, 2.0, 8.0}));
+  EXPECT_TRUE(outer.contains(outer));
+  EXPECT_FALSE(outer.contains(BoundingBox{2.0, 11.0, 2.0, 8.0}));
+}
+
+TEST(BoundingBoxTest, OpenIntersection) {
+  const BoundingBox a{0.0, 10.0, 0.0, 10.0};
+  EXPECT_TRUE(a.intersects(BoundingBox{5.0, 15.0, 5.0, 15.0}));
+  // Sharing only an edge does not count as interior intersection.
+  EXPECT_FALSE(a.intersects(BoundingBox{10.0, 20.0, 0.0, 10.0}));
+  EXPECT_FALSE(a.intersects(BoundingBox{0.0, 10.0, 10.0, 20.0}));
+  EXPECT_FALSE(a.intersects(BoundingBox{11.0, 20.0, 0.0, 10.0}));
+}
+
+TEST(BoundingBoxTest, IntersectionBox) {
+  const BoundingBox a{0.0, 10.0, 0.0, 10.0};
+  const BoundingBox b{5.0, 15.0, -5.0, 5.0};
+  EXPECT_EQ(a.intersection(b), (BoundingBox{5.0, 10.0, 0.0, 5.0}));
+}
+
+TEST(BoundingBoxTest, TranslatedPreservesSize) {
+  const BoundingBox b{10.0, 20.0, 30.0, 50.0};
+  const BoundingBox t = b.translated(5.0, -10.0);
+  EXPECT_DOUBLE_EQ(t.height(), b.height());
+  EXPECT_DOUBLE_EQ(t.width(), b.width());
+  EXPECT_DOUBLE_EQ(t.lat_min, 15.0);
+  EXPECT_DOUBLE_EQ(t.lng_min, 20.0);
+}
+
+TEST(BoundingBoxTest, TranslatedClampsAtGlobeEdge) {
+  const BoundingBox b{80.0, 89.0, 0.0, 10.0};
+  const BoundingBox t = b.translated(5.0, 0.0);
+  EXPECT_DOUBLE_EQ(t.lat_max, 90.0);
+  EXPECT_DOUBLE_EQ(t.height(), b.height());  // size preserved, shifted back
+
+  const BoundingBox w{0.0, 10.0, -179.0, -170.0};
+  const BoundingBox tw = w.translated(0.0, -5.0);
+  EXPECT_DOUBLE_EQ(tw.lng_min, -180.0);
+  EXPECT_DOUBLE_EQ(tw.width(), w.width());
+}
+
+TEST(BoundingBoxTest, ScaledHalvesArea) {
+  const BoundingBox b{0.0, 10.0, 0.0, 20.0};
+  const BoundingBox s = b.scaled(0.5);
+  EXPECT_NEAR(s.area(), b.area() * 0.5, 1e-9);
+  EXPECT_EQ(s.center(), b.center());
+}
+
+TEST(BoundingBoxTest, ScaledIdentity) {
+  const BoundingBox b{-5.0, 5.0, -5.0, 5.0};
+  const BoundingBox s = b.scaled(1.0);
+  EXPECT_NEAR(s.lat_min, b.lat_min, 1e-12);
+  EXPECT_NEAR(s.lng_max, b.lng_max, 1e-12);
+}
+
+TEST(BoundingBoxTest, WholeWorld) {
+  const BoundingBox w = BoundingBox::whole_world();
+  EXPECT_TRUE(w.contains(LatLng{45.0, 100.0}));
+  EXPECT_DOUBLE_EQ(w.area(), 180.0 * 360.0);
+}
+
+TEST(BoundingBoxTest, InvalidWhenInverted) {
+  EXPECT_FALSE((BoundingBox{10.0, 0.0, 0.0, 10.0}).valid());
+  EXPECT_FALSE((BoundingBox{0.0, 10.0, 10.0, 0.0}).valid());
+}
+
+}  // namespace
+}  // namespace stash

@@ -1,0 +1,82 @@
+#include "geo/resolution.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace stash {
+namespace {
+
+TEST(ResolutionTest, LevelIndexIsBijective) {
+  std::set<int> seen;
+  for (int s = 1; s <= geohash::kMaxPrecision; ++s) {
+    for (int t = 0; t < kNumTemporalRes; ++t) {
+      const Resolution r{s, static_cast<TemporalRes>(t)};
+      const int level = level_index(r);
+      EXPECT_GE(level, 0);
+      EXPECT_LT(level, kNumLevels);
+      EXPECT_TRUE(seen.insert(level).second) << r.to_string();
+      EXPECT_EQ(resolution_of_level(level), r);
+    }
+  }
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(kNumLevels));
+}
+
+TEST(ResolutionTest, FinerResolutionsHaveHigherLevels) {
+  // One spatial step up increases the level by 1; one temporal step by
+  // kMaxPrecision — both strictly increase.
+  const Resolution base{5, TemporalRes::Month};
+  EXPECT_GT(level_index({6, TemporalRes::Month}), level_index(base));
+  EXPECT_GT(level_index({5, TemporalRes::Day}), level_index(base));
+}
+
+TEST(ResolutionTest, ParentResolutionsMatchPaper) {
+  // Paper §IV-B: "Each Cell can have 3 different parent precisions".
+  const auto parents = parent_resolutions({5, TemporalRes::Day});
+  ASSERT_EQ(parents.size(), 3u);
+  EXPECT_EQ(parents[0], (Resolution{4, TemporalRes::Day}));
+  EXPECT_EQ(parents[1], (Resolution{5, TemporalRes::Month}));
+  EXPECT_EQ(parents[2], (Resolution{4, TemporalRes::Month}));
+}
+
+TEST(ResolutionTest, ParentResolutionsAtBoundaries) {
+  EXPECT_EQ(parent_resolutions({1, TemporalRes::Year}).size(), 0u);
+  const auto spatial_only = parent_resolutions({2, TemporalRes::Year});
+  ASSERT_EQ(spatial_only.size(), 1u);
+  EXPECT_EQ(spatial_only[0], (Resolution{1, TemporalRes::Year}));
+  const auto temporal_only = parent_resolutions({1, TemporalRes::Month});
+  ASSERT_EQ(temporal_only.size(), 1u);
+  EXPECT_EQ(temporal_only[0], (Resolution{1, TemporalRes::Year}));
+}
+
+TEST(ResolutionTest, ChildResolutionsMirrorParents) {
+  const Resolution r{5, TemporalRes::Day};
+  for (const auto& child : child_resolutions(r)) {
+    const auto parents = parent_resolutions(child);
+    EXPECT_NE(std::find(parents.begin(), parents.end(), r), parents.end())
+        << child.to_string();
+  }
+}
+
+TEST(ResolutionTest, ChildResolutionsAtBoundaries) {
+  EXPECT_EQ(child_resolutions({geohash::kMaxPrecision, TemporalRes::Hour}).size(),
+            0u);
+  EXPECT_EQ(child_resolutions({geohash::kMaxPrecision, TemporalRes::Day}).size(),
+            1u);
+  EXPECT_EQ(child_resolutions({3, TemporalRes::Hour}).size(), 1u);
+  EXPECT_EQ(child_resolutions({3, TemporalRes::Day}).size(), 3u);
+}
+
+TEST(ResolutionTest, Validity) {
+  EXPECT_TRUE((Resolution{1, TemporalRes::Year}).valid());
+  EXPECT_TRUE((Resolution{12, TemporalRes::Hour}).valid());
+  EXPECT_FALSE((Resolution{0, TemporalRes::Day}).valid());
+  EXPECT_FALSE((Resolution{13, TemporalRes::Day}).valid());
+}
+
+TEST(ResolutionTest, ToStringIsReadable) {
+  EXPECT_EQ((Resolution{6, TemporalRes::Day}).to_string(), "s6/Day");
+}
+
+}  // namespace
+}  // namespace stash

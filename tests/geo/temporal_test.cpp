@@ -1,0 +1,197 @@
+#include "geo/temporal.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/civil_time.hpp"
+
+namespace stash {
+namespace {
+
+TEST(TemporalResTest, HierarchyOrder) {
+  EXPECT_EQ(*coarser(TemporalRes::Hour), TemporalRes::Day);
+  EXPECT_EQ(*coarser(TemporalRes::Day), TemporalRes::Month);
+  EXPECT_EQ(*coarser(TemporalRes::Month), TemporalRes::Year);
+  EXPECT_FALSE(coarser(TemporalRes::Year).has_value());
+  EXPECT_EQ(*finer(TemporalRes::Year), TemporalRes::Month);
+  EXPECT_FALSE(finer(TemporalRes::Hour).has_value());
+}
+
+TEST(TemporalBinTest, ValidationRejectsBadFields) {
+  EXPECT_THROW(TemporalBin(TemporalRes::Month, 2015, 13), std::invalid_argument);
+  EXPECT_THROW(TemporalBin(TemporalRes::Day, 2015, 2, 29), std::invalid_argument);
+  EXPECT_NO_THROW(TemporalBin(TemporalRes::Day, 2016, 2, 29));  // leap year
+  EXPECT_THROW(TemporalBin(TemporalRes::Hour, 2015, 1, 1, 24), std::invalid_argument);
+  // Finer fields must stay at defaults for coarse bins.
+  EXPECT_THROW(TemporalBin(TemporalRes::Month, 2015, 3, 2), std::invalid_argument);
+  EXPECT_THROW(TemporalBin(TemporalRes::Year, 2015, 2), std::invalid_argument);
+}
+
+TEST(TemporalBinTest, RangeOfPaperQueryDay) {
+  // Query_Time of all paper workloads: 2015-02-02.
+  const TemporalBin day(TemporalRes::Day, 2015, 2, 2);
+  const TimeRange r = day.range();
+  EXPECT_EQ(r.begin, unix_seconds({2015, 2, 2}));
+  EXPECT_EQ(r.end - r.begin, 86400);
+}
+
+TEST(TemporalBinTest, RangeWidths) {
+  EXPECT_EQ(TemporalBin(TemporalRes::Hour, 2015, 6, 15, 7).range().end -
+                TemporalBin(TemporalRes::Hour, 2015, 6, 15, 7).range().begin,
+            3600);
+  const TimeRange feb = TemporalBin(TemporalRes::Month, 2015, 2).range();
+  EXPECT_EQ(feb.end - feb.begin, 28 * 86400);
+  const TimeRange leap_feb = TemporalBin(TemporalRes::Month, 2016, 2).range();
+  EXPECT_EQ(leap_feb.end - leap_feb.begin, 29 * 86400);
+  const TimeRange year = TemporalBin(TemporalRes::Year, 2015).range();
+  EXPECT_EQ(year.end - year.begin, 365 * 86400);
+}
+
+TEST(TemporalBinTest, DecemberRollsToNextYear) {
+  const TimeRange dec = TemporalBin(TemporalRes::Month, 2015, 12).range();
+  EXPECT_EQ(dec.end, unix_seconds({2016, 1, 1}));
+}
+
+TEST(TemporalBinTest, OfTimestampFindsEnclosingBin) {
+  const std::int64_t ts = unix_seconds({2015, 3, 10}, 14, 30, 0);
+  EXPECT_EQ(TemporalBin::of_timestamp(ts, TemporalRes::Hour),
+            TemporalBin(TemporalRes::Hour, 2015, 3, 10, 14));
+  EXPECT_EQ(TemporalBin::of_timestamp(ts, TemporalRes::Day),
+            TemporalBin(TemporalRes::Day, 2015, 3, 10));
+  EXPECT_EQ(TemporalBin::of_timestamp(ts, TemporalRes::Month),
+            TemporalBin(TemporalRes::Month, 2015, 3));
+  EXPECT_EQ(TemporalBin::of_timestamp(ts, TemporalRes::Year),
+            TemporalBin(TemporalRes::Year, 2015));
+}
+
+TEST(TemporalBinTest, BinContainsItsTimestamps) {
+  for (auto res : {TemporalRes::Year, TemporalRes::Month, TemporalRes::Day,
+                   TemporalRes::Hour}) {
+    const std::int64_t ts = unix_seconds({2015, 7, 21}, 9, 59, 59);
+    const TemporalBin bin = TemporalBin::of_timestamp(ts, res);
+    EXPECT_TRUE(bin.range().contains(ts));
+  }
+}
+
+TEST(TemporalBinTest, ParentContainsChild) {
+  const TemporalBin hour(TemporalRes::Hour, 2015, 3, 31, 23);
+  const auto day = hour.parent();
+  ASSERT_TRUE(day.has_value());
+  EXPECT_EQ(*day, TemporalBin(TemporalRes::Day, 2015, 3, 31));
+  EXPECT_TRUE(day->contains(hour));
+  EXPECT_FALSE(hour.contains(*day));
+  EXPECT_FALSE(TemporalBin(TemporalRes::Year, 2015).parent().has_value());
+}
+
+TEST(TemporalBinTest, ChildrenPartitionParent) {
+  const TemporalBin month(TemporalRes::Month, 2015, 2);
+  const auto days = month.children();
+  ASSERT_EQ(days.size(), 28u);
+  std::int64_t cursor = month.range().begin;
+  for (const auto& d : days) {
+    EXPECT_EQ(d.range().begin, cursor);
+    EXPECT_TRUE(month.contains(d));
+    cursor = d.range().end;
+  }
+  EXPECT_EQ(cursor, month.range().end);
+
+  EXPECT_EQ(TemporalBin(TemporalRes::Year, 2015).children().size(), 12u);
+  EXPECT_EQ(TemporalBin(TemporalRes::Day, 2015, 1, 1).children().size(), 24u);
+  EXPECT_TRUE(TemporalBin(TemporalRes::Hour, 2015, 1, 1, 0).children().empty());
+}
+
+TEST(TemporalBinTest, LateralNeighborsAbutAndInvert) {
+  // Paper Fig 1b: 2015-03 has temporal neighbors 2015-02 and 2015-04.
+  const TemporalBin march(TemporalRes::Month, 2015, 3);
+  EXPECT_EQ(march.prev(), TemporalBin(TemporalRes::Month, 2015, 2));
+  EXPECT_EQ(march.next(), TemporalBin(TemporalRes::Month, 2015, 4));
+  EXPECT_EQ(march.prev().next(), march);
+  EXPECT_EQ(march.next().prev(), march);
+  EXPECT_EQ(march.prev().range().end, march.range().begin);
+}
+
+TEST(TemporalBinTest, NeighborsCrossBoundaries) {
+  EXPECT_EQ(TemporalBin(TemporalRes::Day, 2015, 1, 1).prev(),
+            TemporalBin(TemporalRes::Day, 2014, 12, 31));
+  EXPECT_EQ(TemporalBin(TemporalRes::Month, 2015, 12).next(),
+            TemporalBin(TemporalRes::Month, 2016, 1));
+  EXPECT_EQ(TemporalBin(TemporalRes::Hour, 2015, 2, 28, 23).next(),
+            TemporalBin(TemporalRes::Hour, 2015, 3, 1, 0));
+}
+
+TEST(TemporalBinTest, LabelFormats) {
+  EXPECT_EQ(TemporalBin(TemporalRes::Year, 2015).label(), "2015");
+  EXPECT_EQ(TemporalBin(TemporalRes::Month, 2015, 3).label(), "2015-03");
+  EXPECT_EQ(TemporalBin(TemporalRes::Day, 2015, 2, 2).label(), "2015-02-02");
+  EXPECT_EQ(TemporalBin(TemporalRes::Hour, 2015, 2, 2, 5).label(),
+            "2015-02-02T05");
+}
+
+TEST(TemporalBinTest, PackUnpackRoundTrip) {
+  const TemporalBin bins[] = {
+      TemporalBin(TemporalRes::Year, 1970),
+      TemporalBin(TemporalRes::Month, 2015, 12),
+      TemporalBin(TemporalRes::Day, 2016, 2, 29),
+      TemporalBin(TemporalRes::Hour, 2099, 7, 31, 23),
+  };
+  for (const auto& b : bins) EXPECT_EQ(TemporalBin::unpack(b.pack()), b);
+}
+
+TEST(TemporalBinTest, PackIsInjectiveAcrossRes) {
+  EXPECT_NE(TemporalBin(TemporalRes::Year, 2015).pack(),
+            TemporalBin(TemporalRes::Month, 2015, 1).pack());
+  EXPECT_NE(TemporalBin(TemporalRes::Day, 2015, 1, 1).pack(),
+            TemporalBin(TemporalRes::Hour, 2015, 1, 1, 0).pack());
+}
+
+TEST(TemporalCoveringTest, SingleDayQuery) {
+  const TimeRange day{unix_seconds({2015, 2, 2}), unix_seconds({2015, 2, 3})};
+  const auto days = temporal_covering(day, TemporalRes::Day);
+  ASSERT_EQ(days.size(), 1u);
+  EXPECT_EQ(days[0], TemporalBin(TemporalRes::Day, 2015, 2, 2));
+  const auto hours = temporal_covering(day, TemporalRes::Hour);
+  EXPECT_EQ(hours.size(), 24u);
+}
+
+TEST(TemporalCoveringTest, PartialBinsIncluded) {
+  // 6h window straddling midnight covers two days.
+  const TimeRange r{unix_seconds({2015, 2, 2}, 21), unix_seconds({2015, 2, 3}, 3)};
+  EXPECT_EQ(temporal_covering(r, TemporalRes::Day).size(), 2u);
+  EXPECT_EQ(temporal_covering(r, TemporalRes::Hour).size(), 6u);
+  EXPECT_EQ(temporal_covering(r, TemporalRes::Month).size(), 1u);
+}
+
+TEST(TemporalCoveringTest, EmptyRange) {
+  const TimeRange r{100, 100};
+  EXPECT_TRUE(temporal_covering(r, TemporalRes::Day).empty());
+  EXPECT_EQ(temporal_covering_size(r, TemporalRes::Hour), 0u);
+}
+
+TEST(TemporalCoveringTest, InvalidRangeThrows) {
+  EXPECT_THROW((void)temporal_covering({100, 99}, TemporalRes::Day),
+               std::invalid_argument);
+}
+
+TEST(TemporalCoveringTest, SizeMatchesEnumeration) {
+  const TimeRange ranges[] = {
+      {unix_seconds({2015, 1, 15}), unix_seconds({2015, 3, 2}, 5)},
+      {unix_seconds({2014, 12, 31}, 23), unix_seconds({2015, 1, 1}, 1)},
+      {unix_seconds({2015, 2, 2}), unix_seconds({2015, 2, 2}) + 1},
+  };
+  for (const auto& r : ranges) {
+    for (auto res : {TemporalRes::Year, TemporalRes::Month, TemporalRes::Day,
+                     TemporalRes::Hour}) {
+      EXPECT_EQ(temporal_covering(r, res).size(), temporal_covering_size(r, res));
+    }
+  }
+}
+
+TEST(TemporalCoveringTest, ChronologicalAndContiguous) {
+  const TimeRange r{unix_seconds({2015, 1, 30}), unix_seconds({2015, 2, 3})};
+  const auto days = temporal_covering(r, TemporalRes::Day);
+  ASSERT_EQ(days.size(), 4u);
+  for (std::size_t i = 1; i < days.size(); ++i)
+    EXPECT_EQ(days[i - 1].next(), days[i]);
+}
+
+}  // namespace
+}  // namespace stash

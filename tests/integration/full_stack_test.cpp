@@ -1,0 +1,151 @@
+// Full-stack integration: realistic mixed sessions driven through every
+// layer (session generator -> caching client -> cluster -> engine -> graph
+// -> store), checked cell-for-cell against the basic system, plus
+// cross-checks between STASH and the ElasticSearch baseline.
+
+#include <gtest/gtest.h>
+
+#include "baseline/elastic.hpp"
+#include "client/caching_client.hpp"
+#include "common/civil_time.hpp"
+#include "workload/session.hpp"
+
+namespace stash {
+namespace {
+
+using cluster::ClusterConfig;
+using cluster::StashCluster;
+using cluster::SystemMode;
+
+std::shared_ptr<const NamGenerator> shared_generator() {
+  static auto gen = std::make_shared<const NamGenerator>();
+  return gen;
+}
+
+ClusterConfig config_for(SystemMode mode) {
+  ClusterConfig config;
+  config.num_nodes = 16;
+  config.mode = mode;
+  return config;
+}
+
+void expect_same(const CellSummaryMap& a, const CellSummaryMap& b,
+                 const char* context) {
+  ASSERT_EQ(a.size(), b.size()) << context;
+  for (const auto& [key, summary] : a) {
+    const auto it = b.find(key);
+    ASSERT_NE(it, b.end()) << context << " " << key.label();
+    EXPECT_TRUE(summary.approx_equals(it->second)) << context << " "
+                                                   << key.label();
+  }
+}
+
+TEST(FullStackTest, MixedSessionMatchesBasicCellForCell) {
+  workload::SessionGenerator gen;
+  workload::SessionConfig session_config;
+  session_config.actions = 25;
+  session_config.min_spatial = 4;
+  session_config.max_spatial = 7;
+  const workload::Session session = gen.generate(session_config);
+
+  StashCluster stash_cluster(config_for(SystemMode::Stash), shared_generator());
+  StashCluster basic_cluster(config_for(SystemMode::Basic), shared_generator());
+  for (std::size_t i = 0; i < session.queries.size(); ++i) {
+    CellSummaryMap stash_cells;
+    CellSummaryMap basic_cells;
+    stash_cluster.run_query(session.queries[i], &stash_cells);
+    basic_cluster.run_query(session.queries[i], &basic_cells);
+    expect_same(basic_cells, stash_cells,
+                ("query " + std::to_string(i)).c_str());
+  }
+  // The session leaned on the cache: total scans far below basic.
+  EXPECT_GT(stash_cluster.total_cached_cells(), 0u);
+}
+
+TEST(FullStackTest, InterleavedUsersShareCollectiveCache) {
+  workload::SessionGenerator gen;
+  workload::SessionConfig session_config;
+  session_config.actions = 12;
+  session_config.start_group = workload::QueryGroup::County;
+  const auto mixed = gen.interleaved(session_config, 4);
+
+  StashCluster cluster(config_for(SystemMode::Stash), shared_generator());
+  std::size_t scanned = 0;
+  for (const auto& q : mixed) scanned += cluster.run_query(q).breakdown.scan.records_scanned;
+
+  StashCluster basic(config_for(SystemMode::Basic), shared_generator());
+  std::size_t basic_scanned = 0;
+  for (const auto& q : mixed)
+    basic_scanned += basic.run_query(q).breakdown.scan.records_scanned;
+
+  EXPECT_LT(scanned, basic_scanned / 2)
+      << "collective caching should halve scan volume at minimum";
+}
+
+TEST(FullStackTest, CachingClientSessionMatchesDirectCluster) {
+  workload::SessionGenerator gen;
+  workload::SessionConfig session_config;
+  session_config.actions = 15;
+  session_config.min_spatial = 4;
+  session_config.max_spatial = 7;
+  session_config.jump_weight = 0.0;  // keep the session in one region
+  const workload::Session session = gen.generate(session_config);
+
+  StashCluster client_cluster(config_for(SystemMode::Stash), shared_generator());
+  client::CachingClient caching_client(client_cluster);
+
+  StashCluster plain_cluster(config_for(SystemMode::Stash), shared_generator());
+  for (std::size_t i = 0; i < session.queries.size(); ++i) {
+    const client::ClientResponse via_client =
+        caching_client.query(session.queries[i]);
+    CellSummaryMap expected;
+    plain_cluster.run_query(session.queries[i], &expected);
+    expect_same(expected, via_client.cells,
+                ("query " + std::to_string(i)).c_str());
+  }
+}
+
+TEST(FullStackTest, StashAndElasticAgreeOnAggregates) {
+  // The two systems share the deterministic store, so their *answers* must
+  // be identical even though their latencies differ.
+  workload::WorkloadGenerator wl;
+  baseline::ElasticSearchSim es({}, shared_generator());
+  StashCluster cluster(config_for(SystemMode::Stash), shared_generator());
+  for (int i = 0; i < 5; ++i) {
+    const AggregationQuery q = wl.random_query(workload::QueryGroup::County);
+    const auto es_stats = es.run_query(q);
+    const auto stash_stats = cluster.run_query(q);
+    EXPECT_EQ(es_stats.result_cells, stash_stats.result_cells) << i;
+  }
+}
+
+TEST(FullStackTest, SessionOverIngestBoundaryStaysConsistent) {
+  workload::SessionGenerator gen;
+  workload::SessionConfig session_config;
+  session_config.actions = 10;
+  session_config.jump_weight = 0.0;
+  session_config.slice_weight = 0.0;
+  const workload::Session session = gen.generate(session_config);
+
+  StashCluster stash_cluster(config_for(SystemMode::Stash), shared_generator());
+  StashCluster basic_cluster(config_for(SystemMode::Basic), shared_generator());
+  const std::string partition =
+      geohash::encode(session.queries.front().area.center(), 2);
+  const std::int64_t day = days_from_civil({2015, 2, 2});
+
+  for (std::size_t i = 0; i < session.queries.size(); ++i) {
+    if (i == session.queries.size() / 2) {
+      stash_cluster.ingest_update(partition, day);
+      basic_cluster.ingest_update(partition, day);
+    }
+    CellSummaryMap stash_cells;
+    CellSummaryMap basic_cells;
+    stash_cluster.run_query(session.queries[i], &stash_cells);
+    basic_cluster.run_query(session.queries[i], &basic_cells);
+    expect_same(basic_cells, stash_cells,
+                ("query " + std::to_string(i)).c_str());
+  }
+}
+
+}  // namespace
+}  // namespace stash

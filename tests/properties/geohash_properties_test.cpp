@@ -1,0 +1,116 @@
+// Property sweeps over every geohash precision (TEST_P).
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hpp"
+#include "geo/geohash.hpp"
+
+namespace stash::geohash {
+namespace {
+
+class GeohashPrecisionTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GeohashPrecisionTest, EncodeDecodeContainment) {
+  const int precision = GetParam();
+  Rng rng(static_cast<std::uint64_t>(precision));
+  for (int i = 0; i < 200; ++i) {
+    const LatLng p{rng.uniform(-90.0, 90.0), rng.uniform(-180.0, 180.0)};
+    const std::string gh = encode(p, precision);
+    ASSERT_EQ(gh.size(), static_cast<std::size_t>(precision));
+    const BoundingBox box = decode(gh);
+    EXPECT_TRUE(box.contains(p));
+    EXPECT_NEAR(box.width(), cell_width_deg(precision), 1e-12);
+    EXPECT_NEAR(box.height(), cell_height_deg(precision), 1e-12);
+  }
+}
+
+TEST_P(GeohashPrecisionTest, PackUnpackIdentity) {
+  const int precision = GetParam();
+  Rng rng(static_cast<std::uint64_t>(precision) + 100);
+  for (int i = 0; i < 200; ++i) {
+    const std::string gh = encode(
+        {rng.uniform(-90.0, 90.0), rng.uniform(-180.0, 180.0)}, precision);
+    EXPECT_EQ(unpack(pack(gh)), gh);
+  }
+}
+
+TEST_P(GeohashPrecisionTest, NeighborsAreAdjacentAndDistinct) {
+  const int precision = GetParam();
+  Rng rng(static_cast<std::uint64_t>(precision) + 200);
+  // Stay two cell-heights away from the poles so all 8 neighbors exist.
+  const double lat_margin = 90.0 - 2.0 * cell_height_deg(precision);
+  for (int i = 0; i < 50; ++i) {
+    const LatLng p{rng.uniform(-lat_margin, lat_margin),
+                   rng.uniform(-179.0, 179.0)};
+    const std::string gh = encode(p, precision);
+    const auto ns = neighbors(gh);
+    EXPECT_EQ(ns.size(), 8u);
+    const std::set<std::string> unique(ns.begin(), ns.end());
+    EXPECT_EQ(unique.size(), ns.size());
+    const LatLng c = decode_center(gh);
+    for (const auto& n : ns) {
+      EXPECT_NE(n, gh);
+      const LatLng nc = decode_center(n);
+      // Neighbor centers are within ~1.5 cells (diagonals).
+      EXPECT_LT(std::abs(nc.lat - c.lat), 1.5 * cell_height_deg(precision));
+      double dlng = std::abs(nc.lng - c.lng);
+      dlng = std::min(dlng, 360.0 - dlng);
+      EXPECT_LT(dlng, 1.5 * cell_width_deg(precision));
+    }
+  }
+}
+
+TEST_P(GeohashPrecisionTest, ChildrenNestExactly) {
+  const int precision = GetParam();
+  if (precision >= kMaxPrecision) return;
+  Rng rng(static_cast<std::uint64_t>(precision) + 300);
+  const std::string gh =
+      encode({rng.uniform(-80.0, 80.0), rng.uniform(-179.0, 179.0)}, precision);
+  double total_area = 0.0;
+  for (const auto& child : children(gh)) {
+    EXPECT_TRUE(decode(gh).contains(decode(child)));
+    EXPECT_EQ(*parent(child), gh);
+    total_area += decode(child).area();
+  }
+  EXPECT_NEAR(total_area, decode(gh).area(), decode(gh).area() * 1e-9);
+}
+
+TEST_P(GeohashPrecisionTest, CoveringPartitionIsExactAndDisjoint) {
+  const int precision = GetParam();
+  if (precision > 5) return;  // enumeration cost grows 32x per level
+  Rng rng(static_cast<std::uint64_t>(precision) + 400);
+  const double lat = rng.uniform(-50.0, 40.0);
+  const double lng = rng.uniform(-150.0, 140.0);
+  const BoundingBox box{lat, lat + 4.0, lng, lng + 8.0};
+  const auto cells = covering(box, precision);
+  ASSERT_EQ(cells.size(), covering_size(box, precision));
+  // Disjoint interiors.
+  for (std::size_t i = 0; i < cells.size(); ++i)
+    for (std::size_t j = i + 1; j < cells.size(); ++j)
+      ASSERT_FALSE(decode(cells[i]).intersects(decode(cells[j])));
+  // Total covered area >= box area (cells may overhang the edges).
+  double covered = 0.0;
+  for (const auto& gh : cells) covered += decode(gh).area();
+  EXPECT_GE(covered, box.area() - 1e-9);
+}
+
+TEST_P(GeohashPrecisionTest, AntipodeSymmetry) {
+  const int precision = GetParam();
+  Rng rng(static_cast<std::uint64_t>(precision) + 500);
+  for (int i = 0; i < 50; ++i) {
+    const std::string gh = encode(
+        {rng.uniform(-80.0, 80.0), rng.uniform(-179.0, 179.0)}, precision);
+    const std::string anti = antipode(gh);
+    EXPECT_EQ(anti.size(), gh.size());
+    EXPECT_NE(anti, gh);
+    EXPECT_EQ(antipode(anti), gh);  // involution at cell granularity
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPrecisions, GeohashPrecisionTest,
+                         ::testing::Range(1, kMaxPrecision + 1));
+
+}  // namespace
+}  // namespace stash::geohash

@@ -1,0 +1,109 @@
+// Algebraic properties of mergeable summaries — the invariant all of
+// STASH's reuse (roll-up synthesis, partial-day merging, replication)
+// rests on.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "common/summary.hpp"
+
+namespace stash {
+namespace {
+
+struct SummaryCase {
+  std::uint64_t seed;
+  int observations;
+  int partitions;
+};
+
+class SummaryMergeTest : public ::testing::TestWithParam<SummaryCase> {
+ protected:
+  static std::vector<std::array<double, 4>> draw(std::uint64_t seed, int n) {
+    Rng rng(seed);
+    std::vector<std::array<double, 4>> out;
+    out.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      out.push_back({rng.normal(280.0, 15.0), rng.uniform(0.0, 100.0),
+                     rng.bernoulli(0.2) ? rng.uniform(0.0, 40.0) : 0.0,
+                     rng.uniform(0.0, 2.0)});
+    }
+    return out;
+  }
+};
+
+TEST_P(SummaryMergeTest, AnyPartitioningMatchesBulk) {
+  const auto param = GetParam();
+  const auto values = draw(param.seed, param.observations);
+  Summary bulk(4);
+  for (const auto& obs : values) bulk.add_observation(obs.data(), 4);
+
+  Rng rng(param.seed ^ 0xabcdef);
+  std::vector<Summary> parts(static_cast<std::size_t>(param.partitions),
+                             Summary(4));
+  for (const auto& obs : values)
+    parts[rng.next_below(parts.size())].add_observation(obs.data(), 4);
+  Summary merged(4);
+  for (const auto& p : parts) merged.merge(p);
+  EXPECT_TRUE(merged.approx_equals(bulk));
+  EXPECT_EQ(merged.observation_count(), bulk.observation_count());
+}
+
+TEST_P(SummaryMergeTest, MergeOrderIrrelevant) {
+  const auto param = GetParam();
+  const auto values = draw(param.seed, param.observations);
+  std::vector<Summary> parts(4, Summary(4));
+  for (std::size_t i = 0; i < values.size(); ++i)
+    parts[i % 4].add_observation(values[i].data(), 4);
+
+  Summary forward(4);
+  for (const auto& p : parts) forward.merge(p);
+  Summary backward(4);
+  for (auto it = parts.rbegin(); it != parts.rend(); ++it) backward.merge(*it);
+  EXPECT_TRUE(forward.approx_equals(backward));
+  // min/max and count are exactly order-independent.
+  for (std::size_t a = 0; a < 4; ++a) {
+    EXPECT_EQ(forward.attribute(a).min, backward.attribute(a).min);
+    EXPECT_EQ(forward.attribute(a).max, backward.attribute(a).max);
+    EXPECT_EQ(forward.attribute(a).count, backward.attribute(a).count);
+  }
+}
+
+TEST_P(SummaryMergeTest, MergeIsAssociative) {
+  const auto param = GetParam();
+  const auto values = draw(param.seed, param.observations);
+  std::vector<Summary> parts(3, Summary(4));
+  for (std::size_t i = 0; i < values.size(); ++i)
+    parts[i % 3].add_observation(values[i].data(), 4);
+
+  Summary left = parts[0];   // (a + b) + c
+  left.merge(parts[1]);
+  left.merge(parts[2]);
+  Summary right = parts[1];  // a + (b + c)
+  right.merge(parts[2]);
+  Summary a = parts[0];
+  a.merge(right);
+  EXPECT_TRUE(left.approx_equals(a));
+}
+
+TEST_P(SummaryMergeTest, StatisticsAreSane) {
+  const auto param = GetParam();
+  const auto values = draw(param.seed, param.observations);
+  Summary s(4);
+  for (const auto& obs : values) s.add_observation(obs.data(), 4);
+  for (std::size_t a = 0; a < 4; ++a) {
+    const auto& attr = s.attribute(a);
+    EXPECT_LE(attr.min, attr.mean());
+    EXPECT_GE(attr.max, attr.mean());
+    EXPECT_GE(attr.variance(), 0.0);
+    EXPECT_GE(attr.stddev(), 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SummaryMergeTest,
+    ::testing::Values(SummaryCase{1, 10, 2}, SummaryCase{2, 100, 3},
+                      SummaryCase{3, 1000, 7}, SummaryCase{4, 500, 16},
+                      SummaryCase{5, 37, 5}, SummaryCase{6, 2000, 31}));
+
+}  // namespace
+}  // namespace stash

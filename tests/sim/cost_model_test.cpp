@@ -1,0 +1,58 @@
+#include "sim/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace stash::sim {
+namespace {
+
+TEST(CostModelTest, DiskReadIsSeekPlusStream) {
+  const CostModel cost;
+  EXPECT_EQ(cost.disk_read(0), cost.disk_seek);
+  EXPECT_EQ(cost.disk_read(1500), cost.disk_seek + cost.disk_stream(1500));
+  EXPECT_EQ(cost.disk_stream(0), 0);
+}
+
+TEST(CostModelTest, StreamScalesLinearly) {
+  const CostModel cost;
+  const SimTime one_mb = cost.disk_stream(1 << 20);
+  const SimTime two_mb = cost.disk_stream(2 << 20);
+  EXPECT_NEAR(static_cast<double>(two_mb), 2.0 * static_cast<double>(one_mb),
+              2.0);
+  // 150 MB/s: 1 MiB in ~7 ms.
+  EXPECT_NEAR(static_cast<double>(one_mb), 1048576.0 / 150.0, 1.0);
+}
+
+TEST(CostModelTest, NetTransferHasFixedLatency) {
+  const CostModel cost;
+  EXPECT_EQ(cost.net_transfer(0), cost.net_message_latency);
+  EXPECT_GT(cost.net_transfer(1 << 20), cost.net_message_latency);
+}
+
+TEST(CostModelTest, CpuCostsRoundDownFromNanoseconds) {
+  const CostModel cost;
+  // 1 record at 180 ns rounds to 0 us; 1000 records = 180 us.
+  EXPECT_EQ(cost.scan(1), 0);
+  EXPECT_EQ(cost.scan(1000), 180);
+  EXPECT_EQ(cost.cache_probes(1000), 350);
+  EXPECT_EQ(cost.cell_inserts(1000), 900);
+  EXPECT_EQ(cost.freshness_updates(1000), 120);
+  EXPECT_EQ(cost.merge(1000), 60);
+}
+
+TEST(CostModelTest, DiskDominatesCacheForRealisticSizes) {
+  // The structural fact behind every figure: one block seek costs more
+  // than probing thousands of chunks.
+  const CostModel cost;
+  EXPECT_GT(cost.disk_seek, cost.cache_probes(10000));
+}
+
+TEST(CostModelTest, CustomConstantsRespected) {
+  CostModel cost;
+  cost.disk_seek = 10 * kMillisecond;
+  cost.scan_ns_per_record = 1000;
+  EXPECT_EQ(cost.disk_read(0), 10 * kMillisecond);
+  EXPECT_EQ(cost.scan(500), 500);
+}
+
+}  // namespace
+}  // namespace stash::sim

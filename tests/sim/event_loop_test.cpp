@@ -1,0 +1,97 @@
+#include "sim/event_loop.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace stash::sim {
+namespace {
+
+TEST(EventLoopTest, StartsAtZero) {
+  EventLoop loop;
+  EXPECT_EQ(loop.now(), 0);
+  EXPECT_TRUE(loop.empty());
+}
+
+TEST(EventLoopTest, RunsEventsInTimeOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.schedule(30, [&] { order.push_back(3); });
+  loop.schedule(10, [&] { order.push_back(1); });
+  loop.schedule(20, [&] { order.push_back(2); });
+  loop.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(loop.now(), 30);
+  EXPECT_EQ(loop.executed(), 3u);
+}
+
+TEST(EventLoopTest, TiesBreakBySchedulingOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) loop.schedule(100, [&order, i] { order.push_back(i); });
+  loop.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventLoopTest, EventsMayScheduleMoreEvents) {
+  EventLoop loop;
+  std::vector<SimTime> times;
+  loop.schedule(5, [&] {
+    times.push_back(loop.now());
+    loop.schedule(5, [&] {
+      times.push_back(loop.now());
+      loop.schedule(5, [&] { times.push_back(loop.now()); });
+    });
+  });
+  loop.run();
+  EXPECT_EQ(times, (std::vector<SimTime>{5, 10, 15}));
+}
+
+TEST(EventLoopTest, ZeroDelayRunsAtCurrentTime) {
+  EventLoop loop;
+  SimTime seen = -1;
+  loop.schedule(42, [&] { loop.schedule(0, [&] { seen = loop.now(); }); });
+  loop.run();
+  EXPECT_EQ(seen, 42);
+}
+
+TEST(EventLoopTest, NegativeDelayThrows) {
+  EventLoop loop;
+  EXPECT_THROW(loop.schedule(-1, [] {}), std::invalid_argument);
+}
+
+TEST(EventLoopTest, ScheduleAtPastThrows) {
+  EventLoop loop;
+  loop.schedule(10, [] {});
+  loop.run();
+  EXPECT_THROW(loop.schedule_at(5, [] {}), std::invalid_argument);
+}
+
+TEST(EventLoopTest, RunUntilStopsAtDeadline) {
+  EventLoop loop;
+  int ran = 0;
+  loop.schedule(10, [&] { ++ran; });
+  loop.schedule(20, [&] { ++ran; });
+  loop.schedule(30, [&] { ++ran; });
+  loop.run_until(20);
+  EXPECT_EQ(ran, 2);
+  EXPECT_EQ(loop.now(), 20);
+  EXPECT_EQ(loop.pending(), 1u);
+  loop.run();
+  EXPECT_EQ(ran, 3);
+}
+
+TEST(EventLoopTest, RunUntilAdvancesClockWhenIdle) {
+  EventLoop loop;
+  loop.run_until(500);
+  EXPECT_EQ(loop.now(), 500);
+}
+
+TEST(ClockTest, FormatDuration) {
+  EXPECT_EQ(format_duration(500), "500us");
+  EXPECT_EQ(format_duration(2500), "2.5ms");
+  EXPECT_EQ(format_duration(3 * kSecond), "3s");
+}
+
+}  // namespace
+}  // namespace stash::sim

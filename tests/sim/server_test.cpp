@@ -1,0 +1,126 @@
+#include "sim/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace stash::sim {
+namespace {
+
+TEST(SimServerTest, ValidatesWorkers) {
+  EventLoop loop;
+  EXPECT_THROW(SimServer(loop, 0), std::invalid_argument);
+}
+
+TEST(SimServerTest, SingleJobRunsForItsDuration) {
+  EventLoop loop;
+  SimServer server(loop, 1);
+  SimTime completed_at = -1;
+  server.submit([] { return SimTime{100}; }, [&] { completed_at = loop.now(); });
+  loop.run();
+  EXPECT_EQ(completed_at, 100);
+  EXPECT_EQ(server.completed_jobs(), 1u);
+  EXPECT_EQ(server.total_service_time(), 100);
+  EXPECT_EQ(server.total_queue_wait(), 0);
+}
+
+TEST(SimServerTest, SingleWorkerSerializesJobs) {
+  EventLoop loop;
+  SimServer server(loop, 1);
+  std::vector<SimTime> completions;
+  for (int i = 0; i < 3; ++i)
+    server.submit([] { return SimTime{100}; },
+                  [&] { completions.push_back(loop.now()); });
+  EXPECT_EQ(server.queue_length(), 2u);  // one dispatched, two queued
+  loop.run();
+  EXPECT_EQ(completions, (std::vector<SimTime>{100, 200, 300}));
+  EXPECT_EQ(server.total_queue_wait(), 100 + 200);
+}
+
+TEST(SimServerTest, MultipleWorkersRunInParallel) {
+  EventLoop loop;
+  SimServer server(loop, 8);
+  std::vector<SimTime> completions;
+  for (int i = 0; i < 8; ++i)
+    server.submit([] { return SimTime{100}; },
+                  [&] { completions.push_back(loop.now()); });
+  loop.run();
+  ASSERT_EQ(completions.size(), 8u);
+  for (SimTime t : completions) EXPECT_EQ(t, 100);  // all in parallel
+}
+
+TEST(SimServerTest, NinthJobWaitsForFreeWorker) {
+  EventLoop loop;
+  SimServer server(loop, 8);
+  SimTime ninth = -1;
+  for (int i = 0; i < 8; ++i) server.submit([] { return SimTime{100}; });
+  server.submit([] { return SimTime{50}; }, [&] { ninth = loop.now(); });
+  EXPECT_EQ(server.queue_length(), 1u);
+  loop.run();
+  EXPECT_EQ(ninth, 150);  // starts at 100 when a worker frees, runs 50
+}
+
+TEST(SimServerTest, FifoOrderPreserved) {
+  EventLoop loop;
+  SimServer server(loop, 1);
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i)
+    server.submit([] { return SimTime{10}; }, [&order, i] { order.push_back(i); });
+  loop.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SimServerTest, QueueLengthVisibleToHotspotDetector) {
+  EventLoop loop;
+  SimServer server(loop, 2);
+  for (int i = 0; i < 10; ++i) server.submit([] { return SimTime{1000}; });
+  // 2 being serviced, 8 pending — the §VII-B.1 hotspot signal.
+  EXPECT_EQ(server.busy_workers(), 2);
+  EXPECT_EQ(server.queue_length(), 8u);
+  loop.run();
+  EXPECT_TRUE(server.idle());
+}
+
+TEST(SimServerTest, JobsSubmittedFromCompletionsRun) {
+  EventLoop loop;
+  SimServer server(loop, 1);
+  SimTime second_done = -1;
+  server.submit([] { return SimTime{10}; }, [&] {
+    server.submit([] { return SimTime{20}; }, [&] { second_done = loop.now(); });
+  });
+  loop.run();
+  EXPECT_EQ(second_done, 30);
+}
+
+TEST(SimServerTest, ZeroDurationJobCompletesImmediately) {
+  EventLoop loop;
+  SimServer server(loop, 1);
+  SimTime done = -1;
+  server.submit([] { return SimTime{0}; }, [&] { done = loop.now(); });
+  loop.run();
+  EXPECT_EQ(done, 0);
+}
+
+TEST(SimServerTest, NullJobThrows) {
+  EventLoop loop;
+  SimServer server(loop, 1);
+  EXPECT_THROW(server.submit(nullptr), std::invalid_argument);
+}
+
+TEST(SimServerTest, JobWorkExecutesAtDispatchTime) {
+  // The real data-structure work inside a job must observe the virtual time
+  // at which a worker picks it up, not submission time.
+  EventLoop loop;
+  SimServer server(loop, 1);
+  SimTime work_time = -1;
+  server.submit([] { return SimTime{100}; });
+  server.submit([&] {
+    work_time = loop.now();
+    return SimTime{10};
+  });
+  loop.run();
+  EXPECT_EQ(work_time, 100);
+}
+
+}  // namespace
+}  // namespace stash::sim

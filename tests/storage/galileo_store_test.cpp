@@ -1,0 +1,194 @@
+#include "storage/galileo_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/civil_time.hpp"
+#include "dht/partitioner.hpp"
+
+namespace stash {
+namespace {
+
+class GalileoStoreTest : public ::testing::Test {
+ protected:
+  std::shared_ptr<const NamGenerator> gen_ = std::make_shared<NamGenerator>();
+  GalileoStore store_{gen_};
+  TimeRange feb2_{unix_seconds({2015, 2, 2}), unix_seconds({2015, 2, 3})};
+  Resolution res6_{6, TemporalRes::Day};
+};
+
+TEST_F(GalileoStoreTest, ConstructionValidation) {
+  EXPECT_THROW(GalileoStore(nullptr), std::invalid_argument);
+  EXPECT_THROW(GalileoStore(gen_, 0), std::invalid_argument);
+  EXPECT_THROW(GalileoStore(gen_, 13), std::invalid_argument);
+}
+
+TEST_F(GalileoStoreTest, ScanPartitionValidatesInput) {
+  EXPECT_THROW(
+      (void)store_.scan_partition("9q8", BoundingBox::whole_world(), feb2_, res6_),
+      std::invalid_argument);
+  EXPECT_THROW((void)store_.scan_partition(
+                   "9q", BoundingBox::whole_world(), feb2_,
+                   Resolution{0, TemporalRes::Day}),
+               std::invalid_argument);
+}
+
+TEST_F(GalileoStoreTest, ScanClipsToPartition) {
+  // Scan "9q" (California-ish) with a world region: all cells stay inside.
+  const auto result =
+      store_.scan_partition("9q", BoundingBox::whole_world(), feb2_, res6_);
+  ASSERT_FALSE(result.cells.empty());
+  const BoundingBox partition_box = geohash::decode("9q");
+  for (const auto& [key, summary] : result.cells) {
+    EXPECT_TRUE(partition_box.contains(key.bounds())) << key.label();
+    EXPECT_GT(summary.observation_count(), 0u);
+  }
+}
+
+TEST_F(GalileoStoreTest, CellCountsAddUpToRecords) {
+  const BoundingBox box{36.0, 38.0, -122.0, -120.0};
+  const auto result = store_.scan_partition("9q", box, feb2_, res6_);
+  std::uint64_t total = 0;
+  for (const auto& [key, summary] : result.cells)
+    total += summary.observation_count();
+  EXPECT_EQ(total, result.stats.records_scanned);
+  EXPECT_EQ(result.stats.records_scanned,
+            gen_->count(box.intersection(geohash::decode("9q")), feb2_));
+  EXPECT_EQ(result.stats.bytes_read,
+            result.stats.records_scanned * kObservationBytes);
+  EXPECT_EQ(result.stats.blocks_touched, 1u);  // one day = one block
+}
+
+TEST_F(GalileoStoreTest, EveryRecordLandsInItsCell) {
+  const BoundingBox box{36.0, 37.0, -122.0, -121.0};
+  const auto result = store_.scan_partition("9q", box, feb2_, res6_);
+  for (const auto& obs : gen_->generate(box.intersection(geohash::decode("9q")),
+                                        feb2_)) {
+    const CellKey key(geohash::encode(obs.position, 6),
+                      TemporalBin::of_timestamp(obs.timestamp, TemporalRes::Day));
+    ASSERT_TRUE(result.cells.contains(key)) << key.label();
+    EXPECT_TRUE(key.bounds().contains(obs.position));
+  }
+}
+
+TEST_F(GalileoStoreTest, MultiDayScanTouchesOneBlockPerDay) {
+  const TimeRange three_days{unix_seconds({2015, 2, 2}), unix_seconds({2015, 2, 5})};
+  const BoundingBox box{36.0, 37.0, -122.0, -121.0};
+  const auto result = store_.scan_partition("9q", box, three_days, res6_);
+  EXPECT_EQ(result.stats.blocks_touched, 3u);
+}
+
+TEST_F(GalileoStoreTest, DisjointPartitionsDisjointCells) {
+  const BoundingBox big{30.0, 45.0, -125.0, -100.0};
+  const auto a = store_.scan_partition("9q", big, feb2_, res6_);
+  const auto b = store_.scan_partition("9w", big, feb2_, res6_);
+  for (const auto& [key, summary] : a.cells)
+    EXPECT_FALSE(b.cells.contains(key)) << key.label();
+}
+
+TEST_F(GalileoStoreTest, FullScanEqualsSumOfPartitionScans) {
+  const BoundingBox box{33.0, 40.0, -120.0, -110.0};  // spans several partitions
+  const auto whole = store_.scan(box, feb2_, res6_);
+  ScanResult manual;
+  for (const auto& partition : geohash::covering(box, 2)) {
+    const auto part = store_.scan_partition(partition, box, feb2_, res6_);
+    manual.stats += part.stats;
+    for (const auto& [key, summary] : part.cells) {
+      auto [it, inserted] = manual.cells.try_emplace(key, summary);
+      if (!inserted) it->second.merge(summary);
+    }
+  }
+  EXPECT_EQ(whole.cells.size(), manual.cells.size());
+  EXPECT_EQ(whole.stats.records_scanned, manual.stats.records_scanned);
+  for (const auto& [key, summary] : whole.cells) {
+    auto it = manual.cells.find(key);
+    ASSERT_NE(it, manual.cells.end());
+    EXPECT_TRUE(summary.approx_equals(it->second));
+  }
+}
+
+TEST_F(GalileoStoreTest, ScanIsDeterministic) {
+  const BoundingBox box{36.0, 38.0, -122.0, -120.0};
+  const auto a = store_.scan(box, feb2_, res6_);
+  const auto b = store_.scan(box, feb2_, res6_);
+  ASSERT_EQ(a.cells.size(), b.cells.size());
+  for (const auto& [key, summary] : a.cells) {
+    auto it = b.cells.find(key);
+    ASSERT_NE(it, b.cells.end());
+    EXPECT_EQ(summary, it->second);
+  }
+}
+
+TEST_F(GalileoStoreTest, CoarserSpatialResolutionMergesCells) {
+  const BoundingBox box{36.0, 38.0, -122.0, -120.0};
+  const auto fine = store_.scan(box, feb2_, {5, TemporalRes::Day});
+  const auto coarse = store_.scan(box, feb2_, {4, TemporalRes::Day});
+  EXPECT_GT(fine.cells.size(), coarse.cells.size());
+  // Rolling fine cells up into their spatial parents reproduces the coarse
+  // scan exactly — the mergeability invariant STASH's roll-up relies on.
+  CellSummaryMap rolled;
+  for (const auto& [key, summary] : fine.cells) {
+    const CellKey parent_key(*geohash::parent(key.geohash_str()), key.bin());
+    auto [it, inserted] = rolled.try_emplace(parent_key, summary);
+    if (!inserted) it->second.merge(summary);
+  }
+  ASSERT_EQ(rolled.size(), coarse.cells.size());
+  for (const auto& [key, summary] : coarse.cells) {
+    auto it = rolled.find(key);
+    ASSERT_NE(it, rolled.end());
+    EXPECT_TRUE(summary.approx_equals(it->second)) << key.label();
+  }
+}
+
+TEST_F(GalileoStoreTest, CoarserTemporalResolutionMergesCells) {
+  const BoundingBox box{36.0, 37.0, -122.0, -121.0};
+  const auto hourly = store_.scan(box, feb2_, {6, TemporalRes::Hour});
+  const auto daily = store_.scan(box, feb2_, {6, TemporalRes::Day});
+  EXPECT_GT(hourly.cells.size(), daily.cells.size());
+  CellSummaryMap rolled;
+  for (const auto& [key, summary] : hourly.cells) {
+    const CellKey parent_key(key.geohash_str(), *key.bin().parent());
+    auto [it, inserted] = rolled.try_emplace(parent_key, summary);
+    if (!inserted) it->second.merge(summary);
+  }
+  ASSERT_EQ(rolled.size(), daily.cells.size());
+  for (const auto& [key, summary] : daily.cells) {
+    auto it = rolled.find(key);
+    ASSERT_NE(it, rolled.end());
+    EXPECT_TRUE(summary.approx_equals(it->second)) << key.label();
+  }
+}
+
+TEST_F(GalileoStoreTest, EmptyRegionsAndTimes) {
+  EXPECT_TRUE(store_.scan_partition("9q", {70.0, 80.0, -122.0, -120.0}, feb2_,
+                                    res6_)
+                  .cells.empty());
+  EXPECT_TRUE(
+      store_.scan_partition("9q", {36.0, 37.0, -122.0, -121.0},
+                            TimeRange{100, 100}, res6_)
+          .cells.empty());
+}
+
+TEST_F(GalileoStoreTest, BlockBytesMatchesDensity) {
+  const BlockKey key{"9q", days_from_civil({2015, 2, 2})};
+  const std::size_t bytes = store_.block_bytes(key);
+  EXPECT_EQ(bytes, gen_->count(geohash::decode("9q"),
+                               {key.day * 86400, (key.day + 1) * 86400}) *
+                       kObservationBytes);
+  EXPECT_GT(bytes, 0u);
+  // Ocean-only partition: no data, zero bytes.
+  const BlockKey ocean{"s0", days_from_civil({2015, 2, 2})};
+  EXPECT_EQ(store_.block_bytes(ocean), 0u);
+}
+
+TEST_F(GalileoStoreTest, BlockKeyHashDistinguishes) {
+  const BlockKeyHash h;
+  const BlockKey a{"9q", 100};
+  const BlockKey b{"9q", 101};
+  const BlockKey c{"9r", 100};
+  EXPECT_NE(h(a), h(b));
+  EXPECT_NE(h(a), h(c));
+  EXPECT_EQ(h(a), h(BlockKey{"9q", 100}));
+}
+
+}  // namespace
+}  // namespace stash

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.hpp"
+#include "common/civil_time.hpp"
+#include "core/query_engine.hpp"
+#include "storage/galileo_store.hpp"
+
+namespace stash {
+namespace {
+
+const std::int64_t kFeb2 = days_from_civil({2015, 2, 2});
+
+TimeRange feb2_range() { return {kFeb2 * 86400, (kFeb2 + 1) * 86400}; }
+
+TEST(IngestTest, VersionStartsAtZeroAndIncrements) {
+  GalileoStore store(std::make_shared<NamGenerator>());
+  const BlockKey key{"9y", kFeb2};
+  EXPECT_EQ(store.block_version(key), 0u);
+  EXPECT_EQ(store.ingest_update(key), 1u);
+  EXPECT_EQ(store.ingest_update(key), 2u);
+  EXPECT_EQ(store.block_version(key), 2u);
+  EXPECT_EQ(store.block_version(BlockKey{"9y", kFeb2 + 1}), 0u);
+}
+
+TEST(IngestTest, BadPartitionKeyThrows) {
+  GalileoStore store(std::make_shared<NamGenerator>());
+  EXPECT_THROW((void)store.ingest_update(BlockKey{"9y8", kFeb2}),
+               std::invalid_argument);
+}
+
+TEST(IngestTest, UpdateChangesValuesNotShape) {
+  GalileoStore store(std::make_shared<NamGenerator>());
+  const BoundingBox box{38.0, 39.0, -99.0, -98.0};
+  const Resolution res{6, TemporalRes::Day};
+  const auto before = store.scan_partition("9y", box, feb2_range(), res);
+  store.ingest_update(BlockKey{"9y", kFeb2});
+  const auto after = store.scan_partition("9y", box, feb2_range(), res);
+  // Same cells and record counts, different values.
+  ASSERT_EQ(before.cells.size(), after.cells.size());
+  EXPECT_EQ(before.stats.records_scanned, after.stats.records_scanned);
+  int changed = 0;
+  for (const auto& [key, summary] : before.cells) {
+    const auto it = after.cells.find(key);
+    ASSERT_NE(it, after.cells.end()) << key.label();
+    EXPECT_EQ(summary.observation_count(), it->second.observation_count());
+    if (!summary.approx_equals(it->second)) ++changed;
+  }
+  EXPECT_GT(changed, 0);
+}
+
+TEST(IngestTest, OtherBlocksUnaffected) {
+  GalileoStore store(std::make_shared<NamGenerator>());
+  const BoundingBox box{38.0, 39.0, -99.0, -98.0};
+  const Resolution res{6, TemporalRes::Day};
+  const TimeRange feb3{(kFeb2 + 1) * 86400, (kFeb2 + 2) * 86400};
+  const auto before = store.scan_partition("9y", box, feb3, res);
+  store.ingest_update(BlockKey{"9y", kFeb2});  // different day
+  const auto after = store.scan_partition("9y", box, feb3, res);
+  for (const auto& [key, summary] : before.cells)
+    EXPECT_TRUE(summary.approx_equals(after.cells.at(key))) << key.label();
+}
+
+TEST(IngestTest, EngineServesFreshValuesAfterInvalidation) {
+  auto gen = std::make_shared<const NamGenerator>();
+  GalileoStore store(gen);
+  StashGraph graph;
+  QueryEngine engine(graph, store);
+  const AggregationQuery query{{38.0, 38.6, -99.0, -98.4},
+                               feb2_range(),
+                               {6, TemporalRes::Day}};
+  engine.absorb(engine.evaluate(query), query.res, 0);
+
+  store.ingest_update(BlockKey{"9y", kFeb2});
+  graph.invalidate_block("9y", kFeb2);
+  const Evaluation fresh = engine.evaluate(query);
+  EXPECT_GT(fresh.breakdown.scan.records_scanned, 0u);
+
+  // The served values must equal a cold evaluation against the new data —
+  // and absorbing them again must not double-count.
+  StashGraph cold_graph;
+  QueryEngine cold_engine(cold_graph, store);
+  const Evaluation expected = cold_engine.evaluate(query);
+  ASSERT_EQ(fresh.cells.size(), expected.cells.size());
+  for (const auto& [key, summary] : expected.cells)
+    EXPECT_TRUE(summary.approx_equals(fresh.cells.at(key))) << key.label();
+  engine.absorb(fresh, query.res, 1);
+  const Evaluation warm = engine.evaluate(query);
+  for (const auto& [key, summary] : expected.cells)
+    EXPECT_TRUE(summary.approx_equals(warm.cells.at(key))) << key.label();
+}
+
+TEST(IngestTest, ClusterIngestInvalidatesEverywhere) {
+  cluster::ClusterConfig config;
+  config.num_nodes = 16;
+  cluster::StashCluster cluster(config, std::make_shared<const NamGenerator>());
+  const AggregationQuery query{{38.0, 38.6, -99.0, -98.4},
+                               feb2_range(),
+                               {6, TemporalRes::Day}};
+  CellSummaryMap before;
+  cluster.run_query(query, &before);
+  ASSERT_EQ(cluster.run_query(query).breakdown.scan.records_scanned, 0u);
+
+  const std::string partition = geohash::encode({38.3, -98.7}, 2);
+  EXPECT_EQ(cluster.ingest_update(partition, kFeb2), 1u);
+
+  CellSummaryMap after;
+  const auto stats = cluster.run_query(query, &after);
+  EXPECT_GT(stats.breakdown.scan.records_scanned, 0u);
+  ASSERT_EQ(before.size(), after.size());
+  int changed = 0;
+  for (const auto& [key, summary] : before) {
+    if (!summary.approx_equals(after.at(key))) ++changed;
+  }
+  EXPECT_GT(changed, 0);
+}
+
+}  // namespace
+}  // namespace stash

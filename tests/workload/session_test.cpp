@@ -1,0 +1,127 @@
+#include "workload/session.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace stash::workload {
+namespace {
+
+using client::NavAction;
+
+TEST(SessionTest, ShapeMatchesConfig) {
+  SessionGenerator gen;
+  SessionConfig config;
+  config.actions = 25;
+  const Session session = gen.generate(config);
+  EXPECT_EQ(session.queries.size(), 26u);
+  EXPECT_EQ(session.actions.size(), 25u);
+  for (const auto& q : session.queries) EXPECT_TRUE(q.valid());
+}
+
+TEST(SessionTest, ActionsReproduceTransitions) {
+  // Each recorded action, applied to the preceding view, yields the next
+  // one (except Jump, which teleports).
+  SessionGenerator gen;
+  SessionConfig config;
+  config.actions = 40;
+  const Session session = gen.generate(config);
+  for (std::size_t i = 0; i < session.actions.size(); ++i) {
+    const NavAction action = session.actions[i];
+    if (action == NavAction::Jump) continue;
+    const NavAction observed =
+        client::classify_transition(session.queries[i], session.queries[i + 1]);
+    EXPECT_EQ(observed, action)
+        << "step " << i << ": " << to_string(action) << " vs "
+        << to_string(observed);
+  }
+}
+
+TEST(SessionTest, ResolutionStaysInBounds) {
+  SessionGenerator gen;
+  SessionConfig config;
+  config.actions = 100;
+  config.zoom_weight = 1.0;  // zoom-heavy
+  config.pan_weight = 0.2;
+  config.min_spatial = 3;
+  config.max_spatial = 7;
+  const Session session = gen.generate(config);
+  for (const auto& q : session.queries) {
+    EXPECT_GE(q.res.spatial, 3);
+    EXPECT_LE(q.res.spatial, 7);
+  }
+}
+
+TEST(SessionTest, MomentumProducesRepeatedPans) {
+  SessionGenerator gen;
+  SessionConfig config;
+  config.actions = 200;
+  config.momentum = 0.9;
+  config.pan_weight = 1.0;
+  config.zoom_weight = 0.0;
+  config.slice_weight = 0.0;
+  config.jump_weight = 0.0;
+  const Session session = gen.generate(config);
+  std::size_t repeats = 0;
+  for (std::size_t i = 1; i < session.actions.size(); ++i)
+    if (session.actions[i] == session.actions[i - 1]) ++repeats;
+  // With 0.9 momentum the same direction dominates consecutive steps.
+  EXPECT_GT(repeats, session.actions.size() / 2);
+}
+
+TEST(SessionTest, DeterministicForSeed) {
+  WorkloadConfig wl;
+  wl.seed = 99;
+  SessionGenerator a(wl);
+  SessionGenerator b(wl);
+  const SessionConfig config;
+  const Session sa = a.generate(config);
+  const Session sb = b.generate(config);
+  ASSERT_EQ(sa.queries.size(), sb.queries.size());
+  for (std::size_t i = 0; i < sa.queries.size(); ++i)
+    EXPECT_EQ(sa.queries[i].area, sb.queries[i].area) << i;
+  EXPECT_EQ(sa.actions, sb.actions);
+}
+
+TEST(SessionTest, InterleavedRoundRobin) {
+  SessionGenerator gen;
+  SessionConfig config;
+  config.actions = 10;
+  const auto mixed = gen.interleaved(config, 4);
+  EXPECT_EQ(mixed.size(), 4u * 11u);
+  // Consecutive entries belong to different users: the first four queries
+  // are four distinct session starts.
+  std::set<double> starts;
+  for (int u = 0; u < 4; ++u) starts.insert(mixed[static_cast<std::size_t>(u)].area.lat_min);
+  EXPECT_GT(starts.size(), 1u);
+}
+
+TEST(SessionTest, MixUsesEveryActionClass) {
+  SessionGenerator gen;
+  SessionConfig config;
+  config.actions = 300;
+  config.momentum = 0.2;
+  const Session session = gen.generate(config);
+  bool saw_pan = false;
+  bool saw_zoom = false;
+  bool saw_slice = false;
+  bool saw_jump = false;
+  for (const auto action : session.actions) {
+    switch (action) {
+      case NavAction::DrillDown:
+      case NavAction::RollUp: saw_zoom = true; break;
+      case NavAction::SliceNext:
+      case NavAction::SlicePrev: saw_slice = true; break;
+      case NavAction::Jump: saw_jump = true; break;
+      case NavAction::Repeat: break;
+      default: saw_pan = true; break;
+    }
+  }
+  EXPECT_TRUE(saw_pan);
+  EXPECT_TRUE(saw_zoom);
+  EXPECT_TRUE(saw_slice);
+  EXPECT_TRUE(saw_jump);
+}
+
+}  // namespace
+}  // namespace stash::workload

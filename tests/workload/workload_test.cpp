@@ -1,0 +1,165 @@
+#include "workload/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "common/civil_time.hpp"
+
+namespace stash::workload {
+namespace {
+
+TEST(WorkloadTest, ExtentsMatchPaper) {
+  EXPECT_DOUBLE_EQ(extent_of(QueryGroup::Country).dlat, 16.0);
+  EXPECT_DOUBLE_EQ(extent_of(QueryGroup::Country).dlng, 32.0);
+  EXPECT_DOUBLE_EQ(extent_of(QueryGroup::State).dlat, 4.0);
+  EXPECT_DOUBLE_EQ(extent_of(QueryGroup::State).dlng, 8.0);
+  EXPECT_DOUBLE_EQ(extent_of(QueryGroup::County).dlat, 0.6);
+  EXPECT_DOUBLE_EQ(extent_of(QueryGroup::County).dlng, 1.2);
+  EXPECT_DOUBLE_EQ(extent_of(QueryGroup::City).dlat, 0.2);
+  EXPECT_DOUBLE_EQ(extent_of(QueryGroup::City).dlng, 0.5);
+}
+
+TEST(WorkloadTest, DefaultTimeIsPaperQueryTime) {
+  const WorkloadConfig config;
+  EXPECT_EQ(config.time.begin, unix_seconds({2015, 2, 2}));
+  EXPECT_EQ(config.time.end, unix_seconds({2015, 2, 3}));
+  EXPECT_EQ(config.res, (Resolution{6, TemporalRes::Day}));
+}
+
+TEST(WorkloadTest, RandomQueriesStayInDomainWithRightExtent) {
+  WorkloadGenerator gen;
+  for (auto group : {QueryGroup::Country, QueryGroup::State, QueryGroup::County,
+                     QueryGroup::City}) {
+    for (int i = 0; i < 50; ++i) {
+      const AggregationQuery q = gen.random_query(group);
+      EXPECT_TRUE(q.valid());
+      EXPECT_NEAR(q.area.height(), extent_of(group).dlat, 1e-9);
+      EXPECT_NEAR(q.area.width(), extent_of(group).dlng, 1e-9);
+      EXPECT_TRUE(gen.config().domain.contains(q.area)) << q.area.to_string();
+    }
+  }
+}
+
+TEST(WorkloadTest, SeedsReproduce) {
+  WorkloadGenerator a;
+  WorkloadGenerator b;
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(a.random_query(QueryGroup::State).area,
+              b.random_query(QueryGroup::State).area);
+  }
+}
+
+TEST(WorkloadTest, DescendingDicingShrinksBy20PercentPerStep) {
+  WorkloadGenerator gen;
+  const auto seq = gen.iterative_dicing(QueryGroup::Country, 5, true);
+  ASSERT_EQ(seq.size(), 5u);
+  EXPECT_NEAR(seq[0].area.height(), 16.0, 1e-9);
+  for (std::size_t i = 1; i < seq.size(); ++i) {
+    EXPECT_NEAR(seq[i].area.height(), seq[i - 1].area.height() * 0.8, 1e-9);
+    EXPECT_NEAR(seq[i].area.width(), seq[i - 1].area.width() * 0.8, 1e-9);
+    // Nested: each query is a subset of the previous (the Fig 7a setup).
+    EXPECT_TRUE(seq[i - 1].area.contains(seq[i].area));
+  }
+  // Final size ~ (6.6, 13.1): the paper quotes ~(5.2, 10.4) after one more
+  // 0.8 step; shapes and nesting are what matter.
+  EXPECT_NEAR(seq.back().area.height(), 16.0 * 0.8 * 0.8 * 0.8 * 0.8, 1e-9);
+}
+
+TEST(WorkloadTest, AscendingDicingIsReverseOfDescending) {
+  WorkloadConfig config;
+  config.seed = 7;
+  WorkloadGenerator gen_a(config);
+  WorkloadGenerator gen_b(config);
+  const auto desc = gen_a.iterative_dicing(QueryGroup::Country, 5, true);
+  const auto asc = gen_b.iterative_dicing(QueryGroup::Country, 5, false);
+  ASSERT_EQ(desc.size(), asc.size());
+  for (std::size_t i = 0; i < desc.size(); ++i)
+    EXPECT_EQ(desc[i].area, asc[asc.size() - 1 - i].area);
+}
+
+TEST(WorkloadTest, DicingValidation) {
+  WorkloadGenerator gen;
+  EXPECT_THROW((void)gen.iterative_dicing(QueryGroup::State, 0, true),
+               std::invalid_argument);
+  EXPECT_THROW((void)gen.iterative_dicing(QueryGroup::State, 3, true, 1.0),
+               std::invalid_argument);
+}
+
+TEST(WorkloadTest, PanningCoversEightDirections) {
+  WorkloadGenerator gen;
+  const AggregationQuery base = gen.random_query(QueryGroup::State);
+  const auto seq = gen.panning_sequence(base, 0.25);
+  ASSERT_EQ(seq.size(), 9u);
+  EXPECT_EQ(seq[0].area, base.area);
+  std::set<std::pair<double, double>> offsets;
+  for (std::size_t i = 1; i < seq.size(); ++i) {
+    const double dlat = seq[i].area.lat_min - base.area.lat_min;
+    const double dlng = seq[i].area.lng_min - base.area.lng_min;
+    offsets.insert({std::round(dlat * 1e6), std::round(dlng * 1e6)});
+    // Every panned box overlaps the base (75% shift keeps 75% overlap).
+    EXPECT_TRUE(seq[i].area.intersects(base.area));
+  }
+  EXPECT_EQ(offsets.size(), 8u);
+}
+
+TEST(WorkloadTest, PanWalkStepsOverlapSuccessively) {
+  WorkloadGenerator gen;
+  const auto walk = gen.pan_walk(gen.random_query(QueryGroup::County), 0.1, 20);
+  ASSERT_EQ(walk.size(), 21u);
+  for (std::size_t i = 1; i < walk.size(); ++i) {
+    EXPECT_TRUE(walk[i].area.intersects(walk[i - 1].area)) << i;
+    EXPECT_NEAR(walk[i].area.area(), walk[0].area.area(), 1e-6);
+  }
+}
+
+TEST(WorkloadTest, ZoomSequencesChangeOnlyResolution) {
+  WorkloadGenerator gen;
+  const AggregationQuery base = gen.random_query(QueryGroup::State);
+  const auto drill = gen.zoom_sequence(base, 2, 6);
+  ASSERT_EQ(drill.size(), 5u);
+  for (std::size_t i = 0; i < drill.size(); ++i) {
+    EXPECT_EQ(drill[i].res.spatial, static_cast<int>(i) + 2);
+    EXPECT_EQ(drill[i].area, base.area);
+  }
+  const auto roll = gen.zoom_sequence(base, 6, 2);
+  ASSERT_EQ(roll.size(), 5u);
+  EXPECT_EQ(roll.front().res.spatial, 6);
+  EXPECT_EQ(roll.back().res.spatial, 2);
+}
+
+TEST(WorkloadTest, ThroughputWorkloadShape) {
+  WorkloadGenerator gen;
+  const auto queries = gen.throughput_workload(QueryGroup::County, 10, 9, 0.1);
+  EXPECT_EQ(queries.size(), 100u);  // 10 rects x (1 base + 9 pans)
+  for (const auto& q : queries)
+    EXPECT_NEAR(q.area.height(), 0.6, 1e-9);
+}
+
+TEST(WorkloadTest, HotspotBurstStaysNearOnePoint) {
+  WorkloadGenerator gen;
+  const auto burst = gen.hotspot_burst(QueryGroup::County, 100, 0.1);
+  ASSERT_EQ(burst.size(), 100u);
+  const BoundingBox& first = burst[0].area;
+  for (const auto& q : burst) {
+    EXPECT_LT(std::abs(q.area.lat_min - first.lat_min), first.height());
+    EXPECT_LT(std::abs(q.area.lng_min - first.lng_min), first.width());
+  }
+}
+
+TEST(WorkloadTest, ZipfWorkloadSkewsTowardFewRegions) {
+  WorkloadGenerator gen;
+  const auto queries = gen.zipf_workload(QueryGroup::City, 50, 2000, 1.2);
+  ASSERT_EQ(queries.size(), 2000u);
+  std::map<double, int> by_region;
+  for (const auto& q : queries) ++by_region[q.area.lat_min * 1000 + q.area.lng_min];
+  EXPECT_LE(by_region.size(), 50u);
+  int max_count = 0;
+  for (const auto& [k, c] : by_region) max_count = std::max(max_count, c);
+  EXPECT_GT(max_count, 2000 / 10);  // the top region dominates
+}
+
+}  // namespace
+}  // namespace stash::workload
