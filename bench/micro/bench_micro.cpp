@@ -12,6 +12,7 @@
 #include "core/plm.hpp"
 #include "dht/partitioner.hpp"
 #include "geo/geohash.hpp"
+#include "sim/fault.hpp"
 
 namespace stash {
 namespace {
@@ -241,6 +242,34 @@ void BM_PredictorObservePredict(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PredictorObservePredict);
+
+void BM_FaultInjectorShouldDrop(benchmark::State& state) {
+  // Per-message overhead of the fault layer on a lossy wildcard link —
+  // this sits on every send_message call during chaos runs.
+  sim::FaultPlan plan;
+  sim::LinkRule rule;
+  rule.drop_probability = 0.01;
+  plan.links.push_back(rule);
+  sim::FaultInjector injector(plan, 120);
+  std::uint32_t from = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(injector.should_drop(from, (from + 1) % 120));
+    from = (from + 7) % 120;
+  }
+}
+BENCHMARK(BM_FaultInjectorShouldDrop);
+
+void BM_FaultInjectorHealthyPath(benchmark::State& state) {
+  // The common case: empty plan, alive() + should_drop() must be ~free.
+  sim::FaultInjector injector({}, 120);
+  std::uint32_t node = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(injector.alive(node));
+    benchmark::DoNotOptimize(injector.should_drop(node, (node + 1) % 120));
+    node = (node + 13) % 120;
+  }
+}
+BENCHMARK(BM_FaultInjectorHealthyPath);
 
 }  // namespace
 }  // namespace stash

@@ -1,0 +1,122 @@
+// Chaos/failover demo (fault model, DESIGN.md "Fault model & degraded
+// operation").
+//
+// A breaking-news burst is mid-flight when the node owning the hot
+// partition crashes.  With successor failover enabled the front-end times
+// out, marks the owner suspect, and reroutes every later attempt to the
+// ring successor, which re-scans the partition from durable storage —
+// results stay complete, only latency degrades.  With failover disabled
+// the same crash surfaces as honest partial results instead of a hang.
+// After the restart (and once the suspicion TTL lapses) a re-warm query
+// lands on the recovered, cold owner and completes normally.
+//
+//   ./build/examples/chaos_failover
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "geo/geohash.hpp"
+#include "workload/workload.hpp"
+
+using namespace stash;
+using cluster::ClusterConfig;
+using cluster::StashCluster;
+
+namespace {
+
+constexpr sim::SimTime kCrashAt = 5 * sim::kMillisecond;     // into the burst
+constexpr sim::SimTime kRestartAt = 150 * sim::kMillisecond;
+
+struct RunResult {
+  std::vector<cluster::QueryStats> stats;
+  cluster::ClusterMetrics metrics;
+  cluster::QueryStats rewarm;
+  std::size_t rewarm_cells = 0;
+};
+
+RunResult run(bool failover, NodeId victim,
+              const std::vector<AggregationQuery>& burst) {
+  ClusterConfig config;
+  config.num_nodes = 32;
+  config.stash.hotspot_queue_threshold = 40;
+  config.stash.reroute_probability = 0.6;
+  config.subquery_timeout = 20 * sim::kMillisecond;
+  config.retry_backoff = 2 * sim::kMillisecond;
+  config.suspect_ttl = 100 * sim::kMillisecond;
+  config.failover_to_successor = failover;
+  if (!failover) config.subquery_max_attempts = 2;
+
+  StashCluster cluster(config, std::make_shared<const NamGenerator>());
+  // Warm the region before the chaos starts.
+  AggregationQuery warm = burst.front();
+  warm.area = warm.area.scaled(16.0);
+  cluster.run_query(warm);
+
+  // Script the outage relative to the burst: down 5 ms in, back (cold,
+  // caches wiped) at 150 ms.
+  cluster.loop().schedule(kCrashAt, [&] { cluster.crash_node(victim); });
+  cluster.loop().schedule(kRestartAt, [&] { cluster.restart_node(victim); });
+
+  RunResult out;
+  out.stats = cluster.run_open_loop(burst, 12 /*us between arrivals*/);
+  // The restart and the suspicion TTL have both lapsed by now; re-warm the
+  // region on the recovered owner.
+  CellSummaryMap cells;
+  out.rewarm = cluster.run_query(warm, &cells);
+  out.rewarm_cells = cells.size();
+  out.metrics = cluster.metrics();
+  return out;
+}
+
+void report(const char* label, const RunResult& r) {
+  std::size_t partial = 0, failed = 0;
+  sim::SimTime worst = 0;
+  for (const auto& s : r.stats) {
+    partial += s.partial ? 1u : 0u;
+    failed += s.failed_subqueries;
+    worst = std::max(worst, s.latency());
+  }
+  const auto& m = r.metrics;
+  std::printf("%s\n", label);
+  std::printf("  crashes / restarts:    %llu / %llu\n",
+              static_cast<unsigned long long>(m.node_crashes),
+              static_cast<unsigned long long>(m.node_restarts));
+  std::printf("  timeouts fired:        %llu\n",
+              static_cast<unsigned long long>(m.timeouts_fired));
+  std::printf("  subquery retries:      %llu\n",
+              static_cast<unsigned long long>(m.subquery_retries));
+  std::printf("  successor failovers:   %llu\n",
+              static_cast<unsigned long long>(m.failovers));
+  std::printf("  partial queries:       %zu of %zu (%zu dead subqueries)\n",
+              partial, r.stats.size(), failed);
+  std::printf("  worst query latency:   %.1f ms\n", sim::to_millis(worst));
+  std::printf("  re-warm after restart: %zu cells, partial=%s, retries=%llu\n\n",
+              r.rewarm_cells, r.rewarm.partial ? "yes" : "no",
+              static_cast<unsigned long long>(r.rewarm.retries));
+}
+
+}  // namespace
+
+int main() {
+  workload::WorkloadGenerator wl;
+  const auto burst = wl.hotspot_burst(workload::QueryGroup::County, 600, 0.1);
+
+  const ClusterConfig probe;
+  const ZeroHopDht dht(32, probe.partition_prefix_length);
+  const NodeId victim =
+      dht.node_for_partition(geohash::covering(burst.front().area, 2).front());
+
+  std::printf("firing %zu county requests; node %u (owner of the hot "
+              "partition) crashes %.0f ms into the burst and restarts cold "
+              "at %.0f ms\n\n",
+              burst.size(), victim, sim::to_millis(kCrashAt),
+              sim::to_millis(kRestartAt));
+
+  report("with successor failover (default):", run(true, victim, burst));
+  report("failover disabled, 2 attempts (honest partial results):",
+         run(false, victim, burst));
+  return 0;
+}

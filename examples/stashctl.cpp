@@ -9,13 +9,20 @@
 //     --mode stash|basic    system mode          (default stash)
 //     --repeat N            issue the query N times (default 2: cold+warm)
 //     --json                print the JSON payload of the last run
+//     --crash N@MS[:MS]     crash node N at MS ms (optionally restart at :MS);
+//                           repeatable
+//     --drop P              drop each message with probability P
+//     --no-failover         disable successor failover (degrade to partial)
 //
 // Example:
 //   ./build/examples/stashctl 36 40 -102 -94 --repeat 3 --json
+//   ./build/examples/stashctl 36 40 -102 -94 --crash 7@0:50 --drop 0.01
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -30,7 +37,8 @@ namespace {
   std::fprintf(stderr,
                "usage: %s [--date YYYY-MM-DD] [--sres N] "
                "[--tres hour|day|month] [--nodes N] [--mode stash|basic] "
-               "[--repeat N] [--json] <lat_min> <lat_max> <lng_min> <lng_max>\n",
+               "[--repeat N] [--json] [--crash N@MS[:MS]] [--drop P] "
+               "[--no-failover] <lat_min> <lat_max> <lng_min> <lng_max>\n",
                argv0);
   std::exit(2);
 }
@@ -54,6 +62,8 @@ int main(int argc, char** argv) {
   cluster::SystemMode mode = cluster::SystemMode::Stash;
   int repeat = 2;
   bool json = false;
+  bool failover = true;
+  sim::FaultPlan plan;
   std::vector<double> coords;
 
   for (int i = 1; i < argc; ++i) {
@@ -83,6 +93,24 @@ int main(int argc, char** argv) {
       repeat = std::atoi(next().c_str());
     } else if (arg == "--json") {
       json = true;
+    } else if (arg == "--crash") {
+      unsigned node = 0;
+      double at_ms = 0.0, restart_ms = 0.0;
+      const std::string spec = next();
+      const int matched = std::sscanf(spec.c_str(), "%u@%lf:%lf",
+                                      &node, &at_ms, &restart_ms);
+      if (matched < 2) usage(argv[0]);
+      sim::CrashEvent crash;
+      crash.node = node;
+      crash.at = std::llround(at_ms * 1000.0);
+      if (matched == 3) crash.restart_at = std::llround(restart_ms * 1000.0);
+      plan.crashes.push_back(crash);
+    } else if (arg == "--drop") {
+      sim::LinkRule rule;
+      rule.drop_probability = std::atof(next().c_str());
+      plan.links.push_back(rule);
+    } else if (arg == "--no-failover") {
+      failover = false;
     } else if (!arg.empty() && (std::isdigit(arg[0]) || arg[0] == '-')) {
       coords.push_back(std::atof(arg.c_str()));
     } else {
@@ -101,7 +129,17 @@ int main(int argc, char** argv) {
   cluster::ClusterConfig config;
   config.num_nodes = nodes;
   config.mode = mode;
-  cluster::StashCluster cluster(config, std::make_shared<const NamGenerator>());
+  config.fault_plan = plan;
+  config.failover_to_successor = failover;
+  if (!plan.empty()) config.subquery_timeout = 20 * sim::kMillisecond;
+  std::optional<cluster::StashCluster> maybe_cluster;
+  try {
+    maybe_cluster.emplace(config, std::make_shared<const NamGenerator>());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
+    return 2;
+  }
+  cluster::StashCluster& cluster = *maybe_cluster;
   client::VisualClient client(cluster);
   client.set_view(query);
 
@@ -117,12 +155,25 @@ int main(int argc, char** argv) {
   for (int r = 0; r < repeat; ++r) {
     last = client.refresh();
     std::printf("  run %d: %5zu cells in %8.2f ms  (cache=%zu synth=%zu "
-                "disk=%zu chunks)\n",
+                "disk=%zu chunks)%s\n",
                 r + 1, last.cells.size(),
                 sim::to_millis(last.stats.latency()),
                 last.stats.breakdown.chunks_from_cache,
                 last.stats.breakdown.chunks_synthesized,
-                last.stats.breakdown.chunks_scanned);
+                last.stats.breakdown.chunks_scanned,
+                last.stats.partial ? "  [PARTIAL]" : "");
+  }
+  if (!plan.empty()) {
+    const auto& m = cluster.metrics();
+    std::printf("fault activity: crashes=%llu restarts=%llu dropped=%llu "
+                "timeouts=%llu retries=%llu failovers=%llu partial=%llu\n",
+                static_cast<unsigned long long>(m.node_crashes),
+                static_cast<unsigned long long>(m.node_restarts),
+                static_cast<unsigned long long>(m.messages_dropped),
+                static_cast<unsigned long long>(m.timeouts_fired),
+                static_cast<unsigned long long>(m.subquery_retries),
+                static_cast<unsigned long long>(m.failovers),
+                static_cast<unsigned long long>(m.partial_queries));
   }
   if (json)
     std::printf("%s\n", client::VisualClient::to_json(last, 10).c_str());

@@ -1,11 +1,18 @@
 #include "cluster/cluster.hpp"
 
+#include <algorithm>
 #include <limits>
 #include <stdexcept>
 
 #include "common/codec.hpp"
 
 namespace stash::cluster {
+
+namespace {
+constexpr sim::SimTime kNeverSuspected =
+    std::numeric_limits<sim::SimTime>::min();
+constexpr std::size_t kAckBytes = 64;  // Ack / NACK / Replication Response
+}  // namespace
 
 StashCluster::Node::Node(NodeId node_id, const StashConfig& stash_config,
                          const GalileoStore& store, sim::EventLoop& loop,
@@ -25,14 +32,75 @@ StashCluster::StashCluster(ClusterConfig config,
                            std::shared_ptr<const NamGenerator> generator)
     : config_(config),
       dht_(config.num_nodes, config.partition_prefix_length),
+      fault_(config.fault_plan, config.num_nodes),
       generator_(std::move(generator)),
-      store_(generator_, config.partition_prefix_length) {
+      store_(generator_, config.partition_prefix_length),
+      suspect_until_(config.num_nodes, kNeverSuspected),
+      frontend_rng_(config.seed ^ 0x46524f4e54ULL) {
   if (!generator_) throw std::invalid_argument("StashCluster: null generator");
   nodes_.reserve(config_.num_nodes);
   for (NodeId id = 0; id < config_.num_nodes; ++id)
     nodes_.push_back(std::make_unique<Node>(id, config_.stash, store_, loop_,
                                             config_.workers_per_node,
                                             config_.seed ^ mix64(id)));
+  // Crash wipes volatile state only — the Galileo store survives, so any
+  // node (the owner after restart, or a failover successor) can rebuild
+  // answers from disk.  This is the paper's volatile-cache/durable-store
+  // split made executable.
+  fault_.set_crash_handler([this](std::uint32_t id) {
+    wipe_node(id);
+    ++metrics_.node_crashes;
+  });
+  fault_.set_restart_handler([this](std::uint32_t) { ++metrics_.node_restarts; });
+  fault_.arm(loop_);
+}
+
+void StashCluster::wipe_node(NodeId id) {
+  Node& node = *nodes_[id];
+  node.graph.clear();
+  node.guest_graph.clear();
+  node.routing.clear();
+  node.server.reset();
+  node.maintenance.reset();
+  node.last_handoff = std::numeric_limits<sim::SimTime>::min() / 2;
+  node.last_handoff_attempt = std::numeric_limits<sim::SimTime>::min() / 2;
+}
+
+void StashCluster::crash_node(NodeId id) { fault_.force_crash(id); }
+
+void StashCluster::restart_node(NodeId id) { fault_.force_restart(id); }
+
+bool StashCluster::suspected(NodeId id) const {
+  return suspect_until_[id] > loop_.now();
+}
+
+bool StashCluster::node_suspected(NodeId id) const {
+  if (id >= suspect_until_.size())
+    throw std::out_of_range("StashCluster::node_suspected: bad node id");
+  return suspected(id);
+}
+
+void StashCluster::suspect(NodeId id) {
+  suspect_until_[id] = loop_.now() + config_.suspect_ttl;
+}
+
+void StashCluster::absolve(NodeId id) { suspect_until_[id] = kNeverSuspected; }
+
+void StashCluster::send_message(std::uint32_t from, std::uint32_t to,
+                                std::size_t bytes,
+                                std::function<void()> deliver) {
+  if (fault_.should_drop(from, to)) {
+    ++metrics_.messages_dropped;
+    return;
+  }
+  const sim::SimTime delay =
+      config_.cost.net_transfer(bytes) + fault_.extra_latency(from, to);
+  loop_.schedule(delay, [this, to, deliver = std::move(deliver)] {
+    // A message addressed to a node that died in flight is simply lost;
+    // the sender's timeout is the only notification it will ever get.
+    if (!fault_.alive(to)) return;
+    deliver();
+  });
 }
 
 sim::SimTime StashCluster::service_time(const EvalBreakdown& b) const {
@@ -88,57 +156,174 @@ void StashCluster::submit_impl(const AggregationQuery& query, Callback done,
       geohash::covering(query.area, config_.partition_prefix_length);
   pending.remaining = partitions.size();
   pending.stats.subqueries = partitions.size();
-  pending_.emplace(id, std::move(pending));
+  pending.subqueries.reserve(partitions.size());
   for (const auto& partition : partitions) {
-    loop_.schedule(config_.cost.net_transfer(config_.request_bytes),
-                   [this, id, partition] { route_subquery(id, partition, true); });
+    Subquery sq;
+    sq.partition = partition;
+    pending.subqueries.push_back(std::move(sq));
+  }
+  pending_.emplace(id, std::move(pending));
+  for (std::size_t i = 0; i < partitions.size(); ++i) start_attempt(id, i);
+  if (partitions.empty()) {
+    // Degenerate covering: complete with an empty payload instead of
+    // leaking a Pending entry that quiescence can never drain.
+    pending_.find(id)->second.remaining = 1;
+    complete_subquery(id);
   }
 }
 
-void StashCluster::route_subquery(std::uint64_t query_id,
-                                  const std::string& partition,
+void StashCluster::start_attempt(std::uint64_t query_id, std::size_t idx) {
+  const auto it = pending_.find(query_id);
+  if (it == pending_.end()) return;
+  Pending& pending = it->second;
+  Subquery& sq = pending.subqueries[idx];
+  if (sq.done) return;
+  ++sq.attempts;
+  const int attempt = sq.attempts;
+  if (attempt > 1) {
+    ++metrics_.subquery_retries;
+    ++pending.stats.retries;
+  }
+  sq.forwarded_to.reset();
+
+  const NodeId owner = dht_.node_for_partition(sq.partition);
+  NodeId target = owner;
+  if (config_.failover_to_successor && suspected(owner)) {
+    // The owner's partition lives on durable storage every node can reach,
+    // so the next live ring successor re-scans it from disk.
+    for (std::uint32_t k = 1; k < config_.num_nodes; ++k) {
+      const NodeId candidate = dht_.successor_for_partition(sq.partition, k);
+      if (!suspected(candidate)) {
+        target = candidate;
+        break;
+      }
+    }
+  }
+  if (target != owner) {
+    ++metrics_.failovers;
+    ++pending.stats.failovers;
+  }
+  sq.target = target;
+
+  if (config_.subquery_timeout > 0) {
+    sq.timeout = loop_.schedule_cancellable(
+        config_.subquery_timeout, [this, query_id, idx, attempt] {
+          on_subquery_timeout(query_id, idx, attempt);
+        });
+  }
+  // Rerouting to a guest helper only makes sense at the partition's owner:
+  // a failover successor serves from storage.
+  const bool allow_reroute = target == owner;
+  send_message(sim::kFrontendNode, target, config_.request_bytes,
+               [this, query_id, idx, attempt, target, allow_reroute] {
+                 route_subquery(query_id, idx, attempt, target, allow_reroute);
+               });
+}
+
+void StashCluster::on_subquery_timeout(std::uint64_t query_id, std::size_t idx,
+                                       int attempt) {
+  const auto it = pending_.find(query_id);
+  if (it == pending_.end()) return;
+  Pending& pending = it->second;
+  Subquery& sq = pending.subqueries[idx];
+  if (sq.done || sq.attempts != attempt) return;
+  sq.timeout = 0;
+  ++metrics_.timeouts_fired;
+  // Open the circuit breaker: later attempts (and other queries) route
+  // around the silent node instead of paying the timeout again.
+  suspect(sq.target);
+  if (sq.forwarded_to.has_value()) {
+    suspect(*sq.forwarded_to);
+    // The owner's routing entries point at a helper that went dark:
+    // invalidate them so the retry (and every later query) stays local.
+    if (fault_.alive(sq.target))
+      nodes_[sq.target]->routing.drop_helper(*sq.forwarded_to);
+  }
+  if (sq.attempts >= config_.subquery_max_attempts) {
+    fail_subquery(query_id, idx);
+    return;
+  }
+  // Exponential backoff with jitter before the next attempt.
+  sim::SimTime delay = config_.retry_backoff << (sq.attempts - 1);
+  if (config_.retry_jitter > 0.0) {
+    const double factor =
+        1.0 + config_.retry_jitter * frontend_rng_.uniform(-1.0, 1.0);
+    delay = std::max<sim::SimTime>(
+        0, static_cast<sim::SimTime>(static_cast<double>(delay) * factor));
+  }
+  loop_.schedule(delay,
+                 [this, query_id, idx] { start_attempt(query_id, idx); });
+}
+
+void StashCluster::fail_subquery(std::uint64_t query_id, std::size_t idx) {
+  const auto it = pending_.find(query_id);
+  if (it == pending_.end()) return;
+  Pending& pending = it->second;
+  Subquery& sq = pending.subqueries[idx];
+  if (sq.done) return;
+  sq.done = true;
+  if (sq.timeout != 0) {
+    loop_.cancel(sq.timeout);
+    sq.timeout = 0;
+  }
+  ++pending.stats.failed_subqueries;
+  ++metrics_.failed_subqueries;
+  complete_subquery(query_id);
+}
+
+void StashCluster::route_subquery(std::uint64_t query_id, std::size_t idx,
+                                  int attempt, NodeId target,
                                   bool allow_reroute) {
   const auto it = pending_.find(query_id);
   if (it == pending_.end()) return;
-  const NodeId owner = dht_.node_for_partition(partition);
-  Node& node = *nodes_[owner];
+  Pending& pending = it->second;
+  Subquery& sq = pending.subqueries[idx];
+  if (sq.done || sq.attempts != attempt) return;
+  Node& node = *nodes_[target];
 
   if (config_.mode == SystemMode::Stash && allow_reroute &&
       !node.routing.empty()) {
-    const auto chunks = subquery_chunks(it->second.query, partition);
-    const auto helper = node.routing.lookup(it->second.query.res, chunks,
+    const auto chunks = subquery_chunks(pending.query, sq.partition);
+    const auto helper = node.routing.lookup(pending.query.res, chunks,
                                             loop_.now(), config_.stash.routing_ttl);
-    if (helper.has_value() &&
+    if (helper.has_value() && !suspected(*helper) &&
         node.rng.bernoulli(config_.stash.reroute_probability)) {
       ++metrics_.reroutes;
-      ++it->second.stats.rerouted_subqueries;
-      loop_.schedule(config_.cost.net_transfer(config_.request_bytes),
-                     [this, helper = *helper, owner, query_id, partition] {
-                       enqueue_guest(helper, owner, query_id, partition);
-                     });
+      ++pending.stats.rerouted_subqueries;
+      sq.forwarded_to = *helper;
+      send_message(target, *helper, config_.request_bytes,
+                   [this, helper = *helper, owner = target, query_id, idx,
+                    attempt] {
+                     enqueue_guest(helper, owner, query_id, idx, attempt);
+                   });
       return;
     }
   }
-  enqueue_local(owner, query_id, partition);
+  enqueue_local(target, query_id, idx, attempt);
 }
 
 void StashCluster::enqueue_local(NodeId node_id, std::uint64_t query_id,
-                                 const std::string& partition) {
+                                 std::size_t idx, int attempt) {
   Node& node = *nodes_[node_id];
   const EvalMode mode = config_.mode == SystemMode::Basic ? EvalMode::Basic
                                                           : EvalMode::Cached;
   auto slot = std::make_shared<Evaluation>();
   node.server.submit(
-      [this, &node, query_id, partition, mode, slot]() -> sim::SimTime {
+      [this, &node, query_id, idx, attempt, mode, slot]() -> sim::SimTime {
         const auto it = pending_.find(query_id);
         if (it == pending_.end()) return 0;
-        *slot = node.engine.evaluate_partition(partition, it->second.query, mode);
+        const Subquery& sq = it->second.subqueries[idx];
+        if (sq.done || sq.attempts != attempt) return 0;  // superseded
+        *slot = node.engine.evaluate_partition(sq.partition, it->second.query,
+                                               mode);
         return service_time(slot->breakdown);
       },
-      [this, &node, query_id, slot] {
+      [this, &node, query_id, idx, attempt, slot] {
         ++metrics_.subqueries_processed;
         const auto it = pending_.find(query_id);
         if (it == pending_.end()) return;
+        const Subquery& sq = it->second.subqueries[idx];
+        if (sq.done || sq.attempts != attempt) return;
         // Background maintenance: populate the graph off the response path.
         if (config_.mode != SystemMode::Basic &&
             (!slot->fetched.empty() || !slot->touched_chunks.empty())) {
@@ -156,10 +341,11 @@ void StashCluster::enqueue_local(NodeId node_id, std::uint64_t query_id,
         }
         const std::size_t bytes =
             slot->cells.size() * config_.response_cell_bytes + 128;
-        loop_.schedule(config_.cost.net_transfer(bytes),
-                       [this, query_id, slot]() mutable {
-                         deliver_response(query_id, std::move(*slot));
-                       });
+        send_message(node.id, sim::kFrontendNode, bytes,
+                     [this, query_id, idx, attempt, slot]() {
+                       deliver_response(query_id, idx, attempt,
+                                        std::move(*slot));
+                     });
         // Re-check as the queue drains: a *cold* hotspot has nothing to
         // replicate at arrival time, but once maintenance populates the
         // graph a handoff becomes possible.
@@ -169,33 +355,38 @@ void StashCluster::enqueue_local(NodeId node_id, std::uint64_t query_id,
 }
 
 void StashCluster::enqueue_guest(NodeId helper_id, NodeId owner_id,
-                                 std::uint64_t query_id,
-                                 const std::string& partition) {
+                                 std::uint64_t query_id, std::size_t idx,
+                                 int attempt) {
   Node& helper = *nodes_[helper_id];
   auto slot = std::make_shared<Evaluation>();
   helper.server.submit(
-      [this, &helper, query_id, partition, slot]() -> sim::SimTime {
+      [this, &helper, query_id, idx, attempt, slot]() -> sim::SimTime {
         const auto it = pending_.find(query_id);
         if (it == pending_.end()) return 0;
+        const Subquery& sq = it->second.subqueries[idx];
+        if (sq.done || sq.attempts != attempt) return 0;
         // Lazily purge idle guest Cliques before serving (§VII-D).
         helper.guest_graph.purge_older_than(loop_.now(), config_.stash.guest_ttl);
         *slot = helper.guest_engine.evaluate_partition(
-            partition, it->second.query, EvalMode::CacheOnly);
+            sq.partition, it->second.query, EvalMode::CacheOnly);
         return service_time(slot->breakdown);
       },
-      [this, &helper, owner_id, query_id, partition, slot] {
+      [this, &helper, owner_id, query_id, idx, attempt, slot] {
         ++metrics_.subqueries_processed;
         const auto it = pending_.find(query_id);
         if (it == pending_.end()) return;
+        Subquery& sq = it->second.subqueries[idx];
+        if (sq.done || sq.attempts != attempt) return;
         if (slot->breakdown.chunks_missing > 0) {
           // Replica purged or incomplete: fall back to the owning node
-          // (no further rerouting to avoid a loop).
+          // (no further rerouting to avoid a loop).  The helper answered,
+          // so it is no longer the one a timeout should blame.
           ++metrics_.guest_fallbacks;
-          loop_.schedule(config_.cost.net_transfer(config_.request_bytes),
-                         [this, owner_id, query_id, partition] {
-                           (void)owner_id;
-                           route_subquery(query_id, partition, false);
-                         });
+          sq.forwarded_to.reset();
+          send_message(helper.id, owner_id, config_.request_bytes,
+                       [this, owner_id, query_id, idx, attempt] {
+                         enqueue_local(owner_id, query_id, idx, attempt);
+                       });
           return;
         }
         // Keep served guest regions fresh so the TTL purge spares them.
@@ -203,17 +394,30 @@ void StashCluster::enqueue_guest(NodeId helper_id, NodeId owner_id,
         helper.guest_engine.absorb(*slot, res, loop_.now());
         const std::size_t bytes =
             slot->cells.size() * config_.response_cell_bytes + 128;
-        loop_.schedule(config_.cost.net_transfer(bytes),
-                       [this, query_id, slot]() mutable {
-                         deliver_response(query_id, std::move(*slot));
-                       });
+        send_message(helper.id, sim::kFrontendNode, bytes,
+                     [this, query_id, idx, attempt, slot]() {
+                       deliver_response(query_id, idx, attempt,
+                                        std::move(*slot));
+                     });
       });
 }
 
-void StashCluster::deliver_response(std::uint64_t query_id, Evaluation&& eval) {
+void StashCluster::deliver_response(std::uint64_t query_id, std::size_t idx,
+                                    int attempt, Evaluation&& eval) {
   const auto it = pending_.find(query_id);
   if (it == pending_.end()) return;
   Pending& pending = it->second;
+  Subquery& sq = pending.subqueries[idx];
+  if (sq.done || sq.attempts != attempt) return;  // late duplicate: ignore
+  sq.done = true;
+  if (sq.timeout != 0) {
+    loop_.cancel(sq.timeout);
+    sq.timeout = 0;
+  }
+  // Evidence of life closes the circuit breaker.
+  absolve(sq.target);
+  if (sq.forwarded_to.has_value()) absolve(*sq.forwarded_to);
+
   pending.stats.breakdown += eval.breakdown;
   if (config_.discard_payload) {
     // Cells are disjoint across partitions: counting is exact.
@@ -225,6 +429,13 @@ void StashCluster::deliver_response(std::uint64_t query_id, Evaluation&& eval) {
       if (!inserted) cell_it->second.merge(summary);
     }
   }
+  complete_subquery(query_id);
+}
+
+void StashCluster::complete_subquery(std::uint64_t query_id) {
+  const auto it = pending_.find(query_id);
+  if (it == pending_.end()) return;
+  Pending& pending = it->second;
   if (--pending.remaining > 0) return;
   // Gather complete: charge the front-end merge + render overhead.
   const std::size_t merged_cells = config_.discard_payload
@@ -240,6 +451,10 @@ void StashCluster::deliver_response(std::uint64_t query_id, Evaluation&& eval) {
     finished.stats.completed_at = loop_.now();
     if (!config_.discard_payload)
       finished.stats.result_cells = finished.cells.size();
+    if (finished.stats.failed_subqueries > 0) {
+      finished.stats.partial = true;
+      ++metrics_.partial_queries;
+    }
     ++metrics_.queries_completed;
     if (finished.done) finished.done(finished.stats);
     if (finished.done_rich)
@@ -275,6 +490,7 @@ void StashCluster::send_distress(NodeId hot_id, Clique clique, int attempt) {
     ++metrics_.distress_rejections;
     return;
   }
+  if (!fault_.alive(hot_id)) return;  // the hot node died: abandon the handoff
   Node& hot = *nodes_[hot_id];
   // Antipode selection (§VII-B.3): first try the node owning the region
   // diametrically opposite the Clique; on rejection wander randomly around
@@ -297,10 +513,43 @@ void StashCluster::send_distress(NodeId hot_id, Clique clique, int attempt) {
     send_distress(hot_id, std::move(clique), attempt + 1);
     return;
   }
+  if (suspected(target)) {
+    // Circuit breaker: a suspected-dead helper is a free NACK — keep
+    // wandering instead of paying the handoff timeout.
+    send_distress(hot_id, std::move(clique), attempt + 1);
+    return;
+  }
 
-  loop_.schedule(
-      config_.cost.net_transfer(config_.request_bytes),
-      [this, hot_id, target, clique = std::move(clique), attempt]() mutable {
+  // Watchdog for the whole Distress -> Ack -> Replication -> Response
+  // round: a dead helper or a lost message is treated as a NACK and the
+  // antipode retry continues.
+  auto settled = std::make_shared<bool>(false);
+  sim::EventLoop::EventId watchdog = 0;
+  if (config_.handoff_timeout > 0) {
+    watchdog = loop_.schedule_cancellable(
+        config_.handoff_timeout,
+        [this, hot_id, target, clique, attempt, settled] {
+          if (*settled) return;
+          *settled = true;
+          ++metrics_.timeouts_fired;
+          ++metrics_.handoff_timeouts;
+          suspect(target);
+          if (fault_.alive(hot_id)) {
+            nodes_[hot_id]->routing.drop_helper(target);
+            send_distress(hot_id, clique, attempt + 1);
+          }
+        });
+  }
+  const auto settle = [this, settled, watchdog] {
+    *settled = true;
+    if (watchdog != 0) loop_.cancel(watchdog);
+  };
+
+  // Distress Request: hot -> helper.
+  send_message(
+      hot_id, target, config_.request_bytes,
+      [this, hot_id, target, clique = std::move(clique), attempt, settled,
+       settle]() mutable {
         Node& helper = *nodes_[target];
         const bool accept =
             helper.server.queue_length() <=
@@ -308,46 +557,66 @@ void StashCluster::send_distress(NodeId hot_id, Clique clique, int attempt) {
             helper.guest_graph.total_cells() + clique.cell_count <=
                 config_.stash.guest_capacity_cells;
         if (!accept) {
-          ++metrics_.distress_rejections;
-          // Negative acknowledgement: retry around the antipode.
-          loop_.schedule(config_.cost.net_transfer(64),
-                         [this, hot_id, clique = std::move(clique),
-                          attempt]() mutable {
-                           send_distress(hot_id, std::move(clique), attempt + 1);
-                         });
+          // Negative acknowledgement: helper -> hot, retry on arrival.
+          send_message(target, hot_id, kAckBytes,
+                       [this, hot_id, clique = std::move(clique), attempt,
+                        settled, settle]() mutable {
+                         if (*settled) return;
+                         settle();
+                         ++metrics_.distress_rejections;
+                         send_distress(hot_id, std::move(clique), attempt + 1);
+                       });
           return;
         }
-        // Positive ack travels back, then the Replication Request ships the
-        // Clique's Cells — encoded with the real wire codec so transfer
+        // Positive ack: helper -> hot; on arrival the hot node ships the
+        // Clique's Cells, encoded with the real wire codec so transfer
         // time reflects actual bytes.
-        Node& hot_node = *nodes_[hot_id];
-        const auto payload = clique_payload(hot_node.graph, clique);
-        std::size_t cells = 0;
-        for (const auto& c : payload) cells += c.cells.size();
-        codec::Buffer wire = codec::encode_replication_payload(payload);
-        const std::size_t bytes = wire.size() + config_.request_bytes;
-        const sim::SimTime ack_and_transfer =
-            config_.cost.net_transfer(64) + config_.cost.net_transfer(bytes);
-        loop_.schedule(
-            ack_and_transfer,
-            [this, hot_id, target, clique = std::move(clique),
-             wire = std::move(wire), cells]() {
-              Node& helper_node = *nodes_[target];
-              for (const auto& contribution :
-                   codec::decode_replication_payload(wire))
-                helper_node.guest_graph.absorb(contribution, loop_.now());
-              ++metrics_.cliques_replicated;
-              metrics_.cells_replicated += cells;
-              // Replication Response: populate the routing table (§VII-B.5).
-              loop_.schedule(
-                  config_.cost.net_transfer(64), [this, hot_id, target, clique] {
-                    Node& hot_after = *nodes_[hot_id];
-                    for (const auto& member : clique.members)
-                      hot_after.routing.add(member.res, member.chunk, target,
-                                            loop_.now());
+        send_message(
+            target, hot_id, kAckBytes,
+            [this, hot_id, target, clique = std::move(clique), settled,
+             settle]() mutable {
+              if (*settled) return;
+              Node& hot_node = *nodes_[hot_id];
+              const auto payload = clique_payload(hot_node.graph, clique);
+              std::size_t cells = 0;
+              for (const auto& c : payload) cells += c.cells.size();
+              codec::Buffer wire = codec::encode_replication_payload(payload);
+              const std::size_t bytes = wire.size() + config_.request_bytes;
+              // Replication Request: hot -> helper.
+              send_message(
+                  hot_id, target, bytes,
+                  [this, hot_id, target, clique = std::move(clique),
+                   wire = std::move(wire), cells, settled, settle]() mutable {
+                    Node& helper_node = *nodes_[target];
+                    for (const auto& contribution :
+                         codec::decode_replication_payload(wire))
+                      helper_node.guest_graph.absorb(contribution, loop_.now());
+                    ++metrics_.cliques_replicated;
+                    metrics_.cells_replicated += cells;
+                    // Replication Response: helper -> hot populates the
+                    // routing table (§VII-B.5).
+                    send_message(
+                        target, hot_id, kAckBytes,
+                        [this, hot_id, target, clique = std::move(clique),
+                         settled, settle] {
+                          if (*settled) return;
+                          settle();
+                          Node& hot_after = *nodes_[hot_id];
+                          for (const auto& member : clique.members)
+                            hot_after.routing.add(member.res, member.chunk,
+                                                  target, loop_.now());
+                        });
                   });
             });
       });
+}
+
+void StashCluster::check_quiescence() const {
+  if (pending_.empty()) return;
+  throw std::runtime_error(
+      "StashCluster: " + std::to_string(pending_.size()) +
+      " quer(y/ies) survived quiescence — a subquery was lost and never "
+      "timed out; enable subquery_timeout or fix the scatter/gather path");
 }
 
 QueryStats StashCluster::run_query(const AggregationQuery& query,
@@ -358,6 +627,7 @@ QueryStats StashCluster::run_query(const AggregationQuery& query,
     if (cells_out != nullptr) *cells_out = std::move(cells);
   });
   loop_.run();
+  check_quiescence();
   return out;
 }
 
@@ -367,6 +637,7 @@ std::vector<QueryStats> StashCluster::run_burst(
   for (std::size_t i = 0; i < queries.size(); ++i)
     submit(queries[i], [&out, i](const QueryStats& stats) { out[i] = stats; });
   loop_.run();
+  check_quiescence();
   return out;
 }
 
@@ -382,6 +653,7 @@ std::vector<QueryStats> StashCluster::run_open_loop(
                    });
   }
   loop_.run();
+  check_quiescence();
   return out;
 }
 
@@ -391,6 +663,7 @@ std::vector<QueryStats> StashCluster::run_sequence(
   for (std::size_t i = 0; i < queries.size(); ++i) {
     submit(queries[i], [&out, i](const QueryStats& stats) { out[i] = stats; });
     loop_.run();
+    check_quiescence();
   }
   return out;
 }
@@ -427,7 +700,9 @@ std::size_t StashCluster::preload(const AggregationQuery& query) {
   std::size_t inserted = 0;
   for (const auto& partition :
        geohash::covering(query.area, config_.partition_prefix_length)) {
-    Node& node = *nodes_[dht_.node_for_partition(partition)];
+    const NodeId owner = dht_.node_for_partition(partition);
+    if (!fault_.alive(owner)) continue;  // a dead node cannot warm its cache
+    Node& node = *nodes_[owner];
     const Evaluation eval =
         node.engine.evaluate_partition(partition, query, EvalMode::Cached);
     const MaintenanceStats stats =

@@ -25,6 +25,7 @@
 #include "dht/partitioner.hpp"
 #include "sim/cost_model.hpp"
 #include "sim/event_loop.hpp"
+#include "sim/fault.hpp"
 #include "sim/server.hpp"
 
 namespace stash::cluster {
@@ -66,6 +67,33 @@ struct ClusterConfig {
   /// Throughput-bench mode: count result Cells but do not retain their
   /// summaries at the front-end (bounds memory for 10k-query bursts).
   bool discard_payload = false;
+
+  // --- fault model & degraded operation ---
+  /// Scripted faults (node crashes/restarts, message loss, slow links).
+  /// An empty plan is a healthy cluster; the request path below still
+  /// applies, so a hung subquery can never hang a query.
+  sim::FaultPlan fault_plan;
+  /// Front-end per-subquery timeout before a retry (0 disables timers —
+  /// legacy behavior, hangs if a node dies).  The default is far above any
+  /// healthy-path latency so fault-free runs never trip it.
+  sim::SimTime subquery_timeout = 300 * sim::kSecond;
+  /// Attempts per subquery (first try + retries) before giving up and
+  /// completing the query as partial.
+  int subquery_max_attempts = 4;
+  /// Base delay before retry k is 2^(k-1) * this, +/- retry_jitter.
+  sim::SimTime retry_backoff = 5 * sim::kMillisecond;
+  /// Uniform jitter fraction applied to the retry backoff (de-synchronizes
+  /// retry storms; drawn from the front-end Rng, so still deterministic).
+  double retry_jitter = 0.2;
+  /// Failover: when a partition's owner is suspected dead, re-scan the
+  /// partition from durable storage on the next live DHT successor.
+  bool failover_to_successor = true;
+  /// How long a timed-out node stays on the suspect list (circuit
+  /// breaker: suspected nodes are skipped without paying the timeout).
+  sim::SimTime suspect_ttl = 60 * sim::kSecond;
+  /// Timeout for one Distress->Ack->Replication->Response handoff round;
+  /// expiry is treated as a NACK (the antipode retry continues).
+  sim::SimTime handoff_timeout = 5 * sim::kSecond;
 };
 
 struct QueryStats {
@@ -74,6 +102,17 @@ struct QueryStats {
   std::size_t result_cells = 0;
   std::size_t subqueries = 0;
   std::size_t rerouted_subqueries = 0;
+  /// Subqueries that exhausted every attempt: their partitions are missing
+  /// from the result.  partial == (failed_subqueries > 0).
+  std::size_t failed_subqueries = 0;
+  /// Retries the front-end issued across all subqueries (timeout-driven).
+  std::size_t retries = 0;
+  /// Subqueries served by a DHT successor because the owner was suspect.
+  std::size_t failovers = 0;
+  /// Degraded-but-correct answer: every returned Cell is exact, but one or
+  /// more partitions were unreachable and are absent (§VII posture: cached
+  /// state is volatile, storage is the truth; never hang, never corrupt).
+  bool partial = false;
   EvalBreakdown breakdown;  // summed over subqueries
 
   [[nodiscard]] sim::SimTime latency() const noexcept {
@@ -92,6 +131,16 @@ struct ClusterMetrics {
   std::uint64_t guest_fallbacks = 0;
   std::uint64_t maintenance_tasks = 0;
   sim::SimTime total_maintenance_time = 0;
+  // --- fault / degradation observability ---
+  std::uint64_t node_crashes = 0;
+  std::uint64_t node_restarts = 0;
+  std::uint64_t messages_dropped = 0;
+  std::uint64_t timeouts_fired = 0;      // subquery + handoff timeouts
+  std::uint64_t handoff_timeouts = 0;
+  std::uint64_t subquery_retries = 0;
+  std::uint64_t failovers = 0;
+  std::uint64_t failed_subqueries = 0;
+  std::uint64_t partial_queries = 0;
 };
 
 class StashCluster {
@@ -114,7 +163,9 @@ class StashCluster {
   void submit(const AggregationQuery& query, RichCallback done);
 
   /// Submits one query and runs the loop to quiescence.  When `cells_out`
-  /// is given it receives the merged Cell summaries.
+  /// is given it receives the merged Cell summaries.  All run_* helpers
+  /// throw std::runtime_error if any query survives quiescence — a leaked
+  /// Pending entry is a scatter/gather bug, never a silent return.
   QueryStats run_query(const AggregationQuery& query,
                        CellSummaryMap* cells_out = nullptr);
 
@@ -154,6 +205,17 @@ class StashCluster {
   /// query recomputes fresh values.  Returns the block's new version.
   std::uint64_t ingest_update(const std::string& partition, std::int64_t day);
 
+  // --- fault tolerance ---
+  /// Fault-injection state (liveness, drop/latency dice, crash counters).
+  [[nodiscard]] const sim::FaultInjector& faults() const noexcept { return fault_; }
+  /// Is `node` currently up? (false only while a scripted crash is active)
+  [[nodiscard]] bool node_alive(NodeId id) const { return fault_.alive(id); }
+  /// Is `node` on the front-end's suspect list (circuit breaker open)?
+  [[nodiscard]] bool node_suspected(NodeId id) const;
+  /// Crashes / restarts a node immediately (outside any scripted plan).
+  void crash_node(NodeId id);
+  void restart_node(NodeId id);
+
  private:
   struct Node {
     NodeId id;
@@ -173,6 +235,18 @@ class StashCluster {
          std::uint64_t seed);
   };
 
+  /// One scattered subquery's lifecycle across attempts.  Responses and
+  /// timeouts are tagged with the attempt number they belong to, so a slow
+  /// reply from a superseded attempt can never double-deliver.
+  struct Subquery {
+    std::string partition;
+    NodeId target = 0;                 // node serving the current attempt
+    std::optional<NodeId> forwarded_to;  // guest helper, when rerouted
+    int attempts = 0;
+    sim::EventLoop::EventId timeout = 0;
+    bool done = false;
+  };
+
   struct Pending {
     AggregationQuery query;
     Callback done;
@@ -180,19 +254,39 @@ class StashCluster {
     std::size_t remaining = 0;
     QueryStats stats;
     CellSummaryMap cells;
+    std::vector<Subquery> subqueries;
   };
 
   void submit_impl(const AggregationQuery& query, Callback done,
                    RichCallback done_rich);
-  void route_subquery(std::uint64_t query_id, const std::string& partition,
-                      bool allow_reroute);
-  void enqueue_local(NodeId node_id, std::uint64_t query_id,
-                     const std::string& partition);
+  /// Starts the next attempt of a subquery: picks a target (failing over
+  /// past suspected nodes), arms the timeout, and sends the request.
+  void start_attempt(std::uint64_t query_id, std::size_t idx);
+  void on_subquery_timeout(std::uint64_t query_id, std::size_t idx, int attempt);
+  void fail_subquery(std::uint64_t query_id, std::size_t idx);
+  void route_subquery(std::uint64_t query_id, std::size_t idx, int attempt,
+                      NodeId target, bool allow_reroute);
+  void enqueue_local(NodeId node_id, std::uint64_t query_id, std::size_t idx,
+                     int attempt);
   void enqueue_guest(NodeId helper_id, NodeId owner_id, std::uint64_t query_id,
-                     const std::string& partition);
-  void deliver_response(std::uint64_t query_id, Evaluation&& eval);
+                     std::size_t idx, int attempt);
+  void deliver_response(std::uint64_t query_id, std::size_t idx, int attempt,
+                        Evaluation&& eval);
+  /// Gather step shared by success and failure: decrements `remaining` and
+  /// schedules the front-end merge when the scatter has fully drained.
+  void complete_subquery(std::uint64_t query_id);
   void maybe_start_handoff(NodeId node_id);
   void send_distress(NodeId hot_id, Clique clique, int attempt);
+  /// Sends one message over the (faulty) network: rolls the drop dice,
+  /// adds link latency, and delivers only if the destination is alive.
+  void send_message(std::uint32_t from, std::uint32_t to, std::size_t bytes,
+                    std::function<void()> deliver);
+  [[nodiscard]] bool suspected(NodeId id) const;
+  void suspect(NodeId id);
+  void absolve(NodeId id);
+  void wipe_node(NodeId id);  // crash handler: volatile state only
+  /// Throws if a Pending entry survived quiescence (satellite guard).
+  void check_quiescence() const;
   [[nodiscard]] sim::SimTime service_time(const EvalBreakdown& b) const;
   [[nodiscard]] sim::SimTime maintenance_time(const MaintenanceStats& m) const;
   [[nodiscard]] std::vector<ChunkKey> subquery_chunks(
@@ -201,10 +295,15 @@ class StashCluster {
   ClusterConfig config_;
   sim::EventLoop loop_;
   ZeroHopDht dht_;
+  sim::FaultInjector fault_;
   std::shared_ptr<const NamGenerator> generator_;
   GalileoStore store_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::unordered_map<std::uint64_t, Pending> pending_;
+  /// Per-node circuit breaker: while now < suspect_until the front-end
+  /// routes around the node instead of paying the timeout again.
+  std::vector<sim::SimTime> suspect_until_;
+  Rng frontend_rng_;  // retry jitter only: node Rngs stay untouched
   std::uint64_t next_query_id_ = 0;
   ClusterMetrics metrics_;
 };

@@ -42,8 +42,12 @@ class RoutingTable {
   /// number purged.
   std::size_t purge(sim::SimTime now, sim::SimTime ttl);
 
-  /// Drops every entry pointing at `helper` (e.g. helper purged its guests).
+  /// Drops every entry pointing at `helper` (e.g. helper purged its guests,
+  /// or a timeout marked it suspected-dead).
   std::size_t drop_helper(NodeId helper);
+
+  /// Drops everything (node crash: routing state is volatile).
+  void clear() noexcept { entries_.clear(); }
 
   [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
   [[nodiscard]] bool empty() const noexcept { return entries_.empty(); }

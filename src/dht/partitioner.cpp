@@ -22,6 +22,9 @@ std::string ZeroHopDht::partition_key(std::string_view gh) const {
 }
 
 NodeId ZeroHopDht::node_for(std::string_view gh) const {
+  if (gh.size() < static_cast<std::size_t>(prefix_length_))
+    throw std::invalid_argument(
+        "ZeroHopDht::node_for: geohash shorter than the partition prefix");
   return node_for_partition(
       gh.substr(0, static_cast<std::size_t>(prefix_length_)));
 }
@@ -30,6 +33,11 @@ NodeId ZeroHopDht::node_for_partition(std::string_view partition) const {
   if (partition.size() != static_cast<std::size_t>(prefix_length_))
     throw std::invalid_argument("ZeroHopDht::node_for_partition: bad key length");
   return static_cast<NodeId>(mix64(fnv1a(partition)) % num_nodes_);
+}
+
+NodeId ZeroHopDht::successor_for_partition(std::string_view partition,
+                                           std::uint32_t k) const {
+  return (node_for_partition(partition) + k) % num_nodes_;
 }
 
 NodeId ZeroHopDht::node_for_point(const LatLng& point) const {

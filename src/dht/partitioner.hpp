@@ -32,11 +32,19 @@ class ZeroHopDht {
   /// at least prefix_length characters long.
   [[nodiscard]] std::string partition_key(std::string_view gh) const;
 
-  /// Owner node of a geohash (any precision >= prefix_length).
+  /// Owner node of a geohash.  Throws std::invalid_argument for geohashes
+  /// shorter than prefix_length — a truncated key cannot name a partition.
   [[nodiscard]] NodeId node_for(std::string_view gh) const;
 
   /// Owner node of a partition key (exactly prefix_length characters).
   [[nodiscard]] NodeId node_for_partition(std::string_view partition) const;
+
+  /// k-th successor of a partition's owner on the node ring — the failover
+  /// target when the owner is unreachable: any node can re-scan the
+  /// partition from durable storage, so the next live ring member takes
+  /// over.  k == 0 is the owner itself; k wraps modulo the cluster size.
+  [[nodiscard]] NodeId successor_for_partition(std::string_view partition,
+                                               std::uint32_t k) const;
 
   /// Owner node of a raw point.
   [[nodiscard]] NodeId node_for_point(const LatLng& point) const;

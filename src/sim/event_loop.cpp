@@ -13,25 +13,51 @@ void EventLoop::schedule(SimTime delay, Action action) {
 void EventLoop::schedule_at(SimTime when, Action action) {
   if (when < now_)
     throw std::invalid_argument("EventLoop::schedule_at: time in the past");
-  queue_.push(Event{when, next_seq_++, std::move(action)});
+  queue_.push(Event{when, next_seq_++, 0, std::move(action)});
+}
+
+EventLoop::EventId EventLoop::schedule_cancellable(SimTime delay, Action action) {
+  if (delay < 0)
+    throw std::invalid_argument("EventLoop::schedule_cancellable: negative delay");
+  const EventId id = next_id_++;
+  queue_.push(Event{now_ + delay, next_seq_++, id, std::move(action)});
+  return id;
+}
+
+void EventLoop::cancel(EventId id) {
+  if (id != 0) cancelled_.insert(id);
+}
+
+bool EventLoop::pop_next(Event& out) {
+  // Move out of the queue before popping: the action may schedule more.
+  out = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  if (out.id != 0) {
+    const auto it = cancelled_.find(out.id);
+    if (it != cancelled_.end()) {
+      cancelled_.erase(it);
+      return false;  // skipped: the clock does not advance to a dead timer
+    }
+  }
+  return true;
 }
 
 SimTime EventLoop::run() {
   while (!queue_.empty()) {
-    // Move out of the queue before popping: the action may schedule more.
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
+    Event ev;
+    if (!pop_next(ev)) continue;
     now_ = ev.when;
     ++executed_;
     ev.action();
   }
+  cancelled_.clear();  // ids of timers that outlived every live event
   return now_;
 }
 
 SimTime EventLoop::run_until(SimTime deadline) {
   while (!queue_.empty() && queue_.top().when <= deadline) {
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
+    Event ev;
+    if (!pop_next(ev)) continue;
     now_ = ev.when;
     ++executed_;
     ev.action();

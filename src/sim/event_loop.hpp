@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <unordered_set>
 #include <vector>
 
 #include "sim/clock.hpp"
@@ -18,6 +19,8 @@ namespace stash::sim {
 class EventLoop {
  public:
   using Action = std::function<void()>;
+  /// Handle for a cancellable event (timers).  0 is never a valid id.
+  using EventId = std::uint64_t;
 
   [[nodiscard]] SimTime now() const noexcept { return now_; }
 
@@ -27,22 +30,36 @@ class EventLoop {
   /// Schedules at an absolute virtual time (>= now()).
   void schedule_at(SimTime when, Action action);
 
+  /// Schedules a cancellable event (e.g. a timeout) and returns its id.
+  /// A cancelled event is skipped silently *without advancing the clock*,
+  /// so an armed-but-unused timer never stretches the run.
+  EventId schedule_cancellable(SimTime delay, Action action);
+
+  /// Cancels a pending cancellable event.  No-op for unknown/fired ids.
+  void cancel(EventId id);
+
   /// Runs until no events remain. Returns the final virtual time.
   SimTime run();
 
   /// Runs until the queue empties or the clock passes `deadline`.
   SimTime run_until(SimTime deadline);
 
+  /// Runs for at most `duration` virtual time from now (deadline guard for
+  /// runs that must terminate even if events keep rescheduling).
+  SimTime run_for(SimTime duration) { return run_until(now_ + duration); }
+
   [[nodiscard]] bool empty() const noexcept { return queue_.empty(); }
   [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }
 
   /// Total number of events executed (diagnostics / determinism checks).
+  /// Cancelled events are skipped, not executed.
   [[nodiscard]] std::uint64_t executed() const noexcept { return executed_; }
 
  private:
   struct Event {
     SimTime when;
     std::uint64_t seq;
+    EventId id;  // 0: not cancellable
     Action action;
   };
   struct Later {
@@ -51,9 +68,14 @@ class EventLoop {
     }
   };
 
+  /// Pops the next event; returns false if it was cancelled (skipped).
+  bool pop_next(Event& out);
+
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::unordered_set<EventId> cancelled_;
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
   std::uint64_t executed_ = 0;
 };
 

@@ -1,0 +1,87 @@
+#include "sim/fault.hpp"
+
+#include <stdexcept>
+
+namespace stash::sim {
+
+FaultInjector::FaultInjector(FaultPlan plan, std::uint32_t num_nodes)
+    : plan_(std::move(plan)), up_(num_nodes, 1), rng_(plan_.seed) {
+  for (const auto& crash : plan_.crashes) {
+    if (crash.node >= num_nodes)
+      throw std::invalid_argument("FaultPlan: crash targets unknown node");
+    if (crash.at < 0)
+      throw std::invalid_argument("FaultPlan: crash time must be >= 0");
+    if (crash.restart_at != kNever && crash.restart_at <= crash.at)
+      throw std::invalid_argument("FaultPlan: restart must follow the crash");
+  }
+  for (const auto& rule : plan_.links) {
+    if (rule.drop_probability < 0.0 || rule.drop_probability > 1.0)
+      throw std::invalid_argument("FaultPlan: drop probability outside [0,1]");
+    if (rule.extra_latency < 0)
+      throw std::invalid_argument("FaultPlan: negative extra latency");
+  }
+}
+
+void FaultInjector::arm(EventLoop& loop) {
+  if (armed_) throw std::logic_error("FaultInjector: arm() called twice");
+  armed_ = true;
+  for (const auto& crash : plan_.crashes) {
+    loop.schedule_at(crash.at,
+                     [this, node = crash.node] { force_crash(node); });
+    if (crash.restart_at != kNever)
+      loop.schedule_at(crash.restart_at,
+                       [this, node = crash.node] { force_restart(node); });
+  }
+}
+
+void FaultInjector::force_crash(std::uint32_t node) {
+  if (node >= up_.size())
+    throw std::invalid_argument("FaultInjector::force_crash: unknown node");
+  if (!up_[node]) return;
+  up_[node] = 0;
+  ++stats_.crashes;
+  if (on_crash_) on_crash_(node);
+}
+
+void FaultInjector::force_restart(std::uint32_t node) {
+  if (node >= up_.size())
+    throw std::invalid_argument("FaultInjector::force_restart: unknown node");
+  if (up_[node]) return;
+  up_[node] = 1;
+  ++stats_.restarts;
+  if (on_restart_) on_restart_(node);
+}
+
+bool FaultInjector::alive(std::uint32_t node) const {
+  if (node >= up_.size()) return true;  // frontend / external endpoints
+  return up_[node] != 0;
+}
+
+const LinkRule* FaultInjector::match(std::uint32_t from,
+                                     std::uint32_t to) const {
+  for (const auto& rule : plan_.links) {
+    const bool from_ok = rule.from == kAnyNode || rule.from == from;
+    const bool to_ok = rule.to == kAnyNode || rule.to == to;
+    if (from_ok && to_ok) return &rule;
+  }
+  return nullptr;
+}
+
+bool FaultInjector::should_drop(std::uint32_t from, std::uint32_t to) {
+  const LinkRule* rule = match(from, to);
+  if (rule == nullptr || rule->drop_probability <= 0.0) return false;
+  if (rng_.bernoulli(rule->drop_probability)) {
+    ++stats_.messages_dropped;
+    return true;
+  }
+  return false;
+}
+
+SimTime FaultInjector::extra_latency(std::uint32_t from, std::uint32_t to) {
+  const LinkRule* rule = match(from, to);
+  if (rule == nullptr || rule->extra_latency <= 0) return 0;
+  ++stats_.messages_delayed;
+  return rule->extra_latency;
+}
+
+}  // namespace stash::sim

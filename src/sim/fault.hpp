@@ -1,0 +1,118 @@
+// Deterministic fault injection for the simulated cluster.
+//
+// The paper treats STASH as *volatile* middleware over a durable Galileo
+// store (§IV, §VII): cached Cliques, guest replicas, and routing entries
+// may vanish at any moment, and the system must keep answering from
+// storage.  A FaultPlan scripts that adversity against the discrete-event
+// loop: node crashes at virtual time T (wiping volatile state; storage
+// survives), cold restarts at T', seeded per-link message loss, and
+// inflated link latency (slow-node / gray-failure mode).  All randomness
+// flows through one Rng, so the same seed + the same plan reproduce a
+// bit-identical run — crash tests are as repeatable as the happy path.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sim/event_loop.hpp"
+
+namespace stash::sim {
+
+/// Wildcard endpoint for LinkRule matching.
+inline constexpr std::uint32_t kAnyNode = 0xffffffffu;
+/// Pseudo-node id for the query front-end (scatter/gather coordinator).
+inline constexpr std::uint32_t kFrontendNode = 0xfffffffeu;
+/// Sentinel for "never restarts" in CrashEvent.
+inline constexpr SimTime kNever = -1;
+
+/// One scripted crash: the node dies at `at` (volatile state is wiped by
+/// the owner of the injector) and optionally restarts cold at `restart_at`.
+struct CrashEvent {
+  std::uint32_t node = 0;
+  SimTime at = 0;
+  SimTime restart_at = kNever;
+};
+
+/// Degrades messages on matching links.  `from`/`to` may be kAnyNode; the
+/// first matching rule wins, so specific rules should precede wildcards.
+/// A message is dropped with `drop_probability`; surviving messages gain
+/// `extra_latency` (gray failure: slow, not dead).
+struct LinkRule {
+  std::uint32_t from = kAnyNode;
+  std::uint32_t to = kAnyNode;
+  double drop_probability = 0.0;
+  SimTime extra_latency = 0;
+};
+
+/// A complete scripted failure scenario.  Empty plan == healthy cluster.
+struct FaultPlan {
+  std::vector<CrashEvent> crashes;
+  std::vector<LinkRule> links;
+  std::uint64_t seed = 0x4641554c54ULL;  // "FAULT"
+
+  [[nodiscard]] bool empty() const noexcept {
+    return crashes.empty() && links.empty();
+  }
+};
+
+/// Counters the injector accumulates (observability for tests/benches).
+struct FaultStats {
+  std::uint64_t crashes = 0;
+  std::uint64_t restarts = 0;
+  std::uint64_t messages_dropped = 0;
+  std::uint64_t messages_delayed = 0;
+};
+
+/// Executes a FaultPlan against an EventLoop and answers liveness /
+/// link-quality queries for the system under test.
+///
+/// The owner installs crash/restart handlers (to wipe or rebuild volatile
+/// state) and calls `arm()` once to schedule the plan's events.  Message
+/// sends consult `should_drop()` (consumes randomness — call exactly once
+/// per message) and `extra_latency()`; deliveries consult `alive()`.
+class FaultInjector {
+ public:
+  using NodeHandler = std::function<void(std::uint32_t node)>;
+
+  FaultInjector(FaultPlan plan, std::uint32_t num_nodes);
+
+  /// Handler invoked when a node crashes / restarts (install before arm()).
+  void set_crash_handler(NodeHandler handler) { on_crash_ = std::move(handler); }
+  void set_restart_handler(NodeHandler handler) { on_restart_ = std::move(handler); }
+
+  /// Schedules every crash/restart in the plan on `loop`.  Call once.
+  void arm(EventLoop& loop);
+
+  /// Immediate (unscripted) crash/restart — for interactive drivers and
+  /// tests that steer faults directly.  No-ops if already in that state.
+  void force_crash(std::uint32_t node);
+  void force_restart(std::uint32_t node);
+
+  /// Is the node up right now?  The frontend pseudo-node is always alive.
+  [[nodiscard]] bool alive(std::uint32_t node) const;
+
+  /// Rolls the dice for one message on the from→to link.  Deterministic
+  /// given the (seeded) call sequence, which the event loop guarantees.
+  [[nodiscard]] bool should_drop(std::uint32_t from, std::uint32_t to);
+
+  /// Additional one-way latency on the from→to link (gray failure).
+  [[nodiscard]] SimTime extra_latency(std::uint32_t from, std::uint32_t to);
+
+  [[nodiscard]] const FaultStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const FaultPlan& plan() const noexcept { return plan_; }
+
+ private:
+  [[nodiscard]] const LinkRule* match(std::uint32_t from, std::uint32_t to) const;
+
+  FaultPlan plan_;
+  std::vector<char> up_;  // per-node liveness (char: vector<bool> is a trap)
+  Rng rng_;
+  FaultStats stats_;
+  NodeHandler on_crash_;
+  NodeHandler on_restart_;
+  bool armed_ = false;
+};
+
+}  // namespace stash::sim

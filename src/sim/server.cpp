@@ -27,12 +27,22 @@ void SimServer::dispatch(Pending pending) {
   if (duration < 0)
     throw std::logic_error("SimServer: job returned negative service time");
   service_time_ += duration;
-  loop_.schedule(duration, [this, done = std::move(pending.on_complete)] {
-    --busy_;
-    ++completed_;
-    if (done) done();
-    try_dispatch();
-  });
+  loop_.schedule(duration,
+                 [this, epoch = epoch_, done = std::move(pending.on_complete)] {
+                   if (epoch != epoch_) return;  // server was reset mid-service
+                   --busy_;
+                   ++completed_;
+                   if (done) done();
+                   try_dispatch();
+                 });
+}
+
+std::size_t SimServer::reset() {
+  const std::size_t dropped = queue_.size() + static_cast<std::size_t>(busy_);
+  queue_.clear();
+  busy_ = 0;
+  ++epoch_;
+  return dropped;
 }
 
 void SimServer::try_dispatch() {

@@ -27,6 +27,13 @@ class SimServer {
   /// Enqueues a job; `on_complete` (optional) fires when it finishes.
   void submit(Job job, Completion on_complete = nullptr);
 
+  /// Crash semantics: drops every queued job and silently discards the
+  /// completions of jobs currently being serviced (their worker-finish
+  /// events become no-ops).  The server itself stays usable — submitting
+  /// after reset() models a cold restart.  Returns jobs thrown away
+  /// (queued + in service).
+  std::size_t reset();
+
   /// Jobs waiting for a worker (excludes the ones being serviced).
   [[nodiscard]] std::size_t queue_length() const noexcept { return queue_.size(); }
   [[nodiscard]] int busy_workers() const noexcept { return busy_; }
@@ -52,6 +59,7 @@ class SimServer {
   EventLoop& loop_;
   int workers_;
   int busy_ = 0;
+  std::uint64_t epoch_ = 0;  // bumped by reset(): orphans in-flight completions
   std::deque<Pending> queue_;
   std::uint64_t completed_ = 0;
   SimTime service_time_ = 0;

@@ -4,8 +4,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <string>
+#include <vector>
+
 #include "cluster/cluster.hpp"
 #include "common/civil_time.hpp"
+#include "geo/geohash.hpp"
 #include "workload/workload.hpp"
 
 namespace stash::cluster {
@@ -184,6 +189,287 @@ TEST(FailureInjectionTest, ZeroDataRegionsUnderAllModes) {
           << "known-empty chunks should be cached";
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// Node-crash fault injection: the scatter/gather must degrade, never hang.
+// ---------------------------------------------------------------------------
+
+/// Fault-test defaults: tight timeouts so scripted crashes resolve fast.
+ClusterConfig fault_config() {
+  ClusterConfig config;
+  config.num_nodes = 16;
+  config.subquery_timeout = 50 * sim::kMillisecond;
+  config.retry_backoff = 5 * sim::kMillisecond;
+  return config;
+}
+
+AggregationQuery wide_query() {
+  AggregationQuery q = county_query();
+  q.area = q.area.scaled(16.0);
+  return q;
+}
+
+void expect_cells_equal(const CellSummaryMap& got, const CellSummaryMap& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (const auto& [key, summary] : want) {
+    const auto it = got.find(key);
+    ASSERT_NE(it, got.end()) << key.label();
+    EXPECT_TRUE(summary.approx_equals(it->second)) << key.label();
+  }
+}
+
+/// Full-query reference cells from a healthy Basic-mode cluster.
+CellSummaryMap reference_cells(const AggregationQuery& query) {
+  ClusterConfig config;
+  config.num_nodes = 16;
+  config.mode = SystemMode::Basic;
+  StashCluster cluster(config, shared_generator());
+  CellSummaryMap cells;
+  cluster.run_query(query, &cells);
+  return cells;
+}
+
+TEST(FaultToleranceTest, CrashDuringScatterYieldsExactLivePartitionSubset) {
+  // One owner is dead and stays dead; failover is off, so its partitions
+  // exhaust their attempts.  The query must still complete, flagged
+  // partial, and every returned Cell must match the Basic-mode reference
+  // for the partitions that were alive — degraded, never corrupted.
+  const AggregationQuery query = wide_query();
+  const auto partitions = geohash::covering(query.area, 2);
+  ASSERT_GT(partitions.size(), 1u) << "scenario needs a multi-partition scatter";
+
+  ClusterConfig config = fault_config();
+  config.failover_to_successor = false;
+  config.subquery_max_attempts = 2;
+  const ZeroHopDht dht(config.num_nodes, config.partition_prefix_length);
+  const NodeId victim = dht.node_for_partition(partitions.front());
+  config.fault_plan.crashes.push_back({.node = victim, .at = 0});
+  StashCluster cluster(config, shared_generator());
+
+  CellSummaryMap got;
+  const QueryStats stats = cluster.run_query(query, &got);
+
+  std::size_t dead_partitions = 0;
+  for (const auto& p : partitions)
+    if (dht.node_for_partition(p) == victim) ++dead_partitions;
+  ASSERT_GT(dead_partitions, 0u);
+
+  EXPECT_TRUE(stats.partial);
+  EXPECT_EQ(stats.failed_subqueries, dead_partitions);
+  EXPECT_EQ(stats.failovers, 0u);
+  EXPECT_GT(stats.retries, 0u);
+  EXPECT_EQ(cluster.metrics().node_crashes, 1u);
+  EXPECT_EQ(cluster.metrics().partial_queries, 1u);
+  EXPECT_GT(cluster.metrics().timeouts_fired, 0u);
+
+  // Live-partition subset of the full Basic-mode reference, exactly.
+  CellSummaryMap expected;
+  for (auto& [key, summary] : reference_cells(query)) {
+    const std::string partition = key.geohash_str().substr(0, 2);
+    if (dht.node_for_partition(partition) != victim)
+      expected.emplace(key, summary);
+  }
+  ASSERT_LT(expected.size(), reference_cells(query).size())
+      << "victim owned no data: scenario is vacuous";
+  expect_cells_equal(got, expected);
+}
+
+TEST(FaultToleranceTest, FailoverServesDeadOwnersPartitionsFromStorage) {
+  // With successor failover on (the default), a crashed owner degrades
+  // latency only: the next live ring node re-scans the partition from the
+  // durable store and the results stay complete and exact.
+  const AggregationQuery query = wide_query();
+  ClusterConfig config = fault_config();
+  const ZeroHopDht dht(config.num_nodes, config.partition_prefix_length);
+  const NodeId victim =
+      dht.node_for_partition(geohash::covering(query.area, 2).front());
+  config.fault_plan.crashes.push_back({.node = victim, .at = 0});
+  StashCluster cluster(config, shared_generator());
+
+  CellSummaryMap got;
+  const QueryStats stats = cluster.run_query(query, &got);
+  EXPECT_FALSE(stats.partial);
+  EXPECT_EQ(stats.failed_subqueries, 0u);
+  EXPECT_GT(stats.failovers, 0u);
+  expect_cells_equal(got, reference_cells(query));
+
+  // The circuit breaker remembers: a second query fails over on its first
+  // attempt instead of paying the timeout again.
+  EXPECT_TRUE(cluster.node_suspected(victim));
+  CellSummaryMap again;
+  const QueryStats repeat = cluster.run_query(query, &again);
+  EXPECT_FALSE(repeat.partial);
+  EXPECT_EQ(repeat.retries, 0u);
+  EXPECT_GT(repeat.failovers, 0u);
+  expect_cells_equal(again, reference_cells(query));
+}
+
+TEST(FaultToleranceTest, CrashThenRestartConvergesToFullResults) {
+  // Failover off: retries keep knocking on the owner until it restarts
+  // cold, then the partition is re-scanned from storage — full results.
+  const AggregationQuery query = wide_query();
+  ClusterConfig config = fault_config();
+  config.failover_to_successor = false;
+  config.subquery_max_attempts = 8;
+  config.retry_backoff = 500 * sim::kMillisecond;
+  const ZeroHopDht dht(config.num_nodes, config.partition_prefix_length);
+  const NodeId victim =
+      dht.node_for_partition(geohash::covering(query.area, 2).front());
+  config.fault_plan.crashes.push_back(
+      {.node = victim, .at = 0, .restart_at = 5 * sim::kSecond});
+  StashCluster cluster(config, shared_generator());
+
+  CellSummaryMap got;
+  const QueryStats stats = cluster.run_query(query, &got);
+  EXPECT_FALSE(stats.partial);
+  EXPECT_EQ(stats.failed_subqueries, 0u);
+  EXPECT_GT(stats.retries, 0u);
+  EXPECT_EQ(cluster.metrics().node_restarts, 1u);
+  EXPECT_TRUE(cluster.node_alive(victim));
+  expect_cells_equal(got, reference_cells(query));
+}
+
+TEST(FaultToleranceTest, TimersDisabledCrashFailsLoudlyNotSilently) {
+  // Legacy behavior (no timeouts) + a dead owner used to hang run_query
+  // forever; the quiescence guard now turns that into a loud error.
+  ClusterConfig config = fault_config();
+  config.subquery_timeout = 0;
+  const ZeroHopDht dht(config.num_nodes, config.partition_prefix_length);
+  const NodeId victim =
+      dht.node_for_partition(geohash::covering(wide_query().area, 2).front());
+  config.fault_plan.crashes.push_back({.node = victim, .at = 0});
+  StashCluster cluster(config, shared_generator());
+  EXPECT_THROW(cluster.run_query(wide_query()), std::runtime_error);
+}
+
+TEST(FaultToleranceTest, MessageLossIsAbsorbedByRetries) {
+  // 2% loss on every link: retries make every query complete and correct;
+  // the drops and retries are visible in the metrics.
+  ClusterConfig config = fault_config();
+  config.subquery_timeout = 500 * sim::kMillisecond;
+  config.fault_plan.links.push_back({.drop_probability = 0.02});
+  StashCluster cluster(config, shared_generator());
+
+  const auto burst = burst_around(county_query(), 150, 29);
+  const auto stats = cluster.run_open_loop(burst, 20);
+  const auto expected = reference_cell_counts(burst);
+  for (std::size_t i = 0; i < burst.size(); ++i) {
+    EXPECT_FALSE(stats[i].partial) << "query " << i;
+    EXPECT_EQ(stats[i].result_cells, expected[i]) << "query " << i;
+  }
+  EXPECT_GT(cluster.metrics().messages_dropped, 0u);
+  EXPECT_GT(cluster.metrics().subquery_retries, 0u);
+  EXPECT_EQ(cluster.metrics().node_crashes, 0u);
+}
+
+TEST(FaultToleranceTest, HelperCrashDuringHandoffRetriesViaNackPath) {
+  // Phase 1 (healthy): find which nodes end up hosting guest replicas.
+  ClusterConfig config = hot_config();
+  config.subquery_timeout = 2 * sim::kSecond;
+  config.handoff_timeout = 100 * sim::kMillisecond;
+  const auto warm = wide_query();
+  const auto burst = burst_around(county_query(), 300, 11);
+
+  std::vector<NodeId> helpers;
+  {
+    StashCluster healthy(config, shared_generator());
+    healthy.run_query(warm);
+    healthy.run_open_loop(burst, 20);
+    ASSERT_GT(healthy.metrics().cliques_replicated, 0u)
+        << "scenario never handed off: nothing to crash";
+    for (NodeId id = 0; id < config.num_nodes; ++id)
+      if (healthy.node_guest_graph(id).total_cells() > 0) helpers.push_back(id);
+    ASSERT_FALSE(helpers.empty());
+  }
+
+  // Phase 2: the same traffic, but every would-be helper is dead.  The
+  // Distress/Ack protocol must time out, treat the silence as a NACK, and
+  // wander on — no stuck clique, no hung query, no wrong answer.
+  for (const NodeId helper : helpers)
+    config.fault_plan.crashes.push_back({.node = helper, .at = 0});
+  StashCluster cluster(config, shared_generator());
+  cluster.run_query(warm);
+  const auto stats = cluster.run_open_loop(burst, 20);
+
+  const auto& m = cluster.metrics();
+  EXPECT_GT(m.handoffs_initiated, 0u);
+  EXPECT_GT(m.handoff_timeouts, 0u) << "no distress ever hit a dead helper";
+  EXPECT_GT(m.cliques_replicated, 0u) << "antipode retry never recovered";
+  for (const NodeId helper : helpers)
+    EXPECT_EQ(cluster.node_guest_graph(helper).total_cells(), 0u);
+
+  const auto expected = reference_cell_counts(burst);
+  for (std::size_t i = 0; i < burst.size(); ++i)
+    EXPECT_EQ(stats[i].result_cells, expected[i]) << "query " << i;
+}
+
+TEST(FaultToleranceTest, SameSeedSamePlanIsBitIdentical) {
+  // Chaos is replayable: identical seed + FaultPlan => identical QueryStats
+  // and identical metrics, twice in a row.
+  struct Fingerprint {
+    std::vector<sim::SimTime> latencies;
+    std::vector<std::size_t> cells;
+    std::vector<std::size_t> retries, failovers, failed;
+    std::vector<bool> partial;
+    std::uint64_t queries_completed, subqueries_processed, reroutes,
+        node_crashes, node_restarts, messages_dropped, timeouts_fired,
+        subquery_retries, total_failovers, failed_subqueries, partial_queries,
+        handoff_timeouts, events;
+    bool operator==(const Fingerprint&) const = default;
+  };
+
+  const auto run_chaos = [](std::uint64_t fault_seed) {
+    ClusterConfig config = hot_config();
+    config.subquery_timeout = 100 * sim::kMillisecond;
+    config.retry_backoff = 5 * sim::kMillisecond;
+    const ZeroHopDht dht(config.num_nodes, config.partition_prefix_length);
+    const NodeId victim =
+        dht.node_for_partition(geohash::covering(county_query().area, 2).front());
+    config.fault_plan.seed = fault_seed;
+    config.fault_plan.crashes.push_back(
+        {.node = victim, .at = 2 * sim::kMillisecond,
+         .restart_at = 50 * sim::kMillisecond});
+    config.fault_plan.links.push_back({.drop_probability = 0.02});
+    StashCluster cluster(config, shared_generator());
+
+    Fingerprint fp;
+    cluster.run_query(wide_query());
+    for (const auto& s :
+         cluster.run_open_loop(burst_around(county_query(), 200, 31), 20)) {
+      fp.latencies.push_back(s.latency());
+      fp.cells.push_back(s.result_cells);
+      fp.retries.push_back(s.retries);
+      fp.failovers.push_back(s.failovers);
+      fp.failed.push_back(s.failed_subqueries);
+      fp.partial.push_back(s.partial);
+    }
+    const auto& m = cluster.metrics();
+    fp.queries_completed = m.queries_completed;
+    fp.subqueries_processed = m.subqueries_processed;
+    fp.reroutes = m.reroutes;
+    fp.node_crashes = m.node_crashes;
+    fp.node_restarts = m.node_restarts;
+    fp.messages_dropped = m.messages_dropped;
+    fp.timeouts_fired = m.timeouts_fired;
+    fp.subquery_retries = m.subquery_retries;
+    fp.total_failovers = m.failovers;
+    fp.failed_subqueries = m.failed_subqueries;
+    fp.partial_queries = m.partial_queries;
+    fp.handoff_timeouts = m.handoff_timeouts;
+    fp.events = cluster.loop().executed();
+    return fp;
+  };
+
+  const Fingerprint a = run_chaos(1234);
+  const Fingerprint b = run_chaos(1234);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.node_crashes, 1u);
+  EXPECT_EQ(a.node_restarts, 1u);
+  EXPECT_GT(a.messages_dropped, 0u);
+  // A different fault seed reshuffles which messages die.
+  const Fingerprint c = run_chaos(4321);
+  EXPECT_NE(a, c);
 }
 
 }  // namespace

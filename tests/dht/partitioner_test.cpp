@@ -100,6 +100,33 @@ TEST(ZeroHopDhtTest, SpatialLocalityWithinPartition) {
   }
 }
 
+TEST(ZeroHopDhtTest, ShortGeohashIsRejectedEverywhere) {
+  // Truncated keys cannot name a partition: explicit errors, never UB or a
+  // silently-wrong owner.
+  const ZeroHopDht dht(10, 2);
+  EXPECT_THROW((void)dht.node_for("9"), std::invalid_argument);
+  EXPECT_THROW((void)dht.node_for(""), std::invalid_argument);
+  EXPECT_THROW((void)dht.node_for_partition("9"), std::invalid_argument);
+  EXPECT_THROW((void)dht.node_for_partition("9q8"), std::invalid_argument);
+  EXPECT_THROW((void)dht.successor_for_partition("9", 1), std::invalid_argument);
+  EXPECT_NO_THROW((void)dht.node_for("9q"));
+}
+
+TEST(ZeroHopDhtTest, SuccessorWalksTheRing) {
+  const ZeroHopDht dht(7, 2);
+  const NodeId owner = dht.node_for_partition("9q");
+  EXPECT_EQ(dht.successor_for_partition("9q", 0), owner);
+  EXPECT_EQ(dht.successor_for_partition("9q", 1), (owner + 1) % 7);
+  EXPECT_EQ(dht.successor_for_partition("9q", 7), owner);  // wraps
+  // k = 1..n-1 enumerates every other node exactly once (full failover
+  // coverage: some live node always takes the partition).
+  std::set<NodeId> seen;
+  for (std::uint32_t k = 1; k < 7; ++k)
+    seen.insert(dht.successor_for_partition("9q", k));
+  EXPECT_EQ(seen.size(), 6u);
+  EXPECT_EQ(seen.count(owner), 0u);
+}
+
 TEST(ZeroHopDhtTest, DifferentClusterSizesRedistribute) {
   const ZeroHopDht small(4, 2);
   const ZeroHopDht large(120, 2);

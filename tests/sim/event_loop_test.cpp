@@ -87,6 +87,70 @@ TEST(EventLoopTest, RunUntilAdvancesClockWhenIdle) {
   EXPECT_EQ(loop.now(), 500);
 }
 
+TEST(EventLoopTest, RunForIsRelativeToNow) {
+  EventLoop loop;
+  int ran = 0;
+  loop.schedule(10, [&] { ++ran; });
+  loop.schedule(100, [&] { ++ran; });
+  loop.run_for(50);
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(loop.now(), 50);
+  loop.run_for(50);  // 50 + 50 reaches the second event
+  EXPECT_EQ(ran, 2);
+  EXPECT_EQ(loop.now(), 100);
+}
+
+TEST(EventLoopTest, CancelledTimerNeverFires) {
+  EventLoop loop;
+  int fired = 0;
+  const auto id = loop.schedule_cancellable(100, [&] { ++fired; });
+  loop.schedule(10, [&] { loop.cancel(id); });
+  loop.run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(EventLoopTest, CancelledTimerDoesNotAdvanceTheClock) {
+  // An armed-but-unused timeout must not stretch a run to quiescence —
+  // otherwise every query would push virtual time out by its timeout.
+  EventLoop loop;
+  const auto id = loop.schedule_cancellable(1000000, [] { FAIL(); });
+  loop.schedule(10, [&] { loop.cancel(id); });
+  const SimTime end = loop.run();
+  EXPECT_EQ(end, 10);
+  EXPECT_EQ(loop.now(), 10);
+  EXPECT_EQ(loop.executed(), 1u);  // skipped events are not "executed"
+}
+
+TEST(EventLoopTest, UncancelledTimerFiresNormally) {
+  EventLoop loop;
+  int fired = 0;
+  loop.schedule_cancellable(30, [&] { ++fired; });
+  loop.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(loop.now(), 30);
+}
+
+TEST(EventLoopTest, CancelUnknownIdIsANoOp) {
+  EventLoop loop;
+  loop.cancel(0);
+  loop.cancel(424242);
+  int ran = 0;
+  loop.schedule(5, [&] { ++ran; });
+  loop.run();
+  EXPECT_EQ(ran, 1);
+}
+
+TEST(EventLoopTest, CancellableIdsAreUniqueAndIndependent) {
+  EventLoop loop;
+  int fired = 0;
+  const auto a = loop.schedule_cancellable(10, [&] { fired += 1; });
+  const auto b = loop.schedule_cancellable(10, [&] { fired += 10; });
+  EXPECT_NE(a, b);
+  loop.cancel(a);
+  loop.run();
+  EXPECT_EQ(fired, 10);  // only the cancelled one is suppressed
+}
+
 TEST(ClockTest, FormatDuration) {
   EXPECT_EQ(format_duration(500), "500us");
   EXPECT_EQ(format_duration(2500), "2.5ms");

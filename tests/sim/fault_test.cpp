@@ -1,0 +1,165 @@
+// FaultInjector unit tests: scripted crashes/restarts fire at the right
+// virtual times, link rules drop and delay deterministically, and invalid
+// plans are rejected up front.
+
+#include "sim/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace stash::sim {
+namespace {
+
+TEST(FaultInjectorTest, PlanValidation) {
+  const auto with_crash = [](CrashEvent crash) {
+    FaultPlan plan;
+    plan.crashes.push_back(crash);
+    return plan;
+  };
+  const auto with_link = [](LinkRule link) {
+    FaultPlan plan;
+    plan.links.push_back(link);
+    return plan;
+  };
+  EXPECT_THROW(FaultInjector(with_crash({.node = 5, .at = 0}), 4),
+               std::invalid_argument);
+  EXPECT_THROW(FaultInjector(with_crash({.node = 0, .at = -1}), 4),
+               std::invalid_argument);
+  EXPECT_THROW(
+      FaultInjector(with_crash({.node = 0, .at = 10, .restart_at = 10}), 4),
+      std::invalid_argument);
+  EXPECT_THROW(FaultInjector(with_link({.drop_probability = 1.5}), 4),
+               std::invalid_argument);
+  EXPECT_THROW(FaultInjector(with_link({.extra_latency = -1}), 4),
+               std::invalid_argument);
+  EXPECT_NO_THROW(FaultInjector({}, 4));
+}
+
+TEST(FaultInjectorTest, CrashAndRestartFollowTheSchedule) {
+  EventLoop loop;
+  FaultPlan plan;
+  plan.crashes.push_back({.node = 2, .at = 100, .restart_at = 300});
+  FaultInjector injector(plan, 4);
+  std::vector<SimTime> crash_times, restart_times;
+  injector.set_crash_handler(
+      [&](std::uint32_t node) {
+        EXPECT_EQ(node, 2u);
+        crash_times.push_back(loop.now());
+      });
+  injector.set_restart_handler(
+      [&](std::uint32_t node) {
+        EXPECT_EQ(node, 2u);
+        restart_times.push_back(loop.now());
+      });
+  injector.arm(loop);
+
+  EXPECT_TRUE(injector.alive(2));
+  loop.run_until(99);
+  EXPECT_TRUE(injector.alive(2));
+  loop.run_until(100);
+  EXPECT_FALSE(injector.alive(2));
+  EXPECT_TRUE(injector.alive(0));  // other nodes unaffected
+  loop.run_until(299);
+  EXPECT_FALSE(injector.alive(2));
+  loop.run();
+  EXPECT_TRUE(injector.alive(2));
+  EXPECT_EQ(crash_times, std::vector<SimTime>{100});
+  EXPECT_EQ(restart_times, std::vector<SimTime>{300});
+  EXPECT_EQ(injector.stats().crashes, 1u);
+  EXPECT_EQ(injector.stats().restarts, 1u);
+}
+
+TEST(FaultInjectorTest, ArmTwiceThrows) {
+  EventLoop loop;
+  FaultInjector injector({}, 2);
+  injector.arm(loop);
+  EXPECT_THROW(injector.arm(loop), std::logic_error);
+}
+
+TEST(FaultInjectorTest, ForceCrashIsIdempotentAndCounted) {
+  FaultInjector injector({}, 3);
+  int crashes = 0, restarts = 0;
+  injector.set_crash_handler([&](std::uint32_t) { ++crashes; });
+  injector.set_restart_handler([&](std::uint32_t) { ++restarts; });
+  injector.force_crash(1);
+  injector.force_crash(1);  // already down: no second handler call
+  EXPECT_FALSE(injector.alive(1));
+  injector.force_restart(1);
+  injector.force_restart(1);
+  EXPECT_TRUE(injector.alive(1));
+  EXPECT_EQ(crashes, 1);
+  EXPECT_EQ(restarts, 1);
+  EXPECT_THROW(injector.force_crash(99), std::invalid_argument);
+}
+
+TEST(FaultInjectorTest, FrontendPseudoNodeIsAlwaysAlive) {
+  FaultInjector injector({}, 2);
+  injector.force_crash(0);
+  injector.force_crash(1);
+  EXPECT_TRUE(injector.alive(kFrontendNode));
+  EXPECT_TRUE(injector.alive(kAnyNode));
+}
+
+TEST(FaultInjectorTest, DropProbabilityZeroAndOneAreExact) {
+  FaultPlan lossless;
+  lossless.links.push_back({.from = kAnyNode, .to = kAnyNode,
+                            .drop_probability = 0.0});
+  FaultInjector clean(lossless, 4);
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(clean.should_drop(0, 1));
+  EXPECT_EQ(clean.stats().messages_dropped, 0u);
+
+  FaultPlan lossy;
+  lossy.links.push_back({.from = kAnyNode, .to = kAnyNode,
+                         .drop_probability = 1.0});
+  FaultInjector black_hole(lossy, 4);
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(black_hole.should_drop(0, 1));
+  EXPECT_EQ(black_hole.stats().messages_dropped, 100u);
+}
+
+TEST(FaultInjectorTest, FirstMatchingLinkRuleWins) {
+  FaultPlan plan;
+  plan.links.push_back({.from = 0, .to = 1, .drop_probability = 0.0,
+                        .extra_latency = 500});
+  plan.links.push_back({.from = kAnyNode, .to = kAnyNode,
+                        .drop_probability = 1.0});
+  FaultInjector injector(plan, 4);
+  // 0 -> 1 hits the specific rule: never dropped, but slowed.
+  EXPECT_FALSE(injector.should_drop(0, 1));
+  EXPECT_EQ(injector.extra_latency(0, 1), 500);
+  // Everything else falls through to the wildcard black hole.
+  EXPECT_TRUE(injector.should_drop(1, 0));
+  EXPECT_EQ(injector.extra_latency(1, 0), 0);
+}
+
+TEST(FaultInjectorTest, SameSeedSameDropSequence) {
+  FaultPlan plan;
+  plan.links.push_back({.drop_probability = 0.3});
+  plan.seed = 77;
+  std::vector<bool> a, b;
+  FaultInjector first(plan, 4);
+  FaultInjector second(plan, 4);
+  for (int i = 0; i < 300; ++i) {
+    a.push_back(first.should_drop(0, 1));
+    b.push_back(second.should_drop(0, 1));
+  }
+  EXPECT_EQ(a, b);
+  EXPECT_GT(first.stats().messages_dropped, 50u);   // ~90 expected
+  EXPECT_LT(first.stats().messages_dropped, 150u);
+  plan.seed = 78;
+  FaultInjector reseeded(plan, 4);
+  std::vector<bool> c;
+  for (int i = 0; i < 300; ++i) c.push_back(reseeded.should_drop(0, 1));
+  EXPECT_NE(a, c);
+}
+
+TEST(FaultInjectorTest, NoRuleMeansHealthyLink) {
+  FaultInjector injector({}, 4);
+  EXPECT_FALSE(injector.should_drop(0, 1));
+  EXPECT_EQ(injector.extra_latency(0, 1), 0);
+  EXPECT_EQ(injector.stats().messages_dropped, 0u);
+  EXPECT_EQ(injector.stats().messages_delayed, 0u);
+}
+
+}  // namespace
+}  // namespace stash::sim
