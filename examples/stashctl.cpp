@@ -13,11 +13,14 @@
 //                           repeatable
 //     --drop P              drop each message with probability P
 //     --no-failover         disable successor failover (degrade to partial)
+//     --audit               after the runs, audit every node's graph, guest
+//                           graph and routing table; exit 1 on violations
 //
 // Example:
 //   ./build/examples/stashctl 36 40 -102 -94 --repeat 3 --json
 //   ./build/examples/stashctl 36 40 -102 -94 --crash 7@0:50 --drop 0.01
 
+#include <cctype>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -38,7 +41,8 @@ namespace {
                "usage: %s [--date YYYY-MM-DD] [--sres N] "
                "[--tres hour|day|month] [--nodes N] [--mode stash|basic] "
                "[--repeat N] [--json] [--crash N@MS[:MS]] [--drop P] "
-               "[--no-failover] <lat_min> <lat_max> <lng_min> <lng_max>\n",
+               "[--no-failover] [--audit] "
+               "<lat_min> <lat_max> <lng_min> <lng_max>\n",
                argv0);
   std::exit(2);
 }
@@ -62,6 +66,7 @@ int main(int argc, char** argv) {
   cluster::SystemMode mode = cluster::SystemMode::Stash;
   int repeat = 2;
   bool json = false;
+  bool audit = false;
   bool failover = true;
   sim::FaultPlan plan;
   std::vector<double> coords;
@@ -111,7 +116,11 @@ int main(int argc, char** argv) {
       plan.links.push_back(rule);
     } else if (arg == "--no-failover") {
       failover = false;
-    } else if (!arg.empty() && (std::isdigit(arg[0]) || arg[0] == '-')) {
+    } else if (arg == "--audit") {
+      audit = true;
+    } else if (!arg.empty() &&
+               (std::isdigit(static_cast<unsigned char>(arg[0])) ||
+                arg[0] == '-')) {
       coords.push_back(std::atof(arg.c_str()));
     } else {
       usage(argv[0]);
@@ -177,5 +186,10 @@ int main(int argc, char** argv) {
   }
   if (json)
     std::printf("%s\n", client::VisualClient::to_json(last, 10).c_str());
+  if (audit) {
+    const AuditReport report = cluster.audit_all();
+    std::printf("%s\n", report.to_string().c_str());
+    if (!report.ok()) return 1;
+  }
   return 0;
 }

@@ -1,0 +1,71 @@
+// Fuzz harness: civil-time arithmetic and the temporal-bin hierarchy.
+//
+// Pins the calendar laws STASH's temporal hierarchy depends on:
+//   * civil_from_days / days_from_civil are inverse bijections
+//   * civil_from_unix_seconds truncates to the containing hour
+//   * a TemporalBin at any resolution contains its timestamp, its range is
+//     non-empty, next()/prev() tile the timeline, parents nest children
+//   * TemporalBin::unpack accepts a u32 iff it round-trips through pack()
+#include <stdexcept>
+
+#include "common/civil_time.hpp"
+#include "fuzz_util.hpp"
+#include "geo/temporal.hpp"
+
+using namespace stash;
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  fuzz::ByteReader in(data, size);
+
+  // Clamp into the supported civil range (years 1..15999 keeps every bin
+  // and its prev/next constructible).
+  const std::int64_t lo = unix_seconds(CivilDate{1, 1, 1});
+  const std::int64_t hi = unix_seconds(CivilDate{15999, 12, 31});
+  const std::int64_t span = hi - lo;
+  std::int64_t ts = in.i64() % span;
+  if (ts < 0) ts += span;
+  ts += lo;
+
+  // Civil round-trips.
+  const CivilDateTime dt = civil_from_unix_seconds(ts);
+  const std::int64_t floor_hour = unix_seconds(dt.date, dt.hour);
+  FUZZ_CHECK(floor_hour <= ts && ts < floor_hour + 3600);
+  FUZZ_CHECK(dt.date.month >= 1 && dt.date.month <= 12);
+  FUZZ_CHECK(dt.date.day >= 1 &&
+             dt.date.day <= days_in_month(dt.date.year, dt.date.month));
+  const std::int64_t days = days_from_civil(dt.date);
+  FUZZ_CHECK(civil_from_days(days) == dt.date);
+  FUZZ_CHECK(days * 86400 == unix_seconds(dt.date));
+
+  // Temporal bins at every resolution.
+  for (int r = 0; r < kNumTemporalRes; ++r) {
+    const auto res = static_cast<TemporalRes>(r);
+    const TemporalBin bin = TemporalBin::of_timestamp(ts, res);
+    const TimeRange range = bin.range();
+    FUZZ_CHECK(range.begin < range.end);
+    FUZZ_CHECK(range.contains(ts));
+    // next()/prev() tile the timeline without gaps or overlap.
+    FUZZ_CHECK(bin.next().range().begin == range.end);
+    FUZZ_CHECK(bin.prev().range().end == range.begin);
+    // pack() is a stable identity.
+    FUZZ_CHECK(TemporalBin::unpack(bin.pack()) == bin);
+    // The parent bin contains this one.
+    if (const auto parent = bin.parent()) {
+      FUZZ_CHECK(parent->contains(bin));
+      FUZZ_CHECK(parent->range().begin <= range.begin &&
+                 range.end <= parent->range().end);
+    }
+  }
+
+  // Arbitrary u32 through unpack: must either throw or round-trip exactly.
+  const std::uint32_t packed = in.u32();
+  try {
+    const TemporalBin bin = TemporalBin::unpack(packed);
+    FUZZ_CHECK(bin.pack() == packed);
+    FUZZ_CHECK(bin.range().begin < bin.range().end);
+  } catch (const std::invalid_argument&) {
+    // expected for malformed keys
+  }
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Fuzz harness: the replication-payload wire codec.
+//
+// Feeds arbitrary bytes into decode_replication_payload.  The decoder must
+// either reject the buffer with one of its documented exception types or
+// produce a payload whose re-encoding is canonical: encode(decode(x))
+// re-decodes to the same bytes.  Anything else — a crash, an unexpected
+// exception type, an unbounded allocation, or a non-idempotent round-trip —
+// is a finding.
+#include <stdexcept>
+
+#include "common/codec.hpp"
+#include "fuzz_util.hpp"
+
+using namespace stash;
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const codec::Buffer input(data, data + size);
+  std::vector<ChunkContribution> payload;
+  try {
+    payload = codec::decode_replication_payload(input);
+  } catch (const std::invalid_argument&) {
+    return 0;  // malformed key / summary
+  } catch (const std::out_of_range&) {
+    return 0;  // truncated or implausible counts
+  } catch (const std::overflow_error&) {
+    return 0;  // varint overflow
+  }
+
+  // Accepted payloads must round-trip canonically.  The input itself may be
+  // non-minimal (e.g. padded varints), so compare re-encodings of the two
+  // decodes rather than the raw input.
+  const codec::Buffer once = codec::encode_replication_payload(payload);
+  const auto payload2 = codec::decode_replication_payload(once);
+  FUZZ_CHECK(payload2.size() == payload.size());
+  const codec::Buffer twice = codec::encode_replication_payload(payload2);
+  FUZZ_CHECK(once == twice);
+
+  // encoded_size must agree with the materialised encoding.
+  FUZZ_CHECK(codec::encoded_size(payload) == once.size());
+  return 0;
+}

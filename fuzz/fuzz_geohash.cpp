@@ -1,0 +1,96 @@
+// Fuzz harness: geohash encode/decode/pack round-trips and hierarchy laws.
+//
+// The entropy-maximizing-geohash literature shows how easy it is to get
+// geohash bit-twiddling subtly wrong; this harness pins the invariants:
+//   * is_valid(s)  =>  decode(s) succeeds, encode(center, |s|) == s,
+//                      unpack(pack(s)) == s, parent is a prefix
+//   * !is_valid(s) =>  decode(s) throws std::invalid_argument
+//   * any in-range point encodes to a cell whose box contains it
+//   * unpack accepts a u64 iff it is the pack() of some valid hash,
+//     and then pack(unpack(x)) == x (strict wire validation)
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+#include "fuzz_util.hpp"
+#include "geo/geohash.hpp"
+
+using namespace stash;
+
+namespace {
+
+void check_valid_hash(const std::string& gh) {
+  const BoundingBox box = geohash::decode(gh);
+  FUZZ_CHECK(box.valid());
+  FUZZ_CHECK(box.lat_min >= -90.0 && box.lat_max <= 90.0);
+  FUZZ_CHECK(box.lng_min >= -180.0 && box.lng_max <= 180.0);
+  // The cell's own center encodes back to the same hash.
+  FUZZ_CHECK(geohash::encode(box.center(), static_cast<int>(gh.size())) == gh);
+  // Pack is stable and strict.
+  const std::uint64_t packed = geohash::pack(gh);
+  FUZZ_CHECK(geohash::unpack(packed) == gh);
+  // Parent is a strict prefix covering this cell.
+  if (const auto parent = geohash::parent(gh)) {
+    FUZZ_CHECK(gh.rfind(*parent, 0) == 0);
+    FUZZ_CHECK(geohash::decode(*parent).contains(box));
+  }
+  // Neighbors are valid, same precision, and adjacent (share no interior).
+  for (const auto& n : geohash::neighbors(gh)) {
+    FUZZ_CHECK(geohash::is_valid(n));
+    FUZZ_CHECK(n.size() == gh.size());
+  }
+  // The antipode is a valid hash at the same precision.
+  FUZZ_CHECK(geohash::antipode(gh).size() == gh.size());
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  // Byte string as a hash candidate.
+  const std::string candidate(reinterpret_cast<const char*>(data),
+                              std::min<std::size_t>(size, 16));
+  if (geohash::is_valid(candidate)) {
+    check_valid_hash(candidate);
+  } else {
+    try {
+      (void)geohash::decode(candidate);
+      FUZZ_CHECK(false && "decode accepted an invalid hash");
+    } catch (const std::invalid_argument&) {
+      // expected
+    }
+  }
+
+  fuzz::ByteReader in(data, size);
+
+  // Arbitrary u64 through unpack: must either throw or round-trip exactly.
+  const std::uint64_t packed = in.u64();
+  try {
+    const std::string unpacked = geohash::unpack(packed);
+    FUZZ_CHECK(geohash::is_valid(unpacked));
+    FUZZ_CHECK(geohash::pack(unpacked) == packed);
+  } catch (const std::invalid_argument&) {
+    // expected for malformed keys
+  }
+
+  // Arbitrary doubles through encode: garbage (NaN/out-of-range) must be
+  // rejected, in-range points must land inside their cell.
+  const double lat = in.f64();
+  const double lng = in.f64();
+  const int precision = 1 + in.u8() % geohash::kMaxPrecision;
+  const bool in_range =
+      lat >= -90.0 && lat <= 90.0 && lng >= -180.0 && lng <= 180.0;
+  try {
+    const std::string gh = geohash::encode({lat, lng}, precision);
+    FUZZ_CHECK(in_range);
+    FUZZ_CHECK(static_cast<int>(gh.size()) == precision);
+    const BoundingBox box = geohash::decode(gh);
+    // encode halves toward the upper bound, so boundary points sit on the
+    // closed lower edges of their cell.
+    FUZZ_CHECK(lat >= box.lat_min && lat <= box.lat_max);
+    FUZZ_CHECK(lng >= box.lng_min && lng <= box.lng_max);
+  } catch (const std::invalid_argument&) {
+    FUZZ_CHECK(!in_range);
+  }
+  return 0;
+}

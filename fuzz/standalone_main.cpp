@@ -1,0 +1,56 @@
+// Standalone driver so the fuzz harnesses build and smoke-run on any
+// toolchain.  With -DSTASH_FUZZ=ON (Clang) the harnesses link against real
+// libFuzzer instead and this file is not compiled.
+//
+// Usage:
+//   <harness> [iterations]       deterministic pseudo-random inputs
+//   <harness> file...            replay corpus files (e.g. crash repros)
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <random>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+namespace {
+
+int replay_file(const char* path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path);
+    return 1;
+  }
+  std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                                  std::istreambuf_iterator<char>());
+  std::printf("replaying %s (%zu bytes)\n", path, bytes.size());
+  LLVMFuzzerTestOneInput(bytes.data(), bytes.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc > 1 && std::atol(argv[1]) == 0) {
+    int rc = 0;
+    for (int i = 1; i < argc; ++i) rc |= replay_file(argv[i]);
+    return rc;
+  }
+
+  const long iterations = argc > 1 ? std::atol(argv[1]) : 20000;
+  std::mt19937_64 rng(0x57a5'4f00dULL);  // fixed seed: reproducible smoke runs
+  std::vector<std::uint8_t> bytes;
+  for (long i = 0; i < iterations; ++i) {
+    // Mostly short inputs (structure-sensitive parsers fail fast on long
+    // garbage), with an occasional longer buffer for the codec harness.
+    const std::size_t len = i % 16 == 0 ? rng() % 512 : rng() % 64;
+    bytes.resize(len);
+    for (auto& b : bytes) b = static_cast<std::uint8_t>(rng());
+    LLVMFuzzerTestOneInput(bytes.data(), bytes.size());
+  }
+  std::printf("ok: %ld deterministic inputs\n", iterations);
+  return 0;
+}

@@ -14,6 +14,7 @@
 
 #include <optional>
 
+#include "core/audit.hpp"
 #include "core/query_engine.hpp"
 #include "sim/cost_model.hpp"
 
@@ -65,6 +66,12 @@ class FrontendCache {
   }
   [[nodiscard]] const StashGraph& graph() const noexcept { return graph_; }
   void clear() { graph_.clear(); }
+
+  /// Structural-invariant audit of the embedded graph (core/audit.hpp) —
+  /// cheap insurance for long-lived client processes.
+  [[nodiscard]] AuditReport audit(AuditOptions options = {}) const {
+    return GraphAuditor(options).audit(graph_);
+  }
 
  private:
   /// Chunk keys covering the query, paired with full-containment flags.

@@ -696,6 +696,25 @@ std::size_t StashCluster::total_guest_cells() const {
   return total;
 }
 
+AuditReport StashCluster::audit_all(AuditOptions options) const {
+  if (!options.now) options.now = loop_.now();
+  const GraphAuditor auditor(options);
+  AuditReport total;
+  for (const auto& node : nodes_) {
+    const auto annotate = [&](AuditReport&& report, const char* which) {
+      for (auto& v : report.violations)
+        v.detail = "node " + std::to_string(node->id) + " " + which + ": " +
+                   v.detail;
+      total.merge(std::move(report));
+    };
+    annotate(auditor.audit(node->graph), "graph");
+    annotate(auditor.audit(node->guest_graph), "guest");
+    annotate(auditor.audit_routing(node->routing, config_.num_nodes, node->id),
+             "routing");
+  }
+  return total;
+}
+
 std::size_t StashCluster::preload(const AggregationQuery& query) {
   std::size_t inserted = 0;
   for (const auto& partition :

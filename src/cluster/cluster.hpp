@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "core/audit.hpp"
 #include "core/clique.hpp"
 #include "core/query_engine.hpp"
 #include "core/routing_table.hpp"
@@ -189,6 +190,12 @@ class StashCluster {
   [[nodiscard]] std::size_t node_queue_length(NodeId id) const;
   [[nodiscard]] std::size_t total_cached_cells() const;
   [[nodiscard]] std::size_t total_guest_cells() const;
+
+  /// Audits every node's local graph, guest graph, and routing table with
+  /// the GraphAuditor (core/audit.hpp); violation details are prefixed with
+  /// the node they came from.  `options.now` defaults to the loop's current
+  /// virtual time so freshness timestamps are range-checked.
+  [[nodiscard]] AuditReport audit_all(AuditOptions options = {}) const;
 
   /// Pre-populates every node's cache for the query (the Fig 6a best case)
   /// without going through the network path; returns cells inserted.

@@ -1,9 +1,23 @@
 #include "common/codec.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <stdexcept>
 
 namespace stash::codec {
+namespace {
+
+/// Reserve for a decoded count without trusting it: every element costs at
+/// least one input byte, so `in.remaining()` bounds the real element count.
+/// Reserving the claimed count directly lets a short hostile buffer demand
+/// gigabytes before the first read fails (found by the codec fuzz harness).
+template <typename Vec>
+void reserve_bounded(Vec& vec, std::uint64_t claimed, const Reader& in) {
+  vec.reserve(static_cast<std::size_t>(
+      std::min<std::uint64_t>(claimed, in.remaining())));
+}
+
+}  // namespace
 
 void put_varint(Buffer& out, std::uint64_t value) {
   while (value >= 0x80) {
@@ -115,7 +129,7 @@ Summary decode_summary(Reader& in) {
   const std::uint64_t n = in.varint();
   if (n > 1024) throw std::out_of_range("codec: implausible attribute count");
   std::vector<AttributeSummary> attrs;
-  attrs.reserve(static_cast<std::size_t>(n));
+  reserve_bounded(attrs, n, in);
   for (std::uint64_t i = 0; i < n; ++i)
     attrs.push_back(decode_attribute_summary(in));
   return Summary::from_attributes(std::move(attrs));
@@ -145,12 +159,12 @@ ChunkContribution decode_chunk_contribution(Reader& in) {
   c.chunk.temporal = in.u32();
   const std::uint64_t days = in.varint();
   if (days > 100000) throw std::out_of_range("codec: implausible day count");
-  c.days.reserve(static_cast<std::size_t>(days));
+  reserve_bounded(c.days, days, in);
   for (std::uint64_t i = 0; i < days; ++i)
     c.days.push_back(static_cast<std::int64_t>(in.varint()));
   const std::uint64_t cells = in.varint();
   if (cells > 100'000'000) throw std::out_of_range("codec: implausible cell count");
-  c.cells.reserve(static_cast<std::size_t>(cells));
+  reserve_bounded(c.cells, cells, in);
   for (std::uint64_t i = 0; i < cells; ++i) {
     CellKey key = decode_cell_key(in);
     Summary summary = decode_summary(in);
@@ -171,7 +185,7 @@ std::vector<ChunkContribution> decode_replication_payload(const Buffer& buffer) 
   const std::uint64_t n = in.varint();
   if (n > 1'000'000) throw std::out_of_range("codec: implausible payload size");
   std::vector<ChunkContribution> payload;
-  payload.reserve(static_cast<std::size_t>(n));
+  reserve_bounded(payload, n, in);
   for (std::uint64_t i = 0; i < n; ++i)
     payload.push_back(decode_chunk_contribution(in));
   if (!in.done()) throw std::out_of_range("codec: trailing bytes");

@@ -1,0 +1,118 @@
+// Clang thread-safety-analysis annotations and annotated lock types.
+//
+// The embedded front-end graph (§IX-A) runs with real reader and
+// maintenance threads, so its locking discipline is machine-checked:
+// shared state is declared STASH_GUARDED_BY(mutex) and every accessor
+// acquires the right capability, which `-Wthread-safety` verifies at
+// compile time on Clang.  On other compilers the macros expand to
+// nothing and the wrappers behave exactly like the std types they hold.
+//
+// The wrappers exist because the analysis needs the attributes on the
+// lock member functions themselves; std::shared_mutex cannot carry them.
+#pragma once
+
+#include <mutex>
+#include <shared_mutex>
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define STASH_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef STASH_THREAD_ANNOTATION
+#define STASH_THREAD_ANNOTATION(x)  // no-op off Clang
+#endif
+
+#define STASH_CAPABILITY(x) STASH_THREAD_ANNOTATION(capability(x))
+#define STASH_SCOPED_CAPABILITY STASH_THREAD_ANNOTATION(scoped_lockable)
+#define STASH_GUARDED_BY(x) STASH_THREAD_ANNOTATION(guarded_by(x))
+#define STASH_PT_GUARDED_BY(x) STASH_THREAD_ANNOTATION(pt_guarded_by(x))
+#define STASH_REQUIRES(...) \
+  STASH_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define STASH_REQUIRES_SHARED(...) \
+  STASH_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+#define STASH_EXCLUDES(...) STASH_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define STASH_ACQUIRE(...) \
+  STASH_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define STASH_ACQUIRE_SHARED(...) \
+  STASH_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define STASH_RELEASE(...) \
+  STASH_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define STASH_RELEASE_SHARED(...) \
+  STASH_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+#define STASH_RELEASE_GENERIC(...) \
+  STASH_THREAD_ANNOTATION(release_generic_capability(__VA_ARGS__))
+#define STASH_TRY_ACQUIRE(...) \
+  STASH_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define STASH_ASSERT_CAPABILITY(x) \
+  STASH_THREAD_ANNOTATION(assert_capability(x))
+#define STASH_RETURN_CAPABILITY(x) STASH_THREAD_ANNOTATION(lock_returned(x))
+#define STASH_NO_THREAD_SAFETY_ANALYSIS \
+  STASH_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace stash {
+
+/// std::mutex carrying the "capability" attribute the analysis tracks.
+class STASH_CAPABILITY("mutex") Mutex {
+ public:
+  void lock() STASH_ACQUIRE() { mutex_.lock(); }
+  void unlock() STASH_RELEASE() { mutex_.unlock(); }
+  bool try_lock() STASH_TRY_ACQUIRE(true) { return mutex_.try_lock(); }
+
+ private:
+  std::mutex mutex_;
+};
+
+/// std::shared_mutex with exclusive and shared capability annotations.
+class STASH_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  void lock() STASH_ACQUIRE() { mutex_.lock(); }
+  void unlock() STASH_RELEASE() { mutex_.unlock(); }
+  bool try_lock() STASH_TRY_ACQUIRE(true) { return mutex_.try_lock(); }
+
+  void lock_shared() STASH_ACQUIRE_SHARED() { mutex_.lock_shared(); }
+  void unlock_shared() STASH_RELEASE_SHARED() { mutex_.unlock_shared(); }
+  bool try_lock_shared() STASH_TRY_ACQUIRE(true) {
+    return mutex_.try_lock_shared();
+  }
+
+ private:
+  std::shared_mutex mutex_;
+};
+
+/// RAII exclusive lock over Mutex or SharedMutex.
+template <typename M>
+class STASH_SCOPED_CAPABILITY WriterLockT {
+ public:
+  explicit WriterLockT(M& mutex) STASH_ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.lock();
+  }
+  ~WriterLockT() STASH_RELEASE() { mutex_.unlock(); }
+
+  WriterLockT(const WriterLockT&) = delete;
+  WriterLockT& operator=(const WriterLockT&) = delete;
+
+ private:
+  M& mutex_;
+};
+
+/// RAII shared (reader) lock over SharedMutex.
+class STASH_SCOPED_CAPABILITY ReaderLock {
+ public:
+  explicit ReaderLock(SharedMutex& mutex) STASH_ACQUIRE_SHARED(mutex)
+      : mutex_(mutex) {
+    mutex_.lock_shared();
+  }
+  ~ReaderLock() STASH_RELEASE() { mutex_.unlock_shared(); }
+
+  ReaderLock(const ReaderLock&) = delete;
+  ReaderLock& operator=(const ReaderLock&) = delete;
+
+ private:
+  SharedMutex& mutex_;
+};
+
+using MutexLock = WriterLockT<Mutex>;
+using WriterLock = WriterLockT<SharedMutex>;
+
+}  // namespace stash

@@ -1,0 +1,108 @@
+// Structural-invariant auditor for the STASH graph (§IV-D, §V-B, §VII).
+//
+// STASH's correctness contract is that the cache answers hierarchical
+// aggregates *exactly* as the backing store would — which only holds while
+// the PLM bitmaps, per-level cell maps, roll-up synthesis inputs, and
+// routing state never drift from each other.  The GraphAuditor walks a
+// StashGraph (and, in the cluster, each node's routing table) and checks
+// every machine-verifiable invariant, returning a structured violation
+// report instead of asserting, so tests, stashctl --audit, and the
+// STASH_AUDIT self-check all share one implementation.
+//
+// Audited invariants:
+//   PlmChunkMissing   every PLM "cached" bit belongs to a live chunk
+//   ChunkPlmMissing   every live chunk is known to the PLM
+//   PlmBitmapShape    a chunk's day bitmap has day_count() bits, >= 1 set
+//   CellOutsideChunk  each Cell maps (chunk_of / level_index) to its owner
+//   CellKeyMalformed  Cell labels unpack to valid geohash + temporal bin
+//   SummaryInvalid    summary stats are finite, min <= max, counts agree
+//   CellCountDrift    the graph's total_cells() equals the per-chunk sum
+//   FreshnessInvalid  freshness values finite and >= 0, last_update <= now
+//   RollupMismatch    a complete parent chunk agrees with the roll-up of a
+//                     fully-resident complete child level (§V-B exactness)
+//   RoutingMalformed  routing entries have valid levels/chunks/helper ids
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/graph.hpp"
+#include "core/routing_table.hpp"
+
+namespace stash {
+
+enum class AuditViolationKind {
+  PlmChunkMissing,
+  ChunkPlmMissing,
+  PlmBitmapShape,
+  CellOutsideChunk,
+  CellKeyMalformed,
+  SummaryInvalid,
+  CellCountDrift,
+  FreshnessInvalid,
+  RollupMismatch,
+  RoutingMalformed,
+};
+
+[[nodiscard]] std::string_view to_string(AuditViolationKind kind) noexcept;
+
+struct AuditViolation {
+  AuditViolationKind kind;
+  std::string detail;  // human-readable: level, chunk label, what disagreed
+};
+
+struct AuditReport {
+  std::vector<AuditViolation> violations;
+  std::size_t chunks_checked = 0;
+  std::size_t cells_checked = 0;
+  std::size_t rollups_checked = 0;
+  std::size_t routes_checked = 0;
+  bool truncated = false;  // hit AuditOptions::max_violations and stopped
+
+  [[nodiscard]] bool ok() const noexcept { return violations.empty(); }
+  [[nodiscard]] std::size_t count(AuditViolationKind kind) const noexcept;
+  void merge(AuditReport&& other);
+
+  /// Multi-line rendering: one summary line plus one line per violation.
+  [[nodiscard]] std::string to_string() const;
+};
+
+struct AuditOptions {
+  /// Verify complete parent chunks against the roll-up of fully-resident
+  /// complete child levels.  O(cells of both levels) per parent chunk;
+  /// exact up to floating-point merge-order noise (rollup_rel_tol).
+  bool check_rollup = true;
+  double rollup_rel_tol = 1e-6;
+  /// Stop collecting after this many violations (a corrupted graph would
+  /// otherwise emit one violation per cell).
+  std::size_t max_violations = 64;
+  /// When set, freshness last_update timestamps must not exceed it.
+  std::optional<sim::SimTime> now;
+};
+
+class GraphAuditor {
+ public:
+  explicit GraphAuditor(AuditOptions options = {}) : options_(options) {}
+
+  /// Audits one graph; report.ok() iff every invariant holds.
+  [[nodiscard]] AuditReport audit(const StashGraph& graph) const;
+
+  /// Audits a routing table: levels in range, chunk keys well-formed,
+  /// helper ids within [0, num_nodes) and != self.
+  [[nodiscard]] AuditReport audit_routing(const RoutingTable& routing,
+                                          std::uint32_t num_nodes,
+                                          std::uint32_t self) const;
+
+ private:
+  void check_chunks(const StashGraph& graph, AuditReport& report) const;
+  void check_rollups(const StashGraph& graph, AuditReport& report) const;
+  /// Appends a violation; returns false once max_violations is reached.
+  bool add(AuditReport& report, AuditViolationKind kind,
+           std::string detail) const;
+
+  AuditOptions options_;
+};
+
+}  // namespace stash

@@ -81,4 +81,21 @@ struct ChunkKeyHash {
 /// receives dispersed freshness.
 [[nodiscard]] std::vector<ChunkKey> chunk_neighbors(const ChunkKey& key);
 
+/// One hierarchically finer level whose chunks jointly cover `chunk`: the
+/// candidate source of a §V-B roll-up synthesis.  `spatial` tells which
+/// axis was refined (geohash children vs temporal-bin children) and hence
+/// how a child Cell maps to its parent.
+struct ChunkChildLevel {
+  Resolution res;
+  std::vector<ChunkKey> chunks;
+  bool spatial = true;
+};
+
+/// The up-to-two child levels of a chunk at `res` (spatial first — the
+/// common roll-up case).  Shared by QueryEngine::synthesize and the
+/// GraphAuditor roll-up consistency check so the two can never disagree
+/// about what "covered by children" means.
+[[nodiscard]] std::vector<ChunkChildLevel> chunk_child_levels(
+    const Resolution& res, const ChunkKey& chunk, int chunk_precision);
+
 }  // namespace stash

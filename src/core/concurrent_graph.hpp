@@ -7,17 +7,19 @@
 // reads proceed concurrently via a shared mutex, with the same API shape
 // as StashGraph for the operations a cache client needs.
 //
-// Locking model: one std::shared_mutex guards the whole graph.  STASH's
-// operations are region-granular (absorb a chunk, collect a chunk, touch a
-// region), so the critical sections are short; a per-level striped scheme
-// was measured to gain nothing at the fan-in the front-end sees and is not
-// worth the lock-ordering complexity during hierarchical synthesis, which
-// reads two levels at once.
+// Locking model: one annotated SharedMutex guards the whole graph; the
+// guarded state is declared STASH_GUARDED_BY(mutex_) so Clang's
+// -Wthread-safety proves every access holds the right capability (see
+// common/thread_annotations.hpp).  STASH's operations are region-granular
+// (absorb a chunk, collect a chunk, touch a region), so the critical
+// sections are short; a per-level striped scheme was measured to gain
+// nothing at the fan-in the front-end sees and is not worth the
+// lock-ordering complexity during hierarchical synthesis, which reads two
+// levels at once.
 #pragma once
 
-#include <mutex>
-#include <shared_mutex>
-
+#include "common/thread_annotations.hpp"
+#include "core/audit.hpp"
 #include "core/graph.hpp"
 
 namespace stash {
@@ -28,81 +30,95 @@ class ConcurrentStashGraph {
 
   // --- reads (shared lock) ---
   [[nodiscard]] bool chunk_complete(const Resolution& res,
-                                    const ChunkKey& chunk) const {
-    std::shared_lock lock(mutex_);
+                                    const ChunkKey& chunk) const
+      STASH_EXCLUDES(mutex_) {
+    ReaderLock lock(mutex_);
     return graph_.chunk_complete(res, chunk);
   }
 
   [[nodiscard]] std::vector<std::int64_t> chunk_missing_days(
-      const Resolution& res, const ChunkKey& chunk) const {
-    std::shared_lock lock(mutex_);
+      const Resolution& res, const ChunkKey& chunk) const
+      STASH_EXCLUDES(mutex_) {
+    ReaderLock lock(mutex_);
     return graph_.chunk_missing_days(res, chunk);
   }
 
   std::size_t collect_chunk(const Resolution& res, const ChunkKey& chunk,
                             const BoundingBox& box, const TimeRange& time,
-                            CellSummaryMap& out) const {
-    std::shared_lock lock(mutex_);
+                            CellSummaryMap& out) const STASH_EXCLUDES(mutex_) {
+    ReaderLock lock(mutex_);
     return graph_.collect_chunk(res, chunk, box, time, out);
   }
 
-  [[nodiscard]] std::optional<Summary> find_cell(const CellKey& key) const {
-    std::shared_lock lock(mutex_);
+  [[nodiscard]] std::optional<Summary> find_cell(const CellKey& key) const
+      STASH_EXCLUDES(mutex_) {
+    ReaderLock lock(mutex_);
     const Summary* found = graph_.find_cell(key);
     return found == nullptr ? std::nullopt : std::make_optional(*found);
   }
 
-  [[nodiscard]] std::size_t total_cells() const {
-    std::shared_lock lock(mutex_);
+  [[nodiscard]] std::size_t total_cells() const STASH_EXCLUDES(mutex_) {
+    ReaderLock lock(mutex_);
     return graph_.total_cells();
   }
 
   [[nodiscard]] double chunk_freshness(const Resolution& res,
                                        const ChunkKey& chunk,
-                                       sim::SimTime now) const {
-    std::shared_lock lock(mutex_);
+                                       sim::SimTime now) const
+      STASH_EXCLUDES(mutex_) {
+    ReaderLock lock(mutex_);
     return graph_.chunk_freshness(res, chunk, now);
   }
 
+  /// Structural-invariant audit of the guarded graph (core/audit.hpp),
+  /// taken under the shared lock so it sees one consistent snapshot.
+  [[nodiscard]] AuditReport audit(AuditOptions options = {}) const
+      STASH_EXCLUDES(mutex_) {
+    ReaderLock lock(mutex_);
+    return GraphAuditor(options).audit(graph_);
+  }
+
   // --- writes (exclusive lock) ---
-  std::size_t absorb(const ChunkContribution& contribution, sim::SimTime now) {
-    std::unique_lock lock(mutex_);
+  std::size_t absorb(const ChunkContribution& contribution, sim::SimTime now)
+      STASH_EXCLUDES(mutex_) {
+    WriterLock lock(mutex_);
     return graph_.absorb(contribution, now);
   }
 
   std::size_t touch_region(const Resolution& res,
                            const std::vector<ChunkKey>& accessed,
-                           sim::SimTime now) {
-    std::unique_lock lock(mutex_);
+                           sim::SimTime now) STASH_EXCLUDES(mutex_) {
+    WriterLock lock(mutex_);
     return graph_.touch_region(res, accessed, now);
   }
 
-  std::size_t evict_if_needed(sim::SimTime now) {
-    std::unique_lock lock(mutex_);
+  std::size_t evict_if_needed(sim::SimTime now) STASH_EXCLUDES(mutex_) {
+    WriterLock lock(mutex_);
     return graph_.evict_if_needed(now);
   }
 
-  std::size_t invalidate_block(std::string_view partition, std::int64_t day) {
-    std::unique_lock lock(mutex_);
+  std::size_t invalidate_block(std::string_view partition, std::int64_t day)
+      STASH_EXCLUDES(mutex_) {
+    WriterLock lock(mutex_);
     return graph_.invalidate_block(partition, day);
   }
 
-  void clear() {
-    std::unique_lock lock(mutex_);
+  void clear() STASH_EXCLUDES(mutex_) {
+    WriterLock lock(mutex_);
     graph_.clear();
   }
 
   /// Runs `fn(const StashGraph&)` under the shared lock — for compound
   /// reads that must see one consistent snapshot.
   template <typename Fn>
-  auto with_read_lock(Fn&& fn) const {
-    std::shared_lock lock(mutex_);
+  auto with_read_lock(Fn&& fn) const STASH_EXCLUDES(mutex_) {
+    ReaderLock lock(mutex_);
     return fn(static_cast<const StashGraph&>(graph_));
   }
 
  private:
-  mutable std::shared_mutex mutex_;
-  StashGraph graph_;
+  mutable SharedMutex mutex_;
+  StashGraph graph_ STASH_GUARDED_BY(mutex_);
 };
 
 }  // namespace stash

@@ -3,7 +3,20 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "core/audit.hpp"
+
 namespace stash {
+
+void StashGraph::self_audit(const char* op) const {
+#if STASH_AUDIT
+  const AuditReport report = GraphAuditor().audit(*this);
+  if (!report.ok())
+    throw std::logic_error(std::string("StashGraph invariant violated after ") +
+                           op + ":\n" + report.to_string());
+#else
+  (void)op;
+#endif
+}
 
 StashGraph::StashGraph(StashConfig config) : config_(config) {
   if (config_.chunk_precision < 1 ||
@@ -73,13 +86,23 @@ std::size_t StashGraph::absorb(const ChunkContribution& contribution,
   if (!contribution.res.valid())
     throw std::invalid_argument("StashGraph::absorb: bad resolution");
   const int lvl = level_index(contribution.res);
+  // Validate the whole batch before touching any state: a day outside the
+  // chunk's bin used to throw from the PLM only after the cells were
+  // merged, leaving a resident chunk the PLM had never heard of (caught by
+  // the GraphAuditor's chunk-plm-missing check).
+  const std::int64_t first_day = contribution.chunk.first_day();
+  const auto day_span = static_cast<std::int64_t>(contribution.chunk.day_count());
+  for (std::int64_t day : contribution.days)
+    if (day < first_day || day >= first_day + day_span)
+      throw std::invalid_argument(
+          "StashGraph::absorb: day outside the chunk's bin");
   // Idempotence guard: refuse a batch whose days were already merged —
   // merging twice would double-count records.
-  for (std::int64_t day : contribution.days) {
+  if (plm_.is_known(lvl, contribution.chunk)) {
     const auto missing = plm_.missing_days(lvl, contribution.chunk);
-    if (std::find(missing.begin(), missing.end(), day) == missing.end() &&
-        plm_.is_known(lvl, contribution.chunk))
-      return 0;
+    for (std::int64_t day : contribution.days)
+      if (std::find(missing.begin(), missing.end(), day) == missing.end())
+        return 0;
   }
   auto& data = levels_[static_cast<std::size_t>(lvl)][contribution.chunk];
   for (const auto& [key, summary] : contribution.cells) {
@@ -94,6 +117,7 @@ std::size_t StashGraph::absorb(const ChunkContribution& contribution,
     plm_.mark_day(lvl, contribution.chunk, day);
   data.freshness.touch(config_.freshness_increment, now,
                        config_.freshness_half_life);
+  self_audit("absorb");
   return contribution.cells.size();
 }
 
@@ -190,6 +214,7 @@ std::size_t StashGraph::evict_to(std::size_t target_cells, sim::SimTime now) {
     erase_chunk(c.level, c.chunk);
     evicted += c.cells;
   }
+  self_audit("evict_to");
   return evicted;
 }
 
@@ -205,6 +230,7 @@ std::size_t StashGraph::purge_older_than(sim::SimTime now, sim::SimTime ttl) {
       erase_chunk(lvl, chunk);
     }
   }
+  self_audit("purge_older_than");
   return purged;
 }
 
@@ -235,6 +261,7 @@ std::size_t StashGraph::invalidate_block(std::string_view partition,
       ++dropped;
     }
   }
+  self_audit("invalidate_block");
   return dropped;
 }
 
@@ -242,6 +269,7 @@ void StashGraph::clear() {
   for (auto& level : levels_) level.clear();
   plm_ = PrecisionLevelMap{};
   total_cells_ = 0;
+  self_audit("clear");
 }
 
 }  // namespace stash

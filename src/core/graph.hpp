@@ -112,9 +112,16 @@ class StashGraph {
  private:
   using LevelMap = std::unordered_map<ChunkKey, ChunkData, ChunkKeyHash>;
 
+  /// Auditor unit tests corrupt private state through this peer to prove
+  /// each violation class is detected; nothing else may define it.
+  friend struct StashGraphTestPeer;
+
   [[nodiscard]] LevelMap& level_of(const Resolution& res);
   [[nodiscard]] const LevelMap& level_of(const Resolution& res) const;
   void erase_chunk(int level_idx, const ChunkKey& chunk);
+  /// No-op unless compiled with STASH_AUDIT: runs the GraphAuditor after a
+  /// mutation and throws std::logic_error on any violation.
+  void self_audit(const char* op) const;
 
   StashConfig config_;
   std::array<LevelMap, kNumLevels> levels_;

@@ -66,6 +66,9 @@ class PrecisionLevelMap {
  private:
   using LevelMap = std::unordered_map<ChunkKey, DynamicBitset, ChunkKeyHash>;
 
+  /// See StashGraph: auditor unit tests corrupt bitmaps through this peer.
+  friend struct StashGraphTestPeer;
+
   [[nodiscard]] LevelMap& level(int idx);
   [[nodiscard]] const LevelMap& level(int idx) const;
 

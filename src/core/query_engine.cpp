@@ -42,44 +42,20 @@ void filter_into(const CellSummaryMap& source, const BoundingBox& box,
 std::optional<ChunkContribution> QueryEngine::synthesize(
     const Resolution& res, const ChunkKey& chunk,
     EvalBreakdown& breakdown) const {
-  const int chunk_prec = graph_.config().chunk_precision;
-  const std::string prefix = chunk.prefix_str();
-  const TemporalBin bin = chunk.bin();
-
-  // Candidate child levels, spatial first (§V-B roll-up is the common case).
-  struct Candidate {
-    Resolution child_res;
-    std::vector<ChunkKey> child_chunks;
-    bool spatial;  // roll up geohashes (true) or temporal bins (false)
-  };
-  std::vector<Candidate> candidates;
-  if (res.spatial < geohash::kMaxPrecision) {
-    Candidate c{{res.spatial + 1, res.temporal}, {}, true};
-    if (res.spatial < chunk_prec) {
-      // Child chunks are the 32 finer prefixes.
-      for (const auto& child : geohash::children(prefix))
-        c.child_chunks.emplace_back(child, bin);
-    } else {
-      // Chunk precision saturated: the child level shares this chunk key.
-      c.child_chunks.emplace_back(prefix, bin);
-    }
-    candidates.push_back(std::move(c));
-  }
-  if (const auto finer_t = finer(res.temporal)) {
-    Candidate c{{res.spatial, *finer_t}, {}, false};
-    for (const auto& child_bin : bin.children())
-      c.child_chunks.emplace_back(prefix, child_bin);
-    candidates.push_back(std::move(c));
-  }
+  // Candidate child levels, spatial first (§V-B roll-up is the common
+  // case).  The enumeration is shared with the GraphAuditor's roll-up
+  // consistency check (chunk_child_levels) so they cannot drift.
+  const auto candidates =
+      chunk_child_levels(res, chunk, graph_.config().chunk_precision);
 
   for (const auto& candidate : candidates) {
     // Probe with early exit: the common case (child level absent) must cost
     // one probe, or the §VIII-C.2 "slightly more than basic" worst case
     // would balloon.
     bool all_complete = true;
-    for (const auto& ck : candidate.child_chunks) {
+    for (const auto& ck : candidate.chunks) {
       ++breakdown.cache_probes;
-      if (!graph_.chunk_complete(candidate.child_res, ck)) {
+      if (!graph_.chunk_complete(candidate.res, ck)) {
         all_complete = false;
         break;
       }
@@ -89,8 +65,8 @@ std::optional<ChunkContribution> QueryEngine::synthesize(
     // Roll every child Cell up into its parent at (res).
     CellSummaryMap rolled;
     std::size_t merges = 0;
-    for (const auto& child_chunk : candidate.child_chunks) {
-      const auto* data = graph_.find_chunk(candidate.child_res, child_chunk);
+    for (const auto& child_chunk : candidate.chunks) {
+      const auto* data = graph_.find_chunk(candidate.res, child_chunk);
       if (data == nullptr) continue;  // complete but empty region
       for (const auto& [child_key, summary] : data->cells) {
         CellKey parent_key =

@@ -52,6 +52,14 @@ class RoutingTable {
   [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
   [[nodiscard]] bool empty() const noexcept { return entries_.empty(); }
 
+  /// Iterates every entry as fn(level, chunk, helper, replicated_at) — for
+  /// diagnostics and the GraphAuditor's routing checks.
+  template <typename Fn>
+  void for_each_entry(Fn&& fn) const {
+    for (const auto& [key, entry] : entries_)
+      fn(key.level, key.chunk, entry.helper, entry.replicated_at);
+  }
+
  private:
   struct Key {
     int level;

@@ -47,8 +47,11 @@ bool is_valid(std::string_view gh) noexcept {
 std::string encode(const LatLng& point, int precision) {
   if (precision < 1 || precision > kMaxPrecision)
     throw std::invalid_argument("geohash::encode: precision out of range");
-  if (point.lat < -90.0 || point.lat > 90.0 || point.lng < -180.0 ||
-      point.lng > 180.0)
+  // Negated range check so NaN coordinates fail it too (NaN compares false
+  // against both bounds, so the direct form silently encoded garbage —
+  // found by the geohash fuzz harness).
+  if (!(point.lat >= -90.0 && point.lat <= 90.0 && point.lng >= -180.0 &&
+        point.lng <= 180.0))
     throw std::invalid_argument("geohash::encode: point out of range");
 
   double lat_lo = -90.0, lat_hi = 90.0;
@@ -260,6 +263,11 @@ std::string unpack(std::uint64_t packed) {
     out[i] = kAlphabet[static_cast<std::size_t>(bits & 31)];
     bits >>= 5;
   }
+  // Bits above the packed characters must be zero, or two different keys
+  // alias the same hash (and pack(unpack(x)) != x) — rejecting them keeps
+  // the wire decoder strict.  Found by the pack/unpack fuzz harness.
+  if (bits != 0)
+    throw std::invalid_argument("geohash::unpack: garbage bits above length");
   return out;
 }
 

@@ -159,6 +159,10 @@ std::uint32_t TemporalBin::pack() const noexcept {
 }
 
 TemporalBin TemporalBin::unpack(std::uint32_t packed) {
+  // pack() uses 30 bits; set high bits mean a corrupted or aliased key, so
+  // the wire decoder must reject rather than silently mask them.
+  if ((packed >> 30) != 0)
+    throw std::invalid_argument("TemporalBin::unpack: garbage high bits");
   return TemporalBin(static_cast<TemporalRes>((packed >> 28) & 0x3),
                      static_cast<int>((packed >> 14) & 0x3fff),
                      static_cast<int>((packed >> 10) & 0xf),

@@ -167,6 +167,8 @@ TEST(StashClusterTest, InvalidateBlockForcesRescan) {
   cluster.invalidate_block(partition, days_from_civil({2015, 2, 2}));
   const QueryStats after = cluster.run_query(query);
   EXPECT_GT(after.breakdown.scan.records_scanned, 0u);
+  const AuditReport audit = cluster.audit_all();
+  EXPECT_TRUE(audit.ok()) << audit.to_string();
 }
 
 class HotspotTest : public ::testing::Test {
@@ -210,6 +212,10 @@ TEST_F(HotspotTest, BurstTriggersHandoffAndReroutes) {
   EXPECT_GT(m.cells_replicated, 0u);
   EXPECT_GT(m.reroutes, 0u);
   EXPECT_GT(cluster.total_guest_cells(), 0u);
+  // Handoffs replicated cliques into guest graphs and populated routing
+  // tables; every node must still pass a full structural audit.
+  const AuditReport audit = cluster.audit_all();
+  EXPECT_TRUE(audit.ok()) << audit.to_string();
 }
 
 TEST_F(HotspotTest, NoReplicationModeNeverHandsOff) {

@@ -1,0 +1,307 @@
+// GraphAuditor: a clean graph passes, and every violation class is detected
+// when the corresponding invariant is deliberately broken.  Corruption goes
+// through StashGraphTestPeer — the only entity allowed to define the friend
+// declared in StashGraph / PrecisionLevelMap.
+#include "core/audit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "model/observation.hpp"
+
+namespace stash {
+
+struct StashGraphTestPeer {
+  static StashGraph::LevelMap& level(StashGraph& g, const Resolution& res) {
+    return g.level_of(res);
+  }
+  static PrecisionLevelMap::LevelMap& plm_level(StashGraph& g, int lvl) {
+    return g.plm_.levels_[static_cast<std::size_t>(lvl)];
+  }
+  static PrecisionLevelMap& plm(StashGraph& g) { return g.plm_; }
+  static std::size_t& total_cells(StashGraph& g) { return g.total_cells_; }
+};
+
+namespace {
+
+const TemporalBin kDay(TemporalRes::Day, 2015, 2, 2);
+const Resolution kRes6{6, TemporalRes::Day};
+const Resolution kRes7{7, TemporalRes::Day};
+
+Summary summary_of(double value, int observations = 1) {
+  Summary s(kNamAttributeCount);
+  for (int i = 0; i < observations; ++i) {
+    const double obs[kNamAttributeCount] = {value, value + 1, value + 2,
+                                            value + 3};
+    s.add_observation(obs, kNamAttributeCount);
+  }
+  return s;
+}
+
+ChunkContribution contribution_at(const std::string& prefix, int cells) {
+  ChunkContribution c;
+  c.res = Resolution{static_cast<int>(prefix.size()) + 2, TemporalRes::Day};
+  c.chunk = chunk_of(CellKey(prefix + "00", kDay), 4);
+  for (int i = 0; i < cells; ++i) {
+    std::string gh = prefix;
+    gh.push_back(geohash::kAlphabet[static_cast<std::size_t>(i) % 32]);
+    gh.push_back(geohash::kAlphabet[static_cast<std::size_t>(i / 32) % 32]);
+    c.cells.emplace_back(CellKey(gh, kDay), summary_of(static_cast<double>(i)));
+  }
+  c.days.push_back(c.chunk.first_day());
+  return c;
+}
+
+/// A healthy two-chunk graph at level {6, Day}.
+StashGraph healthy_graph() {
+  StashGraph graph;
+  EXPECT_EQ(graph.absorb(contribution_at("9q8y", 6), 10), 6u);
+  EXPECT_EQ(graph.absorb(contribution_at("dr5r", 4), 20), 4u);
+  EXPECT_TRUE(GraphAuditor().audit(graph).ok());
+  return graph;
+}
+
+ChunkKey chunk6() { return chunk_of(CellKey("9q8y00", kDay), 4); }
+
+TEST(AuditTest, CleanGraphPasses) {
+  StashGraph graph = healthy_graph();
+  const AuditReport report = GraphAuditor().audit(graph);
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.chunks_checked, 2u);
+  EXPECT_EQ(report.cells_checked, 10u);
+  EXPECT_NE(report.to_string().find("audit OK"), std::string::npos);
+}
+
+TEST(AuditTest, EmptyGraphPasses) {
+  StashGraph graph;
+  EXPECT_TRUE(GraphAuditor().audit(graph).ok());
+}
+
+TEST(AuditTest, DetectsPlmChunkMissing) {
+  StashGraph graph = healthy_graph();
+  // PLM claims residency for a chunk the graph does not hold.
+  StashGraphTestPeer::plm(graph).mark_all(level_index(kRes6),
+                                          ChunkKey("gbsu", kDay));
+  const AuditReport report = GraphAuditor().audit(graph);
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.count(AuditViolationKind::PlmChunkMissing), 1u);
+}
+
+TEST(AuditTest, DetectsChunkPlmMissing) {
+  StashGraph graph = healthy_graph();
+  StashGraphTestPeer::plm(graph).erase(level_index(kRes6), chunk6());
+  const AuditReport report = GraphAuditor().audit(graph);
+  EXPECT_EQ(report.count(AuditViolationKind::ChunkPlmMissing), 1u);
+}
+
+TEST(AuditTest, DetectsPlmBitmapWrongSize) {
+  StashGraph graph = healthy_graph();
+  // A Day chunk spans one storage block; give it a 5-bit bitmap.
+  DynamicBitset bits(5);
+  bits.set(0);
+  StashGraphTestPeer::plm_level(graph, level_index(kRes6))[chunk6()] = bits;
+  const AuditReport report = GraphAuditor().audit(graph);
+  EXPECT_EQ(report.count(AuditViolationKind::PlmBitmapShape), 1u);
+}
+
+TEST(AuditTest, DetectsPlmBitmapAllClear) {
+  StashGraph graph = healthy_graph();
+  // Right shape, but no contribution recorded: a known chunk must have at
+  // least one day bit set.
+  StashGraphTestPeer::plm_level(graph, level_index(kRes6))[chunk6()] =
+      DynamicBitset(1);
+  const AuditReport report = GraphAuditor().audit(graph);
+  EXPECT_EQ(report.count(AuditViolationKind::PlmBitmapShape), 1u);
+}
+
+TEST(AuditTest, DetectsCellOutsideChunk) {
+  StashGraph graph = healthy_graph();
+  auto& chunk = StashGraphTestPeer::level(graph, kRes6).at(chunk6());
+  // A cell whose geohash belongs to the other chunk's prefix.
+  chunk.cells.emplace(CellKey("dr5rzz", kDay), summary_of(1.0));
+  StashGraphTestPeer::total_cells(graph) += 1;  // keep the count honest
+  const AuditReport report = GraphAuditor().audit(graph);
+  EXPECT_EQ(report.count(AuditViolationKind::CellOutsideChunk), 1u);
+}
+
+TEST(AuditTest, DetectsCellKeyMalformed) {
+  StashGraph graph = healthy_graph();
+  auto& chunk = StashGraphTestPeer::level(graph, kRes6).at(chunk6());
+  CellKey garbage;
+  garbage.spatial = 0;  // zero length nibble: does not unpack
+  garbage.temporal = kDay.pack();
+  chunk.cells.emplace(garbage, summary_of(1.0));
+  StashGraphTestPeer::total_cells(graph) += 1;
+  const AuditReport report = GraphAuditor().audit(graph);
+  EXPECT_EQ(report.count(AuditViolationKind::CellKeyMalformed), 1u);
+}
+
+TEST(AuditTest, DetectsSummaryInvalid) {
+  StashGraph graph = healthy_graph();
+  auto& chunk = StashGraphTestPeer::level(graph, kRes6).at(chunk6());
+  AttributeSummary bad;
+  bad.count = 1;
+  bad.min = std::numeric_limits<double>::quiet_NaN();
+  bad.max = 1.0;
+  bad.sum = 1.0;
+  bad.sum_sq = 1.0;
+  chunk.cells.begin()->second = Summary::from_attributes({bad});
+  const AuditReport report = GraphAuditor().audit(graph);
+  EXPECT_EQ(report.count(AuditViolationKind::SummaryInvalid), 1u);
+
+  bad.min = 5.0;  // min > max
+  chunk.cells.begin()->second = Summary::from_attributes({bad});
+  EXPECT_EQ(GraphAuditor().audit(graph).count(
+                AuditViolationKind::SummaryInvalid),
+            1u);
+}
+
+TEST(AuditTest, DetectsCellCountDrift) {
+  StashGraph graph = healthy_graph();
+  StashGraphTestPeer::total_cells(graph) += 3;
+  const AuditReport report = GraphAuditor().audit(graph);
+  EXPECT_EQ(report.count(AuditViolationKind::CellCountDrift), 1u);
+}
+
+TEST(AuditTest, DetectsFreshnessInvalid) {
+  StashGraph graph = healthy_graph();
+  auto& chunk = StashGraphTestPeer::level(graph, kRes6).at(chunk6());
+  chunk.freshness.value = -3.0;
+  EXPECT_EQ(GraphAuditor().audit(graph).count(
+                AuditViolationKind::FreshnessInvalid),
+            1u);
+
+  chunk.freshness.value = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(GraphAuditor().audit(graph).count(
+                AuditViolationKind::FreshnessInvalid),
+            1u);
+}
+
+TEST(AuditTest, DetectsFreshnessFromTheFuture) {
+  StashGraph graph = healthy_graph();  // absorbed at now = 10 and 20
+  AuditOptions options;
+  options.now = 15;  // one chunk's last_update (20) exceeds this
+  EXPECT_EQ(GraphAuditor(options).audit(graph).count(
+                AuditViolationKind::FreshnessInvalid),
+            1u);
+  options.now = 20;
+  EXPECT_TRUE(GraphAuditor(options).audit(graph).ok());
+}
+
+/// Parent level {6,Day} synthesised exactly from complete children {7,Day}.
+StashGraph graph_with_rollup() {
+  StashGraph graph;
+  ChunkContribution children;
+  children.res = kRes7;
+  children.chunk = chunk_of(CellKey("9q8ybb0", kDay), 4);
+  children.days.push_back(children.chunk.first_day());
+  ChunkContribution parent;
+  parent.res = kRes6;
+  parent.chunk = children.chunk;
+  parent.days = children.days;
+  for (const char* base : {"9q8ybb", "9q8ycc"}) {
+    Summary rolled(kNamAttributeCount);
+    for (int i = 0; i < 3; ++i) {
+      const Summary s = summary_of(static_cast<double>(i), 2);
+      std::string gh(base);
+      gh.push_back(geohash::kAlphabet[static_cast<std::size_t>(i)]);
+      children.cells.emplace_back(CellKey(gh, kDay), s);
+      rolled.merge(s);
+    }
+    parent.cells.emplace_back(CellKey(base, kDay), std::move(rolled));
+  }
+  EXPECT_EQ(graph.absorb(children, 0), 6u);
+  EXPECT_EQ(graph.absorb(parent, 0), 2u);
+  return graph;
+}
+
+TEST(AuditTest, CleanRollupPasses) {
+  StashGraph graph = graph_with_rollup();
+  const AuditReport report = GraphAuditor().audit(graph);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+  EXPECT_GE(report.rollups_checked, 1u);
+}
+
+TEST(AuditTest, DetectsRollupValueMismatch) {
+  StashGraph graph = graph_with_rollup();
+  auto& parent = StashGraphTestPeer::level(graph, kRes6).at(chunk6());
+  // Double-count one observation in a parent cell.
+  parent.cells.at(CellKey("9q8ybb", kDay)).merge(summary_of(0.0));
+  const AuditReport report = GraphAuditor().audit(graph);
+  EXPECT_GE(report.count(AuditViolationKind::RollupMismatch), 1u);
+}
+
+TEST(AuditTest, DetectsRollupMissingCell) {
+  StashGraph graph = graph_with_rollup();
+  auto& parent = StashGraphTestPeer::level(graph, kRes6).at(chunk6());
+  parent.cells.erase(CellKey("9q8ybb", kDay));
+  StashGraphTestPeer::total_cells(graph) -= 1;
+  const AuditReport report = GraphAuditor().audit(graph);
+  EXPECT_GE(report.count(AuditViolationKind::RollupMismatch), 1u);
+}
+
+TEST(AuditTest, RollupCheckCanBeDisabled) {
+  StashGraph graph = graph_with_rollup();
+  auto& parent = StashGraphTestPeer::level(graph, kRes6).at(chunk6());
+  parent.cells.at(CellKey("9q8ybb", kDay)).merge(summary_of(0.0));
+  AuditOptions options;
+  options.check_rollup = false;
+  EXPECT_TRUE(GraphAuditor(options).audit(graph).ok());
+}
+
+TEST(AuditTest, DetectsRoutingViolations) {
+  RoutingTable routing;
+  routing.add(kRes6, chunk6(), /*helper=*/1, /*now=*/5);
+  const GraphAuditor auditor;
+  EXPECT_TRUE(auditor.audit_routing(routing, /*num_nodes=*/4, /*self=*/0).ok());
+  // Helper id outside the cluster.
+  EXPECT_EQ(auditor.audit_routing(routing, /*num_nodes=*/1, /*self=*/0)
+                .count(AuditViolationKind::RoutingMalformed),
+            1u);
+  // Entry rerouting to the owner itself.
+  EXPECT_EQ(auditor.audit_routing(routing, /*num_nodes=*/4, /*self=*/1)
+                .count(AuditViolationKind::RoutingMalformed),
+            1u);
+}
+
+TEST(AuditTest, TruncatesAtMaxViolations) {
+  StashGraph graph = healthy_graph();
+  auto& chunk = StashGraphTestPeer::level(graph, kRes6).at(chunk6());
+  for (int i = 0; i < 20; ++i) {
+    std::string gh = "dr5rz";
+    gh.push_back(geohash::kAlphabet[static_cast<std::size_t>(i)]);
+    chunk.cells.emplace(CellKey(gh, kDay), summary_of(1.0));  // all misplaced
+  }
+  AuditOptions options;
+  options.max_violations = 4;
+  const AuditReport report = GraphAuditor(options).audit(graph);
+  EXPECT_TRUE(report.truncated);
+  EXPECT_EQ(report.violations.size(), 4u);
+  EXPECT_NE(report.to_string().find("[truncated]"), std::string::npos);
+}
+
+TEST(AuditTest, ReportRendersKindAndDetail) {
+  StashGraph graph = healthy_graph();
+  StashGraphTestPeer::total_cells(graph) += 1;
+  const std::string text = GraphAuditor().audit(graph).to_string();
+  EXPECT_NE(text.find("audit FAILED"), std::string::npos);
+  EXPECT_NE(text.find("cell-count-drift"), std::string::npos);
+}
+
+TEST(AuditTest, MergePrefixesNothingButAccumulates) {
+  AuditReport a;
+  a.chunks_checked = 2;
+  a.violations.push_back({AuditViolationKind::CellCountDrift, "x"});
+  AuditReport b;
+  b.chunks_checked = 3;
+  b.truncated = true;
+  a.merge(std::move(b));
+  EXPECT_EQ(a.chunks_checked, 5u);
+  EXPECT_EQ(a.violations.size(), 1u);
+  EXPECT_TRUE(a.truncated);
+}
+
+}  // namespace
+}  // namespace stash

@@ -1,0 +1,123 @@
+// Concurrency stress: >= 8 threads hammer one ConcurrentStashGraph with a
+// mixed absorb / read / evict / invalidate workload, then the GraphAuditor
+// proves no structural invariant was torn.  Primarily a TSan target
+// (-DSTASH_SANITIZE=thread), but the final audit makes it a logic check on
+// every build flavor.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/concurrent_graph.hpp"
+#include "model/observation.hpp"
+
+namespace stash {
+namespace {
+
+const TemporalBin kDay(TemporalRes::Day, 2015, 2, 2);
+const Resolution kRes6{6, TemporalRes::Day};
+
+ChunkContribution contribution_at(const std::string& prefix, int cells) {
+  ChunkContribution c;
+  c.res = kRes6;
+  c.chunk = ChunkKey(prefix, kDay);
+  for (int i = 0; i < cells; ++i) {
+    std::string gh = prefix;
+    gh.push_back(geohash::kAlphabet[static_cast<std::size_t>(i) % 32]);
+    gh.push_back(geohash::kAlphabet[static_cast<std::size_t>(i / 32) % 32]);
+    Summary s(kNamAttributeCount);
+    const double obs[kNamAttributeCount] = {1.0, 2.0, 3.0, 4.0};
+    s.add_observation(obs, kNamAttributeCount);
+    c.cells.emplace_back(CellKey(gh, kDay), std::move(s));
+  }
+  c.days.push_back(c.chunk.first_day());
+  return c;
+}
+
+std::string prefix_for(Rng& rng) {
+  return geohash::encode({rng.uniform(-60.0, 60.0), rng.uniform(-170.0, 170.0)},
+                         4);
+}
+
+TEST(ConcurrentStressTest, MixedWorkloadKeepsInvariants) {
+  StashConfig config;
+  config.max_cells = 400;  // small capacity: eviction fires constantly
+  config.safe_limit_fraction = 0.5;
+  ConcurrentStashGraph graph(config);
+
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 150;
+  std::atomic<std::uint64_t> reads{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&graph, &reads, t] {
+      Rng rng(static_cast<std::uint64_t>(t) * 7919 + 1);
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const sim::SimTime now = t * kOpsPerThread + i;
+        const std::string prefix = prefix_for(rng);
+        const ChunkKey chunk(prefix, kDay);
+        switch (i % 8) {
+          case 0:
+          case 1:
+          case 2:
+            graph.absorb(contribution_at(prefix, 4), now);
+            break;
+          case 3: {
+            CellSummaryMap out;
+            graph.collect_chunk(kRes6, chunk, BoundingBox::whole_world(),
+                                kDay.range(), out);
+            reads.fetch_add(out.size(), std::memory_order_relaxed);
+            break;
+          }
+          case 4:
+            graph.touch_region(kRes6, {chunk}, now);
+            break;
+          case 5:
+            graph.evict_if_needed(now);
+            break;
+          case 6:
+            if (i % 16 == 6)
+              graph.invalidate_block(prefix.substr(0, 2), chunk.first_day());
+            else
+              (void)graph.chunk_missing_days(kRes6, chunk);
+            break;
+          case 7:
+            (void)graph.find_cell(CellKey(prefix + "00", kDay));
+            (void)graph.chunk_complete(kRes6, chunk);
+            break;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  graph.evict_if_needed(1'000'000);
+  EXPECT_LE(graph.total_cells(), config.max_cells);
+
+  // Whatever interleaving happened, the structure must still be coherent.
+  const AuditReport report = graph.audit();
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST(ConcurrentStressTest, AuditRunsConcurrentlyWithWriters) {
+  ConcurrentStashGraph graph;
+  std::atomic<bool> stop{false};
+  std::thread writer([&graph, &stop] {
+    Rng rng(99);
+    sim::SimTime now = 0;
+    while (!stop.load(std::memory_order_relaxed))
+      graph.absorb(contribution_at(prefix_for(rng), 4), ++now);
+  });
+  for (int i = 0; i < 20; ++i) {
+    const AuditReport report = graph.audit();
+    EXPECT_TRUE(report.ok()) << report.to_string();
+  }
+  stop.store(true);
+  writer.join();
+}
+
+}  // namespace
+}  // namespace stash

@@ -299,5 +299,18 @@ TEST(StashGraphTest, EmptyChunkContributionStillMarksResidency) {
   EXPECT_EQ(graph.total_cells(), 0u);
 }
 
+TEST(StashGraphTest, AbsorbRejectsDayOutsideBinWithoutMutating) {
+  // Regression: the PLM used to throw on the foreign day only *after* the
+  // cells were merged, leaving a resident chunk the PLM had never heard of
+  // (GraphAuditor: chunk-plm-missing).  Validation must precede mutation.
+  StashGraph graph;
+  auto c = make_contribution("9q8y", 4);
+  c.days.push_back(c.chunk.first_day() + 100);  // not in this Day bin
+  EXPECT_THROW(graph.absorb(c, 0), std::invalid_argument);
+  EXPECT_EQ(graph.total_cells(), 0u);
+  EXPECT_EQ(graph.total_chunks(), 0u);
+  EXPECT_FALSE(graph.chunk_known(kRes6, c.chunk));
+}
+
 }  // namespace
 }  // namespace stash

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <limits>
 #include <set>
 
 #include "common/rng.hpp"
@@ -241,6 +242,26 @@ TEST(GeohashTest, PackDistinguishesLengths) {
 TEST(GeohashTest, UnpackRejectsGarbage) {
   EXPECT_THROW((void)unpack(0), std::invalid_argument);
   EXPECT_THROW((void)unpack(0xFULL << 60), std::invalid_argument);
+}
+
+TEST(GeohashTest, UnpackRejectsBitsAboveLength) {
+  // Regression (found by the geohash fuzz harness): bits above the packed
+  // characters were silently ignored, so distinct u64 keys aliased the same
+  // hash and pack(unpack(x)) != x.
+  const std::uint64_t good = pack("9q");
+  EXPECT_EQ(unpack(good), "9q");
+  EXPECT_THROW((void)unpack(good | (1ULL << 10)), std::invalid_argument);
+  EXPECT_THROW((void)unpack(good | (1ULL << 59)), std::invalid_argument);
+}
+
+TEST(GeohashTest, EncodeRejectsNaN) {
+  // Regression (found by the geohash fuzz harness): NaN compares false
+  // against both range bounds, so NaN coordinates encoded to garbage
+  // instead of throwing.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW((void)encode({nan, 0.0}, 6), std::invalid_argument);
+  EXPECT_THROW((void)encode({0.0, nan}, 6), std::invalid_argument);
+  EXPECT_THROW((void)encode({nan, nan}, 6), std::invalid_argument);
 }
 
 }  // namespace

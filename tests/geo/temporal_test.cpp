@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "common/civil_time.hpp"
 
 namespace stash {
@@ -134,6 +136,18 @@ TEST(TemporalBinTest, PackUnpackRoundTrip) {
       TemporalBin(TemporalRes::Hour, 2099, 7, 31, 23),
   };
   for (const auto& b : bins) EXPECT_EQ(TemporalBin::unpack(b.pack()), b);
+}
+
+TEST(TemporalBinTest, UnpackRejectsBitsAboveFormat) {
+  // Regression (found by the civil-time fuzz harness): pack() uses 30 bits,
+  // and unpack() used to mask the top two away — so distinct u32 keys
+  // aliased the same bin on the wire.
+  const std::uint32_t good = TemporalBin(TemporalRes::Day, 2015, 2, 2).pack();
+  EXPECT_EQ(TemporalBin::unpack(good), TemporalBin(TemporalRes::Day, 2015, 2, 2));
+  EXPECT_THROW((void)TemporalBin::unpack(good | (1u << 30)),
+               std::invalid_argument);
+  EXPECT_THROW((void)TemporalBin::unpack(good | (1u << 31)),
+               std::invalid_argument);
 }
 
 TEST(TemporalBinTest, PackIsInjectiveAcrossRes) {

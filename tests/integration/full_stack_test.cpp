@@ -60,6 +60,10 @@ TEST(FullStackTest, MixedSessionMatchesBasicCellForCell) {
   }
   // The session leaned on the cache: total scans far below basic.
   EXPECT_GT(stash_cluster.total_cached_cells(), 0u);
+  // A mutation-heavy session must leave every node's graph, guest graph,
+  // and routing table structurally coherent.
+  const AuditReport audit = stash_cluster.audit_all();
+  EXPECT_TRUE(audit.ok()) << audit.to_string();
 }
 
 TEST(FullStackTest, InterleavedUsersShareCollectiveCache) {
@@ -145,6 +149,9 @@ TEST(FullStackTest, SessionOverIngestBoundaryStaysConsistent) {
     expect_same(basic_cells, stash_cells,
                 ("query " + std::to_string(i)).c_str());
   }
+  // Ingest invalidation ran mid-session: prove it left no PLM/graph drift.
+  const AuditReport audit = stash_cluster.audit_all();
+  EXPECT_TRUE(audit.ok()) << audit.to_string();
 }
 
 }  // namespace
