@@ -6,12 +6,14 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <numeric>
 #include <string>
 #include <vector>
 
 #include "cluster/cluster.hpp"
+#include "obs/metrics.hpp"
 #include "workload/workload.hpp"
 
 namespace stash::bench {
@@ -41,6 +43,28 @@ inline double mean_latency_ms(const std::vector<cluster::QueryStats>& stats) {
   sim::SimTime total = 0;
   for (const auto& s : stats) total += s.latency();
   return sim::to_millis(total) / static_cast<double>(stats.size());
+}
+
+/// Writes the cluster's stash-metrics-v1 JSON export (obs/metrics.hpp) to
+/// `$STASH_BENCH_METRICS_DIR/BENCH_<name>.metrics.json` — the same payload
+/// `stashctl --metrics-json` emits, so CI archives bench metrics alongside
+/// the printed figures.  No-op when the env var is unset, keeping local
+/// bench runs side-effect free.
+inline void dump_metrics_json(const cluster::StashCluster& cluster,
+                              const std::string& name) {
+  const char* dir = std::getenv("STASH_BENCH_METRICS_DIR");
+  if (dir == nullptr || *dir == '\0') return;
+  const std::string path =
+      std::string(dir) + "/BENCH_" + name + ".metrics.json";
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+    return;
+  }
+  const std::string payload = obs::to_json(
+      cluster.metrics_registry().snapshot(), cluster.loop().now());
+  std::fprintf(out, "%s\n", payload.c_str());
+  std::fclose(out);
 }
 
 inline void print_header(const std::string& figure, const std::string& title) {

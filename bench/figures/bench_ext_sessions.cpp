@@ -35,8 +35,8 @@ void run_scenario(const char* label, const workload::SessionConfig& config) {
     const LatencyStats with_stash = run(cluster::SystemMode::Stash, traffic);
     const LatencyStats basic = run(cluster::SystemMode::Basic, traffic);
     std::printf("%2zu user(s), %3zu queries\n", users, traffic.size());
-    std::printf("  STASH  %s\n", with_stash.summary_us().c_str());
-    std::printf("  basic  %s\n", basic.summary_us().c_str());
+    std::printf("  STASH  %s\n", with_stash.summary_ms().c_str());
+    std::printf("  basic  %s\n", basic.summary_ms().c_str());
     std::printf("  mean speedup %.1fx, p50 speedup %.1fx\n\n",
                 basic.mean() / with_stash.mean(),
                 static_cast<double>(basic.p50()) /

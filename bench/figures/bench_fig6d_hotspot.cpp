@@ -35,6 +35,9 @@ Run run(cluster::SystemMode mode, const std::vector<AggregationQuery>& burst) {
   Run out;
   out.stats = cluster.run_open_loop(burst, 10 /*us*/);
   out.metrics = cluster.metrics();
+  dump_metrics_json(cluster, mode == cluster::SystemMode::Stash
+                                 ? "fig6d_replication"
+                                 : "fig6d_noreplication");
   for (const auto& s : out.stats)
     out.makespan = std::max(out.makespan, s.completed_at);
   return out;

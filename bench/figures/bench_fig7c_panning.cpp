@@ -30,6 +30,10 @@ int main() {
                                                 basic_stats.end());
     const double stash_ms = mean_latency_ms(stash_pans);
     const double basic_ms = mean_latency_ms(basic_pans);
+    if (fraction == 0.25) {
+      dump_metrics_json(*stash_cluster, "fig7c_stash_pan25");
+      dump_metrics_json(*basic_cluster, "fig7c_basic_pan25");
+    }
     std::printf("pan %2.0f%%: STASH %7.2f ms   basic %7.2f ms   "
                 "latency reduction %4.1f%%\n",
                 fraction * 100.0, stash_ms, basic_ms,

@@ -19,6 +19,7 @@
 
 #include "cluster/cluster.hpp"
 #include "geo/geohash.hpp"
+#include "obs/trace.hpp"
 #include "workload/workload.hpp"
 
 using namespace stash;
@@ -35,6 +36,9 @@ struct RunResult {
   cluster::ClusterMetrics metrics;
   cluster::QueryStats rewarm;
   std::size_t rewarm_cells = 0;
+  /// Rendered span tree of the most-degraded burst query (obs/trace.hpp):
+  /// the timeout/retry/failover story, attempt by attempt, on the sim clock.
+  std::string degraded_trace;
 };
 
 RunResult run(bool failover, NodeId victim,
@@ -48,6 +52,9 @@ RunResult run(bool failover, NodeId victim,
   config.suspect_ttl = 100 * sim::kMillisecond;
   config.failover_to_successor = failover;
   if (!failover) config.subquery_max_attempts = 2;
+  // The default ring (256) would evict the interesting early-burst traces
+  // before we get to render one.
+  config.trace_capacity = 1024;
 
   StashCluster cluster(config, std::make_shared<const NamGenerator>());
   // Warm the region before the chaos starts.
@@ -68,6 +75,18 @@ RunResult run(bool failover, NodeId victim,
   out.rewarm = cluster.run_query(warm, &cells);
   out.rewarm_cells = cells.size();
   out.metrics = cluster.metrics();
+  // Render the burst query that suffered the most retries + failovers —
+  // its span tree shows the timed-out attempts and where they went next.
+  const cluster::QueryStats* worst_hit = nullptr;
+  for (const auto& s : out.stats)
+    if (s.retries + s.failovers > 0 &&
+        (worst_hit == nullptr ||
+         s.retries + s.failovers > worst_hit->retries + worst_hit->failovers))
+      worst_hit = &s;
+  if (worst_hit != nullptr) {
+    if (const auto trace = cluster.trace(worst_hit->query_id))
+      out.degraded_trace = obs::render_tree(*trace);
+  }
   return out;
 }
 
@@ -93,9 +112,14 @@ void report(const char* label, const RunResult& r) {
   std::printf("  partial queries:       %zu of %zu (%zu dead subqueries)\n",
               partial, r.stats.size(), failed);
   std::printf("  worst query latency:   %.1f ms\n", sim::to_millis(worst));
-  std::printf("  re-warm after restart: %zu cells, partial=%s, retries=%llu\n\n",
+  std::printf("  re-warm after restart: %zu cells, partial=%s, retries=%llu\n",
               r.rewarm_cells, r.rewarm.partial ? "yes" : "no",
               static_cast<unsigned long long>(r.rewarm.retries));
+  if (!r.degraded_trace.empty()) {
+    std::printf("  most-degraded query's span tree:\n");
+    std::printf("%s", r.degraded_trace.c_str());
+  }
+  std::printf("\n");
 }
 
 }  // namespace

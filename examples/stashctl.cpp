@@ -15,10 +15,17 @@
 //     --no-failover         disable successor failover (degrade to partial)
 //     --audit               after the runs, audit every node's graph, guest
 //                           graph and routing table; exit 1 on violations
+//     --metrics             print the cluster's metrics in Prometheus text
+//                           exposition format after the runs
+//     --metrics-json FILE   write the stash-metrics-v1 JSON export to FILE
+//                           ("-" for stdout)
+//     --trace ID|last       print the span tree of query ID (or of the last
+//                           run's query) recorded against the sim clock
 //
 // Example:
 //   ./build/examples/stashctl 36 40 -102 -94 --repeat 3 --json
 //   ./build/examples/stashctl 36 40 -102 -94 --crash 7@0:50 --drop 0.01
+//   ./build/examples/stashctl 36 40 -102 -94 --metrics --trace last
 
 #include <cctype>
 #include <cmath>
@@ -31,6 +38,8 @@
 
 #include "client/visual_client.hpp"
 #include "common/civil_time.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 using namespace stash;
 
@@ -41,7 +50,8 @@ namespace {
                "usage: %s [--date YYYY-MM-DD] [--sres N] "
                "[--tres hour|day|month] [--nodes N] [--mode stash|basic] "
                "[--repeat N] [--json] [--crash N@MS[:MS]] [--drop P] "
-               "[--no-failover] [--audit] "
+               "[--no-failover] [--audit] [--metrics] [--metrics-json FILE] "
+               "[--trace ID|last] "
                "<lat_min> <lat_max> <lng_min> <lng_max>\n",
                argv0);
   std::exit(2);
@@ -67,6 +77,9 @@ int main(int argc, char** argv) {
   int repeat = 2;
   bool json = false;
   bool audit = false;
+  bool metrics = false;
+  std::string metrics_json_path;
+  std::string trace_spec;
   bool failover = true;
   sim::FaultPlan plan;
   std::vector<double> coords;
@@ -118,6 +131,14 @@ int main(int argc, char** argv) {
       failover = false;
     } else if (arg == "--audit") {
       audit = true;
+    } else if (arg == "--metrics") {
+      metrics = true;
+    } else if (arg == "--metrics-json") {
+      metrics_json_path = next();
+      if (metrics_json_path.empty()) usage(argv[0]);
+    } else if (arg == "--trace") {
+      trace_spec = next();
+      if (trace_spec.empty()) usage(argv[0]);
     } else if (!arg.empty() &&
                (std::isdigit(static_cast<unsigned char>(arg[0])) ||
                 arg[0] == '-')) {
@@ -186,6 +207,41 @@ int main(int argc, char** argv) {
   }
   if (json)
     std::printf("%s\n", client::VisualClient::to_json(last, 10).c_str());
+  if (metrics)
+    std::fputs(obs::to_prometheus(cluster.metrics_registry().snapshot()).c_str(),
+               stdout);
+  if (!metrics_json_path.empty()) {
+    const std::string payload =
+        obs::to_json(cluster.metrics_registry().snapshot(),
+                     cluster.loop().now());
+    if (metrics_json_path == "-") {
+      std::printf("%s\n", payload.c_str());
+    } else {
+      std::FILE* out = std::fopen(metrics_json_path.c_str(), "w");
+      if (out == nullptr) {
+        std::fprintf(stderr, "%s: cannot write %s\n", argv[0],
+                     metrics_json_path.c_str());
+        return 2;
+      }
+      std::fprintf(out, "%s\n", payload.c_str());
+      std::fclose(out);
+    }
+  }
+  if (!trace_spec.empty()) {
+    const std::uint64_t trace_id =
+        trace_spec == "last"
+            ? last.stats.query_id
+            : static_cast<std::uint64_t>(std::atoll(trace_spec.c_str()));
+    const auto trace = cluster.trace(trace_id);
+    if (!trace.has_value()) {
+      std::fprintf(stderr,
+                   "%s: no trace for query %llu (ring keeps the last %zu)\n",
+                   argv[0], static_cast<unsigned long long>(trace_id),
+                   config.trace_capacity);
+      return 1;
+    }
+    std::fputs(obs::render_tree(*trace).c_str(), stdout);
+  }
   if (audit) {
     const AuditReport report = cluster.audit_all();
     std::printf("%s\n", report.to_string().c_str());

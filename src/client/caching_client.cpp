@@ -1,5 +1,7 @@
 #include "client/caching_client.hpp"
 
+#include <algorithm>
+
 namespace stash::client {
 
 CachingClient::CachingClient(cluster::StashCluster& cluster,
@@ -20,27 +22,35 @@ ClientResponse CachingClient::query(const AggregationQuery& view) {
   response.cells = std::move(local.cells);
   response.latency = local.local_time;
 
-  if (!local.missing_bounds.has_value()) {
+  if (local.missing_boxes.empty()) {
     // Entirely served at the front-end — the future-work payoff.
     response.fully_local = true;
     ++metrics_.fully_local;
     if (outstanding_prefetch_.has_value()) ++metrics_.prefetch_hits;
   } else {
-    // Ask the back-end only for the missing sub-rectangle.
-    AggregationQuery backend_query = view;
-    backend_query.area = *local.missing_bounds;
-    ++metrics_.backend_queries;
-    CellSummaryMap backend_cells;
-    response.backend = cluster_.run_query(backend_query, &backend_cells);
-    response.latency += response.backend->latency();
-    response.cells_from_backend = backend_cells.size();
-    cache_.absorb(backend_query, backend_cells, cluster_.loop().now());
-    // The back-end query was chunk-aligned (possibly larger than the
-    // view): clip the rendered response back to what the user asked for.
-    for (auto& [key, summary] : backend_cells) {
-      if (!key.bounds().intersects(view.area)) continue;
-      if (!key.time_range().intersects(view.time)) continue;
-      response.cells.try_emplace(key, std::move(summary));
+    // Ask the back-end only for the missing sub-rectangles (one per
+    // longitude band: a view straddling the antimeridian fetches each
+    // side of the seam separately).
+    const auto view_bands = lng_bands(view.area);
+    for (const BoundingBox& box : local.missing_boxes) {
+      AggregationQuery backend_query = view;
+      backend_query.area = box;
+      ++metrics_.backend_queries;
+      CellSummaryMap backend_cells;
+      response.backend.push_back(cluster_.run_query(backend_query, &backend_cells));
+      response.latency += response.backend.back().latency();
+      response.cells_from_backend += backend_cells.size();
+      cache_.absorb(backend_query, backend_cells, cluster_.loop().now());
+      // The back-end query was chunk-aligned (possibly larger than the
+      // view): clip the rendered response back to what the user asked for.
+      for (auto& [key, summary] : backend_cells) {
+        const BoundingBox cell = key.bounds();
+        if (std::none_of(view_bands.begin(), view_bands.end(),
+                         [&](const BoundingBox& b) { return cell.intersects(b); }))
+          continue;
+        if (!key.time_range().intersects(view.time)) continue;
+        response.cells.try_emplace(key, std::move(summary));
+      }
     }
   }
   outstanding_prefetch_.reset();
@@ -56,16 +66,18 @@ void CachingClient::maybe_prefetch(const AggregationQuery& view) {
   const auto predicted = predictor_.predict(view);
   if (!predicted.has_value() || !predicted->valid()) return;
   const FrontendLookup probe = cache_.lookup(*predicted);
-  if (!probe.missing_bounds.has_value()) return;  // already resident
-  AggregationQuery prefetch = *predicted;
-  prefetch.area = *probe.missing_bounds;
+  if (probe.missing_boxes.empty()) return;  // already resident
   ++metrics_.prefetches_issued;
-  outstanding_prefetch_ = prefetch;
+  outstanding_prefetch_ = *predicted;
   // The prefetch runs in the background (its virtual time does not gate a
   // user response — the next user action simply finds the cache warm).
-  CellSummaryMap cells;
-  cluster_.run_query(prefetch, &cells);
-  cache_.absorb(prefetch, cells, cluster_.loop().now());
+  for (const BoundingBox& box : probe.missing_boxes) {
+    AggregationQuery prefetch = *predicted;
+    prefetch.area = box;
+    CellSummaryMap cells;
+    cluster_.run_query(prefetch, &cells);
+    cache_.absorb(prefetch, cells, cluster_.loop().now());
+  }
 }
 
 }  // namespace stash::client

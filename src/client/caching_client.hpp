@@ -33,7 +33,10 @@ struct ClientResponse {
   bool fully_local = false;          // served without touching the cluster
   std::size_t cells_from_frontend = 0;
   std::size_t cells_from_backend = 0;
-  std::optional<cluster::QueryStats> backend;  // set when the cluster ran
+  /// One entry per backend fetch box.  Usually 0 (fully local) or 1; a
+  /// view crossing the antimeridian fetches each side of the seam
+  /// separately, so it can carry 2.
+  std::vector<cluster::QueryStats> backend;
 };
 
 struct ClientMetrics {

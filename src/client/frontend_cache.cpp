@@ -1,26 +1,34 @@
 #include "client/frontend_cache.hpp"
 
 #include <algorithm>
+#include <array>
 
 namespace stash::client {
 
 FrontendCache::FrontendCache(FrontendCacheConfig config)
     : config_(config), graph_(config.stash) {}
 
-std::vector<std::pair<ChunkKey, bool>> FrontendCache::chunks_of(
+std::vector<FrontendCache::CoveredChunk> FrontendCache::chunks_of(
     const AggregationQuery& query) const {
-  std::vector<std::pair<ChunkKey, bool>> out;
+  std::vector<CoveredChunk> out;
   const int chunk_prec = chunk_spatial_precision(query.res.spatial,
                                                  config_.stash.chunk_precision);
   const auto bins = temporal_covering(query.time, query.res.temporal);
-  for (const auto& prefix : geohash::covering(query.area, chunk_prec)) {
-    const bool inside = query.area.contains(geohash::decode(prefix));
-    for (const auto& bin : bins) {
-      // Temporal containment: the bin must lie inside the query range for
-      // a full contribution.
-      const TimeRange r = bin.range();
-      const bool t_inside = query.time.begin <= r.begin && r.end <= query.time.end;
-      out.emplace_back(ChunkKey(prefix, bin), inside && t_inside);
+  // A wrap-encoded area (lng_max > 180) covers the antimeridian; geohash
+  // coverings only understand normalized longitudes, so cover each band
+  // separately.  The bands are disjoint, so no chunk appears twice.
+  const auto bands = lng_bands(query.area);
+  for (std::size_t b = 0; b < bands.size(); ++b) {
+    for (const auto& prefix : geohash::covering(bands[b], chunk_prec)) {
+      const bool inside = bands[b].contains(geohash::decode(prefix));
+      for (const auto& bin : bins) {
+        // Temporal containment: the bin must lie inside the query range
+        // for a full contribution.
+        const TimeRange r = bin.range();
+        const bool t_inside =
+            query.time.begin <= r.begin && r.end <= query.time.end;
+        out.push_back({ChunkKey(prefix, bin), inside && t_inside, b});
+      }
     }
   }
   return out;
@@ -30,26 +38,33 @@ FrontendLookup FrontendCache::lookup(const AggregationQuery& query) const {
   if (!query.valid())
     throw std::invalid_argument("FrontendCache::lookup: invalid query");
   FrontendLookup out;
-  for (const auto& [chunk, inside] : chunks_of(query)) {
+  // Union the missing chunk boxes *per longitude band*.  A naive global
+  // min/max union across the antimeridian seam degenerates: chunks at
+  // +179° and -179° union into [-179, 179] — a near-global fetch box.
+  std::array<std::optional<BoundingBox>, 2> band_union;
+  for (const auto& covered : chunks_of(query)) {
     ++out.chunks_probed;
-    if (graph_.chunk_complete(query.res, chunk)) {
-      graph_.collect_chunk(query.res, chunk, query.area, query.time, out.cells);
+    if (graph_.chunk_complete(query.res, covered.chunk)) {
+      graph_.collect_chunk(query.res, covered.chunk, query.area, query.time,
+                           out.cells);
     } else {
-      out.missing_chunks.push_back(chunk);
+      out.missing_chunks.push_back(covered.chunk);
       // Chunk-aligned: fetching whole chunks lets absorb() mark them
       // complete, so the region becomes locally servable.
-      const BoundingBox box = chunk.bounds();
-      if (!out.missing_bounds) {
-        out.missing_bounds = box;
+      const BoundingBox box = covered.chunk.bounds();
+      auto& unioned = band_union[covered.band];
+      if (!unioned) {
+        unioned = box;
       } else {
-        out.missing_bounds = BoundingBox{
-            std::min(out.missing_bounds->lat_min, box.lat_min),
-            std::max(out.missing_bounds->lat_max, box.lat_max),
-            std::min(out.missing_bounds->lng_min, box.lng_min),
-            std::max(out.missing_bounds->lng_max, box.lng_max)};
+        unioned = BoundingBox{std::min(unioned->lat_min, box.lat_min),
+                              std::max(unioned->lat_max, box.lat_max),
+                              std::min(unioned->lng_min, box.lng_min),
+                              std::max(unioned->lng_max, box.lng_max)};
       }
     }
   }
+  for (const auto& unioned : band_union)
+    if (unioned) out.missing_boxes.push_back(*unioned);
   out.local_time = config_.cost.cache_probes(out.chunks_probed) +
                    config_.cost.merge(out.cells.size());
   return out;
@@ -69,19 +84,19 @@ std::size_t FrontendCache::absorb(const AggregationQuery& query,
                                                                        summary);
   std::size_t inserted = 0;
   std::vector<ChunkKey> touched;
-  for (const auto& [chunk, inside] : chunks_of(query)) {
-    if (!inside) continue;  // edge chunks: response covers them partially
-    if (graph_.chunk_complete(query.res, chunk)) continue;
+  for (const auto& covered : chunks_of(query)) {
+    if (!covered.inside) continue;  // edge chunks: partially covered
+    if (graph_.chunk_complete(query.res, covered.chunk)) continue;
     ChunkContribution contribution;
     contribution.res = query.res;
-    contribution.chunk = chunk;
-    const auto it = grouped.find(chunk);
+    contribution.chunk = covered.chunk;
+    const auto it = grouped.find(covered.chunk);
     if (it != grouped.end()) contribution.cells = it->second;
-    const std::int64_t first = chunk.first_day();
-    for (std::size_t i = 0; i < chunk.day_count(); ++i)
+    const std::int64_t first = covered.chunk.first_day();
+    for (std::size_t i = 0; i < covered.chunk.day_count(); ++i)
       contribution.days.push_back(first + static_cast<std::int64_t>(i));
     inserted += graph_.absorb(contribution, now);
-    touched.push_back(chunk);
+    touched.push_back(covered.chunk);
   }
   graph_.touch_region(query.res, touched, now);
   graph_.evict_if_needed(now);

@@ -32,12 +32,15 @@ struct FrontendCacheConfig {
 struct FrontendLookup {
   CellSummaryMap cells;                  // locally served cells
   std::vector<ChunkKey> missing_chunks;  // not resident locally
-  /// Chunk-aligned bounding box of the missing chunks (the reduced
-  /// back-end query), or nullopt when everything was served locally.
-  /// Chunk alignment may extend slightly past the query area so the
-  /// fetched chunks become complete — callers clip the response for
-  /// rendering.
-  std::optional<BoundingBox> missing_bounds;
+  /// Chunk-aligned bounding boxes of the missing chunks (the reduced
+  /// back-end queries), empty when everything was served locally.  One box
+  /// per longitude band: a query crossing the antimeridian yields up to
+  /// two boxes, one per side of the seam — a single min/max union across
+  /// the seam would span nearly the whole globe and silently fetch far
+  /// more than the missing region.  Chunk alignment may extend slightly
+  /// past the query area so the fetched chunks become complete — callers
+  /// clip the response for rendering.
+  std::vector<BoundingBox> missing_boxes;
   sim::SimTime local_time = 0;           // probe + merge cost
   std::size_t chunks_probed = 0;
 };
@@ -74,8 +77,15 @@ class FrontendCache {
   }
 
  private:
-  /// Chunk keys covering the query, paired with full-containment flags.
-  [[nodiscard]] std::vector<std::pair<ChunkKey, bool>> chunks_of(
+  struct CoveredChunk {
+    ChunkKey chunk;
+    bool inside = false;   // fully inside the (possibly wrapped) query area
+    std::size_t band = 0;  // longitude band (lng_bands) the chunk came from
+  };
+
+  /// Chunk keys covering the query (split into longitude bands when the
+  /// area is wrap-encoded), with full-containment flags.
+  [[nodiscard]] std::vector<CoveredChunk> chunks_of(
       const AggregationQuery& query) const;
 
   FrontendCacheConfig config_;

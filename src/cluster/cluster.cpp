@@ -28,6 +28,48 @@ StashCluster::Node::Node(NodeId node_id, const StashConfig& stash_config,
       last_handoff_attempt(std::numeric_limits<sim::SimTime>::min() / 2),
       rng(seed) {}
 
+StashCluster::Counters::Counters(obs::MetricsRegistry& reg)
+    : queries_completed(reg.counter("stash_queries_completed_total",
+                                    "Queries completed (including partial)")),
+      subqueries_processed(reg.counter("stash_subqueries_processed_total",
+                                       "Subqueries executed by node servers")),
+      handoffs_initiated(reg.counter("stash_handoffs_initiated_total",
+                                     "Hotspot handoff rounds started")),
+      cliques_replicated(reg.counter("stash_cliques_replicated_total",
+                                     "Cliques installed on helper nodes")),
+      cells_replicated(reg.counter("stash_cells_replicated_total",
+                                   "Cells shipped in replication payloads")),
+      distress_rejections(reg.counter("stash_distress_rejections_total",
+                                      "Distress requests NACKed or abandoned")),
+      reroutes(reg.counter("stash_reroutes_total",
+                           "Subqueries rerouted to a guest helper")),
+      guest_fallbacks(reg.counter(
+          "stash_guest_fallbacks_total",
+          "Guest-served subqueries that fell back to the owner")),
+      maintenance_tasks(reg.counter("stash_maintenance_tasks_total",
+                                    "Background graph-population tasks run")),
+      maintenance_time_us(reg.counter(
+          "stash_maintenance_time_us_total",
+          "Simulated microseconds spent in background maintenance")),
+      node_crashes(reg.counter("stash_node_crashes_total",
+                               "Node crashes (scripted or forced)")),
+      node_restarts(reg.counter("stash_node_restarts_total", "Node restarts")),
+      messages_dropped(reg.counter("stash_messages_dropped_total",
+                                   "Messages lost by fault injection")),
+      timeouts_fired(reg.counter("stash_timeouts_total",
+                                 "Subquery and handoff timeouts fired")),
+      handoff_timeouts(reg.counter("stash_handoff_timeouts_total",
+                                   "Handoff watchdog expirations")),
+      subquery_retries(reg.counter("stash_subquery_retries_total",
+                                   "Subquery retry attempts issued")),
+      failovers(reg.counter("stash_failovers_total",
+                            "Subqueries served by a DHT successor")),
+      failed_subqueries(reg.counter("stash_failed_subqueries_total",
+                                    "Subqueries that exhausted every attempt")),
+      partial_queries(reg.counter("stash_partial_queries_total",
+                                  "Queries completed with missing partitions")) {
+}
+
 StashCluster::StashCluster(ClusterConfig config,
                            std::shared_ptr<const NamGenerator> generator)
     : config_(config),
@@ -36,23 +78,160 @@ StashCluster::StashCluster(ClusterConfig config,
       generator_(std::move(generator)),
       store_(generator_, config.partition_prefix_length),
       suspect_until_(config.num_nodes, kNeverSuspected),
-      frontend_rng_(config.seed ^ 0x46524f4e54ULL) {
+      frontend_rng_(config.seed ^ 0x46524f4e54ULL),
+      tracer_(config.tracing, config.trace_capacity),
+      counters_(registry_),
+      query_latency_us_(registry_.histogram(
+          "stash_query_latency_us", "End-to-end query latency (simulated us)",
+          obs::latency_buckets_us())),
+      subquery_service_us_(registry_.histogram(
+          "stash_subquery_service_us",
+          "Per-subquery server service time (simulated us)",
+          obs::latency_buckets_us())),
+      maintenance_service_us_(registry_.histogram(
+          "stash_maintenance_service_us",
+          "Background maintenance task duration (simulated us)",
+          obs::latency_buckets_us())) {
   if (!generator_) throw std::invalid_argument("StashCluster: null generator");
   nodes_.reserve(config_.num_nodes);
   for (NodeId id = 0; id < config_.num_nodes; ++id)
     nodes_.push_back(std::make_unique<Node>(id, config_.stash, store_, loop_,
                                             config_.workers_per_node,
                                             config_.seed ^ mix64(id)));
+  register_callback_metrics();
   // Crash wipes volatile state only — the Galileo store survives, so any
   // node (the owner after restart, or a failover successor) can rebuild
   // answers from disk.  This is the paper's volatile-cache/durable-store
   // split made executable.
   fault_.set_crash_handler([this](std::uint32_t id) {
     wipe_node(id);
-    ++metrics_.node_crashes;
+    counters_.node_crashes.inc();
   });
-  fault_.set_restart_handler([this](std::uint32_t) { ++metrics_.node_restarts; });
+  fault_.set_restart_handler(
+      [this](std::uint32_t) { counters_.node_restarts.inc(); });
   fault_.arm(loop_);
+}
+
+void StashCluster::register_callback_metrics() {
+  using obs::MetricKind;
+  registry_.callback("stash_cached_cells",
+                     "Cells resident in local graphs across all nodes",
+                     MetricKind::Gauge, [this] {
+                       return static_cast<double>(total_cached_cells());
+                     });
+  registry_.callback("stash_guest_cells",
+                     "Cells resident in guest graphs across all nodes",
+                     MetricKind::Gauge, [this] {
+                       return static_cast<double>(total_guest_cells());
+                     });
+  registry_.callback("stash_pending_queries",
+                     "Queries in flight at the front-end", MetricKind::Gauge,
+                     [this] { return static_cast<double>(pending_.size()); });
+  registry_.callback("stash_server_queue_length",
+                     "Requests queued across all node servers",
+                     MetricKind::Gauge, [this] {
+                       std::size_t total = 0;
+                       for (const auto& node : nodes_)
+                         total += node->server.queue_length();
+                       return static_cast<double>(total);
+                     });
+  registry_.callback("stash_server_busy_workers",
+                     "Busy workers across all node servers", MetricKind::Gauge,
+                     [this] {
+                       double total = 0.0;
+                       for (const auto& node : nodes_)
+                         total += node->server.busy_workers();
+                       return total;
+                     });
+  registry_.callback("stash_server_completed_jobs_total",
+                     "Jobs completed across all node servers",
+                     MetricKind::Counter, [this] {
+                       std::uint64_t total = 0;
+                       for (const auto& node : nodes_)
+                         total += node->server.completed_jobs();
+                       return static_cast<double>(total);
+                     });
+  registry_.callback("stash_server_queue_wait_us_total",
+                     "Virtual time jobs spent queued before dispatch",
+                     MetricKind::Counter, [this] {
+                       sim::SimTime total = 0;
+                       for (const auto& node : nodes_)
+                         total += node->server.total_queue_wait();
+                       return static_cast<double>(total);
+                     });
+  registry_.callback("stash_server_peak_queue_length",
+                     "Worst pending-queue depth seen on any node server",
+                     MetricKind::Gauge, [this] {
+                       std::size_t peak = 0;
+                       for (const auto& node : nodes_)
+                         peak = std::max(peak, node->server.peak_queue_length());
+                       return static_cast<double>(peak);
+                     });
+  // Per-node graph counters (core/graph.hpp Stats), summed over local and
+  // guest graphs at snapshot time.  Stats are lifetime-cumulative and
+  // survive clear(), so crash wipes do not make these go backwards.
+  const auto graph_stat = [this](std::uint64_t StashGraph::Stats::*field) {
+    std::uint64_t total = 0;
+    for (const auto& node : nodes_) {
+      total += node->graph.stats().*field;
+      total += node->guest_graph.stats().*field;
+    }
+    return static_cast<double>(total);
+  };
+  registry_.callback(
+      "stash_graph_cells_absorbed_total",
+      "Cells merged into node graphs (local + guest)", MetricKind::Counter,
+      [graph_stat] { return graph_stat(&StashGraph::Stats::cells_absorbed); });
+  registry_.callback(
+      "stash_graph_cells_evicted_total",
+      "Cells evicted by freshness pressure (local + guest)",
+      MetricKind::Counter,
+      [graph_stat] { return graph_stat(&StashGraph::Stats::cells_evicted); });
+  registry_.callback(
+      "stash_graph_cells_purged_total",
+      "Cells dropped by TTL purges (local + guest)", MetricKind::Counter,
+      [graph_stat] { return graph_stat(&StashGraph::Stats::cells_purged); });
+  registry_.callback(
+      "stash_graph_eviction_passes_total",
+      "Eviction passes that dropped at least one chunk", MetricKind::Counter,
+      [graph_stat] { return graph_stat(&StashGraph::Stats::eviction_passes); });
+  registry_.callback(
+      "stash_graph_freshness_touches_total",
+      "Chunk freshness updates (accessed + dispersed)", MetricKind::Counter,
+      [graph_stat] {
+        return graph_stat(&StashGraph::Stats::freshness_touches);
+      });
+  registry_.callback(
+      "stash_graph_chunks_invalidated_total",
+      "Chunks dropped by real-time update invalidation", MetricKind::Counter,
+      [graph_stat] {
+        return graph_stat(&StashGraph::Stats::chunks_invalidated);
+      });
+}
+
+ClusterMetrics StashCluster::metrics() const {
+  ClusterMetrics m;
+  m.queries_completed = counters_.queries_completed.value();
+  m.subqueries_processed = counters_.subqueries_processed.value();
+  m.handoffs_initiated = counters_.handoffs_initiated.value();
+  m.cliques_replicated = counters_.cliques_replicated.value();
+  m.cells_replicated = counters_.cells_replicated.value();
+  m.distress_rejections = counters_.distress_rejections.value();
+  m.reroutes = counters_.reroutes.value();
+  m.guest_fallbacks = counters_.guest_fallbacks.value();
+  m.maintenance_tasks = counters_.maintenance_tasks.value();
+  m.total_maintenance_time =
+      static_cast<sim::SimTime>(counters_.maintenance_time_us.value());
+  m.node_crashes = counters_.node_crashes.value();
+  m.node_restarts = counters_.node_restarts.value();
+  m.messages_dropped = counters_.messages_dropped.value();
+  m.timeouts_fired = counters_.timeouts_fired.value();
+  m.handoff_timeouts = counters_.handoff_timeouts.value();
+  m.subquery_retries = counters_.subquery_retries.value();
+  m.failovers = counters_.failovers.value();
+  m.failed_subqueries = counters_.failed_subqueries.value();
+  m.partial_queries = counters_.partial_queries.value();
+  return m;
 }
 
 void StashCluster::wipe_node(NodeId id) {
@@ -90,7 +269,7 @@ void StashCluster::send_message(std::uint32_t from, std::uint32_t to,
                                 std::size_t bytes,
                                 std::function<void()> deliver) {
   if (fault_.should_drop(from, to)) {
-    ++metrics_.messages_dropped;
+    counters_.messages_dropped.inc();
     return;
   }
   const sim::SimTime delay =
@@ -113,6 +292,45 @@ sim::SimTime StashCluster::service_time(const EvalBreakdown& b) const {
   t += cost.merge(b.synthesis_merges);
   t += cost.merge(b.cells_from_cache + b.cells_scanned + b.cells_synthesized);
   return t;
+}
+
+void StashCluster::record_serve_spans(std::uint64_t query_id,
+                                      obs::SpanId parent, NodeId node_id,
+                                      const EvalBreakdown& b, bool guest) {
+  if (!tracer_.enabled() || parent == obs::kNoSpan) return;
+  const auto& cost = config_.cost;
+  const sim::SimTime end = loop_.now();
+  const sim::SimTime service = service_time(b);
+  const obs::SpanId serve = tracer_.record_span(
+      query_id, parent, guest ? "serve guest" : "serve", end - service, end);
+  tracer_.tag(query_id, serve, "node", std::to_string(node_id));
+  tracer_.tag(query_id, serve, "chunks_from_cache",
+              std::to_string(b.chunks_from_cache));
+  tracer_.tag(query_id, serve, "chunks_synthesized",
+              std::to_string(b.chunks_synthesized));
+  tracer_.tag(query_id, serve, "chunks_scanned",
+              std::to_string(b.chunks_scanned));
+  tracer_.tag(query_id, serve, "chunks_missing",
+              std::to_string(b.chunks_missing));
+  // The stages below replay service_time()'s decomposition term by term, so
+  // the children partition [end - service, end] exactly (zero-cost stages
+  // are elided — they would be zero-width anyway).
+  sim::SimTime t = end - service;
+  const auto stage = [&](const char* name, sim::SimTime dur) {
+    if (dur <= 0) return;
+    tracer_.record_span(query_id, serve, name, t, t + dur);
+    t += dur;
+  };
+  stage("dispatch", config_.subquery_overhead);
+  stage("cache_probe", cost.cache_probes(b.cache_probes));
+  stage("disk",
+        static_cast<sim::SimTime>(b.scan.blocks_touched) * cost.disk_seek +
+            cost.disk_stream(b.scan.bytes_read) +
+            cost.scan(b.scan.records_scanned));
+  stage("rollup", cost.merge(b.synthesis_merges));
+  // "cell_merge", not "merge": the front-end gather span owns that name.
+  stage("cell_merge",
+        cost.merge(b.cells_from_cache + b.cells_scanned + b.cells_synthesized));
 }
 
 sim::SimTime StashCluster::maintenance_time(const MaintenanceStats& m) const {
@@ -151,7 +369,11 @@ void StashCluster::submit_impl(const AggregationQuery& query, Callback done,
   pending.query = query;
   pending.done = std::move(done);
   pending.done_rich = std::move(done_rich);
+  pending.stats.query_id = id;
   pending.stats.submitted_at = loop_.now();
+  pending.root_span = tracer_.start_trace(id, "query", loop_.now());
+  pending.scatter_span =
+      tracer_.start_span(id, pending.root_span, "scatter", loop_.now());
   const auto partitions =
       geohash::covering(query.area, config_.partition_prefix_length);
   pending.remaining = partitions.size();
@@ -180,8 +402,12 @@ void StashCluster::start_attempt(std::uint64_t query_id, std::size_t idx) {
   if (sq.done) return;
   ++sq.attempts;
   const int attempt = sq.attempts;
+  if (attempt == 1) {
+    sq.span = tracer_.start_span(query_id, pending.scatter_span,
+                                 "subquery " + sq.partition, loop_.now());
+  }
   if (attempt > 1) {
-    ++metrics_.subquery_retries;
+    counters_.subquery_retries.inc();
     ++pending.stats.retries;
   }
   sq.forwarded_to.reset();
@@ -200,10 +426,15 @@ void StashCluster::start_attempt(std::uint64_t query_id, std::size_t idx) {
     }
   }
   if (target != owner) {
-    ++metrics_.failovers;
+    counters_.failovers.inc();
     ++pending.stats.failovers;
   }
   sq.target = target;
+  sq.attempt_span = tracer_.start_span(
+      query_id, sq.span, "attempt " + std::to_string(attempt), loop_.now());
+  tracer_.tag(query_id, sq.attempt_span, "target", std::to_string(target));
+  if (target != owner)
+    tracer_.tag(query_id, sq.attempt_span, "failover", "true");
 
   if (config_.subquery_timeout > 0) {
     sq.timeout = loop_.schedule_cancellable(
@@ -228,7 +459,9 @@ void StashCluster::on_subquery_timeout(std::uint64_t query_id, std::size_t idx,
   Subquery& sq = pending.subqueries[idx];
   if (sq.done || sq.attempts != attempt) return;
   sq.timeout = 0;
-  ++metrics_.timeouts_fired;
+  counters_.timeouts_fired.inc();
+  tracer_.tag(query_id, sq.attempt_span, "outcome", "timeout");
+  tracer_.end_span(query_id, sq.attempt_span, loop_.now());
   // Open the circuit breaker: later attempts (and other queries) route
   // around the silent node instead of paying the timeout again.
   suspect(sq.target);
@@ -267,7 +500,10 @@ void StashCluster::fail_subquery(std::uint64_t query_id, std::size_t idx) {
     sq.timeout = 0;
   }
   ++pending.stats.failed_subqueries;
-  ++metrics_.failed_subqueries;
+  counters_.failed_subqueries.inc();
+  tracer_.tag(query_id, sq.span, "outcome", "failed");
+  tracer_.tag(query_id, sq.span, "attempts", std::to_string(sq.attempts));
+  tracer_.end_span(query_id, sq.span, loop_.now());
   complete_subquery(query_id);
 }
 
@@ -288,8 +524,9 @@ void StashCluster::route_subquery(std::uint64_t query_id, std::size_t idx,
                                             loop_.now(), config_.stash.routing_ttl);
     if (helper.has_value() && !suspected(*helper) &&
         node.rng.bernoulli(config_.stash.reroute_probability)) {
-      ++metrics_.reroutes;
+      counters_.reroutes.inc();
       ++pending.stats.rerouted_subqueries;
+      tracer_.tag(query_id, sq.attempt_span, "reroute", std::to_string(*helper));
       sq.forwarded_to = *helper;
       send_message(target, *helper, config_.request_bytes,
                    [this, helper = *helper, owner = target, query_id, idx,
@@ -319,11 +556,15 @@ void StashCluster::enqueue_local(NodeId node_id, std::uint64_t query_id,
         return service_time(slot->breakdown);
       },
       [this, &node, query_id, idx, attempt, slot] {
-        ++metrics_.subqueries_processed;
+        counters_.subqueries_processed.inc();
         const auto it = pending_.find(query_id);
         if (it == pending_.end()) return;
         const Subquery& sq = it->second.subqueries[idx];
         if (sq.done || sq.attempts != attempt) return;
+        subquery_service_us_.observe(
+            static_cast<double>(service_time(slot->breakdown)));
+        record_serve_spans(query_id, sq.attempt_span, node.id, slot->breakdown,
+                           /*guest=*/false);
         // Background maintenance: populate the graph off the response path.
         if (config_.mode != SystemMode::Basic &&
             (!slot->fetched.empty() || !slot->touched_chunks.empty())) {
@@ -334,8 +575,9 @@ void StashCluster::enqueue_local(NodeId node_id, std::uint64_t query_id,
             const MaintenanceStats stats =
                 node.engine.absorb(*maintenance_slot, res, loop_.now());
             const sim::SimTime t = maintenance_time(stats);
-            ++metrics_.maintenance_tasks;
-            metrics_.total_maintenance_time += t;
+            counters_.maintenance_tasks.inc();
+            counters_.maintenance_time_us.inc(static_cast<std::uint64_t>(t));
+            maintenance_service_us_.observe(static_cast<double>(t));
             return t;
           });
         }
@@ -372,16 +614,22 @@ void StashCluster::enqueue_guest(NodeId helper_id, NodeId owner_id,
         return service_time(slot->breakdown);
       },
       [this, &helper, owner_id, query_id, idx, attempt, slot] {
-        ++metrics_.subqueries_processed;
+        counters_.subqueries_processed.inc();
         const auto it = pending_.find(query_id);
         if (it == pending_.end()) return;
         Subquery& sq = it->second.subqueries[idx];
         if (sq.done || sq.attempts != attempt) return;
+        subquery_service_us_.observe(
+            static_cast<double>(service_time(slot->breakdown)));
+        record_serve_spans(query_id, sq.attempt_span, helper.id,
+                           slot->breakdown, /*guest=*/true);
         if (slot->breakdown.chunks_missing > 0) {
           // Replica purged or incomplete: fall back to the owning node
           // (no further rerouting to avoid a loop).  The helper answered,
           // so it is no longer the one a timeout should blame.
-          ++metrics_.guest_fallbacks;
+          counters_.guest_fallbacks.inc();
+          tracer_.tag(query_id, sq.attempt_span, "guest_fallback",
+                      std::to_string(owner_id));
           sq.forwarded_to.reset();
           send_message(helper.id, owner_id, config_.request_bytes,
                        [this, owner_id, query_id, idx, attempt] {
@@ -414,6 +662,11 @@ void StashCluster::deliver_response(std::uint64_t query_id, std::size_t idx,
     loop_.cancel(sq.timeout);
     sq.timeout = 0;
   }
+  tracer_.tag(query_id, sq.attempt_span, "outcome", "ok");
+  tracer_.end_span(query_id, sq.attempt_span, loop_.now());
+  tracer_.tag(query_id, sq.span, "cells", std::to_string(eval.cells.size()));
+  tracer_.tag(query_id, sq.span, "attempts", std::to_string(sq.attempts));
+  tracer_.end_span(query_id, sq.span, loop_.now());
   // Evidence of life closes the circuit breaker.
   absolve(sq.target);
   if (sq.forwarded_to.has_value()) absolve(*sq.forwarded_to);
@@ -443,6 +696,14 @@ void StashCluster::complete_subquery(std::uint64_t query_id) {
                                        : pending.cells.size();
   const sim::SimTime finish =
       config_.frontend_overhead + config_.cost.merge(merged_cells);
+  // Scatter is over the instant the last subquery drains; the merge span
+  // covers the front-end merge + render and ends with the root, so
+  // scatter.duration + merge.duration == QueryStats::latency().
+  tracer_.end_span(query_id, pending.scatter_span, loop_.now());
+  pending.merge_span =
+      tracer_.start_span(query_id, pending.root_span, "merge", loop_.now());
+  tracer_.tag(query_id, pending.merge_span, "cells",
+              std::to_string(merged_cells));
   loop_.schedule(finish, [this, query_id] {
     const auto done_it = pending_.find(query_id);
     if (done_it == pending_.end()) return;
@@ -453,9 +714,18 @@ void StashCluster::complete_subquery(std::uint64_t query_id) {
       finished.stats.result_cells = finished.cells.size();
     if (finished.stats.failed_subqueries > 0) {
       finished.stats.partial = true;
-      ++metrics_.partial_queries;
+      counters_.partial_queries.inc();
     }
-    ++metrics_.queries_completed;
+    counters_.queries_completed.inc();
+    query_latency_us_.observe(static_cast<double>(finished.stats.latency()));
+    tracer_.end_span(query_id, finished.merge_span, loop_.now());
+    tracer_.tag(query_id, finished.root_span, "result_cells",
+                std::to_string(finished.stats.result_cells));
+    tracer_.tag(query_id, finished.root_span, "subqueries",
+                std::to_string(finished.stats.subqueries));
+    if (finished.stats.partial)
+      tracer_.tag(query_id, finished.root_span, "partial", "true");
+    tracer_.end_span(query_id, finished.root_span, loop_.now());
     if (finished.done) finished.done(finished.stats);
     if (finished.done_rich)
       finished.done_rich(finished.stats, std::move(finished.cells));
@@ -481,13 +751,13 @@ void StashCluster::maybe_start_handoff(NodeId node_id) {
   // burn the cooldown — retry once maintenance has populated the graph.
   if (cliques.empty()) return;
   node.last_handoff = loop_.now();
-  ++metrics_.handoffs_initiated;
+  counters_.handoffs_initiated.inc();
   for (auto& clique : cliques) send_distress(node_id, std::move(clique), 0);
 }
 
 void StashCluster::send_distress(NodeId hot_id, Clique clique, int attempt) {
   if (attempt > config_.antipode_retries) {
-    ++metrics_.distress_rejections;
+    counters_.distress_rejections.inc();
     return;
   }
   if (!fault_.alive(hot_id)) return;  // the hot node died: abandon the handoff
@@ -531,8 +801,8 @@ void StashCluster::send_distress(NodeId hot_id, Clique clique, int attempt) {
         [this, hot_id, target, clique, attempt, settled] {
           if (*settled) return;
           *settled = true;
-          ++metrics_.timeouts_fired;
-          ++metrics_.handoff_timeouts;
+          counters_.timeouts_fired.inc();
+          counters_.handoff_timeouts.inc();
           suspect(target);
           if (fault_.alive(hot_id)) {
             nodes_[hot_id]->routing.drop_helper(target);
@@ -563,7 +833,7 @@ void StashCluster::send_distress(NodeId hot_id, Clique clique, int attempt) {
                         settled, settle]() mutable {
                          if (*settled) return;
                          settle();
-                         ++metrics_.distress_rejections;
+                         counters_.distress_rejections.inc();
                          send_distress(hot_id, std::move(clique), attempt + 1);
                        });
           return;
@@ -591,8 +861,8 @@ void StashCluster::send_distress(NodeId hot_id, Clique clique, int attempt) {
                     for (const auto& contribution :
                          codec::decode_replication_payload(wire))
                       helper_node.guest_graph.absorb(contribution, loop_.now());
-                    ++metrics_.cliques_replicated;
-                    metrics_.cells_replicated += cells;
+                    counters_.cliques_replicated.inc();
+                    counters_.cells_replicated.inc(cells);
                     // Replication Response: helper -> hot populates the
                     // routing table (§VII-B.5).
                     send_message(

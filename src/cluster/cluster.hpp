@@ -24,6 +24,8 @@
 #include "core/query_engine.hpp"
 #include "core/routing_table.hpp"
 #include "dht/partitioner.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/cost_model.hpp"
 #include "sim/event_loop.hpp"
 #include "sim/fault.hpp"
@@ -95,9 +97,20 @@ struct ClusterConfig {
   /// Timeout for one Distress->Ack->Replication->Response handoff round;
   /// expiry is treated as a NACK (the antipode retry continues).
   sim::SimTime handoff_timeout = 5 * sim::kSecond;
+
+  // --- observability ---
+  /// Record a TraceSpan tree for every query (obs/trace.hpp).  Spans carry
+  /// virtual timestamps, so tracing never perturbs simulated latency; turn
+  /// it off only to shave real (wall-clock) overhead in huge benches.
+  bool tracing = true;
+  /// Completed traces retained (ring buffer; oldest evicted first).
+  std::size_t trace_capacity = 256;
 };
 
 struct QueryStats {
+  /// Cluster-assigned id, usable with StashCluster::trace() to fetch the
+  /// query's span tree (and with `stashctl --trace <id>`).
+  std::uint64_t query_id = 0;
   sim::SimTime submitted_at = 0;
   sim::SimTime completed_at = 0;
   std::size_t result_cells = 0;
@@ -121,6 +134,11 @@ struct QueryStats {
   }
 };
 
+/// Flat counter view kept for compatibility: every field is now backed by a
+/// named metric in the cluster's MetricsRegistry (obs/metrics.hpp), and
+/// StashCluster::metrics() materializes this struct from those counters.
+/// New consumers should prefer metrics_registry().snapshot(), which also
+/// carries gauges and latency histograms.
 struct ClusterMetrics {
   std::uint64_t queries_completed = 0;
   std::uint64_t subqueries_processed = 0;
@@ -149,9 +167,25 @@ class StashCluster {
   StashCluster(ClusterConfig config, std::shared_ptr<const NamGenerator> generator);
 
   [[nodiscard]] sim::EventLoop& loop() noexcept { return loop_; }
+  [[nodiscard]] const sim::EventLoop& loop() const noexcept { return loop_; }
   [[nodiscard]] const ZeroHopDht& dht() const noexcept { return dht_; }
   [[nodiscard]] const ClusterConfig& config() const noexcept { return config_; }
-  [[nodiscard]] const ClusterMetrics& metrics() const noexcept { return metrics_; }
+  /// Compatibility view over the registry's counters (built per call).
+  [[nodiscard]] ClusterMetrics metrics() const;
+  /// The registry behind metrics(): named counters, callback gauges over
+  /// live cluster state, and latency histograms — exportable via
+  /// obs::to_prometheus / obs::to_json.
+  [[nodiscard]] obs::MetricsRegistry& metrics_registry() noexcept {
+    return registry_;
+  }
+  [[nodiscard]] const obs::MetricsRegistry& metrics_registry() const noexcept {
+    return registry_;
+  }
+  /// Per-query span traces (ring of config.trace_capacity).
+  [[nodiscard]] const obs::Tracer& tracer() const noexcept { return tracer_; }
+  [[nodiscard]] std::optional<obs::Trace> trace(std::uint64_t query_id) const {
+    return tracer_.find(query_id);
+  }
 
   using Callback = std::function<void(const QueryStats&)>;
   /// Completion callback that also receives the merged Cell payload (what
@@ -252,6 +286,8 @@ class StashCluster {
     int attempts = 0;
     sim::EventLoop::EventId timeout = 0;
     bool done = false;
+    obs::SpanId span = obs::kNoSpan;          // "subquery <partition>"
+    obs::SpanId attempt_span = obs::kNoSpan;  // current "attempt <n>"
   };
 
   struct Pending {
@@ -262,6 +298,35 @@ class StashCluster {
     QueryStats stats;
     CellSummaryMap cells;
     std::vector<Subquery> subqueries;
+    obs::SpanId root_span = obs::kNoSpan;
+    obs::SpanId scatter_span = obs::kNoSpan;
+    obs::SpanId merge_span = obs::kNoSpan;
+  };
+
+  /// Registry-backed counters, bound once at construction so hot-path
+  /// increments never touch the registry lock.  Field-for-field mirror of
+  /// the ClusterMetrics compatibility struct.
+  struct Counters {
+    explicit Counters(obs::MetricsRegistry& reg);
+    obs::Counter& queries_completed;
+    obs::Counter& subqueries_processed;
+    obs::Counter& handoffs_initiated;
+    obs::Counter& cliques_replicated;
+    obs::Counter& cells_replicated;
+    obs::Counter& distress_rejections;
+    obs::Counter& reroutes;
+    obs::Counter& guest_fallbacks;
+    obs::Counter& maintenance_tasks;
+    obs::Counter& maintenance_time_us;
+    obs::Counter& node_crashes;
+    obs::Counter& node_restarts;
+    obs::Counter& messages_dropped;
+    obs::Counter& timeouts_fired;
+    obs::Counter& handoff_timeouts;
+    obs::Counter& subquery_retries;
+    obs::Counter& failovers;
+    obs::Counter& failed_subqueries;
+    obs::Counter& partial_queries;
   };
 
   void submit_impl(const AggregationQuery& query, Callback done,
@@ -298,6 +363,14 @@ class StashCluster {
   [[nodiscard]] sim::SimTime maintenance_time(const MaintenanceStats& m) const;
   [[nodiscard]] std::vector<ChunkKey> subquery_chunks(
       const AggregationQuery& query, const std::string& partition) const;
+  /// Registers the callback gauges/counters computed over live node state
+  /// (cached cells, queue lengths, per-node graph stats) at snapshot time.
+  void register_callback_metrics();
+  /// Records the "serve" span and its dispatch/cache-probe/disk/roll-up/
+  /// merge children for one executed subquery attempt.  The children
+  /// partition [end - service_time(b), end] exactly (tests rely on it).
+  void record_serve_spans(std::uint64_t query_id, obs::SpanId parent,
+                          NodeId node_id, const EvalBreakdown& b, bool guest);
 
   ClusterConfig config_;
   sim::EventLoop loop_;
@@ -312,7 +385,12 @@ class StashCluster {
   std::vector<sim::SimTime> suspect_until_;
   Rng frontend_rng_;  // retry jitter only: node Rngs stay untouched
   std::uint64_t next_query_id_ = 0;
-  ClusterMetrics metrics_;
+  obs::MetricsRegistry registry_;
+  obs::Tracer tracer_;
+  Counters counters_;
+  obs::Histogram& query_latency_us_;
+  obs::Histogram& subquery_service_us_;
+  obs::Histogram& maintenance_service_us_;
 };
 
 }  // namespace stash::cluster

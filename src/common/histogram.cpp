@@ -47,7 +47,7 @@ std::int64_t LatencyStats::percentile(double q) const {
   return samples_[static_cast<std::size_t>(clamped)];
 }
 
-std::string LatencyStats::summary_us() const {
+std::string LatencyStats::summary_ms() const {
   std::ostringstream out;
   out.setf(std::ios::fixed);
   out.precision(2);

@@ -34,9 +34,11 @@ class LatencyStats {
   [[nodiscard]] std::int64_t p95() const { return percentile(0.95); }
   [[nodiscard]] std::int64_t p99() const { return percentile(0.99); }
 
-  /// "mean=1.23ms p50=1.1ms p95=2.2ms p99=3.0ms (n=100)" with values
-  /// interpreted as microseconds.
-  [[nodiscard]] std::string summary_us() const;
+  /// "mean=1.23ms p50=1.10ms p95=2.20ms p99=3.00ms (n=100)": samples are
+  /// recorded in microseconds and rendered in milliseconds, so the name
+  /// carries the *output* unit.  (Was `summary_us`, which printed ms under
+  /// a µs name — any caller parsing the figure by name got a 1000x error.)
+  [[nodiscard]] std::string summary_ms() const;
 
  private:
   void sort_if_needed() const;

@@ -20,9 +20,14 @@ struct Freshness {
   double value = 0.0;
   sim::SimTime last_update = 0;
 
-  /// Effective score at `now` under exponential decay.
+  /// Effective score at `now` under exponential decay.  Elapsed time is
+  /// clamped at zero: after a clock regression (SimServer epoch reset, node
+  /// restart) `now` can be earlier than `last_update`, and a negative dt
+  /// would *amplify* the score by 2^(dt/h) — letting stale entries outrank
+  /// everything at eviction time instead of decaying.
   [[nodiscard]] double at(sim::SimTime now, sim::SimTime half_life) const noexcept {
     if (value == 0.0) return 0.0;
+    if (now <= last_update) return value;
     const double dt = static_cast<double>(now - last_update);
     return value * std::exp2(-dt / static_cast<double>(half_life));
   }

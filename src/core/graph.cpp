@@ -101,8 +101,10 @@ std::size_t StashGraph::absorb(const ChunkContribution& contribution,
   if (plm_.is_known(lvl, contribution.chunk)) {
     const auto missing = plm_.missing_days(lvl, contribution.chunk);
     for (std::int64_t day : contribution.days)
-      if (std::find(missing.begin(), missing.end(), day) == missing.end())
+      if (std::find(missing.begin(), missing.end(), day) == missing.end()) {
+        ++stats_.contributions_rejected;
         return 0;
+      }
   }
   auto& data = levels_[static_cast<std::size_t>(lvl)][contribution.chunk];
   for (const auto& [key, summary] : contribution.cells) {
@@ -117,6 +119,8 @@ std::size_t StashGraph::absorb(const ChunkContribution& contribution,
     plm_.mark_day(lvl, contribution.chunk, day);
   data.freshness.touch(config_.freshness_increment, now,
                        config_.freshness_half_life);
+  ++stats_.contributions_absorbed;
+  stats_.cells_absorbed += contribution.cells.size();
   self_audit("absorb");
   return contribution.cells.size();
 }
@@ -155,6 +159,7 @@ std::size_t StashGraph::touch_region(const Resolution& res,
       }
     }
   }
+  stats_.freshness_touches += updates;
   return updates;
 }
 
@@ -214,6 +219,10 @@ std::size_t StashGraph::evict_to(std::size_t target_cells, sim::SimTime now) {
     erase_chunk(c.level, c.chunk);
     evicted += c.cells;
   }
+  if (evicted > 0) {
+    ++stats_.eviction_passes;
+    stats_.cells_evicted += evicted;
+  }
   self_audit("evict_to");
   return evicted;
 }
@@ -230,6 +239,7 @@ std::size_t StashGraph::purge_older_than(sim::SimTime now, sim::SimTime ttl) {
       erase_chunk(lvl, chunk);
     }
   }
+  stats_.cells_purged += purged;
   self_audit("purge_older_than");
   return purged;
 }
@@ -261,6 +271,7 @@ std::size_t StashGraph::invalidate_block(std::string_view partition,
       ++dropped;
     }
   }
+  stats_.chunks_invalidated += dropped;
   self_audit("invalidate_block");
   return dropped;
 }

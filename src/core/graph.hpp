@@ -42,6 +42,20 @@ class StashGraph {
     Freshness freshness;
   };
 
+  /// Cumulative lifetime counters over every mutation — the per-node feed
+  /// for the cluster's MetricsRegistry (obs/metrics.hpp).  Unlike
+  /// total_cells(), these never decrease and survive clear().
+  struct Stats {
+    std::uint64_t contributions_absorbed = 0;  ///< absorb() batches accepted
+    std::uint64_t contributions_rejected = 0;  ///< idempotence-guard rejects
+    std::uint64_t cells_absorbed = 0;          ///< cells merged or inserted
+    std::uint64_t freshness_touches = 0;       ///< touch_region() updates
+    std::uint64_t eviction_passes = 0;         ///< evict_to() passes that dropped chunks
+    std::uint64_t cells_evicted = 0;           ///< via evict_to()/evict_if_needed()
+    std::uint64_t cells_purged = 0;            ///< via purge_older_than()
+    std::uint64_t chunks_invalidated = 0;      ///< via invalidate_block()
+  };
+
   explicit StashGraph(StashConfig config = {});
 
   [[nodiscard]] const StashConfig& config() const noexcept { return config_; }
@@ -85,6 +99,7 @@ class StashGraph {
   // --- capacity & eviction (§V-C.2) ---
   [[nodiscard]] std::size_t total_cells() const noexcept { return total_cells_; }
   [[nodiscard]] std::size_t total_chunks() const noexcept;
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
 
   /// If over max_cells, evicts lowest-freshness chunks until at or below
   /// the safe limit.  Returns the number of Cells evicted.
@@ -127,6 +142,7 @@ class StashGraph {
   std::array<LevelMap, kNumLevels> levels_;
   PrecisionLevelMap plm_;
   std::size_t total_cells_ = 0;
+  Stats stats_;
 };
 
 }  // namespace stash

@@ -35,6 +35,14 @@ BoundingBox BoundingBox::scaled(double factor) const noexcept {
   return {c.lat - h, c.lat + h, c.lng - w, c.lng + w};
 }
 
+std::vector<BoundingBox> lng_bands(const BoundingBox& box) {
+  if (box.lng_max <= 180.0) return {box};
+  if (box.width() >= 360.0)
+    return {{box.lat_min, box.lat_max, -180.0, 180.0}};
+  return {{box.lat_min, box.lat_max, box.lng_min, 180.0},
+          {box.lat_min, box.lat_max, -180.0, box.lng_max - 360.0}};
+}
+
 std::string BoundingBox::to_string() const {
   std::ostringstream out;
   out << "[" << lat_min << "," << lat_max << "]x[" << lng_min << "," << lng_max

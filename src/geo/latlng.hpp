@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <string>
+#include <vector>
 
 namespace stash {
 
@@ -18,8 +19,11 @@ struct LatLng {
 };
 
 /// Axis-aligned geographic rectangle [lat_min,lat_max] × [lng_min,lng_max].
-/// Longitude wrap-around is not modelled: the NAM-like dataset and all
-/// paper workloads live well inside (-180, 180).
+/// A rectangle crossing the antimeridian is *wrap-encoded*: lng_max > 180
+/// means the box continues past +180° and re-enters at -180° (so
+/// [170, 190] spans 170..180 ∪ -180..-170).  Geohash machinery only
+/// understands normalized longitudes — split wrap-encoded boxes with
+/// `lng_bands()` before covering/scanning.
 struct BoundingBox {
   double lat_min = 0.0;
   double lat_max = 0.0;
@@ -75,5 +79,10 @@ struct BoundingBox {
 
   bool operator==(const BoundingBox&) const = default;
 };
+
+/// Splits a possibly wrap-encoded box into 1 or 2 normalized longitude
+/// bands (lng within [-180, 180], lng_min <= lng_max).  A box spanning the
+/// full circle collapses to one world-wide band.
+[[nodiscard]] std::vector<BoundingBox> lng_bands(const BoundingBox& box);
 
 }  // namespace stash

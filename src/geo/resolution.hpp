@@ -28,7 +28,14 @@ struct Resolution {
   }
 
   [[nodiscard]] std::string to_string() const {
-    return "s" + std::to_string(spatial) + "/" + stash::to_string(temporal);
+    // Built up with += (not operator+ chains): GCC 12's -Wrestrict fires a
+    // false positive (PR105329) on `const char* + std::string&&` when this
+    // gets inlined into larger TUs, and warnings are errors here.
+    std::string out = "s";
+    out += std::to_string(spatial);
+    out += '/';
+    out += stash::to_string(temporal);
+    return out;
   }
 
   bool operator==(const Resolution&) const = default;

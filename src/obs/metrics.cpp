@@ -1,0 +1,223 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace stash::obs {
+
+namespace {
+
+/// Deterministic number rendering shared by both exporters: integers
+/// print without a decimal point, everything else with up to 15
+/// significant digits (doubles holding counter values stay exact well
+/// past any simulated run length).
+std::string format_number(double v) {
+  if (std::isfinite(v) && v == std::rint(v) && std::abs(v) < 9.0e15) {
+    return std::to_string(static_cast<long long>(v));
+  }
+  std::ostringstream out;
+  out.precision(15);
+  out << v;
+  return out.str();
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)), buckets_(bounds_.size() + 1) {
+  if (!std::is_sorted(bounds_.begin(), bounds_.end()))
+    throw std::invalid_argument("Histogram: bucket bounds must be sorted");
+}
+
+void Histogram::observe(double v) noexcept {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const auto idx = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(buckets_.size());
+  for (const auto& b : buckets_) out.push_back(b.load(std::memory_order_relaxed));
+  return out;
+}
+
+std::vector<double> latency_buckets_us() {
+  return {100.0,     250.0,     500.0,      1'000.0,    2'500.0,
+          5'000.0,   10'000.0,  25'000.0,   50'000.0,   100'000.0,
+          250'000.0, 500'000.0, 1'000'000.0, 2'500'000.0, 10'000'000.0};
+}
+
+Counter& MetricsRegistry::counter(const std::string& name,
+                                  const std::string& help) {
+  MutexLock lock(mutex_);
+  Entry& entry = entries_[name];
+  if (entry.counter == nullptr) {
+    if (entry.gauge || entry.histogram || entry.fn)
+      throw std::invalid_argument("MetricsRegistry: " + name +
+                                  " already registered with another type");
+    entry.help = help;
+    entry.kind = MetricKind::Counter;
+    entry.counter = std::make_unique<Counter>();
+  }
+  return *entry.counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, const std::string& help) {
+  MutexLock lock(mutex_);
+  Entry& entry = entries_[name];
+  if (entry.gauge == nullptr) {
+    if (entry.counter || entry.histogram || entry.fn)
+      throw std::invalid_argument("MetricsRegistry: " + name +
+                                  " already registered with another type");
+    entry.help = help;
+    entry.kind = MetricKind::Gauge;
+    entry.gauge = std::make_unique<Gauge>();
+  }
+  return *entry.gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      const std::string& help,
+                                      std::vector<double> upper_bounds) {
+  MutexLock lock(mutex_);
+  Entry& entry = entries_[name];
+  if (entry.histogram == nullptr) {
+    if (entry.counter || entry.gauge || entry.fn)
+      throw std::invalid_argument("MetricsRegistry: " + name +
+                                  " already registered with another type");
+    entry.help = help;
+    entry.histogram = std::make_unique<Histogram>(std::move(upper_bounds));
+  }
+  return *entry.histogram;
+}
+
+void MetricsRegistry::callback(const std::string& name, const std::string& help,
+                               MetricKind kind, std::function<double()> fn) {
+  MutexLock lock(mutex_);
+  Entry& entry = entries_[name];
+  if (entry.counter || entry.gauge || entry.histogram)
+    throw std::invalid_argument("MetricsRegistry: " + name +
+                                " already registered with another type");
+  entry.help = help;
+  entry.kind = kind;
+  entry.fn = std::move(fn);
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MutexLock lock(mutex_);
+  MetricsSnapshot out;
+  for (const auto& [name, entry] : entries_) {  // std::map: sorted by name
+    if (entry.histogram != nullptr) {
+      HistogramSnapshot h;
+      h.name = name;
+      h.help = entry.help;
+      h.upper_bounds = entry.histogram->upper_bounds();
+      std::uint64_t running = 0;
+      for (const std::uint64_t c : entry.histogram->bucket_counts()) {
+        running += c;
+        h.cumulative.push_back(running);
+      }
+      h.sum = entry.histogram->sum();
+      h.count = entry.histogram->count();
+      out.histograms.push_back(std::move(h));
+      continue;
+    }
+    ScalarSnapshot s;
+    s.name = name;
+    s.help = entry.help;
+    s.kind = entry.kind;
+    if (entry.counter != nullptr) {
+      s.value = static_cast<double>(entry.counter->value());
+    } else if (entry.gauge != nullptr) {
+      s.value = entry.gauge->value();
+    } else if (entry.fn) {
+      s.value = entry.fn();
+    }
+    out.scalars.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::string to_prometheus(const MetricsSnapshot& snapshot) {
+  std::ostringstream out;
+  for (const auto& s : snapshot.scalars) {
+    out << "# HELP " << s.name << ' ' << s.help << '\n';
+    out << "# TYPE " << s.name << ' '
+        << (s.kind == MetricKind::Counter ? "counter" : "gauge") << '\n';
+    out << s.name << ' ' << format_number(s.value) << '\n';
+  }
+  for (const auto& h : snapshot.histograms) {
+    out << "# HELP " << h.name << ' ' << h.help << '\n';
+    out << "# TYPE " << h.name << " histogram\n";
+    for (std::size_t i = 0; i < h.upper_bounds.size(); ++i) {
+      out << h.name << "_bucket{le=\"" << format_number(h.upper_bounds[i])
+          << "\"} " << h.cumulative[i] << '\n';
+    }
+    out << h.name << "_bucket{le=\"+Inf\"} " << h.count << '\n';
+    out << h.name << "_sum " << format_number(h.sum) << '\n';
+    out << h.name << "_count " << h.count << '\n';
+  }
+  return out.str();
+}
+
+std::string to_json(const MetricsSnapshot& snapshot, sim::SimTime sim_time) {
+  std::ostringstream out;
+  out << "{\"schema\":\"stash-metrics-v1\",\"sim_time_us\":" << sim_time;
+  out << ",\"counters\":{";
+  bool first = true;
+  for (const auto& s : snapshot.scalars) {
+    if (s.kind != MetricKind::Counter) continue;
+    if (!first) out << ',';
+    first = false;
+    out << '"' << json_escape(s.name) << "\":" << format_number(s.value);
+  }
+  out << "},\"gauges\":{";
+  first = true;
+  for (const auto& s : snapshot.scalars) {
+    if (s.kind != MetricKind::Gauge) continue;
+    if (!first) out << ',';
+    first = false;
+    out << '"' << json_escape(s.name) << "\":" << format_number(s.value);
+  }
+  out << "},\"histograms\":{";
+  first = true;
+  for (const auto& h : snapshot.histograms) {
+    if (!first) out << ',';
+    first = false;
+    out << '"' << json_escape(h.name) << "\":{\"sum\":" << format_number(h.sum)
+        << ",\"count\":" << h.count << ",\"buckets\":[";
+    for (std::size_t i = 0; i < h.upper_bounds.size(); ++i) {
+      if (i != 0) out << ',';
+      out << "{\"le\":" << format_number(h.upper_bounds[i])
+          << ",\"count\":" << h.cumulative[i] << '}';
+    }
+    if (!h.upper_bounds.empty()) out << ',';
+    out << "{\"le\":\"+Inf\",\"count\":" << h.count << "}]}";
+  }
+  out << "}}";
+  return out.str();
+}
+
+}  // namespace stash::obs

@@ -1,0 +1,170 @@
+#include "obs/trace.hpp"
+
+#include <sstream>
+
+namespace stash::obs {
+
+namespace {
+
+std::string escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Tracer::Tracer(bool enabled, std::size_t capacity)
+    : enabled_(enabled), capacity_(capacity == 0 ? 1 : capacity) {}
+
+SpanId Tracer::start_trace(std::uint64_t query_id, std::string_view name,
+                           sim::SimTime now) {
+  if (!enabled_) return kNoSpan;
+  MutexLock lock(mutex_);
+  if (traces_.count(query_id) == 0) {
+    while (order_.size() >= capacity_) {
+      traces_.erase(order_.front());
+      order_.pop_front();
+    }
+    order_.push_back(query_id);
+  }
+  Trace& trace = traces_[query_id];
+  trace.query_id = query_id;
+  trace.spans.clear();
+  TraceSpan root;
+  root.id = 0;
+  root.parent = kNoSpan;
+  root.name = std::string(name);
+  root.start = now;
+  root.end = now;
+  trace.spans.push_back(std::move(root));
+  return 0;
+}
+
+SpanId Tracer::start_span(std::uint64_t query_id, SpanId parent,
+                          std::string_view name, sim::SimTime now) {
+  return record_span(query_id, parent, name, now, now);
+}
+
+SpanId Tracer::record_span(std::uint64_t query_id, SpanId parent,
+                           std::string_view name, sim::SimTime start,
+                           sim::SimTime end) {
+  if (!enabled_) return kNoSpan;
+  MutexLock lock(mutex_);
+  const auto it = traces_.find(query_id);
+  if (it == traces_.end()) return kNoSpan;  // evicted: no-op
+  Trace& trace = it->second;
+  TraceSpan span;
+  span.id = static_cast<SpanId>(trace.spans.size());
+  span.parent = parent;
+  span.name = std::string(name);
+  span.start = start;
+  span.end = end;
+  trace.spans.push_back(std::move(span));
+  return static_cast<SpanId>(trace.spans.size() - 1);
+}
+
+void Tracer::end_span(std::uint64_t query_id, SpanId span, sim::SimTime now) {
+  if (!enabled_ || span == kNoSpan) return;
+  MutexLock lock(mutex_);
+  const auto it = traces_.find(query_id);
+  if (it == traces_.end()) return;
+  if (span >= it->second.spans.size()) return;
+  it->second.spans[span].end = now;
+}
+
+void Tracer::tag(std::uint64_t query_id, SpanId span, std::string_view key,
+                 std::string_view value) {
+  if (!enabled_ || span == kNoSpan) return;
+  MutexLock lock(mutex_);
+  const auto it = traces_.find(query_id);
+  if (it == traces_.end()) return;
+  if (span >= it->second.spans.size()) return;
+  it->second.spans[span].tags.emplace_back(std::string(key),
+                                           std::string(value));
+}
+
+std::optional<Trace> Tracer::find(std::uint64_t query_id) const {
+  MutexLock lock(mutex_);
+  const auto it = traces_.find(query_id);
+  if (it == traces_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<std::uint64_t> Tracer::query_ids() const {
+  MutexLock lock(mutex_);
+  return {order_.begin(), order_.end()};
+}
+
+std::size_t Tracer::size() const {
+  MutexLock lock(mutex_);
+  return traces_.size();
+}
+
+void Tracer::clear() {
+  MutexLock lock(mutex_);
+  traces_.clear();
+  order_.clear();
+}
+
+std::string to_json(const Trace& trace) {
+  std::ostringstream out;
+  out << "{\"schema\":\"stash-trace-v1\",\"query_id\":" << trace.query_id
+      << ",\"spans\":[";
+  for (std::size_t i = 0; i < trace.spans.size(); ++i) {
+    const TraceSpan& span = trace.spans[i];
+    if (i != 0) out << ',';
+    out << "{\"id\":" << span.id << ",\"parent\":";
+    if (span.parent == kNoSpan) {
+      out << "null";
+    } else {
+      out << span.parent;
+    }
+    out << ",\"name\":\"" << escape(span.name) << "\",\"start_us\":"
+        << span.start << ",\"end_us\":" << span.end << ",\"tags\":{";
+    for (std::size_t t = 0; t < span.tags.size(); ++t) {
+      if (t != 0) out << ',';
+      out << '"' << escape(span.tags[t].first) << "\":\""
+          << escape(span.tags[t].second) << '"';
+    }
+    out << "}}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+namespace {
+
+void render_node(const Trace& trace, SpanId id, int depth,
+                 std::ostringstream& out) {
+  const TraceSpan& span = trace.spans[id];
+  for (int i = 0; i < depth; ++i) out << "  ";
+  out << span.name << " [" << span.start << ".." << span.end << "us] "
+      << span.duration() << "us";
+  for (const auto& [key, value] : span.tags)
+    out << ' ' << key << '=' << value;
+  out << '\n';
+  for (const TraceSpan& child : trace.spans)
+    if (child.parent == id) render_node(trace, child.id, depth + 1, out);
+}
+
+}  // namespace
+
+std::string render_tree(const Trace& trace) {
+  std::ostringstream out;
+  if (trace.spans.empty()) return "(empty trace)\n";
+  out << "query #" << trace.query_id << '\n';
+  render_node(trace, 0, 0, out);
+  return out.str();
+}
+
+}  // namespace stash::obs

@@ -1,5 +1,6 @@
 #include "sim/server.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
@@ -17,6 +18,7 @@ void SimServer::submit(Job job, Completion on_complete) {
     dispatch(std::move(pending));
   } else {
     queue_.push_back(std::move(pending));
+    peak_queue_ = std::max(peak_queue_, queue_.size());
   }
 }
 

@@ -45,6 +45,9 @@ class SimServer {
   [[nodiscard]] SimTime total_service_time() const noexcept { return service_time_; }
   /// Cumulative virtual time jobs spent queued before dispatch.
   [[nodiscard]] SimTime total_queue_wait() const noexcept { return queue_wait_; }
+  /// High-water mark of queue_length() over the server's lifetime (survives
+  /// reset()) — the hotspot detector's signal at its worst.
+  [[nodiscard]] std::size_t peak_queue_length() const noexcept { return peak_queue_; }
 
  private:
   struct Pending {
@@ -64,6 +67,7 @@ class SimServer {
   std::uint64_t completed_ = 0;
   SimTime service_time_ = 0;
   SimTime queue_wait_ = 0;
+  std::size_t peak_queue_ = 0;
 };
 
 }  // namespace stash::sim

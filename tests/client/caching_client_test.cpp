@@ -32,7 +32,7 @@ TEST(CachingClientTest, FirstQueryGoesToBackend) {
   CachingClient client(cluster);
   const ClientResponse response = client.query(kansas_query());
   EXPECT_FALSE(response.fully_local);
-  ASSERT_TRUE(response.backend.has_value());
+  ASSERT_EQ(response.backend.size(), 1u);
   EXPECT_GT(response.cells_from_backend, 0u);
   EXPECT_FALSE(response.cells.empty());
   EXPECT_EQ(client.metrics().backend_queries, 1u);
@@ -47,7 +47,7 @@ TEST(CachingClientTest, InteriorRepeatIsFullyLocal) {
   interior.area = base.area.scaled(0.25);
   const ClientResponse local = client.query(interior);
   EXPECT_TRUE(local.fully_local);
-  EXPECT_FALSE(local.backend.has_value());
+  EXPECT_TRUE(local.backend.empty());
   EXPECT_GT(local.cells_from_frontend, 0u);
   EXPECT_LT(local.latency, sim::kMillisecond);  // no network, no cluster
 }
@@ -83,9 +83,10 @@ TEST(CachingClientTest, PanQueriesOnlyTheMissingStrip) {
   AggregationQuery panned = base;
   panned.area = base.area.translated(0.0, base.area.width() * 0.25);
   const ClientResponse second = client.query(panned);
-  ASSERT_TRUE(second.backend.has_value());
+  ASSERT_EQ(second.backend.size(), 1u);
   // The back-end query covered less area than the full view.
-  EXPECT_LT(second.backend->result_cells, first.backend->result_cells);
+  EXPECT_LT(second.backend.front().result_cells,
+            first.backend.front().result_cells);
   EXPECT_GT(second.cells_from_frontend, 0u);
 }
 
@@ -123,6 +124,28 @@ TEST(CachingClientTest, PrefetchDisabledIssuesNone) {
     view = next;
   }
   EXPECT_EQ(client.metrics().prefetches_issued, 0u);
+}
+
+TEST(CachingClientTest, AntimeridianViewFetchesTwoSeamBoxes) {
+  // Regression: a view crossing ±180° (wrap-encoded: lng_max > 180) used
+  // to collapse into one near-global fetch box.  It must instead issue one
+  // back-end query per side of the seam, each of roughly view width.
+  StashCluster cluster(small_config(), shared_generator());
+  CachingClientConfig config;
+  config.enable_prefetch = false;
+  CachingClient client(cluster, config);
+  AggregationQuery view = kansas_query();
+  // Fiji-ish, chunk-aligned (precision-4 chunks are 0.17578125 x
+  // 0.3515625) so every covered chunk is fully inside and the repeat
+  // below can be answered locally: 177.1875..180 U -180..-177.1875.
+  view.area = {-19.3359375, -16.171875, 177.1875, 182.8125};
+  const ClientResponse response = client.query(view);
+  ASSERT_EQ(response.backend.size(), 2u);
+  EXPECT_EQ(client.metrics().backend_queries, 2u);
+
+  // Absorbing both sides makes the identical view fully local.
+  const ClientResponse again = client.query(view);
+  EXPECT_TRUE(again.fully_local);
 }
 
 TEST(CachingClientTest, InvalidViewThrows) {

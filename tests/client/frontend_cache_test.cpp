@@ -26,9 +26,9 @@ TEST(FrontendCacheTest, EmptyCacheMissesEverything) {
   const FrontendLookup lookup = cache.lookup(query);
   EXPECT_TRUE(lookup.cells.empty());
   EXPECT_FALSE(lookup.missing_chunks.empty());
-  ASSERT_TRUE(lookup.missing_bounds.has_value());
-  // The missing bounds cover the whole query.
-  EXPECT_TRUE(lookup.missing_bounds->contains(query.area.center()));
+  ASSERT_EQ(lookup.missing_boxes.size(), 1u);
+  // The missing box covers the whole query.
+  EXPECT_TRUE(lookup.missing_boxes.front().contains(query.area.center()));
   EXPECT_GT(lookup.local_time, 0);
 }
 
@@ -43,7 +43,7 @@ TEST(FrontendCacheTest, AbsorbThenLookupServesInteriorLocally) {
   AggregationQuery interior = query;
   interior.area = query.area.scaled(0.25);
   const FrontendLookup lookup = cache.lookup(interior);
-  EXPECT_FALSE(lookup.missing_bounds.has_value());
+  EXPECT_TRUE(lookup.missing_boxes.empty());
   EXPECT_FALSE(lookup.cells.empty());
 }
 
@@ -89,17 +89,17 @@ TEST(FrontendCacheTest, MissingBoundsShrinkWithCoverage) {
   query.area = {37.96875, 38.671875, -99.140625, -97.734375};
   const auto full = cache.lookup(query);
   cache.absorb(query, response_for(query), 0);
-  ASSERT_FALSE(cache.lookup(query).missing_bounds.has_value());
+  ASSERT_TRUE(cache.lookup(query).missing_boxes.empty());
 
   // Pan east by 50% (2 chunk columns): only the eastern strip is missing.
   AggregationQuery panned = query;
   panned.area = query.area.translated(0.0, query.area.width() * 0.5);
   const auto partial = cache.lookup(panned);
-  ASSERT_TRUE(partial.missing_bounds.has_value());
-  ASSERT_TRUE(full.missing_bounds.has_value());
-  EXPECT_LT(partial.missing_bounds->area(), full.missing_bounds->area());
+  ASSERT_EQ(partial.missing_boxes.size(), 1u);
+  ASSERT_EQ(full.missing_boxes.size(), 1u);
+  EXPECT_LT(partial.missing_boxes.front().area(), full.missing_boxes.front().area());
   // The missing region lies in the un-cached east.
-  EXPECT_GT(partial.missing_bounds->lng_min, query.area.lng_min);
+  EXPECT_GT(partial.missing_boxes.front().lng_min, query.area.lng_min);
 }
 
 TEST(FrontendCacheTest, CapacityEvictionKeepsCacheBounded) {
@@ -125,7 +125,47 @@ TEST(FrontendCacheTest, InvalidateBlockDropsLocalState) {
       cache.invalidate_block("9y", days_from_civil({2015, 2, 2}));
   EXPECT_GT(dropped, 0u);
   const auto lookup = cache.lookup(query);
-  EXPECT_TRUE(lookup.missing_bounds.has_value());
+  EXPECT_FALSE(lookup.missing_boxes.empty());
+}
+
+TEST(FrontendCacheTest, AntimeridianMissingBoxesSplitAtSeam) {
+  // Regression: chunks straddling ±180° used to be unioned with a naive
+  // lng min/max, producing a near-global fetch box ([-180, 180] wide).
+  // A wrap-encoded query (lng_max > 180) must yield one box per side of
+  // the seam, each about as wide as its band.
+  FrontendCache cache;
+  AggregationQuery query = kansas_query();
+  query.area = {-19.0, -16.0, 177.0, 183.0};  // 177..180 U -180..-177
+  const FrontendLookup lookup = cache.lookup(query);
+  EXPECT_FALSE(lookup.missing_chunks.empty());
+  ASSERT_EQ(lookup.missing_boxes.size(), 2u);
+  double total_width = 0.0;
+  for (const BoundingBox& box : lookup.missing_boxes) {
+    EXPECT_TRUE(box.valid());
+    EXPECT_GE(box.lng_min, -180.0);
+    EXPECT_LE(box.lng_max, 180.0);
+    total_width += box.width();
+  }
+  // 6 degrees of query, chunk-aligned: far from the 360-degree blowup.
+  EXPECT_LT(total_width, 8.0);
+}
+
+TEST(FrontendCacheTest, AntimeridianAbsorbServesBothSeamSides) {
+  FrontendCache cache;
+  AggregationQuery query = kansas_query();
+  // Chunk-aligned so every covered chunk is fully inside the query.
+  query.area = {-19.3359375, -16.171875, 177.1875, 182.8125};
+  CellSummaryMap cells;
+  for (const BoundingBox& band : lng_bands(query.area)) {
+    AggregationQuery part = query;
+    part.area = band;
+    for (auto& [key, summary] : response_for(part)) cells.emplace(key, summary);
+  }
+  cache.absorb(query, cells, 0);
+
+  const FrontendLookup again = cache.lookup(query);
+  EXPECT_TRUE(again.missing_boxes.empty());
+  EXPECT_TRUE(again.missing_chunks.empty());
 }
 
 TEST(FrontendCacheTest, InvalidQueryThrows) {

@@ -68,9 +68,35 @@ TEST(LatencyStatsTest, RecordAllAndSummary) {
   const std::vector<std::int64_t> values{1000, 2000, 3000};
   stats.record_all(values);
   EXPECT_EQ(stats.count(), 3u);
-  const std::string summary = stats.summary_us();
+  const std::string summary = stats.summary_ms();
   EXPECT_NE(summary.find("mean=2.00ms"), std::string::npos);
   EXPECT_NE(summary.find("n=3"), std::string::npos);
+}
+
+TEST(LatencyStatsTest, SummaryConvertsMicrosecondsToMilliseconds) {
+  // Regression for the summary_us -> summary_ms rename: the method takes
+  // microsecond samples and must render them /1000 under an "ms" unit.  A
+  // 1234 us sample is 1.23 ms, never "1234.00ms".
+  LatencyStats stats;
+  stats.record(1234);
+  const std::string summary = stats.summary_ms();
+  EXPECT_NE(summary.find("mean=1.23ms"), std::string::npos);
+  EXPECT_EQ(summary.find("1234.00"), std::string::npos);
+}
+
+TEST(LatencyStatsTest, PercentileEndpointsSingleSample) {
+  LatencyStats stats;
+  stats.record(7);
+  EXPECT_EQ(stats.percentile(0.0), 7);
+  EXPECT_EQ(stats.percentile(0.5), 7);
+  EXPECT_EQ(stats.percentile(1.0), 7);
+}
+
+TEST(LatencyStatsTest, PercentileEndpointsMultiSample) {
+  LatencyStats stats;
+  for (std::int64_t v : {30, 10, 20}) stats.record(v);
+  EXPECT_EQ(stats.percentile(0.0), 10);   // q=0 is the minimum
+  EXPECT_EQ(stats.percentile(1.0), 30);   // q=1 is the maximum
 }
 
 TEST(LatencyStatsTest, PercentilesBracketMean) {

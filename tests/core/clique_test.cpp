@@ -19,6 +19,48 @@ Summary one_observation(double v) {
   return s;
 }
 
+/// Hierarchically consistent contributions for one gh4 region: each s5
+/// cell is the exact merge of its two s6 children and the single s4 cell
+/// the merge of all — so the §V-B roll-up exactness that STASH_AUDIT
+/// enforces after every absorb holds for any subset of levels resident
+/// together.  Cell counts stay 1 (s4) / 8 (s5) / 16 (s6).
+struct Tower {
+  ChunkContribution s4, s5, s6;
+};
+
+Tower consistent_tower(const std::string& prefix4,
+                       const TemporalBin& bin = kDay) {
+  Tower t;
+  const auto init = [&](ChunkContribution& c, const Resolution& res) {
+    c.res = res;
+    c.chunk = ChunkKey(prefix4, bin);
+    const std::int64_t first = c.chunk.first_day();
+    for (std::size_t i = 0; i < c.chunk.day_count(); ++i)
+      c.days.push_back(first + static_cast<std::int64_t>(i));
+  };
+  init(t.s4, kRes4);
+  init(t.s5, kRes5);
+  init(t.s6, kRes6);
+  Summary total(kNamAttributeCount);
+  for (int a = 0; a < 8; ++a) {
+    Summary mid(kNamAttributeCount);
+    for (int b = 0; b < 2; ++b) {
+      const Summary leaf = one_observation(a * 2 + b);
+      std::string gh6 = prefix4;
+      gh6.push_back(geohash::kAlphabet[static_cast<std::size_t>(a)]);
+      gh6.push_back(geohash::kAlphabet[static_cast<std::size_t>(b)]);
+      t.s6.cells.emplace_back(CellKey(gh6, bin), leaf);
+      mid.merge(leaf);
+    }
+    std::string gh5 = prefix4;
+    gh5.push_back(geohash::kAlphabet[static_cast<std::size_t>(a)]);
+    t.s5.cells.emplace_back(CellKey(gh5, bin), mid);
+    total.merge(mid);
+  }
+  t.s4.cells.emplace_back(CellKey(prefix4, bin), total);
+  return t;
+}
+
 ChunkContribution contribution(const Resolution& res, const std::string& prefix,
                                int cells, const TemporalBin& bin = kDay) {
   ChunkContribution c;
@@ -42,9 +84,10 @@ ChunkContribution contribution(const Resolution& res, const std::string& prefix,
 TEST(CliqueTest, BuildCollectsRootAndDescendantLevels) {
   StashGraph graph;
   // Same gh4 region resident at s4, s5, s6 (chunk key identical: "9q8y").
-  graph.absorb(contribution(kRes4, "9q8y", 1), 0);
-  graph.absorb(contribution(kRes5, "9q8y", 8), 0);
-  graph.absorb(contribution(kRes6, "9q8y", 16), 0);
+  const Tower tower = consistent_tower("9q8y");
+  graph.absorb(tower.s4, 0);
+  graph.absorb(tower.s5, 0);
+  graph.absorb(tower.s6, 0);
   const CliqueSelector selector(graph);
 
   const Clique depth1 = selector.build(kRes4, ChunkKey("9q8y", kDay), 1, 0);
@@ -96,8 +139,9 @@ TEST(CliqueTest, SelectTopRespectsCellBudget) {
 
 TEST(CliqueTest, SelectTopAvoidsOverlappingCliques) {
   StashGraph graph;
-  graph.absorb(contribution(kRes4, "9q8y", 1), 0);
-  graph.absorb(contribution(kRes5, "9q8y", 8), 0);
+  const Tower tower = consistent_tower("9q8y");
+  graph.absorb(tower.s4, 0);
+  graph.absorb(tower.s5, 0);
   const CliqueSelector selector(graph);
   const auto top = selector.select_top(0, 1000, 10, 2);
   // The s5 chunk is covered by the s4-rooted clique; it must not be

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "core/graph.hpp"
+
 namespace stash {
 namespace {
 
@@ -61,6 +63,66 @@ TEST(FreshnessTest, FractionalIncrementForDispersion) {
   Freshness f;
   f.touch(0.25, 0, 60 * kSecond);  // the grey-cell dispersion share (Fig 3)
   EXPECT_DOUBLE_EQ(f.at(0, 60 * kSecond), 0.25);
+}
+
+TEST(FreshnessTest, ClockRegressionDoesNotAmplify) {
+  // After a SimServer epoch reset / node restart the clock can sit *behind*
+  // last_update.  The negative dt used to turn exp2(-dt/h) into an
+  // amplifier: at(0) for an entry touched at t=600s came out as
+  // value * 2^10.  Elapsed time must clamp at zero instead.
+  Freshness f;
+  f.touch(2.0, 600 * kSecond, 60 * kSecond);
+  EXPECT_DOUBLE_EQ(f.at(0, 60 * kSecond), 2.0);
+  EXPECT_DOUBLE_EQ(f.at(600 * kSecond, 60 * kSecond), 2.0);
+  EXPECT_DOUBLE_EQ(f.at(660 * kSecond, 60 * kSecond), 1.0);
+}
+
+TEST(FreshnessTest, TouchAfterClockRegressionFoldsWithoutAmplification) {
+  Freshness f;
+  f.touch(4.0, 100 * kSecond, 60 * kSecond);
+  // Regressed clock: the fold must treat the old score as undecayed, not
+  // inflate it, and the entry restarts its life at the regressed time.
+  f.touch(1.0, 0, 60 * kSecond);
+  EXPECT_DOUBLE_EQ(f.value, 5.0);
+  EXPECT_EQ(f.last_update, 0);
+}
+
+/// Eviction-order regression for the restart path: a chunk whose freshness
+/// carries a pre-reset (future-looking) timestamp must not outrank a chunk
+/// the post-restart workload is actively using.
+TEST(FreshnessTest, EvictionAfterClockRegressionDropsStaleChunk) {
+  const TemporalBin day(TemporalRes::Day, 2015, 2, 2);
+  const Resolution res{6, TemporalRes::Day};
+  const auto contribution = [&](const std::string& prefix) {
+    ChunkContribution c;
+    c.res = res;
+    c.chunk = ChunkKey(prefix, day);
+    Summary s(1);
+    const double obs[1] = {1.0};
+    s.add_observation(obs, 1);
+    std::string gh = prefix;
+    gh.resize(6, '0');
+    c.cells.emplace_back(CellKey(gh, day), s);
+    c.days.push_back(c.chunk.first_day());
+    return c;
+  };
+
+  StashGraph graph;
+  // "stale" was last touched at t=600s — then the node restarted and the
+  // clock regressed to zero.  "hot" is what post-restart traffic uses.
+  graph.absorb(contribution("9q8y"), 600 * kSecond);
+  graph.absorb(contribution("dr5r"), 0);
+  for (int i = 1; i <= 3; ++i)
+    graph.touch_region(res, {ChunkKey("dr5r", day)}, i * kSecond);
+
+  // Scores at the regressed clock: stale=1 (clamped, not 1*2^10), hot≈4.
+  EXPECT_LT(graph.chunk_freshness(res, ChunkKey("9q8y", day), 4 * kSecond),
+            graph.chunk_freshness(res, ChunkKey("dr5r", day), 4 * kSecond));
+
+  // Evicting down to one cell must drop the stale chunk, not the hot one.
+  graph.evict_to(1, 4 * kSecond);
+  EXPECT_EQ(graph.find_chunk(res, ChunkKey("9q8y", day)), nullptr);
+  EXPECT_NE(graph.find_chunk(res, ChunkKey("dr5r", day)), nullptr);
 }
 
 }  // namespace

@@ -91,5 +91,26 @@ TEST(BoundingBoxTest, InvalidWhenInverted) {
   EXPECT_FALSE((BoundingBox{0.0, 10.0, 10.0, 0.0}).valid());
 }
 
+TEST(BoundingBoxTest, LngBandsPassThroughNormalizedBox) {
+  const BoundingBox b{10.0, 20.0, -30.0, -10.0};
+  const auto bands = lng_bands(b);
+  ASSERT_EQ(bands.size(), 1u);
+  EXPECT_EQ(bands.front(), b);
+}
+
+TEST(BoundingBoxTest, LngBandsSplitWrapEncodedBox) {
+  // lng_max > 180 wrap-encodes a box crossing the antimeridian.
+  const auto bands = lng_bands(BoundingBox{-19.0, -16.0, 177.0, 183.0});
+  ASSERT_EQ(bands.size(), 2u);
+  EXPECT_EQ(bands[0], (BoundingBox{-19.0, -16.0, 177.0, 180.0}));
+  EXPECT_EQ(bands[1], (BoundingBox{-19.0, -16.0, -180.0, -177.0}));
+}
+
+TEST(BoundingBoxTest, LngBandsFullCircleCollapsesToWorld) {
+  const auto bands = lng_bands(BoundingBox{-10.0, 10.0, -170.0, 200.0});
+  ASSERT_EQ(bands.size(), 1u);
+  EXPECT_EQ(bands.front(), (BoundingBox{-10.0, 10.0, -180.0, 180.0}));
+}
+
 }  // namespace
 }  // namespace stash

@@ -5,9 +5,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <cstdlib>
+
 #include "baseline/elastic.hpp"
 #include "client/caching_client.hpp"
 #include "common/civil_time.hpp"
+#include "obs/metrics.hpp"
 #include "workload/session.hpp"
 
 namespace stash {
@@ -106,6 +110,56 @@ TEST(FullStackTest, CachingClientSessionMatchesDirectCluster) {
     plain_cluster.run_query(session.queries[i], &expected);
     expect_same(expected, via_client.cells,
                 ("query " + std::to_string(i)).c_str());
+  }
+}
+
+TEST(FullStackTest, MetricsExportCoversTheWholeStack) {
+  workload::SessionGenerator gen;
+  workload::SessionConfig session_config;
+  session_config.actions = 20;
+  session_config.min_spatial = 4;
+  session_config.max_spatial = 7;
+  const workload::Session session = gen.generate(session_config);
+
+  StashCluster cluster(config_for(SystemMode::Stash), shared_generator());
+  client::CachingClient caching_client(cluster);
+  // The front-end cache answers some views without touching the cluster, so
+  // count the backend fetches actually issued (an antimeridian view can
+  // issue two per client query).
+  std::uint64_t backend_queries = 0;
+  for (const auto& q : session.queries)
+    backend_queries += caching_client.query(q).backend.size();
+  ASSERT_GT(backend_queries, 0u);
+
+  // The registry's view must agree with what the run actually did.
+  const obs::MetricsSnapshot snap = cluster.metrics_registry().snapshot();
+  const auto counter = [&](const std::string& name) -> double {
+    for (const auto& s : snap.scalars)
+      if (s.name == name) return s.value;
+    ADD_FAILURE() << "missing metric " << name;
+    return 0.0;
+  };
+  EXPECT_EQ(counter("stash_queries_completed_total"),
+            static_cast<double>(backend_queries));
+  EXPECT_GT(counter("stash_subqueries_processed_total"), 0.0);
+  EXPECT_GT(counter("stash_cached_cells"), 0.0);
+  bool found_latency = false;
+  for (const auto& h : snap.histograms)
+    if (h.name == "stash_query_latency_us") {
+      found_latency = true;
+      EXPECT_EQ(h.count, backend_queries);
+    }
+  EXPECT_TRUE(found_latency);
+
+  // CI's observability lane sets STASH_METRICS_EXPORT_PATH and validates the
+  // file against tools/metrics_schema.json; locally this block is skipped.
+  if (const char* path = std::getenv("STASH_METRICS_EXPORT_PATH");
+      path != nullptr && *path != '\0') {
+    std::FILE* out = std::fopen(path, "w");
+    ASSERT_NE(out, nullptr) << "cannot write " << path;
+    std::fprintf(out, "%s\n",
+                 obs::to_json(snap, cluster.loop().now()).c_str());
+    std::fclose(out);
   }
 }
 

@@ -1,0 +1,153 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace stash::obs {
+namespace {
+
+TEST(CounterTest, StartsAtZeroAndAccumulates) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(GaugeTest, SetAndAddBothWays) {
+  Gauge g;
+  g.set(10.0);
+  g.add(-3.5);
+  EXPECT_DOUBLE_EQ(g.value(), 6.5);
+}
+
+TEST(HistogramTest, ObservationsLandInTheRightBuckets) {
+  Histogram h({10.0, 100.0});
+  h.observe(5.0);    // <= 10
+  h.observe(10.0);   // le is inclusive: still the first bucket
+  h.observe(50.0);   // <= 100
+  h.observe(1000.0);  // +Inf
+  const auto counts = h.bucket_counts();
+  ASSERT_EQ(counts.size(), 3u);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[2], 1u);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 1065.0);
+}
+
+TEST(HistogramTest, RejectsUnsortedBounds) {
+  EXPECT_THROW(Histogram({100.0, 10.0}), std::invalid_argument);
+}
+
+TEST(HistogramTest, ConcurrentObservationsAllCounted) {
+  Histogram h(latency_buckets_us());
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&h] {
+      for (int i = 0; i < kPerThread; ++i) h.observe(static_cast<double>(i));
+    });
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads * kPerThread));
+}
+
+TEST(RegistryTest, RegistrationIsIdempotent) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("stash_x_total", "x");
+  Counter& b = reg.counter("stash_x_total", "x");
+  EXPECT_EQ(&a, &b);
+  a.inc();
+  EXPECT_EQ(b.value(), 1u);
+}
+
+TEST(RegistryTest, MismatchedTypeThrows) {
+  MetricsRegistry reg;
+  reg.counter("stash_x_total", "x");
+  EXPECT_THROW(reg.gauge("stash_x_total", "x"), std::invalid_argument);
+  EXPECT_THROW(reg.histogram("stash_x_total", "x", {1.0}),
+               std::invalid_argument);
+  reg.gauge("stash_g", "g");
+  EXPECT_THROW(reg.counter("stash_g", "g"), std::invalid_argument);
+}
+
+TEST(RegistryTest, SnapshotIsSortedByName) {
+  MetricsRegistry reg;
+  reg.counter("stash_zz_total", "later");
+  reg.counter("stash_aa_total", "earlier");
+  reg.gauge("stash_mm", "middle");
+  const MetricsSnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.scalars.size(), 3u);
+  EXPECT_EQ(snap.scalars[0].name, "stash_aa_total");
+  EXPECT_EQ(snap.scalars[1].name, "stash_mm");
+  EXPECT_EQ(snap.scalars[2].name, "stash_zz_total");
+}
+
+TEST(RegistryTest, CallbackMetricsComputedAtSnapshot) {
+  MetricsRegistry reg;
+  double live = 3.0;
+  reg.callback("stash_live", "computed", MetricKind::Gauge,
+               [&live] { return live; });
+  EXPECT_DOUBLE_EQ(reg.snapshot().scalars.at(0).value, 3.0);
+  live = 7.0;
+  EXPECT_DOUBLE_EQ(reg.snapshot().scalars.at(0).value, 7.0);
+}
+
+TEST(ExportTest, PrometheusTextFormat) {
+  MetricsRegistry reg;
+  reg.counter("stash_queries_total", "Queries completed").inc(3);
+  reg.gauge("stash_cells", "Cells resident").set(12.0);
+  reg.histogram("stash_latency_us", "Latency", {10.0, 100.0}).observe(5.0);
+  const std::string text = to_prometheus(reg.snapshot());
+  EXPECT_NE(text.find("# HELP stash_queries_total Queries completed\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE stash_queries_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("stash_queries_total 3\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE stash_cells gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("stash_cells 12\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE stash_latency_us histogram\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("stash_latency_us_bucket{le=\"10\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("stash_latency_us_bucket{le=\"+Inf\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("stash_latency_us_sum 5\n"), std::string::npos);
+  EXPECT_NE(text.find("stash_latency_us_count 1\n"), std::string::npos);
+}
+
+TEST(ExportTest, JsonSchemaShape) {
+  MetricsRegistry reg;
+  reg.counter("stash_queries_total", "Queries").inc(2);
+  reg.gauge("stash_cells", "Cells").set(5.0);
+  reg.histogram("stash_latency_us", "Latency", {10.0}).observe(4.0);
+  const std::string json = to_json(reg.snapshot(), 1234);
+  EXPECT_EQ(json.find("{\"schema\":\"stash-metrics-v1\",\"sim_time_us\":1234"),
+            0u);
+  EXPECT_NE(json.find("\"counters\":{\"stash_queries_total\":2}"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"gauges\":{\"stash_cells\":5}"), std::string::npos);
+  EXPECT_NE(json.find("\"stash_latency_us\":{\"sum\":4,\"count\":1,"
+                      "\"buckets\":[{\"le\":10,\"count\":1},"
+                      "{\"le\":\"+Inf\",\"count\":1}]}"),
+            std::string::npos);
+}
+
+TEST(ExportTest, EqualRegistriesExportIdenticalBytes) {
+  const auto build = [] {
+    MetricsRegistry reg;
+    reg.counter("stash_b_total", "b").inc(7);
+    reg.counter("stash_a_total", "a").inc(1);
+    reg.histogram("stash_h_us", "h", latency_buckets_us()).observe(300.0);
+    return std::make_pair(to_prometheus(reg.snapshot()),
+                          to_json(reg.snapshot(), 99));
+  };
+  EXPECT_EQ(build(), build());
+}
+
+}  // namespace
+}  // namespace stash::obs

@@ -1,0 +1,117 @@
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace stash::obs {
+namespace {
+
+TEST(TracerTest, BuildsASpanTree) {
+  Tracer tracer;
+  const SpanId root = tracer.start_trace(7, "query", 100);
+  const SpanId scatter = tracer.start_span(7, root, "scatter", 100);
+  const SpanId sub = tracer.start_span(7, scatter, "subquery 9q", 100);
+  tracer.tag(7, sub, "target", "3");
+  tracer.end_span(7, sub, 450);
+  tracer.end_span(7, scatter, 450);
+  tracer.end_span(7, root, 500);
+
+  const auto trace = tracer.find(7);
+  ASSERT_TRUE(trace.has_value());
+  ASSERT_EQ(trace->spans.size(), 3u);
+  EXPECT_EQ(trace->spans[0].name, "query");
+  EXPECT_EQ(trace->spans[0].parent, kNoSpan);
+  EXPECT_EQ(trace->spans[0].duration(), 400);
+  EXPECT_EQ(trace->spans[1].parent, root);
+  EXPECT_EQ(trace->spans[2].parent, scatter);
+  ASSERT_EQ(trace->spans[2].tags.size(), 1u);
+  EXPECT_EQ(trace->spans[2].tags[0].first, "target");
+}
+
+TEST(TracerTest, RecordSpanCapturesFinishedInterval) {
+  Tracer tracer;
+  const SpanId root = tracer.start_trace(1, "query", 0);
+  const SpanId serve = tracer.record_span(1, root, "serve", 40, 90);
+  const auto trace = tracer.find(1);
+  ASSERT_TRUE(trace.has_value());
+  EXPECT_EQ(trace->spans[serve].start, 40);
+  EXPECT_EQ(trace->spans[serve].end, 90);
+}
+
+TEST(TracerTest, RingEvictsOldestAndEvictedOpsAreNoOps) {
+  Tracer tracer(true, 2);
+  tracer.start_trace(1, "query", 0);
+  const SpanId root2 = tracer.start_trace(2, "query", 0);
+  tracer.start_trace(3, "query", 0);  // evicts trace 1
+  EXPECT_EQ(tracer.size(), 2u);
+  EXPECT_FALSE(tracer.find(1).has_value());
+  EXPECT_TRUE(tracer.find(2).has_value());
+  // Operations against the evicted id must be safe no-ops.
+  EXPECT_EQ(tracer.start_span(1, 0, "late", 5), kNoSpan);
+  tracer.end_span(1, 0, 9);
+  tracer.tag(1, 0, "k", "v");
+  // ...and must not corrupt the retained traces.
+  tracer.end_span(2, root2, 50);
+  EXPECT_EQ(tracer.find(2)->spans[0].end, 50);
+  const auto ids = tracer.query_ids();
+  ASSERT_EQ(ids.size(), 2u);
+  EXPECT_EQ(ids[0], 2u);
+  EXPECT_EQ(ids[1], 3u);
+}
+
+TEST(TracerTest, DisabledTracerRecordsNothing) {
+  Tracer tracer(false);
+  const SpanId root = tracer.start_trace(1, "query", 0);
+  EXPECT_EQ(root, kNoSpan);
+  EXPECT_EQ(tracer.start_span(1, root, "scatter", 0), kNoSpan);
+  tracer.end_span(1, root, 10);
+  tracer.tag(1, root, "k", "v");
+  EXPECT_EQ(tracer.size(), 0u);
+  EXPECT_FALSE(tracer.find(1).has_value());
+}
+
+TEST(TracerTest, RestartingAQueryIdDropsThePreviousTrace) {
+  Tracer tracer;
+  const SpanId root = tracer.start_trace(1, "query", 0);
+  tracer.start_span(1, root, "scatter", 0);
+  tracer.start_trace(1, "query", 100);
+  const auto trace = tracer.find(1);
+  ASSERT_TRUE(trace.has_value());
+  ASSERT_EQ(trace->spans.size(), 1u);
+  EXPECT_EQ(trace->spans[0].start, 100);
+}
+
+TEST(TraceJsonTest, DeterministicSchemaV1) {
+  Tracer tracer;
+  const SpanId root = tracer.start_trace(7, "query", 0);
+  const SpanId sub = tracer.start_span(7, root, "subquery 9q", 10);
+  tracer.tag(7, sub, "target", "3");
+  tracer.end_span(7, sub, 60);
+  tracer.end_span(7, root, 80);
+  const std::string json = to_json(*tracer.find(7));
+  EXPECT_EQ(json,
+            "{\"schema\":\"stash-trace-v1\",\"query_id\":7,\"spans\":["
+            "{\"id\":0,\"parent\":null,\"name\":\"query\",\"start_us\":0,"
+            "\"end_us\":80,\"tags\":{}},"
+            "{\"id\":1,\"parent\":0,\"name\":\"subquery 9q\",\"start_us\":10,"
+            "\"end_us\":60,\"tags\":{\"target\":\"3\"}}]}");
+}
+
+TEST(TraceRenderTest, IndentedTreeWithDurationsAndTags) {
+  Tracer tracer;
+  const SpanId root = tracer.start_trace(3, "query", 0);
+  const SpanId scatter = tracer.start_span(3, root, "scatter", 0);
+  const SpanId sub = tracer.start_span(3, scatter, "subquery dr", 0);
+  tracer.tag(3, sub, "outcome", "ok");
+  tracer.end_span(3, sub, 300);
+  tracer.end_span(3, scatter, 300);
+  tracer.end_span(3, root, 400);
+  const std::string tree = render_tree(*tracer.find(3));
+  EXPECT_EQ(tree,
+            "query #3\n"
+            "query [0..400us] 400us\n"
+            "  scatter [0..300us] 300us\n"
+            "    subquery dr [0..300us] 300us outcome=ok\n");
+}
+
+}  // namespace
+}  // namespace stash::obs

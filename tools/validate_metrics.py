@@ -1,0 +1,157 @@
+#!/usr/bin/env python3
+"""Validate stash-metrics-v1 JSON exports against tools/metrics_schema.json.
+
+Usage:
+    tools/validate_metrics.py FILE [FILE ...]
+
+Exits 0 when every file validates, 1 otherwise, printing one line per
+problem.  Used by the CI observability lane on the payloads written by the
+full-stack test (STASH_METRICS_EXPORT_PATH), `stashctl --metrics-json`, and
+the bench figures (STASH_BENCH_METRICS_DIR).
+
+Implements the small JSON Schema subset the checked-in schema uses (type,
+const, required, properties, patternProperties, additionalProperties,
+minimum, minItems, items, anyOf, $ref into #/definitions) so it runs on a
+stock python3 with no third-party packages, then layers on semantic checks a
+generic validator can't express: histogram bucket counts must be cumulative
+(non-decreasing, ending at an explicit +Inf bucket equal to `count`).
+"""
+
+import json
+import re
+import sys
+
+
+class Problem(Exception):
+    pass
+
+
+def _type_ok(value, expected):
+    if expected == "object":
+        return isinstance(value, dict)
+    if expected == "array":
+        return isinstance(value, list)
+    if expected == "string":
+        return isinstance(value, str)
+    if expected == "integer":
+        return isinstance(value, int) and not isinstance(value, bool)
+    if expected == "number":
+        return isinstance(value, (int, float)) and not isinstance(value, bool)
+    raise Problem(f"schema uses unsupported type {expected!r}")
+
+
+def _resolve(schema, root):
+    ref = schema.get("$ref")
+    if ref is None:
+        return schema
+    if not ref.startswith("#/"):
+        raise Problem(f"unsupported $ref {ref!r}")
+    node = root
+    for part in ref[2:].split("/"):
+        node = node[part]
+    return node
+
+
+def validate(value, schema, root, path):
+    schema = _resolve(schema, root)
+
+    if "const" in schema:
+        if value != schema["const"]:
+            raise Problem(f"{path}: expected {schema['const']!r}, got {value!r}")
+        return
+
+    if "anyOf" in schema:
+        for option in schema["anyOf"]:
+            try:
+                validate(value, option, root, path)
+                return
+            except Problem:
+                continue
+        raise Problem(f"{path}: {value!r} matches no anyOf branch")
+
+    if "type" in schema and not _type_ok(value, schema["type"]):
+        raise Problem(f"{path}: expected {schema['type']}, "
+                      f"got {type(value).__name__}")
+
+    if "minimum" in schema and isinstance(value, (int, float)) \
+            and not isinstance(value, bool) and value < schema["minimum"]:
+        raise Problem(f"{path}: {value} below minimum {schema['minimum']}")
+
+    if isinstance(value, dict):
+        for key in schema.get("required", []):
+            if key not in value:
+                raise Problem(f"{path}: missing required key {key!r}")
+        props = schema.get("properties", {})
+        patterns = {re.compile(p): s
+                    for p, s in schema.get("patternProperties", {}).items()}
+        extra_allowed = schema.get("additionalProperties", True)
+        for key, child in value.items():
+            child_path = f"{path}.{key}"
+            if key in props:
+                validate(child, props[key], root, child_path)
+            else:
+                matched = False
+                for pattern, sub in patterns.items():
+                    if pattern.search(key):
+                        matched = True
+                        validate(child, sub, root, child_path)
+                if not matched and extra_allowed is False:
+                    raise Problem(f"{path}: unexpected key {key!r}")
+
+    if isinstance(value, list):
+        if "minItems" in schema and len(value) < schema["minItems"]:
+            raise Problem(f"{path}: fewer than {schema['minItems']} items")
+        if "items" in schema:
+            for i, item in enumerate(value):
+                validate(item, schema["items"], root, f"{path}[{i}]")
+
+
+def check_histogram_semantics(doc):
+    for name, hist in doc.get("histograms", {}).items():
+        buckets = hist["buckets"]
+        if buckets[-1]["le"] != "+Inf":
+            raise Problem(f"histograms.{name}: last bucket must be +Inf")
+        bounds = [b["le"] for b in buckets[:-1]]
+        if any(not isinstance(b, (int, float)) for b in bounds):
+            raise Problem(f"histograms.{name}: only the last bucket may be +Inf")
+        if bounds != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise Problem(f"histograms.{name}: bucket bounds must be strictly "
+                          "increasing")
+        counts = [b["count"] for b in buckets]
+        if counts != sorted(counts):
+            raise Problem(f"histograms.{name}: bucket counts must be "
+                          "cumulative (non-decreasing)")
+        if counts[-1] != hist["count"]:
+            raise Problem(f"histograms.{name}: +Inf bucket ({counts[-1]}) != "
+                          f"count ({hist['count']})")
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip().splitlines()[2].strip(), file=sys.stderr)
+        return 2
+    schema_path = __file__.rsplit("/", 1)[0] + "/metrics_schema.json"
+    with open(schema_path, encoding="utf-8") as f:
+        schema = json.load(f)
+
+    failures = 0
+    for path in argv[1:]:
+        try:
+            with open(path, encoding="utf-8") as f:
+                doc = json.load(f)
+            validate(doc, schema, schema, "$")
+            check_histogram_semantics(doc)
+        except (OSError, json.JSONDecodeError, Problem) as err:
+            print(f"FAIL {path}: {err}")
+            failures += 1
+        else:
+            counters = len(doc["counters"])
+            gauges = len(doc["gauges"])
+            hists = len(doc["histograms"])
+            print(f"OK   {path}: {counters} counters, {gauges} gauges, "
+                  f"{hists} histograms at t={doc['sim_time_us']}us")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
