@@ -1,0 +1,289 @@
+// Overload robustness demo (DESIGN.md "Overload & graceful degradation").
+//
+// A Zipf-skewed city workload concentrates on one DHT partition and is
+// driven open-loop at ~2x the owning node's calibrated capacity, with
+// dynamic replication off — admission control has to absorb the excess,
+// not a helper.  With overload controls on (bounded queue, per-query
+// deadline, retry budget, degraded answers) the node sheds what it cannot
+// serve and answers shed subqueries from cached PLM-complete ancestor
+// levels: goodput stays at capacity, the popular head stays exact, the
+// cold tail degrades to s5, and nothing ever outlives its deadline.  With
+// the legacy config (unbounded queue, no deadline, unlimited retries) the
+// same burst collapses into queueing delay and a retry storm.
+//
+// The run self-checks its acceptance criteria and exits non-zero on
+// failure, so CI can use it as an overload soak:
+//   1. every query completes by its deadline (+1 us scheduler tick);
+//   2. goodput (full-coverage completions within the deadline) >= 95% of
+//      offered load — i.e. ~2x the calibrated capacity, because degraded
+//      answers are served from cache instead of a worker;
+//   3. the hot node's queue never exceeds the configured limit;
+//   4. shedding and coarsening actually engaged (the run was an overload).
+//
+//   ./build/examples/chaos_overload [--metrics-json FILE]
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "common/zipf.hpp"
+#include "geo/geohash.hpp"
+#include "obs/metrics.hpp"
+#include "workload/workload.hpp"
+
+using namespace stash;
+using cluster::ClusterConfig;
+using cluster::StashCluster;
+
+namespace {
+
+constexpr std::uint32_t kNodes = 16;
+constexpr std::size_t kRegions = 8;      // distinct city rectangles
+constexpr std::size_t kWarmRegions = 4;  // head of the Zipf: cached at s6
+constexpr double kSkew = 1.2;
+constexpr std::size_t kQueries = 8000;
+constexpr sim::SimTime kDeadline = 50 * sim::kMillisecond;
+constexpr std::size_t kQueueLimit = 32;
+
+struct Scenario {
+  std::vector<AggregationQuery> burst;
+  std::vector<AggregationQuery> regions;  // rank order, most popular first
+  NodeId hot_node = 0;
+};
+
+/// All regions inside one 2-character geohash partition ("9y", central
+/// US), so every subquery lands on a single owner node.
+Scenario make_scenario() {
+  Scenario s;
+  const BoundingBox cell = geohash::decode("9y");
+  const auto extent = workload::extent_of(workload::QueryGroup::City);
+  workload::WorkloadConfig wl_config;
+  wl_config.domain = cell;
+  const workload::WorkloadGenerator wl(wl_config);
+
+  Rng rng(0x4f564c44ULL);  // placement + popularity sampling
+  for (std::size_t i = 0; i < kRegions; ++i) {
+    const LatLng center{
+        rng.uniform(cell.lat_min + extent.dlat, cell.lat_max - extent.dlat),
+        rng.uniform(cell.lng_min + extent.dlng, cell.lng_max - extent.dlng)};
+    s.regions.push_back(wl.query_at(workload::QueryGroup::City, center));
+  }
+  const ZipfDistribution zipf(kRegions, kSkew);
+  for (std::size_t i = 0; i < kQueries; ++i)
+    s.burst.push_back(s.regions[zipf.sample(rng)]);
+
+  const ClusterConfig probe;
+  const ZeroHopDht dht(kNodes, probe.partition_prefix_length);
+  s.hot_node = dht.node_for_partition("9y");
+  return s;
+}
+
+ClusterConfig base_config() {
+  ClusterConfig config;
+  config.num_nodes = kNodes;
+  config.mode = cluster::SystemMode::StashNoReplication;  // no helpers
+  config.discard_payload = true;  // bound memory across the burst
+  config.tracing = false;        // shave wall-clock in the soak lane
+  return config;
+}
+
+/// Warm the hierarchy: s5 ancestor over the whole partition (the degraded
+/// answer source), s6 exact over the popular head only — the Zipf tail
+/// stays cold at the requested resolution.
+void warm(StashCluster& cluster, const Scenario& s) {
+  AggregationQuery ancestor = s.burst.front();
+  ancestor.area = geohash::decode("9y");
+  ancestor.res = {5, TemporalRes::Day};
+  cluster.preload(ancestor);
+  for (std::size_t i = 0; i < kWarmRegions; ++i) cluster.preload(s.regions[i]);
+}
+
+/// Mean per-query busy time (us) on a warmed cluster, from the subquery
+/// service-time histogram: the hot node serves ~capacity = workers / mean.
+double calibrate_service_us(const Scenario& s) {
+  StashCluster cluster(base_config(), std::make_shared<const NamGenerator>());
+  warm(cluster, s);
+  std::vector<AggregationQuery> probe;
+  for (int i = 0; i < 40; ++i)
+    probe.push_back(s.regions[static_cast<std::size_t>(i) % kWarmRegions]);
+  double sum = 0.0;
+  std::uint64_t count = 0;
+  for (const auto& h : cluster.metrics_registry().snapshot().histograms)
+    if (h.name == "stash_subquery_service_us") {
+      sum = h.sum;
+      count = h.count;
+    }
+  cluster.run_sequence(probe);
+  for (const auto& h : cluster.metrics_registry().snapshot().histograms)
+    if (h.name == "stash_subquery_service_us") {
+      sum = h.sum - sum;
+      count = h.count - count;
+    }
+  return count > 0 ? sum / static_cast<double>(count) : 1.0;
+}
+
+struct RunResult {
+  std::vector<cluster::QueryStats> stats;
+  cluster::ClusterMetrics metrics;
+  std::size_t peak_queue = 0;
+  std::string metrics_json;
+};
+
+RunResult run(const ClusterConfig& config, const Scenario& s,
+              sim::SimTime interarrival) {
+  StashCluster cluster(config, std::make_shared<const NamGenerator>());
+  warm(cluster, s);
+
+  // Sample the hot node's queue on the arrival clock: the bound we assert
+  // is on observed depth, not on a counter the server maintains itself.
+  RunResult out;
+  const sim::SimTime horizon =
+      static_cast<sim::SimTime>(kQueries) * interarrival;
+  for (sim::SimTime t = 0; t <= horizon; t += interarrival)
+    cluster.loop().schedule(t, [&] {
+      out.peak_queue =
+          std::max(out.peak_queue, cluster.node_queue_length(s.hot_node));
+    });
+
+  out.stats = cluster.run_open_loop(s.burst, interarrival);
+  out.metrics = cluster.metrics();
+  out.metrics_json = obs::to_json(cluster.metrics_registry().snapshot(),
+                                  cluster.loop().now());
+  return out;
+}
+
+struct BurstSummary {
+  double p50_ms = 0.0, p99_ms = 0.0;
+  std::size_t within_slo_full = 0;  // full coverage AND latency <= SLO
+  std::size_t exact = 0, degraded = 0, partial = 0;
+  sim::SimTime worst_overrun = 0;   // max(completed_at - deadline), deadline>0
+};
+
+BurstSummary summarize(const std::vector<cluster::QueryStats>& stats) {
+  BurstSummary sum;
+  std::vector<sim::SimTime> lat;
+  lat.reserve(stats.size());
+  for (const auto& st : stats) {
+    lat.push_back(st.latency());
+    if (st.partial) ++sum.partial;
+    else if (st.degraded) ++sum.degraded;
+    else ++sum.exact;
+    if (!st.partial && st.latency() <= kDeadline) ++sum.within_slo_full;
+    if (st.deadline != 0 && st.completed_at > st.deadline)
+      sum.worst_overrun =
+          std::max(sum.worst_overrun, st.completed_at - st.deadline);
+  }
+  std::sort(lat.begin(), lat.end());
+  sum.p50_ms = sim::to_millis(lat[lat.size() / 2]);
+  sum.p99_ms = sim::to_millis(lat[lat.size() * 99 / 100]);
+  return sum;
+}
+
+void report(const char* label, const RunResult& r, const BurstSummary& sum) {
+  const auto& m = r.metrics;
+  std::printf("%s\n", label);
+  std::printf("  latency p50 / p99:      %8.2f / %8.2f ms\n", sum.p50_ms,
+              sum.p99_ms);
+  std::printf("  within %2.0f ms SLO, full: %zu of %zu (%.1f%%)\n",
+              sim::to_millis(kDeadline), sum.within_slo_full,
+              r.stats.size(),
+              100.0 * static_cast<double>(sum.within_slo_full) /
+                  static_cast<double>(r.stats.size()));
+  std::printf("  exact / degraded / partial: %zu / %zu / %zu\n", sum.exact,
+              sum.degraded, sum.partial);
+  std::printf("  hot-node peak queue:    %zu\n", r.peak_queue);
+  std::printf("  shed / expired / deadline-cut subqueries: %llu / %llu / %llu\n",
+              static_cast<unsigned long long>(m.subqueries_shed),
+              static_cast<unsigned long long>(m.subqueries_expired),
+              static_cast<unsigned long long>(m.deadline_cut_subqueries));
+  std::printf("  retries / suppressed:   %llu / %llu\n",
+              static_cast<unsigned long long>(m.subquery_retries),
+              static_cast<unsigned long long>(m.retries_suppressed));
+  std::printf("\n");
+}
+
+bool check(bool ok, const char* what) {
+  std::printf("  [%s] %s\n", ok ? "PASS" : "FAIL", what);
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string metrics_json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--metrics-json") == 0 && i + 1 < argc)
+      metrics_json_path = argv[++i];
+    else {
+      std::fprintf(stderr, "usage: %s [--metrics-json FILE]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  const Scenario scenario = make_scenario();
+  const double service_us = calibrate_service_us(scenario);
+  const ClusterConfig probe = base_config();
+  // Arrival rate = 2x capacity: interarrival = mean service / (2 * workers).
+  const auto interarrival = std::max<sim::SimTime>(
+      1, static_cast<sim::SimTime>(
+             service_us / (2.0 * static_cast<double>(probe.workers_per_node))));
+
+  std::printf("zipf(%zu regions, s=%.1f) city burst: %zu queries against "
+              "node %u, warm mean service %.0f us -> arrivals every %lld us "
+              "(2x the node's %d workers)\n\n",
+              kRegions, kSkew, scenario.burst.size(), scenario.hot_node,
+              service_us, static_cast<long long>(interarrival),
+              probe.workers_per_node);
+
+  ClusterConfig controlled = base_config();
+  controlled.queue_limit = kQueueLimit;
+  controlled.admission_policy = sim::AdmissionPolicy::kRejectNew;
+  controlled.query_deadline = kDeadline;
+  controlled.retry_budget = 2.0;
+  controlled.subquery_timeout = 25 * sim::kMillisecond;
+  const RunResult on = run(controlled, scenario, interarrival);
+  const BurstSummary on_sum = summarize(on.stats);
+  report("overload controls on (queue limit, deadline, retry budget):", on,
+         on_sum);
+
+  ClusterConfig legacy = base_config();
+  legacy.queue_limit = 0;      // unbounded queue
+  legacy.query_deadline = 0;   // no deadline
+  legacy.retry_budget = 0.0;   // unlimited retries
+  legacy.degraded_answers = false;
+  legacy.subquery_timeout = 25 * sim::kMillisecond;  // -> retry storm
+  const RunResult off = run(legacy, scenario, interarrival);
+  const BurstSummary off_sum = summarize(off.stats);
+  report("legacy config (unbounded queue, no deadline, retry storm):", off,
+         off_sum);
+
+  std::printf("acceptance checks (controls on):\n");
+  bool ok = true;
+  ok &= check(on_sum.worst_overrun <= 1,
+              "no query outlives its deadline by more than 1 us");
+  ok &= check(on_sum.within_slo_full * 100 >= on.stats.size() * 95,
+              "goodput >= 95% of offered load at 2x capacity");
+  ok &= check(on.peak_queue <= kQueueLimit,
+              "hot-node queue stays within the configured limit");
+  ok &= check(on.metrics.subqueries_shed > 0 &&
+                  on.metrics.degraded_subqueries > 0,
+              "shedding and ancestor-level coarsening both engaged");
+
+  if (!metrics_json_path.empty()) {
+    std::FILE* f = metrics_json_path == "-"
+                       ? stdout
+                       : std::fopen(metrics_json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "%s: cannot write %s\n", argv[0],
+                   metrics_json_path.c_str());
+      return 2;
+    }
+    std::fprintf(f, "%s\n", on.metrics_json.c_str());
+    if (f != stdout) std::fclose(f);
+  }
+  return ok ? 0 : 1;
+}

@@ -13,6 +13,14 @@
 //                           repeatable
 //     --drop P              drop each message with probability P
 //     --no-failover         disable successor failover (degrade to partial)
+//     --queue-limit N       bound each node's pending queue (0 = unbounded);
+//                           a full queue sheds work with explicit pushback
+//     --deadline-ms MS      per-query deadline; at MS ms the query completes
+//                           with whatever has arrived (missing partitions
+//                           reported honestly)
+//     --retry-budget N      retry token bucket per query (0 = unlimited);
+//                           exact responses refill half a token
+//     --help                print this usage and exit
 //     --audit               after the runs, audit every node's graph, guest
 //                           graph and routing table; exit 1 on violations
 //     --metrics             print the cluster's metrics in Prometheus text
@@ -45,16 +53,17 @@ using namespace stash;
 
 namespace {
 
-[[noreturn]] void usage(const char* argv0) {
-  std::fprintf(stderr,
+[[noreturn]] void usage(const char* argv0, bool requested = false) {
+  std::fprintf(requested ? stdout : stderr,
                "usage: %s [--date YYYY-MM-DD] [--sres N] "
                "[--tres hour|day|month] [--nodes N] [--mode stash|basic] "
                "[--repeat N] [--json] [--crash N@MS[:MS]] [--drop P] "
-               "[--no-failover] [--audit] [--metrics] [--metrics-json FILE] "
-               "[--trace ID|last] "
+               "[--no-failover] [--queue-limit N] [--deadline-ms MS] "
+               "[--retry-budget N] [--audit] [--metrics] "
+               "[--metrics-json FILE] [--trace ID|last] [--help] "
                "<lat_min> <lat_max> <lng_min> <lng_max>\n",
                argv0);
-  std::exit(2);
+  std::exit(requested ? 0 : 2);
 }
 
 bool parse_date(const std::string& text, CivilDate* out) {
@@ -81,6 +90,9 @@ int main(int argc, char** argv) {
   std::string metrics_json_path;
   std::string trace_spec;
   bool failover = true;
+  long queue_limit = 0;
+  double deadline_ms = 0.0;
+  double retry_budget = 0.0;
   sim::FaultPlan plan;
   std::vector<double> coords;
 
@@ -129,6 +141,17 @@ int main(int argc, char** argv) {
       plan.links.push_back(rule);
     } else if (arg == "--no-failover") {
       failover = false;
+    } else if (arg == "--queue-limit") {
+      queue_limit = std::atol(next().c_str());
+      if (queue_limit < 0) usage(argv[0]);
+    } else if (arg == "--deadline-ms") {
+      deadline_ms = std::atof(next().c_str());
+      if (deadline_ms < 0.0) usage(argv[0]);
+    } else if (arg == "--retry-budget") {
+      retry_budget = std::atof(next().c_str());
+      if (retry_budget < 0.0) usage(argv[0]);
+    } else if (arg == "--help") {
+      usage(argv[0], /*requested=*/true);
     } else if (arg == "--audit") {
       audit = true;
     } else if (arg == "--metrics") {
@@ -161,6 +184,10 @@ int main(int argc, char** argv) {
   config.mode = mode;
   config.fault_plan = plan;
   config.failover_to_successor = failover;
+  config.queue_limit = static_cast<std::size_t>(queue_limit);
+  config.query_deadline =
+      static_cast<sim::SimTime>(std::llround(deadline_ms * 1000.0));
+  config.retry_budget = retry_budget;
   if (!plan.empty()) config.subquery_timeout = 20 * sim::kMillisecond;
   std::optional<cluster::StashCluster> maybe_cluster;
   try {
@@ -191,7 +218,19 @@ int main(int argc, char** argv) {
                 last.stats.breakdown.chunks_from_cache,
                 last.stats.breakdown.chunks_synthesized,
                 last.stats.breakdown.chunks_scanned,
-                last.stats.partial ? "  [PARTIAL]" : "");
+                last.stats.partial     ? "  [PARTIAL]"
+                : last.stats.degraded ? "  [DEGRADED]"
+                                      : "");
+  }
+  if (queue_limit > 0 || deadline_ms > 0.0 || retry_budget > 0.0) {
+    const auto& m = cluster.metrics();
+    std::printf("overload control: shed=%llu expired=%llu degraded=%llu "
+                "deadline-cut=%llu suppressed-retries=%llu\n",
+                static_cast<unsigned long long>(m.subqueries_shed),
+                static_cast<unsigned long long>(m.subqueries_expired),
+                static_cast<unsigned long long>(m.degraded_subqueries),
+                static_cast<unsigned long long>(m.deadline_cut_subqueries),
+                static_cast<unsigned long long>(m.retries_suppressed));
   }
   if (!plan.empty()) {
     const auto& m = cluster.metrics();

@@ -38,9 +38,16 @@ ClientResponse CachingClient::query(const AggregationQuery& view) {
       ++metrics_.backend_queries;
       CellSummaryMap backend_cells;
       response.backend.push_back(cluster_.run_query(backend_query, &backend_cells));
-      response.latency += response.backend.back().latency();
+      const cluster::QueryStats& stats = response.backend.back();
+      response.latency += stats.latency();
       response.cells_from_backend += backend_cells.size();
-      cache_.absorb(backend_query, backend_cells, cluster_.loop().now());
+      response.partial = response.partial || stats.partial;
+      response.degraded = response.degraded || stats.degraded;
+      // Only exact, complete responses may warm the front-end cache: a
+      // partial answer would cache holes as "empty", and a degraded one
+      // would file coarse cells under the wrong resolution.
+      if (!stats.partial && !stats.degraded)
+        cache_.absorb(backend_query, backend_cells, cluster_.loop().now());
       // The back-end query was chunk-aligned (possibly larger than the
       // view): clip the rendered response back to what the user asked for.
       for (auto& [key, summary] : backend_cells) {
@@ -75,8 +82,9 @@ void CachingClient::maybe_prefetch(const AggregationQuery& view) {
     AggregationQuery prefetch = *predicted;
     prefetch.area = box;
     CellSummaryMap cells;
-    cluster_.run_query(prefetch, &cells);
-    cache_.absorb(prefetch, cells, cluster_.loop().now());
+    const cluster::QueryStats stats = cluster_.run_query(prefetch, &cells);
+    if (!stats.partial && !stats.degraded)
+      cache_.absorb(prefetch, cells, cluster_.loop().now());
   }
 }
 

@@ -31,6 +31,15 @@ struct ClientResponse {
   CellSummaryMap cells;
   sim::SimTime latency = 0;          // what the user waited
   bool fully_local = false;          // served without touching the cluster
+  /// Any backend fetch came back with missing partitions (holes in the
+  /// rendered view).  Partial responses are NOT absorbed into the
+  /// front-end cache: a hole must stay a backend re-fetch, not become a
+  /// cached "nothing here".
+  bool partial = false;
+  /// Any backend fetch was served (in part) from a coarser ancestor level.
+  /// Complete and correct at that resolution, but also not absorbed — the
+  /// cache must only ever hold cells at the resolution it indexes by.
+  bool degraded = false;
   std::size_t cells_from_frontend = 0;
   std::size_t cells_from_backend = 0;
   /// One entry per backend fetch box.  Usually 0 (fully local) or 1; a

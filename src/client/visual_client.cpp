@@ -70,7 +70,12 @@ ViewResult VisualClient::refresh() { return execute(); }
 std::string VisualClient::to_json(const ViewResult& result, std::size_t max_cells) {
   std::ostringstream out;
   out << "{\"latency_ms\":" << sim::to_millis(result.stats.latency())
-      << ",\"cells\":" << result.cells.size() << ",\"data\":[";
+      << ",\"cells\":" << result.cells.size();
+  // A panel must be able to badge non-exact views: partial = holes in the
+  // map, degraded = complete but coarser than requested.
+  if (result.stats.partial) out << ",\"partial\":true";
+  if (result.stats.degraded) out << ",\"degraded\":true";
+  out << ",\"data\":[";
   const std::size_t n = std::min(max_cells, result.cells.size());
   for (std::size_t i = 0; i < n; ++i) {
     const auto& cell = result.cells[i];

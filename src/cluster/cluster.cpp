@@ -16,13 +16,14 @@ constexpr std::size_t kAckBytes = 64;  // Ack / NACK / Replication Response
 
 StashCluster::Node::Node(NodeId node_id, const StashConfig& stash_config,
                          const GalileoStore& store, sim::EventLoop& loop,
-                         int workers, std::uint64_t seed)
+                         const sim::SimServer::Config& server_config,
+                         std::uint64_t seed)
     : id(node_id),
       graph(stash_config),
       guest_graph(stash_config),
       engine(graph, store),
       guest_engine(guest_graph, store),
-      server(loop, workers),
+      server(loop, server_config),
       maintenance(loop, 1),  // the paper's "separate thread" for population
       last_handoff(std::numeric_limits<sim::SimTime>::min() / 2),
       last_handoff_attempt(std::numeric_limits<sim::SimTime>::min() / 2),
@@ -67,8 +68,28 @@ StashCluster::Counters::Counters(obs::MetricsRegistry& reg)
       failed_subqueries(reg.counter("stash_failed_subqueries_total",
                                     "Subqueries that exhausted every attempt")),
       partial_queries(reg.counter("stash_partial_queries_total",
-                                  "Queries completed with missing partitions")) {
-}
+                                  "Queries completed with missing partitions")),
+      subqueries_shed(reg.counter(
+          "stash_subqueries_shed_total",
+          "Subquery jobs rejected by node admission control")),
+      subqueries_expired(reg.counter(
+          "stash_subqueries_expired_total",
+          "Subquery jobs whose deadline expired in a node queue")),
+      degraded_subqueries(reg.counter(
+          "stash_degraded_subqueries_total",
+          "Subqueries answered from a cached coarser ancestor level")),
+      degraded_queries(reg.counter(
+          "stash_degraded_queries_total",
+          "Queries completed with at least one degraded partition")),
+      deadline_cut_subqueries(reg.counter(
+          "stash_deadline_cut_subqueries_total",
+          "Subqueries cut off when their query deadline fired")),
+      deadline_cut_queries(reg.counter(
+          "stash_deadline_cut_queries_total",
+          "Queries finalized by the deadline timer")),
+      retries_suppressed(reg.counter(
+          "stash_retries_suppressed_total",
+          "Retries denied by an exhausted per-query retry budget")) {}
 
 StashCluster::StashCluster(ClusterConfig config,
                            std::shared_ptr<const NamGenerator> generator)
@@ -94,9 +115,11 @@ StashCluster::StashCluster(ClusterConfig config,
           obs::latency_buckets_us())) {
   if (!generator_) throw std::invalid_argument("StashCluster: null generator");
   nodes_.reserve(config_.num_nodes);
+  const sim::SimServer::Config server_config{
+      config_.workers_per_node, config_.queue_limit, config_.admission_policy};
   for (NodeId id = 0; id < config_.num_nodes; ++id)
     nodes_.push_back(std::make_unique<Node>(id, config_.stash, store_, loop_,
-                                            config_.workers_per_node,
+                                            server_config,
                                             config_.seed ^ mix64(id)));
   register_callback_metrics();
   // Crash wipes volatile state only — the Galileo store survives, so any
@@ -167,6 +190,31 @@ void StashCluster::register_callback_metrics() {
                          peak = std::max(peak, node->server.peak_queue_length());
                        return static_cast<double>(peak);
                      });
+  registry_.callback("stash_server_jobs_shed_total",
+                     "Jobs shed by admission control across all node servers",
+                     MetricKind::Counter, [this] {
+                       std::uint64_t total = 0;
+                       for (const auto& node : nodes_)
+                         total += node->server.shed_jobs();
+                       return static_cast<double>(total);
+                     });
+  registry_.callback("stash_server_jobs_expired_total",
+                     "Jobs whose deadline expired while queued, all servers",
+                     MetricKind::Counter, [this] {
+                       std::uint64_t total = 0;
+                       for (const auto& node : nodes_)
+                         total += node->server.expired_jobs();
+                       return static_cast<double>(total);
+                     });
+  registry_.callback("stash_server_jobs_dropped_total",
+                     "Jobs wiped by server resets (crashes), all servers",
+                     MetricKind::Counter, [this] {
+                       std::uint64_t total = 0;
+                       for (const auto& node : nodes_)
+                         total += node->server.dropped_jobs() +
+                                  node->maintenance.dropped_jobs();
+                       return static_cast<double>(total);
+                     });
   // Per-node graph counters (core/graph.hpp Stats), summed over local and
   // guest graphs at snapshot time.  Stats are lifetime-cumulative and
   // survive clear(), so crash wipes do not make these go backwards.
@@ -231,6 +279,13 @@ ClusterMetrics StashCluster::metrics() const {
   m.failovers = counters_.failovers.value();
   m.failed_subqueries = counters_.failed_subqueries.value();
   m.partial_queries = counters_.partial_queries.value();
+  m.subqueries_shed = counters_.subqueries_shed.value();
+  m.subqueries_expired = counters_.subqueries_expired.value();
+  m.degraded_subqueries = counters_.degraded_subqueries.value();
+  m.degraded_queries = counters_.degraded_queries.value();
+  m.deadline_cut_subqueries = counters_.deadline_cut_subqueries.value();
+  m.deadline_cut_queries = counters_.deadline_cut_queries.value();
+  m.retries_suppressed = counters_.retries_suppressed.value();
   return m;
 }
 
@@ -374,17 +429,33 @@ void StashCluster::submit_impl(const AggregationQuery& query, Callback done,
   pending.root_span = tracer_.start_trace(id, "query", loop_.now());
   pending.scatter_span =
       tracer_.start_span(id, pending.root_span, "scatter", loop_.now());
+  if (config_.query_deadline > 0) {
+    pending.deadline = loop_.now() + config_.query_deadline;
+    pending.stats.deadline = pending.deadline;
+    tracer_.tag(id, pending.root_span, "deadline_us",
+                std::to_string(pending.deadline));
+  }
+  pending.retry_tokens = config_.retry_budget;
   const auto partitions =
       geohash::covering(query.area, config_.partition_prefix_length);
   pending.remaining = partitions.size();
   pending.stats.subqueries = partitions.size();
   pending.subqueries.reserve(partitions.size());
+  pending.stats.coverage.reserve(partitions.size());
   for (const auto& partition : partitions) {
     Subquery sq;
     sq.partition = partition;
     pending.subqueries.push_back(std::move(sq));
+    PartitionCoverage cov;
+    cov.partition = partition;
+    cov.served_res = query.res;
+    pending.stats.coverage.push_back(std::move(cov));
   }
   pending_.emplace(id, std::move(pending));
+  if (config_.query_deadline > 0) {
+    pending_.find(id)->second.deadline_timer = loop_.schedule_cancellable(
+        config_.query_deadline, [this, id] { on_query_deadline(id); });
+  }
   for (std::size_t i = 0; i < partitions.size(); ++i) start_attempt(id, i);
   if (partitions.empty()) {
     // Degenerate covering: complete with an empty payload instead of
@@ -436,9 +507,18 @@ void StashCluster::start_attempt(std::uint64_t query_id, std::size_t idx) {
   if (target != owner)
     tracer_.tag(query_id, sq.attempt_span, "failover", "true");
 
-  if (config_.subquery_timeout > 0) {
+  // Deadline propagation: an attempt only gets the query's remaining
+  // budget, so a retry near the deadline times out (and is reaped by the
+  // deadline timer) instead of outliving the query.
+  sim::SimTime timeout = config_.subquery_timeout;
+  if (pending.deadline != 0) {
+    const sim::SimTime remaining = pending.deadline - loop_.now();
+    if (remaining <= 0) return;  // the deadline timer owns this cut
+    timeout = timeout > 0 ? std::min(timeout, remaining) : remaining;
+  }
+  if (timeout > 0) {
     sq.timeout = loop_.schedule_cancellable(
-        config_.subquery_timeout, [this, query_id, idx, attempt] {
+        timeout, [this, query_id, idx, attempt] {
           on_subquery_timeout(query_id, idx, attempt);
         });
   }
@@ -455,37 +535,261 @@ void StashCluster::on_subquery_timeout(std::uint64_t query_id, std::size_t idx,
                                        int attempt) {
   const auto it = pending_.find(query_id);
   if (it == pending_.end()) return;
-  Pending& pending = it->second;
-  Subquery& sq = pending.subqueries[idx];
+  Subquery& sq = it->second.subqueries[idx];
   if (sq.done || sq.attempts != attempt) return;
   sq.timeout = 0;
   counters_.timeouts_fired.inc();
-  tracer_.tag(query_id, sq.attempt_span, "outcome", "timeout");
-  tracer_.end_span(query_id, sq.attempt_span, loop_.now());
-  // Open the circuit breaker: later attempts (and other queries) route
-  // around the silent node instead of paying the timeout again.
-  suspect(sq.target);
-  if (sq.forwarded_to.has_value()) {
-    suspect(*sq.forwarded_to);
-    // The owner's routing entries point at a helper that went dark:
-    // invalidate them so the retry (and every later query) stays local.
-    if (fault_.alive(sq.target))
-      nodes_[sq.target]->routing.drop_helper(*sq.forwarded_to);
+  handle_attempt_failure(query_id, idx, attempt, "timeout",
+                         /*suspect_target=*/true);
+}
+
+sim::SimTime StashCluster::retry_delay(int attempts) {
+  // Exponential backoff, doubled until the clamp so a large attempt count
+  // can never overflow past it (satellite fix: 2^(k-1) * retry_backoff was
+  // unbounded).
+  sim::SimTime delay = config_.retry_backoff;
+  for (int i = 1; i < attempts; ++i) {
+    if (config_.max_retry_backoff > 0 && delay >= config_.max_retry_backoff)
+      break;
+    delay <<= 1;
   }
-  if (sq.attempts >= config_.subquery_max_attempts) {
-    fail_subquery(query_id, idx);
-    return;
-  }
-  // Exponential backoff with jitter before the next attempt.
-  sim::SimTime delay = config_.retry_backoff << (sq.attempts - 1);
+  if (config_.max_retry_backoff > 0)
+    delay = std::min(delay, config_.max_retry_backoff);
   if (config_.retry_jitter > 0.0) {
     const double factor =
         1.0 + config_.retry_jitter * frontend_rng_.uniform(-1.0, 1.0);
     delay = std::max<sim::SimTime>(
         0, static_cast<sim::SimTime>(static_cast<double>(delay) * factor));
   }
+  return delay;
+}
+
+void StashCluster::handle_attempt_failure(std::uint64_t query_id,
+                                          std::size_t idx, int attempt,
+                                          const char* reason,
+                                          bool suspect_target) {
+  const auto it = pending_.find(query_id);
+  if (it == pending_.end()) return;
+  Pending& pending = it->second;
+  Subquery& sq = pending.subqueries[idx];
+  if (sq.done || sq.attempts != attempt) return;
+  if (sq.timeout != 0) {
+    loop_.cancel(sq.timeout);
+    sq.timeout = 0;
+  }
+  // At or past the deadline the cut belongs to the deadline timer, which
+  // fires at this same instant and reports the whole query honestly.
+  if (pending.deadline != 0 && loop_.now() >= pending.deadline) return;
+  tracer_.tag(query_id, sq.attempt_span, "outcome", reason);
+  tracer_.end_span(query_id, sq.attempt_span, loop_.now());
+  if (suspect_target) {
+    // Open the circuit breaker: later attempts (and other queries) route
+    // around the silent node instead of paying the timeout again.
+    suspect(sq.target);
+    if (sq.forwarded_to.has_value()) {
+      suspect(*sq.forwarded_to);
+      // The owner's routing entries point at a helper that went dark:
+      // invalidate them so the retry (and every later query) stays local.
+      if (fault_.alive(sq.target))
+        nodes_[sq.target]->routing.drop_helper(*sq.forwarded_to);
+    }
+  }
+  if (sq.attempts >= config_.subquery_max_attempts) {
+    fail_subquery(query_id, idx);
+    return;
+  }
+  const sim::SimTime delay = retry_delay(sq.attempts);
+  if (pending.deadline != 0 && loop_.now() + delay >= pending.deadline) {
+    // The retry could never answer in time: fail now instead of queueing
+    // work whose response nobody will read.
+    tracer_.tag(query_id, sq.span, "retry_abandoned", "deadline");
+    fail_subquery(query_id, idx);
+    return;
+  }
+  if (config_.retry_budget > 0) {
+    // Per-query token bucket: retries beyond the budget are suppressed so
+    // they can never multiply offered load past a configured factor (the
+    // metastable-retry-storm guard).
+    if (pending.retry_tokens < 1.0) {
+      counters_.retries_suppressed.inc();
+      tracer_.tag(query_id, sq.span, "retry_suppressed", "budget");
+      fail_subquery(query_id, idx);
+      return;
+    }
+    pending.retry_tokens -= 1.0;
+  }
   loop_.schedule(delay,
                  [this, query_id, idx] { start_attempt(query_id, idx); });
+}
+
+void StashCluster::handle_server_pushback(NodeId node_id,
+                                          std::uint64_t query_id,
+                                          std::size_t idx, int attempt,
+                                          sim::Outcome outcome, bool guest) {
+  const auto it = pending_.find(query_id);
+  if (it == pending_.end()) return;
+  Pending& pending = it->second;
+  Subquery& sq = pending.subqueries[idx];
+  if (sq.done || sq.attempts != attempt) return;
+
+  if (outcome == sim::Outcome::kDropped) {
+    // The node crashed with our job aboard.  reset() notifying is the
+    // whole point of the drop outcome: the front-end reacts immediately
+    // (connection-reset semantics) instead of waiting out the timeout.
+    suspect(node_id);
+    if (sq.forwarded_to.has_value() && *sq.forwarded_to == node_id &&
+        fault_.alive(sq.target))
+      nodes_[sq.target]->routing.drop_helper(node_id);
+    handle_attempt_failure(query_id, idx, attempt, "dropped",
+                           /*suspect_target=*/false);
+    return;
+  }
+
+  const bool shed = outcome == sim::Outcome::kShed;
+  if (shed)
+    counters_.subqueries_shed.inc();
+  else
+    counters_.subqueries_expired.inc();
+  ++pending.stats.shed_subqueries;
+  const char* cause = shed ? "shed" : "expired";
+  tracer_.tag(query_id, sq.attempt_span, "pushback", cause);
+
+  // Admission control pushed back.  A coarse cached answer beats both a
+  // retry (more load on a node that just said "too busy") and a hole in
+  // the result: serve the nearest PLM-complete ancestor level if the node
+  // has one.  Guest helpers skip this — their graph holds only the hot
+  // Clique, so the owner (via the retry path) is the better bet.
+  if (!guest && config_.degraded_answers &&
+      config_.mode != SystemMode::Basic && fault_.alive(node_id)) {
+    Node& node = *nodes_[node_id];
+    auto deg = std::make_shared<DegradedEvaluation>(
+        node.engine.evaluate_degraded(sq.partition, pending.query));
+    if (deg->found) {
+      // Assembling from cache is the cheap path, but not free: charge the
+      // PLM probes and per-cell merge before the response leaves the node.
+      // It bypasses the worker queue by design — shedding exists precisely
+      // so this fallback never waits behind the overload that caused it.
+      const sim::SimTime synth =
+          config_.cost.cache_probes(deg->eval.breakdown.cache_probes) +
+          config_.cost.merge(deg->eval.cells.size());
+      const std::size_t bytes =
+          deg->eval.cells.size() * config_.response_cell_bytes + 128;
+      loop_.schedule(synth, [this, node_id, bytes, query_id, idx, attempt,
+                             deg, cause] {
+        if (!fault_.alive(node_id)) return;  // died before it could answer
+        send_message(node_id, sim::kFrontendNode, bytes,
+                     [this, query_id, idx, attempt, deg, cause] {
+                       deliver_degraded(query_id, idx, attempt, deg, cause);
+                     });
+      });
+      return;
+    }
+  }
+  // Nothing cached to degrade to: the rejection travels back to the
+  // front-end as a cheap NACK and the normal retry machinery takes over.
+  send_message(node_id, sim::kFrontendNode, kAckBytes,
+               [this, query_id, idx, attempt, cause] {
+                 handle_attempt_failure(query_id, idx, attempt, cause,
+                                        /*suspect_target=*/false);
+               });
+}
+
+void StashCluster::deliver_degraded(
+    std::uint64_t query_id, std::size_t idx, int attempt,
+    const std::shared_ptr<DegradedEvaluation>& deg, const char* cause) {
+  const auto it = pending_.find(query_id);
+  if (it == pending_.end()) return;
+  Pending& pending = it->second;
+  Subquery& sq = pending.subqueries[idx];
+  if (sq.done || sq.attempts != attempt) return;  // late duplicate: ignore
+  sq.done = true;
+  if (sq.timeout != 0) {
+    loop_.cancel(sq.timeout);
+    sq.timeout = 0;
+  }
+  // coarsening_steps == 0 means the node's cache held the *exact* level in
+  // full — the shed job would have produced this very answer.
+  const bool exact = deg->coarsening_steps == 0;
+  tracer_.tag(query_id, sq.attempt_span, "outcome",
+              exact ? "ok" : "degraded");
+  tracer_.tag(query_id, sq.attempt_span, "cause", cause);
+  tracer_.end_span(query_id, sq.attempt_span, loop_.now());
+  tracer_.tag(query_id, sq.span, "cells",
+              std::to_string(deg->eval.cells.size()));
+  tracer_.tag(query_id, sq.span, "attempts", std::to_string(sq.attempts));
+  if (!exact) {
+    tracer_.tag(query_id, sq.span, "served_res", deg->served_res.to_string());
+    tracer_.tag(query_id, sq.span, "coarsening_steps",
+                std::to_string(deg->coarsening_steps));
+  }
+  tracer_.end_span(query_id, sq.span, loop_.now());
+  absolve(sq.target);  // the node answered: alive, just busy
+
+  PartitionCoverage& cov = pending.stats.coverage[idx];
+  cov.kind = exact ? PartitionCoverage::Kind::kExact
+                   : PartitionCoverage::Kind::kDegraded;
+  cov.served_res = deg->served_res;
+  cov.attempts = sq.attempts;
+  if (!exact) {
+    ++pending.stats.degraded_subqueries;
+    counters_.degraded_subqueries.inc();
+  }
+  pending.stats.breakdown += deg->eval.breakdown;
+  if (config_.discard_payload) {
+    pending.stats.result_cells += deg->eval.cells.size();
+  } else {
+    for (auto& [key, summary] : deg->eval.cells) {
+      auto [cell_it, inserted] =
+          pending.cells.try_emplace(key, std::move(summary));
+      if (!inserted) cell_it->second.merge(summary);
+    }
+  }
+  complete_subquery(query_id);
+}
+
+void StashCluster::on_query_deadline(std::uint64_t query_id) {
+  const auto it = pending_.find(query_id);
+  if (it == pending_.end()) return;
+  Pending& pending = it->second;
+  pending.deadline_timer = 0;
+  // Gather already complete: the merge event is scheduled at or before the
+  // deadline (complete_subquery clamps it), so it lands at this same
+  // instant — nothing to cut.
+  if (pending.remaining == 0) return;
+  counters_.deadline_cut_queries.inc();
+  for (std::size_t i = 0; i < pending.subqueries.size(); ++i) {
+    Subquery& sq = pending.subqueries[i];
+    if (sq.done) continue;
+    sq.done = true;
+    if (sq.timeout != 0) {
+      loop_.cancel(sq.timeout);
+      sq.timeout = 0;
+    }
+    if (sq.attempt_span != obs::kNoSpan) {
+      tracer_.tag(query_id, sq.attempt_span, "outcome", "deadline");
+      tracer_.end_span(query_id, sq.attempt_span, loop_.now());
+    }
+    tracer_.tag(query_id, sq.span, "outcome", "deadline");
+    tracer_.tag(query_id, sq.span, "attempts", std::to_string(sq.attempts));
+    tracer_.end_span(query_id, sq.span, loop_.now());
+    ++pending.stats.deadline_subqueries;
+    counters_.deadline_cut_subqueries.inc();
+    pending.stats.coverage[i].attempts = sq.attempts;  // kind stays kMissing
+  }
+  // Whatever has arrived is the answer: close the scatter, open a
+  // zero-width merge (the budget is spent), and hand the result back *at*
+  // the deadline, never after it.
+  tracer_.end_span(query_id, pending.scatter_span, loop_.now());
+  const std::size_t merged_cells = config_.discard_payload
+                                       ? pending.stats.result_cells
+                                       : pending.cells.size();
+  pending.merge_span =
+      tracer_.start_span(query_id, pending.root_span, "merge", loop_.now());
+  tracer_.tag(query_id, pending.merge_span, "cells",
+              std::to_string(merged_cells));
+  tracer_.tag(query_id, pending.root_span, "deadline_cut", "true");
+  pending.remaining = 0;
+  finalize_query(query_id);
 }
 
 void StashCluster::fail_subquery(std::uint64_t query_id, std::size_t idx) {
@@ -501,6 +805,7 @@ void StashCluster::fail_subquery(std::uint64_t query_id, std::size_t idx) {
   }
   ++pending.stats.failed_subqueries;
   counters_.failed_subqueries.inc();
+  pending.stats.coverage[idx].attempts = sq.attempts;  // kind stays kMissing
   tracer_.tag(query_id, sq.span, "outcome", "failed");
   tracer_.tag(query_id, sq.span, "attempts", std::to_string(sq.attempts));
   tracer_.end_span(query_id, sq.span, loop_.now());
@@ -544,6 +849,9 @@ void StashCluster::enqueue_local(NodeId node_id, std::uint64_t query_id,
   Node& node = *nodes_[node_id];
   const EvalMode mode = config_.mode == SystemMode::Basic ? EvalMode::Basic
                                                           : EvalMode::Cached;
+  const auto pit = pending_.find(query_id);
+  const sim::SimTime deadline =
+      pit != pending_.end() ? pit->second.deadline : 0;
   auto slot = std::make_shared<Evaluation>();
   node.server.submit(
       [this, &node, query_id, idx, attempt, mode, slot]() -> sim::SimTime {
@@ -555,7 +863,12 @@ void StashCluster::enqueue_local(NodeId node_id, std::uint64_t query_id,
                                                mode);
         return service_time(slot->breakdown);
       },
-      [this, &node, query_id, idx, attempt, slot] {
+      [this, &node, query_id, idx, attempt, slot](sim::Outcome outcome) {
+        if (outcome != sim::Outcome::kOk) {
+          handle_server_pushback(node.id, query_id, idx, attempt, outcome,
+                                 /*guest=*/false);
+          return;
+        }
         counters_.subqueries_processed.inc();
         const auto it = pending_.find(query_id);
         if (it == pending_.end()) return;
@@ -592,7 +905,8 @@ void StashCluster::enqueue_local(NodeId node_id, std::uint64_t query_id,
         // replicate at arrival time, but once maintenance populates the
         // graph a handoff becomes possible.
         maybe_start_handoff(node.id);
-      });
+      },
+      deadline);
   maybe_start_handoff(node_id);
 }
 
@@ -600,6 +914,9 @@ void StashCluster::enqueue_guest(NodeId helper_id, NodeId owner_id,
                                  std::uint64_t query_id, std::size_t idx,
                                  int attempt) {
   Node& helper = *nodes_[helper_id];
+  const auto pit = pending_.find(query_id);
+  const sim::SimTime deadline =
+      pit != pending_.end() ? pit->second.deadline : 0;
   auto slot = std::make_shared<Evaluation>();
   helper.server.submit(
       [this, &helper, query_id, idx, attempt, slot]() -> sim::SimTime {
@@ -613,7 +930,13 @@ void StashCluster::enqueue_guest(NodeId helper_id, NodeId owner_id,
             sq.partition, it->second.query, EvalMode::CacheOnly);
         return service_time(slot->breakdown);
       },
-      [this, &helper, owner_id, query_id, idx, attempt, slot] {
+      [this, &helper, owner_id, query_id, idx, attempt,
+       slot](sim::Outcome outcome) {
+        if (outcome != sim::Outcome::kOk) {
+          handle_server_pushback(helper.id, query_id, idx, attempt, outcome,
+                                 /*guest=*/true);
+          return;
+        }
         counters_.subqueries_processed.inc();
         const auto it = pending_.find(query_id);
         if (it == pending_.end()) return;
@@ -647,7 +970,8 @@ void StashCluster::enqueue_guest(NodeId helper_id, NodeId owner_id,
                        deliver_response(query_id, idx, attempt,
                                         std::move(*slot));
                      });
-      });
+      },
+      deadline);
 }
 
 void StashCluster::deliver_response(std::uint64_t query_id, std::size_t idx,
@@ -670,6 +994,16 @@ void StashCluster::deliver_response(std::uint64_t query_id, std::size_t idx,
   // Evidence of life closes the circuit breaker.
   absolve(sq.target);
   if (sq.forwarded_to.has_value()) absolve(*sq.forwarded_to);
+  // An exact success refills the retry token bucket (capped at the initial
+  // budget): a mostly-healthy query keeps its ability to retry stragglers.
+  if (config_.retry_budget > 0)
+    pending.retry_tokens =
+        std::min(config_.retry_budget,
+                 pending.retry_tokens + config_.retry_refill_per_success);
+  PartitionCoverage& cov = pending.stats.coverage[idx];
+  cov.kind = PartitionCoverage::Kind::kExact;
+  cov.served_res = pending.query.res;
+  cov.attempts = sq.attempts;
 
   pending.stats.breakdown += eval.breakdown;
   if (config_.discard_payload) {
@@ -690,12 +1024,17 @@ void StashCluster::complete_subquery(std::uint64_t query_id) {
   if (it == pending_.end()) return;
   Pending& pending = it->second;
   if (--pending.remaining > 0) return;
-  // Gather complete: charge the front-end merge + render overhead.
+  // Gather complete: charge the front-end merge + render overhead.  Under
+  // a deadline the charge is clamped to the remaining budget — the result
+  // is handed back at the deadline at the latest, never after it.
   const std::size_t merged_cells = config_.discard_payload
                                        ? pending.stats.result_cells
                                        : pending.cells.size();
-  const sim::SimTime finish =
+  sim::SimTime finish =
       config_.frontend_overhead + config_.cost.merge(merged_cells);
+  if (pending.deadline != 0)
+    finish = std::min(
+        finish, std::max<sim::SimTime>(0, pending.deadline - loop_.now()));
   // Scatter is over the instant the last subquery drains; the merge span
   // covers the front-end merge + render and ends with the root, so
   // scatter.duration + merge.duration == QueryStats::latency().
@@ -704,32 +1043,42 @@ void StashCluster::complete_subquery(std::uint64_t query_id) {
       tracer_.start_span(query_id, pending.root_span, "merge", loop_.now());
   tracer_.tag(query_id, pending.merge_span, "cells",
               std::to_string(merged_cells));
-  loop_.schedule(finish, [this, query_id] {
-    const auto done_it = pending_.find(query_id);
-    if (done_it == pending_.end()) return;
-    Pending finished = std::move(done_it->second);
-    pending_.erase(done_it);
-    finished.stats.completed_at = loop_.now();
-    if (!config_.discard_payload)
-      finished.stats.result_cells = finished.cells.size();
-    if (finished.stats.failed_subqueries > 0) {
-      finished.stats.partial = true;
-      counters_.partial_queries.inc();
-    }
-    counters_.queries_completed.inc();
-    query_latency_us_.observe(static_cast<double>(finished.stats.latency()));
-    tracer_.end_span(query_id, finished.merge_span, loop_.now());
-    tracer_.tag(query_id, finished.root_span, "result_cells",
-                std::to_string(finished.stats.result_cells));
-    tracer_.tag(query_id, finished.root_span, "subqueries",
-                std::to_string(finished.stats.subqueries));
-    if (finished.stats.partial)
-      tracer_.tag(query_id, finished.root_span, "partial", "true");
-    tracer_.end_span(query_id, finished.root_span, loop_.now());
-    if (finished.done) finished.done(finished.stats);
-    if (finished.done_rich)
-      finished.done_rich(finished.stats, std::move(finished.cells));
-  });
+  loop_.schedule(finish, [this, query_id] { finalize_query(query_id); });
+}
+
+void StashCluster::finalize_query(std::uint64_t query_id) {
+  const auto done_it = pending_.find(query_id);
+  if (done_it == pending_.end()) return;
+  Pending finished = std::move(done_it->second);
+  pending_.erase(done_it);
+  if (finished.deadline_timer != 0) loop_.cancel(finished.deadline_timer);
+  finished.stats.completed_at = loop_.now();
+  if (!config_.discard_payload)
+    finished.stats.result_cells = finished.cells.size();
+  if (finished.stats.failed_subqueries > 0 ||
+      finished.stats.deadline_subqueries > 0) {
+    finished.stats.partial = true;
+    counters_.partial_queries.inc();
+  }
+  if (finished.stats.degraded_subqueries > 0) {
+    finished.stats.degraded = true;
+    counters_.degraded_queries.inc();
+  }
+  counters_.queries_completed.inc();
+  query_latency_us_.observe(static_cast<double>(finished.stats.latency()));
+  tracer_.end_span(query_id, finished.merge_span, loop_.now());
+  tracer_.tag(query_id, finished.root_span, "result_cells",
+              std::to_string(finished.stats.result_cells));
+  tracer_.tag(query_id, finished.root_span, "subqueries",
+              std::to_string(finished.stats.subqueries));
+  if (finished.stats.partial)
+    tracer_.tag(query_id, finished.root_span, "partial", "true");
+  if (finished.stats.degraded)
+    tracer_.tag(query_id, finished.root_span, "degraded", "true");
+  tracer_.end_span(query_id, finished.root_span, loop_.now());
+  if (finished.done) finished.done(finished.stats);
+  if (finished.done_rich)
+    finished.done_rich(finished.stats, std::move(finished.cells));
 }
 
 void StashCluster::maybe_start_handoff(NodeId node_id) {

@@ -98,6 +98,34 @@ struct ClusterConfig {
   /// expiry is treated as a NACK (the antipode retry continues).
   sim::SimTime handoff_timeout = 5 * sim::kSecond;
 
+  // --- overload control & graceful degradation ---
+  /// Bound on each node server's pending queue (jobs waiting for a
+  /// worker); 0 keeps the legacy unbounded queue.  A full queue sheds work
+  /// according to admission_policy and the shed job completes immediately
+  /// with an explicit outcome — overload becomes visible back-pressure
+  /// instead of unbounded queue growth.
+  std::size_t queue_limit = 0;
+  sim::AdmissionPolicy admission_policy = sim::AdmissionPolicy::kRejectNew;
+  /// End-to-end deadline per query (0 = none).  Propagated into every
+  /// subquery, retry, and server job: each hop gets only the remaining
+  /// budget, and at the deadline the query finalizes with whatever has
+  /// arrived (missing partitions reported honestly).
+  sim::SimTime query_deadline = 0;
+  /// Per-query retry token bucket (0 = unlimited, the legacy behavior).
+  /// Each retry spends one token; each exact subquery response refills
+  /// retry_refill_per_success tokens (capped at the initial budget), so
+  /// retries can never multiply offered load past a configured factor.
+  double retry_budget = 0.0;
+  double retry_refill_per_success = 0.5;
+  /// Clamp on the exponential retry backoff: delay before attempt k+1 is
+  /// min(2^(k-1) * retry_backoff, max_retry_backoff), +/- jitter.
+  /// 0 disables the clamp (unbounded doubling).
+  sim::SimTime max_retry_backoff = 10 * sim::kSecond;
+  /// When a subquery is shed or expires in a node's queue, answer it from
+  /// the nearest cached PLM-complete ancestor level (coarse but correct)
+  /// instead of retrying against a node that just said "too busy".
+  bool degraded_answers = true;
+
   // --- observability ---
   /// Record a TraceSpan tree for every query (obs/trace.hpp).  Spans carry
   /// virtual timestamps, so tracing never perturbs simulated latency; turn
@@ -105,6 +133,22 @@ struct ClusterConfig {
   bool tracing = true;
   /// Completed traces retained (ring buffer; oldest evicted first).
   std::size_t trace_capacity = 256;
+};
+
+/// Per-partition report of what a query's answer actually contains — the
+/// exact-vs-degraded coverage map a visual front-end renders from.
+struct PartitionCoverage {
+  enum class Kind : std::uint8_t {
+    kExact,     // served at the requested resolution
+    kDegraded,  // served from a cached coarser ancestor (see served_res)
+    kMissing,   // no answer: every attempt failed or the deadline cut it
+  };
+  std::string partition;
+  Kind kind = Kind::kMissing;
+  /// The resolution actually served (== the requested resolution unless
+  /// kDegraded).  Meaningless for kMissing.
+  Resolution served_res;
+  int attempts = 0;
 };
 
 struct QueryStats {
@@ -117,16 +161,33 @@ struct QueryStats {
   std::size_t subqueries = 0;
   std::size_t rerouted_subqueries = 0;
   /// Subqueries that exhausted every attempt: their partitions are missing
-  /// from the result.  partial == (failed_subqueries > 0).
+  /// from the result.
   std::size_t failed_subqueries = 0;
   /// Retries the front-end issued across all subqueries (timeout-driven).
   std::size_t retries = 0;
   /// Subqueries served by a DHT successor because the owner was suspect.
   std::size_t failovers = 0;
+  /// Admission-control pushbacks observed (job shed or expired in a node's
+  /// queue) across all attempts — may exceed `subqueries` under retries.
+  std::size_t shed_subqueries = 0;
+  /// Partitions answered from a cached coarser ancestor level.
+  std::size_t degraded_subqueries = 0;
+  /// Subqueries still in flight when the query deadline fired: their
+  /// partitions are missing from the result.
+  std::size_t deadline_subqueries = 0;
   /// Degraded-but-correct answer: every returned Cell is exact, but one or
   /// more partitions were unreachable and are absent (§VII posture: cached
   /// state is volatile, storage is the truth; never hang, never corrupt).
+  /// partial == (failed_subqueries + deadline_subqueries > 0).
   bool partial = false;
+  /// At least one partition was served coarser than requested.  A degraded
+  /// query is complete (no holes) but not exact — distinct from partial.
+  bool degraded = false;
+  /// Absolute deadline this query ran under (0 = none).  The cluster
+  /// guarantees completed_at <= deadline when set.
+  sim::SimTime deadline = 0;
+  /// One entry per partition, in scatter order.
+  std::vector<PartitionCoverage> coverage;
   EvalBreakdown breakdown;  // summed over subqueries
 
   [[nodiscard]] sim::SimTime latency() const noexcept {
@@ -160,6 +221,14 @@ struct ClusterMetrics {
   std::uint64_t failovers = 0;
   std::uint64_t failed_subqueries = 0;
   std::uint64_t partial_queries = 0;
+  // --- overload control & degraded answers ---
+  std::uint64_t subqueries_shed = 0;       // admission-control rejections
+  std::uint64_t subqueries_expired = 0;    // job deadline expired in a queue
+  std::uint64_t degraded_subqueries = 0;   // answered from a coarser ancestor
+  std::uint64_t degraded_queries = 0;      // >= 1 degraded partition
+  std::uint64_t deadline_cut_subqueries = 0;  // cut by the query deadline
+  std::uint64_t deadline_cut_queries = 0;     // finalized by the deadline timer
+  std::uint64_t retries_suppressed = 0;    // denied by the retry budget
 };
 
 class StashCluster {
@@ -272,8 +341,8 @@ class StashCluster {
     Rng rng;
 
     Node(NodeId node_id, const StashConfig& stash_config,
-         const GalileoStore& store, sim::EventLoop& loop, int workers,
-         std::uint64_t seed);
+         const GalileoStore& store, sim::EventLoop& loop,
+         const sim::SimServer::Config& server_config, std::uint64_t seed);
   };
 
   /// One scattered subquery's lifecycle across attempts.  Responses and
@@ -298,6 +367,13 @@ class StashCluster {
     QueryStats stats;
     CellSummaryMap cells;
     std::vector<Subquery> subqueries;
+    /// Absolute deadline (0 = none); mirrored in stats.deadline.
+    sim::SimTime deadline = 0;
+    /// Fires on_query_deadline at `deadline`; cancelled on early finish.
+    sim::EventLoop::EventId deadline_timer = 0;
+    /// Remaining retry tokens (config.retry_budget at submit; refilled by
+    /// exact responses).  Unused when the budget is 0 (unlimited).
+    double retry_tokens = 0.0;
     obs::SpanId root_span = obs::kNoSpan;
     obs::SpanId scatter_span = obs::kNoSpan;
     obs::SpanId merge_span = obs::kNoSpan;
@@ -327,6 +403,13 @@ class StashCluster {
     obs::Counter& failovers;
     obs::Counter& failed_subqueries;
     obs::Counter& partial_queries;
+    obs::Counter& subqueries_shed;
+    obs::Counter& subqueries_expired;
+    obs::Counter& degraded_subqueries;
+    obs::Counter& degraded_queries;
+    obs::Counter& deadline_cut_subqueries;
+    obs::Counter& deadline_cut_queries;
+    obs::Counter& retries_suppressed;
   };
 
   void submit_impl(const AggregationQuery& query, Callback done,
@@ -335,6 +418,29 @@ class StashCluster {
   /// past suspected nodes), arms the timeout, and sends the request.
   void start_attempt(std::uint64_t query_id, std::size_t idx);
   void on_subquery_timeout(std::uint64_t query_id, std::size_t idx, int attempt);
+  /// Shared failure path for timeouts, NACKed pushbacks, and drops: ends
+  /// the attempt, then either schedules a retry (deadline- and
+  /// budget-gated) or fails the subquery.
+  void handle_attempt_failure(std::uint64_t query_id, std::size_t idx,
+                              int attempt, const char* reason,
+                              bool suspect_target);
+  /// A node server refused or lost a job (shed / expired / dropped):
+  /// degrade from its cached ancestors, or NACK back to the front-end.
+  void handle_server_pushback(NodeId node_id, std::uint64_t query_id,
+                              std::size_t idx, int attempt,
+                              sim::Outcome outcome, bool guest);
+  /// Front-end receipt of a degraded (coarser-resolution) answer.
+  void deliver_degraded(std::uint64_t query_id, std::size_t idx, int attempt,
+                        const std::shared_ptr<DegradedEvaluation>& deg,
+                        const char* cause);
+  /// Deadline timer: cuts every unfinished subquery and finalizes the
+  /// query with whatever has arrived, exactly at the deadline.
+  void on_query_deadline(std::uint64_t query_id);
+  /// Erases the Pending entry, stamps stats, fires callbacks.
+  void finalize_query(std::uint64_t query_id);
+  /// Backoff before attempt `attempts`+1: exponential, clamped at
+  /// max_retry_backoff, jittered from the front-end Rng.
+  [[nodiscard]] sim::SimTime retry_delay(int attempts);
   void fail_subquery(std::uint64_t query_id, std::size_t idx);
   void route_subquery(std::uint64_t query_id, std::size_t idx, int attempt,
                       NodeId target, bool allow_reroute);

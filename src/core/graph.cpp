@@ -44,6 +44,11 @@ bool StashGraph::chunk_known(const Resolution& res, const ChunkKey& chunk) const
   return plm_.is_known(level_index(res), chunk);
 }
 
+bool StashGraph::region_complete(const Resolution& res,
+                                 const std::vector<ChunkKey>& chunks) const {
+  return plm_.all_complete(level_index(res), chunks);
+}
+
 std::vector<std::int64_t> StashGraph::chunk_missing_days(
     const Resolution& res, const ChunkKey& chunk) const {
   return plm_.missing_days(level_index(res), chunk);

@@ -65,6 +65,10 @@ class StashGraph {
   [[nodiscard]] bool chunk_complete(const Resolution& res,
                                     const ChunkKey& chunk) const;
   [[nodiscard]] bool chunk_known(const Resolution& res, const ChunkKey& chunk) const;
+  /// True when every chunk of a covering is resident and complete — the
+  /// gate for serving a degraded answer from this level.
+  [[nodiscard]] bool region_complete(const Resolution& res,
+                                     const std::vector<ChunkKey>& chunks) const;
   [[nodiscard]] std::vector<std::int64_t> chunk_missing_days(
       const Resolution& res, const ChunkKey& chunk) const;
 

@@ -43,6 +43,16 @@ bool PrecisionLevelMap::is_complete(int lvl, const ChunkKey& chunk) const {
   return it != map.end() && it->second.all();
 }
 
+bool PrecisionLevelMap::all_complete(int lvl,
+                                     const std::vector<ChunkKey>& chunks) const {
+  const auto& map = level(lvl);
+  for (const ChunkKey& chunk : chunks) {
+    const auto it = map.find(chunk);
+    if (it == map.end() || !it->second.all()) return false;
+  }
+  return true;
+}
+
 bool PrecisionLevelMap::is_known(int lvl, const ChunkKey& chunk) const {
   return level(lvl).contains(chunk);
 }

@@ -35,6 +35,13 @@ class PrecisionLevelMap {
   /// True when every contributing block of the chunk is in memory.
   [[nodiscard]] bool is_complete(int level, const ChunkKey& chunk) const;
 
+  /// True when *every* chunk in `chunks` is complete at `level` (vacuously
+  /// true for an empty list).  The completeness predicate behind degraded
+  /// answers: a cached ancestor region may only be served when the whole
+  /// covering is PLM-complete, or the coarse answer would silently miss data.
+  [[nodiscard]] bool all_complete(int level,
+                                  const std::vector<ChunkKey>& chunks) const;
+
   /// True when the chunk has at least one contribution recorded.
   [[nodiscard]] bool is_known(int level, const ChunkKey& chunk) const;
 

@@ -1,8 +1,10 @@
 #include "core/query_engine.hpp"
 
 #include <algorithm>
+#include <array>
 #include <set>
 #include <stdexcept>
+#include <utility>
 
 namespace stash {
 
@@ -197,6 +199,69 @@ Evaluation QueryEngine::evaluate_partition(std::string_view partition,
   }
   eval.breakdown.scan.blocks_touched = days_scanned.size();
   return eval;
+}
+
+DegradedEvaluation QueryEngine::evaluate_degraded(
+    std::string_view partition, const AggregationQuery& query) const {
+  if (!query.valid())
+    throw std::invalid_argument("QueryEngine: invalid query");
+  const int min_spatial = store_.partition_prefix_length();
+  if (query.res.spatial < min_spatial)
+    throw std::invalid_argument(
+        "QueryEngine: spatial resolution must be >= the DHT partition prefix "
+        "length (coarser Cells would span storage partitions)");
+
+  DegradedEvaluation out;
+  out.served_res = query.res;
+  const BoundingBox clipped =
+      query.area.intersection(geohash::decode(partition));
+  if (!clipped.valid() || !clipped.intersects(query.area)) {
+    out.found = true;  // nothing of the query here: the empty answer is exact
+    return out;
+  }
+
+  // BFS over the resolution hierarchy, nearest ancestors first, spatial
+  // coarsening preferred among ties (parent_resolutions order).  Step 0 is
+  // the requested level itself: a fully-resident exact region is served
+  // as-is — degradation only happens when it must.
+  std::vector<std::pair<Resolution, int>> frontier{{query.res, 0}};
+  std::array<bool, kNumLevels> seen{};
+  seen[static_cast<std::size_t>(level_index(query.res))] = true;
+  for (std::size_t i = 0; i < frontier.size(); ++i) {
+    const auto [res, steps] = frontier[i];
+
+    const int chunk_prec =
+        chunk_spatial_precision(res.spatial, graph_.config().chunk_precision);
+    const auto prefixes = geohash::covering(clipped, chunk_prec);
+    const auto bins = temporal_covering(query.time, res.temporal);
+    std::vector<ChunkKey> chunks;
+    chunks.reserve(prefixes.size() * bins.size());
+    for (const auto& prefix : prefixes)
+      for (const auto& bin : bins) chunks.emplace_back(prefix, bin);
+
+    out.eval.breakdown.cache_probes += chunks.size();
+    if (graph_.region_complete(res, chunks)) {
+      for (const ChunkKey& chunk : chunks) {
+        ++out.eval.breakdown.chunks_total;
+        ++out.eval.breakdown.chunks_from_cache;
+        out.eval.breakdown.cells_from_cache += graph_.collect_chunk(
+            res, chunk, clipped, query.time, out.eval.cells);
+      }
+      out.served_res = res;
+      out.coarsening_steps = steps;
+      out.found = true;
+      return out;
+    }
+
+    for (const Resolution& parent : parent_resolutions(res)) {
+      if (parent.spatial < min_spatial) continue;
+      const auto idx = static_cast<std::size_t>(level_index(parent));
+      if (seen[idx]) continue;
+      seen[idx] = true;
+      frontier.emplace_back(parent, steps + 1);
+    }
+  }
+  return out;  // found == false: nothing cached can answer at any ancestor
 }
 
 Evaluation QueryEngine::evaluate(const AggregationQuery& query,

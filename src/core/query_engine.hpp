@@ -53,6 +53,17 @@ struct Evaluation {
   std::vector<ChunkKey> touched_chunks;    // freshness region of this query
 };
 
+/// A coarse answer assembled from a cached ancestor level when the exact
+/// resolution cannot be served in time (overload shedding, deadline
+/// pressure).  Correct at `served_res` — never partial, never stale-mixed:
+/// a level is only used when the whole covering region is PLM-complete.
+struct DegradedEvaluation {
+  Evaluation eval;           // cells at served_res; breakdown is cache reads only
+  Resolution served_res;     // the level actually served
+  int coarsening_steps = 0;  // hierarchy distance from the requested level
+  bool found = false;        // false: no PLM-complete ancestor region resident
+};
+
 struct MaintenanceStats {
   std::size_t cells_absorbed = 0;
   std::size_t freshness_updates = 0;
@@ -68,6 +79,16 @@ class QueryEngine {
   [[nodiscard]] Evaluation evaluate_partition(std::string_view partition,
                                               const AggregationQuery& query,
                                               EvalMode mode = EvalMode::Cached) const;
+
+  /// Degraded evaluation for one partition: walks the requested resolution
+  /// and its ancestor levels nearest-first (BFS over parent_resolutions)
+  /// and serves the first level whose covering chunks are all PLM-complete.
+  /// Never touches disk — this is the overload escape hatch, so it must
+  /// cost only cache probes and reads.  `found == false` when nothing
+  /// resident can answer; coarsening never drops below the DHT partition
+  /// prefix length (coarser Cells would span storage partitions).
+  [[nodiscard]] DegradedEvaluation evaluate_degraded(
+      std::string_view partition, const AggregationQuery& query) const;
 
   /// Whole-query evaluation across every partition the area touches
   /// (single-process / library use).

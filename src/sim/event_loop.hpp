@@ -10,6 +10,7 @@
 #include <functional>
 #include <queue>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "sim/clock.hpp"
@@ -26,6 +27,11 @@ class EventLoop {
 
   /// Schedules `action` to run `delay` microseconds from now (>= 0).
   void schedule(SimTime delay, Action action);
+
+  /// Schedules `action` at the current virtual time, after events already
+  /// queued for this instant (seq-number tie-break).  Use for "complete
+  /// immediately, but asynchronously" notifications.
+  void post(Action action) { schedule(0, std::move(action)); }
 
   /// Schedules at an absolute virtual time (>= now()).
   void schedule_at(SimTime when, Action action);

@@ -3,23 +3,62 @@
 #include <algorithm>
 #include <stdexcept>
 #include <utility>
+#include <vector>
 
 namespace stash::sim {
 
-SimServer::SimServer(EventLoop& loop, int workers)
-    : loop_(loop), workers_(workers) {
-  if (workers < 1) throw std::invalid_argument("SimServer: need >= 1 worker");
+const char* to_string(Outcome outcome) noexcept {
+  switch (outcome) {
+    case Outcome::kOk: return "ok";
+    case Outcome::kShed: return "shed";
+    case Outcome::kDeadlineExceeded: return "deadline_exceeded";
+    case Outcome::kDropped: return "dropped";
+  }
+  return "unknown";
 }
 
-void SimServer::submit(Job job, Completion on_complete) {
+SimServer::SimServer(EventLoop& loop, int workers)
+    : SimServer(loop, Config{workers}) {}
+
+SimServer::SimServer(EventLoop& loop, const Config& config)
+    : loop_(loop),
+      workers_(config.workers),
+      queue_limit_(config.queue_limit),
+      admission_(config.admission) {
+  if (config.workers < 1)
+    throw std::invalid_argument("SimServer: need >= 1 worker");
+}
+
+void SimServer::submit(Job job, Completion on_complete, SimTime deadline) {
   if (!job) throw std::invalid_argument("SimServer::submit: null job");
-  Pending pending{std::move(job), std::move(on_complete), loop_.now()};
+  Pending pending{std::move(job), std::move(on_complete), loop_.now(), deadline};
+  if (expired(pending)) {  // dead on arrival
+    finish_unserviced(std::move(pending.on_complete), Outcome::kDeadlineExceeded);
+    ++expired_;
+    return;
+  }
   if (busy_ < workers_) {
     dispatch(std::move(pending));
-  } else {
-    queue_.push_back(std::move(pending));
-    peak_queue_ = std::max(peak_queue_, queue_.size());
+    return;
   }
+  if (queue_limit_ != 0 && queue_.size() >= queue_limit_) {
+    if (admission_ == AdmissionPolicy::kRejectNew) {
+      finish_unserviced(std::move(pending.on_complete), Outcome::kShed);
+      ++shed_;
+      return;
+    }
+    // kDropOldest: shed the head of the queue to make room.
+    finish_unserviced(std::move(queue_.front().on_complete), Outcome::kShed);
+    ++shed_;
+    queue_.pop_front();
+  }
+  queue_.push_back(std::move(pending));
+  peak_queue_ = std::max(peak_queue_, queue_.size());
+}
+
+void SimServer::finish_unserviced(Completion on_complete, Outcome outcome) {
+  if (!on_complete) return;
+  loop_.post([done = std::move(on_complete), outcome] { done(outcome); });
 }
 
 void SimServer::dispatch(Pending pending) {
@@ -29,28 +68,46 @@ void SimServer::dispatch(Pending pending) {
   if (duration < 0)
     throw std::logic_error("SimServer: job returned negative service time");
   service_time_ += duration;
-  loop_.schedule(duration,
-                 [this, epoch = epoch_, done = std::move(pending.on_complete)] {
-                   if (epoch != epoch_) return;  // server was reset mid-service
-                   --busy_;
-                   ++completed_;
-                   if (done) done();
-                   try_dispatch();
-                 });
+  const std::uint64_t serial = next_serial_++;
+  if (pending.on_complete)
+    in_service_.emplace(serial, std::move(pending.on_complete));
+  loop_.schedule(duration, [this, epoch = epoch_, serial] {
+    if (epoch != epoch_) return;  // server was reset mid-service
+    --busy_;
+    ++completed_;
+    Completion done;
+    if (auto it = in_service_.find(serial); it != in_service_.end()) {
+      done = std::move(it->second);
+      in_service_.erase(it);
+    }
+    if (done) done(Outcome::kOk);
+    try_dispatch();
+  });
 }
 
 std::size_t SimServer::reset() {
-  const std::size_t dropped = queue_.size() + static_cast<std::size_t>(busy_);
+  const std::size_t wiped = queue_.size() + static_cast<std::size_t>(busy_);
+  for (Pending& pending : queue_)
+    finish_unserviced(std::move(pending.on_complete), Outcome::kDropped);
+  for (auto& [serial, done] : in_service_)
+    finish_unserviced(std::move(done), Outcome::kDropped);
   queue_.clear();
+  in_service_.clear();
+  dropped_ += wiped;
   busy_ = 0;
   ++epoch_;
-  return dropped;
+  return wiped;
 }
 
 void SimServer::try_dispatch() {
   while (busy_ < workers_ && !queue_.empty()) {
     Pending next = std::move(queue_.front());
     queue_.pop_front();
+    if (expired(next)) {  // deadline passed while waiting for a worker
+      finish_unserviced(std::move(next.on_complete), Outcome::kDeadlineExceeded);
+      ++expired_;
+      continue;
+    }
     dispatch(std::move(next));
   }
 }

@@ -1,46 +1,92 @@
-// A simulated multi-worker server with a FIFO request queue.
+// A simulated multi-worker server with a bounded FIFO request queue.
 //
 // Models one cluster node's request-processing capacity: the paper's nodes
 // are 8-core machines, so up to `workers` jobs are serviced concurrently
 // and the rest wait in the pending queue.  The queue length is the hotspot
 // signal (§VII-B.1: "a node deems itself to be hotspotted when the number
 // of pending requests in its message queue crosses a configured threshold").
+//
+// The queue can be bounded (`queue_limit`) with a configurable admission
+// policy, and every job may carry an absolute deadline.  Jobs that are shed
+// by admission control, expire before dispatch, or are wiped by reset()
+// complete *immediately* with an explicit Outcome instead of silently
+// rotting in the queue — the caller always learns what happened.
 #pragma once
 
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <unordered_map>
 
 #include "sim/event_loop.hpp"
 
 namespace stash::sim {
+
+/// How a job left the server.  Everything except kOk means the job's work
+/// never ran (its Job callable was not invoked).
+enum class Outcome : std::uint8_t {
+  kOk,                // serviced normally
+  kShed,              // rejected by admission control (bounded queue full)
+  kDeadlineExceeded,  // deadline passed while the job waited in the queue
+  kDropped,           // server reset (crash) while queued or in service
+};
+
+[[nodiscard]] const char* to_string(Outcome outcome) noexcept;
+
+/// What a full bounded queue does with new work.
+enum class AdmissionPolicy : std::uint8_t {
+  kRejectNew,   // shed the incoming job (tail drop)
+  kDropOldest,  // shed the head of the queue to admit the incoming job
+};
 
 class SimServer {
  public:
   /// A job runs its real work when dispatched and returns the virtual
   /// service duration it occupies a worker for.
   using Job = std::function<SimTime()>;
-  using Completion = std::function<void()>;
+  /// Completions fire for *every* submitted job, carrying how it ended.
+  /// Non-kOk completions are posted through the event loop (zero virtual
+  /// delay) so callers never reenter themselves synchronously.
+  using Completion = std::function<void(Outcome)>;
+
+  struct Config {
+    int workers = 1;
+    /// Max jobs waiting for a worker (excludes in-service). 0 = unbounded.
+    std::size_t queue_limit = 0;
+    AdmissionPolicy admission = AdmissionPolicy::kRejectNew;
+  };
 
   SimServer(EventLoop& loop, int workers);
+  SimServer(EventLoop& loop, const Config& config);
 
-  /// Enqueues a job; `on_complete` (optional) fires when it finishes.
-  void submit(Job job, Completion on_complete = nullptr);
+  /// Enqueues a job; `on_complete` (optional) fires when it finishes or is
+  /// shed/expired/dropped.  `deadline` is an absolute virtual time (0 =
+  /// none): a job whose deadline has passed when a worker would pick it up
+  /// completes with kDeadlineExceeded instead of being serviced.
+  void submit(Job job, Completion on_complete = nullptr, SimTime deadline = 0);
 
-  /// Crash semantics: drops every queued job and silently discards the
-  /// completions of jobs currently being serviced (their worker-finish
-  /// events become no-ops).  The server itself stays usable — submitting
-  /// after reset() models a cold restart.  Returns jobs thrown away
-  /// (queued + in service).
+  /// Crash semantics: every queued *and* in-service job completes with
+  /// kDropped (posted through the loop, so the scatter layer learns of the
+  /// crash immediately instead of waiting out a timeout).  The server
+  /// itself stays usable — submitting after reset() models a cold restart.
+  /// Returns jobs thrown away (queued + in service).
   std::size_t reset();
 
   /// Jobs waiting for a worker (excludes the ones being serviced).
   [[nodiscard]] std::size_t queue_length() const noexcept { return queue_.size(); }
+  [[nodiscard]] std::size_t queue_limit() const noexcept { return queue_limit_; }
+  [[nodiscard]] AdmissionPolicy admission_policy() const noexcept { return admission_; }
   [[nodiscard]] int busy_workers() const noexcept { return busy_; }
   [[nodiscard]] int workers() const noexcept { return workers_; }
   [[nodiscard]] bool idle() const noexcept { return busy_ == 0 && queue_.empty(); }
 
   [[nodiscard]] std::uint64_t completed_jobs() const noexcept { return completed_; }
+  /// Jobs rejected by admission control (lifetime, survives reset()).
+  [[nodiscard]] std::uint64_t shed_jobs() const noexcept { return shed_; }
+  /// Jobs whose deadline expired while queued (lifetime).
+  [[nodiscard]] std::uint64_t expired_jobs() const noexcept { return expired_; }
+  /// Jobs wiped by reset() (lifetime).
+  [[nodiscard]] std::uint64_t dropped_jobs() const noexcept { return dropped_; }
   /// Cumulative virtual time jobs spent being serviced.
   [[nodiscard]] SimTime total_service_time() const noexcept { return service_time_; }
   /// Cumulative virtual time jobs spent queued before dispatch.
@@ -54,17 +100,36 @@ class SimServer {
     Job job;
     Completion on_complete;
     SimTime enqueued_at;
+    SimTime deadline;  // absolute; 0 = none
   };
+
+  /// True when `pending` carries a deadline that has already passed.
+  [[nodiscard]] bool expired(const Pending& pending) const noexcept {
+    return pending.deadline != 0 && loop_.now() > pending.deadline;
+  }
+
+  /// Completes a never-serviced job: counts it and posts its completion
+  /// through the loop with zero virtual delay.
+  void finish_unserviced(Completion on_complete, Outcome outcome);
 
   void dispatch(Pending pending);
   void try_dispatch();
 
   EventLoop& loop_;
   int workers_;
+  std::size_t queue_limit_;
+  AdmissionPolicy admission_;
   int busy_ = 0;
-  std::uint64_t epoch_ = 0;  // bumped by reset(): orphans in-flight completions
+  std::uint64_t epoch_ = 0;  // bumped by reset(): orphans in-flight finishes
   std::deque<Pending> queue_;
+  /// Completions of jobs currently being serviced, keyed by a per-dispatch
+  /// serial so reset() can fire them with kDropped.
+  std::unordered_map<std::uint64_t, Completion> in_service_;
+  std::uint64_t next_serial_ = 0;
   std::uint64_t completed_ = 0;
+  std::uint64_t shed_ = 0;
+  std::uint64_t expired_ = 0;
+  std::uint64_t dropped_ = 0;
   SimTime service_time_ = 0;
   SimTime queue_wait_ = 0;
   std::size_t peak_queue_ = 0;

@@ -1,0 +1,333 @@
+// Overload robustness: admission control, deadline propagation, retry
+// budgets, and hierarchy-degraded answers (DESIGN.md "Overload & graceful
+// degradation").
+//
+// The scenarios drive a single hot partition past its owner's capacity —
+// dynamic replication off, so no helper can absorb the excess — and check
+// that overload surfaces as explicit, bounded behavior: shed jobs push
+// back immediately, deadlines are never overrun by more than one
+// scheduler tick, retry storms are capped by the token budget, and shed
+// subqueries come back coarse-but-correct from cached ancestor levels.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "common/civil_time.hpp"
+#include "geo/geohash.hpp"
+#include "workload/workload.hpp"
+
+namespace stash::cluster {
+namespace {
+
+std::shared_ptr<const NamGenerator> shared_generator() {
+  static auto gen = std::make_shared<const NamGenerator>();
+  return gen;
+}
+
+/// A city-sized box inside partition "9y" (central US): one subquery per
+/// query, all landing on the same owner node.
+AggregationQuery city_query() {
+  return {{36.0, 36.2, -96.5, -96.0},
+          {unix_seconds({2015, 2, 2}), unix_seconds({2015, 2, 3})},
+          {6, TemporalRes::Day}};
+}
+
+ClusterConfig overload_config() {
+  ClusterConfig config;
+  config.num_nodes = 16;
+  config.mode = SystemMode::StashNoReplication;  // no handoff helpers
+  return config;
+}
+
+/// Warms the requested level and its spatial ancestor so degraded answers
+/// have a PLM-complete level to fall back to.
+void warm_hierarchy(StashCluster& cluster, const AggregationQuery& query) {
+  AggregationQuery ancestor = query;
+  ancestor.area = query.area.scaled(4.0);
+  ancestor.res = {5, TemporalRes::Day};
+  cluster.preload(ancestor);
+  cluster.preload(query);
+}
+
+std::vector<AggregationQuery> repeat_query(const AggregationQuery& q,
+                                           std::size_t n) {
+  return std::vector<AggregationQuery>(n, q);
+}
+
+TEST(OverloadTest, RejectNewShedsAndDegradesUnderBurst) {
+  ClusterConfig config = overload_config();
+  config.queue_limit = 4;
+  config.admission_policy = sim::AdmissionPolicy::kRejectNew;
+  StashCluster cluster(config, shared_generator());
+  warm_hierarchy(cluster, city_query());
+
+  // 64 simultaneous arrivals vs 8 workers + 4 queue slots: most are shed,
+  // and every shed subquery is answered from the (complete) cached levels.
+  const auto stats = cluster.run_burst(repeat_query(city_query(), 64));
+  const auto& m = cluster.metrics();
+  EXPECT_GT(m.subqueries_shed, 0u);
+  for (const auto& s : stats) {
+    EXPECT_FALSE(s.partial);
+    EXPECT_EQ(s.failed_subqueries, 0u);
+    ASSERT_EQ(s.coverage.size(), 1u);
+    EXPECT_NE(s.coverage[0].kind, PartitionCoverage::Kind::kMissing);
+  }
+}
+
+TEST(OverloadTest, DropOldestShedsQueuedWorkInstead) {
+  ClusterConfig config = overload_config();
+  config.queue_limit = 4;
+  config.admission_policy = sim::AdmissionPolicy::kDropOldest;
+  StashCluster cluster(config, shared_generator());
+  warm_hierarchy(cluster, city_query());
+
+  const auto stats = cluster.run_burst(repeat_query(city_query(), 64));
+  const auto& m = cluster.metrics();
+  EXPECT_GT(m.subqueries_shed, 0u);
+  for (const auto& s : stats) EXPECT_FALSE(s.partial);
+}
+
+TEST(OverloadTest, DegradedAnswerServesCoarserAncestorExactly) {
+  // Only the s5 ancestor is cached; the s6 burst overflows a queue of 1,
+  // so shed subqueries must come back at s5 — byte-for-byte what a basic
+  // cluster computes at that resolution.
+  ClusterConfig config = overload_config();
+  config.queue_limit = 1;
+  StashCluster cluster(config, shared_generator());
+  AggregationQuery ancestor = city_query();
+  ancestor.area = city_query().area.scaled(4.0);
+  ancestor.res = {5, TemporalRes::Day};
+  cluster.preload(ancestor);
+
+  const auto burst = repeat_query(city_query(), 12);
+  std::vector<QueryStats> stats(burst.size());
+  std::vector<CellSummaryMap> cells(burst.size());
+  for (std::size_t i = 0; i < burst.size(); ++i)
+    cluster.submit(burst[i],
+                   [&stats, &cells, i](const QueryStats& s, CellSummaryMap&& c) {
+                     stats[i] = s;
+                     cells[i] = std::move(c);
+                   });
+  cluster.loop().run();
+
+  ClusterConfig basic_config;
+  basic_config.num_nodes = 16;
+  basic_config.mode = SystemMode::Basic;
+  StashCluster basic(basic_config, shared_generator());
+  AggregationQuery coarse = city_query();
+  coarse.res = {5, TemporalRes::Day};
+  CellSummaryMap reference;
+  basic.run_query(coarse, &reference);
+  ASSERT_FALSE(reference.empty());
+
+  std::size_t degraded = 0;
+  for (std::size_t i = 0; i < burst.size(); ++i) {
+    const auto& s = stats[i];
+    EXPECT_FALSE(s.partial) << "query " << i;
+    ASSERT_EQ(s.coverage.size(), 1u);
+    if (!s.degraded) continue;
+    ++degraded;
+    EXPECT_EQ(s.coverage[0].kind, PartitionCoverage::Kind::kDegraded);
+    EXPECT_EQ(s.coverage[0].served_res.spatial, 5);
+    EXPECT_EQ(s.coverage[0].served_res.temporal, TemporalRes::Day);
+    ASSERT_EQ(cells[i].size(), reference.size()) << "query " << i;
+    for (const auto& [key, summary] : reference) {
+      const auto it = cells[i].find(key);
+      ASSERT_NE(it, cells[i].end());
+      EXPECT_EQ(it->second.observation_count(), summary.observation_count());
+    }
+  }
+  EXPECT_GT(degraded, 0u) << "burst never triggered a degraded answer";
+}
+
+TEST(OverloadTest, DeadlineNeverOverrunByMoreThanOneTick) {
+  // Property: across seeds and admission policies, no query with a
+  // deadline finishes later than deadline + 1 us (the merge event lands at
+  // most one scheduler tick after the cut).
+  for (const auto policy : {sim::AdmissionPolicy::kRejectNew,
+                            sim::AdmissionPolicy::kDropOldest}) {
+    for (const std::uint64_t seed : {1ULL, 7ULL, 23ULL}) {
+      ClusterConfig config = overload_config();
+      config.queue_limit = 8;
+      config.admission_policy = policy;
+      config.query_deadline = 5 * sim::kMillisecond;  // tight: forces cuts
+      config.retry_budget = 1.0;
+      config.subquery_timeout = 2 * sim::kMillisecond;
+      config.seed = seed;
+      StashCluster cluster(config, shared_generator());
+      warm_hierarchy(cluster, city_query());
+
+      workload::WorkloadConfig wl_config;
+      wl_config.seed = seed;
+      workload::WorkloadGenerator wl(wl_config);
+      auto burst = wl.pan_walk(city_query(), 0.2, 200);
+      const auto stats = cluster.run_open_loop(burst, 10);
+      for (const auto& s : stats) {
+        ASSERT_NE(s.deadline, 0);
+        EXPECT_EQ(s.deadline, s.submitted_at + config.query_deadline);
+        EXPECT_LE(s.completed_at, s.deadline + 1)
+            << "seed " << seed << " query " << s.query_id;
+      }
+    }
+  }
+}
+
+TEST(OverloadTest, DeadlineCutReportsMissingPartitionsHonestly) {
+  // A deadline so tight that admitted (cold, disk-scanning) subqueries
+  // cannot finish: the query must still complete at the deadline, flagged
+  // partial, with the unfinished partitions reported as missing.
+  ClusterConfig config = overload_config();
+  config.query_deadline = 500;  // 0.5 ms: below the cold scan path
+  config.degraded_answers = false;
+  StashCluster cluster(config, shared_generator());
+  const auto stats = cluster.run_query(city_query());
+  EXPECT_LE(stats.completed_at, stats.deadline + 1);
+  EXPECT_TRUE(stats.partial);
+  EXPECT_GT(stats.deadline_subqueries, 0u);
+  ASSERT_EQ(stats.coverage.size(), 1u);
+  EXPECT_EQ(stats.coverage[0].kind, PartitionCoverage::Kind::kMissing);
+  const auto& m = cluster.metrics();
+  EXPECT_GT(m.deadline_cut_queries, 0u);
+  EXPECT_GT(m.deadline_cut_subqueries, 0u);
+}
+
+TEST(OverloadTest, RetryBudgetSuppressesRetryStorm) {
+  // 2x-overload burst against an unbounded queue with a tight subquery
+  // timeout: the legacy config retries every timed-out attempt (a storm);
+  // the budgeted config must suppress retries once tokens run out, issue
+  // strictly fewer, and still drain to quiescence.
+  const auto run = [](double budget) {
+    ClusterConfig config = overload_config();
+    config.queue_limit = 0;  // unbounded: waits grow past the timeout
+    config.query_deadline = 0;
+    config.retry_budget = budget;
+    config.subquery_timeout = 2 * sim::kMillisecond;
+    config.retry_backoff = 100;  // retries land while still overloaded
+    config.retry_jitter = 0.0;
+    config.failover_to_successor = false;  // keep load on the hot node
+    StashCluster cluster(config, shared_generator());
+    warm_hierarchy(cluster, city_query());
+    // ~2x the warm-path capacity: queue waits outgrow the 2 ms timeout.
+    // run_open_loop throws if anything fails to drain (quiescence guard).
+    cluster.run_open_loop(repeat_query(city_query(), 600), 12);
+    return cluster.metrics();
+  };
+
+  const auto storm = run(0.0);   // unlimited retries
+  const auto capped = run(1.0);  // one token, refilled by successes
+  ASSERT_GT(storm.subquery_retries, 0u)
+      << "scenario did not provoke timeout-driven retries";
+  EXPECT_EQ(storm.retries_suppressed, 0u);
+  EXPECT_GT(capped.retries_suppressed, 0u);
+  EXPECT_LT(capped.subquery_retries, storm.subquery_retries);
+}
+
+TEST(OverloadTest, MaxRetryBackoffClampBoundsRecoveryTime) {
+  // Regression for the unbounded 2^(k-1) backoff: with the clamp, a query
+  // that burns through many attempts against a dead node must not wait
+  // exponentially long between the late retries.
+  const auto run = [](sim::SimTime clamp) {
+    ClusterConfig config;
+    config.num_nodes = 16;
+    config.subquery_timeout = 2 * sim::kMillisecond;
+    config.subquery_max_attempts = 7;
+    config.retry_backoff = 5 * sim::kMillisecond;
+    config.retry_jitter = 0.0;
+    config.max_retry_backoff = clamp;
+    config.failover_to_successor = false;
+    config.suspect_ttl = 0;  // re-target the dead owner every attempt
+    StashCluster cluster(config, shared_generator());
+    const ZeroHopDht dht(16, config.partition_prefix_length);
+    cluster.crash_node(dht.node_for_partition("9y"));
+    return cluster.run_query(city_query());
+  };
+
+  const auto clamped = run(10 * sim::kMillisecond);
+  const auto unclamped = run(0);
+  EXPECT_TRUE(clamped.partial);
+  EXPECT_TRUE(unclamped.partial);
+  // Unclamped backoffs: 5+10+20+40+80+160 ms; clamped: 5+10+10+10+10+10 ms.
+  EXPECT_LT(clamped.latency(), unclamped.latency());
+  EXPECT_LE(clamped.latency(),
+            7 * (2 * sim::kMillisecond) + 55 * sim::kMillisecond +
+                5 * sim::kMillisecond /*frontend + slack*/);
+}
+
+TEST(OverloadTest, CrashedServerNotifiesScatterImmediately) {
+  // Regression for SimServer::reset() silently discarding completions: a
+  // crash mid-flight must surface as an immediate kDropped pushback, not a
+  // wait for the (here: enormous) subquery timeout.
+  ClusterConfig config;
+  config.num_nodes = 16;
+  config.subquery_timeout = 300 * sim::kSecond;  // a hang would be obvious
+  StashCluster cluster(config, shared_generator());
+  const ZeroHopDht dht(16, config.partition_prefix_length);
+  const NodeId owner = dht.node_for_partition("9y");
+
+  std::vector<QueryStats> stats;
+  for (int i = 0; i < 16; ++i)
+    cluster.submit(city_query(),
+                   [&stats](const QueryStats& s) { stats.push_back(s); });
+  // Crash after the requests have landed (in service and queued) but long
+  // before any cold scan finishes; the successor re-scans.
+  cluster.loop().schedule(2 * sim::kMillisecond,
+                          [&] { cluster.crash_node(owner); });
+  cluster.loop().run();
+
+  ASSERT_EQ(stats.size(), 16u);
+  for (const auto& s : stats) {
+    EXPECT_FALSE(s.partial);
+    EXPECT_LT(s.latency(), sim::kSecond)
+        << "dropped job waited for a timeout instead of pushing back";
+  }
+  EXPECT_GT(cluster.metrics().failovers, 0u);
+}
+
+TEST(OverloadTest, DefaultsPreserveLegacyBehavior) {
+  // queue_limit=0, deadline=0, budget=0 must behave exactly like the seed:
+  // nothing shed, nothing degraded, nothing suppressed.
+  StashCluster cluster(overload_config(), shared_generator());
+  warm_hierarchy(cluster, city_query());
+  const auto stats = cluster.run_burst(repeat_query(city_query(), 64));
+  const auto& m = cluster.metrics();
+  EXPECT_EQ(m.subqueries_shed, 0u);
+  EXPECT_EQ(m.subqueries_expired, 0u);
+  EXPECT_EQ(m.degraded_subqueries, 0u);
+  EXPECT_EQ(m.deadline_cut_queries, 0u);
+  EXPECT_EQ(m.retries_suppressed, 0u);
+  for (const auto& s : stats) {
+    EXPECT_FALSE(s.partial);
+    EXPECT_FALSE(s.degraded);
+    EXPECT_EQ(s.deadline, 0);
+  }
+}
+
+TEST(OverloadTest, DeterministicAcrossRuns) {
+  // The overload machinery (shedding, degraded synthesis, deadline cuts)
+  // must not break run-to-run determinism.
+  const auto run = [] {
+    ClusterConfig config = overload_config();
+    config.queue_limit = 8;
+    config.query_deadline = 5 * sim::kMillisecond;
+    config.retry_budget = 1.0;
+    StashCluster cluster(config, shared_generator());
+    warm_hierarchy(cluster, city_query());
+    return cluster.run_open_loop(repeat_query(city_query(), 200), 25);
+  };
+  const auto a = run();
+  const auto b = run();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].completed_at, b[i].completed_at) << i;
+    EXPECT_EQ(a[i].result_cells, b[i].result_cells) << i;
+    EXPECT_EQ(a[i].degraded, b[i].degraded) << i;
+    EXPECT_EQ(a[i].partial, b[i].partial) << i;
+  }
+}
+
+}  // namespace
+}  // namespace stash::cluster

@@ -16,7 +16,8 @@ TEST(SimServerTest, SingleJobRunsForItsDuration) {
   EventLoop loop;
   SimServer server(loop, 1);
   SimTime completed_at = -1;
-  server.submit([] { return SimTime{100}; }, [&] { completed_at = loop.now(); });
+  server.submit([] { return SimTime{100}; },
+                [&](Outcome) { completed_at = loop.now(); });
   loop.run();
   EXPECT_EQ(completed_at, 100);
   EXPECT_EQ(server.completed_jobs(), 1u);
@@ -30,7 +31,7 @@ TEST(SimServerTest, SingleWorkerSerializesJobs) {
   std::vector<SimTime> completions;
   for (int i = 0; i < 3; ++i)
     server.submit([] { return SimTime{100}; },
-                  [&] { completions.push_back(loop.now()); });
+                  [&](Outcome) { completions.push_back(loop.now()); });
   EXPECT_EQ(server.queue_length(), 2u);  // one dispatched, two queued
   loop.run();
   EXPECT_EQ(completions, (std::vector<SimTime>{100, 200, 300}));
@@ -43,7 +44,7 @@ TEST(SimServerTest, MultipleWorkersRunInParallel) {
   std::vector<SimTime> completions;
   for (int i = 0; i < 8; ++i)
     server.submit([] { return SimTime{100}; },
-                  [&] { completions.push_back(loop.now()); });
+                  [&](Outcome) { completions.push_back(loop.now()); });
   loop.run();
   ASSERT_EQ(completions.size(), 8u);
   for (SimTime t : completions) EXPECT_EQ(t, 100);  // all in parallel
@@ -54,7 +55,7 @@ TEST(SimServerTest, NinthJobWaitsForFreeWorker) {
   SimServer server(loop, 8);
   SimTime ninth = -1;
   for (int i = 0; i < 8; ++i) server.submit([] { return SimTime{100}; });
-  server.submit([] { return SimTime{50}; }, [&] { ninth = loop.now(); });
+  server.submit([] { return SimTime{50}; }, [&](Outcome) { ninth = loop.now(); });
   EXPECT_EQ(server.queue_length(), 1u);
   loop.run();
   EXPECT_EQ(ninth, 150);  // starts at 100 when a worker frees, runs 50
@@ -65,7 +66,8 @@ TEST(SimServerTest, FifoOrderPreserved) {
   SimServer server(loop, 1);
   std::vector<int> order;
   for (int i = 0; i < 5; ++i)
-    server.submit([] { return SimTime{10}; }, [&order, i] { order.push_back(i); });
+    server.submit([] { return SimTime{10}; },
+                  [&order, i](Outcome) { order.push_back(i); });
   loop.run();
   EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
 }
@@ -85,8 +87,9 @@ TEST(SimServerTest, JobsSubmittedFromCompletionsRun) {
   EventLoop loop;
   SimServer server(loop, 1);
   SimTime second_done = -1;
-  server.submit([] { return SimTime{10}; }, [&] {
-    server.submit([] { return SimTime{20}; }, [&] { second_done = loop.now(); });
+  server.submit([] { return SimTime{10}; }, [&](Outcome) {
+    server.submit([] { return SimTime{20}; },
+                  [&](Outcome) { second_done = loop.now(); });
   });
   loop.run();
   EXPECT_EQ(second_done, 30);
@@ -96,7 +99,7 @@ TEST(SimServerTest, ZeroDurationJobCompletesImmediately) {
   EventLoop loop;
   SimServer server(loop, 1);
   SimTime done = -1;
-  server.submit([] { return SimTime{0}; }, [&] { done = loop.now(); });
+  server.submit([] { return SimTime{0}; }, [&](Outcome) { done = loop.now(); });
   loop.run();
   EXPECT_EQ(done, 0);
 }
@@ -120,6 +123,166 @@ TEST(SimServerTest, JobWorkExecutesAtDispatchTime) {
   });
   loop.run();
   EXPECT_EQ(work_time, 100);
+}
+
+// --- overload control: bounded queue, admission, deadlines, reset ---
+
+TEST(SimServerTest, UnboundedQueueNeverSheds) {
+  EventLoop loop;
+  SimServer server(loop, 1);  // queue_limit == 0: legacy behavior
+  int ok = 0;
+  for (int i = 0; i < 100; ++i)
+    server.submit([] { return SimTime{1}; },
+                  [&](Outcome o) { ok += (o == Outcome::kOk); });
+  loop.run();
+  EXPECT_EQ(ok, 100);
+  EXPECT_EQ(server.shed_jobs(), 0u);
+}
+
+TEST(SimServerTest, RejectNewShedsArrivalsBeyondQueueLimit) {
+  EventLoop loop;
+  SimServer server(loop, {1, 2, AdmissionPolicy::kRejectNew});
+  std::vector<Outcome> outcomes(5, Outcome::kOk);
+  std::vector<SimTime> when(5, -1);
+  for (int i = 0; i < 5; ++i)
+    server.submit([] { return SimTime{100}; }, [&, i](Outcome o) {
+      outcomes[static_cast<std::size_t>(i)] = o;
+      when[static_cast<std::size_t>(i)] = loop.now();
+    });
+  // Job 0 in service, 1-2 queued, 3-4 shed at submit time (t=0).
+  EXPECT_EQ(server.queue_length(), 2u);
+  loop.run();
+  EXPECT_EQ(outcomes[0], Outcome::kOk);
+  EXPECT_EQ(outcomes[1], Outcome::kOk);
+  EXPECT_EQ(outcomes[2], Outcome::kOk);
+  EXPECT_EQ(outcomes[3], Outcome::kShed);
+  EXPECT_EQ(outcomes[4], Outcome::kShed);
+  EXPECT_EQ(when[3], 0);  // pushback is immediate, not after queueing delay
+  EXPECT_EQ(when[4], 0);
+  EXPECT_EQ(server.shed_jobs(), 2u);
+  EXPECT_EQ(server.completed_jobs(), 3u);
+  EXPECT_EQ(server.peak_queue_length(), 2u);
+}
+
+TEST(SimServerTest, DropOldestShedsHeadAndAdmitsNew) {
+  EventLoop loop;
+  SimServer server(loop, {1, 2, AdmissionPolicy::kDropOldest});
+  std::vector<Outcome> outcomes(5, Outcome::kDropped);
+  for (int i = 0; i < 5; ++i)
+    server.submit([] { return SimTime{100}; },
+                  [&, i](Outcome o) { outcomes[static_cast<std::size_t>(i)] = o; });
+  loop.run();
+  // 0 in service; 1 and 2 queued; 3 evicts 1, 4 evicts 2 — the freshest
+  // two arrivals win the queue slots.
+  EXPECT_EQ(outcomes[0], Outcome::kOk);
+  EXPECT_EQ(outcomes[1], Outcome::kShed);
+  EXPECT_EQ(outcomes[2], Outcome::kShed);
+  EXPECT_EQ(outcomes[3], Outcome::kOk);
+  EXPECT_EQ(outcomes[4], Outcome::kOk);
+  EXPECT_EQ(server.shed_jobs(), 2u);
+  EXPECT_EQ(server.completed_jobs(), 3u);
+}
+
+TEST(SimServerTest, DeadOnArrivalJobExpiresImmediately) {
+  EventLoop loop;
+  SimServer server(loop, 1);
+  loop.schedule(50, [&] {
+    server.submit([] { return SimTime{10}; },
+                  [&](Outcome o) { EXPECT_EQ(o, Outcome::kDeadlineExceeded); },
+                  /*deadline=*/20);
+  });
+  loop.run();
+  EXPECT_EQ(server.expired_jobs(), 1u);
+  EXPECT_EQ(server.completed_jobs(), 0u);
+}
+
+TEST(SimServerTest, QueuedJobPastDeadlineExpiresAtDispatch) {
+  EventLoop loop;
+  SimServer server(loop, 1);
+  Outcome second = Outcome::kOk;
+  SimTime second_at = -1;
+  server.submit([] { return SimTime{100}; });
+  // Reaches the head of the queue at t=100, past its t=50 deadline: it must
+  // NOT consume a worker; the expiry fires as the worker frees.
+  server.submit([] { return SimTime{10}; },
+                [&](Outcome o) {
+                  second = o;
+                  second_at = loop.now();
+                },
+                /*deadline=*/50);
+  loop.run();
+  EXPECT_EQ(second, Outcome::kDeadlineExceeded);
+  EXPECT_EQ(second_at, 100);
+  EXPECT_EQ(server.expired_jobs(), 1u);
+  EXPECT_EQ(server.total_service_time(), 100);  // expired job did no work
+}
+
+TEST(SimServerTest, JobMeetingDeadlineRunsNormally) {
+  EventLoop loop;
+  SimServer server(loop, 1);
+  Outcome got = Outcome::kShed;
+  server.submit([] { return SimTime{10}; }, [&](Outcome o) { got = o; },
+                /*deadline=*/1000);
+  loop.run();
+  EXPECT_EQ(got, Outcome::kOk);
+  EXPECT_EQ(server.expired_jobs(), 0u);
+}
+
+TEST(SimServerTest, ResetNotifiesQueuedAndInServiceJobsAsDropped) {
+  EventLoop loop;
+  SimServer server(loop, 1);
+  std::vector<Outcome> outcomes;
+  for (int i = 0; i < 3; ++i)
+    server.submit([] { return SimTime{100}; },
+                  [&](Outcome o) { outcomes.push_back(o); });
+  loop.schedule(50, [&] {
+    // Crash mid-service: 1 in service + 2 queued, all must learn their fate
+    // (a silent reset would leave the scatter layer waiting for a timeout).
+    EXPECT_EQ(server.reset(), 3u);
+  });
+  loop.run();
+  ASSERT_EQ(outcomes.size(), 3u);
+  for (Outcome o : outcomes) EXPECT_EQ(o, Outcome::kDropped);
+  EXPECT_EQ(server.dropped_jobs(), 3u);
+  EXPECT_EQ(server.completed_jobs(), 0u);
+  EXPECT_TRUE(server.idle());
+}
+
+TEST(SimServerTest, InServiceFinishAfterResetDoesNotComplete) {
+  EventLoop loop;
+  SimServer server(loop, 1);
+  int completions = 0;
+  server.submit([] { return SimTime{100}; }, [&](Outcome) { ++completions; });
+  loop.schedule(50, [&] { server.reset(); });
+  loop.run();
+  // Exactly one notification (kDropped at reset); the orphaned worker-finish
+  // event at t=100 must not double-fire.
+  EXPECT_EQ(completions, 1);
+  EXPECT_EQ(server.completed_jobs(), 0u);
+}
+
+TEST(SimServerTest, ServerUsableAfterReset) {
+  EventLoop loop;
+  SimServer server(loop, {2, 4, AdmissionPolicy::kRejectNew});
+  server.submit([] { return SimTime{100}; });
+  loop.schedule(10, [&] { server.reset(); });
+  SimTime done = -1;
+  loop.schedule(200, [&] {
+    server.submit([] { return SimTime{30}; },
+                  [&](Outcome o) {
+                    EXPECT_EQ(o, Outcome::kOk);
+                    done = loop.now();
+                  });
+  });
+  loop.run();
+  EXPECT_EQ(done, 230);
+}
+
+TEST(SimServerTest, OutcomeToString) {
+  EXPECT_STREQ(to_string(Outcome::kOk), "ok");
+  EXPECT_STREQ(to_string(Outcome::kShed), "shed");
+  EXPECT_STREQ(to_string(Outcome::kDeadlineExceeded), "deadline_exceeded");
+  EXPECT_STREQ(to_string(Outcome::kDropped), "dropped");
 }
 
 }  // namespace
