@@ -1,0 +1,265 @@
+// Partition-tolerance demo (DESIGN.md "Partition tolerance & recovery").
+//
+// A scripted 2-way split cuts three nodes — including one partition owner
+// that also crashes and restarts cold mid-split — away from the
+// scatter/gather front-end for two simulated seconds.  Gossip membership
+// converges on the split, mid-split queries fail over to ring successors
+// or degrade to cached ancestors, and after the heal the anti-entropy
+// exchange re-warms the cut-off side from the replica holders that served
+// its partitions meanwhile.  The same scenario runs twice, with recovery
+// on and off, so the re-warm benefit is measured against a cold baseline.
+//
+// The run self-checks its acceptance criteria and exits non-zero on
+// failure, so CI can use it as a partition soak:
+//   1. every mid-split query completes within its deadline (zero hangs)
+//      and reports full coverage (failover / degraded, never silent);
+//   2. the split was real: the injector activated it and the front-end
+//      had to fail over or coarsen at least once;
+//   3. after the heal the views converge (nobody believes anybody dead)
+//      and the hierarchy audit passes on every node;
+//   4. anti-entropy engaged: digests exchanged, chunks pulled back;
+//   5. the post-heal probe's storage fetches land measurably below the
+//      recovery-off cold baseline.
+//
+//   ./build/examples/chaos_partition [--metrics-json FILE]
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "common/civil_time.hpp"
+#include "geo/geohash.hpp"
+#include "obs/metrics.hpp"
+
+using namespace stash;
+using cluster::ClusterConfig;
+using cluster::StashCluster;
+
+namespace {
+
+constexpr std::uint32_t kNodes = 16;
+constexpr std::size_t kMidSplitQueries = 20;
+constexpr sim::SimTime kDeadline = 1 * sim::kSecond;
+constexpr sim::SimTime kSplitAt = 10 * sim::kSecond;
+constexpr sim::SimTime kHealAt = 12 * sim::kSecond;
+constexpr sim::SimTime kQuiescent = 16 * sim::kSecond;
+
+struct Scenario {
+  AggregationQuery query;
+  std::vector<std::string> partitions;  // gh2 partitions the query touches
+  NodeId victim = 0;
+  std::vector<std::uint32_t> minority, majority;
+};
+
+Scenario make_scenario() {
+  Scenario s;
+  s.query = {{38.0, 38.6, -99.0, -97.8},
+             {unix_seconds({2015, 2, 2}), unix_seconds({2015, 2, 3})},
+             {6, TemporalRes::Day}};
+  s.query.area = s.query.area.scaled(16.0);
+  s.partitions = geohash::covering(s.query.area, 2);
+
+  const ClusterConfig probe;
+  const ZeroHopDht dht(kNodes, probe.partition_prefix_length);
+  s.victim = dht.node_for_partition(s.partitions.front());
+  // The cut-off side: the victim plus two more nodes.  The front-end stays
+  // with the majority, so the victim's partitions need failover.
+  s.minority = {s.victim, (s.victim + 1) % kNodes, (s.victim + 5) % kNodes};
+  s.majority = {sim::kFrontendNode};
+  for (std::uint32_t id = 0; id < kNodes; ++id)
+    if (std::find(s.minority.begin(), s.minority.end(), id) ==
+        s.minority.end())
+      s.majority.push_back(id);
+  return s;
+}
+
+ClusterConfig base_config(const Scenario& s, bool recovery) {
+  ClusterConfig config;
+  config.num_nodes = kNodes;
+  config.subquery_timeout = 50 * sim::kMillisecond;
+  config.retry_backoff = 5 * sim::kMillisecond;
+  config.suspect_ttl = 200 * sim::kMillisecond;
+  config.query_deadline = kDeadline;
+  config.recovery = recovery;
+  // Gossip timers scaled to the scenario: detection within ~100 ms.
+  config.membership.probe_interval = 50 * sim::kMillisecond;
+  config.membership.probe_timeout = 5 * sim::kMillisecond;
+  config.membership.suspicion_timeout = 100 * sim::kMillisecond;
+  config.fault_plan.seed = 1;
+  config.fault_plan.partitions.push_back(
+      {.groups = {s.majority, s.minority}, .at = kSplitAt, .heal_at = kHealAt});
+  // The worst case anti-entropy has to repair: a minority owner crashes
+  // mid-split and restarts cold while still cut off from the majority.
+  config.fault_plan.crashes.push_back({.node = s.victim,
+                                       .at = 10200 * sim::kMillisecond,
+                                       .restart_at = 11 * sim::kSecond});
+  return config;
+}
+
+struct RunResult {
+  cluster::QueryStats warm;
+  std::vector<cluster::QueryStats> during;
+  cluster::QueryStats probe;           // post-heal, post-quiescence
+  cluster::ClusterMetrics metrics;     // sampled at quiescence
+  bool converged = false;              // no observer believes anyone dead
+  bool audit_ok = false;
+  std::string metrics_json;
+};
+
+RunResult run(const Scenario& s, bool recovery) {
+  StashCluster cluster(base_config(s, recovery),
+                       std::make_shared<const NamGenerator>());
+
+  // The scripted fault events are foreground work, so one run() drains
+  // warm-up, split, mid-split traffic, crash/restart, heal, and the
+  // anti-entropy exchange in virtual-time order.
+  RunResult out;
+  cluster.loop().schedule_at(0, [&] {
+    cluster.submit(s.query,
+                   [&](const cluster::QueryStats& st) { out.warm = st; });
+  });
+  for (std::size_t i = 0; i < kMidSplitQueries; ++i)
+    cluster.loop().schedule_at(
+        10050 * sim::kMillisecond +
+            static_cast<sim::SimTime>(i) * 20 * sim::kMillisecond,
+        [&] {
+          cluster.submit(s.query, [&](const cluster::QueryStats& st) {
+            out.during.push_back(st);
+          });
+        });
+  cluster.loop().run();
+  cluster.loop().run_until(kQuiescent);  // gossip + breaker quiescence
+
+  out.metrics = cluster.metrics();
+  out.converged = true;
+  const auto& membership = cluster.membership();
+  for (std::uint32_t member = 0; member < kNodes; ++member) {
+    if (membership.state(sim::kFrontendNode, member) ==
+        cluster::MemberState::kDead)
+      out.converged = false;
+    for (std::uint32_t observer = 0; observer < kNodes; ++observer)
+      if (membership.state(observer, member) == cluster::MemberState::kDead)
+        out.converged = false;
+  }
+  out.audit_ok = cluster.audit_all().ok();
+
+  out.probe = cluster.run_query(s.query);
+  out.metrics_json = obs::to_json(cluster.metrics_registry().snapshot(),
+                                  cluster.loop().now());
+  return out;
+}
+
+void report(const char* label, const RunResult& r) {
+  const auto& m = r.metrics;
+  std::vector<sim::SimTime> lat;
+  std::size_t exact = 0, degraded = 0, partial = 0;
+  for (const auto& st : r.during) {
+    lat.push_back(st.latency());
+    if (st.partial) ++partial;
+    else if (st.degraded) ++degraded;
+    else ++exact;
+  }
+  std::sort(lat.begin(), lat.end());
+  std::printf("%s\n", label);
+  std::printf("  mid-split latency p50 / max: %8.2f / %8.2f ms\n",
+              sim::to_millis(lat[lat.size() / 2]),
+              sim::to_millis(lat.back()));
+  std::printf("  mid-split exact / degraded / partial: %zu / %zu / %zu\n",
+              exact, degraded, partial);
+  std::printf("  failovers / retries:    %llu / %llu\n",
+              static_cast<unsigned long long>(m.failovers),
+              static_cast<unsigned long long>(m.subquery_retries));
+  std::printf("  gossip probes / false suspicions: %llu / %llu\n",
+              static_cast<unsigned long long>(m.gossip_probes),
+              static_cast<unsigned long long>(m.false_suspicions));
+  std::printf("  partitions observed, recoveries:  %llu, %llu\n",
+              static_cast<unsigned long long>(m.partitions_observed),
+              static_cast<unsigned long long>(m.recoveries));
+  std::printf("  digests exchanged, chunks / cells re-warmed: "
+              "%llu, %llu / %llu\n",
+              static_cast<unsigned long long>(m.digests_exchanged),
+              static_cast<unsigned long long>(m.chunks_rewarmed),
+              static_cast<unsigned long long>(m.cells_rewarmed));
+  std::printf("  post-heal probe storage chunks scanned: %zu\n",
+              r.probe.breakdown.chunks_scanned);
+  std::printf("\n");
+}
+
+bool check(bool ok, const char* what) {
+  std::printf("  [%s] %s\n", ok ? "PASS" : "FAIL", what);
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string metrics_json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--metrics-json") == 0 && i + 1 < argc)
+      metrics_json_path = argv[++i];
+    else {
+      std::fprintf(stderr, "usage: %s [--metrics-json FILE]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  const Scenario scenario = make_scenario();
+  std::printf("2-way split %.1fs..%.1fs: nodes {%u, %u, %u} cut off from the "
+              "front-end; node %u crashes at 10.2s, restarts cold at 11.0s; "
+              "%zu wide queries (%zu gh2 partitions) cross the split\n\n",
+              sim::to_millis(kSplitAt) / 1000.0,
+              sim::to_millis(kHealAt) / 1000.0, scenario.minority[0],
+              scenario.minority[1], scenario.minority[2], scenario.victim,
+              kMidSplitQueries, scenario.partitions.size());
+
+  const RunResult on = run(scenario, /*recovery=*/true);
+  report("anti-entropy recovery on:", on);
+  const RunResult off = run(scenario, /*recovery=*/false);
+  report("recovery off (cold baseline):", off);
+
+  std::printf("acceptance checks (recovery on):\n");
+  bool ok = true;
+  bool hangs = on.during.size() != kMidSplitQueries;
+  bool covered = on.during.size() == kMidSplitQueries;
+  for (const auto& st : on.during) {
+    if (st.deadline == 0 || st.completed_at > st.deadline) hangs = true;
+    if (st.coverage.size() != scenario.partitions.size()) covered = false;
+  }
+  ok &= check(!hangs, "every mid-split query completes within its deadline");
+  ok &= check(covered, "every mid-split query reports full coverage");
+  std::size_t not_exact = 0;
+  for (const auto& st : on.during)
+    if (st.partial || st.degraded) ++not_exact;
+  ok &= check(on.metrics.partitions_observed == 1 &&
+                  (on.metrics.failovers > 0 || not_exact > 0),
+              "the split activated and actually bit (failover or coarsen)");
+  ok &= check(on.converged && on.audit_ok,
+              "views converge after the heal and the hierarchy audit passes");
+  ok &= check(on.metrics.recoveries > 0 && on.metrics.digests_exchanged > 0 &&
+                  on.metrics.chunks_rewarmed > 0,
+              "anti-entropy exchanged digests and pulled chunks back");
+  ok &= check(off.metrics.chunks_rewarmed == 0 &&
+                  off.probe.breakdown.chunks_scanned > 0,
+              "cold baseline re-scans storage after the heal");
+  ok &= check(on.probe.breakdown.chunks_scanned <
+                  off.probe.breakdown.chunks_scanned,
+              "re-warmed probe fetches below the cold-restart baseline");
+
+  if (!metrics_json_path.empty()) {
+    std::FILE* f = metrics_json_path == "-"
+                       ? stdout
+                       : std::fopen(metrics_json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "%s: cannot write %s\n", argv[0],
+                   metrics_json_path.c_str());
+      return 2;
+    }
+    std::fprintf(f, "%s\n", on.metrics_json.c_str());
+    if (f != stdout) std::fclose(f);
+  }
+  return ok ? 0 : 1;
+}

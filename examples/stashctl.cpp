@@ -12,6 +12,12 @@
 //     --crash N@MS[:MS]     crash node N at MS ms (optionally restart at :MS);
 //                           repeatable
 //     --drop P              drop each message with probability P
+//     --partition A|B       split the network into groups from time 0; each
+//                           group is a comma list of node ids, "fe" = the
+//                           scatter/gather front-end (e.g. fe,0,1|2,3)
+//     --heal-ms MS          heal the partition at MS ms (default: never)
+//     --recovery            run anti-entropy re-warming after restarts and
+//     --no-recovery         heals (default on); off leaves rejoiners cold
 //     --no-failover         disable successor failover (degrade to partial)
 //     --queue-limit N       bound each node's pending queue (0 = unbounded);
 //                           a full queue sheds work with explicit pushback
@@ -33,6 +39,9 @@
 // Example:
 //   ./build/examples/stashctl 36 40 -102 -94 --repeat 3 --json
 //   ./build/examples/stashctl 36 40 -102 -94 --crash 7@0:50 --drop 0.01
+//   ./build/examples/stashctl 36 40 -102 -94 --repeat 3 --deadline-ms 1000
+//       --partition fe,0,1,2,3,4,5,6,7|8,9,10,11,12,13,14,15
+//       --heal-ms 40 --recovery
 //   ./build/examples/stashctl 36 40 -102 -94 --metrics --trace last
 
 #include <cctype>
@@ -58,12 +67,45 @@ namespace {
                "usage: %s [--date YYYY-MM-DD] [--sres N] "
                "[--tres hour|day|month] [--nodes N] [--mode stash|basic] "
                "[--repeat N] [--json] [--crash N@MS[:MS]] [--drop P] "
+               "[--partition A|B] [--heal-ms MS] [--recovery|--no-recovery] "
                "[--no-failover] [--queue-limit N] [--deadline-ms MS] "
                "[--retry-budget N] [--audit] [--metrics] "
                "[--metrics-json FILE] [--trace ID|last] [--help] "
                "<lat_min> <lat_max> <lng_min> <lng_max>\n",
                argv0);
   std::exit(requested ? 0 : 2);
+}
+
+/// "fe,0,1|2,3" -> {{kFrontendNode, 0, 1}, {2, 3}}; empty on malformed.
+std::vector<std::vector<std::uint32_t>> parse_partition(
+    const std::string& spec) {
+  std::vector<std::vector<std::uint32_t>> groups(1);
+  std::string token;
+  const auto flush = [&]() {
+    if (token.empty()) return false;
+    if (token == "fe" || token == "f") {
+      groups.back().push_back(sim::kFrontendNode);
+    } else {
+      for (const char c : token)
+        if (!std::isdigit(static_cast<unsigned char>(c))) return false;
+      groups.back().push_back(
+          static_cast<std::uint32_t>(std::atol(token.c_str())));
+    }
+    token.clear();
+    return true;
+  };
+  for (const char c : spec) {
+    if (c == ',') {
+      if (!flush()) return {};
+    } else if (c == '|') {
+      if (!flush()) return {};
+      groups.emplace_back();
+    } else {
+      token.push_back(c);
+    }
+  }
+  if (!flush() || groups.size() < 2) return {};
+  return groups;
 }
 
 bool parse_date(const std::string& text, CivilDate* out) {
@@ -94,6 +136,9 @@ int main(int argc, char** argv) {
   double deadline_ms = 0.0;
   double retry_budget = 0.0;
   sim::FaultPlan plan;
+  std::vector<std::vector<std::uint32_t>> partition_groups;
+  double heal_ms = -1.0;
+  std::optional<bool> recovery;
   std::vector<double> coords;
 
   for (int i = 1; i < argc; ++i) {
@@ -139,6 +184,16 @@ int main(int argc, char** argv) {
       sim::LinkRule rule;
       rule.drop_probability = std::atof(next().c_str());
       plan.links.push_back(rule);
+    } else if (arg == "--partition") {
+      partition_groups = parse_partition(next());
+      if (partition_groups.empty()) usage(argv[0]);
+    } else if (arg == "--heal-ms") {
+      heal_ms = std::atof(next().c_str());
+      if (heal_ms < 0.0) usage(argv[0]);
+    } else if (arg == "--recovery") {
+      recovery = true;
+    } else if (arg == "--no-recovery") {
+      recovery = false;
     } else if (arg == "--no-failover") {
       failover = false;
     } else if (arg == "--queue-limit") {
@@ -172,6 +227,18 @@ int main(int argc, char** argv) {
   }
   if (coords.size() != 4 || sres < 2 || sres > 12 || repeat < 1 || nodes < 1)
     usage(argv[0]);
+  if (!partition_groups.empty()) {
+    for (const auto& group : partition_groups)
+      for (const std::uint32_t id : group)
+        if (id != sim::kFrontendNode && id >= nodes) usage(argv[0]);
+    sim::PartitionEvent split;
+    split.groups = partition_groups;
+    split.at = 0;
+    if (heal_ms >= 0.0) split.heal_at = std::llround(heal_ms * 1000.0);
+    plan.partitions.push_back(split);
+  } else if (heal_ms >= 0.0) {
+    usage(argv[0]);  // --heal-ms without --partition
+  }
 
   const AggregationQuery query{
       {coords[0], coords[1], coords[2], coords[3]},
@@ -188,7 +255,15 @@ int main(int argc, char** argv) {
   config.query_deadline =
       static_cast<sim::SimTime>(std::llround(deadline_ms * 1000.0));
   config.retry_budget = retry_budget;
+  if (recovery.has_value()) config.recovery = *recovery;
   if (!plan.empty()) config.subquery_timeout = 20 * sim::kMillisecond;
+  if (!plan.partitions.empty()) {
+    // Gossip timers scaled to the CLI's millisecond-scale runs, so the
+    // split is detected (and refuted after the heal) within a few runs.
+    config.membership.probe_interval = 10 * sim::kMillisecond;
+    config.membership.probe_timeout = 2 * sim::kMillisecond;
+    config.membership.suspicion_timeout = 20 * sim::kMillisecond;
+  }
   std::optional<cluster::StashCluster> maybe_cluster;
   try {
     maybe_cluster.emplace(config, std::make_shared<const NamGenerator>());
@@ -243,6 +318,19 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(m.subquery_retries),
                 static_cast<unsigned long long>(m.failovers),
                 static_cast<unsigned long long>(m.partial_queries));
+  }
+  if (!plan.empty()) {
+    const auto& m = cluster.metrics();
+    std::printf("partition activity: observed=%llu probes=%llu "
+                "false-suspicions=%llu recoveries=%llu digests=%llu "
+                "rewarmed=%llu chunks / %llu cells\n",
+                static_cast<unsigned long long>(m.partitions_observed),
+                static_cast<unsigned long long>(m.gossip_probes),
+                static_cast<unsigned long long>(m.false_suspicions),
+                static_cast<unsigned long long>(m.recoveries),
+                static_cast<unsigned long long>(m.digests_exchanged),
+                static_cast<unsigned long long>(m.chunks_rewarmed),
+                static_cast<unsigned long long>(m.cells_rewarmed));
   }
   if (json)
     std::printf("%s\n", client::VisualClient::to_json(last, 10).c_str());

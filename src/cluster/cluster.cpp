@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <set>
 #include <stdexcept>
 
 #include "common/codec.hpp"
@@ -89,7 +90,18 @@ StashCluster::Counters::Counters(obs::MetricsRegistry& reg)
           "Queries finalized by the deadline timer")),
       retries_suppressed(reg.counter(
           "stash_retries_suppressed_total",
-          "Retries denied by an exhausted per-query retry budget")) {}
+          "Retries denied by an exhausted per-query retry budget")),
+      digests_exchanged(reg.counter(
+          "stash_digests_exchanged_total",
+          "PLM digests received by recovering nodes (anti-entropy)")),
+      chunks_rewarmed(reg.counter(
+          "stash_chunks_rewarmed_total",
+          "Complete chunks pulled back into a rejoining node's cache")),
+      cells_rewarmed(reg.counter(
+          "stash_cells_rewarmed_total",
+          "Cells carried by anti-entropy re-warm payloads")),
+      recoveries(reg.counter("stash_recoveries_total",
+                             "Anti-entropy recovery rounds started")) {}
 
 StashCluster::StashCluster(ClusterConfig config,
                            std::shared_ptr<const NamGenerator> generator)
@@ -99,6 +111,8 @@ StashCluster::StashCluster(ClusterConfig config,
       generator_(std::move(generator)),
       store_(generator_, config.partition_prefix_length),
       suspect_until_(config.num_nodes, kNeverSuspected),
+      last_recovery_(config.num_nodes,
+                     std::numeric_limits<sim::SimTime>::min() / 2),
       frontend_rng_(config.seed ^ 0x46524f4e54ULL),
       tracer_(config.tracing, config.trace_capacity),
       counters_(registry_),
@@ -121,6 +135,25 @@ StashCluster::StashCluster(ClusterConfig config,
     nodes_.push_back(std::make_unique<Node>(id, config_.stash, store_, loop_,
                                             server_config,
                                             config_.seed ^ mix64(id)));
+  // Gossip rides the normal (faulty) message path as background traffic:
+  // subject to the same drops/partitions/latency as queries, but never
+  // keeping run-to-quiescence alive.
+  membership_ = std::make_unique<GossipMembership>(
+      config_.membership, config_.num_nodes, loop_,
+      [this](std::uint32_t from, std::uint32_t to, std::size_t bytes,
+             std::function<void()> deliver) {
+        send_message(from, to, bytes, std::move(deliver), /*background=*/true);
+      },
+      [this](std::uint32_t node) { return fault_.alive(node); });
+  membership_->set_state_handler(
+      [this](std::uint32_t observer, std::uint32_t node, MemberState state) {
+        // Stale-replica fix: the moment a node's own view declares a peer
+        // dead, routing entries pointing at that peer are invalidated, so
+        // no subquery is ever forwarded to a host known to be gone.
+        if (state == MemberState::kDead && observer != sim::kFrontendNode &&
+            fault_.alive(observer))
+          nodes_[observer]->routing.drop_helper(node);
+      });
   register_callback_metrics();
   // Crash wipes volatile state only — the Galileo store survives, so any
   // node (the owner after restart, or a failover successor) can rebuild
@@ -128,11 +161,33 @@ StashCluster::StashCluster(ClusterConfig config,
   // split made executable.
   fault_.set_crash_handler([this](std::uint32_t id) {
     wipe_node(id);
+    membership_->reset_view(id);  // its beliefs were volatile state too
     counters_.node_crashes.inc();
   });
-  fault_.set_restart_handler(
-      [this](std::uint32_t) { counters_.node_restarts.inc(); });
+  fault_.set_restart_handler([this](std::uint32_t id) {
+    counters_.node_restarts.inc();
+    // Rejoin with a bumped incarnation: overrides any rumor of this
+    // node's death everywhere it has spread.
+    membership_->announce(id);
+    if (config_.recovery) start_recovery(id);
+  });
+  fault_.set_heal_handler([this](const sim::PartitionEvent& event) {
+    // Every healed node re-announces for fast view convergence; the
+    // groups cut off from the front-end additionally re-warm their caches
+    // from the replicas that served their partitions meanwhile.
+    for (const auto& group : event.groups) {
+      const bool had_frontend =
+          std::find(group.begin(), group.end(), sim::kFrontendNode) !=
+          group.end();
+      for (const std::uint32_t id : group) {
+        if (id == sim::kFrontendNode || !fault_.alive(id)) continue;
+        membership_->announce(id);
+        if (config_.recovery && !had_frontend) start_recovery(id);
+      }
+    }
+  });
   fault_.arm(loop_);
+  membership_->start();
 }
 
 void StashCluster::register_callback_metrics() {
@@ -255,6 +310,26 @@ void StashCluster::register_callback_metrics() {
       [graph_stat] {
         return graph_stat(&StashGraph::Stats::chunks_invalidated);
       });
+  // Membership + partition counters read straight from the gossip and
+  // fault-injection stats at snapshot time.
+  registry_.callback("stash_gossip_probes_total",
+                     "SWIM probe pings sent by all observers",
+                     MetricKind::Counter, [this] {
+                       return static_cast<double>(
+                           membership_->stats().probes_sent);
+                     });
+  registry_.callback("stash_false_suspicions_total",
+                     "Suspected members later refuted alive",
+                     MetricKind::Counter, [this] {
+                       return static_cast<double>(
+                           membership_->stats().false_suspicions);
+                     });
+  registry_.callback("stash_partitions_observed_total",
+                     "Network partitions activated by the fault plan",
+                     MetricKind::Counter, [this] {
+                       return static_cast<double>(
+                           fault_.stats().partitions_observed);
+                     });
 }
 
 ClusterMetrics StashCluster::metrics() const {
@@ -286,6 +361,13 @@ ClusterMetrics StashCluster::metrics() const {
   m.deadline_cut_subqueries = counters_.deadline_cut_subqueries.value();
   m.deadline_cut_queries = counters_.deadline_cut_queries.value();
   m.retries_suppressed = counters_.retries_suppressed.value();
+  m.gossip_probes = membership_->stats().probes_sent;
+  m.false_suspicions = membership_->stats().false_suspicions;
+  m.partitions_observed = fault_.stats().partitions_observed;
+  m.digests_exchanged = counters_.digests_exchanged.value();
+  m.chunks_rewarmed = counters_.chunks_rewarmed.value();
+  m.cells_rewarmed = counters_.cells_rewarmed.value();
+  m.recoveries = counters_.recoveries.value();
   return m;
 }
 
@@ -303,6 +385,135 @@ void StashCluster::wipe_node(NodeId id) {
 void StashCluster::crash_node(NodeId id) { fault_.force_crash(id); }
 
 void StashCluster::restart_node(NodeId id) { fault_.force_restart(id); }
+
+bool StashCluster::reachable(NodeId id) const {
+  return membership_->usable(sim::kFrontendNode, id) && !suspected(id);
+}
+
+void StashCluster::recover_node(NodeId id) {
+  if (id >= config_.num_nodes)
+    throw std::out_of_range("StashCluster::recover_node: bad node id");
+  start_recovery(id);
+}
+
+std::vector<StashCluster::DigestEntry> StashCluster::recovery_digest(
+    NodeId holder, NodeId owner) const {
+  std::vector<DigestEntry> out;
+  const auto partitions = dht_.partitions_of(owner);
+  const Node& node = *nodes_[holder];
+  const auto covers = [&](const std::string& prefix) {
+    for (const auto& p : partitions) {
+      const bool hit = prefix.size() >= p.size()
+                           ? prefix.compare(0, p.size(), p) == 0
+                           : p.compare(0, prefix.size(), prefix) == 0;
+      if (hit) return true;
+    }
+    return false;
+  };
+  std::set<std::pair<int, ChunkKey>> seen;
+  const auto collect = [&](const StashGraph& graph) {
+    for (int lvl = 0; lvl < kNumLevels; ++lvl) {
+      const Resolution res = resolution_of_level(lvl);
+      graph.for_each_chunk(
+          res, [&](const ChunkKey& key, const StashGraph::ChunkData&) {
+            if (!covers(key.prefix_str())) return;
+            if (!graph.chunk_complete(res, key)) return;
+            if (!seen.insert({lvl, key}).second) return;
+            out.push_back({res, key, graph.plm().bitmap_hash(lvl, key)});
+          });
+    }
+  };
+  collect(node.graph);
+  collect(node.guest_graph);
+  return out;
+}
+
+void StashCluster::start_recovery(NodeId id) {
+  if (!config_.recovery || !fault_.alive(id)) return;
+  if (loop_.now() - last_recovery_[id] < config_.recovery_cooldown) return;
+  last_recovery_[id] = loop_.now();
+  counters_.recoveries.inc();
+  Node& node = *nodes_[id];
+  // Routing hygiene first: entries pointing at peers this node's own view
+  // does not consider alive are invalidated before any query can follow
+  // them into a black hole.
+  for (NodeId peer = 0; peer < config_.num_nodes; ++peer)
+    if (peer != id && !membership_->usable(id, peer))
+      node.routing.drop_helper(peer);
+  // Digest peers: the first recovery_peers nodes along this node's ring
+  // successor chain.  Whichever of them the front-end failed over to
+  // served (and cached) this node's partitions while it was gone; the
+  // rejoining node cannot know which — front-end reachability during the
+  // outage is not reconstructible — so it asks the whole bracket.  The
+  // bracket is deliberately NOT filtered through this node's own gossip
+  // view: right after a heal that view still calls the other side dead,
+  // and those are exactly the replica holders.  A digest request to a
+  // truly dead peer just goes unanswered — recovery is fire-and-forget.
+  std::vector<NodeId> peers;
+  for (std::uint32_t k = 1;
+       k < config_.num_nodes && peers.size() < config_.recovery_peers; ++k)
+    peers.push_back((id + k) % config_.num_nodes);
+  for (const NodeId peer : peers) {
+    // Digest Request: rejoining node -> replica holder.
+    send_message(id, peer, config_.request_bytes, [this, id, peer] {
+      const auto digest = std::make_shared<std::vector<DigestEntry>>(
+          recovery_digest(peer, id));
+      // Digest Response: one (level, chunk, bitmap-hash) triple per entry.
+      const std::size_t bytes = config_.request_bytes + 24 * digest->size();
+      send_message(peer, id, bytes, [this, id, peer, digest] {
+        counters_.digests_exchanged.inc();
+        Node& local = *nodes_[id];
+        // Diff against the local PLM: pull only chunks this node does not
+        // hold at all.  (A locally partial chunk is left alone — absorb's
+        // idempotence guard would reject the overlapping days anyway.)
+        auto wanted = std::make_shared<
+            std::vector<std::pair<Resolution, ChunkKey>>>();
+        for (const auto& entry : *digest) {
+          if (wanted->size() >= config_.recovery_max_chunks) break;
+          const int lvl = level_index(entry.res);
+          const std::uint64_t local_hash =
+              local.graph.plm().bitmap_hash(lvl, entry.chunk);
+          if (local_hash == entry.hash) continue;  // identical coverage
+          if (local_hash != 0) continue;           // partial: skip
+          wanted->emplace_back(entry.res, entry.chunk);
+        }
+        if (wanted->empty()) return;
+        // Chunk Pull Request: names exactly the missing complete chunks.
+        const std::size_t req_bytes =
+            config_.request_bytes + 16 * wanted->size();
+        send_message(id, peer, req_bytes, [this, id, peer, wanted] {
+          Node& holder = *nodes_[peer];
+          auto payload = chunk_payload(holder.graph, *wanted);
+          std::set<std::pair<int, ChunkKey>> shipped;
+          for (const auto& c : payload)
+            shipped.insert({level_index(c.res), c.chunk});
+          std::vector<std::pair<Resolution, ChunkKey>> rest;
+          for (const auto& [res, chunk] : *wanted)
+            if (!shipped.contains({level_index(res), chunk}))
+              rest.emplace_back(res, chunk);
+          for (auto& c : chunk_payload(holder.guest_graph, rest))
+            payload.push_back(std::move(c));
+          if (payload.empty()) return;
+          codec::Buffer wire = codec::encode_replication_payload(payload);
+          const std::size_t wire_size = wire.size() + config_.request_bytes;
+          // Re-warm shipment rides the existing Replication payload path
+          // (same wire codec as hotspot handoff).
+          send_message(peer, id, wire_size, [this, id, wire = std::move(wire)] {
+            Node& rejoined = *nodes_[id];
+            std::uint64_t chunks = 0, cells = 0;
+            for (const auto& c : codec::decode_replication_payload(wire)) {
+              if (rejoined.graph.absorb(c, loop_.now()) == 0) continue;
+              ++chunks;
+              cells += c.cells.size();
+            }
+            counters_.chunks_rewarmed.inc(chunks);
+            counters_.cells_rewarmed.inc(cells);
+          });
+        });
+      });
+    });
+  }
+}
 
 bool StashCluster::suspected(NodeId id) const {
   return suspect_until_[id] > loop_.now();
@@ -322,19 +533,25 @@ void StashCluster::absolve(NodeId id) { suspect_until_[id] = kNeverSuspected; }
 
 void StashCluster::send_message(std::uint32_t from, std::uint32_t to,
                                 std::size_t bytes,
-                                std::function<void()> deliver) {
+                                std::function<void()> deliver,
+                                bool background) {
+  ++messages_sent_;
   if (fault_.should_drop(from, to)) {
     counters_.messages_dropped.inc();
     return;
   }
   const sim::SimTime delay =
       config_.cost.net_transfer(bytes) + fault_.extra_latency(from, to);
-  loop_.schedule(delay, [this, to, deliver = std::move(deliver)] {
+  auto action = [this, to, deliver = std::move(deliver)] {
     // A message addressed to a node that died in flight is simply lost;
     // the sender's timeout is the only notification it will ever get.
     if (!fault_.alive(to)) return;
     deliver();
-  });
+  };
+  if (background)
+    loop_.schedule_background(delay, std::move(action));
+  else
+    loop_.schedule(delay, std::move(action));
 }
 
 sim::SimTime StashCluster::service_time(const EvalBreakdown& b) const {
@@ -485,12 +702,14 @@ void StashCluster::start_attempt(std::uint64_t query_id, std::size_t idx) {
 
   const NodeId owner = dht_.node_for_partition(sq.partition);
   NodeId target = owner;
-  if (config_.failover_to_successor && suspected(owner)) {
+  if (config_.failover_to_successor && !reachable(owner)) {
     // The owner's partition lives on durable storage every node can reach,
-    // so the next live ring successor re-scans it from disk.
+    // so the next live ring successor re-scans it from disk.  Liveness is
+    // the gossip view plus the timeout circuit breaker: a partitioned or
+    // dead owner is routed around before paying a single timeout.
     for (std::uint32_t k = 1; k < config_.num_nodes; ++k) {
       const NodeId candidate = dht_.successor_for_partition(sq.partition, k);
-      if (!suspected(candidate)) {
+      if (reachable(candidate)) {
         target = candidate;
         break;
       }
@@ -827,7 +1046,11 @@ void StashCluster::route_subquery(std::uint64_t query_id, std::size_t idx,
     const auto chunks = subquery_chunks(pending.query, sq.partition);
     const auto helper = node.routing.lookup(pending.query.res, chunks,
                                             loop_.now(), config_.stash.routing_ttl);
+    // Dispatch-time staleness check: a routing entry pointing at a host
+    // the owner's own gossip view no longer considers alive is skipped
+    // (and the state handler has usually dropped it already).
     if (helper.has_value() && !suspected(*helper) &&
+        membership_->usable(target, *helper) &&
         node.rng.bernoulli(config_.stash.reroute_probability)) {
       counters_.reroutes.inc();
       ++pending.stats.rerouted_subqueries;
@@ -1132,9 +1355,9 @@ void StashCluster::send_distress(NodeId hot_id, Clique clique, int attempt) {
     send_distress(hot_id, std::move(clique), attempt + 1);
     return;
   }
-  if (suspected(target)) {
-    // Circuit breaker: a suspected-dead helper is a free NACK — keep
-    // wandering instead of paying the handoff timeout.
+  if (suspected(target) || !membership_->usable(hot_id, target)) {
+    // Circuit breaker / gossip view: a believed-dead helper is a free
+    // NACK — keep wandering instead of paying the handoff timeout.
     send_distress(hot_id, std::move(clique), attempt + 1);
     return;
   }
@@ -1231,6 +1454,16 @@ void StashCluster::send_distress(NodeId hot_id, Clique clique, int attempt) {
 }
 
 void StashCluster::check_quiescence() const {
+#ifdef STASH_AUDIT
+  // Satellite guard: every message offered to the network must have rolled
+  // the fault injector's drop dice exactly once — a skipped or double
+  // should_drop() desynchronizes the deterministic fault stream.
+  if (fault_.stats().drop_checks != messages_sent_)
+    throw std::logic_error(
+        "StashCluster: fault drop_checks (" +
+        std::to_string(fault_.stats().drop_checks) + ") != messages sent (" +
+        std::to_string(messages_sent_) + ")");
+#endif
   if (pending_.empty()) return;
   throw std::runtime_error(
       "StashCluster: " + std::to_string(pending_.size()) +

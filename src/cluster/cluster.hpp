@@ -18,6 +18,7 @@
 #include <optional>
 #include <vector>
 
+#include "cluster/membership.hpp"
 #include "common/rng.hpp"
 #include "core/audit.hpp"
 #include "core/clique.hpp"
@@ -97,6 +98,30 @@ struct ClusterConfig {
   /// Timeout for one Distress->Ack->Replication->Response handoff round;
   /// expiry is treated as a NACK (the antipode retry continues).
   sim::SimTime handoff_timeout = 5 * sim::kSecond;
+
+  // --- membership & post-crash recovery ---
+  /// SWIM-style gossip failure detection (cluster/membership.hpp).  When
+  /// enabled (the default) every node and the front-end keep their own
+  /// alive/suspect/dead view of the cluster, and that view — not only the
+  /// front-end's timeout-driven circuit breaker — gates dispatch,
+  /// failover, rerouting, and handoff target selection.  Gossip traffic
+  /// rides the normal message path, so it is subject to the same drops,
+  /// partitions, and latency as queries.
+  MembershipConfig membership;
+  /// Anti-entropy cache re-warming after a restart or partition heal: the
+  /// rejoining node exchanges compact PLM digests (per-chunk bitmap
+  /// hashes) with replica holders and pulls back only the complete chunks
+  /// it is missing, over the existing Replication payload path.  A pure
+  /// latency optimisation — correctness never depends on it (the durable
+  /// store remains the truth).
+  bool recovery = true;
+  /// Cap on chunks pulled back per digest exchange (bounds the transfer).
+  std::size_t recovery_max_chunks = 512;
+  /// Digest peers consulted per recovery round (ring successors of the
+  /// node's partitions, deduped).
+  std::size_t recovery_peers = 3;
+  /// Minimum spacing between anti-entropy rounds for one node.
+  sim::SimTime recovery_cooldown = 1 * sim::kSecond;
 
   // --- overload control & graceful degradation ---
   /// Bound on each node server's pending queue (jobs waiting for a
@@ -229,6 +254,14 @@ struct ClusterMetrics {
   std::uint64_t deadline_cut_subqueries = 0;  // cut by the query deadline
   std::uint64_t deadline_cut_queries = 0;     // finalized by the deadline timer
   std::uint64_t retries_suppressed = 0;    // denied by the retry budget
+  // --- membership & anti-entropy recovery ---
+  std::uint64_t gossip_probes = 0;        // SWIM pings sent, all observers
+  std::uint64_t false_suspicions = 0;     // suspect -> alive refutations seen
+  std::uint64_t partitions_observed = 0;  // PartitionEvents activated
+  std::uint64_t digests_exchanged = 0;    // PLM digests received by recoverers
+  std::uint64_t chunks_rewarmed = 0;      // complete chunks pulled back
+  std::uint64_t cells_rewarmed = 0;       // cells carried by those chunks
+  std::uint64_t recoveries = 0;           // anti-entropy rounds started
 };
 
 class StashCluster {
@@ -326,6 +359,19 @@ class StashCluster {
   void crash_node(NodeId id);
   void restart_node(NodeId id);
 
+  // --- membership & recovery ---
+  /// The gossip failure detector (never null; inert when
+  /// config.membership.enabled is false).
+  [[nodiscard]] const GossipMembership& membership() const noexcept {
+    return *membership_;
+  }
+  /// Front-end dispatchability: alive in the front-end's gossip view and
+  /// not on the timeout circuit breaker.
+  [[nodiscard]] bool reachable(NodeId id) const;
+  /// Starts one anti-entropy recovery round for `id` now.  Also runs
+  /// automatically on restart and partition heal when config.recovery.
+  void recover_node(NodeId id);
+
  private:
   struct Node {
     NodeId id;
@@ -410,6 +456,18 @@ class StashCluster {
     obs::Counter& deadline_cut_subqueries;
     obs::Counter& deadline_cut_queries;
     obs::Counter& retries_suppressed;
+    obs::Counter& digests_exchanged;
+    obs::Counter& chunks_rewarmed;
+    obs::Counter& cells_rewarmed;
+    obs::Counter& recoveries;
+  };
+
+  /// One entry of an anti-entropy digest: "I hold (res, chunk) complete,
+  /// with this PLM bitmap hash".
+  struct DigestEntry {
+    Resolution res;
+    ChunkKey chunk;
+    std::uint64_t hash = 0;
   };
 
   void submit_impl(const AggregationQuery& query, Callback done,
@@ -457,8 +515,17 @@ class StashCluster {
   void send_distress(NodeId hot_id, Clique clique, int attempt);
   /// Sends one message over the (faulty) network: rolls the drop dice,
   /// adds link latency, and delivers only if the destination is alive.
+  /// Background messages (gossip) interleave in time order but never keep
+  /// the loop's run-to-quiescence alive.
   void send_message(std::uint32_t from, std::uint32_t to, std::size_t bytes,
-                    std::function<void()> deliver);
+                    std::function<void()> deliver, bool background = false);
+  /// One anti-entropy round: drops unusable routing entries, then digest
+  /// exchange + chunk pull against replica-holding ring successors.
+  void start_recovery(NodeId id);
+  /// Complete-chunk digest of `holder`'s graphs (local + guest) restricted
+  /// to the partitions `owner` owns — the anti-entropy comparison unit.
+  [[nodiscard]] std::vector<DigestEntry> recovery_digest(NodeId holder,
+                                                         NodeId owner) const;
   [[nodiscard]] bool suspected(NodeId id) const;
   void suspect(NodeId id);
   void absolve(NodeId id);
@@ -489,6 +556,14 @@ class StashCluster {
   /// Per-node circuit breaker: while now < suspect_until the front-end
   /// routes around the node instead of paying the timeout again.
   std::vector<sim::SimTime> suspect_until_;
+  /// SWIM gossip views (constructed in the ctor body so its transport can
+  /// capture `this`).
+  std::unique_ptr<GossipMembership> membership_;
+  /// Last anti-entropy round per node (recovery_cooldown gate).
+  std::vector<sim::SimTime> last_recovery_;
+  /// Messages offered to the network; STASH_AUDIT asserts the fault
+  /// injector rolled its drop dice exactly once for each.
+  std::uint64_t messages_sent_ = 0;
   Rng frontend_rng_;  // retry jitter only: node Rngs stay untouched
   std::uint64_t next_query_id_ = 0;
   obs::MetricsRegistry registry_;

@@ -125,23 +125,43 @@ std::vector<Clique> CliqueSelector::select_top(sim::SimTime now,
   return selected;
 }
 
+namespace {
+
+/// Appends (res, chunk) as a contribution iff the graph holds it complete.
+void append_complete_chunk(const StashGraph& graph, const Resolution& res,
+                           const ChunkKey& chunk,
+                           std::vector<ChunkContribution>& payload) {
+  if (!graph.chunk_complete(res, chunk)) return;
+  const auto* data = graph.find_chunk(res, chunk);
+  if (data == nullptr) return;
+  ChunkContribution c;
+  c.res = res;
+  c.chunk = chunk;
+  c.cells.assign(data->cells.begin(), data->cells.end());
+  const std::int64_t first = chunk.first_day();
+  for (std::size_t i = 0; i < chunk.day_count(); ++i)
+    c.days.push_back(first + static_cast<std::int64_t>(i));
+  payload.push_back(std::move(c));
+}
+
+}  // namespace
+
 std::vector<ChunkContribution> clique_payload(const StashGraph& graph,
                                               const Clique& clique) {
   std::vector<ChunkContribution> payload;
   payload.reserve(clique.members.size());
-  for (const auto& member : clique.members) {
-    if (!graph.chunk_complete(member.res, member.chunk)) continue;
-    const auto* data = graph.find_chunk(member.res, member.chunk);
-    if (data == nullptr) continue;
-    ChunkContribution c;
-    c.res = member.res;
-    c.chunk = member.chunk;
-    c.cells.assign(data->cells.begin(), data->cells.end());
-    const std::int64_t first = member.chunk.first_day();
-    for (std::size_t i = 0; i < member.chunk.day_count(); ++i)
-      c.days.push_back(first + static_cast<std::int64_t>(i));
-    payload.push_back(std::move(c));
-  }
+  for (const auto& member : clique.members)
+    append_complete_chunk(graph, member.res, member.chunk, payload);
+  return payload;
+}
+
+std::vector<ChunkContribution> chunk_payload(
+    const StashGraph& graph,
+    const std::vector<std::pair<Resolution, ChunkKey>>& chunks) {
+  std::vector<ChunkContribution> payload;
+  payload.reserve(chunks.size());
+  for (const auto& [res, chunk] : chunks)
+    append_complete_chunk(graph, res, chunk, payload);
   return payload;
 }
 

@@ -60,4 +60,11 @@ class CliqueSelector {
 [[nodiscard]] std::vector<ChunkContribution> clique_payload(
     const StashGraph& graph, const Clique& clique);
 
+/// Same payload contract for an explicit chunk list — the pull side of
+/// anti-entropy recovery: a rejoining node names exactly the complete
+/// chunks its PLM digest is missing and a replica holder ships them.
+[[nodiscard]] std::vector<ChunkContribution> chunk_payload(
+    const StashGraph& graph,
+    const std::vector<std::pair<Resolution, ChunkKey>>& chunks);
+
 }  // namespace stash

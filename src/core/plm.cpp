@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "common/hash.hpp"
+
 namespace stash {
 namespace {
 
@@ -99,6 +101,26 @@ std::size_t PrecisionLevelMap::invalidate_block(std::string_view partition,
     }
   }
   return demoted;
+}
+
+std::uint64_t PrecisionLevelMap::bitmap_hash(int lvl,
+                                             const ChunkKey& chunk) const {
+  const auto& map = level(lvl);
+  const auto it = map.find(chunk);
+  if (it == map.end()) return 0;
+  const DynamicBitset& bits = it->second;
+  std::uint64_t h = 0x504c4d44ULL;  // "PLMD"
+  hash_combine(h, bits.size());
+  std::uint64_t word = 0;
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    if (bits.test(i)) word |= 1ULL << (i & 63);
+    if ((i & 63) == 63) {
+      hash_combine(h, word);
+      word = 0;
+    }
+  }
+  if (bits.size() % 64 != 0) hash_combine(h, word);
+  return h == 0 ? 1 : h;  // 0 is reserved for "unknown"
 }
 
 std::size_t PrecisionLevelMap::chunk_count(int lvl) const {

@@ -60,6 +60,13 @@ class PrecisionLevelMap {
   /// number of chunks demoted from complete to incomplete.
   std::size_t invalidate_block(std::string_view partition, std::int64_t day);
 
+  /// Stable 64-bit digest of one chunk's residency bitmap; 0 when the
+  /// chunk is unknown at this level.  Two nodes hold identical coverage of
+  /// a chunk iff their digests match, which makes this the comparison unit
+  /// of anti-entropy: a recovering node pulls exactly the chunks whose
+  /// digests differ from a replica holder's, never the ones it already has.
+  [[nodiscard]] std::uint64_t bitmap_hash(int level, const ChunkKey& chunk) const;
+
   [[nodiscard]] std::size_t chunk_count(int level) const;
   [[nodiscard]] std::size_t total_chunks() const;
 

@@ -5,27 +5,59 @@
 
 namespace stash::sim {
 
+void EventLoop::push(SimTime when, EventId id, bool background, Action action) {
+  if (when < now_)
+    throw std::invalid_argument("EventLoop: scheduling in the past");
+  queue_.push(Event{when, next_seq_++, id, background, std::move(action)});
+  if (!background) ++foreground_live_;
+}
+
 void EventLoop::schedule(SimTime delay, Action action) {
   if (delay < 0) throw std::invalid_argument("EventLoop::schedule: negative delay");
-  schedule_at(now_ + delay, std::move(action));
+  push(now_ + delay, 0, /*background=*/false, std::move(action));
 }
 
 void EventLoop::schedule_at(SimTime when, Action action) {
-  if (when < now_)
-    throw std::invalid_argument("EventLoop::schedule_at: time in the past");
-  queue_.push(Event{when, next_seq_++, 0, std::move(action)});
+  push(when, 0, /*background=*/false, std::move(action));
 }
 
 EventLoop::EventId EventLoop::schedule_cancellable(SimTime delay, Action action) {
   if (delay < 0)
     throw std::invalid_argument("EventLoop::schedule_cancellable: negative delay");
   const EventId id = next_id_++;
-  queue_.push(Event{now_ + delay, next_seq_++, id, std::move(action)});
+  cancellable_.emplace(id, CancellableState{/*background=*/false,
+                                            /*cancelled=*/false});
+  push(now_ + delay, id, /*background=*/false, std::move(action));
+  return id;
+}
+
+void EventLoop::schedule_background(SimTime delay, Action action) {
+  if (delay < 0)
+    throw std::invalid_argument("EventLoop::schedule_background: negative delay");
+  push(now_ + delay, 0, /*background=*/true, std::move(action));
+}
+
+EventLoop::EventId EventLoop::schedule_background_cancellable(SimTime delay,
+                                                              Action action) {
+  if (delay < 0)
+    throw std::invalid_argument(
+        "EventLoop::schedule_background_cancellable: negative delay");
+  const EventId id = next_id_++;
+  cancellable_.emplace(id, CancellableState{/*background=*/true,
+                                            /*cancelled=*/false});
+  push(now_ + delay, id, /*background=*/true, std::move(action));
   return id;
 }
 
 void EventLoop::cancel(EventId id) {
-  if (id != 0) cancelled_.insert(id);
+  if (id == 0) return;
+  const auto it = cancellable_.find(id);
+  if (it == cancellable_.end() || it->second.cancelled) return;
+  it->second.cancelled = true;
+  // A cancelled foreground timer no longer holds `run()` open; without this
+  // a far-future dead timer would force the loop to grind through every
+  // background event scheduled before it.
+  if (!it->second.background) --foreground_live_;
 }
 
 bool EventLoop::pop_next(Event& out) {
@@ -33,24 +65,23 @@ bool EventLoop::pop_next(Event& out) {
   out = std::move(const_cast<Event&>(queue_.top()));
   queue_.pop();
   if (out.id != 0) {
-    const auto it = cancelled_.find(out.id);
-    if (it != cancelled_.end()) {
-      cancelled_.erase(it);
-      return false;  // skipped: the clock does not advance to a dead timer
-    }
+    const auto it = cancellable_.find(out.id);
+    const bool cancelled = it->second.cancelled;
+    cancellable_.erase(it);
+    if (cancelled) return false;  // skipped: the clock does not advance
   }
+  if (!out.background) --foreground_live_;
   return true;
 }
 
 SimTime EventLoop::run() {
-  while (!queue_.empty()) {
+  while (foreground_live_ > 0) {
     Event ev;
     if (!pop_next(ev)) continue;
     now_ = ev.when;
     ++executed_;
     ev.action();
   }
-  cancelled_.clear();  // ids of timers that outlived every live event
   return now_;
 }
 

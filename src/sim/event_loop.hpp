@@ -4,12 +4,23 @@
 // (a monotonically increasing sequence number breaks ties), so a given
 // seed always reproduces the same interleaving — a property the tests rely
 // on and that a 120-node physical cluster cannot offer.
+//
+// Events come in two flavours:
+//   * foreground — real work (queries, scatter/gather, scripted faults).
+//     `run()` executes until no foreground work remains.
+//   * background — housekeeping that reschedules itself forever (gossip
+//     probes, suspicion timers).  Background events interleave with
+//     foreground work in timestamp order, but never keep `run()` alive on
+//     their own: once the last foreground event fires, `run()` returns and
+//     leaves pending background events queued.  `run_until`/`run_for`
+//     execute background events up to the deadline even with an otherwise
+//     idle loop, so tests can advance gossip by simply advancing time.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <queue>
-#include <unordered_set>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -41,13 +52,23 @@ class EventLoop {
   /// so an armed-but-unused timer never stretches the run.
   EventId schedule_cancellable(SimTime delay, Action action);
 
+  /// Schedules a background event: it runs in timestamp order like any
+  /// other, but does not count towards `run()`'s termination condition.
+  void schedule_background(SimTime delay, Action action);
+
+  /// Cancellable background event (periodic-probe timeouts and the like).
+  EventId schedule_background_cancellable(SimTime delay, Action action);
+
   /// Cancels a pending cancellable event.  No-op for unknown/fired ids.
   void cancel(EventId id);
 
-  /// Runs until no events remain. Returns the final virtual time.
+  /// Runs until no *foreground* events remain (background events queued
+  /// past that point stay queued).  Returns the final virtual time.
   SimTime run();
 
-  /// Runs until the queue empties or the clock passes `deadline`.
+  /// Runs until foreground work empties or the clock passes `deadline`.
+  /// Background events due before the deadline execute even when no
+  /// foreground event remains.
   SimTime run_until(SimTime deadline);
 
   /// Runs for at most `duration` virtual time from now (deadline guard for
@@ -56,6 +77,12 @@ class EventLoop {
 
   [[nodiscard]] bool empty() const noexcept { return queue_.empty(); }
   [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }
+
+  /// Queued foreground events not yet cancelled (termination condition of
+  /// `run()`: it returns once this reaches zero).
+  [[nodiscard]] std::size_t foreground_pending() const noexcept {
+    return foreground_live_;
+  }
 
   /// Total number of events executed (diagnostics / determinism checks).
   /// Cancelled events are skipped, not executed.
@@ -66,6 +93,7 @@ class EventLoop {
     SimTime when;
     std::uint64_t seq;
     EventId id;  // 0: not cancellable
+    bool background;
     Action action;
   };
   struct Later {
@@ -73,16 +101,25 @@ class EventLoop {
       return a.when != b.when ? a.when > b.when : a.seq > b.seq;
     }
   };
+  struct CancellableState {
+    bool background;
+    bool cancelled;
+  };
+
+  void push(SimTime when, EventId id, bool background, Action action);
 
   /// Pops the next event; returns false if it was cancelled (skipped).
   bool pop_next(Event& out);
 
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
-  std::unordered_set<EventId> cancelled_;
+  /// One entry per *queued* cancellable event; erased when popped, so
+  /// `cancel` on a fired id is a clean no-op and nothing accumulates.
+  std::unordered_map<EventId, CancellableState> cancellable_;
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   EventId next_id_ = 1;
   std::uint64_t executed_ = 0;
+  std::size_t foreground_live_ = 0;
 };
 
 }  // namespace stash::sim

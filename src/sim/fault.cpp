@@ -1,8 +1,20 @@
 #include "sim/fault.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace stash::sim {
+
+namespace {
+
+/// Lower rank == more specific; the stable sort keeps plan order within a
+/// rank, so two equally specific overlapping rules still resolve by
+/// listing order.
+int rule_rank(const LinkRule& rule) noexcept {
+  return (rule.from == kAnyNode ? 1 : 0) + (rule.to == kAnyNode ? 1 : 0);
+}
+
+}  // namespace
 
 FaultInjector::FaultInjector(FaultPlan plan, std::uint32_t num_nodes)
     : plan_(std::move(plan)), up_(num_nodes, 1), rng_(plan_.seed) {
@@ -20,6 +32,32 @@ FaultInjector::FaultInjector(FaultPlan plan, std::uint32_t num_nodes)
     if (rule.extra_latency < 0)
       throw std::invalid_argument("FaultPlan: negative extra latency");
   }
+  std::stable_sort(plan_.links.begin(), plan_.links.end(),
+                   [](const LinkRule& a, const LinkRule& b) {
+                     return rule_rank(a) < rule_rank(b);
+                   });
+  compiled_partitions_.reserve(plan_.partitions.size());
+  for (const auto& event : plan_.partitions) {
+    if (event.groups.size() < 2)
+      throw std::invalid_argument("FaultPlan: partition needs >= 2 groups");
+    if (event.at < 0)
+      throw std::invalid_argument("FaultPlan: partition time must be >= 0");
+    if (event.heal_at != kNever && event.heal_at <= event.at)
+      throw std::invalid_argument("FaultPlan: heal must follow the partition");
+    CompiledPartition compiled;
+    for (std::size_t g = 0; g < event.groups.size(); ++g) {
+      if (event.groups[g].empty())
+        throw std::invalid_argument("FaultPlan: empty partition group");
+      for (const std::uint32_t node : event.groups[g]) {
+        if (node >= num_nodes && node != kFrontendNode)
+          throw std::invalid_argument("FaultPlan: partition names unknown node");
+        if (!compiled.group_of.emplace(node, static_cast<int>(g)).second)
+          throw std::invalid_argument(
+              "FaultPlan: node appears in two groups of one partition");
+      }
+    }
+    compiled_partitions_.push_back(std::move(compiled));
+  }
 }
 
 void FaultInjector::arm(EventLoop& loop) {
@@ -31,6 +69,20 @@ void FaultInjector::arm(EventLoop& loop) {
     if (crash.restart_at != kNever)
       loop.schedule_at(crash.restart_at,
                        [this, node = crash.node] { force_restart(node); });
+  }
+  for (std::size_t i = 0; i < plan_.partitions.size(); ++i) {
+    const PartitionEvent& event = plan_.partitions[i];
+    loop.schedule_at(event.at, [this, i] {
+      compiled_partitions_[i].active = true;
+      ++stats_.partitions_observed;
+      if (on_partition_) on_partition_(plan_.partitions[i]);
+    });
+    if (event.heal_at != kNever)
+      loop.schedule_at(event.heal_at, [this, i] {
+        compiled_partitions_[i].active = false;
+        ++stats_.partitions_healed;
+        if (on_heal_) on_heal_(plan_.partitions[i]);
+      });
   }
 }
 
@@ -57,6 +109,18 @@ bool FaultInjector::alive(std::uint32_t node) const {
   return up_[node] != 0;
 }
 
+bool FaultInjector::partitioned(std::uint32_t a, std::uint32_t b) const {
+  for (const auto& compiled : compiled_partitions_) {
+    if (!compiled.active) continue;
+    const auto ga = compiled.group_of.find(a);
+    if (ga == compiled.group_of.end()) continue;
+    const auto gb = compiled.group_of.find(b);
+    if (gb == compiled.group_of.end()) continue;
+    if (ga->second != gb->second) return true;
+  }
+  return false;
+}
+
 const LinkRule* FaultInjector::match(std::uint32_t from,
                                      std::uint32_t to) const {
   for (const auto& rule : plan_.links) {
@@ -68,6 +132,12 @@ const LinkRule* FaultInjector::match(std::uint32_t from,
 }
 
 bool FaultInjector::should_drop(std::uint32_t from, std::uint32_t to) {
+  ++stats_.drop_checks;
+  if (partitioned(from, to)) {
+    ++stats_.messages_dropped;
+    ++stats_.partition_drops;
+    return true;  // severed: no dice roll, see header
+  }
   const LinkRule* rule = match(from, to);
   if (rule == nullptr || rule->drop_probability <= 0.0) return false;
   if (rng_.bernoulli(rule->drop_probability)) {

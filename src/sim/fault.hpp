@@ -5,14 +5,17 @@
 // may vanish at any moment, and the system must keep answering from
 // storage.  A FaultPlan scripts that adversity against the discrete-event
 // loop: node crashes at virtual time T (wiping volatile state; storage
-// survives), cold restarts at T', seeded per-link message loss, and
-// inflated link latency (slow-node / gray-failure mode).  All randomness
-// flows through one Rng, so the same seed + the same plan reproduce a
-// bit-identical run — crash tests are as repeatable as the happy path.
+// survives), cold restarts at T', seeded per-link message loss, inflated
+// link latency (slow-node / gray-failure mode), and network partitions
+// that sever whole groups from each other for a scripted interval.  All
+// randomness flows through one Rng, so the same seed + the same plan
+// reproduce a bit-identical run — crash tests are as repeatable as the
+// happy path.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <unordered_map>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -36,7 +39,10 @@ struct CrashEvent {
 };
 
 /// Degrades messages on matching links.  `from`/`to` may be kAnyNode; the
-/// first matching rule wins, so specific rules should precede wildcards.
+/// first matching rule wins.  The injector stable-sorts rules most-specific
+/// first at construction (both endpoints named, then one wildcard, then
+/// full wildcards), so a plan may list rules in any order and a specific
+/// link override always beats a blanket rule.
 /// A message is dropped with `drop_probability`; surviving messages gain
 /// `extra_latency` (gray failure: slow, not dead).
 struct LinkRule {
@@ -46,14 +52,27 @@ struct LinkRule {
   SimTime extra_latency = 0;
 };
 
+/// A scripted network partition: from `at` until `heal_at`, messages
+/// between nodes in *different* groups are dropped deterministically (no
+/// dice roll — a severed link delivers nothing).  Nodes absent from every
+/// group stay connected to everyone.  `kFrontendNode` may be listed to put
+/// the scatter/gather coordinator on one side of the split.  Compiled onto
+/// the same drop path as LinkRule, ahead of it: severed beats lossy.
+struct PartitionEvent {
+  std::vector<std::vector<std::uint32_t>> groups;
+  SimTime at = 0;
+  SimTime heal_at = kNever;  // kNever: never heals
+};
+
 /// A complete scripted failure scenario.  Empty plan == healthy cluster.
 struct FaultPlan {
   std::vector<CrashEvent> crashes;
   std::vector<LinkRule> links;
+  std::vector<PartitionEvent> partitions;
   std::uint64_t seed = 0x4641554c54ULL;  // "FAULT"
 
   [[nodiscard]] bool empty() const noexcept {
-    return crashes.empty() && links.empty();
+    return crashes.empty() && links.empty() && partitions.empty();
   }
 };
 
@@ -63,26 +82,43 @@ struct FaultStats {
   std::uint64_t restarts = 0;
   std::uint64_t messages_dropped = 0;
   std::uint64_t messages_delayed = 0;
+  std::uint64_t partitions_observed = 0;  // partition activations
+  std::uint64_t partitions_healed = 0;
+  std::uint64_t partition_drops = 0;  // messages severed by a partition
+  /// Number of should_drop() calls.  The cluster sends every message
+  /// through exactly one should_drop() roll; STASH_AUDIT builds assert
+  /// this equals the cluster's send count (a double or missed roll would
+  /// silently skew every seeded scenario downstream of it).
+  std::uint64_t drop_checks = 0;
 };
 
 /// Executes a FaultPlan against an EventLoop and answers liveness /
 /// link-quality queries for the system under test.
 ///
-/// The owner installs crash/restart handlers (to wipe or rebuild volatile
-/// state) and calls `arm()` once to schedule the plan's events.  Message
-/// sends consult `should_drop()` (consumes randomness — call exactly once
-/// per message) and `extra_latency()`; deliveries consult `alive()`.
+/// The owner installs crash/restart/heal handlers (to wipe or rebuild
+/// volatile state, and to trigger anti-entropy after a partition heals)
+/// and calls `arm()` once to schedule the plan's events.  Message sends
+/// consult `should_drop()` (consumes randomness — call exactly once per
+/// message) and `extra_latency()`; deliveries consult `alive()`.
 class FaultInjector {
  public:
   using NodeHandler = std::function<void(std::uint32_t node)>;
+  using PartitionHandler = std::function<void(const PartitionEvent& event)>;
 
   FaultInjector(FaultPlan plan, std::uint32_t num_nodes);
 
   /// Handler invoked when a node crashes / restarts (install before arm()).
   void set_crash_handler(NodeHandler handler) { on_crash_ = std::move(handler); }
   void set_restart_handler(NodeHandler handler) { on_restart_ = std::move(handler); }
+  /// Handlers invoked when a scripted partition activates / heals.
+  void set_partition_handler(PartitionHandler handler) {
+    on_partition_ = std::move(handler);
+  }
+  void set_heal_handler(PartitionHandler handler) {
+    on_heal_ = std::move(handler);
+  }
 
-  /// Schedules every crash/restart in the plan on `loop`.  Call once.
+  /// Schedules every crash/restart/partition in the plan on `loop`.  Call once.
   void arm(EventLoop& loop);
 
   /// Immediate (unscripted) crash/restart — for interactive drivers and
@@ -93,8 +129,14 @@ class FaultInjector {
   /// Is the node up right now?  The frontend pseudo-node is always alive.
   [[nodiscard]] bool alive(std::uint32_t node) const;
 
+  /// Are `a` and `b` currently on opposite sides of an active partition?
+  [[nodiscard]] bool partitioned(std::uint32_t a, std::uint32_t b) const;
+
   /// Rolls the dice for one message on the from→to link.  Deterministic
   /// given the (seeded) call sequence, which the event loop guarantees.
+  /// Messages severed by an active partition are dropped without
+  /// consuming randomness, so healed and never-partitioned runs draw the
+  /// same dice for the messages they share.
   [[nodiscard]] bool should_drop(std::uint32_t from, std::uint32_t to);
 
   /// Additional one-way latency on the from→to link (gray failure).
@@ -104,14 +146,23 @@ class FaultInjector {
   [[nodiscard]] const FaultPlan& plan() const noexcept { return plan_; }
 
  private:
+  /// Compiled form of one PartitionEvent: node → group index.
+  struct CompiledPartition {
+    std::unordered_map<std::uint32_t, int> group_of;
+    bool active = false;
+  };
+
   [[nodiscard]] const LinkRule* match(std::uint32_t from, std::uint32_t to) const;
 
   FaultPlan plan_;
+  std::vector<CompiledPartition> compiled_partitions_;
   std::vector<char> up_;  // per-node liveness (char: vector<bool> is a trap)
   Rng rng_;
   FaultStats stats_;
   NodeHandler on_crash_;
   NodeHandler on_restart_;
+  PartitionHandler on_partition_;
+  PartitionHandler on_heal_;
   bool armed_ = false;
 };
 

@@ -1,0 +1,467 @@
+// Partition tolerance and post-crash recovery (ISSUE 5): queries issued
+// while the network is split must complete within their deadline — exact,
+// degraded, or honestly partial, but never hung; routing entries pointing
+// at membership-dead hosts must be skipped at dispatch time; and after the
+// partition heals, anti-entropy re-warms restarted or cut-off nodes from
+// the replica holders that served their partitions meanwhile.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "common/civil_time.hpp"
+#include "geo/geohash.hpp"
+#include "workload/workload.hpp"
+
+namespace stash::cluster {
+namespace {
+
+std::shared_ptr<const NamGenerator> shared_generator() {
+  static auto gen = std::make_shared<const NamGenerator>();
+  return gen;
+}
+
+AggregationQuery county_query() {
+  return {{38.0, 38.6, -99.0, -97.8},
+          {unix_seconds({2015, 2, 2}), unix_seconds({2015, 2, 3})},
+          {6, TemporalRes::Day}};
+}
+
+AggregationQuery wide_query() {
+  AggregationQuery q = county_query();
+  q.area = q.area.scaled(16.0);
+  return q;
+}
+
+std::vector<AggregationQuery> burst_around(const AggregationQuery& base,
+                                           std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<AggregationQuery> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    AggregationQuery q = base;
+    q.area = base.area.translated(0.1 * base.area.height() * rng.uniform(-1, 1),
+                                  0.1 * base.area.width() * rng.uniform(-1, 1));
+    out.push_back(q);
+  }
+  return out;
+}
+
+/// Gossip timers scaled to the fault-test timescale: detection inside a
+/// few hundred simulated milliseconds instead of seconds.
+MembershipConfig fast_membership() {
+  MembershipConfig m;
+  m.probe_interval = 50 * sim::kMillisecond;
+  m.probe_timeout = 5 * sim::kMillisecond;
+  m.suspicion_timeout = 100 * sim::kMillisecond;
+  return m;
+}
+
+ClusterConfig fault_config() {
+  ClusterConfig config;
+  config.num_nodes = 16;
+  config.subquery_timeout = 50 * sim::kMillisecond;
+  config.retry_backoff = 5 * sim::kMillisecond;
+  config.membership = fast_membership();
+  return config;
+}
+
+void expect_cells_equal(const CellSummaryMap& got, const CellSummaryMap& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (const auto& [key, summary] : want) {
+    const auto it = got.find(key);
+    ASSERT_NE(it, got.end()) << key.label();
+    EXPECT_TRUE(summary.approx_equals(it->second)) << key.label();
+  }
+}
+
+/// Full-query reference cells from a healthy Basic-mode cluster.
+CellSummaryMap reference_cells(const AggregationQuery& query) {
+  ClusterConfig config;
+  config.num_nodes = 16;
+  config.mode = SystemMode::Basic;
+  StashCluster cluster(config, shared_generator());
+  CellSummaryMap cells;
+  cluster.run_query(query, &cells);
+  return cells;
+}
+
+std::vector<std::size_t> reference_cell_counts(
+    const std::vector<AggregationQuery>& queries) {
+  ClusterConfig config;
+  config.num_nodes = 16;
+  config.mode = SystemMode::Basic;
+  StashCluster cluster(config, shared_generator());
+  std::vector<std::size_t> out;
+  out.reserve(queries.size());
+  for (const auto& q : queries) out.push_back(cluster.run_query(q).result_cells);
+  return out;
+}
+
+/// Every complete (level, chunk) pair in a node's local graph.
+std::set<std::pair<int, ChunkKey>> complete_chunks(const StashGraph& graph) {
+  std::set<std::pair<int, ChunkKey>> out;
+  for (int lvl = 0; lvl < kNumLevels; ++lvl) {
+    const Resolution res = resolution_of_level(lvl);
+    graph.for_each_chunk(
+        res, [&](const ChunkKey& key, const StashGraph::ChunkData&) {
+          if (graph.chunk_complete(res, key)) out.insert({lvl, key});
+        });
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Seeded property sweep: {partition plans x recovery policies}.  During the
+// split every query must complete within its deadline; after heal plus an
+// anti-entropy quiescence window the views converge, the audit passes, and
+// the re-warmed minority matches a never-partitioned control's completeness.
+// ---------------------------------------------------------------------------
+
+TEST(PartitionPropertyTest, NoHangsDuringSplitAndConvergenceAfterHeal) {
+  const AggregationQuery query = wide_query();
+  const auto partitions = geohash::covering(query.area, 2);
+  ASSERT_GT(partitions.size(), 1u);
+
+  ClusterConfig base = fault_config();
+  base.query_deadline = 1 * sim::kSecond;
+  const ZeroHopDht dht(base.num_nodes, base.partition_prefix_length);
+  const NodeId victim = dht.node_for_partition(partitions.front());
+
+  // The 2-way split: the scatter/gather front-end stays with the majority;
+  // the victim and two more nodes are cut off.
+  std::vector<std::uint32_t> minority = {victim, (victim + 1) % base.num_nodes,
+                                         (victim + 5) % base.num_nodes};
+  std::vector<std::uint32_t> majority = {sim::kFrontendNode};
+  for (std::uint32_t id = 0; id < base.num_nodes; ++id)
+    if (std::find(minority.begin(), minority.end(), id) == minority.end())
+      majority.push_back(id);
+
+  for (const std::uint64_t seed : {1u, 2u, 3u}) {
+    for (const bool recovery : {true, false}) {
+      SCOPED_TRACE(testing::Message()
+                   << "seed=" << seed << " recovery=" << recovery);
+      ClusterConfig config = base;
+      config.recovery = recovery;
+      config.fault_plan.seed = seed;
+      config.fault_plan.links.push_back({.drop_probability = 0.01});
+      config.fault_plan.partitions.push_back(
+          {.groups = {majority, minority},
+           .at = 10 * sim::kSecond,
+           .heal_at = 12 * sim::kSecond});
+      // One minority node also crashes mid-partition and restarts cold
+      // before the heal: the worst case anti-entropy has to repair.
+      config.fault_plan.crashes.push_back(
+          {.node = victim,
+           .at = 10200 * sim::kMillisecond,
+           .restart_at = 11 * sim::kSecond});
+      StashCluster cluster(config, shared_generator());
+
+      ClusterConfig control_config = base;
+      control_config.recovery = recovery;
+      StashCluster control(control_config, shared_generator());
+
+      // The scripted fault events are foreground work, so a single run()
+      // drains warm-up, partition, mid-split traffic, crash/restart, heal,
+      // and the anti-entropy exchange in virtual-time order.
+      QueryStats warm_stats;
+      std::vector<QueryStats> stats;
+      const auto drive = [&](StashCluster& c) {
+        c.loop().schedule_at(0, [&] {
+          c.submit(query, [&](const QueryStats& s) { warm_stats = s; });
+        });
+        // 20 identical wide queries across the partition window.
+        for (int i = 0; i < 20; ++i)
+          c.loop().schedule_at(
+              10050 * sim::kMillisecond + i * 20 * sim::kMillisecond, [&] {
+                c.submit(query,
+                         [&](const QueryStats& s) { stats.push_back(s); });
+              });
+        c.loop().run();
+      };
+      drive(cluster);
+      ASSERT_EQ(stats.size(), 20u);
+      EXPECT_LT(warm_stats.completed_at, 10 * sim::kSecond)
+          << "warm-up overran the scripted partition start";
+      const auto during_stats = stats;
+      warm_stats = {};
+      stats.clear();
+      drive(control);
+      ASSERT_EQ(stats.size(), 20u);
+
+      for (std::size_t i = 0; i < during_stats.size(); ++i) {
+        ASSERT_GT(during_stats[i].deadline, 0) << "query " << i;
+        EXPECT_LE(during_stats[i].completed_at, during_stats[i].deadline)
+            << "query " << i << " overran its deadline mid-partition";
+        EXPECT_EQ(during_stats[i].coverage.size(), partitions.size())
+            << "query " << i;
+      }
+      EXPECT_EQ(cluster.metrics().partitions_observed, 1u);
+      EXPECT_GT(cluster.metrics().gossip_probes, 0u);
+
+      // Heal, then let gossip + anti-entropy reach quiescence.
+      cluster.loop().run_until(16 * sim::kSecond);
+      control.loop().run_until(16 * sim::kSecond);
+
+      // Converged: nobody still believes anybody is dead.
+      const auto& membership = cluster.membership();
+      for (std::uint32_t member = 0; member < base.num_nodes; ++member) {
+        EXPECT_NE(membership.state(sim::kFrontendNode, member),
+                  MemberState::kDead)
+            << "frontend still believes node " << member << " dead";
+        for (std::uint32_t obs = 0; obs < base.num_nodes; ++obs)
+          EXPECT_NE(membership.state(obs, member), MemberState::kDead)
+              << "node " << obs << " still believes node " << member << " dead";
+      }
+
+      const auto report = cluster.audit_all();
+      EXPECT_TRUE(report.ok()) << report.violations.size() << " violations";
+
+      if (recovery) {
+        EXPECT_GT(cluster.metrics().recoveries, 0u);
+        EXPECT_GT(cluster.metrics().digests_exchanged, 0u);
+        EXPECT_GT(cluster.metrics().chunks_rewarmed, 0u);
+        // Completeness parity: every complete chunk the never-partitioned
+        // control's victim holds is back in the re-warmed victim too.
+        const auto want = complete_chunks(control.node_graph(victim));
+        const auto got = complete_chunks(cluster.node_graph(victim));
+        ASSERT_FALSE(want.empty()) << "control victim cached nothing: vacuous";
+        for (const auto& chunk : want)
+          EXPECT_TRUE(got.contains(chunk))
+              << "chunk " << chunk.second.label() << " @ level " << chunk.first
+              << " was not re-warmed";
+      } else {
+        // Without anti-entropy the restarted node stays cold until organic
+        // traffic refills it — the contrast that motivates recovery.
+        EXPECT_EQ(cluster.metrics().chunks_rewarmed, 0u);
+        EXPECT_EQ(cluster.node_graph(victim).total_cells(), 0u);
+      }
+
+      // Post-heal, the cluster serves the query complete and exact again.
+      CellSummaryMap got;
+      const QueryStats after = cluster.run_query(query, &got);
+      EXPECT_FALSE(after.partial);
+      EXPECT_FALSE(after.degraded);
+      expect_cells_equal(got, reference_cells(query));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Satellite regression: routing entries pointing at membership-dead hosts.
+// ---------------------------------------------------------------------------
+
+TEST(PartitionTest, StaleRoutingEntriesToDeadHelpersAreNeverDispatched) {
+  // Phase 1: a healthy hotspot builds guest replicas and routing entries.
+  ClusterConfig config;
+  config.num_nodes = 16;
+  config.stash.hotspot_queue_threshold = 20;
+  config.stash.reroute_probability = 0.7;
+  config.subquery_timeout = 2 * sim::kSecond;
+  config.membership = fast_membership();
+  StashCluster cluster(config, shared_generator());
+
+  cluster.run_query(wide_query());
+  const auto burst = burst_around(county_query(), 300, 11);
+  cluster.run_open_loop(burst, 20);
+  ASSERT_GT(cluster.metrics().reroutes, 0u) << "no rerouting: scenario vacuous";
+
+  std::set<NodeId> helpers;
+  for (NodeId id = 0; id < config.num_nodes; ++id)
+    if (cluster.node_guest_graph(id).total_cells() > 0) helpers.insert(id);
+  ASSERT_FALSE(helpers.empty());
+
+  // Phase 2: every helper dies.  Gossip must converge and invalidate the
+  // routing entries before any further traffic dispatches to a dead host.
+  for (const NodeId helper : helpers) cluster.crash_node(helper);
+  cluster.loop().run_for(1 * sim::kSecond);
+
+  for (NodeId id = 0; id < config.num_nodes; ++id) {
+    cluster.node_routing(id).for_each_entry(
+        [&](int, const ChunkKey& chunk, NodeId helper, sim::SimTime) {
+          EXPECT_FALSE(helpers.contains(helper))
+              << "node " << id << " still routes " << chunk.label()
+              << " to dead helper " << helper;
+        });
+  }
+
+  // A follow-up burst never pays a timeout: dead owners are failed over on
+  // the first attempt via the front-end's gossip view, and no subquery is
+  // forwarded to a dead helper.
+  const auto timeouts_before = cluster.metrics().timeouts_fired;
+  const auto handoff_timeouts_before = cluster.metrics().handoff_timeouts;
+  const auto again = burst_around(county_query(), 150, 37);
+  const auto stats = cluster.run_open_loop(again, 20);
+
+  EXPECT_EQ(cluster.metrics().timeouts_fired, timeouts_before)
+      << "something was dispatched to a membership-dead node";
+  EXPECT_EQ(cluster.metrics().handoff_timeouts, handoff_timeouts_before)
+      << "a distress call was sent to a membership-dead helper";
+  EXPECT_EQ(cluster.metrics().node_crashes, helpers.size());
+
+  const auto expected = reference_cell_counts(again);
+  for (std::size_t i = 0; i < again.size(); ++i) {
+    EXPECT_FALSE(stats[i].partial) << "query " << i;
+    EXPECT_EQ(stats[i].result_cells, expected[i]) << "query " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Anti-entropy re-warm after an isolated restart (no partition involved).
+// ---------------------------------------------------------------------------
+
+TEST(PartitionTest, AntiEntropyRewarmsRestartedNodeBelowColdBaseline) {
+  const AggregationQuery query = wide_query();
+  ClusterConfig base = fault_config();
+  base.suspect_ttl = 200 * sim::kMillisecond;
+  const ZeroHopDht dht(base.num_nodes, base.partition_prefix_length);
+  const NodeId victim =
+      dht.node_for_partition(geohash::covering(query.area, 2).front());
+
+  const auto run_scenario = [&](bool recovery) {
+    ClusterConfig config = base;
+    config.recovery = recovery;
+    StashCluster cluster(config, shared_generator());
+    cluster.run_query(query);  // warm every owner, victim included
+    cluster.crash_node(victim);
+    // Failover re-scans the victim's partitions on its ring successor —
+    // which thereby becomes the replica holder anti-entropy pulls from.
+    const QueryStats during = cluster.run_query(query);
+    EXPECT_FALSE(during.partial);
+    EXPECT_GT(during.failovers, 0u);
+
+    cluster.restart_node(victim);
+    cluster.loop().run();  // drain the recovery exchange, if any
+    cluster.loop().run_for(2 * base.suspect_ttl);  // circuit breaker expires
+
+    if (recovery) {
+      EXPECT_GT(cluster.metrics().recoveries, 0u);
+      EXPECT_GT(cluster.metrics().digests_exchanged, 0u);
+      EXPECT_GT(cluster.metrics().chunks_rewarmed, 0u);
+      EXPECT_GT(cluster.metrics().cells_rewarmed, 0u);
+      EXPECT_GT(cluster.node_graph(victim).total_cells(), 0u)
+          << "anti-entropy did not repopulate the restarted node";
+    } else {
+      EXPECT_EQ(cluster.metrics().chunks_rewarmed, 0u);
+      EXPECT_EQ(cluster.node_graph(victim).total_cells(), 0u);
+    }
+
+    CellSummaryMap got;
+    const QueryStats after = cluster.run_query(query, &got);
+    EXPECT_FALSE(after.partial);
+    expect_cells_equal(got, reference_cells(query));
+    return after.breakdown.chunks_scanned;
+  };
+
+  const std::size_t rewarmed_scans = run_scenario(/*recovery=*/true);
+  const std::size_t cold_scans = run_scenario(/*recovery=*/false);
+  // The acceptance bar: post-restart storage fetches measurably below the
+  // cold-restart baseline — here, eliminated entirely.
+  EXPECT_GT(cold_scans, 0u) << "cold baseline scanned nothing: vacuous";
+  EXPECT_EQ(rewarmed_scans, 0u);
+  EXPECT_LT(rewarmed_scans, cold_scans);
+}
+
+// ---------------------------------------------------------------------------
+// The front-end itself may be cut off: queries to the unreachable side must
+// finish at the deadline with honest coverage, never hang.
+// ---------------------------------------------------------------------------
+
+TEST(PartitionTest, FrontendInMinorityDegradesWithinDeadline) {
+  const AggregationQuery query = wide_query();
+  ClusterConfig config = fault_config();
+  config.query_deadline = 500 * sim::kMillisecond;
+  std::vector<std::uint32_t> with_frontend = {sim::kFrontendNode, 0, 1, 2};
+  std::vector<std::uint32_t> others;
+  for (std::uint32_t id = 3; id < config.num_nodes; ++id) others.push_back(id);
+  config.fault_plan.partitions.push_back({.groups = {with_frontend, others},
+                                          .at = 1 * sim::kSecond,
+                                          .heal_at = 2 * sim::kSecond});
+  StashCluster cluster(config, shared_generator());
+
+  QueryStats warm_stats;
+  std::vector<QueryStats> stats;
+  cluster.loop().schedule_at(0, [&] {
+    cluster.submit(query, [&](const QueryStats& s) { warm_stats = s; });
+  });
+  for (int i = 0; i < 10; ++i)
+    cluster.loop().schedule_at(
+        1050 * sim::kMillisecond + i * 20 * sim::kMillisecond, [&] {
+          cluster.submit(query, [&](const QueryStats& s) { stats.push_back(s); });
+        });
+  cluster.loop().run();
+  ASSERT_EQ(stats.size(), 10u);
+  EXPECT_LT(warm_stats.completed_at, 1 * sim::kSecond);
+  for (std::size_t i = 0; i < stats.size(); ++i) {
+    ASSERT_GT(stats[i].deadline, 0) << "query " << i;
+    EXPECT_LE(stats[i].completed_at, stats[i].deadline) << "query " << i;
+  }
+
+  // Past the heal the full answer comes back.
+  cluster.loop().run_until(4 * sim::kSecond);
+  CellSummaryMap got;
+  const QueryStats after = cluster.run_query(query, &got);
+  EXPECT_FALSE(after.partial);
+  expect_cells_equal(got, reference_cells(query));
+}
+
+// ---------------------------------------------------------------------------
+// Partitions are replayable chaos: same seed + plan => identical run.
+// ---------------------------------------------------------------------------
+
+TEST(PartitionTest, SameSeedSamePartitionPlanIsBitIdentical) {
+  struct Fingerprint {
+    std::vector<sim::SimTime> latencies;
+    std::vector<std::size_t> cells;
+    std::vector<bool> partial;
+    std::uint64_t timeouts, failovers, retries, dropped, partitions, probes,
+        rewarmed, events;
+    bool operator==(const Fingerprint&) const = default;
+  };
+
+  const auto run_chaos = [](std::uint64_t fault_seed) {
+    ClusterConfig config = fault_config();
+    config.query_deadline = 1 * sim::kSecond;
+    config.fault_plan.seed = fault_seed;
+    config.fault_plan.links.push_back({.drop_probability = 0.01});
+    config.fault_plan.partitions.push_back(
+        {.groups = {{sim::kFrontendNode, 0, 1, 2, 3, 4, 5, 6, 7},
+                    {8, 9, 10, 11, 12, 13, 14, 15}},
+         .at = 200 * sim::kMillisecond,
+         .heal_at = 600 * sim::kMillisecond});
+    StashCluster cluster(config, shared_generator());
+
+    Fingerprint fp;
+    for (const auto& s :
+         cluster.run_open_loop(burst_around(wide_query(), 50, 31), 20)) {
+      fp.latencies.push_back(s.latency());
+      fp.cells.push_back(s.result_cells);
+      fp.partial.push_back(s.partial);
+    }
+    const auto& m = cluster.metrics();
+    fp.timeouts = m.timeouts_fired;
+    fp.failovers = m.failovers;
+    fp.retries = m.subquery_retries;
+    fp.dropped = m.messages_dropped;
+    fp.partitions = m.partitions_observed;
+    fp.probes = m.gossip_probes;
+    fp.rewarmed = m.chunks_rewarmed;
+    fp.events = cluster.loop().executed();
+    return fp;
+  };
+
+  const Fingerprint a = run_chaos(1234);
+  const Fingerprint b = run_chaos(1234);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.partitions, 1u);
+  const Fingerprint c = run_chaos(4321);
+  EXPECT_NE(a, c);
+}
+
+}  // namespace
+}  // namespace stash::cluster

@@ -201,5 +201,29 @@ TEST(CliquePayloadTest, PayloadInstallsIntoGuestGraphIdentically) {
   }
 }
 
+TEST(CliquePayloadTest, ChunkPayloadShipsNamedCompleteChunksOnly) {
+  StashGraph graph;
+  const auto full = contribution(kRes6, "9q8y", 12);
+  graph.absorb(full, 0);
+  const TemporalBin feb(TemporalRes::Month, 2015, 2);
+  ChunkContribution partial;
+  partial.res = Resolution{6, TemporalRes::Month};
+  partial.chunk = ChunkKey("9q8y", feb);
+  partial.cells.emplace_back(CellKey("9q8y00", feb), one_observation(1.0));
+  partial.days.push_back(partial.chunk.first_day());
+  graph.absorb(partial, 0);
+
+  // The pull names the complete chunk, the partial one, and an absent one:
+  // only the complete chunk ships.
+  const std::vector<std::pair<Resolution, ChunkKey>> wanted{
+      {kRes6, full.chunk},
+      {partial.res, partial.chunk},
+      {kRes6, ChunkKey("9q8z", kDay)}};
+  const auto payload = chunk_payload(graph, wanted);
+  ASSERT_EQ(payload.size(), 1u);
+  EXPECT_EQ(payload[0].chunk, full.chunk);
+  EXPECT_EQ(payload[0].cells.size(), 12u);
+}
+
 }  // namespace
 }  // namespace stash

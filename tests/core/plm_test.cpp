@@ -135,5 +135,45 @@ TEST(PlmTest, Counts) {
   EXPECT_EQ(plm.total_chunks(), 3u);
 }
 
+TEST(PlmTest, BitmapHashTracksCoverageExactly) {
+  PrecisionLevelMap plm;
+  const ChunkKey chunk("9q8y", kFeb);
+  EXPECT_EQ(plm.bitmap_hash(kMonthLevel, chunk), 0u);  // unknown
+
+  plm.mark_day(kMonthLevel, chunk, kFeb1);
+  const std::uint64_t one_day = plm.bitmap_hash(kMonthLevel, chunk);
+  EXPECT_NE(one_day, 0u);
+
+  plm.mark_day(kMonthLevel, chunk, kFeb1 + 3);
+  const std::uint64_t two_days = plm.bitmap_hash(kMonthLevel, chunk);
+  EXPECT_NE(two_days, one_day);
+
+  // Identical coverage on another map digests identically — the
+  // anti-entropy comparison unit.
+  PrecisionLevelMap other;
+  other.mark_day(kMonthLevel, chunk, kFeb1);
+  other.mark_day(kMonthLevel, chunk, kFeb1 + 3);
+  EXPECT_EQ(other.bitmap_hash(kMonthLevel, chunk), two_days);
+
+  // Different day, same cardinality: different digest.
+  PrecisionLevelMap shifted;
+  shifted.mark_day(kMonthLevel, chunk, kFeb1);
+  shifted.mark_day(kMonthLevel, chunk, kFeb1 + 4);
+  EXPECT_NE(shifted.bitmap_hash(kMonthLevel, chunk), two_days);
+
+  plm.erase(kMonthLevel, chunk);
+  EXPECT_EQ(plm.bitmap_hash(kMonthLevel, chunk), 0u);
+}
+
+TEST(PlmTest, BitmapHashOfCompleteChunksMatchesAcrossNodes) {
+  PrecisionLevelMap a, b;
+  const ChunkKey chunk("9q8y", kFeb);
+  for (int d = 0; d < 28; ++d) a.mark_day(kMonthLevel, chunk, kFeb1 + d);
+  b.mark_all(kMonthLevel, chunk);
+  EXPECT_EQ(a.bitmap_hash(kMonthLevel, chunk),
+            b.bitmap_hash(kMonthLevel, chunk));
+  EXPECT_TRUE(a.is_complete(kMonthLevel, chunk));
+}
+
 }  // namespace
 }  // namespace stash

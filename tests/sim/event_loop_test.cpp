@@ -151,6 +151,91 @@ TEST(EventLoopTest, CancellableIdsAreUniqueAndIndependent) {
   EXPECT_EQ(fired, 10);  // only the cancelled one is suppressed
 }
 
+TEST(EventLoopTest, RunIgnoresPureBackgroundQueue) {
+  // A self-rescheduling background task (gossip probe loop) must not keep
+  // run() alive once real work has drained.
+  EventLoop loop;
+  int ticks = 0;
+  std::function<void()> tick = [&] {
+    ++ticks;
+    loop.schedule_background(10, tick);
+  };
+  loop.schedule_background(10, tick);
+  const SimTime end = loop.run();
+  EXPECT_EQ(end, 0);
+  EXPECT_EQ(ticks, 0);
+  EXPECT_EQ(loop.foreground_pending(), 0u);
+  EXPECT_EQ(loop.pending(), 1u);  // the tick stays queued for later
+}
+
+TEST(EventLoopTest, BackgroundInterleavesWhileForegroundPending) {
+  EventLoop loop;
+  std::vector<int> order;
+  std::function<void()> tick = [&] {
+    order.push_back(0);
+    loop.schedule_background(10, tick);
+  };
+  loop.schedule_background(10, tick);
+  loop.schedule(25, [&] { order.push_back(1); });
+  loop.run();
+  // Ticks at 10 and 20 run before the foreground event at 25; the tick
+  // queued for 30 stays pending.
+  EXPECT_EQ(order, (std::vector<int>{0, 0, 1}));
+  EXPECT_EQ(loop.now(), 25);
+  EXPECT_EQ(loop.pending(), 1u);
+}
+
+TEST(EventLoopTest, RunUntilDrivesBackgroundWhenIdle) {
+  EventLoop loop;
+  int ticks = 0;
+  std::function<void()> tick = [&] {
+    ++ticks;
+    loop.schedule_background(10, tick);
+  };
+  loop.schedule_background(10, tick);
+  loop.run_until(45);
+  EXPECT_EQ(ticks, 4);  // 10, 20, 30, 40
+  EXPECT_EQ(loop.now(), 45);
+}
+
+TEST(EventLoopTest, CancelledBackgroundTimerNeverFires) {
+  EventLoop loop;
+  int fired = 0;
+  const auto id = loop.schedule_background_cancellable(30, [&] { ++fired; });
+  loop.cancel(id);
+  loop.run_until(100);
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(EventLoopTest, CancelledForegroundTimerReleasesRunWithBackgroundNoise) {
+  // A cancelled far-future foreground timer must not force run() to grind
+  // through months of background ticks to reach it.
+  EventLoop loop;
+  int ticks = 0;
+  std::function<void()> tick = [&] {
+    ++ticks;
+    loop.schedule_background(10, tick);
+  };
+  loop.schedule_background(10, tick);
+  const auto id = loop.schedule_cancellable(1000000, [] { FAIL(); });
+  loop.schedule(15, [&] { loop.cancel(id); });
+  const SimTime end = loop.run();
+  EXPECT_EQ(end, 15);
+  EXPECT_EQ(ticks, 1);  // only the tick at t=10
+}
+
+TEST(EventLoopTest, ForegroundPendingCountsLiveForegroundOnly) {
+  EventLoop loop;
+  loop.schedule(10, [] {});
+  loop.schedule_background(10, [] {});
+  const auto id = loop.schedule_cancellable(20, [] {});
+  EXPECT_EQ(loop.foreground_pending(), 2u);
+  loop.cancel(id);
+  EXPECT_EQ(loop.foreground_pending(), 1u);
+  loop.run();
+  EXPECT_EQ(loop.foreground_pending(), 0u);
+}
+
 TEST(ClockTest, FormatDuration) {
   EXPECT_EQ(format_duration(500), "500us");
   EXPECT_EQ(format_duration(2500), "2.5ms");

@@ -161,5 +161,143 @@ TEST(FaultInjectorTest, NoRuleMeansHealthyLink) {
   EXPECT_EQ(injector.stats().messages_delayed, 0u);
 }
 
+TEST(FaultInjectorTest, WildcardFirstPlanStillHonoursSpecificRule) {
+  // Rules are stable-sorted most-specific first at construction, so a plan
+  // that lists the blanket rule before the per-link override behaves the
+  // same as one written in the "correct" order.
+  FaultPlan plan;
+  plan.links.push_back({.from = kAnyNode, .to = kAnyNode,
+                        .drop_probability = 1.0});
+  plan.links.push_back({.from = 0, .to = 1, .drop_probability = 0.0,
+                        .extra_latency = 500});
+  plan.links.push_back({.from = 2, .to = kAnyNode, .drop_probability = 0.0});
+  FaultInjector injector(plan, 4);
+  EXPECT_FALSE(injector.should_drop(0, 1));
+  EXPECT_EQ(injector.extra_latency(0, 1), 500);
+  EXPECT_FALSE(injector.should_drop(2, 3));  // one-wildcard beats blanket
+  EXPECT_TRUE(injector.should_drop(1, 0));
+}
+
+TEST(FaultInjectorTest, PartitionPlanValidation) {
+  const auto with_partition = [](PartitionEvent event) {
+    FaultPlan plan;
+    plan.partitions.push_back(std::move(event));
+    return plan;
+  };
+  // Fewer than two groups.
+  EXPECT_THROW(FaultInjector(with_partition({.groups = {{0, 1}}}), 4),
+               std::invalid_argument);
+  // Empty group.
+  EXPECT_THROW(FaultInjector(with_partition({.groups = {{0}, {}}}), 4),
+               std::invalid_argument);
+  // Unknown node.
+  EXPECT_THROW(FaultInjector(with_partition({.groups = {{0}, {9}}}), 4),
+               std::invalid_argument);
+  // Node in two groups.
+  EXPECT_THROW(FaultInjector(with_partition({.groups = {{0, 1}, {1}}}), 4),
+               std::invalid_argument);
+  // Heal before split.
+  EXPECT_THROW(FaultInjector(with_partition({.groups = {{0}, {1}},
+                                             .at = 10,
+                                             .heal_at = 10}),
+                             4),
+               std::invalid_argument);
+  // Frontend pseudo-node is a valid group member.
+  EXPECT_NO_THROW(
+      FaultInjector(with_partition({.groups = {{0, kFrontendNode}, {1}}}), 4));
+}
+
+TEST(FaultInjectorTest, PartitionSeversGroupsBothWaysAndHeals) {
+  EventLoop loop;
+  FaultPlan plan;
+  plan.partitions.push_back(
+      {.groups = {{0, 1}, {2, 3}}, .at = 100, .heal_at = 300});
+  FaultInjector injector(plan, 4);
+  injector.arm(loop);
+
+  // Before the split everything flows.
+  EXPECT_FALSE(injector.partitioned(0, 2));
+  EXPECT_FALSE(injector.should_drop(0, 2));
+
+  loop.run_until(100);
+  EXPECT_TRUE(injector.partitioned(0, 2));
+  EXPECT_TRUE(injector.partitioned(2, 0));  // symmetric
+  EXPECT_TRUE(injector.should_drop(0, 2));
+  EXPECT_TRUE(injector.should_drop(3, 1));
+  // Same side stays connected.
+  EXPECT_FALSE(injector.partitioned(0, 1));
+  EXPECT_FALSE(injector.should_drop(0, 1));
+  EXPECT_FALSE(injector.should_drop(2, 3));
+  EXPECT_EQ(injector.stats().partitions_observed, 1u);
+  EXPECT_EQ(injector.stats().partition_drops, 2u);
+
+  loop.run();
+  EXPECT_FALSE(injector.partitioned(0, 2));
+  EXPECT_FALSE(injector.should_drop(0, 2));
+  EXPECT_EQ(injector.stats().partitions_healed, 1u);
+}
+
+TEST(FaultInjectorTest, UngroupedNodesStayConnectedToBothSides) {
+  EventLoop loop;
+  FaultPlan plan;
+  plan.partitions.push_back({.groups = {{0}, {1}}, .at = 0});
+  FaultInjector injector(plan, 4);
+  injector.arm(loop);
+  loop.run_until(0);
+  EXPECT_TRUE(injector.partitioned(0, 1));
+  // Node 2 is in no group; the frontend is in no group.
+  EXPECT_FALSE(injector.partitioned(0, 2));
+  EXPECT_FALSE(injector.partitioned(2, 1));
+  EXPECT_FALSE(injector.partitioned(kFrontendNode, 0));
+  EXPECT_FALSE(injector.should_drop(kFrontendNode, 1));
+}
+
+TEST(FaultInjectorTest, PartitionAndHealHandlersFireOnSchedule) {
+  EventLoop loop;
+  FaultPlan plan;
+  plan.partitions.push_back({.groups = {{0}, {1}}, .at = 50, .heal_at = 90});
+  FaultInjector injector(plan, 2);
+  std::vector<SimTime> split_times, heal_times;
+  injector.set_partition_handler([&](const PartitionEvent& event) {
+    EXPECT_EQ(event.groups.size(), 2u);
+    split_times.push_back(loop.now());
+  });
+  injector.set_heal_handler(
+      [&](const PartitionEvent&) { heal_times.push_back(loop.now()); });
+  injector.arm(loop);
+  loop.run();
+  EXPECT_EQ(split_times, std::vector<SimTime>{50});
+  EXPECT_EQ(heal_times, std::vector<SimTime>{90});
+}
+
+TEST(FaultInjectorTest, PartitionDropsConsumeNoRandomness) {
+  // A severed message must not advance the dice, so the drop sequence on a
+  // healthy link is identical with and without a concurrent partition.
+  FaultPlan base;
+  base.links.push_back({.drop_probability = 0.3});
+  base.seed = 99;
+  FaultPlan split = base;
+  split.partitions.push_back({.groups = {{0}, {1}}, .at = 0});
+
+  EventLoop loop;
+  FaultInjector plain(base, 4);
+  FaultInjector cut(split, 4);
+  cut.arm(loop);
+  loop.run_until(0);
+  std::vector<bool> a, b;
+  for (int i = 0; i < 200; ++i) {
+    a.push_back(plain.should_drop(2, 3));
+    EXPECT_TRUE(cut.should_drop(0, 1));  // severed, diceless
+    b.push_back(cut.should_drop(2, 3));
+  }
+  EXPECT_EQ(a, b);
+}
+
+TEST(FaultInjectorTest, DropChecksCountEveryCall) {
+  FaultInjector injector({}, 4);
+  for (int i = 0; i < 7; ++i) (void)injector.should_drop(0, 1);
+  EXPECT_EQ(injector.stats().drop_checks, 7u);
+}
+
 }  // namespace
 }  // namespace stash::sim
