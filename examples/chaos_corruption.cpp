@@ -1,0 +1,286 @@
+// End-to-end data-integrity demo (DESIGN.md "Data integrity").
+//
+// Seeded chaos flips bits on the wire and rots storage blocks while a
+// stream of queries runs: every gh2 partition the query area touches
+// bit-rots mid-run, a partition owner crashes and restarts cold (so the
+// anti-entropy re-warm frames cross the corrupted links), and the
+// background scrubber races to detect, quarantine, and repair.  The same
+// query schedule runs first on a fault-free control cluster; every chaos
+// answer is compared cell-by-cell against the control's.
+//
+// The run self-checks its acceptance criteria and exits non-zero on
+// failure, so CI can use it as a corruption soak:
+//   1. every query completes — corruption never hangs the cluster;
+//   2. every answer is byte-equal to the no-fault control, or explicitly
+//      flagged partial/degraded with all returned cells byte-equal: zero
+//      silently-wrong answers;
+//   3. the chaos actually bit: storage checksum failures, quarantined
+//      blocks, and corrupted/rejected wire frames were all observed;
+//   4. the scrubber converged: quarantine empty, repairs counted;
+//   5. a post-convergence probe runs with zero fresh checksum failures,
+//      answers exactly, and the hierarchy audit passes on every node.
+//
+//   ./build/examples/chaos_corruption [--metrics-json FILE]
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "common/civil_time.hpp"
+#include "geo/geohash.hpp"
+#include "obs/metrics.hpp"
+
+using namespace stash;
+using cluster::ClusterConfig;
+using cluster::StashCluster;
+
+namespace {
+
+constexpr std::uint32_t kNodes = 16;
+constexpr std::size_t kQueries = 24;
+constexpr double kBitFlipRate = 0.35;
+constexpr double kTruncateRate = 0.15;
+// Rot lands before the first scans: STASH caches aggressively, so rot
+// injected later would only ever be seen by the scrubber, not a query.
+constexpr sim::SimTime kRotAt = 0;
+constexpr sim::SimTime kCrashAt = 300 * sim::kMillisecond;
+constexpr sim::SimTime kRestartAt = 600 * sim::kMillisecond;
+constexpr sim::SimTime kScrubInterval = 300 * sim::kMillisecond;
+constexpr sim::SimTime kQuiescent = 6 * sim::kSecond;
+
+struct Scenario {
+  std::vector<AggregationQuery> queries;
+  std::vector<std::string> partitions;  // gh2 partitions that bit-rot
+  std::int64_t day = 0;
+  NodeId victim = 0;
+};
+
+Scenario make_scenario() {
+  Scenario s;
+  AggregationQuery base = {{38.0, 38.6, -99.0, -97.8},
+                           {unix_seconds({2015, 2, 2}), unix_seconds({2015, 2, 3})},
+                           {6, TemporalRes::Day}};
+  AggregationQuery wide = base;
+  wide.area = base.area.scaled(16.0);
+  s.partitions = geohash::covering(wide.area, 2);
+  s.day = base.time.begin / 86400;
+  const ClusterConfig probe;
+  const ZeroHopDht dht(kNodes, probe.partition_prefix_length);
+  s.victim = dht.node_for_partition(s.partitions.front());
+  // Alternate the county view, the wide view, and two panned counties —
+  // all at the scan resolution, so answers are byte-reproducible.
+  AggregationQuery east = base, south = base;
+  east.area = base.area.translated(0.0, 1.1);
+  south.area = base.area.translated(-0.9, 0.0);
+  for (std::size_t i = 0; i < kQueries; ++i) {
+    switch (i % 4) {
+      case 0: s.queries.push_back(base); break;
+      case 1: s.queries.push_back(wide); break;
+      case 2: s.queries.push_back(east); break;
+      default: s.queries.push_back(south); break;
+    }
+  }
+  return s;
+}
+
+ClusterConfig make_config(const Scenario& s, bool chaos) {
+  ClusterConfig config;
+  config.num_nodes = kNodes;
+  config.subquery_timeout = 50 * sim::kMillisecond;
+  config.retry_backoff = 5 * sim::kMillisecond;
+  config.suspect_ttl = 200 * sim::kMillisecond;
+  config.membership.probe_interval = 50 * sim::kMillisecond;
+  config.membership.probe_timeout = 5 * sim::kMillisecond;
+  config.membership.suspicion_timeout = 100 * sim::kMillisecond;
+  if (!chaos) return config;
+  config.scrub_interval = kScrubInterval;
+  config.fault_plan.seed = 42;
+  config.fault_plan.links.push_back({.corrupt_probability = kBitFlipRate,
+                                     .truncate_probability = kTruncateRate});
+  for (const auto& p : s.partitions)
+    config.fault_plan.bitrot.push_back(
+        {.partition = p, .day = s.day, .at = kRotAt});
+  config.fault_plan.crashes.push_back(
+      {.node = s.victim, .at = kCrashAt, .restart_at = kRestartAt});
+  return config;
+}
+
+struct Answer {
+  cluster::QueryStats stats;
+  CellSummaryMap cells;
+};
+
+struct RunResult {
+  std::vector<Answer> answers;
+  cluster::ClusterMetrics metrics;  // sampled at quiescence
+  std::uint64_t probe_checksum_failures = 0;  // NEW failures during probe
+  Answer probe;
+  bool quarantine_empty = false;
+  bool audit_ok = false;
+  std::string metrics_json;
+};
+
+RunResult run(const Scenario& s, bool chaos) {
+  StashCluster cluster(make_config(s, chaos),
+                       std::make_shared<const NamGenerator>());
+  RunResult out;
+  out.answers.resize(s.queries.size());
+  for (std::size_t i = 0; i < s.queries.size(); ++i)
+    cluster.loop().schedule_at(
+        static_cast<sim::SimTime>(i) * 40 * sim::kMillisecond, [&, i] {
+          cluster.submit(s.queries[i], [&, i](const cluster::QueryStats& st,
+                                              CellSummaryMap&& cells) {
+            out.answers[i] = {st, std::move(cells)};
+          });
+        });
+  cluster.loop().run();
+  cluster.loop().run_until(kQuiescent);  // scrub + anti-entropy convergence
+
+  out.metrics = cluster.metrics();
+  out.quarantine_empty = cluster.store().quarantine_list().empty();
+  out.audit_ok = cluster.audit_all().ok();
+
+  const std::uint64_t before = cluster.store().integrity().checksum_failures;
+  out.probe.stats = cluster.run_query(s.queries[0], &out.probe.cells);
+  out.probe_checksum_failures =
+      cluster.store().integrity().checksum_failures - before;
+  out.metrics_json = obs::to_json(cluster.metrics_registry().snapshot(),
+                                  cluster.loop().now());
+  return out;
+}
+
+/// True when every cell in `got` is byte-equal to the control's cell with
+/// the same key (missing cells allowed — withheld, never wrong).
+bool subset_exact(const CellSummaryMap& got, const CellSummaryMap& control) {
+  for (const auto& [key, summary] : got) {
+    const auto it = control.find(key);
+    if (it == control.end() || !(summary == it->second)) return false;
+  }
+  return true;
+}
+
+void report(const char* label, const RunResult& r) {
+  const auto& m = r.metrics;
+  std::size_t exact = 0, flagged = 0;
+  for (const auto& a : r.answers)
+    (a.stats.partial || a.stats.degraded) ? ++flagged : ++exact;
+  std::printf("%s\n", label);
+  std::printf("  queries exact / flagged:            %zu / %zu\n", exact,
+              flagged);
+  std::printf("  storage checksum failures / quarantined / repaired: "
+              "%llu / %llu / %llu\n",
+              static_cast<unsigned long long>(m.integrity_checksum_failures),
+              static_cast<unsigned long long>(m.blocks_quarantined),
+              static_cast<unsigned long long>(m.blocks_repaired));
+  std::printf("  wire frames corrupted+truncated / rejected / redelivered / "
+              "poison: %llu / %llu / %llu / %llu\n",
+              static_cast<unsigned long long>(m.messages_corrupted +
+                                              m.messages_truncated),
+              static_cast<unsigned long long>(m.frame_integrity_failures),
+              static_cast<unsigned long long>(m.messages_redelivered),
+              static_cast<unsigned long long>(m.poison_messages));
+  std::printf("  scrub cycles / repairs, replica divergences: "
+              "%llu / %llu, %llu\n",
+              static_cast<unsigned long long>(m.scrub_cycles),
+              static_cast<unsigned long long>(m.scrub_repairs),
+              static_cast<unsigned long long>(m.replica_divergences));
+  std::printf("  corrupt-flagged queries:            %llu\n",
+              static_cast<unsigned long long>(m.corrupt_queries));
+  std::printf("  post-convergence probe: %s, %llu fresh checksum failures\n",
+              r.probe.stats.partial ? "partial" : "exact",
+              static_cast<unsigned long long>(r.probe_checksum_failures));
+  std::printf("\n");
+}
+
+bool check(bool ok, const char* what) {
+  std::printf("  [%s] %s\n", ok ? "PASS" : "FAIL", what);
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string metrics_json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--metrics-json") == 0 && i + 1 < argc)
+      metrics_json_path = argv[++i];
+    else {
+      std::fprintf(stderr, "usage: %s [--metrics-json FILE]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  const Scenario scenario = make_scenario();
+  std::printf("%zu queries over %zu gh2 partitions; all partitions bit-rot "
+              "at %.0f ms; node %u crashes at %.0f ms and restarts at %.0f "
+              "ms; link bit-flip/truncate rates %.2f/%.2f; scrubber every "
+              "%.0f ms\n\n",
+              kQueries, scenario.partitions.size(), sim::to_millis(kRotAt),
+              scenario.victim, sim::to_millis(kCrashAt),
+              sim::to_millis(kRestartAt), kBitFlipRate, kTruncateRate,
+              sim::to_millis(kScrubInterval));
+
+  const RunResult control = run(scenario, /*chaos=*/false);
+  const RunResult chaos = run(scenario, /*chaos=*/true);
+  report("fault-free control:", control);
+  report("seeded corruption chaos:", chaos);
+
+  std::printf("acceptance checks:\n");
+  bool ok = true;
+  bool all_complete = true;
+  for (const auto& a : chaos.answers)
+    if (a.stats.subqueries == 0) all_complete = false;
+  ok &= check(all_complete, "every query completed (corruption never hangs)");
+
+  bool honest = true;
+  std::size_t flagged = 0;
+  for (std::size_t i = 0; i < chaos.answers.size(); ++i) {
+    const Answer& a = chaos.answers[i];
+    const CellSummaryMap& want = control.answers[i].cells;
+    if (a.stats.partial || a.stats.degraded) {
+      ++flagged;
+      if (!subset_exact(a.cells, want)) honest = false;
+    } else if (!(a.cells == want)) {
+      honest = false;
+    }
+  }
+  ok &= check(honest,
+              "every answer byte-equal to control or honestly flagged — "
+              "zero silently-wrong answers");
+  ok &= check(flagged > 0, "the rot actually bit (some answers flagged)");
+  ok &= check(chaos.metrics.integrity_checksum_failures > 0 &&
+                  chaos.metrics.blocks_quarantined > 0,
+              "storage rot was detected and quarantined");
+  ok &= check(chaos.metrics.messages_corrupted +
+                      chaos.metrics.messages_truncated >
+                  0,
+              "wire tampering was injected");
+  ok &= check(chaos.metrics.frame_integrity_failures > 0,
+              "corrupt frames were rejected by checksum");
+  ok &= check(chaos.metrics.scrub_repairs > 0 && chaos.quarantine_empty,
+              "the scrubber repaired every quarantined block");
+  ok &= check(chaos.probe_checksum_failures == 0 && !chaos.probe.stats.partial,
+              "post-convergence probe: 0 checksum failures, exact answer");
+  ok &= check(chaos.probe.cells == control.probe.cells,
+              "post-convergence probe byte-equal to control");
+  ok &= check(chaos.audit_ok, "hierarchy audit passes on every node");
+
+  if (!metrics_json_path.empty()) {
+    std::FILE* f = metrics_json_path == "-"
+                       ? stdout
+                       : std::fopen(metrics_json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "%s: cannot write %s\n", argv[0],
+                   metrics_json_path.c_str());
+      return 2;
+    }
+    std::fprintf(f, "%s\n", chaos.metrics_json.c_str());
+    if (f != stdout) std::fclose(f);
+  }
+  return ok ? 0 : 1;
+}

@@ -12,6 +12,15 @@
 //     --crash N@MS[:MS]     crash node N at MS ms (optionally restart at :MS);
 //                           repeatable
 //     --drop P              drop each message with probability P
+//     --bitflip-rate P      flip one random bit in each wire frame with
+//                           probability P (receivers detect by checksum,
+//                           redeliver, and poison after the budget)
+//     --bitrot GH2[@MS]     rot the storage block (partition GH2, query day)
+//                           at MS ms (default 0); repeatable.  Scans detect
+//                           and quarantine it; the scrubber repairs it
+//     --scrub-ms MS         background scrubber period (0 = off, default);
+//                           each tick verifies blocks, repairs quarantine,
+//                           and walks one node's replica digests
 //     --partition A|B       split the network into groups from time 0; each
 //                           group is a comma list of node ids, "fe" = the
 //                           scatter/gather front-end (e.g. fe,0,1|2,3)
@@ -51,6 +60,7 @@
 #include <cstring>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "client/visual_client.hpp"
@@ -67,6 +77,7 @@ namespace {
                "usage: %s [--date YYYY-MM-DD] [--sres N] "
                "[--tres hour|day|month] [--nodes N] [--mode stash|basic] "
                "[--repeat N] [--json] [--crash N@MS[:MS]] [--drop P] "
+               "[--bitflip-rate P] [--bitrot GH2[@MS]] [--scrub-ms MS] "
                "[--partition A|B] [--heal-ms MS] [--recovery|--no-recovery] "
                "[--no-failover] [--queue-limit N] [--deadline-ms MS] "
                "[--retry-budget N] [--audit] [--metrics] "
@@ -136,6 +147,10 @@ int main(int argc, char** argv) {
   double deadline_ms = 0.0;
   double retry_budget = 0.0;
   sim::FaultPlan plan;
+  double drop_rate = 0.0;
+  double bitflip_rate = 0.0;
+  double scrub_ms = 0.0;
+  std::vector<std::pair<std::string, double>> bitrot;  // partition, at-ms
   std::vector<std::vector<std::uint32_t>> partition_groups;
   double heal_ms = -1.0;
   std::optional<bool> recovery;
@@ -181,9 +196,24 @@ int main(int argc, char** argv) {
       if (matched == 3) crash.restart_at = std::llround(restart_ms * 1000.0);
       plan.crashes.push_back(crash);
     } else if (arg == "--drop") {
-      sim::LinkRule rule;
-      rule.drop_probability = std::atof(next().c_str());
-      plan.links.push_back(rule);
+      drop_rate = std::atof(next().c_str());
+    } else if (arg == "--bitflip-rate") {
+      bitflip_rate = std::atof(next().c_str());
+      if (bitflip_rate < 0.0 || bitflip_rate > 1.0) usage(argv[0]);
+    } else if (arg == "--bitrot") {
+      const std::string spec = next();
+      const std::size_t at = spec.find('@');
+      const std::string partition = spec.substr(0, at);
+      double at_ms = 0.0;
+      if (at != std::string::npos) {
+        at_ms = std::atof(spec.substr(at + 1).c_str());
+        if (at_ms < 0.0) usage(argv[0]);
+      }
+      if (partition.empty()) usage(argv[0]);
+      bitrot.emplace_back(partition, at_ms);
+    } else if (arg == "--scrub-ms") {
+      scrub_ms = std::atof(next().c_str());
+      if (scrub_ms < 0.0) usage(argv[0]);
     } else if (arg == "--partition") {
       partition_groups = parse_partition(next());
       if (partition_groups.empty()) usage(argv[0]);
@@ -227,6 +257,18 @@ int main(int argc, char** argv) {
   }
   if (coords.size() != 4 || sres < 2 || sres > 12 || repeat < 1 || nodes < 1)
     usage(argv[0]);
+  if (drop_rate > 0.0 || bitflip_rate > 0.0) {
+    // One combined wildcard rule: the injector's first-match semantics mean
+    // separate --drop and --bitflip-rate rules would shadow each other.
+    sim::LinkRule rule;
+    rule.drop_probability = drop_rate;
+    rule.corrupt_probability = bitflip_rate;
+    plan.links.push_back(rule);
+  }
+  for (const auto& [partition, at_ms] : bitrot)
+    plan.bitrot.push_back({.partition = partition,
+                           .day = unix_seconds(date) / 86400,
+                           .at = std::llround(at_ms * 1000.0)});
   if (!partition_groups.empty()) {
     for (const auto& group : partition_groups)
       for (const std::uint32_t id : group)
@@ -255,6 +297,8 @@ int main(int argc, char** argv) {
   config.query_deadline =
       static_cast<sim::SimTime>(std::llround(deadline_ms * 1000.0));
   config.retry_budget = retry_budget;
+  config.scrub_interval =
+      static_cast<sim::SimTime>(std::llround(scrub_ms * 1000.0));
   if (recovery.has_value()) config.recovery = *recovery;
   if (!plan.empty()) config.subquery_timeout = 20 * sim::kMillisecond;
   if (!plan.partitions.empty()) {
@@ -297,6 +341,11 @@ int main(int argc, char** argv) {
                 : last.stats.degraded ? "  [DEGRADED]"
                                       : "");
   }
+  if (scrub_ms > 0.0) {
+    // The query runs quiesce without draining background events; give the
+    // scrubber a few periods so quarantined blocks actually get repaired.
+    cluster.loop().run_until(cluster.loop().now() + 4 * config.scrub_interval);
+  }
   if (queue_limit > 0 || deadline_ms > 0.0 || retry_budget > 0.0) {
     const auto& m = cluster.metrics();
     std::printf("overload control: shed=%llu expired=%llu degraded=%llu "
@@ -331,6 +380,24 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(m.digests_exchanged),
                 static_cast<unsigned long long>(m.chunks_rewarmed),
                 static_cast<unsigned long long>(m.cells_rewarmed));
+  }
+  if (bitflip_rate > 0.0 || !bitrot.empty() || scrub_ms > 0.0) {
+    const auto& m = cluster.metrics();
+    std::printf("integrity activity: checksum-failures=%llu quarantined=%llu "
+                "repaired=%llu frames corrupted=%llu rejected=%llu "
+                "redelivered=%llu poison=%llu corrupt-queries=%llu "
+                "scrub=%llu cycles / %llu repairs\n",
+                static_cast<unsigned long long>(m.integrity_checksum_failures),
+                static_cast<unsigned long long>(m.blocks_quarantined),
+                static_cast<unsigned long long>(m.blocks_repaired),
+                static_cast<unsigned long long>(m.messages_corrupted +
+                                                m.messages_truncated),
+                static_cast<unsigned long long>(m.frame_integrity_failures),
+                static_cast<unsigned long long>(m.messages_redelivered),
+                static_cast<unsigned long long>(m.poison_messages),
+                static_cast<unsigned long long>(m.corrupt_queries),
+                static_cast<unsigned long long>(m.scrub_cycles),
+                static_cast<unsigned long long>(m.scrub_repairs));
   }
   if (json)
     std::printf("%s\n", client::VisualClient::to_json(last, 10).c_str());

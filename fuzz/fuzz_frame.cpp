@@ -1,0 +1,31 @@
+// Fuzz harness: the checksummed frame decoder.
+//
+// Feeds arbitrary bytes into decode_frame.  The decoder must either reject
+// the buffer with IntegrityError or return the exact payload bytes of a
+// well-formed frame; re-framing an accepted payload must reproduce the
+// input bit-for-bit (the frame format has no redundancy to be non-minimal
+// about).  Any crash, unexpected exception type, or allocation driven by a
+// declared length the buffer cannot back is a finding.
+#include <stdexcept>
+
+#include "common/codec.hpp"
+#include "fuzz_util.hpp"
+
+using namespace stash;
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const codec::Buffer input(data, data + size);
+  codec::Buffer payload;
+  try {
+    payload = codec::decode_frame(input);
+  } catch (const codec::IntegrityError&) {
+    return 0;  // bad magic, bad length, or checksum mismatch
+  }
+
+  // Accepted frames are canonical: encode(decode(x)) == x, and the payload
+  // accounts for every byte beyond the fixed overhead.
+  FUZZ_CHECK(payload.size() == input.size() - codec::kFrameOverhead);
+  FUZZ_CHECK(codec::encode_frame(payload) == input);
+  return 0;
+}

@@ -75,6 +75,8 @@ std::string VisualClient::to_json(const ViewResult& result, std::size_t max_cell
   // map, degraded = complete but coarser than requested.
   if (result.stats.partial) out << ",\"partial\":true";
   if (result.stats.degraded) out << ",\"degraded\":true";
+  if (result.stats.corrupt_blocks > 0)
+    out << ",\"corrupt_blocks\":" << result.stats.corrupt_blocks;
   out << ",\"data\":[";
   const std::size_t n = std::min(max_cells, result.cells.size());
   for (std::size_t i = 0; i < n; ++i) {

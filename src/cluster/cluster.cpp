@@ -101,7 +101,29 @@ StashCluster::Counters::Counters(obs::MetricsRegistry& reg)
           "stash_cells_rewarmed_total",
           "Cells carried by anti-entropy re-warm payloads")),
       recoveries(reg.counter("stash_recoveries_total",
-                             "Anti-entropy recovery rounds started")) {}
+                             "Anti-entropy recovery rounds started")),
+      frame_integrity_failures(reg.counter(
+          "stash_frame_integrity_failures_total",
+          "Wire frames rejected by magic/length/checksum validation")),
+      messages_redelivered(reg.counter(
+          "stash_messages_redelivered_total",
+          "Corrupt frames NACKed and retransmitted from the sender")),
+      poison_messages(reg.counter(
+          "stash_poison_messages_total",
+          "Frames still corrupt after the redelivery budget (dropped)")),
+      corrupt_queries(reg.counter(
+          "stash_corrupt_queries_total",
+          "Queries flagged partial because a scanned block failed its "
+          "checksum")),
+      scrub_cycles(reg.counter("stash_scrub_cycles_total",
+                               "Background scrubber passes run")),
+      scrub_repairs(reg.counter(
+          "stash_scrub_repairs_total",
+          "Quarantined blocks rewritten from pristine data by the scrubber")),
+      replica_divergences(reg.counter(
+          "stash_replica_divergences_total",
+          "Cached chunks dropped and re-pulled after an anti-entropy digest "
+          "mismatch")) {}
 
 StashCluster::StashCluster(ClusterConfig config,
                            std::shared_ptr<const NamGenerator> generator)
@@ -128,6 +150,18 @@ StashCluster::StashCluster(ClusterConfig config,
           "Background maintenance task duration (simulated us)",
           obs::latency_buckets_us())) {
   if (!generator_) throw std::invalid_argument("StashCluster: null generator");
+  store_.set_verify_checksums(config_.verify_checksums);
+  // Validate scripted bit-rot targets eagerly: a bad partition key should
+  // fail construction, not throw from inside the event loop at fire time.
+  for (const auto& event : config_.fault_plan.bitrot) {
+    if (event.partition.size() !=
+        static_cast<std::size_t>(config_.partition_prefix_length))
+      throw std::invalid_argument(
+          "StashCluster: bit-rot partition key length != partition prefix");
+    if (!geohash::is_valid(event.partition))
+      throw std::invalid_argument(
+          "StashCluster: bit-rot partition is not a valid geohash");
+  }
   nodes_.reserve(config_.num_nodes);
   const sim::SimServer::Config server_config{
       config_.workers_per_node, config_.queue_limit, config_.admission_policy};
@@ -186,8 +220,45 @@ StashCluster::StashCluster(ClusterConfig config,
       }
     }
   });
+  fault_.set_bitrot_handler([this](const sim::BitRotEvent& event) {
+    store_.rot_block(BlockKey{event.partition, event.day});
+  });
   fault_.arm(loop_);
   membership_->start();
+  // Background scrubber: detect -> quarantine -> repair without waiting
+  // for a query to trip over the rot.  Background scheduling means an idle
+  // cluster still quiesces.
+  if (config_.scrub_interval > 0)
+    loop_.schedule_background(config_.scrub_interval,
+                              [this] { scrub_tick(/*reschedule=*/true); });
+}
+
+void StashCluster::rot_block(const std::string& partition, std::int64_t day) {
+  store_.rot_block(BlockKey{partition, day});
+}
+
+void StashCluster::scrub_now() { scrub_tick(/*reschedule=*/false); }
+
+void StashCluster::scrub_tick(bool reschedule) {
+  counters_.scrub_cycles.inc();
+  // Storage pass: verify the block table, then rewrite every quarantined
+  // block from pristine data.  (The store is generative, so a repair is an
+  // exact rewrite — no replica round-trip to model for durable blocks.)
+  store_.scrub();
+  for (const BlockKey& block : store_.quarantine_list())
+    if (store_.repair_block(block)) counters_.scrub_repairs.inc();
+  // Cache pass: walk one node's chunk digests per tick (round-robin)
+  // against its ring successors over the anti-entropy path.  A cached
+  // replica whose digest disagrees with its peers' is dropped and
+  // re-pulled there, not trusted.
+  if (config_.num_nodes > 0) {
+    const NodeId id = scrub_cursor_ % config_.num_nodes;
+    scrub_cursor_ = (scrub_cursor_ + 1) % config_.num_nodes;
+    if (fault_.alive(id)) start_recovery(id);
+  }
+  if (reschedule && config_.scrub_interval > 0)
+    loop_.schedule_background(config_.scrub_interval,
+                              [this] { scrub_tick(/*reschedule=*/true); });
 }
 
 void StashCluster::register_callback_metrics() {
@@ -330,6 +401,46 @@ void StashCluster::register_callback_metrics() {
                        return static_cast<double>(
                            fault_.stats().partitions_observed);
                      });
+  // Integrity counters read straight from the store and fault-injection
+  // stats at snapshot time (same pattern as the membership counters).
+  registry_.callback("stash_integrity_checksum_failures_total",
+                     "Storage scans that hit a block failing its checksum",
+                     MetricKind::Counter, [this] {
+                       return static_cast<double>(
+                           store_.integrity().checksum_failures);
+                     });
+  registry_.callback("stash_blocks_quarantined_total",
+                     "Distinct storage blocks quarantined after failing "
+                     "verification",
+                     MetricKind::Counter, [this] {
+                       return static_cast<double>(
+                           store_.integrity().blocks_quarantined);
+                     });
+  registry_.callback("stash_blocks_repaired_total",
+                     "Quarantined or rotted blocks rewritten from pristine "
+                     "data",
+                     MetricKind::Counter, [this] {
+                       return static_cast<double>(
+                           store_.integrity().blocks_repaired);
+                     });
+  registry_.callback("stash_bitrot_injected_total",
+                     "Storage bit-rot events fired by the fault plan",
+                     MetricKind::Counter, [this] {
+                       return static_cast<double>(
+                           fault_.stats().bitrot_injected);
+                     });
+  registry_.callback("stash_messages_corrupted_total",
+                     "In-flight messages bit-flipped by fault injection",
+                     MetricKind::Counter, [this] {
+                       return static_cast<double>(
+                           fault_.stats().messages_corrupted);
+                     });
+  registry_.callback("stash_messages_truncated_total",
+                     "In-flight messages torn short by fault injection",
+                     MetricKind::Counter, [this] {
+                       return static_cast<double>(
+                           fault_.stats().messages_truncated);
+                     });
 }
 
 ClusterMetrics StashCluster::metrics() const {
@@ -368,6 +479,18 @@ ClusterMetrics StashCluster::metrics() const {
   m.chunks_rewarmed = counters_.chunks_rewarmed.value();
   m.cells_rewarmed = counters_.cells_rewarmed.value();
   m.recoveries = counters_.recoveries.value();
+  m.integrity_checksum_failures = store_.integrity().checksum_failures;
+  m.blocks_quarantined = store_.integrity().blocks_quarantined;
+  m.blocks_repaired = store_.integrity().blocks_repaired;
+  m.frame_integrity_failures = counters_.frame_integrity_failures.value();
+  m.messages_redelivered = counters_.messages_redelivered.value();
+  m.poison_messages = counters_.poison_messages.value();
+  m.messages_corrupted = fault_.stats().messages_corrupted;
+  m.messages_truncated = fault_.stats().messages_truncated;
+  m.corrupt_queries = counters_.corrupt_queries.value();
+  m.scrub_cycles = counters_.scrub_cycles.value();
+  m.scrub_repairs = counters_.scrub_repairs.value();
+  m.replica_divergences = counters_.replica_divergences.value();
   return m;
 }
 
@@ -419,7 +542,10 @@ std::vector<StashCluster::DigestEntry> StashCluster::recovery_digest(
             if (!covers(key.prefix_str())) return;
             if (!graph.chunk_complete(res, key)) return;
             if (!seen.insert({lvl, key}).second) return;
-            out.push_back({res, key, graph.plm().bitmap_hash(lvl, key)});
+            // Content-covering digest (PLM bitmap + Cell contents, both on
+            // the shared integrity checksum): a mismatch detects a rotted
+            // or diverged replica, not just different coverage.
+            out.push_back({res, key, graph.chunk_digest(res, key)});
           });
     }
   };
@@ -463,18 +589,25 @@ void StashCluster::start_recovery(NodeId id) {
       send_message(peer, id, bytes, [this, id, peer, digest] {
         counters_.digests_exchanged.inc();
         Node& local = *nodes_[id];
-        // Diff against the local PLM: pull only chunks this node does not
-        // hold at all.  (A locally partial chunk is left alone — absorb's
-        // idempotence guard would reject the overlapping days anyway.)
+        // Diff against the local graph's content digests.  Pull a chunk
+        // this node does not hold at all; when BOTH sides hold it complete
+        // but the digests disagree, the local copy diverged or rotted —
+        // quarantine it (drop) and re-pull, never trust it.  A locally
+        // partial chunk is left alone: absorb's idempotence guard would
+        // reject the overlapping days anyway.
         auto wanted = std::make_shared<
             std::vector<std::pair<Resolution, ChunkKey>>>();
         for (const auto& entry : *digest) {
           if (wanted->size() >= config_.recovery_max_chunks) break;
-          const int lvl = level_index(entry.res);
           const std::uint64_t local_hash =
-              local.graph.plm().bitmap_hash(lvl, entry.chunk);
-          if (local_hash == entry.hash) continue;  // identical coverage
-          if (local_hash != 0) continue;           // partial: skip
+              local.graph.chunk_digest(entry.res, entry.chunk);
+          if (local_hash == entry.hash) continue;  // same coverage + content
+          if (local_hash != 0) {
+            if (!local.graph.chunk_complete(entry.res, entry.chunk))
+              continue;  // partial: skip
+            local.graph.drop_chunk(entry.res, entry.chunk);
+            counters_.replica_divergences.inc();
+          }
           wanted->emplace_back(entry.res, entry.chunk);
         }
         if (wanted->empty()) return;
@@ -494,21 +627,32 @@ void StashCluster::start_recovery(NodeId id) {
           for (auto& c : chunk_payload(holder.guest_graph, rest))
             payload.push_back(std::move(c));
           if (payload.empty()) return;
-          codec::Buffer wire = codec::encode_replication_payload(payload);
-          const std::size_t wire_size = wire.size() + config_.request_bytes;
-          // Re-warm shipment rides the existing Replication payload path
-          // (same wire codec as hotspot handoff).
-          send_message(peer, id, wire_size, [this, id, wire = std::move(wire)] {
-            Node& rejoined = *nodes_[id];
-            std::uint64_t chunks = 0, cells = 0;
-            for (const auto& c : codec::decode_replication_payload(wire)) {
-              if (rejoined.graph.absorb(c, loop_.now()) == 0) continue;
-              ++chunks;
-              cells += c.cells.size();
-            }
-            counters_.chunks_rewarmed.inc(chunks);
-            counters_.cells_rewarmed.inc(cells);
-          });
+          codec::Buffer wire = codec::encode_replication_frame(payload);
+          // Re-warm shipment rides the checksummed Replication frame path
+          // (same wire format as hotspot handoff): a corrupted transfer is
+          // detected and redelivered instead of poisoning the rejoining
+          // node's cache.
+          send_frame(
+              peer, id, std::move(wire),
+              [this, id](codec::Buffer&& verified) {
+                Node& rejoined = *nodes_[id];
+                std::vector<ChunkContribution> contributions;
+                try {
+                  contributions = codec::decode_replication_payload(verified);
+                } catch (const std::exception&) {
+                  counters_.poison_messages.inc();
+                  return;
+                }
+                std::uint64_t chunks = 0, cells = 0;
+                for (const auto& c : contributions) {
+                  if (rejoined.graph.absorb(c, loop_.now()) == 0) continue;
+                  ++chunks;
+                  cells += c.cells.size();
+                }
+                counters_.chunks_rewarmed.inc(chunks);
+                counters_.cells_rewarmed.inc(cells);
+              },
+              /*background=*/false, config_.max_redeliveries);
         });
       });
     });
@@ -552,6 +696,52 @@ void StashCluster::send_message(std::uint32_t from, std::uint32_t to,
     loop_.schedule_background(delay, std::move(action));
   else
     loop_.schedule(delay, std::move(action));
+}
+
+void StashCluster::send_frame(
+    std::uint32_t from, std::uint32_t to, std::vector<std::uint8_t> frame,
+    std::function<void(std::vector<std::uint8_t>&&)> deliver, bool background,
+    int redeliveries_left) {
+  // Tamper dice roll at send time (the event loop guarantees a
+  // deterministic call order); the tamper mutates a wire copy so a NACKed
+  // frame can be retransmitted from the sender's pristine bytes.
+  const sim::Tamper tamper = fault_.should_tamper(from, to);
+  std::vector<std::uint8_t> wire = frame;
+  sim::apply_tamper(tamper, wire);
+  const std::size_t bytes = wire.size() + config_.request_bytes;
+  send_message(
+      from, to, bytes,
+      [this, from, to, frame = std::move(frame), wire = std::move(wire),
+       deliver = std::move(deliver), background,
+       redeliveries_left]() mutable {
+        codec::Buffer payload;
+        try {
+          payload = codec::decode_frame(wire);
+        } catch (const codec::IntegrityError&) {
+          counters_.frame_integrity_failures.inc();
+          if (redeliveries_left <= 0) {
+            // Poison message: still corrupt after the redelivery budget.
+            // Dropped and counted — never parsed, never crashes, never
+            // silently absorbed.
+            counters_.poison_messages.inc();
+            return;
+          }
+          counters_.messages_redelivered.inc();
+          // NACK back to the sender, which retransmits its pristine copy;
+          // the resend is a fresh physical message with fresh dice.
+          send_message(
+              to, from, kAckBytes,
+              [this, from, to, frame = std::move(frame),
+               deliver = std::move(deliver), background, redeliveries_left] {
+                send_frame(from, to, std::move(frame), std::move(deliver),
+                           background, redeliveries_left - 1);
+              },
+              background);
+          return;
+        }
+        deliver(std::move(payload));
+      },
+      background);
 }
 
 sim::SimTime StashCluster::service_time(const EvalBreakdown& b) const {
@@ -1213,6 +1403,13 @@ void StashCluster::deliver_response(std::uint64_t query_id, std::size_t idx,
   tracer_.end_span(query_id, sq.attempt_span, loop_.now());
   tracer_.tag(query_id, sq.span, "cells", std::to_string(eval.cells.size()));
   tracer_.tag(query_id, sq.span, "attempts", std::to_string(sq.attempts));
+  if (!eval.corrupt_blocks.empty()) {
+    // A scanned block failed its checksum: the day's records were withheld
+    // (never merged, never absorbed), so the answer has an honest hole.
+    pending.stats.corrupt_blocks += eval.corrupt_blocks.size();
+    tracer_.tag(query_id, sq.span, "corrupt_blocks",
+                std::to_string(eval.corrupt_blocks.size()));
+  }
   tracer_.end_span(query_id, sq.span, loop_.now());
   // Evidence of life closes the circuit breaker.
   absolve(sq.target);
@@ -1278,11 +1475,16 @@ void StashCluster::finalize_query(std::uint64_t query_id) {
   finished.stats.completed_at = loop_.now();
   if (!config_.discard_payload)
     finished.stats.result_cells = finished.cells.size();
-  if (finished.stats.failed_subqueries > 0 ||
-      finished.stats.deadline_subqueries > 0) {
+  if (finished.stats.corrupt_blocks > 0) {
+    // Corrupt days were withheld, never served wrong: the answer has holes
+    // and must say so.
     finished.stats.partial = true;
-    counters_.partial_queries.inc();
+    counters_.corrupt_queries.inc();
   }
+  if (finished.stats.failed_subqueries > 0 ||
+      finished.stats.deadline_subqueries > 0)
+    finished.stats.partial = true;
+  if (finished.stats.partial) counters_.partial_queries.inc();
   if (finished.stats.degraded_subqueries > 0) {
     finished.stats.degraded = true;
     counters_.degraded_queries.inc();
@@ -1298,6 +1500,9 @@ void StashCluster::finalize_query(std::uint64_t query_id) {
     tracer_.tag(query_id, finished.root_span, "partial", "true");
   if (finished.stats.degraded)
     tracer_.tag(query_id, finished.root_span, "degraded", "true");
+  if (finished.stats.corrupt_blocks > 0)
+    tracer_.tag(query_id, finished.root_span, "corrupt_blocks",
+                std::to_string(finished.stats.corrupt_blocks));
   tracer_.end_span(query_id, finished.root_span, loop_.now());
   if (finished.done) finished.done(finished.stats);
   if (finished.done_rich)
@@ -1422,16 +1627,27 @@ void StashCluster::send_distress(NodeId hot_id, Clique clique, int attempt) {
               const auto payload = clique_payload(hot_node.graph, clique);
               std::size_t cells = 0;
               for (const auto& c : payload) cells += c.cells.size();
-              codec::Buffer wire = codec::encode_replication_payload(payload);
-              const std::size_t bytes = wire.size() + config_.request_bytes;
-              // Replication Request: hot -> helper.
-              send_message(
-                  hot_id, target, bytes,
-                  [this, hot_id, target, clique = std::move(clique),
-                   wire = std::move(wire), cells, settled, settle]() mutable {
+              codec::Buffer wire = codec::encode_replication_frame(payload);
+              // Replication Request: hot -> helper, inside a checksummed
+              // frame — a bit-flip or tear en route is detected and
+              // redelivered, never absorbed into the guest graph.
+              send_frame(
+                  hot_id, target, std::move(wire),
+                  [this, hot_id, target, clique = std::move(clique), cells,
+                   settled, settle](codec::Buffer&& bytes) mutable {
                     Node& helper_node = *nodes_[target];
-                    for (const auto& contribution :
-                         codec::decode_replication_payload(wire))
+                    std::vector<ChunkContribution> contributions;
+                    try {
+                      contributions =
+                          codec::decode_replication_payload(bytes);
+                    } catch (const std::exception&) {
+                      // Checksum-valid but structurally bad: a sender-side
+                      // encoding bug, not line noise.  Quarantine (drop),
+                      // never absorb garbage.
+                      counters_.poison_messages.inc();
+                      return;
+                    }
+                    for (const auto& contribution : contributions)
                       helper_node.guest_graph.absorb(contribution, loop_.now());
                     counters_.cliques_replicated.inc();
                     counters_.cells_replicated.inc(cells);
@@ -1448,7 +1664,8 @@ void StashCluster::send_distress(NodeId hot_id, Clique clique, int attempt) {
                             hot_after.routing.add(member.res, member.chunk,
                                                   target, loop_.now());
                         });
-                  });
+                  },
+                  /*background=*/false, config_.max_redeliveries);
             });
       });
 }

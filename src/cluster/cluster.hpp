@@ -151,6 +151,24 @@ struct ClusterConfig {
   /// instead of retrying against a node that just said "too busy".
   bool degraded_answers = true;
 
+  // --- end-to-end data integrity ---
+  /// Verify per-block checksums on every storage scan.  A rotted block is
+  /// detected, quarantined, and its records withheld (the query completes
+  /// as an honest partial); off serves silently-wrong records — only for
+  /// demonstrating the baseline checksums exist to prevent.
+  bool verify_checksums = true;
+  /// Background scrubber period (0 = off).  Each tick verifies the block
+  /// table, repairs quarantined blocks from pristine data, and walks one
+  /// node's chunk digests against its ring successors over the
+  /// anti-entropy path (diverged or rotted cached replicas are dropped and
+  /// re-pulled).
+  sim::SimTime scrub_interval = 0;
+  /// Redelivery budget for a wire frame that fails integrity checks at the
+  /// receiver.  Each redelivery is a fresh transmission (fresh corruption
+  /// dice); a frame still corrupt after the budget is a poison message and
+  /// is dropped (counted, never parsed).
+  int max_redeliveries = 2;
+
   // --- observability ---
   /// Record a TraceSpan tree for every query (obs/trace.hpp).  Spans carry
   /// virtual timestamps, so tracing never perturbs simulated latency; turn
@@ -200,10 +218,15 @@ struct QueryStats {
   /// Subqueries still in flight when the query deadline fired: their
   /// partitions are missing from the result.
   std::size_t deadline_subqueries = 0;
+  /// Storage blocks that failed checksum verification while serving this
+  /// query.  Their days are withheld from the result (never wrong, just
+  /// absent) and the query is flagged partial; the scrubber repairs them.
+  std::size_t corrupt_blocks = 0;
   /// Degraded-but-correct answer: every returned Cell is exact, but one or
   /// more partitions were unreachable and are absent (§VII posture: cached
   /// state is volatile, storage is the truth; never hang, never corrupt).
-  /// partial == (failed_subqueries + deadline_subqueries > 0).
+  /// partial == (failed_subqueries + deadline_subqueries + corrupt_blocks
+  /// > 0).
   bool partial = false;
   /// At least one partition was served coarser than requested.  A degraded
   /// query is complete (no holes) but not exact — distinct from partial.
@@ -262,6 +285,19 @@ struct ClusterMetrics {
   std::uint64_t chunks_rewarmed = 0;      // complete chunks pulled back
   std::uint64_t cells_rewarmed = 0;       // cells carried by those chunks
   std::uint64_t recoveries = 0;           // anti-entropy rounds started
+  // --- data integrity ---
+  std::uint64_t integrity_checksum_failures = 0;  // storage scans hitting rot
+  std::uint64_t blocks_quarantined = 0;     // distinct blocks quarantined
+  std::uint64_t blocks_repaired = 0;        // quarantined blocks rewritten
+  std::uint64_t frame_integrity_failures = 0;  // wire frames rejected
+  std::uint64_t messages_redelivered = 0;   // corrupt frames retransmitted
+  std::uint64_t poison_messages = 0;        // frames dropped after the budget
+  std::uint64_t messages_corrupted = 0;     // link bit-flips injected
+  std::uint64_t messages_truncated = 0;     // link truncations injected
+  std::uint64_t corrupt_queries = 0;        // queries flagged by corrupt blocks
+  std::uint64_t scrub_cycles = 0;           // scrubber ticks run
+  std::uint64_t scrub_repairs = 0;          // blocks repaired by the scrubber
+  std::uint64_t replica_divergences = 0;    // cached chunks dropped + re-pulled
 };
 
 class StashCluster {
@@ -372,6 +408,17 @@ class StashCluster {
   /// automatically on restart and partition heal when config.recovery.
   void recover_node(NodeId id);
 
+  // --- data integrity ---
+  /// The shared durable block store (integrity introspection: quarantine
+  /// list, checksum-failure counters).
+  [[nodiscard]] const GalileoStore& store() const noexcept { return store_; }
+  /// Injects bit-rot into one storage block immediately (outside any
+  /// scripted plan) — the storage analogue of crash_node().
+  void rot_block(const std::string& partition, std::int64_t day);
+  /// Runs one scrubber pass right now (verify + repair + one anti-entropy
+  /// walk), regardless of config.scrub_interval.
+  void scrub_now();
+
  private:
   struct Node {
     NodeId id;
@@ -460,6 +507,13 @@ class StashCluster {
     obs::Counter& chunks_rewarmed;
     obs::Counter& cells_rewarmed;
     obs::Counter& recoveries;
+    obs::Counter& frame_integrity_failures;
+    obs::Counter& messages_redelivered;
+    obs::Counter& poison_messages;
+    obs::Counter& corrupt_queries;
+    obs::Counter& scrub_cycles;
+    obs::Counter& scrub_repairs;
+    obs::Counter& replica_divergences;
   };
 
   /// One entry of an anti-entropy digest: "I hold (res, chunk) complete,
@@ -519,6 +573,20 @@ class StashCluster {
   /// the loop's run-to-quiescence alive.
   void send_message(std::uint32_t from, std::uint32_t to, std::size_t bytes,
                     std::function<void()> deliver, bool background = false);
+  /// Sends a checksummed frame over the (faulty, now also corrupting)
+  /// network.  The fault injector may flip a bit or tear the wire copy;
+  /// the receiver validates the frame and hands `deliver` the verified
+  /// payload bytes.  A frame failing validation is NACKed back and
+  /// retransmitted from the sender's pristine copy up to
+  /// `redeliveries_left` times; after that it is a poison message —
+  /// counted and dropped, never parsed, never crashing the receiver.
+  void send_frame(std::uint32_t from, std::uint32_t to,
+                  std::vector<std::uint8_t> frame,
+                  std::function<void(std::vector<std::uint8_t>&&)> deliver,
+                  bool background, int redeliveries_left);
+  /// One scrubber pass: storage verify + repair, then one round-robin
+  /// anti-entropy digest walk.  Self-reschedules when scrub_interval > 0.
+  void scrub_tick(bool reschedule);
   /// One anti-entropy round: drops unusable routing entries, then digest
   /// exchange + chunk pull against replica-holding ring successors.
   void start_recovery(NodeId id);
@@ -565,6 +633,8 @@ class StashCluster {
   /// injector rolled its drop dice exactly once for each.
   std::uint64_t messages_sent_ = 0;
   Rng frontend_rng_;  // retry jitter only: node Rngs stay untouched
+  /// Next node the scrubber's anti-entropy walk visits (round-robin).
+  std::uint32_t scrub_cursor_ = 0;
   std::uint64_t next_query_id_ = 0;
   obs::MetricsRegistry registry_;
   obs::Tracer tracer_;

@@ -1,0 +1,134 @@
+// Fast 64-bit content checksum for end-to-end data integrity.
+//
+// STASH moves aggregates through a long pipeline — Galileo block scan,
+// §V-B roll-up, replication transfer, front-end merge — and a single
+// flipped bit anywhere in it silently poisons every view rendered from the
+// result.  This xxhash-style checksum is the one primitive every layer
+// verifies with: the wire codec appends it as a mandatory frame footer
+// (codec::encode_frame), GalileoStore keeps one per block, and the PLM
+// bitmap digests of the anti-entropy path are built on it so a digest
+// mismatch detects corruption as well as divergence.
+//
+// Not cryptographic: it defends against bit-rot and torn writes, not an
+// adversary.  Fully constexpr so test vectors are compile-time checked.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace stash {
+
+/// Default seed; domain-separates STASH checksums from other xxh-style uses.
+inline constexpr std::uint64_t kChecksumSeed = 0x5354415348ULL;  // "STASH"
+
+namespace detail {
+
+// XXH64's prime constants — the mixing schedule below follows the same
+// multiply/rotate/xor-shift recipe on a single accumulator lane.
+inline constexpr std::uint64_t kPrime1 = 0x9e3779b185ebca87ULL;
+inline constexpr std::uint64_t kPrime2 = 0xc2b2ae3d27d4eb4fULL;
+inline constexpr std::uint64_t kPrime3 = 0x165667b19e3779f9ULL;
+inline constexpr std::uint64_t kPrime4 = 0x27d4eb2f165667c5ULL;
+inline constexpr std::uint64_t kPrime5 = 0x60ea27eeadc0b5d6ULL;
+
+[[nodiscard]] constexpr std::uint64_t rotl64(std::uint64_t x, int r) noexcept {
+  return (x << r) | (x >> (64 - r));
+}
+
+[[nodiscard]] constexpr std::uint64_t round64(std::uint64_t acc,
+                                              std::uint64_t word) noexcept {
+  acc += word * kPrime2;
+  acc = rotl64(acc, 31);
+  return acc * kPrime1;
+}
+
+[[nodiscard]] constexpr std::uint64_t avalanche64(std::uint64_t x) noexcept {
+  x ^= x >> 33;
+  x *= kPrime2;
+  x ^= x >> 29;
+  x *= kPrime3;
+  x ^= x >> 32;
+  return x;
+}
+
+}  // namespace detail
+
+/// Streaming checksum over a sequence of 64-bit words.  The PLM digest and
+/// the graph's chunk digests feed pre-hashed words through this, so their
+/// mixing schedule is the very checksum the frame footer uses.
+class Checksum64 {
+ public:
+  constexpr explicit Checksum64(std::uint64_t seed = kChecksumSeed) noexcept
+      : acc_(seed + detail::kPrime5) {}
+
+  constexpr Checksum64& mix(std::uint64_t word) noexcept {
+    acc_ = detail::round64(acc_, word);
+    ++words_;
+    return *this;
+  }
+
+  [[nodiscard]] constexpr std::uint64_t digest() const noexcept {
+    return detail::avalanche64(acc_ ^ (words_ * detail::kPrime4));
+  }
+
+ private:
+  std::uint64_t acc_;
+  std::uint64_t words_ = 0;
+};
+
+/// One-shot checksum over a byte buffer: 8-byte little-endian words through
+/// the round function, tail bytes folded in individually, length mixed into
+/// the finalizer (so "ab" + "c" never collides with "a" + "bc").
+[[nodiscard]] constexpr std::uint64_t checksum64(
+    const std::uint8_t* data, std::size_t size,
+    std::uint64_t seed = kChecksumSeed) noexcept {
+  std::uint64_t acc = seed + detail::kPrime5;
+  std::size_t i = 0;
+  for (; i + 8 <= size; i += 8) {
+    std::uint64_t word = 0;
+    for (int b = 0; b < 8; ++b)
+      word |= static_cast<std::uint64_t>(data[i + static_cast<std::size_t>(b)])
+              << (8 * b);
+    acc = detail::round64(acc, word);
+  }
+  for (; i < size; ++i) {
+    acc ^= static_cast<std::uint64_t>(data[i]) * detail::kPrime5;
+    acc = detail::rotl64(acc, 11) * detail::kPrime1;
+  }
+  return detail::avalanche64(acc ^ (static_cast<std::uint64_t>(size) *
+                                    detail::kPrime4));
+}
+
+[[nodiscard]] constexpr std::uint64_t checksum64(
+    std::string_view bytes, std::uint64_t seed = kChecksumSeed) noexcept {
+  // Can't reinterpret_cast in constexpr: re-run the byte loop over chars.
+  std::uint64_t acc = seed + detail::kPrime5;
+  std::size_t i = 0;
+  const std::size_t size = bytes.size();
+  for (; i + 8 <= size; i += 8) {
+    std::uint64_t word = 0;
+    for (int b = 0; b < 8; ++b)
+      word |= static_cast<std::uint64_t>(static_cast<unsigned char>(
+                  bytes[i + static_cast<std::size_t>(b)]))
+              << (8 * b);
+    acc = detail::round64(acc, word);
+  }
+  for (; i < size; ++i) {
+    acc ^= static_cast<std::uint64_t>(static_cast<unsigned char>(bytes[i])) *
+           detail::kPrime5;
+    acc = detail::rotl64(acc, 11) * detail::kPrime1;
+  }
+  return detail::avalanche64(acc ^ (static_cast<std::uint64_t>(size) *
+                                    detail::kPrime4));
+}
+
+// Compile-time sanity: empty input is seed-dependent, bytes and words mix.
+static_assert(checksum64("") != checksum64("", kChecksumSeed + 1));
+static_assert(checksum64("stash") != checksum64("stasi"));
+static_assert(checksum64("abc") != checksum64("ab"));
+static_assert(Checksum64().mix(1).digest() != Checksum64().mix(2).digest());
+static_assert(Checksum64().mix(1).digest() !=
+              Checksum64().mix(1).mix(0).digest());
+
+}  // namespace stash

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cstring>
+#include <limits>
 #include <stdexcept>
+
+#include "common/checksum.hpp"
 
 namespace stash::codec {
 namespace {
@@ -190,6 +193,45 @@ std::vector<ChunkContribution> decode_replication_payload(const Buffer& buffer) 
     payload.push_back(decode_chunk_contribution(in));
   if (!in.done()) throw std::out_of_range("codec: trailing bytes");
   return payload;
+}
+
+Buffer encode_frame(const Buffer& payload) {
+  if (payload.size() > std::numeric_limits<std::uint32_t>::max())
+    throw std::invalid_argument("codec::encode_frame: payload too large");
+  Buffer out;
+  out.reserve(payload.size() + kFrameOverhead);
+  put_u32(out, kFrameMagic);
+  put_u32(out, static_cast<std::uint32_t>(payload.size()));
+  out.insert(out.end(), payload.begin(), payload.end());
+  put_u64(out, checksum64(payload.data(), payload.size()));
+  return out;
+}
+
+Buffer decode_frame(const Buffer& frame) {
+  if (frame.size() < kFrameOverhead)
+    throw IntegrityError("frame shorter than its fixed overhead");
+  Reader in(frame);
+  if (in.u32() != kFrameMagic) throw IntegrityError("bad frame magic");
+  const std::uint32_t declared = in.u32();
+  // Length check BEFORE any allocation: the declared payload length must
+  // equal exactly the bytes between the header and the 8-byte footer.  A
+  // frame claiming more than it carries (torn/truncated) or less (trailing
+  // garbage) is rejected without reserving a single byte for it.
+  if (declared != frame.size() - kFrameOverhead)
+    throw IntegrityError("declared payload length disagrees with frame size");
+  const std::uint8_t* payload = frame.data() + 8;
+  const std::uint64_t expected = checksum64(payload, declared);
+  Reader footer(frame.data() + 8 + declared, 8);
+  if (footer.u64() != expected) throw IntegrityError("checksum mismatch");
+  return Buffer(payload, payload + declared);
+}
+
+Buffer encode_replication_frame(const std::vector<ChunkContribution>& payload) {
+  return encode_frame(encode_replication_payload(payload));
+}
+
+std::vector<ChunkContribution> decode_replication_frame(const Buffer& frame) {
+  return decode_replication_payload(decode_frame(frame));
 }
 
 std::size_t encoded_size(const ChunkContribution& contribution) {

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -18,6 +19,16 @@
 namespace stash::codec {
 
 using Buffer = std::vector<std::uint8_t>;
+
+/// A frame failed its integrity checks: bad magic, declared length
+/// disagreeing with the bytes on hand, or a checksum-footer mismatch.
+/// Typed so receivers can distinguish "corrupted in flight / at rest"
+/// (recoverable: re-request, quarantine) from a programming error.
+class IntegrityError : public std::runtime_error {
+ public:
+  explicit IntegrityError(const std::string& what)
+      : std::runtime_error("codec::IntegrityError: " + what) {}
+};
 
 // --- primitives ---
 void put_varint(Buffer& out, std::uint64_t value);
@@ -64,6 +75,34 @@ void encode(Buffer& out, const ChunkContribution& contribution);
     const std::vector<ChunkContribution>& payload);
 [[nodiscard]] std::vector<ChunkContribution> decode_replication_payload(
     const Buffer& buffer);
+
+// --- checksummed framing ---
+// Every payload that actually crosses the wire travels inside a frame:
+//
+//   [magic u32] [payload_len u32] [payload bytes] [checksum64 u64]
+//
+// The checksum covers the payload bytes only; magic and length are
+// validated structurally (any single flipped bit in the frame is caught by
+// one of the three checks).  decode_frame rejects a declared length that
+// disagrees with the bytes on hand BEFORE allocating anything, so a short
+// hostile buffer can never demand memory it did not pay for.
+
+inline constexpr std::uint32_t kFrameMagic = 0x31465453u;  // "STF1" on the wire
+/// Bytes a frame adds around its payload: magic + length + checksum footer.
+inline constexpr std::size_t kFrameOverhead = 4 + 4 + 8;
+
+[[nodiscard]] Buffer encode_frame(const Buffer& payload);
+/// Validates magic, length, and checksum; returns the payload bytes.
+/// Throws IntegrityError on any mismatch — never crashes, never silently
+/// accepts.
+[[nodiscard]] Buffer decode_frame(const Buffer& frame);
+
+/// Replication payload inside a checksummed frame — what the cluster's
+/// replication and anti-entropy transfers actually ship.
+[[nodiscard]] Buffer encode_replication_frame(
+    const std::vector<ChunkContribution>& payload);
+[[nodiscard]] std::vector<ChunkContribution> decode_replication_frame(
+    const Buffer& frame);
 
 /// Encoded size without materialising the buffer (cheap cost accounting).
 [[nodiscard]] std::size_t encoded_size(const ChunkContribution& contribution);

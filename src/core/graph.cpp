@@ -1,8 +1,10 @@
 #include "core/graph.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <stdexcept>
 
+#include "common/checksum.hpp"
 #include "core/audit.hpp"
 
 namespace stash {
@@ -180,6 +182,43 @@ std::size_t StashGraph::total_chunks() const noexcept {
   std::size_t total = 0;
   for (const auto& level : levels_) total += level.size();
   return total;
+}
+
+std::uint64_t StashGraph::chunk_digest(const Resolution& res,
+                                       const ChunkKey& chunk) const {
+  const int lvl = level_index(res);
+  const std::uint64_t coverage = plm_.bitmap_hash(lvl, chunk);
+  if (coverage == 0) return 0;  // unknown chunk, matching the PLM convention
+  // Cells live in an unordered_map whose iteration order differs between
+  // instances, so per-cell digests are combined by wrapping addition — an
+  // order-independent fold — before the final mix.
+  std::uint64_t cells = 0;
+  if (const ChunkData* data = find_chunk(res, chunk)) {
+    for (const auto& [key, summary] : data->cells) {
+      Checksum64 cell;
+      cell.mix(key.spatial).mix(key.temporal);
+      for (const auto& attr : summary.attributes()) {
+        cell.mix(attr.count);
+        cell.mix(std::bit_cast<std::uint64_t>(attr.min));
+        cell.mix(std::bit_cast<std::uint64_t>(attr.max));
+        cell.mix(std::bit_cast<std::uint64_t>(attr.sum));
+        cell.mix(std::bit_cast<std::uint64_t>(attr.sum_sq));
+      }
+      cells += cell.digest();
+    }
+  }
+  const std::uint64_t h = Checksum64().mix(coverage).mix(cells).digest();
+  return h == 0 ? 1 : h;
+}
+
+std::size_t StashGraph::drop_chunk(const Resolution& res,
+                                   const ChunkKey& chunk) {
+  const ChunkData* data = find_chunk(res, chunk);
+  const std::size_t cells = data == nullptr ? 0 : data->cells.size();
+  if (data == nullptr && !plm_.is_known(level_index(res), chunk)) return 0;
+  erase_chunk(level_index(res), chunk);
+  self_audit("drop_chunk");
+  return cells;
 }
 
 void StashGraph::erase_chunk(int level_idx, const ChunkKey& chunk) {

@@ -83,6 +83,22 @@ class StashGraph {
                                             const ChunkKey& chunk) const;
   [[nodiscard]] const Summary* find_cell(const CellKey& key) const;
 
+  // --- integrity ---
+  /// Content-covering digest of one chunk: the PLM bitmap digest mixed with
+  /// an order-independent checksum of every resident Cell (key + summary
+  /// values), all on the shared integrity checksum (common/checksum.hpp).
+  /// 0 for an unknown chunk (matching PrecisionLevelMap::bitmap_hash).
+  /// This is the anti-entropy comparison unit: two replicas with identical
+  /// coverage but diverged or rotted content hash differently, so a digest
+  /// mismatch means "re-pull", never "trust the bitmap".
+  [[nodiscard]] std::uint64_t chunk_digest(const Resolution& res,
+                                           const ChunkKey& chunk) const;
+
+  /// Drops one resident chunk entirely (Cells + PLM entry) — the
+  /// quarantine action for a replica whose digest proves it diverged or
+  /// rotted.  Returns the number of Cells dropped.
+  std::size_t drop_chunk(const Resolution& res, const ChunkKey& chunk);
+
   // --- writes ---
   /// Ingests a contribution: merges its Cells and marks its days in the
   /// PLM.  Days already contributed are rejected (idempotence guard) —

@@ -2,7 +2,7 @@
 
 #include <stdexcept>
 
-#include "common/hash.hpp"
+#include "common/checksum.hpp"
 
 namespace stash {
 namespace {
@@ -109,17 +109,21 @@ std::uint64_t PrecisionLevelMap::bitmap_hash(int lvl,
   const auto it = map.find(chunk);
   if (it == map.end()) return 0;
   const DynamicBitset& bits = it->second;
-  std::uint64_t h = 0x504c4d44ULL;  // "PLMD"
-  hash_combine(h, bits.size());
+  // Built on the shared integrity checksum (common/checksum.hpp) so an
+  // anti-entropy digest mismatch detects rotted content as well as
+  // divergent coverage — the same primitive the frame footer verifies.
+  Checksum64 sum(0x504c4d44ULL);  // "PLMD" domain separation
+  sum.mix(bits.size());
   std::uint64_t word = 0;
   for (std::size_t i = 0; i < bits.size(); ++i) {
     if (bits.test(i)) word |= 1ULL << (i & 63);
     if ((i & 63) == 63) {
-      hash_combine(h, word);
+      sum.mix(word);
       word = 0;
     }
   }
-  if (bits.size() % 64 != 0) hash_combine(h, word);
+  if (bits.size() % 64 != 0) sum.mix(word);
+  const std::uint64_t h = sum.digest();
   return h == 0 ? 1 : h;  // 0 is reserved for "unknown"
 }
 

@@ -166,7 +166,6 @@ Evaluation QueryEngine::evaluate_partition(std::string_view partition,
       ChunkContribution contribution;
       contribution.res = query.res;
       contribution.chunk = chunk;
-      contribution.days = days;
       CellSummaryMap scanned;
       const BoundingBox chunk_box = chunk.bounds();
       days_scanned.insert(days.begin(), days.end());
@@ -178,6 +177,17 @@ Evaluation QueryEngine::evaluate_partition(std::string_view partition,
         ScanResult part =
             store_.scan_partition(partition, chunk_box, scan_range, query.res);
         eval.breakdown.scan += part.stats;
+        if (!part.corrupt_blocks.empty()) {
+          // A block of this day failed verification: withhold the whole day
+          // — from the response AND from the contribution, so the PLM never
+          // marks a corrupt day complete — and surface the blocks so the
+          // caller can flag the answer and schedule repair.
+          eval.corrupt_blocks.insert(eval.corrupt_blocks.end(),
+                                     part.corrupt_blocks.begin(),
+                                     part.corrupt_blocks.end());
+          continue;
+        }
+        contribution.days.push_back(day);
         for (auto& [key, summary] : part.cells) {
           auto [it, inserted] = scanned.try_emplace(key, std::move(summary));
           if (!inserted) it->second.merge(summary);
@@ -279,6 +289,8 @@ Evaluation QueryEngine::evaluate(const AggregationQuery& query,
               std::back_inserter(total.fetched));
     std::move(part.touched_chunks.begin(), part.touched_chunks.end(),
               std::back_inserter(total.touched_chunks));
+    std::move(part.corrupt_blocks.begin(), part.corrupt_blocks.end(),
+              std::back_inserter(total.corrupt_blocks));
   }
   return total;
 }

@@ -51,6 +51,11 @@ struct Evaluation {
   EvalBreakdown breakdown;
   std::vector<ChunkContribution> fetched;  // for the maintenance pass
   std::vector<ChunkKey> touched_chunks;    // freshness region of this query
+  /// Blocks that failed checksum verification during the disk path.  Their
+  /// days are withheld from the response AND from `fetched` (so the PLM
+  /// never marks them complete); the caller must flag the answer partial
+  /// and schedule repair.
+  std::vector<BlockKey> corrupt_blocks;
 };
 
 /// A coarse answer assembled from a cached ancestor level when the exact

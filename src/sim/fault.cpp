@@ -16,6 +16,24 @@ int rule_rank(const LinkRule& rule) noexcept {
 
 }  // namespace
 
+void apply_tamper(const Tamper& tamper, std::vector<std::uint8_t>& bytes) {
+  if (tamper.none() || bytes.empty()) return;
+  switch (tamper.kind) {
+    case Tamper::Kind::kBitFlip: {
+      const std::uint64_t bit = tamper.salt % (bytes.size() * 8);
+      bytes[static_cast<std::size_t>(bit / 8)] ^=
+          static_cast<std::uint8_t>(1u << (bit % 8));
+      break;
+    }
+    case Tamper::Kind::kTruncate:
+      // Tear to a strict prefix: salt picks [0, size-1] surviving bytes.
+      bytes.resize(static_cast<std::size_t>(tamper.salt % bytes.size()));
+      break;
+    case Tamper::Kind::kNone:
+      break;
+  }
+}
+
 FaultInjector::FaultInjector(FaultPlan plan, std::uint32_t num_nodes)
     : plan_(std::move(plan)), up_(num_nodes, 1), rng_(plan_.seed) {
   for (const auto& crash : plan_.crashes) {
@@ -31,6 +49,18 @@ FaultInjector::FaultInjector(FaultPlan plan, std::uint32_t num_nodes)
       throw std::invalid_argument("FaultPlan: drop probability outside [0,1]");
     if (rule.extra_latency < 0)
       throw std::invalid_argument("FaultPlan: negative extra latency");
+    if (rule.corrupt_probability < 0.0 || rule.corrupt_probability > 1.0)
+      throw std::invalid_argument(
+          "FaultPlan: corrupt probability outside [0,1]");
+    if (rule.truncate_probability < 0.0 || rule.truncate_probability > 1.0)
+      throw std::invalid_argument(
+          "FaultPlan: truncate probability outside [0,1]");
+  }
+  for (const auto& event : plan_.bitrot) {
+    if (event.partition.empty())
+      throw std::invalid_argument("FaultPlan: bit-rot needs a partition key");
+    if (event.at < 0)
+      throw std::invalid_argument("FaultPlan: bit-rot time must be >= 0");
   }
   std::stable_sort(plan_.links.begin(), plan_.links.end(),
                    [](const LinkRule& a, const LinkRule& b) {
@@ -83,6 +113,12 @@ void FaultInjector::arm(EventLoop& loop) {
         ++stats_.partitions_healed;
         if (on_heal_) on_heal_(plan_.partitions[i]);
       });
+  }
+  for (std::size_t i = 0; i < plan_.bitrot.size(); ++i) {
+    loop.schedule_at(plan_.bitrot[i].at, [this, i] {
+      ++stats_.bitrot_injected;
+      if (on_bitrot_) on_bitrot_(plan_.bitrot[i]);
+    });
   }
 }
 
@@ -145,6 +181,30 @@ bool FaultInjector::should_drop(std::uint32_t from, std::uint32_t to) {
     return true;
   }
   return false;
+}
+
+Tamper FaultInjector::should_tamper(std::uint32_t from, std::uint32_t to) {
+  const LinkRule* rule = match(from, to);
+  // Draw no dice unless the rule actually tampers: legacy plans (and rules
+  // that only drop/delay) must leave the seeded stream bit-identical.
+  if (rule == nullptr ||
+      (rule->corrupt_probability <= 0.0 && rule->truncate_probability <= 0.0))
+    return {};
+  Tamper tamper;
+  if (rule->corrupt_probability > 0.0 &&
+      rng_.bernoulli(rule->corrupt_probability)) {
+    tamper.kind = Tamper::Kind::kBitFlip;
+    tamper.salt = rng_.next_u64();
+    ++stats_.messages_corrupted;
+    return tamper;
+  }
+  if (rule->truncate_probability > 0.0 &&
+      rng_.bernoulli(rule->truncate_probability)) {
+    tamper.kind = Tamper::Kind::kTruncate;
+    tamper.salt = rng_.next_u64();
+    ++stats_.messages_truncated;
+  }
+  return tamper;
 }
 
 SimTime FaultInjector::extra_latency(std::uint32_t from, std::uint32_t to) {

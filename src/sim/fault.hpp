@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -44,13 +45,44 @@ struct CrashEvent {
 /// full wildcards), so a plan may list rules in any order and a specific
 /// link override always beats a blanket rule.
 /// A message is dropped with `drop_probability`; surviving messages gain
-/// `extra_latency` (gray failure: slow, not dead).
+/// `extra_latency` (gray failure: slow, not dead).  Surviving messages are
+/// additionally bit-flipped with `corrupt_probability` or torn short with
+/// `truncate_probability` — payload corruption the receiver must detect by
+/// checksum, not by luck (both are rolled by should_tamper()).
 struct LinkRule {
   std::uint32_t from = kAnyNode;
   std::uint32_t to = kAnyNode;
   double drop_probability = 0.0;
   SimTime extra_latency = 0;
+  double corrupt_probability = 0.0;   // flip one random payload bit
+  double truncate_probability = 0.0;  // tear the payload short
 };
+
+/// Scripted storage bit-rot: at `at`, the named block's on-disk bytes stop
+/// matching its checksum.  The owner's handler forwards this to the
+/// GalileoStore (rot_block); scans then detect-and-quarantine it and the
+/// scrubber repairs it.
+struct BitRotEvent {
+  std::string partition;  // geohash prefix (block partition key)
+  std::int64_t day = 0;   // epoch day
+  SimTime at = 0;
+};
+
+/// How one in-flight message was tampered with (rolled once per message by
+/// should_tamper()).  `salt` deterministically picks which bit flips or
+/// where the tear lands, so a seeded run corrupts the same byte every time.
+struct Tamper {
+  enum class Kind : std::uint8_t { kNone, kBitFlip, kTruncate };
+  Kind kind = Kind::kNone;
+  std::uint64_t salt = 0;
+
+  [[nodiscard]] bool none() const noexcept { return kind == Kind::kNone; }
+};
+
+/// Applies a Tamper to encoded payload bytes: kBitFlip flips the salt-picked
+/// bit; kTruncate shortens the buffer to a salt-picked prefix (possibly
+/// empty).  No-op for kNone or an empty buffer.
+void apply_tamper(const Tamper& tamper, std::vector<std::uint8_t>& bytes);
 
 /// A scripted network partition: from `at` until `heal_at`, messages
 /// between nodes in *different* groups are dropped deterministically (no
@@ -69,10 +101,12 @@ struct FaultPlan {
   std::vector<CrashEvent> crashes;
   std::vector<LinkRule> links;
   std::vector<PartitionEvent> partitions;
+  std::vector<BitRotEvent> bitrot;
   std::uint64_t seed = 0x4641554c54ULL;  // "FAULT"
 
   [[nodiscard]] bool empty() const noexcept {
-    return crashes.empty() && links.empty() && partitions.empty();
+    return crashes.empty() && links.empty() && partitions.empty() &&
+           bitrot.empty();
   }
 };
 
@@ -85,6 +119,9 @@ struct FaultStats {
   std::uint64_t partitions_observed = 0;  // partition activations
   std::uint64_t partitions_healed = 0;
   std::uint64_t partition_drops = 0;  // messages severed by a partition
+  std::uint64_t messages_corrupted = 0;  // bit-flip tampers rolled
+  std::uint64_t messages_truncated = 0;  // truncation tampers rolled
+  std::uint64_t bitrot_injected = 0;     // BitRotEvents fired
   /// Number of should_drop() calls.  The cluster sends every message
   /// through exactly one should_drop() roll; STASH_AUDIT builds assert
   /// this equals the cluster's send count (a double or missed roll would
@@ -104,6 +141,7 @@ class FaultInjector {
  public:
   using NodeHandler = std::function<void(std::uint32_t node)>;
   using PartitionHandler = std::function<void(const PartitionEvent& event)>;
+  using BitRotHandler = std::function<void(const BitRotEvent& event)>;
 
   FaultInjector(FaultPlan plan, std::uint32_t num_nodes);
 
@@ -116,6 +154,11 @@ class FaultInjector {
   }
   void set_heal_handler(PartitionHandler handler) {
     on_heal_ = std::move(handler);
+  }
+  /// Handler invoked when a scripted bit-rot event fires (the owner routes
+  /// it to the storage layer).
+  void set_bitrot_handler(BitRotHandler handler) {
+    on_bitrot_ = std::move(handler);
   }
 
   /// Schedules every crash/restart/partition in the plan on `loop`.  Call once.
@@ -138,6 +181,14 @@ class FaultInjector {
   /// consuming randomness, so healed and never-partitioned runs draw the
   /// same dice for the messages they share.
   [[nodiscard]] bool should_drop(std::uint32_t from, std::uint32_t to);
+
+  /// Rolls the tamper dice for one *surviving* message on the from→to
+  /// link: call once per message that passed should_drop().  Consumes
+  /// randomness only when the matching rule actually tampers
+  /// (corrupt/truncate probability > 0), so legacy plans draw bit-identical
+  /// dice streams.  Bit-flip is rolled before truncation; at most one
+  /// tamper applies per message.
+  [[nodiscard]] Tamper should_tamper(std::uint32_t from, std::uint32_t to);
 
   /// Additional one-way latency on the from→to link (gray failure).
   [[nodiscard]] SimTime extra_latency(std::uint32_t from, std::uint32_t to);
@@ -163,6 +214,7 @@ class FaultInjector {
   NodeHandler on_restart_;
   PartitionHandler on_partition_;
   PartitionHandler on_heal_;
+  BitRotHandler on_bitrot_;
   bool armed_ = false;
 };
 

@@ -33,8 +33,26 @@ ScanResult GalileoStore::scan_partition(std::string_view partition,
   for (std::int64_t day = first_day; day <= last_day; ++day) {
     const TimeRange day_range{std::max(time.begin, day * 86400),
                               std::min(time.end, (day + 1) * 86400)};
-    const std::uint64_t version =
-        block_version(BlockKey{std::string(partition), day});
+    const BlockKey block{std::string(partition), day};
+    std::uint64_t version = block_version(block);
+    const auto rot = rot_.find(block);
+    if (rot != rot_.end()) {
+      if (verify_checksums_) {
+        // The block's checksum no longer matches its contents: count the
+        // failure, quarantine it for the scrubber, charge the seek that
+        // discovered the rot, and withhold its records so the caller
+        // answers degraded instead of wrong.
+        ++integrity_.checksum_failures;
+        if (quarantine_.insert(block).second) ++integrity_.blocks_quarantined;
+        ++out.stats.blocks_touched;
+        ++out.stats.blocks_corrupt;
+        out.corrupt_blocks.push_back(block);
+        continue;
+      }
+      // Verification off: serve the rotted bytes.  The salt perturbs the
+      // version, so the records are plausible but wrong — silent corruption.
+      version ^= rot->second;
+    }
     const ObservationList records =
         generator_->generate(clipped, day_range, version);
     ++out.stats.blocks_touched;
@@ -53,7 +71,56 @@ ScanResult GalileoStore::scan_partition(std::string_view partition,
 std::uint64_t GalileoStore::ingest_update(const BlockKey& key) {
   if (key.partition.size() != static_cast<std::size_t>(prefix_len_))
     throw std::invalid_argument("GalileoStore::ingest_update: bad partition key");
+  // A rewrite replaces the block's bytes wholesale, healing any rot.
+  rot_.erase(key);
+  quarantine_.erase(key);
   return ++versions_[key];
+}
+
+void GalileoStore::rot_block(const BlockKey& key) {
+  if (key.partition.size() != static_cast<std::size_t>(prefix_len_))
+    throw std::invalid_argument("GalileoStore::rot_block: bad partition key");
+  // Fold the key into the salt so distinct blocks rot differently; keep it
+  // non-zero so the version perturbation never degenerates to a no-op.
+  std::uint64_t salt = fnv1a(key.partition);
+  hash_combine(salt, static_cast<std::uint64_t>(key.day));
+  if (salt == 0) salt = 1;
+  rot_[key] = salt;
+  ++integrity_.blocks_rotted;
+}
+
+bool GalileoStore::repair_block(const BlockKey& key) {
+  const bool was_bad = rot_.erase(key) > 0;
+  const bool was_quarantined = quarantine_.erase(key) > 0;
+  if (was_bad || was_quarantined) ++integrity_.blocks_repaired;
+  return was_bad || was_quarantined;
+}
+
+bool GalileoStore::block_rotted(const BlockKey& key) const {
+  return rot_.contains(key);
+}
+
+bool GalileoStore::block_quarantined(const BlockKey& key) const {
+  return quarantine_.contains(key);
+}
+
+bool GalileoStore::verify_block(const BlockKey& key) const {
+  return !rot_.contains(key);
+}
+
+std::size_t GalileoStore::scrub() {
+  std::size_t newly = 0;
+  for (const auto& [key, salt] : rot_) {
+    if (!quarantine_.insert(key).second) continue;
+    ++integrity_.checksum_failures;
+    ++integrity_.blocks_quarantined;
+    ++newly;
+  }
+  return newly;
+}
+
+std::vector<BlockKey> GalileoStore::quarantine_list() const {
+  return {quarantine_.begin(), quarantine_.end()};
 }
 
 std::uint64_t GalileoStore::block_version(const BlockKey& key) const {
@@ -67,6 +134,9 @@ ScanResult GalileoStore::scan(const BoundingBox& region, const TimeRange& time,
   for (const auto& partition : geohash::covering(region, prefix_len_)) {
     ScanResult part = scan_partition(partition, region, time, res);
     total.stats += part.stats;
+    total.corrupt_blocks.insert(total.corrupt_blocks.end(),
+                                part.corrupt_blocks.begin(),
+                                part.corrupt_blocks.end());
     for (auto& [key, summary] : part.cells) {
       auto [it, inserted] = total.cells.try_emplace(key, std::move(summary));
       if (!inserted) it->second.merge(summary);

@@ -14,6 +14,8 @@
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <unordered_set>
+#include <vector>
 
 #include "common/summary.hpp"
 #include "geo/cell_key.hpp"
@@ -43,11 +45,13 @@ struct ScanStats {
   std::size_t blocks_touched = 0;   // one disk seek each
   std::size_t records_scanned = 0;
   std::size_t bytes_read = 0;
+  std::size_t blocks_corrupt = 0;   // failed verification, yielded no records
 
   ScanStats& operator+=(const ScanStats& other) noexcept {
     blocks_touched += other.blocks_touched;
     records_scanned += other.records_scanned;
     bytes_read += other.bytes_read;
+    blocks_corrupt += other.blocks_corrupt;
     return *this;
   }
 };
@@ -58,6 +62,10 @@ using CellSummaryMap = std::unordered_map<CellKey, Summary, CellKeyHash>;
 struct ScanResult {
   CellSummaryMap cells;
   ScanStats stats;
+  /// Blocks that failed checksum verification during this scan.  Their
+  /// records are withheld (the caller must answer degraded, not wrong) and
+  /// they are already quarantined for the scrubber to repair.
+  std::vector<BlockKey> corrupt_blocks;
 };
 
 class GalileoStore {
@@ -94,10 +102,66 @@ class GalileoStore {
 
   [[nodiscard]] std::uint64_t block_version(const BlockKey& key) const;
 
+  // --- integrity (block checksums, bit-rot, scrub-and-repair) ---
+  /// Lifetime integrity counters, fed to the cluster's metrics registry.
+  struct IntegrityStats {
+    std::uint64_t checksum_failures = 0;  ///< scans that hit a rotted block
+    std::uint64_t blocks_quarantined = 0; ///< distinct blocks quarantined
+    std::uint64_t blocks_repaired = 0;    ///< repair_block() on a rotted block
+    std::uint64_t blocks_rotted = 0;      ///< rot_block() injections
+  };
+
+  /// Injects bit-rot into one block: its per-block checksum no longer
+  /// matches its contents.  With verification on, the next scan detects
+  /// the mismatch, quarantines the block and withholds its records; with
+  /// verification off the scan serves silently-wrong records — exactly the
+  /// failure mode checksums exist to prevent.
+  void rot_block(const BlockKey& key);
+
+  /// Rewrites one block from pristine data (the repair action): clears its
+  /// rot and releases it from quarantine.  Returns true when the block was
+  /// actually rotted or quarantined.
+  bool repair_block(const BlockKey& key);
+
+  [[nodiscard]] bool block_rotted(const BlockKey& key) const;
+  [[nodiscard]] bool block_quarantined(const BlockKey& key) const;
+
+  /// Recomputes one block's checksum against its contents — the scrubber's
+  /// probe.  False means the block is rotted.
+  [[nodiscard]] bool verify_block(const BlockKey& key) const;
+
+  /// One scrubber pass over the block table (every block with explicit
+  /// state: rewritten or rotted).  Verifies each checksum and quarantines
+  /// failures without waiting for a query to trip over them.  Returns the
+  /// number of blocks newly quarantined.
+  std::size_t scrub();
+
+  /// Blocks currently in quarantine, in no particular order.
+  [[nodiscard]] std::vector<BlockKey> quarantine_list() const;
+
+  [[nodiscard]] const IntegrityStats& integrity() const noexcept {
+    return integrity_;
+  }
+
+  /// Toggles checksum verification on scans (on by default; off only to
+  /// demonstrate the silently-wrong baseline in tests).
+  void set_verify_checksums(bool on) noexcept { verify_checksums_ = on; }
+  [[nodiscard]] bool verify_checksums() const noexcept { return verify_checksums_; }
+
  private:
   std::shared_ptr<const NamGenerator> generator_;
   int prefix_len_;
   std::unordered_map<BlockKey, std::uint64_t, BlockKeyHash> versions_;
+  /// Rot salt per block: non-zero means the stored bytes no longer match
+  /// the block's checksum.  The salt perturbs the generator version, so a
+  /// rotted block read without verification yields plausible — but wrong —
+  /// records rather than garbage, the worst case for a reader to detect.
+  std::unordered_map<BlockKey, std::uint64_t, BlockKeyHash> rot_;
+  bool verify_checksums_ = true;
+  // Detection happens inside const scans; quarantine state and counters
+  // are bookkeeping about the store, not logical contents, hence mutable.
+  mutable std::unordered_set<BlockKey, BlockKeyHash> quarantine_;
+  mutable IntegrityStats integrity_;
 };
 
 }  // namespace stash

@@ -1,0 +1,469 @@
+// End-to-end data integrity (ISSUE 6): a rotted storage block is detected,
+// quarantined, and withheld — the query completes as an honest partial,
+// never a silently-wrong answer; the scrubber repairs quarantined blocks
+// and drops-and-re-pulls diverged cached replicas; corrupted wire frames
+// are rejected by checksum and redelivered within a bounded budget, after
+// which they are poison (dropped, never parsed).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <iterator>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "common/civil_time.hpp"
+#include "geo/geohash.hpp"
+
+namespace stash {
+
+// This binary's instantiation of the test-peer friend: mutable access to a
+// graph's chunk cells, used to simulate in-memory rot of a cached replica.
+struct StashGraphTestPeer {
+  static StashGraph::LevelMap& level(StashGraph& g, const Resolution& res) {
+    return g.level_of(res);
+  }
+};
+
+namespace cluster {
+namespace {
+
+std::shared_ptr<const NamGenerator> shared_generator() {
+  static auto gen = std::make_shared<const NamGenerator>();
+  return gen;
+}
+
+AggregationQuery county_query() {
+  return {{38.0, 38.6, -99.0, -97.8},
+          {unix_seconds({2015, 2, 2}), unix_seconds({2015, 2, 3})},
+          {6, TemporalRes::Day}};
+}
+
+AggregationQuery wide_query() {
+  AggregationQuery q = county_query();
+  q.area = q.area.scaled(16.0);
+  return q;
+}
+
+std::int64_t query_day(const AggregationQuery& q) {
+  return q.time.begin / 86400;
+}
+
+ClusterConfig integrity_config() {
+  ClusterConfig config;
+  config.num_nodes = 16;
+  config.subquery_timeout = 50 * sim::kMillisecond;
+  config.retry_backoff = 5 * sim::kMillisecond;
+  config.recovery_cooldown = 20 * sim::kMillisecond;
+  config.suspect_ttl = 200 * sim::kMillisecond;
+  // Gossip timers on the fault-test timescale (as in partition_test).
+  config.membership.probe_interval = 50 * sim::kMillisecond;
+  config.membership.probe_timeout = 5 * sim::kMillisecond;
+  config.membership.suspicion_timeout = 100 * sim::kMillisecond;
+  return config;
+}
+
+/// Reference cells from a healthy Basic-mode cluster (always disk truth).
+CellSummaryMap reference_cells(const AggregationQuery& query) {
+  ClusterConfig config;
+  config.num_nodes = 16;
+  config.mode = SystemMode::Basic;
+  StashCluster cluster(config, shared_generator());
+  CellSummaryMap cells;
+  cluster.run_query(query, &cells);
+  return cells;
+}
+
+/// Every returned cell must match the reference exactly — absent cells are
+/// allowed (withheld data), wrong cells never.
+void expect_subset_exact(const CellSummaryMap& got,
+                         const CellSummaryMap& reference) {
+  for (const auto& [key, summary] : got) {
+    const auto it = reference.find(key);
+    ASSERT_NE(it, reference.end()) << "cell not in reference: " << key.label();
+    EXPECT_EQ(summary, it->second) << "silently-wrong cell: " << key.label();
+  }
+}
+
+void expect_cells_exact(const CellSummaryMap& got,
+                        const CellSummaryMap& reference) {
+  ASSERT_EQ(got.size(), reference.size());
+  expect_subset_exact(got, reference);
+}
+
+TEST(IntegrityTest, MalformedBitRotTargetsFailConstructionEagerly) {
+  // A bad scripted rot target should fail construction, not throw from
+  // inside the event loop at fire time — and an invalid-alphabet key
+  // (which no scan could ever read) is as malformed as a wrong-length one.
+  for (const char* partition : {"9", "9q8", "aa", "9i", ""}) {
+    ClusterConfig config = integrity_config();
+    config.fault_plan.bitrot.push_back({.partition = partition, .day = 0});
+    EXPECT_THROW(StashCluster(config, shared_generator()),
+                 std::invalid_argument)
+        << "partition " << partition;
+  }
+}
+
+TEST(IntegrityTest, CorruptBlockYieldsHonestPartialNeverWrong) {
+  const AggregationQuery query = wide_query();
+  const auto partitions = geohash::covering(query.area, 2);
+  ASSERT_GT(partitions.size(), 1u) << "need a multi-partition query";
+  StashCluster cluster(integrity_config(), shared_generator());
+  cluster.rot_block(partitions.front(), query_day(query));
+
+  CellSummaryMap got;
+  const QueryStats stats = cluster.run_query(query, &got);
+  EXPECT_TRUE(stats.partial);
+  EXPECT_GT(stats.corrupt_blocks, 0u);
+  EXPECT_FALSE(got.empty()) << "healthy partitions still answer";
+  expect_subset_exact(got, reference_cells(query));
+  EXPECT_LT(got.size(), reference_cells(query).size())
+      << "the rotted partition's cells must be withheld";
+
+  EXPECT_TRUE(cluster.store().block_quarantined(
+      {partitions.front(), query_day(query)}));
+  const ClusterMetrics m = cluster.metrics();
+  EXPECT_EQ(m.corrupt_queries, 1u);
+  EXPECT_GT(m.integrity_checksum_failures, 0u);
+  EXPECT_GT(m.blocks_quarantined, 0u);
+  EXPECT_EQ(m.partial_queries, 1u);
+
+  // The root span carries the corrupt_blocks tag for drill-down.
+  const auto trace = cluster.trace(stats.query_id);
+  ASSERT_TRUE(trace.has_value());
+  bool tagged = false;
+  for (const auto& span : trace->spans)
+    for (const auto& [key, value] : span.tags)
+      if (key == "corrupt_blocks") tagged = true;
+  EXPECT_TRUE(tagged);
+}
+
+TEST(IntegrityTest, CorruptDayIsNeverCachedAsComplete) {
+  const AggregationQuery query = county_query();
+  const auto partitions = geohash::covering(query.area, 2);
+  StashCluster cluster(integrity_config(), shared_generator());
+  for (const auto& p : partitions) cluster.rot_block(p, query_day(query));
+
+  const QueryStats first = cluster.run_query(query);
+  EXPECT_TRUE(first.partial);
+  // A partial day must not be absorbed as complete: the repeat query hits
+  // the (still rotted) store again instead of serving a poisoned cache.
+  const QueryStats second = cluster.run_query(query);
+  EXPECT_TRUE(second.partial);
+  EXPECT_GT(second.corrupt_blocks, 0u);
+}
+
+TEST(IntegrityTest, ScrubRepairsQuarantinedBlocksAndRerunIsExact) {
+  const AggregationQuery query = wide_query();
+  const auto partitions = geohash::covering(query.area, 2);
+  StashCluster cluster(integrity_config(), shared_generator());
+  cluster.rot_block(partitions.front(), query_day(query));
+  cluster.rot_block(partitions.back(), query_day(query) + 40);  // unqueried
+
+  const QueryStats during = cluster.run_query(query);
+  EXPECT_TRUE(during.partial);
+
+  cluster.scrub_now();
+  cluster.loop().run();
+  EXPECT_TRUE(cluster.store().quarantine_list().empty());
+  const ClusterMetrics m = cluster.metrics();
+  EXPECT_GT(m.scrub_cycles, 0u);
+  // Both blocks repaired — including the one no query ever touched (the
+  // scrubber's own verification pass found it).
+  EXPECT_EQ(m.scrub_repairs, 2u);
+  EXPECT_EQ(m.blocks_repaired, 2u);
+
+  const std::uint64_t failures_before =
+      cluster.store().integrity().checksum_failures;
+  CellSummaryMap got;
+  const QueryStats after = cluster.run_query(query, &got);
+  EXPECT_FALSE(after.partial);
+  EXPECT_EQ(after.corrupt_blocks, 0u);
+  expect_cells_exact(got, reference_cells(query));
+  EXPECT_EQ(cluster.store().integrity().checksum_failures, failures_before);
+  EXPECT_TRUE(cluster.audit_all().ok());
+}
+
+TEST(IntegrityTest, BackgroundScrubberRepairsScriptedBitRot) {
+  const AggregationQuery query = county_query();
+  const auto partitions = geohash::covering(query.area, 2);
+  ClusterConfig config = integrity_config();
+  config.scrub_interval = 100 * sim::kMillisecond;
+  for (const auto& p : partitions)
+    config.fault_plan.bitrot.push_back(
+        {.partition = p, .day = query_day(query), .at = 50 * sim::kMillisecond});
+  StashCluster cluster(config, shared_generator());
+
+  // No query ever touches the rot; the background scrubber alone must
+  // detect, quarantine, and repair it.
+  cluster.loop().run_until(1 * sim::kSecond);
+  const ClusterMetrics m = cluster.metrics();
+  EXPECT_EQ(cluster.faults().stats().bitrot_injected, partitions.size());
+  EXPECT_GT(m.scrub_cycles, 0u);
+  EXPECT_EQ(m.scrub_repairs, partitions.size());
+  EXPECT_TRUE(cluster.store().quarantine_list().empty());
+
+  CellSummaryMap got;
+  const QueryStats stats = cluster.run_query(query, &got);
+  EXPECT_FALSE(stats.partial);
+  expect_cells_exact(got, reference_cells(query));
+}
+
+TEST(IntegrityTest, FullyCorruptedLinkPoisonsFramesButNeverCrashes) {
+  // Every replication frame is bit-flipped on every (re)delivery: the
+  // receiver must reject each one by checksum, exhaust the redelivery
+  // budget, and count poison — without crashing or absorbing garbage.
+  const AggregationQuery query = wide_query();
+  ClusterConfig config = integrity_config();
+  config.fault_plan.links.push_back({.corrupt_probability = 1.0});
+  const ZeroHopDht dht(config.num_nodes, config.partition_prefix_length);
+  const NodeId victim =
+      dht.node_for_partition(geohash::covering(query.area, 2).front());
+  StashCluster cluster(config, shared_generator());
+
+  cluster.run_query(query);  // warm owners
+  cluster.crash_node(victim);
+  const QueryStats during = cluster.run_query(query);  // failover warms peer
+  EXPECT_FALSE(during.partial);
+  cluster.restart_node(victim);
+  cluster.loop().run();  // drain the recovery exchange
+
+  const ClusterMetrics m = cluster.metrics();
+  EXPECT_GT(m.messages_corrupted, 0u);
+  EXPECT_GT(m.frame_integrity_failures, 0u);
+  EXPECT_GT(m.messages_redelivered, 0u);
+  EXPECT_GT(m.poison_messages, 0u);
+  EXPECT_EQ(m.chunks_rewarmed, 0u) << "no corrupt frame may be absorbed";
+  EXPECT_EQ(cluster.node_graph(victim).total_cells(), 0u);
+
+  // Correctness is unharmed: the victim just stays cold and re-scans.
+  CellSummaryMap got;
+  const QueryStats after = cluster.run_query(query, &got);
+  EXPECT_FALSE(after.partial);
+  expect_cells_exact(got, reference_cells(query));
+  EXPECT_TRUE(cluster.audit_all().ok());
+}
+
+TEST(IntegrityTest, ModerateLinkCorruptionHealsThroughRedelivery) {
+  // At a 30% flip rate the bounded redelivery budget almost always gets a
+  // pristine copy through: re-warming succeeds despite the noise.
+  const AggregationQuery query = wide_query();
+  ClusterConfig config = integrity_config();
+  config.fault_plan.links.push_back({.corrupt_probability = 0.3});
+  config.max_redeliveries = 4;
+  const ZeroHopDht dht(config.num_nodes, config.partition_prefix_length);
+  const NodeId victim =
+      dht.node_for_partition(geohash::covering(query.area, 2).front());
+  StashCluster cluster(config, shared_generator());
+
+  cluster.run_query(query);
+  cluster.crash_node(victim);
+  cluster.run_query(query);
+  cluster.restart_node(victim);
+  cluster.loop().run();
+
+  const ClusterMetrics m = cluster.metrics();
+  EXPECT_GT(m.frame_integrity_failures, 0u);
+  EXPECT_GT(m.messages_redelivered, 0u);
+  EXPECT_GT(m.chunks_rewarmed, 0u) << "redelivery should eventually succeed";
+  EXPECT_GT(cluster.node_graph(victim).total_cells(), 0u);
+  EXPECT_TRUE(cluster.audit_all().ok());
+}
+
+TEST(IntegrityTest, RottedCachedReplicaIsDroppedAndRepulledNotTrusted) {
+  // Satellite (a) regression: a cached replica whose *content* rots in
+  // memory carries a stale digest; the anti-entropy digest walk must treat
+  // the mismatch as corruption — drop the chunk and re-pull it from a
+  // replica holder — never trust or merge it.
+  const AggregationQuery query = wide_query();
+  ClusterConfig config = integrity_config();
+  const ZeroHopDht dht(config.num_nodes, config.partition_prefix_length);
+  const NodeId victim =
+      dht.node_for_partition(geohash::covering(query.area, 2).front());
+  StashCluster cluster(config, shared_generator());
+
+  // Warm victim; crash it so failover replicates its partitions onto the
+  // ring successor; restart and let anti-entropy re-warm it.
+  cluster.run_query(query);
+  cluster.crash_node(victim);
+  cluster.run_query(query);
+  cluster.restart_node(victim);
+  cluster.loop().run();
+  cluster.loop().run_for(2 * cluster.config().suspect_ttl);
+  ASSERT_GT(cluster.node_graph(victim).total_cells(), 0u);
+
+  // Rot the cached replica: swap the summaries of two cells in one of the
+  // victim's complete chunks.  Every invariant still holds (the audit
+  // stays green) — only a content digest can catch this.
+  auto& graph = const_cast<StashGraph&>(cluster.node_graph(victim));
+  bool tampered = false;
+  for (int lvl = 0; lvl < kNumLevels && !tampered; ++lvl) {
+    const Resolution res = resolution_of_level(lvl);
+    for (auto& [chunk_key, data] : StashGraphTestPeer::level(graph, res)) {
+      if (!graph.chunk_complete(res, chunk_key) || data.cells.size() < 2)
+        continue;
+      for (auto it = data.cells.begin(); it != data.cells.end() && !tampered;
+           ++it)
+        for (auto jt = std::next(it); jt != data.cells.end(); ++jt)
+          if (!(it->second == jt->second)) {
+            std::swap(it->second, jt->second);
+            tampered = true;
+            break;
+          }
+      if (tampered) break;
+    }
+  }
+  ASSERT_TRUE(tampered) << "no swappable chunk found";
+  EXPECT_TRUE(cluster.audit_all().ok()) << "tamper must be invariant-silent";
+
+  // The rot is live: a query served from the tampered cache is silently
+  // wrong — exactly what the digest walk exists to prevent.
+  CellSummaryMap poisoned;
+  cluster.run_query(query, &poisoned);
+  EXPECT_NE(poisoned, reference_cells(query));
+
+  const std::uint64_t divergences_before =
+      cluster.metrics().replica_divergences;
+  cluster.loop().run_for(cluster.config().recovery_cooldown);
+  cluster.recover_node(victim);
+  cluster.loop().run();
+  EXPECT_GT(cluster.metrics().replica_divergences, divergences_before);
+
+  CellSummaryMap healed;
+  const QueryStats after = cluster.run_query(query, &healed);
+  EXPECT_FALSE(after.partial);
+  expect_cells_exact(healed, reference_cells(query));
+  EXPECT_TRUE(cluster.audit_all().ok());
+}
+
+TEST(IntegrityTest, SameSeedSameCorruptionPlanIsBitIdentical) {
+  const auto fingerprint = [] {
+    ClusterConfig config = integrity_config();
+    config.fault_plan.links.push_back(
+        {.corrupt_probability = 0.4, .truncate_probability = 0.2});
+    config.fault_plan.bitrot.push_back(
+        {.partition = geohash::covering(wide_query().area, 2).front(),
+         .day = query_day(wide_query()),
+         .at = 0});
+    config.scrub_interval = 200 * sim::kMillisecond;
+    const ZeroHopDht dht(config.num_nodes, config.partition_prefix_length);
+    const NodeId victim =
+        dht.node_for_partition(geohash::covering(wide_query().area, 2)[1]);
+    StashCluster cluster(config, shared_generator());
+    std::vector<std::pair<sim::SimTime, std::size_t>> out;
+    const auto record = [&](const QueryStats& s) {
+      out.emplace_back(s.latency(), s.result_cells);
+    };
+    record(cluster.run_query(wide_query()));
+    cluster.crash_node(victim);
+    record(cluster.run_query(wide_query()));
+    cluster.restart_node(victim);
+    cluster.loop().run_until(2 * sim::kSecond);
+    record(cluster.run_query(wide_query()));
+    const ClusterMetrics m = cluster.metrics();
+    out.emplace_back(0, m.frame_integrity_failures);
+    out.emplace_back(0, m.poison_messages);
+    out.emplace_back(0, m.scrub_repairs);
+    out.emplace_back(0, m.messages_corrupted + m.messages_truncated);
+    return out;
+  };
+  EXPECT_EQ(fingerprint(), fingerprint());
+}
+
+// ---------------------------------------------------------------------------
+// Satellite (c): seed x corruption-rate property sweep.  Under any mix of
+// link bit-flips, truncations, and storage bit-rot, every query is either
+// byte-equal to the no-fault control or explicitly flagged partial or
+// degraded — zero silently-wrong answers — and after scrub convergence the
+// cluster audits clean with no residual checksum failures.
+// ---------------------------------------------------------------------------
+
+TEST(IntegrityTest, SeedByCorruptionRatePropertySweep) {
+  const AggregationQuery base = county_query();
+  std::vector<AggregationQuery> queries;
+  queries.push_back(base);
+  queries.push_back(wide_query());
+  {
+    // All queries stay at the scan resolution (spatial 6, Day bins): cells
+    // are then disjoint across partitions and days, so results are
+    // byte-reproducible — the "byte-equal to control" property is exact,
+    // not approximate.
+    AggregationQuery shifted = base;
+    shifted.area = base.area.translated(0.4, 0.5);
+    queries.push_back(shifted);
+    AggregationQuery south = base;
+    south.area = base.area.translated(-1.2, -0.8);
+    queries.push_back(south);
+  }
+
+  // Control: the same query sequence on a fault-free cluster.
+  std::vector<CellSummaryMap> control;
+  {
+    StashCluster cluster(integrity_config(), shared_generator());
+    for (const auto& q : queries) {
+      CellSummaryMap cells;
+      cluster.run_query(q, &cells);
+      control.push_back(std::move(cells));
+    }
+  }
+
+  for (const std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    for (const double rate : {0.0, 0.25}) {
+      SCOPED_TRACE("seed " + std::to_string(seed) + " rate " +
+                   std::to_string(rate));
+      ClusterConfig config = integrity_config();
+      config.scrub_interval = 500 * sim::kMillisecond;
+      config.fault_plan.seed = seed;
+      if (rate > 0.0)
+        config.fault_plan.links.push_back(
+            {.corrupt_probability = rate, .truncate_probability = rate / 2});
+      const auto partitions = geohash::covering(base.area, 2);
+      if (rate > 0.0)
+        for (const auto& p : partitions)
+          config.fault_plan.bitrot.push_back(
+              {.partition = p, .day = query_day(base), .at = 0});
+      StashCluster cluster(config, shared_generator());
+
+      std::size_t flagged = 0;
+      for (std::size_t i = 0; i < queries.size(); ++i) {
+        CellSummaryMap cells;
+        const QueryStats stats = cluster.run_query(queries[i], &cells);
+        if (stats.partial || stats.degraded) {
+          ++flagged;
+          // Never wrong: what IS returned matches the control exactly.
+          expect_subset_exact(cells, control[i]);
+        } else {
+          expect_cells_exact(cells, control[i]);
+        }
+      }
+      if (rate == 0.0) {
+        EXPECT_EQ(flagged, 0u);
+      } else {
+        EXPECT_GT(flagged, 0u) << "bit-rot on queried partitions must flag";
+      }
+
+      // Scrub to convergence, then the probe re-run must be clean: exact
+      // answers, zero new checksum failures, audit green.
+      cluster.loop().run_for(4 * config.scrub_interval);
+      EXPECT_TRUE(cluster.store().quarantine_list().empty());
+      const std::uint64_t failures_before =
+          cluster.store().integrity().checksum_failures;
+      for (std::size_t i = 0; i < queries.size(); ++i) {
+        CellSummaryMap cells;
+        const QueryStats stats = cluster.run_query(queries[i], &cells);
+        EXPECT_FALSE(stats.partial);
+        EXPECT_EQ(stats.corrupt_blocks, 0u);
+        expect_cells_exact(cells, control[i]);
+      }
+      EXPECT_EQ(cluster.store().integrity().checksum_failures,
+                failures_before);
+      EXPECT_TRUE(cluster.audit_all().ok());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cluster
+}  // namespace stash

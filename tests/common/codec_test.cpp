@@ -178,5 +178,79 @@ TEST(CodecTest, PayloadInstallsIntoGraphExactly) {
   }
 }
 
+TEST(FrameTest, RoundTripEmptyAndNonEmpty) {
+  for (const Buffer& payload :
+       {Buffer{}, Buffer{0x42}, Buffer(300, 0xa5)}) {
+    const Buffer frame = encode_frame(payload);
+    EXPECT_EQ(frame.size(), payload.size() + kFrameOverhead);
+    EXPECT_EQ(decode_frame(frame), payload);
+  }
+}
+
+TEST(FrameTest, RejectsBadMagic) {
+  Buffer frame = encode_frame({1, 2, 3});
+  frame[0] ^= 0xff;
+  EXPECT_THROW((void)decode_frame(frame), IntegrityError);
+}
+
+TEST(FrameTest, RejectsShortBuffer) {
+  const Buffer frame = encode_frame({1, 2, 3});
+  for (std::size_t n = 0; n < frame.size(); ++n) {
+    const Buffer prefix(frame.begin(), frame.begin() + static_cast<long>(n));
+    EXPECT_THROW((void)decode_frame(prefix), IntegrityError) << "len " << n;
+  }
+}
+
+TEST(FrameTest, RejectsTrailingBytes) {
+  Buffer frame = encode_frame({1, 2, 3});
+  frame.push_back(0);
+  EXPECT_THROW((void)decode_frame(frame), IntegrityError);
+}
+
+TEST(FrameTest, RejectsHostileLengthBeforeAllocating) {
+  // A 16-byte buffer claiming a 1 GiB payload must be rejected on the
+  // length check alone — decode_frame never allocates for a declared
+  // length the buffer cannot back.
+  Buffer frame;
+  put_u32(frame, kFrameMagic);
+  put_u32(frame, 1u << 30);
+  put_u64(frame, 0);  // "checksum"
+  EXPECT_THROW((void)decode_frame(frame), IntegrityError);
+}
+
+TEST(FrameTest, EverySingleBitFlipRejected) {
+  // The tentpole guarantee: any one flipped bit anywhere in the frame —
+  // magic, length, payload, or footer — is caught.
+  Buffer payload;
+  for (int i = 0; i < 29; ++i) payload.push_back(static_cast<std::uint8_t>(i * 7));
+  const Buffer clean = encode_frame(payload);
+  for (std::size_t bit = 0; bit < clean.size() * 8; ++bit) {
+    Buffer frame = clean;
+    frame[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    EXPECT_THROW((void)decode_frame(frame), IntegrityError) << "bit " << bit;
+  }
+  EXPECT_EQ(decode_frame(clean), payload);  // and the clean frame still decodes
+}
+
+TEST(FrameTest, ReplicationFrameRoundTrip) {
+  const std::vector<ChunkContribution> payload{sample_contribution(11),
+                                               sample_contribution(5)};
+  const Buffer frame = encode_replication_frame(payload);
+  EXPECT_EQ(frame.size(),
+            encode_replication_payload(payload).size() + kFrameOverhead);
+  const auto decoded = decode_replication_frame(frame);
+  ASSERT_EQ(decoded.size(), payload.size());
+  EXPECT_EQ(encode_replication_payload(decoded),
+            encode_replication_payload(payload));
+}
+
+TEST(FrameTest, ReplicationFrameFlipYieldsIntegrityErrorNotParseError) {
+  // With the footer in place a flipped payload bit surfaces as the typed
+  // IntegrityError — it never reaches the structural payload parser.
+  Buffer frame = encode_replication_frame({sample_contribution(9)});
+  frame[frame.size() / 2] ^= 0x10;
+  EXPECT_THROW((void)decode_replication_frame(frame), IntegrityError);
+}
+
 }  // namespace
 }  // namespace stash::codec

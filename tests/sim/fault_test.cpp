@@ -299,5 +299,108 @@ TEST(FaultInjectorTest, DropChecksCountEveryCall) {
   EXPECT_EQ(injector.stats().drop_checks, 7u);
 }
 
+TEST(FaultInjectorTest, TamperPlanValidation) {
+  const auto with_link = [](LinkRule link) {
+    FaultPlan plan;
+    plan.links.push_back(link);
+    return plan;
+  };
+  EXPECT_THROW(FaultInjector(with_link({.corrupt_probability = 1.5}), 4),
+               std::invalid_argument);
+  EXPECT_THROW(FaultInjector(with_link({.truncate_probability = -0.1}), 4),
+               std::invalid_argument);
+  FaultPlan rot;
+  rot.bitrot.push_back({.partition = "", .day = 1, .at = 0});
+  EXPECT_THROW(FaultInjector(rot, 4), std::invalid_argument);
+  rot.bitrot = {{.partition = "9q", .day = 1, .at = -5}};
+  EXPECT_THROW(FaultInjector(rot, 4), std::invalid_argument);
+}
+
+TEST(FaultInjectorTest, ApplyTamperFlipsExactlyOneBit) {
+  std::vector<std::uint8_t> bytes{0x00, 0xff, 0x42};
+  const auto original = bytes;
+  apply_tamper({.kind = Tamper::Kind::kBitFlip, .salt = 13}, bytes);
+  ASSERT_EQ(bytes.size(), original.size());
+  int flipped = 0;
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    std::uint8_t diff = bytes[i] ^ original[i];
+    while (diff != 0) {
+      flipped += diff & 1;
+      diff >>= 1;
+    }
+  }
+  EXPECT_EQ(flipped, 1);
+  // Flipping with the same salt restores the original.
+  apply_tamper({.kind = Tamper::Kind::kBitFlip, .salt = 13}, bytes);
+  EXPECT_EQ(bytes, original);
+}
+
+TEST(FaultInjectorTest, ApplyTamperTruncatesToStrictPrefix) {
+  std::vector<std::uint8_t> bytes{1, 2, 3, 4, 5};
+  apply_tamper({.kind = Tamper::Kind::kTruncate, .salt = 7}, bytes);
+  EXPECT_EQ(bytes, (std::vector<std::uint8_t>{1, 2}));  // 7 % 5 == 2 survive
+  // kNone and empty buffers are no-ops.
+  std::vector<std::uint8_t> empty;
+  apply_tamper({.kind = Tamper::Kind::kBitFlip, .salt = 3}, empty);
+  EXPECT_TRUE(empty.empty());
+  std::vector<std::uint8_t> untouched{9};
+  apply_tamper({}, untouched);
+  EXPECT_EQ(untouched, (std::vector<std::uint8_t>{9}));
+}
+
+TEST(FaultInjectorTest, ShouldTamperIsSeededAndDeterministic) {
+  FaultPlan plan;
+  plan.links.push_back({.corrupt_probability = 0.5, .truncate_probability = 0.25});
+  FaultInjector a(plan, 4);
+  FaultInjector b(plan, 4);
+  int tampered = 0;
+  for (int i = 0; i < 200; ++i) {
+    const Tamper ta = a.should_tamper(0, 1);
+    const Tamper tb = b.should_tamper(0, 1);
+    EXPECT_EQ(static_cast<int>(ta.kind), static_cast<int>(tb.kind));
+    EXPECT_EQ(ta.salt, tb.salt);
+    if (!ta.none()) ++tampered;
+  }
+  EXPECT_GT(tampered, 50);  // ~62% of 200 expected
+  EXPECT_EQ(a.stats().messages_corrupted + a.stats().messages_truncated,
+            static_cast<std::uint64_t>(tampered));
+}
+
+TEST(FaultInjectorTest, TamperFreeRulesPreserveLegacyDiceStream) {
+  // A plan whose rules never tamper must draw the exact drop sequence of a
+  // run that never calls should_tamper() at all — the tamper path may not
+  // perturb seeded legacy scenarios.
+  FaultPlan plan;
+  plan.links.push_back({.drop_probability = 0.3});
+  FaultInjector legacy(plan, 4);
+  FaultInjector probed(plan, 4);
+  for (int i = 0; i < 100; ++i) {
+    const bool legacy_drop = legacy.should_drop(0, 1);
+    const bool probed_drop = probed.should_drop(0, 1);
+    EXPECT_EQ(legacy_drop, probed_drop) << "message " << i;
+    EXPECT_TRUE(probed.should_tamper(0, 1).none());  // no dice consumed
+  }
+  EXPECT_EQ(probed.stats().messages_corrupted, 0u);
+  EXPECT_EQ(probed.stats().messages_truncated, 0u);
+}
+
+TEST(FaultInjectorTest, BitRotEventsFireOnScheduleWithHandler) {
+  FaultPlan plan;
+  plan.bitrot.push_back({.partition = "9q", .day = 16468, .at = 50});
+  plan.bitrot.push_back({.partition = "dr", .day = 16469, .at = 150});
+  FaultInjector injector(plan, 4);
+  std::vector<std::string> seen;
+  injector.set_bitrot_handler(
+      [&](const BitRotEvent& event) { seen.push_back(event.partition); });
+  EventLoop loop;
+  injector.arm(loop);
+  loop.run_until(100);
+  EXPECT_EQ(seen, (std::vector<std::string>{"9q"}));
+  EXPECT_EQ(injector.stats().bitrot_injected, 1u);
+  loop.run();
+  EXPECT_EQ(seen, (std::vector<std::string>{"9q", "dr"}));
+  EXPECT_EQ(injector.stats().bitrot_injected, 2u);
+}
+
 }  // namespace
 }  // namespace stash::sim

@@ -190,5 +190,92 @@ TEST_F(GalileoStoreTest, BlockKeyHashDistinguishes) {
   EXPECT_EQ(h(a), h(BlockKey{"9q", 100}));
 }
 
+TEST_F(GalileoStoreTest, RottedBlockIsWithheldAndQuarantined) {
+  const BlockKey block{"9q", unix_seconds({2015, 2, 2}) / 86400};
+  store_.rot_block(block);
+  EXPECT_TRUE(store_.block_rotted(block));
+  EXPECT_FALSE(store_.verify_block(block));
+  EXPECT_FALSE(store_.block_quarantined(block));  // nothing has read it yet
+
+  const auto result =
+      store_.scan_partition("9q", BoundingBox::whole_world(), feb2_, res6_);
+  EXPECT_TRUE(result.cells.empty());  // withheld, not served wrong
+  EXPECT_EQ(result.stats.blocks_corrupt, 1u);
+  EXPECT_EQ(result.stats.blocks_touched, 1u);  // the seek that found the rot
+  ASSERT_EQ(result.corrupt_blocks.size(), 1u);
+  EXPECT_EQ(result.corrupt_blocks[0], block);
+  EXPECT_TRUE(store_.block_quarantined(block));
+  EXPECT_EQ(store_.integrity().checksum_failures, 1u);
+  EXPECT_EQ(store_.integrity().blocks_quarantined, 1u);
+  EXPECT_EQ(store_.integrity().blocks_rotted, 1u);
+}
+
+TEST_F(GalileoStoreTest, VerificationOffServesSilentlyWrongRecords) {
+  // The counterfactual the checksums exist for: with verification off a
+  // rotted block still yields records — plausible, but not the pristine
+  // data.  This is the "silently wrong" baseline.
+  const auto pristine =
+      store_.scan_partition("9q", BoundingBox::whole_world(), feb2_, res6_);
+  store_.rot_block({"9q", unix_seconds({2015, 2, 2}) / 86400});
+  store_.set_verify_checksums(false);
+  const auto rotted =
+      store_.scan_partition("9q", BoundingBox::whole_world(), feb2_, res6_);
+  EXPECT_EQ(rotted.stats.blocks_corrupt, 0u);  // nothing noticed
+  EXPECT_TRUE(rotted.corrupt_blocks.empty());
+  EXPECT_FALSE(rotted.cells.empty());
+  EXPECT_NE(rotted.cells, pristine.cells);
+}
+
+TEST_F(GalileoStoreTest, RepairRestoresPristineContentExactly) {
+  const BlockKey block{"9q", unix_seconds({2015, 2, 2}) / 86400};
+  const auto pristine =
+      store_.scan_partition("9q", BoundingBox::whole_world(), feb2_, res6_);
+  store_.rot_block(block);
+  (void)store_.scan_partition("9q", BoundingBox::whole_world(), feb2_, res6_);
+  ASSERT_TRUE(store_.block_quarantined(block));
+
+  EXPECT_TRUE(store_.repair_block(block));
+  EXPECT_FALSE(store_.block_rotted(block));
+  EXPECT_FALSE(store_.block_quarantined(block));
+  EXPECT_EQ(store_.integrity().blocks_repaired, 1u);
+  const auto repaired =
+      store_.scan_partition("9q", BoundingBox::whole_world(), feb2_, res6_);
+  EXPECT_EQ(repaired.cells, pristine.cells);
+  // Repairing a healthy block is a no-op.
+  EXPECT_FALSE(store_.repair_block(block));
+  EXPECT_EQ(store_.integrity().blocks_repaired, 1u);
+}
+
+TEST_F(GalileoStoreTest, IngestRewriteHealsRot) {
+  const BlockKey block{"9q", unix_seconds({2015, 2, 2}) / 86400};
+  store_.rot_block(block);
+  (void)store_.scan_partition("9q", BoundingBox::whole_world(), feb2_, res6_);
+  ASSERT_TRUE(store_.block_quarantined(block));
+  (void)store_.ingest_update(block);  // wholesale rewrite replaces the bytes
+  EXPECT_FALSE(store_.block_rotted(block));
+  EXPECT_FALSE(store_.block_quarantined(block));
+  const auto after =
+      store_.scan_partition("9q", BoundingBox::whole_world(), feb2_, res6_);
+  EXPECT_EQ(after.stats.blocks_corrupt, 0u);
+  EXPECT_FALSE(after.cells.empty());
+}
+
+TEST_F(GalileoStoreTest, ScrubFindsRotWithoutWaitingForQueries) {
+  const BlockKey a{"9q", 100};
+  const BlockKey b{"dr", 200};
+  store_.rot_block(a);
+  store_.rot_block(b);
+  EXPECT_EQ(store_.scrub(), 2u);
+  EXPECT_TRUE(store_.block_quarantined(a));
+  EXPECT_TRUE(store_.block_quarantined(b));
+  EXPECT_EQ(store_.quarantine_list().size(), 2u);
+  EXPECT_EQ(store_.scrub(), 0u);  // idempotent: already quarantined
+  EXPECT_EQ(store_.integrity().checksum_failures, 2u);
+}
+
+TEST_F(GalileoStoreTest, RotBlockValidatesPartitionKey) {
+  EXPECT_THROW(store_.rot_block({"9q8", 0}), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace stash
