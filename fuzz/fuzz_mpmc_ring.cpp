@@ -1,0 +1,61 @@
+// Fuzz harness: the bounded MPMC ring against a reference deque.
+//
+// The model checker (tests/mc/mpmc_ring_mc_test.cpp) proves the ring's
+// *ordering* properties over small interleavings; this harness drives the
+// *arithmetic* — cursor wraparound, sequence lap accounting, full/empty
+// verdicts — through byte-driven single-threaded op sequences far longer
+// than any schedule the checker can afford, cross-checked against
+// std::deque.  Single-threaded on purpose: with one thread the lock-free
+// ring must agree with a FIFO queue exactly, so any divergence (lost slot,
+// duplicated element, wrong verdict) is a finding rather than a tolerated
+// race outcome.  UBSan (the fuzz build links it) turns a hidden overflow
+// in the seq/cursor arithmetic into a crash.
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "concurrency/mpmc_ring.hpp"
+#include "fuzz_util.hpp"
+
+using stash::concurrency::MpmcRing;
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  fuzz::ByteReader in(data, size);
+
+  // Capacity: power of two in [2, 128], exercised across the whole range
+  // so small rings hit wraparound every few ops.
+  const std::size_t capacity = std::size_t{2}
+                               << (in.u8() % 7);
+  MpmcRing<std::uint32_t> ring(capacity);
+  std::deque<std::uint32_t> reference;
+  std::uint32_t next_value = 0;
+
+  while (in.remaining() > 0) {
+    const std::uint8_t op = in.u8();
+    if (op % 2 == 0) {
+      const bool pushed = ring.try_push(next_value);
+      FUZZ_CHECK(pushed == (reference.size() < capacity));
+      if (pushed) reference.push_back(next_value);
+      ++next_value;
+    } else {
+      const std::optional<std::uint32_t> got = ring.try_pop();
+      FUZZ_CHECK(got.has_value() == !reference.empty());
+      if (got.has_value()) {
+        FUZZ_CHECK(*got == reference.front());
+        reference.pop_front();
+      }
+    }
+    FUZZ_CHECK(ring.size_approx() == reference.size());
+  }
+
+  // Drain: everything pushed must come back out, in order.
+  while (!reference.empty()) {
+    const std::optional<std::uint32_t> got = ring.try_pop();
+    FUZZ_CHECK(got.has_value());
+    FUZZ_CHECK(*got == reference.front());
+    reference.pop_front();
+  }
+  FUZZ_CHECK(!ring.try_pop().has_value());
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Instrumentation hooks between the catomic shim and the model checker.
+//
+// Under STASH_MODEL_CHECK, every catomic<T>/var<T> operation in
+// concurrency/catomic.hpp routes through these free functions instead of
+// touching real std::atomic state.  The active mc::ModelChecker execution
+// owns all values (per-location store histories, vector clocks); the shim
+// only converts T to and from raw 64-bit payloads.
+//
+// Contract:
+//   * hook_atomic_* and hook_var_* may only be called while an execution is
+//     active (inside the make() factory, a model-checked thread, or the
+//     finally() check).  Atomic hooks outside an execution abort loudly;
+//     var hooks degrade to unchecked plain accesses so test code may
+//     inspect state after ModelChecker::run returns.
+//   * hook_rmw_begin schedules and returns the current value of the last
+//     store in modification order *without* committing anything.  The shim
+//     must follow it with exactly one of hook_rmw_commit (successful RMW:
+//     read + new store, continuing any release sequence) or hook_rmw_fail
+//     (failed CAS: load semantics of the failure order) before the next
+//     hook call on any location.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace stash::mc {
+
+void hook_atomic_init(const void* loc, const char* name, std::uint64_t bits);
+[[nodiscard]] std::uint64_t hook_atomic_load(const void* loc,
+                                             std::memory_order order);
+void hook_atomic_store(const void* loc, std::uint64_t bits,
+                       std::memory_order order);
+[[nodiscard]] std::uint64_t hook_rmw_begin(const void* loc,
+                                           std::memory_order order);
+void hook_rmw_commit(const void* loc, std::uint64_t bits,
+                     std::memory_order order);
+void hook_rmw_fail(const void* loc, std::memory_order failure_order);
+void hook_fence(std::memory_order order);
+
+void hook_var_init(const void* loc, const char* name);
+void hook_var_read(const void* loc);
+void hook_var_write(const void* loc);
+
+}  // namespace stash::mc

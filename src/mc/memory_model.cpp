@@ -1,0 +1,315 @@
+#include "mc/memory_model.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace stash::mc {
+
+namespace {
+
+[[nodiscard]] bool has_acquire(std::memory_order o) {
+  return o == std::memory_order_acquire || o == std::memory_order_consume ||
+         o == std::memory_order_acq_rel || o == std::memory_order_seq_cst;
+}
+
+[[nodiscard]] bool has_release(std::memory_order o) {
+  return o == std::memory_order_release || o == std::memory_order_acq_rel ||
+         o == std::memory_order_seq_cst;
+}
+
+[[noreturn]] void die(const char* what) {
+  std::fprintf(stderr, "stash::mc::MemoryModel: %s\n", what);
+  std::abort();
+}
+
+}  // namespace
+
+void MemoryModel::reset(std::size_t n_threads) {
+  atomics_.clear();
+  vars_.clear();
+  threads_.assign(n_threads, ThreadMem{});
+  controller_ = ThreadMem{};
+  anon_counter_ = 0;
+}
+
+ThreadMem& MemoryModel::mem(ThreadId tid) {
+  if (tid == kControllerThread) return controller_;
+  if (tid >= threads_.size()) die("operation from unregistered thread");
+  return threads_[tid];
+}
+
+const ThreadMem& MemoryModel::mem(ThreadId tid) const {
+  if (tid == kControllerThread) return controller_;
+  if (tid >= threads_.size()) die("operation from unregistered thread");
+  return threads_[tid];
+}
+
+// Vector clocks are indexed by a dense slot: explored threads use their id,
+// the controller uses the slot one past them.
+std::uint64_t MemoryModel::bump(ThreadId tid) {
+  ThreadMem& m = mem(tid);
+  const std::size_t slot =
+      tid == kControllerThread ? threads_.size() : tid;
+  const std::uint64_t now = m.next_time++;
+  m.clock.set(slot, now);
+  return now;
+}
+
+void MemoryModel::register_atomic(const void* loc, const char* name,
+                                  std::uint64_t bits, ThreadId tid) {
+  AtomicLocation& a = atomics_[loc];  // re-registration resets the history
+  a.stores.clear();
+  a.last_seq_cst = -1;
+  a.name = name != nullptr
+               ? std::string(name)
+               : "atomic#" + std::to_string(anon_counter_++);
+  // The initial value behaves like a release store by the creator: anyone
+  // who can see the object can see its initialisation (in real code the
+  // constructor is sequenced before any thread that receives the object).
+  Store init;
+  init.value = bits;
+  init.writer = tid == kControllerThread
+                    ? static_cast<ThreadId>(threads_.size())
+                    : tid;
+  init.writer_time = bump(tid);
+  init.release_clock = mem(tid).clock;
+  a.stores.push_back(std::move(init));
+  mem(tid).last_read_index[loc] = 0;
+}
+
+const AtomicLocation* MemoryModel::find_atomic(const void* loc) const {
+  auto it = atomics_.find(loc);
+  return it == atomics_.end() ? nullptr : &it->second;
+}
+
+std::string MemoryModel::location_name(const void* loc) const {
+  if (const AtomicLocation* a = find_atomic(loc); a != nullptr) return a->name;
+  if (auto it = vars_.find(loc); it != vars_.end()) return it->second.name;
+  return "<unknown>";
+}
+
+std::size_t MemoryModel::min_readable(const AtomicLocation& a, const void* loc,
+                                      ThreadId tid) const {
+  const ThreadMem& m = mem(tid);
+  std::size_t min_idx = 0;
+  if (auto it = m.last_read_index.find(loc); it != m.last_read_index.end())
+    min_idx = it->second;
+  // Happens-before: if this thread's clock covers store j, stores < j are
+  // no longer readable (they are overwritten in the part of the
+  // modification order the thread provably observed).
+  for (std::size_t j = a.stores.size(); j-- > min_idx + 1;) {
+    const Store& s = a.stores[j];
+    if (m.clock.covers(s.writer, s.writer_time)) {
+      min_idx = j;
+      break;
+    }
+  }
+  return min_idx;
+}
+
+std::vector<std::size_t> MemoryModel::visible_stores(
+    const void* loc, ThreadId tid, std::memory_order order) const {
+  const AtomicLocation* a = find_atomic(loc);
+  if (a == nullptr) die("load from unregistered atomic location");
+  std::size_t min_idx = min_readable(*a, loc, tid);
+  // SC approximation: the SC total order is the execution order, so an SC
+  // load may not read anything older than the latest SC store.
+  if (order == std::memory_order_seq_cst && a->last_seq_cst >= 0)
+    min_idx = std::max(min_idx, static_cast<std::size_t>(a->last_seq_cst));
+  std::vector<std::size_t> out;
+  out.reserve(a->stores.size() - min_idx);
+  for (std::size_t j = min_idx; j < a->stores.size(); ++j) out.push_back(j);
+  return out;
+}
+
+void MemoryModel::apply_load_sync(const Store& s, ThreadId tid,
+                                  std::memory_order order) {
+  ThreadMem& m = mem(tid);
+  if (has_acquire(order)) {
+    m.clock.merge(s.release_clock);
+  } else {
+    // A later acquire fence turns this relaxed load into an acquire of
+    // everything it read.
+    m.acquire_fence_pending.merge(s.release_clock);
+  }
+}
+
+std::uint64_t MemoryModel::commit_load(const void* loc, ThreadId tid,
+                                       std::size_t index,
+                                       std::memory_order order) {
+  auto it = atomics_.find(loc);
+  if (it == atomics_.end()) die("load from unregistered atomic location");
+  AtomicLocation& a = it->second;
+  if (index >= a.stores.size()) die("commit_load index out of range");
+  bump(tid);
+  mem(tid).last_read_index[loc] = index;  // coherence: never go back
+  apply_load_sync(a.stores[index], tid, order);
+  return a.stores[index].value;
+}
+
+void MemoryModel::commit_store(const void* loc, ThreadId tid,
+                               std::uint64_t bits, std::memory_order order) {
+  auto it = atomics_.find(loc);
+  if (it == atomics_.end()) die("store to unregistered atomic location");
+  AtomicLocation& a = it->second;
+  ThreadMem& m = mem(tid);
+  const std::size_t slot =
+      tid == kControllerThread ? threads_.size() : tid;
+  Store s;
+  s.value = bits;
+  s.writer = static_cast<ThreadId>(slot);
+  s.writer_time = bump(tid);
+  if (has_release(order)) {
+    s.release_clock = m.clock;
+  } else if (m.has_release_fence) {
+    s.release_clock = m.release_fence_clock;
+  }
+  s.seq_cst = order == std::memory_order_seq_cst;
+  a.stores.push_back(std::move(s));
+  const std::size_t idx = a.stores.size() - 1;
+  m.last_read_index[loc] = idx;
+  if (order == std::memory_order_seq_cst)
+    a.last_seq_cst = static_cast<std::ptrdiff_t>(idx);
+}
+
+std::uint64_t MemoryModel::newest_value(const void* loc) const {
+  const AtomicLocation* a = find_atomic(loc);
+  if (a == nullptr || a->stores.empty()) die("RMW on unregistered location");
+  return a->stores.back().value;
+}
+
+std::uint64_t MemoryModel::commit_rmw(const void* loc, ThreadId tid,
+                                      std::uint64_t bits,
+                                      std::memory_order order) {
+  auto it = atomics_.find(loc);
+  if (it == atomics_.end()) die("RMW on unregistered atomic location");
+  AtomicLocation& a = it->second;
+  ThreadMem& m = mem(tid);
+  const std::size_t read_idx = a.stores.size() - 1;
+  const std::uint64_t old = a.stores[read_idx].value;
+  bump(tid);
+  m.last_read_index[loc] = read_idx;
+  apply_load_sync(a.stores[read_idx], tid, order);
+
+  const std::size_t slot =
+      tid == kControllerThread ? threads_.size() : tid;
+  Store s;
+  s.value = bits;
+  s.writer = static_cast<ThreadId>(slot);
+  s.writer_time = bump(tid);
+  if (has_release(order)) {
+    s.release_clock = m.clock;
+  } else if (m.has_release_fence) {
+    s.release_clock = m.release_fence_clock;
+  }
+  // An RMW continues the release sequence headed by the store it read:
+  // acquiring readers of this store synchronise with the original
+  // release even if this RMW itself is relaxed.
+  s.release_clock.merge(a.stores[read_idx].release_clock);
+  s.seq_cst = order == std::memory_order_seq_cst;
+  s.rmw = true;
+  a.stores.push_back(std::move(s));
+  const std::size_t idx = a.stores.size() - 1;
+  m.last_read_index[loc] = idx;
+  if (order == std::memory_order_seq_cst)
+    a.last_seq_cst = static_cast<std::ptrdiff_t>(idx);
+  return old;
+}
+
+void MemoryModel::fail_rmw(const void* loc, ThreadId tid,
+                           std::memory_order failure) {
+  auto it = atomics_.find(loc);
+  if (it == atomics_.end()) die("RMW on unregistered atomic location");
+  AtomicLocation& a = it->second;
+  const std::size_t read_idx = a.stores.size() - 1;
+  bump(tid);
+  mem(tid).last_read_index[loc] = read_idx;
+  apply_load_sync(a.stores[read_idx], tid, failure);
+}
+
+void MemoryModel::fence(ThreadId tid, std::memory_order order) {
+  ThreadMem& m = mem(tid);
+  bump(tid);
+  if (has_acquire(order)) m.clock.merge(m.acquire_fence_pending);
+  if (has_release(order)) {
+    m.release_fence_clock = m.clock;
+    m.has_release_fence = true;
+  }
+}
+
+void MemoryModel::register_var(const void* loc, const char* name) {
+  VarLocation& v = vars_[loc];
+  v.has_write = false;
+  v.reads_since_write.clear();
+  v.name = name != nullptr ? std::string(name)
+                           : "var#" + std::to_string(anon_counter_++);
+}
+
+namespace {
+std::string describe(const char* kind, ThreadId slot, std::size_t n_threads) {
+  std::string who = slot == n_threads ? std::string("controller")
+                                      : "thread " + std::to_string(slot);
+  return std::string(kind) + " by " + who;
+}
+}  // namespace
+
+std::optional<RaceReport> MemoryModel::var_read(const void* loc,
+                                                ThreadId tid) {
+  auto it = vars_.find(loc);
+  if (it == vars_.end()) register_var(loc, nullptr), it = vars_.find(loc);
+  VarLocation& v = it->second;
+  ThreadMem& m = mem(tid);
+  const std::size_t slot =
+      tid == kControllerThread ? threads_.size() : tid;
+  const std::uint64_t now = bump(tid);
+  if (v.has_write && !m.clock.covers(v.last_write.thread, v.last_write.time)) {
+    return RaceReport{
+        v.name, describe("write", v.last_write.thread, threads_.size()),
+        describe("read", static_cast<ThreadId>(slot), threads_.size())};
+  }
+  v.reads_since_write.push_back({static_cast<ThreadId>(slot), now});
+  return std::nullopt;
+}
+
+std::optional<RaceReport> MemoryModel::var_write(const void* loc,
+                                                 ThreadId tid) {
+  auto it = vars_.find(loc);
+  if (it == vars_.end()) register_var(loc, nullptr), it = vars_.find(loc);
+  VarLocation& v = it->second;
+  ThreadMem& m = mem(tid);
+  const std::size_t slot =
+      tid == kControllerThread ? threads_.size() : tid;
+  const std::uint64_t now = bump(tid);
+  if (v.has_write && !m.clock.covers(v.last_write.thread, v.last_write.time)) {
+    return RaceReport{
+        v.name, describe("write", v.last_write.thread, threads_.size()),
+        describe("write", static_cast<ThreadId>(slot), threads_.size())};
+  }
+  for (const VarAccess& r : v.reads_since_write) {
+    if (r.thread == slot) continue;  // own earlier read is program-ordered
+    if (!m.clock.covers(r.thread, r.time)) {
+      return RaceReport{
+          v.name, describe("read", r.thread, threads_.size()),
+          describe("write", static_cast<ThreadId>(slot), threads_.size())};
+    }
+  }
+  v.has_write = true;
+  v.last_write = {static_cast<ThreadId>(slot), now};
+  v.reads_since_write.clear();
+  return std::nullopt;
+}
+
+void MemoryModel::spawn_threads_from_controller() {
+  for (ThreadMem& t : threads_) {
+    t.clock.merge(controller_.clock);
+    // Everything setup wrote is the newest the thread knows; coherence
+    // floors come from the clock, not last_read_index, so nothing else to
+    // seed here.
+  }
+}
+
+void MemoryModel::join_all_into_controller() {
+  for (const ThreadMem& t : threads_) controller_.clock.merge(t.clock);
+}
+
+}  // namespace stash::mc

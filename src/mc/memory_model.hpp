@@ -1,0 +1,186 @@
+// Axiomatic-ish memory model state for the interleaving model checker.
+//
+// The checker executes one thread at a time, so every store has a global
+// execution order; per location that order *is* the modification order.
+// Weak-memory behaviours are modelled on the read side, CDSChecker/relacy
+// style: a load may read from any store in a per-location history that is
+// neither ruled out by coherence (a thread never re-reads something older
+// than what it already read or wrote) nor by happens-before (once your
+// vector clock covers a store, every earlier store to that location is
+// dead to you).  Acquire/release edges are vector-clock merges carried on
+// the stores themselves; fences use the standard pending-clock treatment.
+//
+// Non-atomic locations (mc::var<T>) keep their real value in the shim and
+// are only *checked* here: conflicting accesses not ordered by
+// happens-before are reported as data races, which is exactly the C++
+// rule — a racy non-atomic program is undefined, so there is no point
+// modelling torn values.
+//
+// Deliberate simplifications (see DESIGN.md §12 for the full list):
+//   * seq_cst is approximated by the execution order: an SC load may not
+//     read anything older than the latest SC store to its location.
+//   * memory_order_consume is treated as acquire.
+//   * compare_exchange_weak never fails spuriously.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace stash::mc {
+
+using ThreadId = std::uint32_t;
+
+/// Thread id used for operations performed by the controller (the make()
+/// factory and the finally() check), which run single-threaded before and
+/// after the explored threads.
+inline constexpr ThreadId kControllerThread = 0xffffffffu;
+
+/// Upper bound on explored threads per execution.  The model always
+/// allocates this many thread slots so the controller's vector-clock slot
+/// (one past the last thread) is stable regardless of scenario size.
+inline constexpr std::size_t kMaxModelThreads = 16;
+
+class VectorClock {
+ public:
+  VectorClock() = default;
+  explicit VectorClock(std::size_t n) : t_(n, 0) {}
+
+  [[nodiscard]] std::uint64_t at(std::size_t i) const {
+    return i < t_.size() ? t_[i] : 0;
+  }
+  void set(std::size_t i, std::uint64_t v) {
+    if (i >= t_.size()) t_.resize(i + 1, 0);
+    t_[i] = v;
+  }
+  void merge(const VectorClock& o) {
+    if (o.t_.size() > t_.size()) t_.resize(o.t_.size(), 0);
+    for (std::size_t i = 0; i < o.t_.size(); ++i)
+      if (o.t_[i] > t_[i]) t_[i] = o.t_[i];
+  }
+  [[nodiscard]] bool covers(ThreadId tid, std::uint64_t time) const {
+    return at(tid) >= time;
+  }
+  void clear() { t_.clear(); }
+
+ private:
+  std::vector<std::uint64_t> t_;
+};
+
+/// One entry in a location's modification order.
+struct Store {
+  std::uint64_t value = 0;
+  ThreadId writer = kControllerThread;
+  std::uint64_t writer_time = 0;  // writer's own clock component at the store
+  VectorClock release_clock;      // merged into acquiring readers
+  bool seq_cst = false;
+  bool rmw = false;
+};
+
+struct AtomicLocation {
+  std::string name;
+  std::vector<Store> stores;
+  std::ptrdiff_t last_seq_cst = -1;  // index of latest SC store, -1 if none
+};
+
+/// Last conflicting accesses to a checked non-atomic location.
+struct VarAccess {
+  ThreadId thread = kControllerThread;
+  std::uint64_t time = 0;
+};
+
+struct VarLocation {
+  std::string name;
+  bool has_write = false;
+  VarAccess last_write;
+  std::vector<VarAccess> reads_since_write;
+};
+
+/// Race report for a non-atomic access pair.
+struct RaceReport {
+  std::string location;
+  std::string prior;    // "write by thread 0" / "read by thread 2"
+  std::string current;  // likewise
+};
+
+/// Per-thread memory-model state.
+struct ThreadMem {
+  VectorClock clock;
+  // Release clocks of relaxed-read stores, released by the next acquire
+  // fence (the fence "upgrades" earlier relaxed loads).
+  VectorClock acquire_fence_pending;
+  // Clock snapshot at the last release fence; later relaxed stores act as
+  // release stores for that snapshot.
+  VectorClock release_fence_clock;
+  bool has_release_fence = false;
+  std::uint64_t next_time = 1;
+  std::unordered_map<const void*, std::size_t> last_read_index;
+};
+
+/// Whole-execution memory state.  The scheduler resets it per execution,
+/// registers locations as the shim constructs them, and consults
+/// visible_stores() to enumerate the read choices a load may make.
+class MemoryModel {
+ public:
+  void reset(std::size_t n_threads);
+
+  void register_atomic(const void* loc, const char* name, std::uint64_t bits,
+                       ThreadId tid);
+  [[nodiscard]] bool knows_atomic(const void* loc) const {
+    return atomics_.contains(loc);
+  }
+
+  /// Indices into the location's store history this thread may read, in
+  /// modification order (oldest candidate first, newest last).
+  [[nodiscard]] std::vector<std::size_t> visible_stores(
+      const void* loc, ThreadId tid, std::memory_order order) const;
+
+  std::uint64_t commit_load(const void* loc, ThreadId tid, std::size_t index,
+                            std::memory_order order);
+  void commit_store(const void* loc, ThreadId tid, std::uint64_t bits,
+                    std::memory_order order);
+
+  /// Value of the newest store (what an RMW will read).
+  [[nodiscard]] std::uint64_t newest_value(const void* loc) const;
+  std::uint64_t commit_rmw(const void* loc, ThreadId tid, std::uint64_t bits,
+                           std::memory_order order);
+  void fail_rmw(const void* loc, ThreadId tid, std::memory_order failure);
+
+  void fence(ThreadId tid, std::memory_order order);
+
+  void register_var(const void* loc, const char* name);
+  /// nullopt when the access is ordered; a report when it races.
+  std::optional<RaceReport> var_read(const void* loc, ThreadId tid);
+  std::optional<RaceReport> var_write(const void* loc, ThreadId tid);
+
+  /// Give every explored thread the controller's clock, modelling the
+  /// happens-before edge from setup (the make() factory) into each spawned
+  /// thread.  Call once, after setup and before the first thread step.
+  void spawn_threads_from_controller();
+
+  /// Merge every explored thread's clock into the controller's, modelling
+  /// the happens-before edge of joining all threads before finally().
+  void join_all_into_controller();
+
+  [[nodiscard]] const AtomicLocation* find_atomic(const void* loc) const;
+  [[nodiscard]] std::string location_name(const void* loc) const;
+
+ private:
+  ThreadMem& mem(ThreadId tid);
+  [[nodiscard]] const ThreadMem& mem(ThreadId tid) const;
+  std::uint64_t bump(ThreadId tid);
+  [[nodiscard]] std::size_t min_readable(const AtomicLocation& a,
+                                         const void* loc, ThreadId tid) const;
+  void apply_load_sync(const Store& s, ThreadId tid, std::memory_order order);
+
+  std::unordered_map<const void*, AtomicLocation> atomics_;
+  std::unordered_map<const void*, VarLocation> vars_;
+  std::vector<ThreadMem> threads_;
+  ThreadMem controller_;
+  std::size_t anon_counter_ = 0;
+};
+
+}  // namespace stash::mc

@@ -1,0 +1,125 @@
+// Deterministic interleaving explorer for catomic-instrumented code.
+//
+// The checker repeatedly executes a small multi-threaded scenario, driving
+// every context switch and every weak-memory read choice itself, so that
+// bugs which TSan can only catch when the hardware happens to interleave
+// the wrong way are found *systematically*:
+//
+//   * Exhaustive mode (default): depth-first search over all schedules up
+//     to a preemption bound (CHESS-style) and over all store-visibility
+//     choices the memory model allows (CDSChecker-style).  The seed only
+//     rotates the DFS visiting order, so a capped budget samples different
+//     regions of the tree; coverage is unchanged.
+//   * Random mode: seeded random walks through the same choice space, for
+//     scenarios whose full tree is too large.
+//
+// Every failure is replayable: Result::schedule_string() prints a compact
+// "<seed>:<choices>" token, and ModelChecker::replay() re-runs exactly that
+// interleaving with a human-readable per-operation trace.
+//
+// Usage (the factory runs once per execution and must be deterministic —
+// tools/stash_lint.py enforces the no-wall-clock/no-rand rules that make
+// that true in this tree):
+//
+//   mc::Result r = mc::ModelChecker(opts).run([] {
+//     auto st = std::make_shared<State>();         // fresh state
+//     mc::Execution e;
+//     e.threads.push_back([st] { st->writer(); });
+//     e.threads.push_back([st] { st->reader(); });
+//     e.finally = [st] { MC_ASSERT(st->consistent()); };
+//     return e;
+//   });
+//   ASSERT_FALSE(r.bug_found) << r.bug << "\n" << r.trace;
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace stash::mc {
+
+/// One scenario instance: the threads to interleave plus an optional
+/// single-threaded invariant check that runs after all threads join.
+/// Construct all catomic<T>/var<T> state inside the factory that returns
+/// this (the constructor registers locations with the active execution).
+struct Execution {
+  std::vector<std::function<void()>> threads;
+  std::function<void()> finally;
+};
+
+struct Options {
+  /// DFS budget: stop after this many executions even if unexplored
+  /// schedules remain (Result::complete tells you which happened).
+  std::uint64_t max_executions = 200000;
+  /// Max context switches at points where the running thread could have
+  /// continued (CHESS preemption bounding); -1 = unbounded.  Switches at
+  /// thread completion are free.
+  int preemption_bound = 3;
+  /// Rotates DFS visiting order; the RNG seed in random mode.
+  std::uint64_t seed = 1;
+  /// Random-schedule mode instead of exhaustive DFS.
+  bool random = false;
+  std::uint64_t random_iterations = 20000;
+  /// Per-execution step cap; schedules that spin past it are abandoned
+  /// (counted in Result::abandoned), which keeps CAS/retry loops finite.
+  std::uint64_t max_steps = 20000;
+  /// Re-run a failing schedule automatically to capture Result::trace.
+  bool trace_failure = true;
+};
+
+struct Result {
+  bool bug_found = false;
+  std::string bug;
+  /// The decision sequence of the failing execution (empty if none).
+  std::vector<std::uint32_t> schedule;
+  std::uint64_t seed = 0;
+  /// The preemption bound the schedule was explored under.  Part of the
+  /// replay token: the bound shapes decision fan-out at every scheduling
+  /// point, so replaying under a different bound would misalign choices.
+  int preemption_bound = -1;
+  std::uint64_t executions = 0;
+  std::uint64_t abandoned = 0;
+  /// True when the DFS exhausted every schedule within bounds.
+  bool complete = false;
+  /// Human-readable interleaving of the failing schedule.
+  std::string trace;
+
+  /// "<seed>:<bound>:<c0>,<c1>,..." — paste into ModelChecker::replay().
+  [[nodiscard]] std::string schedule_string() const;
+};
+
+class ModelChecker {
+ public:
+  explicit ModelChecker(Options opts = {});
+
+  /// Explores the scenario; the factory is invoked once per execution.
+  Result run(const std::function<Execution()>& make);
+
+  /// Re-runs one exact interleaving (a failing Result, or its printed
+  /// schedule_string()) with tracing enabled.  Deterministic: identical
+  /// inputs, identical trace.
+  static Result replay(const std::function<Execution()>& make,
+                       const Result& failure);
+  static Result replay(const std::function<Execution()>& make,
+                       const std::string& schedule_string);
+
+ private:
+  Options opts_;
+};
+
+/// Reports a bug in the current execution and unwinds the calling thread.
+/// Must only be called from inside a model-checked execution.
+[[noreturn]] void fail(const std::string& message);
+
+#define MC_ASSERT_MSG(cond, msg)                                        \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      ::stash::mc::fail(std::string("MC_ASSERT failed: ") + (msg) +     \
+                        " at " __FILE__ ":" + std::to_string(__LINE__)); \
+    }                                                                   \
+  } while (0)
+
+#define MC_ASSERT(cond) MC_ASSERT_MSG(cond, #cond)
+
+}  // namespace stash::mc

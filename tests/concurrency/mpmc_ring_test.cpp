@@ -1,0 +1,148 @@
+// Plain-build tests for MpmcRing: single-threaded semantics against a
+// reference deque, plus a real-thread stress test (the suite name matches
+// the TSan CI lane's Concurrent* filter so it also runs under
+// -fsanitize=thread).
+
+#include "concurrency/mpmc_ring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace stash {
+namespace {
+
+using concurrency::MpmcRing;
+
+TEST(MpmcRingTest, StartsEmpty) {
+  MpmcRing<int> ring(8);
+  EXPECT_EQ(ring.capacity(), 8u);
+  EXPECT_EQ(ring.size_approx(), 0u);
+  EXPECT_FALSE(ring.try_pop().has_value());
+}
+
+TEST(MpmcRingTest, SingleThreadedFifo) {
+  MpmcRing<int> ring(8);
+  for (int v = 1; v <= 5; ++v) EXPECT_TRUE(ring.try_push(v));
+  EXPECT_EQ(ring.size_approx(), 5u);
+  for (int v = 1; v <= 5; ++v) {
+    const auto got = ring.try_pop();
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, v);
+  }
+  EXPECT_FALSE(ring.try_pop().has_value());
+}
+
+TEST(MpmcRingTest, FullRingRejectsPush) {
+  MpmcRing<int> ring(4);
+  for (int v = 0; v < 4; ++v) EXPECT_TRUE(ring.try_push(v));
+  EXPECT_FALSE(ring.try_push(99));
+  ASSERT_EQ(ring.try_pop().value_or(-1), 0);
+  EXPECT_TRUE(ring.try_push(99));  // slot handed back after the pop
+  EXPECT_FALSE(ring.try_push(100));
+}
+
+TEST(MpmcRingTest, MovesMoveOnlyPayloads) {
+  MpmcRing<std::unique_ptr<int>> ring(2);
+  EXPECT_TRUE(ring.try_push(std::make_unique<int>(7)));
+  auto got = ring.try_pop();
+  ASSERT_TRUE(got.has_value());
+  ASSERT_TRUE(*got != nullptr);
+  EXPECT_EQ(**got, 7);
+}
+
+TEST(MpmcRingTest, WraparoundMatchesReferenceDeque) {
+  MpmcRing<std::uint64_t> ring(8);
+  std::deque<std::uint64_t> reference;
+  Rng rng(2026);
+  std::uint64_t next_value = 0;
+  for (int step = 0; step < 20000; ++step) {
+    if (rng.bernoulli(0.55)) {
+      const bool pushed = ring.try_push(next_value);
+      EXPECT_EQ(pushed, reference.size() < ring.capacity());
+      if (pushed) reference.push_back(next_value);
+      ++next_value;
+    } else {
+      const auto got = ring.try_pop();
+      ASSERT_EQ(got.has_value(), !reference.empty());
+      if (got.has_value()) {
+        EXPECT_EQ(*got, reference.front());
+        reference.pop_front();
+      }
+    }
+  }
+}
+
+TEST(ConcurrentRingStressTest, ManyProducersManyConsumersConserveItems) {
+  constexpr std::uint32_t kProducers = 4;
+  constexpr std::uint32_t kConsumers = 4;
+  constexpr std::uint32_t kPerProducer = 10000;
+  constexpr std::uint64_t kTotal =
+      static_cast<std::uint64_t>(kProducers) * kPerProducer;
+
+  MpmcRing<std::uint64_t> ring(256);
+  std::atomic<std::uint64_t> consumed{0};
+  std::vector<std::vector<std::uint64_t>> per_consumer(kConsumers);
+
+  std::vector<std::thread> threads;
+  threads.reserve(kProducers + kConsumers);
+  for (std::uint32_t p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&ring, p] {
+      for (std::uint32_t seq = 0; seq < kPerProducer; ++seq) {
+        const std::uint64_t item =
+            (static_cast<std::uint64_t>(p) << 32) | seq;
+        while (!ring.try_push(item)) std::this_thread::yield();
+      }
+    });
+  }
+  for (std::uint32_t c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&ring, &consumed, &per_consumer, c] {
+      auto& mine = per_consumer[c];
+      for (;;) {
+        if (const auto item = ring.try_pop()) {
+          mine.push_back(*item);
+          consumed.fetch_add(1, std::memory_order_relaxed);
+        } else if (consumed.load(std::memory_order_relaxed) >= kTotal) {
+          break;
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  // Conservation: every produced item consumed exactly once.
+  std::vector<std::uint32_t> seen_per_producer(kProducers, 0);
+  for (std::uint32_t c = 0; c < kConsumers; ++c) {
+    // Per-consumer, per-producer sequence numbers must be strictly
+    // increasing: pops claim increasing ring positions and each producer
+    // enqueues in order.
+    std::vector<std::int64_t> last(kProducers, -1);
+    for (const std::uint64_t item : per_consumer[c]) {
+      const auto p = static_cast<std::uint32_t>(item >> 32);
+      const auto seq = static_cast<std::uint32_t>(item & 0xffffffffu);
+      ASSERT_LT(p, kProducers);
+      ASSERT_LT(seq, kPerProducer);
+      EXPECT_GT(static_cast<std::int64_t>(seq), last[p])
+          << "per-producer FIFO violated at consumer " << c;
+      last[p] = static_cast<std::int64_t>(seq);
+      ++seen_per_producer[p];
+    }
+  }
+  for (std::uint32_t p = 0; p < kProducers; ++p) {
+    EXPECT_EQ(seen_per_producer[p], kPerProducer)
+        << "lost or duplicated items from producer " << p;
+  }
+  EXPECT_FALSE(ring.try_pop().has_value());
+}
+
+}  // namespace
+}  // namespace stash

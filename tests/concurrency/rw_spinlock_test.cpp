@@ -1,0 +1,97 @@
+// Plain-build tests for RwSpinlock: single-threaded state-machine checks
+// plus a real-thread stress test (suite name matches the TSan CI lane's
+// Concurrent* filter).
+
+#include "concurrency/rw_spinlock.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace stash {
+namespace {
+
+using concurrency::RwSpinlock;
+using concurrency::RwSpinReaderLock;
+using concurrency::RwSpinWriterLock;
+
+TEST(RwSpinlockTest, WriterExcludesEveryone) {
+  RwSpinlock mu;
+  mu.lock();
+  EXPECT_FALSE(mu.try_lock());
+  EXPECT_FALSE(mu.try_lock_shared());
+  mu.unlock();
+  EXPECT_TRUE(mu.try_lock());
+  mu.unlock();
+}
+
+TEST(RwSpinlockTest, ReadersShareButExcludeWriters) {
+  RwSpinlock mu;
+  mu.lock_shared();
+  EXPECT_TRUE(mu.try_lock_shared());
+  EXPECT_FALSE(mu.try_lock());
+  mu.unlock_shared();
+  EXPECT_FALSE(mu.try_lock());  // one reader still holds it
+  mu.unlock_shared();
+  EXPECT_TRUE(mu.try_lock());
+  mu.unlock();
+}
+
+TEST(RwSpinlockTest, RaiiGuardsReleaseOnScopeExit) {
+  RwSpinlock mu;
+  {
+    RwSpinWriterLock guard(mu);
+    EXPECT_FALSE(mu.try_lock_shared());
+  }
+  {
+    RwSpinReaderLock guard(mu);
+    EXPECT_FALSE(mu.try_lock());
+  }
+  EXPECT_TRUE(mu.try_lock());
+  mu.unlock();
+}
+
+TEST(ConcurrentRwSpinlockStressTest, GuardedCountersStayConsistent) {
+  constexpr int kWriters = 4;
+  constexpr int kReaders = 2;
+  constexpr std::int64_t kIncrementsPerWriter = 20000;
+
+  RwSpinlock mu;
+  std::int64_t a = 0;  // both guarded by mu
+  std::int64_t b = 0;
+  std::atomic<bool> done{false};
+  std::atomic<std::int64_t> mismatches{0};
+
+  std::vector<std::thread> threads;
+  threads.reserve(kWriters + kReaders);
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&] {
+      for (std::int64_t i = 0; i < kIncrementsPerWriter; ++i) {
+        RwSpinWriterLock guard(mu);
+        ++a;
+        ++b;
+      }
+    });
+  }
+  for (int c = 0; c < kReaders; ++c) {
+    threads.emplace_back([&] {
+      while (!done.load(std::memory_order_acquire)) {
+        RwSpinReaderLock guard(mu);
+        if (a != b) mismatches.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (int w = 0; w < kWriters; ++w) threads[static_cast<std::size_t>(w)].join();
+  done.store(true, std::memory_order_release);
+  for (std::size_t t = kWriters; t < threads.size(); ++t) threads[t].join();
+
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(a, kWriters * kIncrementsPerWriter);
+  EXPECT_EQ(b, kWriters * kIncrementsPerWriter);
+}
+
+}  // namespace
+}  // namespace stash

@@ -1,0 +1,36 @@
+// Fixture: discarded must-use results (decode_* / try_push / try_pop).
+// The used/acknowledged forms at the bottom must NOT be flagged.
+#include <cstdint>
+#include <vector>
+
+namespace fixture {
+
+struct Buffer {
+  std::vector<std::uint8_t> bytes;
+};
+
+Buffer decode_frame(const Buffer& frame);
+
+struct Ring {
+  bool try_push(int v);
+  bool try_pop(int* out);
+};
+
+inline void discards(Ring& ring, const Buffer& frame) {
+  decode_frame(frame);  // 20
+  ring.try_push(42);  // 21
+  int out = 0;
+  ring.try_pop(&out);  // 23
+}
+
+inline int uses(Ring& ring, const Buffer& frame) {
+  const Buffer b = decode_frame(frame);  // assigned: ok
+  if (!ring.try_push(7)) return -1;  // tested: ok
+  int out = 0;
+  while (ring.try_pop(&out)) {  // loop condition: ok
+  }
+  (void)ring.try_push(0);  // explicitly acknowledged: ok
+  return static_cast<int>(b.bytes.size()) + out;
+}
+
+}  // namespace fixture

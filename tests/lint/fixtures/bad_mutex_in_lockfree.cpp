@@ -1,0 +1,13 @@
+// Fixture: a file that claims to be lock-free but takes blocking locks.
+// stash-lint: lock-free-file
+#include <mutex>  // 3
+
+namespace fixture {
+
+inline std::mutex mu;  // 7
+
+inline void not_lock_free() {
+  std::lock_guard<std::mutex> hold(mu);  // 10 (two idents on one line)
+}
+
+}  // namespace fixture

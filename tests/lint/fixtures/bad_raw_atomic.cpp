@@ -1,0 +1,15 @@
+// Fixture: raw std::atomic usage outside the catomic shim.
+#include <atomic>
+
+namespace fixture {
+
+inline std::atomic<int> naked{0};  // 6
+
+inline void publish() {
+  naked.store(1);
+  std::atomic_thread_fence(std::memory_order_release);  // 10
+}
+
+inline std::atomic_flag spin = ATOMIC_FLAG_INIT;  // 13
+
+}  // namespace fixture

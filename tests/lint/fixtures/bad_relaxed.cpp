@@ -1,0 +1,19 @@
+// Fixture: memory_order_relaxed outside src/concurrency/ + src/obs/.
+// The self-test also copies this file *into* a fake src/concurrency/ tree
+// to prove the path exemption, so keep it self-contained.
+#include <atomic>  // stash-lint: allow(raw-atomic) -- fixture isolates the relaxed rule
+
+namespace fixture {
+
+// stash-lint: allow(raw-atomic) -- fixture isolates the relaxed rule
+inline std::atomic<int> counter{0};
+
+inline void bump() {
+  counter.fetch_add(1, std::memory_order_relaxed);  // 12
+}
+
+inline int peek() {
+  return counter.load(std::memory_order_relaxed);  // 16
+}
+
+}  // namespace fixture

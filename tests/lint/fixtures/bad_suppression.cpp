@@ -1,0 +1,12 @@
+// Fixture: malformed suppression comments are themselves findings, and a
+// malformed allow() must NOT silence the line it sits on.
+
+namespace fixture {
+
+// stash-lint: allow(no-such-rule) -- reason present but rule unknown  (6)
+
+int missing_reason() {
+  return rand();  // stash-lint: allow(wall-clock)
+}
+
+}  // namespace fixture

@@ -1,0 +1,31 @@
+// Fixture: every banned wall-clock / RNG construct, one per line, so the
+// self-test can assert the exact line numbers the rule reports.
+#include <chrono>
+#include <ctime>
+#include <random>
+
+namespace fixture {
+
+long wall_now() {
+  return std::chrono::system_clock::now().time_since_epoch().count();  // 10
+}
+
+long mono_now() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();  // 14
+}
+
+int roll() {
+  return rand();  // 18
+}
+
+long unix_seconds() {
+  return time(nullptr);  // 22
+}
+
+unsigned unseeded() {
+  std::mt19937 gen;  // 26
+  std::random_device rd;  // 27
+  return gen() + rd();
+}
+
+}  // namespace fixture

@@ -1,0 +1,31 @@
+// Fixture: constructs that look like violations but are not — banned
+// names in comments and strings, member functions that shadow libc names,
+// and identifiers that merely contain banned substrings.
+//
+// rand() in a comment, std::atomic in a comment, memory_order_relaxed too.
+
+namespace fixture {
+
+struct Clock {
+  // Declarations of members shadowing libc names are fine: the ambiguous
+  // `time`/`clock` spellings only fire in unambiguous call positions.
+  long time() const;
+  long clock() const;
+};
+
+inline long simulated(const Clock& c) { return c.time() + c.clock(); }
+
+inline const char* doc() {
+  return "calls rand() and time(nullptr) and std::atomic<int> in a string";
+}
+
+inline const char* raw_doc() {
+  return R"(rand() memory_order_relaxed std::atomic even in raw strings)";
+}
+
+// Identifiers containing banned substrings must not fire token rules.
+inline int operand = 0;
+inline int mktime_like_total = 0;
+struct Spinclock {};
+
+}  // namespace fixture

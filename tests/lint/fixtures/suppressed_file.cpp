@@ -1,0 +1,20 @@
+// Fixture: allow-file() silences a rule everywhere in the file, but only
+// that rule — the rand() at the bottom must still be flagged.
+//
+// stash-lint: allow-file(raw-atomic) -- fixture: whole-file suppression
+#include <atomic>
+
+namespace fixture {
+
+inline std::atomic<int> first{0};
+inline std::atomic<int> second{0};
+
+inline void fences() {
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+}
+
+inline int still_flagged() {
+  return rand();  // 17
+}
+
+}  // namespace fixture

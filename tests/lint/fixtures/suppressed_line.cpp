@@ -1,0 +1,19 @@
+// Fixture: line-level suppressions silence exactly their line and the
+// next one — the third rand() below must still be flagged.
+
+namespace fixture {
+
+int same_line() {
+  return rand();  // stash-lint: allow(wall-clock) -- fixture: same line
+}
+
+int line_above() {
+  // stash-lint: allow(wall-clock) -- fixture: comment-above idiom
+  return rand();
+}
+
+int unsuppressed() {
+  return rand();  // 16: two lines below the nearest allow() — must flag
+}
+
+}  // namespace fixture

@@ -1,0 +1,173 @@
+// Seeded-bug catalog for validating the model checker itself.
+//
+// Each primitive here comes in a correct flavour and a deliberately broken
+// one, selected by a template/bool parameter.  The checker must FIND the
+// bug in every broken flavour within a bounded schedule budget and must
+// PASS the correct twin — that pair of obligations is what
+// broken_variants_test.cpp asserts, and it is the evidence that a clean
+// model-check of the real primitives (mpmc_ring, rw_spinlock) means
+// something.
+//
+// The three bug shapes mirror the classic lock-free failure modes:
+//   1. MissingReleasePublish — publication flag stored relaxed, so the
+//      reader's acquire load synchronises with nothing: data race.
+//   2. AbaStack — Treiber-style index stack whose pop CAS can't tell that
+//      the head node was popped and re-pushed underneath it: double pop.
+//   3. Seqlock — reader without the validating re-read/acquire fence
+//      returns a torn pair.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "concurrency/catomic.hpp"
+
+namespace stash::mc_tests {
+
+using concurrency::catomic;
+using concurrency::fence;
+using concurrency::var;
+
+// ---------------------------------------------------------------------------
+// 1. Message-passing publish.  Broken: flag store is relaxed.
+// ---------------------------------------------------------------------------
+struct Publish {
+  explicit Publish(bool broken) : broken_(broken) {}
+
+  void write() {
+    data.store(42);
+    flag.store(1, broken_ ? std::memory_order_relaxed
+                          : std::memory_order_release);
+  }
+
+  /// Returns the payload if the flag was observed, nullopt otherwise.
+  /// Under the checker, reading `data` without a synchronising edge is
+  /// reported as a data race.
+  std::optional<int> read() {
+    if (flag.load(std::memory_order_acquire) == 1) return data.load();
+    return std::nullopt;
+  }
+
+  var<int> data{0, "pub.data"};
+  catomic<int> flag{0, "pub.flag"};
+  const bool broken_;
+};
+
+// ---------------------------------------------------------------------------
+// 2. Treiber-style stack of pool indices.  Broken: untagged head CAS (ABA).
+//    Correct twin packs a modification counter next to the index so a
+//    popped-and-repushed head no longer compares equal.
+// ---------------------------------------------------------------------------
+class AbaStack {
+ public:
+  static constexpr std::int32_t kNodes = 3;
+  static constexpr std::int32_t kEmpty = -1;
+  static constexpr std::int32_t kGaveUp = -2;  // bounded retries, not a bug
+
+  explicit AbaStack(bool tagged) : tagged_(tagged) {
+    // Initial chain: head -> 2 -> 1 -> 0.
+    next_[0].store(kEmpty, std::memory_order_relaxed);
+    next_[1].store(0, std::memory_order_relaxed);
+    next_[2].store(1, std::memory_order_relaxed);
+    head_.store(pack(2, 0), std::memory_order_relaxed);
+  }
+
+  std::int32_t pop() {
+    for (int attempt = 0; attempt < 6; ++attempt) {
+      std::uint64_t h = head_.load(std::memory_order_acquire);
+      const std::int32_t idx = index_of(h);
+      if (idx == kEmpty) return kEmpty;
+      const std::int32_t nxt =
+          next_[static_cast<std::size_t>(idx)].load(std::memory_order_relaxed);
+      // The ABA window: between the loads above and the CAS below, another
+      // thread may pop this node and push it back; without the tag the CAS
+      // still succeeds and installs a stale next pointer.
+      if (head_.compare_exchange_strong(h, pack(nxt, tag_of(h) + 1),
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_relaxed))
+        return idx;
+    }
+    return kGaveUp;
+  }
+
+  void push(std::int32_t idx) {
+    for (int attempt = 0; attempt < 6; ++attempt) {
+      std::uint64_t h = head_.load(std::memory_order_relaxed);
+      next_[static_cast<std::size_t>(idx)].store(index_of(h),
+                                                 std::memory_order_relaxed);
+      if (head_.compare_exchange_strong(h, pack(idx, tag_of(h) + 1),
+                                        std::memory_order_release,
+                                        std::memory_order_relaxed))
+        return;
+    }
+  }
+
+ private:
+  [[nodiscard]] std::uint64_t pack(std::int32_t idx, std::uint32_t tag) const {
+    // Broken flavour drops the tag — this is the whole bug.
+    const std::uint32_t t = tagged_ ? tag : 0;
+    return (static_cast<std::uint64_t>(t) << 32) |
+           static_cast<std::uint32_t>(idx);
+  }
+  [[nodiscard]] static std::int32_t index_of(std::uint64_t h) {
+    return static_cast<std::int32_t>(static_cast<std::uint32_t>(h));
+  }
+  [[nodiscard]] static std::uint32_t tag_of(std::uint64_t h) {
+    return static_cast<std::uint32_t>(h >> 32);
+  }
+
+  catomic<std::uint64_t> head_{0, "stack.head"};
+  std::array<catomic<std::int32_t>, kNodes> next_{
+      catomic<std::int32_t>{0, "stack.next0"},
+      catomic<std::int32_t>{0, "stack.next1"},
+      catomic<std::int32_t>{0, "stack.next2"}};
+  const bool tagged_;
+};
+
+// ---------------------------------------------------------------------------
+// 3. Seqlock over a two-word payload (Boehm's fence formulation).
+//    Broken reader: single pass, no acquire fence, no validating re-read —
+//    it can return a torn (new, old) pair.
+// ---------------------------------------------------------------------------
+struct Seqlock {
+  void write(std::uint32_t generation) {
+    const std::uint32_t s = seq.load(std::memory_order_relaxed);
+    seq.store(s + 1, std::memory_order_relaxed);  // odd: write in progress
+    fence(std::memory_order_release);  // later stores publish the odd seq
+    d1.store(generation, std::memory_order_relaxed);
+    d2.store(generation, std::memory_order_relaxed);
+    seq.store(s + 2, std::memory_order_release);
+  }
+
+  /// Correct reader: pair is (gen, gen) or nullopt (writer in flight).
+  std::optional<std::pair<std::uint32_t, std::uint32_t>> read() {
+    for (int attempt = 0; attempt < 4; ++attempt) {
+      const std::uint32_t s1 = seq.load(std::memory_order_acquire);
+      if ((s1 & 1u) != 0) continue;
+      const std::uint32_t a = d1.load(std::memory_order_relaxed);
+      const std::uint32_t b = d2.load(std::memory_order_relaxed);
+      fence(std::memory_order_acquire);
+      const std::uint32_t s2 = seq.load(std::memory_order_relaxed);
+      if (s1 == s2) return std::make_pair(a, b);
+    }
+    return std::nullopt;
+  }
+
+  /// Broken reader: trusts the first even sequence it sees.
+  std::optional<std::pair<std::uint32_t, std::uint32_t>> read_torn() {
+    const std::uint32_t s1 = seq.load(std::memory_order_acquire);
+    if ((s1 & 1u) != 0) return std::nullopt;
+    const std::uint32_t a = d1.load(std::memory_order_relaxed);
+    const std::uint32_t b = d2.load(std::memory_order_relaxed);
+    return std::make_pair(a, b);
+  }
+
+  catomic<std::uint32_t> seq{0, "seqlock.seq"};
+  catomic<std::uint32_t> d1{0, "seqlock.d1"};
+  catomic<std::uint32_t> d2{0, "seqlock.d2"};
+};
+
+}  // namespace stash::mc_tests

@@ -1,0 +1,279 @@
+// Checker-internals tests: these pin down the *semantics* of the
+// interleaving explorer — which weak-memory behaviours it can produce,
+// which it must never produce, how the preemption bound gates schedules,
+// and that failing schedules replay deterministically from their printed
+// token.  The broken-variant catalog (broken_variants_test.cpp) then uses
+// those semantics against real bug shapes.
+
+#include "mc/model_checker.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <utility>
+
+#include "concurrency/catomic.hpp"
+
+namespace stash {
+namespace {
+
+using concurrency::catomic;
+using concurrency::fence;
+using concurrency::var;
+
+mc::Options tight_opts(int preemption_bound) {
+  mc::Options o;
+  o.preemption_bound = preemption_bound;
+  o.max_executions = 100000;
+  o.max_steps = 2000;
+  return o;
+}
+
+TEST(ModelCheckerTest, RelaxedLoadSeesOldAndNewValues) {
+  std::set<int> seen;
+  const mc::Result r = mc::ModelChecker(tight_opts(2)).run([&seen] {
+    auto x = std::make_shared<catomic<int>>(0, "x");
+    mc::Execution e;
+    e.threads.push_back([x] { x->store(1, std::memory_order_relaxed); });
+    e.threads.push_back(
+        [x, &seen] { seen.insert(x->load(std::memory_order_relaxed)); });
+    return e;
+  });
+  ASSERT_FALSE(r.bug_found) << r.bug << "\n" << r.trace;
+  EXPECT_TRUE(r.complete);
+  EXPECT_EQ(seen, (std::set<int>{0, 1}));
+}
+
+TEST(ModelCheckerTest, CoherenceKeepsPerLocationReadsMonotonic) {
+  std::set<std::pair<int, int>> seen;
+  const mc::Result r = mc::ModelChecker(tight_opts(3)).run([&seen] {
+    auto x = std::make_shared<catomic<int>>(0, "x");
+    mc::Execution e;
+    e.threads.push_back([x] {
+      x->store(1, std::memory_order_relaxed);
+      x->store(2, std::memory_order_relaxed);
+    });
+    e.threads.push_back([x, &seen] {
+      const int a = x->load(std::memory_order_relaxed);
+      const int b = x->load(std::memory_order_relaxed);
+      seen.emplace(a, b);
+    });
+    return e;
+  });
+  ASSERT_FALSE(r.bug_found) << r.bug << "\n" << r.trace;
+  EXPECT_TRUE(r.complete);
+  for (const auto& [a, b] : seen) {
+    EXPECT_LE(a, b) << "coherence violation: read " << a << " then " << b;
+  }
+  // All six coherent pairs over values {0,1,2} are reachable.
+  EXPECT_EQ(seen.size(), 6u);
+}
+
+struct StoreBuffering {
+  explicit StoreBuffering(std::memory_order o) : order(o) {}
+  const std::memory_order order;
+  catomic<int> x{0, "sb.x"};
+  catomic<int> y{0, "sb.y"};
+  int r1 = -1;
+  int r2 = -1;
+};
+
+std::function<mc::Execution()> store_buffering(
+    std::memory_order order, std::set<std::pair<int, int>>* seen) {
+  return [order, seen] {
+    auto st = std::make_shared<StoreBuffering>(order);
+    mc::Execution e;
+    e.threads.push_back([st] {
+      st->x.store(1, st->order);
+      st->r1 = st->y.load(st->order);
+    });
+    e.threads.push_back([st] {
+      st->y.store(1, st->order);
+      st->r2 = st->x.load(st->order);
+    });
+    e.finally = [st, seen] { seen->emplace(st->r1, st->r2); };
+    return e;
+  };
+}
+
+TEST(ModelCheckerTest, SeqCstForbidsStoreBufferingOutcome) {
+  std::set<std::pair<int, int>> seen;
+  const mc::Result r = mc::ModelChecker(tight_opts(3))
+                           .run(store_buffering(std::memory_order_seq_cst,
+                                                &seen));
+  ASSERT_FALSE(r.bug_found) << r.bug << "\n" << r.trace;
+  EXPECT_TRUE(r.complete);
+  EXPECT_FALSE(seen.contains({0, 0}))
+      << "store buffering must be invisible under seq_cst";
+  EXPECT_TRUE(seen.contains({1, 1}));
+}
+
+TEST(ModelCheckerTest, RelaxedAllowsStoreBufferingOutcome) {
+  std::set<std::pair<int, int>> seen;
+  const mc::Result r = mc::ModelChecker(tight_opts(3))
+                           .run(store_buffering(std::memory_order_relaxed,
+                                                &seen));
+  ASSERT_FALSE(r.bug_found) << r.bug << "\n" << r.trace;
+  EXPECT_TRUE(r.complete);
+  EXPECT_TRUE(seen.contains({0, 0}))
+      << "relaxed accesses must expose the store-buffering outcome";
+}
+
+// The canonical CHESS example: a seq_cst load/store lost update needs one
+// preemption to manifest, so bound 0 proves the serial schedules and bound
+// 1 finds the bug.
+std::function<mc::Execution()> lost_update() {
+  return [] {
+    auto c = std::make_shared<catomic<int>>(0, "counter");
+    mc::Execution e;
+    const auto inc = [c] {
+      const int t = c->load(std::memory_order_seq_cst);
+      c->store(t + 1, std::memory_order_seq_cst);
+    };
+    e.threads.push_back(inc);
+    e.threads.push_back(inc);
+    e.finally = [c] {
+      MC_ASSERT_MSG(c->load(std::memory_order_seq_cst) == 2, "lost update");
+    };
+    return e;
+  };
+}
+
+TEST(ModelCheckerTest, PreemptionBoundZeroKeepsSchedulesSerial) {
+  const mc::Result r = mc::ModelChecker(tight_opts(0)).run(lost_update());
+  EXPECT_FALSE(r.bug_found) << r.bug << "\n" << r.trace;
+  EXPECT_TRUE(r.complete);
+}
+
+TEST(ModelCheckerTest, PreemptionBoundOneFindsLostUpdate) {
+  const mc::Result r = mc::ModelChecker(tight_opts(1)).run(lost_update());
+  ASSERT_TRUE(r.bug_found);
+  EXPECT_NE(r.bug.find("MC_ASSERT"), std::string::npos) << r.bug;
+  EXPECT_NE(r.bug.find("lost update"), std::string::npos) << r.bug;
+  EXPECT_FALSE(r.trace.empty());
+}
+
+TEST(ModelCheckerTest, RmwIsAtomicWhereLoadStoreIsNot) {
+  const mc::Result r = mc::ModelChecker(tight_opts(3)).run([] {
+    auto c = std::make_shared<catomic<int>>(0, "counter");
+    mc::Execution e;
+    const auto inc = [c] { c->fetch_add(1, std::memory_order_relaxed); };
+    e.threads.push_back(inc);
+    e.threads.push_back(inc);
+    e.finally = [c] {
+      MC_ASSERT(c->load(std::memory_order_seq_cst) == 2);
+    };
+    return e;
+  });
+  EXPECT_FALSE(r.bug_found) << r.bug << "\n" << r.trace;
+  EXPECT_TRUE(r.complete);
+}
+
+TEST(ModelCheckerTest, ReplayIsDeterministicFromPrintedToken) {
+  const auto make = lost_update();
+  const mc::Result r = mc::ModelChecker(tight_opts(1)).run(make);
+  ASSERT_TRUE(r.bug_found);
+
+  const mc::Result a = mc::ModelChecker::replay(make, r);
+  const mc::Result b = mc::ModelChecker::replay(make, r.schedule_string());
+  ASSERT_TRUE(a.bug_found) << "replayed schedule lost the bug";
+  ASSERT_TRUE(b.bug_found);
+  EXPECT_EQ(a.bug, r.bug);
+  EXPECT_EQ(a.trace, b.trace);
+  EXPECT_FALSE(a.trace.empty());
+
+  // Replaying twice more keeps producing byte-identical traces.
+  const mc::Result c = mc::ModelChecker::replay(make, r.schedule_string());
+  EXPECT_EQ(b.trace, c.trace);
+}
+
+TEST(ModelCheckerTest, RandomModeFindsTheSameBug) {
+  mc::Options o = tight_opts(1);
+  o.random = true;
+  o.random_iterations = 5000;
+  o.seed = 7;
+  const mc::Result r = mc::ModelChecker(o).run(lost_update());
+  ASSERT_TRUE(r.bug_found);
+  // A random-mode failure replays exactly like a DFS one.
+  const mc::Result a = mc::ModelChecker::replay(lost_update(), r);
+  EXPECT_TRUE(a.bug_found) << a.trace;
+}
+
+TEST(ModelCheckerTest, FencePairSynchronisesRelaxedFlag) {
+  const mc::Result r = mc::ModelChecker(tight_opts(2)).run([] {
+    struct State {
+      var<int> data{0, "fence.data"};
+      catomic<int> flag{0, "fence.flag"};
+    };
+    auto st = std::make_shared<State>();
+    mc::Execution e;
+    e.threads.push_back([st] {
+      st->data.store(1);
+      fence(std::memory_order_release);
+      st->flag.store(1, std::memory_order_relaxed);
+    });
+    e.threads.push_back([st] {
+      if (st->flag.load(std::memory_order_relaxed) == 1) {
+        fence(std::memory_order_acquire);
+        MC_ASSERT(st->data.load() == 1);
+      }
+    });
+    return e;
+  });
+  EXPECT_FALSE(r.bug_found) << r.bug << "\n" << r.trace;
+  EXPECT_TRUE(r.complete);
+}
+
+TEST(ModelCheckerTest, UnfencedRelaxedFlagIsADataRace) {
+  const mc::Result r = mc::ModelChecker(tight_opts(2)).run([] {
+    struct State {
+      var<int> data{0, "race.data"};
+      catomic<int> flag{0, "race.flag"};
+    };
+    auto st = std::make_shared<State>();
+    mc::Execution e;
+    e.threads.push_back([st] {
+      st->data.store(1);
+      st->flag.store(1, std::memory_order_relaxed);
+    });
+    e.threads.push_back([st] {
+      if (st->flag.load(std::memory_order_relaxed) == 1) {
+        (void)st->data.load();
+      }
+    });
+    return e;
+  });
+  ASSERT_TRUE(r.bug_found);
+  EXPECT_NE(r.bug.find("race"), std::string::npos) << r.bug;
+}
+
+TEST(ModelCheckerTest, SpinLoopsAreAbandonedNotHung) {
+  mc::Options o = tight_opts(2);
+  o.max_steps = 100;
+  o.max_executions = 50;
+  const mc::Result r = mc::ModelChecker(o).run([] {
+    auto flag = std::make_shared<catomic<int>>(0, "never_set");
+    mc::Execution e;
+    e.threads.push_back([flag] {
+      while (flag->load(std::memory_order_acquire) == 0) {
+      }
+    });
+    return e;
+  });
+  EXPECT_FALSE(r.bug_found) << r.bug;
+  EXPECT_GE(r.abandoned, 1u);
+}
+
+TEST(ModelCheckerDeathTest, AtomicOutsideExecutionAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        catomic<int> naked(0, "naked");
+        (void)naked.load();
+      },
+      "outside a ModelChecker execution");
+}
+
+}  // namespace
+}  // namespace stash

@@ -1,0 +1,452 @@
+#!/usr/bin/env python3
+"""stash_lint: concurrency-invariant lint gate for the STASH parallel datapath.
+
+Usage:
+    tools/stash_lint.py [--root DIR] [--engine auto|lexer|libclang] [FILE ...]
+
+With no FILE arguments, lints every .hpp/.cpp/.h under <root>/src.  Exits 0
+when the tree is clean, 1 otherwise, printing one `path:line: [rule] message`
+per finding.  CI runs this as a blocking ctest (`LintTree`); the rule engine
+itself is covered by tools/stash_lint_test.py (`LintSelfTest`).
+
+Rules (the invariant catalog lives in DESIGN.md §12):
+
+  wall-clock        No wall-clock reads or unseeded/global RNG in src/: the
+                    model checker (src/mc/) replays schedules byte-for-byte,
+                    and the simulator's determinism contract requires all
+                    time to come from sim::Clock and all randomness from a
+                    seeded common::Rng.
+  relaxed-order     `memory_order_relaxed` is allowed only under
+                    src/concurrency/ (the shim and the lock-free primitives
+                    the model checker proves) and src/obs/ (monotonic metric
+                    counters).  Everywhere else relaxed is a latent
+                    visibility bug, not an optimisation.
+  raw-atomic        `std::atomic` may appear only in the catomic shim
+                    (src/concurrency/catomic.hpp).  Raw atomics are
+                    invisible to the interleaving explorer, so any new one
+                    silently shrinks the verified surface.
+  discarded-return  Calls to `decode_*` / `try_push` / `try_pop` whose
+                    result is dropped on the floor.  [[nodiscard]] catches
+                    most of these at compile time; the lint also catches
+                    headers compiled out of tier-1 builds and keeps the
+                    rule toolchain-independent.
+  mutex-in-lockfree Files carrying a `// stash-lint: lock-free-file` marker
+                    must not take blocking std:: locks (mutex family,
+                    condition variables) — the marker is a progress claim.
+  bad-suppression   A suppression comment that names an unknown rule or
+                    omits its `-- reason` tail.
+
+Suppressions (every one must carry a reason):
+
+  // stash-lint: allow(rule) -- reason          (this line and the next)
+  // stash-lint: allow-file(rule[, rule]) -- reason   (whole file)
+
+Engines: `--engine=lexer` uses the built-in C++ tokenizer (no dependencies,
+works on a stock python3).  `--engine=libclang` tokenizes through
+clang.cindex when the python bindings are installed, which gets exact
+comment/raw-string handling from clang's own lexer.  `--engine=auto` (the
+default) picks libclang when importable, lexer otherwise.  Both engines feed
+the same rule core, and the self-test cross-checks them on the fixture set
+whenever libclang is present.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+from dataclasses import dataclass
+
+RULES = {
+    "wall-clock": "wall-clock or unseeded RNG in deterministic code",
+    "relaxed-order": "memory_order_relaxed outside src/concurrency|src/obs",
+    "raw-atomic": "raw std::atomic outside the catomic shim",
+    "discarded-return": "discarded decode_*/try_push/try_pop result",
+    "mutex-in-lockfree": "blocking lock in a lock-free-file",
+    "bad-suppression": "malformed stash-lint suppression comment",
+}
+
+# wall-clock rule --------------------------------------------------------
+BANNED_TYPE_IDENTS = {
+    "system_clock": "std::chrono::system_clock is wall time",
+    "steady_clock": "steady_clock reads host time; use sim::Clock",
+    "high_resolution_clock": "high_resolution_clock reads host time",
+    "random_device": "std::random_device is nondeterministic",
+    "mt19937": "use common::Rng with an explicit seed",
+    "mt19937_64": "use common::Rng with an explicit seed",
+    "default_random_engine": "use common::Rng with an explicit seed",
+}
+BANNED_CALL_IDENTS = {
+    "rand": "libc rand() is global-state RNG; use common::Rng",
+    "srand": "libc srand() is global-state RNG; use common::Rng",
+    "time": "time() is wall time; use sim::Clock",
+    "clock": "clock() is host CPU time; use sim::Clock",
+    "gettimeofday": "gettimeofday() is wall time; use sim::Clock",
+    "clock_gettime": "clock_gettime() is wall time; use sim::Clock",
+    "localtime": "localtime() reads the host timezone",
+    "gmtime": "gmtime() is wall time; use common::CivilTime",
+    "mktime": "mktime() reads the host timezone",
+}
+
+# mutex-in-lockfree rule -------------------------------------------------
+BLOCKING_LOCK_IDENTS = {
+    "mutex", "shared_mutex", "timed_mutex", "shared_timed_mutex",
+    "recursive_mutex", "recursive_timed_mutex", "lock_guard", "unique_lock",
+    "shared_lock", "scoped_lock", "condition_variable",
+    "condition_variable_any",
+}
+LOCK_FREE_MARKER = "stash-lint: lock-free-file"
+
+# discarded-return rule --------------------------------------------------
+MUST_USE_CALL = re.compile(r"^(?:decode_\w+|try_push|try_pop)$")
+
+SUPPRESS_RE = re.compile(
+    r"stash-lint:\s*(allow|allow-file)\(([^)]*)\)(\s*--\s*(\S.*))?")
+
+RAW_ATOMIC_EXEMPT = ("src/concurrency/catomic.hpp",)
+RELAXED_OK_DIRS = ("src/concurrency/", "src/obs/")
+
+
+@dataclass
+class Finding:
+    path: str
+    line: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+@dataclass
+class Token:
+    spelling: str
+    line: int
+    is_ident: bool
+
+
+# ---------------------------------------------------------------------------
+# Engine 1: built-in lexer.  A deliberately small C++ tokenizer: strips
+# comments, string/char literals (including raw strings), and preprocessor
+# line continuations, then emits identifier and punctuation tokens with line
+# numbers.  It does not need to be a full lexer — the rules only look at
+# identifier spellings and adjacent punctuation.
+# ---------------------------------------------------------------------------
+
+_IDENT_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+
+
+def lexer_tokenize(text: str):
+    tokens = []
+    i, n, line = 0, len(text), 1
+    while i < n:
+        c = text[i]
+        if c == "\n":
+            line += 1
+            i += 1
+        elif c in " \t\r\f\v":
+            i += 1
+        elif text.startswith("//", i):
+            j = text.find("\n", i)
+            i = n if j < 0 else j
+        elif text.startswith("/*", i):
+            j = text.find("*/", i + 2)
+            j = n if j < 0 else j + 2
+            line += text.count("\n", i, j)
+            i = j
+        elif text.startswith('R"', i):
+            # Raw string: R"delim( ... )delim"
+            m = re.match(r'R"([^()\\ \t\n]*)\(', text[i:])
+            if m:
+                end = text.find(")" + m.group(1) + '"', i + m.end())
+                end = n if end < 0 else end + len(m.group(1)) + 2
+                line += text.count("\n", i, end)
+                i = end
+            else:
+                i += 1
+        elif c in "\"'":
+            j = i + 1
+            while j < n and text[j] != c:
+                j += 2 if text[j] == "\\" else 1
+            line += text.count("\n", i, j)
+            i = j + 1
+        elif c.isdigit():
+            m = _IDENT_RE.match(text, i)  # eats 0x1F, 42ull, etc.
+            i = m.end() if m else i + 1
+        elif _IDENT_RE.match(text, i):
+            m = _IDENT_RE.match(text, i)
+            tokens.append(Token(m.group(0), line, True))
+            i = m.end()
+        else:
+            if text.startswith("::", i) or text.startswith("->", i):
+                tokens.append(Token(text[i:i + 2], line, False))
+                i += 2
+            else:
+                tokens.append(Token(c, line, False))
+                i += 1
+    return tokens
+
+
+# ---------------------------------------------------------------------------
+# Engine 2: libclang tokenizer.  Same Token stream, produced by clang's own
+# lexer, so raw strings / trigraphs / UCNs are handled exactly.  Only used
+# when the clang python bindings import cleanly; never required.
+# ---------------------------------------------------------------------------
+
+
+def _load_libclang():
+    try:
+        from clang import cindex  # type: ignore
+    except ImportError:
+        return None
+    try:
+        index = cindex.Index.create()
+    except Exception:  # library present but unloadable
+        return None
+    return (cindex, index)
+
+
+def libclang_tokenize(path: str, text: str, cindex, index):
+    tu = index.parse(
+        path,
+        args=["-x", "c++", "-std=c++20", "-fsyntax-only"],
+        unsaved_files=[(path, text)],
+        options=cindex.TranslationUnit.PARSE_DETAILED_PROCESSING_RECORD)
+    tokens = []
+    for t in tu.get_tokens(extent=tu.cursor.extent):
+        kind = t.kind.name
+        if kind == "COMMENT":
+            continue
+        if kind == "LITERAL":
+            continue
+        tokens.append(Token(t.spelling, t.location.line,
+                            kind in ("IDENTIFIER", "KEYWORD")))
+    return tokens
+
+
+# ---------------------------------------------------------------------------
+# Suppressions
+# ---------------------------------------------------------------------------
+
+
+class Suppressions:
+    def __init__(self, raw_lines, findings, path):
+        self.file_rules = set()
+        self.line_rules = {}  # line number -> set of rules
+        self.lock_free = any(LOCK_FREE_MARKER in ln for ln in raw_lines)
+        for lineno, ln in enumerate(raw_lines, start=1):
+            m = SUPPRESS_RE.search(ln)
+            if not m:
+                continue
+            kind, rule_list, reason = m.group(1), m.group(2), m.group(4)
+            rules = {r.strip() for r in rule_list.split(",") if r.strip()}
+            bad = rules - set(RULES)
+            if bad or not rules:
+                findings.append(Finding(
+                    path, lineno, "bad-suppression",
+                    f"unknown rule(s) {sorted(bad) or '(none)'} in "
+                    f"stash-lint {kind}(...)"))
+                continue
+            if not reason:
+                findings.append(Finding(
+                    path, lineno, "bad-suppression",
+                    f"stash-lint {kind}({', '.join(sorted(rules))}) needs a "
+                    "'-- reason' tail"))
+                continue
+            if kind == "allow-file":
+                self.file_rules |= rules
+            else:
+                # Covers its own line and the next (comment-above idiom).
+                for covered in (lineno, lineno + 1):
+                    self.line_rules.setdefault(covered, set()).update(rules)
+
+    def allows(self, rule: str, line: int) -> bool:
+        return (rule in self.file_rules
+                or rule in self.line_rules.get(line, set()))
+
+
+# ---------------------------------------------------------------------------
+# Rule core: operates on the Token stream + per-file metadata.
+# ---------------------------------------------------------------------------
+
+
+def _prev_significant(tokens, i):
+    return tokens[i - 1] if i > 0 else None
+
+
+def _chain_start(tokens, i):
+    """Walks back over a `a::b.c->d` chain ending at the callee token i."""
+    j = i
+    while j >= 2 and tokens[j - 1].spelling in ("::", ".", "->") \
+            and tokens[j - 2].is_ident:
+        j -= 2
+    if j >= 1 and tokens[j - 1].spelling == "::":  # leading ::
+        j -= 1
+    return j
+
+
+def _matching_paren(tokens, i_open):
+    depth = 0
+    for j in range(i_open, len(tokens)):
+        if tokens[j].spelling == "(":
+            depth += 1
+        elif tokens[j].spelling == ")":
+            depth -= 1
+            if depth == 0:
+                return j
+    return -1
+
+
+def check_tokens(path, rel, tokens, sup, findings, raw_lines):
+    in_lock_free = sup.lock_free
+    relaxed_ok = rel.startswith(RELAXED_OK_DIRS)
+    atomic_ok = rel in RAW_ATOMIC_EXEMPT
+
+    def emit(rule, line, message):
+        if not sup.allows(rule, line):
+            findings.append(Finding(path, line, rule, message))
+
+    for i, tok in enumerate(tokens):
+        if not tok.is_ident:
+            continue
+        nxt = tokens[i + 1] if i + 1 < len(tokens) else None
+        s = tok.spelling
+
+        # wall-clock ----------------------------------------------------
+        if s in BANNED_TYPE_IDENTS:
+            emit("wall-clock", tok.line, BANNED_TYPE_IDENTS[s])
+        elif s in BANNED_CALL_IDENTS and nxt and nxt.spelling == "(":
+            prev = _prev_significant(tokens, i)
+            qualified_std = (i >= 2 and tokens[i - 1].spelling == "::"
+                             and tokens[i - 2].spelling == "std")
+            if s in ("time", "clock") and not qualified_std:
+                # These two collide with member names and declarations
+                # (`long time() const`), so the unqualified form only fires
+                # in unambiguous call positions.
+                call_context = prev is None or prev.spelling in (
+                    ";", "{", "}", "(", ",", "=", "return", "+", "-", "*",
+                    "/", "<", ">", "?", ":", "&&", "||", "!")
+                if call_context:
+                    emit("wall-clock", tok.line, BANNED_CALL_IDENTS[s])
+            elif prev is None or prev.spelling not in (".", "->"):
+                # `obj.rand(...)` would be a member call on a STASH type,
+                # not libc; everything else — including `std::rand` — fires.
+                emit("wall-clock", tok.line, BANNED_CALL_IDENTS[s])
+
+        # raw-atomic ----------------------------------------------------
+        if not atomic_ok:
+            if s == "atomic" and i >= 2 and tokens[i - 1].spelling == "::" \
+                    and tokens[i - 2].spelling == "std":
+                emit("raw-atomic", tok.line,
+                     "raw std::atomic — use concurrency::catomic so the "
+                     "model checker can see it")
+            elif s in ("atomic_thread_fence", "atomic_signal_fence",
+                       "atomic_flag"):
+                emit("raw-atomic", tok.line,
+                     f"raw std::{s} — use concurrency::fence/catomic")
+
+        # relaxed-order -------------------------------------------------
+        if s == "memory_order_relaxed" and not relaxed_ok:
+            emit("relaxed-order", tok.line,
+                 "memory_order_relaxed is only allowed under "
+                 "src/concurrency/ and src/obs/")
+
+        # mutex-in-lockfree ---------------------------------------------
+        if in_lock_free and s in BLOCKING_LOCK_IDENTS:
+            emit("mutex-in-lockfree", tok.line,
+                 f"std::{s} in a lock-free-file — the marker promises no "
+                 "blocking locks")
+
+        # discarded-return ----------------------------------------------
+        if MUST_USE_CALL.match(s) and nxt and nxt.spelling == "(":
+            start = _chain_start(tokens, i)
+            prev = _prev_significant(tokens, start)
+            at_statement_start = prev is None or prev.spelling in (";", "{",
+                                                                   "}")
+            if at_statement_start:
+                close = _matching_paren(tokens, i + 1)
+                after = tokens[close + 1] if 0 <= close < len(tokens) - 1 \
+                    else None
+                if after is not None and after.spelling == ";":
+                    emit("discarded-return", tok.line,
+                         f"result of {s}() is discarded — handle it or "
+                         "cast to (void) with a comment")
+
+    # (Note: `#include <mutex>` needs no separate scan — both engines emit
+    # the header-name identifier as a token, so the rule above fires.)
+    _ = raw_lines
+
+
+# ---------------------------------------------------------------------------
+# Driver
+# ---------------------------------------------------------------------------
+
+
+def lint_file(path, root, engine="auto", _libclang_cache=[]):
+    """Lints one file; returns a list of Findings."""
+    with open(path, "r", encoding="utf-8", errors="replace") as f:
+        text = f.read()
+    raw_lines = text.splitlines()
+    rel = os.path.relpath(path, root).replace(os.sep, "/")
+
+    findings = []
+    sup = Suppressions(raw_lines, findings, path)
+
+    clang = None
+    if engine in ("auto", "libclang"):
+        if not _libclang_cache:
+            _libclang_cache.append(_load_libclang())
+        clang = _libclang_cache[0]
+        if clang is None and engine == "libclang":
+            raise RuntimeError(
+                "clang python bindings not available; use --engine=lexer")
+
+    if clang is not None:
+        tokens = libclang_tokenize(path, text, *clang)
+    else:
+        tokens = lexer_tokenize(text)
+
+    check_tokens(path, rel, tokens, sup, findings, raw_lines)
+    return findings
+
+
+def default_targets(root):
+    out = []
+    for dirpath, _dirnames, filenames in os.walk(os.path.join(root, "src")):
+        for name in sorted(filenames):
+            if name.endswith((".hpp", ".cpp", ".h")):
+                out.append(os.path.join(dirpath, name))
+    return sorted(out)
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(
+        prog="stash_lint.py",
+        description="Concurrency-invariant lint for the STASH tree.")
+    ap.add_argument("--root", default=None,
+                    help="repo root (default: parent of tools/)")
+    ap.add_argument("--engine", choices=("auto", "lexer", "libclang"),
+                    default="auto")
+    ap.add_argument("files", nargs="*",
+                    help="files to lint (default: all of <root>/src)")
+    args = ap.parse_args(argv)
+
+    root = args.root or os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    targets = args.files or default_targets(root)
+
+    findings = []
+    for path in targets:
+        findings.extend(lint_file(path, root, engine=args.engine))
+
+    for f in findings:
+        print(f.render())
+    if findings:
+        print(f"stash_lint: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,163 @@
+#!/usr/bin/env python3
+"""Self-test for tools/stash_lint.py — registered as the `LintSelfTest`
+ctest, so a broken rule engine fails the build rather than silently
+letting violations through.
+
+Covers: each rule catches its fixture at the expected lines, the clean
+fixture stays clean, both suppression forms work (and only as far as they
+should), malformed suppressions are findings, the path-based exemptions
+(src/concurrency, src/obs, the catomic shim) hold, and — when the clang
+python bindings are importable — the libclang engine agrees with the
+built-in lexer on every fixture.
+"""
+
+import os
+import shutil
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import stash_lint  # noqa: E402
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+FIXTURES = os.path.join(REPO, "tests", "lint", "fixtures")
+
+
+def lint(name, engine="lexer"):
+    path = os.path.join(FIXTURES, name)
+    return stash_lint.lint_file(path, REPO, engine=engine)
+
+
+def by_rule(findings):
+    out = {}
+    for f in findings:
+        out.setdefault(f.rule, []).append(f.line)
+    return out
+
+
+class WallClockRule(unittest.TestCase):
+    def test_catches_each_construct_once(self):
+        got = by_rule(lint("bad_wallclock.cpp"))
+        self.assertEqual(sorted(got), ["wall-clock"])
+        self.assertEqual(got["wall-clock"], [10, 14, 18, 22, 26, 27])
+
+
+class RelaxedOrderRule(unittest.TestCase):
+    def test_flagged_outside_allowed_dirs(self):
+        got = by_rule(lint("bad_relaxed.cpp"))
+        self.assertEqual(got.get("relaxed-order"), [12, 16])
+        self.assertNotIn("raw-atomic", got)  # line suppressions hold
+
+    def test_exempt_under_concurrency_and_obs(self):
+        src = os.path.join(FIXTURES, "bad_relaxed.cpp")
+        with tempfile.TemporaryDirectory() as root:
+            for rel, expect in (
+                    ("src/concurrency/fixture.cpp", 0),
+                    ("src/obs/fixture.cpp", 0),
+                    ("src/query/fixture.cpp", 2),
+            ):
+                dst = os.path.join(root, rel)
+                os.makedirs(os.path.dirname(dst), exist_ok=True)
+                shutil.copy(src, dst)
+                got = by_rule(stash_lint.lint_file(dst, root))
+                self.assertEqual(len(got.get("relaxed-order", [])), expect,
+                                 rel)
+
+
+class RawAtomicRule(unittest.TestCase):
+    def test_flagged_outside_shim(self):
+        got = by_rule(lint("bad_raw_atomic.cpp"))
+        self.assertEqual(got.get("raw-atomic"), [6, 10, 13])
+
+    def test_catomic_shim_is_exempt(self):
+        src = os.path.join(FIXTURES, "bad_raw_atomic.cpp")
+        with tempfile.TemporaryDirectory() as root:
+            dst = os.path.join(root, "src", "concurrency", "catomic.hpp")
+            os.makedirs(os.path.dirname(dst))
+            shutil.copy(src, dst)
+            self.assertEqual(stash_lint.lint_file(dst, root), [])
+
+
+class DiscardedReturnRule(unittest.TestCase):
+    def test_statement_level_discards_only(self):
+        got = by_rule(lint("bad_discard.cpp"))
+        self.assertEqual(sorted(got), ["discarded-return"])
+        self.assertEqual(got["discarded-return"], [20, 21, 23])
+
+
+class MutexInLockFreeRule(unittest.TestCase):
+    def test_marker_bans_blocking_locks(self):
+        got = by_rule(lint("bad_mutex_in_lockfree.cpp"))
+        self.assertEqual(sorted(got), ["mutex-in-lockfree"])
+        self.assertEqual(got["mutex-in-lockfree"], [3, 7, 10, 10])
+
+    def test_without_marker_locks_are_fine(self):
+        src = os.path.join(FIXTURES, "bad_mutex_in_lockfree.cpp")
+        with open(src, encoding="utf-8") as f:
+            text = f.read()
+        text = text.replace("stash-lint: lock-free-file", "(marker removed)")
+        with tempfile.TemporaryDirectory() as root:
+            dst = os.path.join(root, "src", "x.cpp")
+            os.makedirs(os.path.dirname(dst))
+            with open(dst, "w", encoding="utf-8") as f:
+                f.write(text)
+            self.assertEqual(stash_lint.lint_file(dst, root), [])
+
+
+class Suppression(unittest.TestCase):
+    def test_line_allow_covers_line_and_next_only(self):
+        got = by_rule(lint("suppressed_line.cpp"))
+        self.assertEqual(got, {"wall-clock": [16]})
+
+    def test_allow_file_covers_one_rule_everywhere(self):
+        got = by_rule(lint("suppressed_file.cpp"))
+        self.assertEqual(got, {"wall-clock": [17]})
+
+    def test_malformed_suppressions_are_findings(self):
+        got = by_rule(lint("bad_suppression.cpp"))
+        self.assertEqual(got.get("bad-suppression"), [6, 9])
+        # A malformed allow() must not silence the line it sits on.
+        self.assertEqual(got.get("wall-clock"), [9])
+
+
+class CleanFixture(unittest.TestCase):
+    def test_no_findings(self):
+        self.assertEqual(lint("clean.cpp"), [])
+
+
+class Tokenizer(unittest.TestCase):
+    def test_strings_comments_and_raw_strings_are_stripped(self):
+        toks = stash_lint.lexer_tokenize(
+            'a /* rand() */ b // time(0)\n"rand()" R"x(clock())x" c\n')
+        self.assertEqual([t.spelling for t in toks], ["a", "b", "c"])
+        self.assertEqual([t.line for t in toks], [1, 1, 2])
+
+    def test_multiline_constructs_keep_line_numbers(self):
+        toks = stash_lint.lexer_tokenize('/* a\nb */ x\nR"(s\n)" y\n')
+        spell = {t.spelling: t.line for t in toks}
+        self.assertEqual(spell["x"], 2)
+        self.assertEqual(spell["y"], 4)
+
+
+class EngineParity(unittest.TestCase):
+    def test_libclang_engine_matches_lexer_when_available(self):
+        if stash_lint._load_libclang() is None:
+            self.skipTest("clang python bindings not installed")
+        for name in sorted(os.listdir(FIXTURES)):
+            lex = {(f.rule, f.line) for f in lint(name, engine="lexer")}
+            clg = {(f.rule, f.line) for f in lint(name, engine="libclang")}
+            self.assertEqual(lex, clg, name)
+
+
+class TreeGate(unittest.TestCase):
+    def test_real_src_tree_is_clean(self):
+        findings = []
+        for path in stash_lint.default_targets(REPO):
+            findings.extend(stash_lint.lint_file(path, REPO))
+        self.assertEqual([f.render() for f in findings], [])
+
+
+if __name__ == "__main__":
+    unittest.main()
