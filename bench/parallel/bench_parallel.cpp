@@ -1,0 +1,208 @@
+// Wall-clock execution bench (ROADMAP item 1, PR 8): thread sweep over
+// the ParallelQueryEngine answering a locality-clustered query mix, with
+// the sequential sim path as the correctness oracle.  Unlike the figure
+// benches this one measures *real* time — it is the one place the repo
+// reports hardware throughput, and the JSON it writes (BENCH_parallel.json
+// at the repo root, schema stash-bench-parallel-v1) is the baseline the CI
+// benchmark lane gates regressions against.
+//
+// Usage: bench_parallel [out.json] [queries] [repeats]
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/checksum.hpp"
+#include "exec/parallel_engine.hpp"
+#include "exec/wall_clock.hpp"
+#include "workload/workload.hpp"
+
+using namespace stash;
+using workload::QueryGroup;
+
+namespace {
+
+StashConfig graph_config() {
+  StashConfig config;
+  config.max_cells = 10'000'000;
+  return config;
+}
+
+std::vector<AggregationQuery> bench_mix(std::size_t target) {
+  workload::WorkloadConfig wc;
+  wc.seed = 0x42454e43ULL;
+  workload::WorkloadGenerator gen(wc);
+  // Fig 6b shape at bench scale: random rectangles, each panned to
+  // replicate spatiotemporal locality, over two query sizes.
+  std::vector<AggregationQuery> queries =
+      gen.throughput_workload(QueryGroup::County, 4, 7, 0.1);
+  const auto city = gen.throughput_workload(QueryGroup::City, 4, 7, 0.1);
+  queries.insert(queries.end(), city.begin(), city.end());
+  if (queries.size() > target) queries.resize(target);
+  return queries;
+}
+
+struct SweepPoint {
+  std::size_t threads = 0;
+  double ops_per_sec = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  std::size_t bytes = 0;
+  std::uint64_t digest = 0;
+  concurrency::WorkerStats stats;
+};
+
+double percentile(std::vector<double> sorted_us, double p) {
+  if (sorted_us.empty()) return 0.0;
+  std::sort(sorted_us.begin(), sorted_us.end());
+  const double rank = p * static_cast<double>(sorted_us.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted_us.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted_us[lo] + (sorted_us[hi] - sorted_us[lo]) * frac;
+}
+
+/// One timed run: fresh graph, `threads` workers, absorb between queries
+/// at the same deterministic pseudo-times the sim oracle uses.
+SweepPoint run_sweep_point(const GalileoStore& store,
+                           const std::vector<AggregationQuery>& queries,
+                           std::size_t threads, int repeats) {
+  SweepPoint point;
+  point.threads = threads;
+  std::vector<double> latencies_us;
+  latencies_us.reserve(queries.size() * static_cast<std::size_t>(repeats));
+
+  double total_seconds = 0.0;
+  for (int rep = 0; rep < repeats; ++rep) {
+    StashGraph graph(graph_config());
+    exec::ParallelQueryEngine engine(graph, store,
+                                     exec::ExecConfig{threads, 64});
+    std::uint64_t digest = kChecksumSeed;
+    std::size_t bytes = 0;
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      const auto t0 = std::chrono::steady_clock::now();
+      const Evaluation eval = engine.evaluate(queries[i]);
+      const auto t1 = std::chrono::steady_clock::now();
+      const double us =
+          std::chrono::duration<double, std::micro>(t1 - t0).count();
+      latencies_us.push_back(us);
+      total_seconds += us / 1e6;
+      digest = exec::answer_digest(eval.cells, digest);
+      bytes += exec::canonical_answer(eval.cells).size();
+      (void)engine.absorb(eval, queries[i].res,
+                          static_cast<sim::SimTime>(i + 1) *
+                              sim::kMillisecond);
+    }
+    point.digest = digest;  // identical across repeats by construction
+    point.bytes = bytes;
+    point.stats = engine.total_stats();
+  }
+  point.ops_per_sec =
+      static_cast<double>(latencies_us.size()) / total_seconds;
+  point.p50_us = percentile(latencies_us, 0.50);
+  point.p99_us = percentile(latencies_us, 0.99);
+  return point;
+}
+
+std::string hex64(std::uint64_t v) {
+  char buf[19];
+  std::snprintf(buf, sizeof buf, "0x%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_parallel.json";
+  const std::size_t n_queries =
+      argc > 2 ? static_cast<std::size_t>(std::atol(argv[2])) : 48;
+  const int repeats = argc > 3 ? std::atoi(argv[3]) : 2;
+
+  auto gen = std::make_shared<const NamGenerator>();
+  GalileoStore store(gen);
+  const auto queries = bench_mix(n_queries);
+
+  // The sim path is the oracle: every sweep point must reproduce exactly
+  // this digest or the bench refuses to report numbers.
+  StashGraph oracle_graph(graph_config());
+  const exec::RunResult oracle =
+      exec::run_queries_sim(oracle_graph, store, queries);
+
+  // Sweep 1..N where N covers the hardware but is never less than 4, so
+  // the sweep is meaningful even when a CI container admits one core (the
+  // multi-thread points then measure handoff overhead, not speedup).
+  const std::size_t max_threads =
+      std::max<std::size_t>(concurrency::resolve_worker_count(0), 4);
+  std::vector<std::size_t> sweep{1};
+  for (std::size_t t = 2; t < max_threads; t *= 2) sweep.push_back(t);
+  sweep.push_back(max_threads);
+
+  std::printf("bench_parallel: %zu queries x %d repeats, sweep 1..%zu "
+              "threads (oracle digest %s)\n",
+              queries.size(), repeats, max_threads,
+              hex64(oracle.digest).c_str());
+  std::printf("%8s %12s %10s %10s %12s %8s %8s\n", "threads", "ops/s",
+              "p50(us)", "p99(us)", "bytes", "steals", "parks");
+
+  std::vector<SweepPoint> points;
+  bool all_match = true;
+  for (const std::size_t threads : sweep) {
+    const SweepPoint p = run_sweep_point(store, queries, threads, repeats);
+    const bool match = p.digest == oracle.digest && p.bytes == oracle.bytes;
+    all_match = all_match && match;
+    std::printf("%8zu %12.1f %10.1f %10.1f %12zu %8llu %8llu%s\n", p.threads,
+                p.ops_per_sec, p.p50_us, p.p99_us, p.bytes,
+                static_cast<unsigned long long>(p.stats.stolen),
+                static_cast<unsigned long long>(p.stats.parks),
+                match ? "" : "  DIGEST MISMATCH");
+    points.push_back(p);
+  }
+  if (!all_match) {
+    std::fprintf(stderr,
+                 "bench_parallel: wall-clock answers diverged from the sim "
+                 "oracle; refusing to write %s\n",
+                 out_path.c_str());
+    return 1;
+  }
+
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "bench_parallel: cannot write %s\n",
+                 out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out,
+               "{\n  \"schema\": \"stash-bench-parallel-v1\",\n"
+               "  \"queries\": %zu,\n  \"repeats\": %d,\n"
+               "  \"host_threads\": %u,\n"
+               "  \"oracle_digest\": \"%s\",\n  \"sweep\": [\n",
+               queries.size(), repeats, std::thread::hardware_concurrency(),
+               hex64(oracle.digest).c_str());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const SweepPoint& p = points[i];
+    std::fprintf(
+        out,
+        "    {\"threads\": %zu, \"ops_per_sec\": %.1f, \"p50_us\": %.1f, "
+        "\"p99_us\": %.1f, \"bytes\": %zu, \"digest\": \"%s\", "
+        "\"executed\": %llu, \"stolen\": %llu, \"parks\": %llu, "
+        "\"wakeups\": %llu}%s\n",
+        p.threads, p.ops_per_sec, p.p50_us, p.p99_us, p.bytes,
+        hex64(p.digest).c_str(),
+        static_cast<unsigned long long>(p.stats.executed),
+        static_cast<unsigned long long>(p.stats.stolen),
+        static_cast<unsigned long long>(p.stats.parks),
+        static_cast<unsigned long long>(p.stats.wakeups),
+        i + 1 < points.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

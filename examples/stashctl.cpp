@@ -30,6 +30,9 @@
 //     --no-failover         disable successor failover (degrade to partial)
 //     --queue-limit N       bound each node's pending queue (0 = unbounded);
 //                           a full queue sheds work with explicit pushback
+//     --threads N           answer queries on N wall-clock worker threads
+//                           per node (0 = sim-only, the default); answers
+//                           are byte-identical to the sim path
 //     --deadline-ms MS      per-query deadline; at MS ms the query completes
 //                           with whatever has arrived (missing partitions
 //                           reported honestly)
@@ -79,7 +82,8 @@ namespace {
                "[--repeat N] [--json] [--crash N@MS[:MS]] [--drop P] "
                "[--bitflip-rate P] [--bitrot GH2[@MS]] [--scrub-ms MS] "
                "[--partition A|B] [--heal-ms MS] [--recovery|--no-recovery] "
-               "[--no-failover] [--queue-limit N] [--deadline-ms MS] "
+               "[--no-failover] [--queue-limit N] [--threads N] "
+               "[--deadline-ms MS] "
                "[--retry-budget N] [--audit] [--metrics] "
                "[--metrics-json FILE] [--trace ID|last] [--help] "
                "<lat_min> <lat_max> <lng_min> <lng_max>\n",
@@ -144,6 +148,7 @@ int main(int argc, char** argv) {
   std::string trace_spec;
   bool failover = true;
   long queue_limit = 0;
+  long threads = 0;
   double deadline_ms = 0.0;
   double retry_budget = 0.0;
   sim::FaultPlan plan;
@@ -229,6 +234,9 @@ int main(int argc, char** argv) {
     } else if (arg == "--queue-limit") {
       queue_limit = std::atol(next().c_str());
       if (queue_limit < 0) usage(argv[0]);
+    } else if (arg == "--threads") {
+      threads = std::atol(next().c_str());
+      if (threads < 0) usage(argv[0]);
     } else if (arg == "--deadline-ms") {
       deadline_ms = std::atof(next().c_str());
       if (deadline_ms < 0.0) usage(argv[0]);
@@ -294,6 +302,7 @@ int main(int argc, char** argv) {
   config.fault_plan = plan;
   config.failover_to_successor = failover;
   config.queue_limit = static_cast<std::size_t>(queue_limit);
+  config.exec_threads = static_cast<std::size_t>(threads);
   config.query_deadline =
       static_cast<sim::SimTime>(std::llround(deadline_ms * 1000.0));
   config.retry_budget = retry_budget;

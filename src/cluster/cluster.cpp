@@ -169,6 +169,15 @@ StashCluster::StashCluster(ClusterConfig config,
     nodes_.push_back(std::make_unique<Node>(id, config_.stash, store_, loop_,
                                             server_config,
                                             config_.seed ^ mix64(id)));
+  if (config_.exec_threads > 0) {
+    // Wall-clock datapath: every node shards its chunk work across a real
+    // thread pool.  Answers stay byte-identical to the inline engine, so
+    // the sim remains deterministic for a fixed seed.
+    for (auto& node : nodes_)
+      node->exec_engine = std::make_unique<exec::ParallelQueryEngine>(
+          node->graph, store_,
+          exec::ExecConfig{config_.exec_threads, config_.exec_queue_capacity});
+  }
   // Gossip rides the normal (faulty) message path as background traffic:
   // subject to the same drops/partitions/latency as queries, but never
   // keeping run-to-quiescence alive.
@@ -441,6 +450,94 @@ void StashCluster::register_callback_metrics() {
                        return static_cast<double>(
                            fault_.stats().messages_truncated);
                      });
+  // Wall-clock exec pool activity, summed across nodes.  The aggregates
+  // are always registered (0 with exec disabled — schema-required); the
+  // per-worker breakdowns only exist when pools do.
+  const auto exec_sum =
+      [this](std::uint64_t concurrency::WorkerStats::* field) {
+        std::uint64_t total = 0;
+        for (const auto& node : nodes_)
+          if (node->exec_engine) {
+            const concurrency::WorkerStats s = node->exec_engine->total_stats();
+            total += s.*field;
+          }
+        return static_cast<double>(total);
+      };
+  registry_.callback(
+      "stash_exec_tasks_total", "Chunk tasks executed by wall-clock workers",
+      MetricKind::Counter,
+      [exec_sum] { return exec_sum(&concurrency::WorkerStats::executed); });
+  registry_.callback(
+      "stash_exec_steals_total",
+      "Chunk tasks stolen from another worker's ring", MetricKind::Counter,
+      [exec_sum] { return exec_sum(&concurrency::WorkerStats::stolen); });
+  registry_.callback(
+      "stash_exec_parks_total", "Times a wall-clock worker parked idle",
+      MetricKind::Counter,
+      [exec_sum] { return exec_sum(&concurrency::WorkerStats::parks); });
+  registry_.callback(
+      "stash_exec_wakeups_total", "Times a parked worker was woken",
+      MetricKind::Counter,
+      [exec_sum] { return exec_sum(&concurrency::WorkerStats::wakeups); });
+  registry_.callback("stash_exec_queue_depth",
+                     "Queued-but-unexecuted chunk tasks across all exec rings",
+                     MetricKind::Gauge, [this] {
+                       std::size_t depth = 0;
+                       for (const auto& node : nodes_)
+                         if (node->exec_engine)
+                           depth += node->exec_engine->queue_depth();
+                       return static_cast<double>(depth);
+                     });
+  registry_.callback("stash_exec_workers",
+                     "Wall-clock worker threads across all nodes",
+                     MetricKind::Gauge, [this] {
+                       std::size_t workers = 0;
+                       for (const auto& node : nodes_)
+                         if (node->exec_engine)
+                           workers += node->exec_engine->worker_count();
+                       return static_cast<double>(workers);
+                     });
+  // Per-worker-slot queue depth and steal counters (summed over nodes at
+  // the same slot index) — both exporters render these like any metric.
+  if (config_.exec_threads > 0) {
+    const std::size_t slots = nodes_.empty()
+                                  ? 0
+                                  : nodes_.front()->exec_engine->worker_count();
+    for (std::size_t i = 0; i < slots; ++i) {
+      const std::string suffix = std::to_string(i);
+      registry_.callback(
+          "stash_exec_worker" + suffix + "_tasks_total",
+          "Chunk tasks executed by worker slot " + suffix + " (all nodes)",
+          MetricKind::Counter, [this, i] {
+            std::uint64_t total = 0;
+            for (const auto& node : nodes_)
+              if (node->exec_engine)
+                total += node->exec_engine->worker_stats(i).executed;
+            return static_cast<double>(total);
+          });
+      registry_.callback(
+          "stash_exec_worker" + suffix + "_steals_total",
+          "Chunk tasks stolen by worker slot " + suffix + " (all nodes)",
+          MetricKind::Counter, [this, i] {
+            std::uint64_t total = 0;
+            for (const auto& node : nodes_)
+              if (node->exec_engine)
+                total += node->exec_engine->worker_stats(i).stolen;
+            return static_cast<double>(total);
+          });
+      registry_.callback(
+          "stash_exec_worker" + suffix + "_queue_depth",
+          "Queued chunk tasks in worker slot " + suffix + "'s rings "
+          "(all nodes)",
+          MetricKind::Gauge, [this, i] {
+            std::size_t depth = 0;
+            for (const auto& node : nodes_)
+              if (node->exec_engine)
+                depth += node->exec_engine->worker_queue_depth(i);
+            return static_cast<double>(depth);
+          });
+    }
+  }
 }
 
 ClusterMetrics StashCluster::metrics() const {
@@ -1272,8 +1369,11 @@ void StashCluster::enqueue_local(NodeId node_id, std::uint64_t query_id,
         if (it == pending_.end()) return 0;
         const Subquery& sq = it->second.subqueries[idx];
         if (sq.done || sq.attempts != attempt) return 0;  // superseded
-        *slot = node.engine.evaluate_partition(sq.partition, it->second.query,
-                                               mode);
+        *slot = node.exec_engine
+                    ? node.exec_engine->evaluate_partition(
+                          sq.partition, it->second.query, mode)
+                    : node.engine.evaluate_partition(sq.partition,
+                                                     it->second.query, mode);
         return service_time(slot->breakdown);
       },
       [this, &node, query_id, idx, attempt, slot](sim::Outcome outcome) {
@@ -1299,7 +1399,10 @@ void StashCluster::enqueue_local(NodeId node_id, std::uint64_t query_id,
           node.maintenance.submit([this, &node, res,
                                    maintenance_slot]() -> sim::SimTime {
             const MaintenanceStats stats =
-                node.engine.absorb(*maintenance_slot, res, loop_.now());
+                node.exec_engine
+                    ? node.exec_engine->absorb(*maintenance_slot, res,
+                                               loop_.now())
+                    : node.engine.absorb(*maintenance_slot, res, loop_.now());
             const sim::SimTime t = maintenance_time(stats);
             counters_.maintenance_tasks.inc();
             counters_.maintenance_time_us.inc(static_cast<std::uint64_t>(t));
@@ -1792,9 +1895,15 @@ std::size_t StashCluster::preload(const AggregationQuery& query) {
     if (!fault_.alive(owner)) continue;  // a dead node cannot warm its cache
     Node& node = *nodes_[owner];
     const Evaluation eval =
-        node.engine.evaluate_partition(partition, query, EvalMode::Cached);
+        node.exec_engine
+            ? node.exec_engine->evaluate_partition(partition, query,
+                                                   EvalMode::Cached)
+            : node.engine.evaluate_partition(partition, query,
+                                             EvalMode::Cached);
     const MaintenanceStats stats =
-        node.engine.absorb(eval, query.res, loop_.now());
+        node.exec_engine
+            ? node.exec_engine->absorb(eval, query.res, loop_.now())
+            : node.engine.absorb(eval, query.res, loop_.now());
     inserted += stats.cells_absorbed;
   }
   return inserted;

@@ -25,6 +25,7 @@
 #include "core/query_engine.hpp"
 #include "core/routing_table.hpp"
 #include "dht/partitioner.hpp"
+#include "exec/parallel_engine.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "sim/cost_model.hpp"
@@ -176,6 +177,19 @@ struct ClusterConfig {
   bool tracing = true;
   /// Completed traces retained (ring buffer; oldest evicted first).
   std::size_t trace_capacity = 256;
+
+  // --- wall-clock execution (src/exec/, ROADMAP item 1) ---
+  /// Worker threads per node for the wall-clock parallel datapath.  0
+  /// keeps the pure discrete-event mode (node evaluations run inline on
+  /// the sim thread).  With N > 0 each node shards its chunk work across
+  /// N real threads through concurrency::MpmcRing; the sim stays the
+  /// correctness oracle — answers are byte-identical at any thread count
+  /// (tests/cluster/exec_cluster_test.cpp), virtual time still measures
+  /// the cost model.  Every node gets its own pool, so keep node counts
+  /// small when enabling this (examples use 8–32 nodes).
+  std::size_t exec_threads = 0;
+  /// Per-worker MpmcRing capacity for the exec pools (power of two >= 2).
+  std::size_t exec_queue_capacity = 256;
 };
 
 /// Per-partition report of what a query's answer actually contains — the
@@ -426,6 +440,10 @@ class StashCluster {
     StashGraph guest_graph;
     QueryEngine engine;
     QueryEngine guest_engine;
+    /// Wall-clock parallel datapath over the same graph+store (set when
+    /// ClusterConfig::exec_threads > 0).  The serve and maintenance paths
+    /// route through it so graph reads/writes stay under its RwSpinlock.
+    std::unique_ptr<exec::ParallelQueryEngine> exec_engine;
     RoutingTable routing;
     sim::SimServer server;
     sim::SimServer maintenance;

@@ -29,7 +29,9 @@
 #include <atomic>
 #include <cstdint>
 #include <cstring>
+#include <new>
 #include <type_traits>
+#include <utility>
 
 #ifdef STASH_MODEL_CHECK
 #include "mc/hooks.hpp"
@@ -124,6 +126,15 @@ class catomic {
     return a_.fetch_sub(arg, order);
   }
 
+  /// Park until the value is observed to differ from `old` (C++20 futex
+  /// wait).  May return spuriously; callers re-check their predicate.
+  void wait(T old, std::memory_order order = std::memory_order_seq_cst)
+      const noexcept {
+    a_.wait(old, order);
+  }
+  void notify_one() noexcept { a_.notify_one(); }
+  void notify_all() noexcept { a_.notify_all(); }
+
  private:
   std::atomic<T> a_;
 };
@@ -145,6 +156,37 @@ class var {
 
  private:
   T value_;
+};
+
+/// Manual-lifetime companion to var<T>: raw aligned storage whose payload
+/// exists only between emplace() and take()/destroy().  MpmcRing uses it so
+/// a slot's payload lifetime tracks its sequence word exactly — T need not
+/// be default-constructible, and ring teardown destroys precisely the
+/// published-but-unconsumed payloads.  The owner is responsible for the
+/// emplace/destroy pairing; the destructor deliberately does nothing.
+template <typename T>
+class slot {
+ public:
+  explicit slot(const char* name = nullptr) noexcept { (void)name; }
+  slot(const slot&) = delete;
+  slot& operator=(const slot&) = delete;
+
+  template <typename... Args>
+  void emplace(Args&&... args) {
+    ::new (static_cast<void*>(storage_)) T(std::forward<Args>(args)...);
+  }
+  /// Move the payload out and end its lifetime.
+  [[nodiscard]] T take() {
+    T* p = std::launder(reinterpret_cast<T*>(storage_));
+    T out = std::move(*p);
+    p->~T();
+    return out;
+  }
+  /// End the payload's lifetime without reading it (teardown drain).
+  void destroy() { std::launder(reinterpret_cast<T*>(storage_))->~T(); }
+
+ private:
+  alignas(T) unsigned char storage_[sizeof(T)];
 };
 
 inline void fence(std::memory_order order) noexcept {
@@ -211,6 +253,16 @@ class catomic {
                         order);
     return old;
   }
+
+  /// Modelled as an immediate spurious return: the checker already owns
+  /// the schedule, so blocking would hide interleavings instead of adding
+  /// them.  The load keeps the memory-order edge a real wait() would have.
+  void wait(T old, std::memory_order order = std::memory_order_seq_cst) const {
+    (void)old;
+    (void)mc::hook_atomic_load(this, order);
+  }
+  void notify_one() {}
+  void notify_all() {}
 };
 
 /// Non-atomic shared data slot; every access is race-checked against the
@@ -239,6 +291,36 @@ class var {
 
  private:
   T value_;
+};
+
+/// Manual-lifetime companion (see the plain personality above).  Every
+/// lifetime transition counts as a write for race-checking purposes.
+template <typename T>
+class slot {
+ public:
+  explicit slot(const char* name = nullptr) { mc::hook_var_init(this, name); }
+  slot(const slot&) = delete;
+  slot& operator=(const slot&) = delete;
+
+  template <typename... Args>
+  void emplace(Args&&... args) {
+    mc::hook_var_write(this);
+    ::new (static_cast<void*>(storage_)) T(std::forward<Args>(args)...);
+  }
+  [[nodiscard]] T take() {
+    mc::hook_var_write(this);
+    T* p = std::launder(reinterpret_cast<T*>(storage_));
+    T out = std::move(*p);
+    p->~T();
+    return out;
+  }
+  void destroy() {
+    mc::hook_var_write(this);
+    std::launder(reinterpret_cast<T*>(storage_))->~T();
+  }
+
+ private:
+  alignas(T) unsigned char storage_[sizeof(T)];
 };
 
 inline void fence(std::memory_order order) { mc::hook_fence(order); }

@@ -50,8 +50,26 @@ class MpmcRing {
   MpmcRing(const MpmcRing&) = delete;
   MpmcRing& operator=(const MpmcRing&) = delete;
 
-  /// False when the ring is full.  Never blocks.
-  bool try_push(T value) {
+  /// Destruction drains: payloads that were published but never consumed
+  /// are exactly the slots in [dequeue_pos, enqueue_pos) whose sequence
+  /// reads "full" (pos + 1) — an in-flight claim that never published has
+  /// no constructed payload and is skipped.  Runs with no concurrent
+  /// users, like any destructor.
+  ~MpmcRing() STASH_MC_MAY_THROW {
+    const std::uint64_t end = enqueue_pos_.load(std::memory_order_relaxed);
+    for (std::uint64_t pos = dequeue_pos_.load(std::memory_order_relaxed);
+         pos != end; ++pos) {
+      Cell* cell = &cells_[pos & mask_];
+      if (cell->seq.load(std::memory_order_acquire) == pos + 1)
+        cell->value.destroy();
+    }
+  }
+
+  /// False when the ring is full — and then `value` is left untouched, so
+  /// callers can retry or fall back without losing the payload.  Never
+  /// blocks.
+  template <typename U = T>
+  bool try_push(U&& value) {
     Cell* cell;
     std::uint64_t pos = enqueue_pos_.load(std::memory_order_relaxed);
     for (;;) {
@@ -72,7 +90,7 @@ class MpmcRing {
         pos = enqueue_pos_.load(std::memory_order_relaxed);
       }
     }
-    cell->value.store(std::move(value));
+    cell->value.emplace(std::forward<U>(value));
     cell->seq.store(pos + 1, std::memory_order_release);
     return true;
   }
@@ -105,17 +123,25 @@ class MpmcRing {
 
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
 
-  /// Approximate (racy) element count — monitoring only.
+  /// Approximate (racy) element count — monitoring and backpressure only.
+  /// The head is loaded *first*: producers claimed at most `capacity_`
+  /// ahead of the dequeue cursor when the head was read, and the tail only
+  /// grows afterwards, so head − tail can shrink (clamped at 0 when pops
+  /// overtake) but never exceed capacity.  The explicit clamp keeps the
+  /// bound even if a future reordering reintroduces the overshoot — a
+  /// backpressure signal must never report an over-full ring.
   [[nodiscard]] std::size_t size_approx() const {
-    const std::uint64_t tail = dequeue_pos_.load(std::memory_order_relaxed);
     const std::uint64_t head = enqueue_pos_.load(std::memory_order_relaxed);
-    return head >= tail ? static_cast<std::size_t>(head - tail) : 0;
+    const std::uint64_t tail = dequeue_pos_.load(std::memory_order_relaxed);
+    if (tail >= head) return 0;
+    const std::uint64_t n = head - tail;
+    return n > capacity_ ? capacity_ : static_cast<std::size_t>(n);
   }
 
  private:
   struct Cell {
     catomic<std::uint64_t> seq;
-    var<T> value;
+    slot<T> value;
   };
 
   const std::size_t capacity_;

@@ -1,0 +1,88 @@
+// WakeupGate: an eventcount for parking idle worker threads without
+// losing wakeups and without taking a lock on the producer fast path.
+//
+// Protocol (the only correct order — proven in
+// tests/mc/wakeup_gate_mc_test.cpp):
+//
+//   worker (consumer):                    producer:
+//     t = prepare_wait()                    publish work (ring push)
+//     re-check the work source              notify_all()
+//     found  -> cancel_wait(), run it
+//     empty  -> commit_wait(t)  [parks]
+//
+// prepare_wait() announces the waiter *before* the final re-check;
+// notify_all() publishes work *before* reading the waiter count.  The
+// seq_cst fences make that a Dekker/store-buffering pair: either the
+// producer observes the waiter (and bumps the epoch, so commit_wait
+// returns at once or is woken), or the waiter's re-check observes the
+// published work.  Skipping the re-check between prepare_wait() and
+// commit_wait() loses wakeups — the mc test's broken variant proves the
+// checker catches exactly that.
+//
+// commit_wait() may return spuriously; callers loop back to the re-check.
+//
+// stash-lint: lock-free-file
+#pragma once
+
+#include <cstdint>
+
+#include "concurrency/catomic.hpp"
+
+STASH_CONCURRENCY_NS_BEGIN
+
+class WakeupGate {
+ public:
+  using Ticket = std::uint32_t;
+
+  WakeupGate() : epoch_(0, "gate.epoch"), waiters_(0, "gate.waiters") {}
+  WakeupGate(const WakeupGate&) = delete;
+  WakeupGate& operator=(const WakeupGate&) = delete;
+
+  /// Announce intent to park and capture the current epoch.  Must be
+  /// followed by a re-check of the work source, then exactly one of
+  /// cancel_wait() or commit_wait(ticket).
+  [[nodiscard]] Ticket prepare_wait() {
+    waiters_.fetch_add(1, std::memory_order_seq_cst);
+    // Pairs with the fence in notify_all(): the waiter increment is
+    // globally ordered before the epoch read and the caller's re-check.
+    fence(std::memory_order_seq_cst);
+    return epoch_.load(std::memory_order_seq_cst);
+  }
+
+  /// The re-check found work: stand down.
+  void cancel_wait() { waiters_.fetch_sub(1, std::memory_order_seq_cst); }
+
+  /// Park until the epoch moves past `ticket` (returns immediately if it
+  /// already has).  Spurious returns are allowed; re-check and re-prepare.
+  void commit_wait(Ticket ticket) {
+    epoch_.wait(ticket, std::memory_order_seq_cst);
+    waiters_.fetch_sub(1, std::memory_order_seq_cst);
+  }
+
+  /// Wake every parked (and parking) waiter.  Callers publish their work
+  /// *before* this call.  Cheap when nobody waits: one fence + one load.
+  void notify_all() {
+    // Pairs with the fence in prepare_wait(); after it, either we see the
+    // waiter count or the waiter's re-check sees our published work.
+    fence(std::memory_order_seq_cst);
+    if (waiters_.load(std::memory_order_seq_cst) == 0) return;
+    epoch_.fetch_add(1, std::memory_order_seq_cst);
+    epoch_.notify_all();
+  }
+
+  /// Monitoring only (racy).
+  [[nodiscard]] std::uint32_t waiters_approx() const {
+    return waiters_.load(std::memory_order_relaxed);
+  }
+
+  /// Monitoring/test hook: epoch observed without synchronisation.
+  [[nodiscard]] Ticket epoch_approx() const {
+    return epoch_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  catomic<std::uint32_t> epoch_;
+  catomic<std::uint32_t> waiters_;
+};
+
+STASH_CONCURRENCY_NS_END

@@ -1,0 +1,140 @@
+// stash-lint: lock-free-file
+#include "concurrency/worker_pool.hpp"
+
+#include <utility>
+
+namespace stash::concurrency {
+
+namespace {
+// Bounded spin before a worker commits to parking: cheap enough to hide
+// sub-microsecond producer/consumer gaps, short enough that an idle pool
+// sleeps (the bench harness checks parks > 0 on an idle pool).
+constexpr int kSpinRounds = 64;
+}  // namespace
+
+std::size_t resolve_worker_count(std::size_t configured,
+                                 unsigned hardware_hint) {
+  if (configured > 0) return configured;
+  return hardware_hint == 0 ? 1 : static_cast<std::size_t>(hardware_hint);
+}
+
+std::size_t resolve_worker_count(std::size_t configured) {
+  return resolve_worker_count(configured, std::thread::hardware_concurrency());
+}
+
+WorkerPool::WorkerPool(Config config)
+    : stop_(0, "pool.stop"), next_ring_(0, "pool.next_ring") {
+  const std::size_t n = resolve_worker_count(config.threads);
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    workers_.push_back(std::make_unique<Worker>(config.queue_capacity));
+  // Threads start only after every Worker slot exists: run() sweeps the
+  // whole vector, which must never reallocate under it.
+  for (std::size_t i = 0; i < n; ++i)
+    workers_[i]->thread = std::thread([this, i] { run(i); });
+}
+
+WorkerPool::~WorkerPool() {
+  stop_.store(1, std::memory_order_seq_cst);
+  gate_.notify_all();
+  for (auto& w : workers_)
+    if (w->thread.joinable()) w->thread.join();
+}
+
+void WorkerPool::submit(Task task) {
+  const std::size_t n = workers_.size();
+  std::size_t start = static_cast<std::size_t>(
+      next_ring_.fetch_add(1, std::memory_order_relaxed));
+  for (;;) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (workers_[(start + i) % n]->ring.try_push(std::move(task))) {
+        gate_.notify_all();
+        return;
+      }
+    }
+    // Every ring full: the submitter is the backpressure.  Yield so the
+    // workers we are waiting on get the core.
+    std::this_thread::yield();
+  }
+}
+
+bool WorkerPool::try_execute_one(std::size_t index) {
+  Worker& self = *workers_[index];
+  if (auto task = self.ring.try_pop()) {
+    (*task)();
+    self.executed.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  const std::size_t n = workers_.size();
+  for (std::size_t i = 1; i < n; ++i) {
+    Worker& victim = *workers_[(index + i) % n];
+    if (auto task = victim.ring.try_pop()) {
+      (*task)();
+      self.executed.fetch_add(1, std::memory_order_relaxed);
+      self.stolen.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  return false;
+}
+
+void WorkerPool::run(std::size_t index) {
+  Worker& self = *workers_[index];
+  for (;;) {
+    if (try_execute_one(index)) continue;
+
+    bool found = false;
+    for (int spin = 0; spin < kSpinRounds && !found; ++spin) {
+      std::this_thread::yield();
+      found = try_execute_one(index);
+    }
+    if (found) continue;
+
+    // Park protocol (proven in tests/mc/wakeup_gate_mc_test.cpp): announce,
+    // re-check stop AND the rings, only then commit to sleeping.
+    const WakeupGate::Ticket ticket = gate_.prepare_wait();
+    if (stop_.load(std::memory_order_seq_cst) != 0) {
+      gate_.cancel_wait();
+      // Shutdown drains: run whatever is still queued before exiting so
+      // no submitted task is silently dropped.
+      while (try_execute_one(index)) {
+      }
+      return;
+    }
+    if (try_execute_one(index)) {
+      gate_.cancel_wait();
+      continue;
+    }
+    self.parks.fetch_add(1, std::memory_order_relaxed);
+    gate_.commit_wait(ticket);
+    self.wakeups.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+std::size_t WorkerPool::queue_depth() const {
+  std::size_t total = 0;
+  for (const auto& w : workers_) total += w->ring.size_approx();
+  return total;
+}
+
+std::size_t WorkerPool::worker_queue_depth(std::size_t index) const {
+  return workers_[index]->ring.size_approx();
+}
+
+WorkerStats WorkerPool::worker_stats(std::size_t index) const {
+  const Worker& w = *workers_[index];
+  WorkerStats out;
+  out.executed = w.executed.load(std::memory_order_relaxed);
+  out.stolen = w.stolen.load(std::memory_order_relaxed);
+  out.parks = w.parks.load(std::memory_order_relaxed);
+  out.wakeups = w.wakeups.load(std::memory_order_relaxed);
+  return out;
+}
+
+WorkerStats WorkerPool::total_stats() const {
+  WorkerStats out;
+  for (std::size_t i = 0; i < workers_.size(); ++i) out += worker_stats(i);
+  return out;
+}
+
+}  // namespace stash::concurrency

@@ -1,0 +1,118 @@
+// WorkerPool: real threads fed through per-worker MpmcRings, with work
+// stealing and a WakeupGate park/wake protocol (ROADMAP item 1).
+//
+// Topology: each worker owns one bounded MpmcRing; submit() places tasks
+// round-robin and wakes the gate.  A worker drains its own ring first,
+// then sweeps the other rings (a successful foreign pop counts as a
+// steal), then spins briefly, then parks on the gate using the
+// prepare/re-check/commit protocol proven in tests/mc/.
+//
+// The pool itself is *not* model-checked (it owns std::threads and runs
+// arbitrary std::function payloads); its building blocks — MpmcRing and
+// WakeupGate — are.  It therefore lives in the outer namespace, not the
+// inline personality namespaces, and must not be included from
+// STASH_MODEL_CHECK translation units.
+//
+// stash-lint: lock-free-file
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "concurrency/catomic.hpp"
+#include "concurrency/mpmc_ring.hpp"
+#include "concurrency/wakeup_gate.hpp"
+
+namespace stash::concurrency {
+
+/// Worker-count policy: an explicit configuration (> 0) wins verbatim;
+/// otherwise fall back to the hardware hint, which the standard allows to
+/// be 0 ("not computable") — the result is always >= 1.
+[[nodiscard]] std::size_t resolve_worker_count(std::size_t configured,
+                                               unsigned hardware_hint);
+
+/// Same, with hint = std::thread::hardware_concurrency().
+[[nodiscard]] std::size_t resolve_worker_count(std::size_t configured);
+
+/// Per-worker activity counters (racy snapshot — monitoring only).
+struct WorkerStats {
+  std::uint64_t executed = 0;  // tasks run (own ring + stolen)
+  std::uint64_t stolen = 0;    // tasks popped from another worker's ring
+  std::uint64_t parks = 0;     // times the worker committed to sleep
+  std::uint64_t wakeups = 0;   // times the worker returned from a park
+
+  WorkerStats& operator+=(const WorkerStats& other) noexcept {
+    executed += other.executed;
+    stolen += other.stolen;
+    parks += other.parks;
+    wakeups += other.wakeups;
+    return *this;
+  }
+};
+
+class WorkerPool {
+ public:
+  using Task = std::function<void()>;
+
+  struct Config {
+    /// 0 = resolve from hardware_concurrency (always >= 1).
+    std::size_t threads = 0;
+    /// Per-worker ring capacity; power of two >= 2.
+    std::size_t queue_capacity = 256;
+  };
+
+  explicit WorkerPool(Config config);
+  /// Stops accepting work, lets workers drain every ring, then joins.
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Enqueue a task.  When every ring is full the submitter becomes the
+  /// backpressure: it yields and retries until a slot frees up.
+  void submit(Task task);
+
+  [[nodiscard]] std::size_t worker_count() const { return workers_.size(); }
+
+  /// Total queued-but-unexecuted tasks (racy; never exceeds
+  /// worker_count() * queue_capacity thanks to size_approx()'s clamp).
+  [[nodiscard]] std::size_t queue_depth() const;
+
+  /// One ring's depth (racy; clamped to queue_capacity by size_approx()).
+  [[nodiscard]] std::size_t worker_queue_depth(std::size_t index) const;
+
+  [[nodiscard]] WorkerStats worker_stats(std::size_t index) const;
+  [[nodiscard]] WorkerStats total_stats() const;
+
+ private:
+  struct Worker {
+    explicit Worker(std::size_t ring_capacity)
+        : ring(ring_capacity),
+          executed(0, "worker.executed"),
+          stolen(0, "worker.stolen"),
+          parks(0, "worker.parks"),
+          wakeups(0, "worker.wakeups") {}
+
+    MpmcRing<Task> ring;
+    catomic<std::uint64_t> executed;
+    catomic<std::uint64_t> stolen;
+    catomic<std::uint64_t> parks;
+    catomic<std::uint64_t> wakeups;
+    std::thread thread;
+  };
+
+  void run(std::size_t index);
+  /// Pop-and-run one task: own ring first, then a steal sweep.
+  bool try_execute_one(std::size_t index);
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  WakeupGate gate_;
+  catomic<std::uint32_t> stop_;
+  catomic<std::uint64_t> next_ring_;  // round-robin submit cursor
+};
+
+}  // namespace stash::concurrency

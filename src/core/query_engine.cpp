@@ -94,6 +94,118 @@ std::optional<ChunkContribution> QueryEngine::synthesize(
   return std::nullopt;
 }
 
+QueryEngine::PartitionPlan QueryEngine::plan_partition(
+    std::string_view partition, const AggregationQuery& query) const {
+  PartitionPlan plan;
+  plan.clipped = query.area.intersection(geohash::decode(partition));
+  if (!plan.clipped.valid() || !plan.clipped.intersects(query.area))
+    return plan;
+  plan.empty = false;
+
+  const int chunk_prec = chunk_spatial_precision(
+      query.res.spatial, graph_.config().chunk_precision);
+  const auto prefixes = geohash::covering(plan.clipped, chunk_prec);
+  const auto bins = temporal_covering(query.time, query.res.temporal);
+  plan.chunks.reserve(prefixes.size() * bins.size());
+  for (const auto& prefix : prefixes)
+    for (const auto& bin : bins) plan.chunks.emplace_back(prefix, bin);
+  return plan;
+}
+
+ChunkEvalResult QueryEngine::evaluate_chunk(std::string_view partition,
+                                            const AggregationQuery& query,
+                                            const BoundingBox& clipped,
+                                            const ChunkKey& chunk,
+                                            EvalMode mode,
+                                            CellSummaryMap& out_cells) const {
+  ChunkEvalResult result;
+  ++result.breakdown.chunks_total;
+
+  if (mode != EvalMode::Basic) {
+    ++result.breakdown.cache_probes;
+    if (graph_.chunk_complete(query.res, chunk)) {
+      result.breakdown.cells_from_cache += graph_.collect_chunk(
+          query.res, chunk, clipped, query.time, out_cells);
+      ++result.breakdown.chunks_from_cache;
+      return result;
+    }
+    // Synthesis only for untouched chunks: merging a rolled-up full
+    // bin over a partial one would double-count contributions.
+    if (!graph_.chunk_known(query.res, chunk)) {
+      if (auto synth = synthesize(query.res, chunk, result.breakdown)) {
+        CellSummaryMap synth_map(synth->cells.begin(), synth->cells.end());
+        filter_into(synth_map, clipped, query.time, out_cells);
+        result.breakdown.cells_synthesized += synth->cells.size();
+        ++result.breakdown.chunks_synthesized;
+        result.fetched = std::move(*synth);
+        return result;
+      }
+    }
+    if (mode == EvalMode::CacheOnly) {
+      ++result.breakdown.chunks_missing;
+      return result;
+    }
+  }
+
+  // Disk path: merge the resident partial contribution (if any) with a
+  // scan of the missing days.
+  CellSummaryMap local;
+  std::vector<std::int64_t> days;
+  if (mode == EvalMode::Basic) {
+    const std::int64_t first = chunk.first_day();
+    for (std::size_t i = 0; i < chunk.day_count(); ++i)
+      days.push_back(first + static_cast<std::int64_t>(i));
+  } else {
+    result.breakdown.cells_from_cache +=
+        graph_.collect_chunk(query.res, chunk, clipped, query.time, local);
+    days = graph_.chunk_missing_days(query.res, chunk);
+  }
+
+  ChunkContribution contribution;
+  contribution.res = query.res;
+  contribution.chunk = chunk;
+  CellSummaryMap scanned;
+  const BoundingBox chunk_box = chunk.bounds();
+  const TimeRange bin_range = chunk.bin().range();
+  result.days_scanned = days;
+  for (std::int64_t day : days) {
+    const TimeRange day_range{day * 86400, (day + 1) * 86400};
+    const TimeRange scan_range{std::max(day_range.begin, bin_range.begin),
+                               std::min(day_range.end, bin_range.end)};
+    ScanResult part =
+        store_.scan_partition(partition, chunk_box, scan_range, query.res);
+    result.breakdown.scan += part.stats;
+    if (!part.corrupt_blocks.empty()) {
+      // A block of this day failed verification: withhold the whole day
+      // — from the response AND from the contribution, so the PLM never
+      // marks a corrupt day complete — and surface the blocks so the
+      // caller can flag the answer and schedule repair.
+      result.corrupt_blocks.insert(result.corrupt_blocks.end(),
+                                   part.corrupt_blocks.begin(),
+                                   part.corrupt_blocks.end());
+      continue;
+    }
+    contribution.days.push_back(day);
+    for (auto& [key, summary] : part.cells) {
+      auto [it, inserted] = scanned.try_emplace(key, std::move(summary));
+      if (!inserted) it->second.merge(summary);
+    }
+  }
+  result.breakdown.cells_scanned += scanned.size();
+  ++result.breakdown.chunks_scanned;
+  contribution.cells.assign(scanned.begin(), scanned.end());
+  if (mode != EvalMode::Basic && !contribution.days.empty())
+    result.fetched = std::move(contribution);
+
+  // Response = resident partial + freshly scanned, filtered to query.
+  for (const auto& [key, summary] : scanned) {
+    auto [it, inserted] = local.try_emplace(key, summary);
+    if (!inserted) it->second.merge(summary);
+  }
+  filter_into(local, clipped, query.time, out_cells);
+  return result;
+}
+
 Evaluation QueryEngine::evaluate_partition(std::string_view partition,
                                            const AggregationQuery& query,
                                            EvalMode mode) const {
@@ -105,107 +217,23 @@ Evaluation QueryEngine::evaluate_partition(std::string_view partition,
         "length (coarser Cells would span storage partitions)");
 
   Evaluation eval;
-  const BoundingBox clipped =
-      query.area.intersection(geohash::decode(partition));
-  if (!clipped.valid() || !clipped.intersects(query.area)) return eval;
+  const PartitionPlan plan = plan_partition(partition, query);
+  if (plan.empty) return eval;
 
-  const int chunk_prec = chunk_spatial_precision(
-      query.res.spatial, graph_.config().chunk_precision);
-  const auto prefixes = geohash::covering(clipped, chunk_prec);
-  const auto bins = temporal_covering(query.time, query.res.temporal);
   // All chunks of one (partition, day) live in a single block file: disk
   // seeks are charged per unique day, not per chunk scanned.
   std::set<std::int64_t> days_scanned;
 
-  for (const auto& prefix : prefixes) {
-    for (const auto& bin : bins) {
-      const ChunkKey chunk(prefix, bin);
-      ++eval.breakdown.chunks_total;
-      eval.touched_chunks.push_back(chunk);
-
-      if (mode != EvalMode::Basic) {
-        ++eval.breakdown.cache_probes;
-        if (graph_.chunk_complete(query.res, chunk)) {
-          eval.breakdown.cells_from_cache += graph_.collect_chunk(
-              query.res, chunk, clipped, query.time, eval.cells);
-          ++eval.breakdown.chunks_from_cache;
-          continue;
-        }
-        // Synthesis only for untouched chunks: merging a rolled-up full
-        // bin over a partial one would double-count contributions.
-        if (!graph_.chunk_known(query.res, chunk)) {
-          if (auto synth = synthesize(query.res, chunk, eval.breakdown)) {
-            CellSummaryMap synth_map(synth->cells.begin(), synth->cells.end());
-            filter_into(synth_map, clipped, query.time, eval.cells);
-            eval.breakdown.cells_synthesized += synth->cells.size();
-            ++eval.breakdown.chunks_synthesized;
-            eval.fetched.push_back(std::move(*synth));
-            continue;
-          }
-        }
-        if (mode == EvalMode::CacheOnly) {
-          ++eval.breakdown.chunks_missing;
-          continue;
-        }
-      }
-
-      // Disk path: merge the resident partial contribution (if any) with a
-      // scan of the missing days.
-      CellSummaryMap local;
-      std::vector<std::int64_t> days;
-      if (mode == EvalMode::Basic) {
-        const std::int64_t first = chunk.first_day();
-        for (std::size_t i = 0; i < chunk.day_count(); ++i)
-          days.push_back(first + static_cast<std::int64_t>(i));
-      } else {
-        eval.breakdown.cells_from_cache +=
-            graph_.collect_chunk(query.res, chunk, clipped, query.time, local);
-        days = graph_.chunk_missing_days(query.res, chunk);
-      }
-
-      ChunkContribution contribution;
-      contribution.res = query.res;
-      contribution.chunk = chunk;
-      CellSummaryMap scanned;
-      const BoundingBox chunk_box = chunk.bounds();
-      days_scanned.insert(days.begin(), days.end());
-      for (std::int64_t day : days) {
-        const TimeRange day_range{day * 86400, (day + 1) * 86400};
-        const TimeRange scan_range{
-            std::max(day_range.begin, bin.range().begin),
-            std::min(day_range.end, bin.range().end)};
-        ScanResult part =
-            store_.scan_partition(partition, chunk_box, scan_range, query.res);
-        eval.breakdown.scan += part.stats;
-        if (!part.corrupt_blocks.empty()) {
-          // A block of this day failed verification: withhold the whole day
-          // — from the response AND from the contribution, so the PLM never
-          // marks a corrupt day complete — and surface the blocks so the
-          // caller can flag the answer and schedule repair.
-          eval.corrupt_blocks.insert(eval.corrupt_blocks.end(),
-                                     part.corrupt_blocks.begin(),
-                                     part.corrupt_blocks.end());
-          continue;
-        }
-        contribution.days.push_back(day);
-        for (auto& [key, summary] : part.cells) {
-          auto [it, inserted] = scanned.try_emplace(key, std::move(summary));
-          if (!inserted) it->second.merge(summary);
-        }
-      }
-      eval.breakdown.cells_scanned += scanned.size();
-      ++eval.breakdown.chunks_scanned;
-      contribution.cells.assign(scanned.begin(), scanned.end());
-      if (mode != EvalMode::Basic && !contribution.days.empty())
-        eval.fetched.push_back(std::move(contribution));
-
-      // Response = resident partial + freshly scanned, filtered to query.
-      for (const auto& [key, summary] : scanned) {
-        auto [it, inserted] = local.try_emplace(key, summary);
-        if (!inserted) it->second.merge(summary);
-      }
-      filter_into(local, clipped, query.time, eval.cells);
-    }
+  for (const ChunkKey& chunk : plan.chunks) {
+    eval.touched_chunks.push_back(chunk);
+    ChunkEvalResult r =
+        evaluate_chunk(partition, query, plan.clipped, chunk, mode, eval.cells);
+    eval.breakdown += r.breakdown;
+    if (r.fetched) eval.fetched.push_back(std::move(*r.fetched));
+    eval.corrupt_blocks.insert(eval.corrupt_blocks.end(),
+                               r.corrupt_blocks.begin(),
+                               r.corrupt_blocks.end());
+    days_scanned.insert(r.days_scanned.begin(), r.days_scanned.end());
   }
   eval.breakdown.scan.blocks_touched = days_scanned.size();
   return eval;

@@ -75,6 +75,20 @@ struct MaintenanceStats {
   std::size_t cells_evicted = 0;
 };
 
+/// Everything one chunk contributes to a partition evaluation, except the
+/// response cells (those are appended straight into a caller-supplied map
+/// so the sequential path keeps its exact insertion order).  This is the
+/// unit the wall-clock executor shards across worker threads: chunks are
+/// independent — a cell belongs to exactly one chunk at a given
+/// resolution — so per-chunk results merge without cross-chunk summary
+/// merges (src/exec/parallel_engine.cpp relies on that).
+struct ChunkEvalResult {
+  EvalBreakdown breakdown;  // deltas; scan.blocks_touched is finalized later
+  std::optional<ChunkContribution> fetched;
+  std::vector<BlockKey> corrupt_blocks;
+  std::vector<std::int64_t> days_scanned;  // disk days, for seek accounting
+};
+
 class QueryEngine {
  public:
   QueryEngine(StashGraph& graph, const GalileoStore& store);
@@ -99,6 +113,32 @@ class QueryEngine {
   /// (single-process / library use).
   [[nodiscard]] Evaluation evaluate(const AggregationQuery& query,
                                     EvalMode mode = EvalMode::Cached) const;
+
+  /// Evaluates exactly one chunk of a partition subquery: the cache /
+  /// synthesis / disk decision of §IV-D for that chunk.  Response cells
+  /// are appended into `out_cells`; everything else comes back in the
+  /// result.  `clipped` must be the query area already intersected with
+  /// the partition box (see evaluate_partition).  Thread-safe for
+  /// concurrent const use when no graph mutation runs — the wall-clock
+  /// executor guards that with its RwSpinlock.
+  [[nodiscard]] ChunkEvalResult evaluate_chunk(std::string_view partition,
+                                               const AggregationQuery& query,
+                                               const BoundingBox& clipped,
+                                               const ChunkKey& chunk,
+                                               EvalMode mode,
+                                               CellSummaryMap& out_cells) const;
+
+  /// The canonical (prefix-major, bin-minor) chunk enumeration for a
+  /// partition subquery, and the clipped box it applies to.  Sequential
+  /// and wall-clock evaluation both follow this order, which is what
+  /// makes their merged answers byte-identical.
+  struct PartitionPlan {
+    BoundingBox clipped;
+    std::vector<ChunkKey> chunks;
+    bool empty = true;  // partition does not intersect the query area
+  };
+  [[nodiscard]] PartitionPlan plan_partition(
+      std::string_view partition, const AggregationQuery& query) const;
 
   /// Maintenance pass: absorbs fetched Cells into the graph, updates
   /// freshness with neighborhood dispersion, and evicts if over capacity.

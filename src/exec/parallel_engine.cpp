@@ -1,0 +1,200 @@
+#include "exec/parallel_engine.hpp"
+
+#include <exception>
+#include <iterator>
+#include <memory>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "concurrency/wakeup_gate.hpp"
+#include "geo/geohash.hpp"
+
+namespace stash::exec {
+
+/// One chunk's answer, produced on a worker thread.  `cells` is the
+/// chunk-local response map; everything merges on the submitting thread.
+struct ParallelQueryEngine::ChunkOutcome {
+  CellSummaryMap cells;
+  ChunkEvalResult result;
+  std::exception_ptr error;
+};
+
+/// One unit of fan-out: a chunk of some partition's plan.  The referenced
+/// storage outlives the batch (it lives on the submitting thread's stack).
+struct ParallelQueryEngine::ChunkItem {
+  std::string_view partition;
+  const BoundingBox* clipped = nullptr;
+  const ChunkKey* chunk = nullptr;
+};
+
+ParallelQueryEngine::ParallelQueryEngine(StashGraph& graph,
+                                         const GalileoStore& store,
+                                         ExecConfig config)
+    : engine_(graph, store),
+      pool_(concurrency::WorkerPool::Config{config.threads,
+                                            config.queue_capacity}) {}
+
+void ParallelQueryEngine::validate(const AggregationQuery& query) const {
+  // Same contract (and messages) as the sequential engine, checked before
+  // any task is queued so workers never see an invalid query.
+  if (!query.valid())
+    throw std::invalid_argument("QueryEngine: invalid query");
+  if (query.res.spatial < engine_.store().partition_prefix_length())
+    throw std::invalid_argument(
+        "QueryEngine: spatial resolution must be >= the DHT partition prefix "
+        "length (coarser Cells would span storage partitions)");
+}
+
+void ParallelQueryEngine::run_batch(const std::vector<ChunkItem>& items,
+                                    const AggregationQuery& query,
+                                    EvalMode mode,
+                                    std::vector<ChunkOutcome>& outcomes) const {
+  const std::size_t n = items.size();
+  outcomes.resize(n);
+  if (n == 0) return;
+
+  // The gate/counter pair is shared-ptr-owned: the last worker touches it
+  // *after* its decrement lets the submitter return, so stack ownership
+  // would be a use-after-free.  Each task keeps the state alive.
+  struct BatchState {
+    concurrency::WakeupGate done;
+    concurrency::catomic<std::uint64_t> remaining;
+    explicit BatchState(std::uint64_t count)
+        : remaining(count, "exec.batch_remaining") {}
+  };
+  auto state = std::make_shared<BatchState>(static_cast<std::uint64_t>(n));
+
+  for (std::size_t i = 0; i < n; ++i) {
+    pool_.submit([this, &items, &query, mode, &outcomes, state, i] {
+      ChunkOutcome& out = outcomes[i];
+      try {
+        const ChunkItem& item = items[i];
+        concurrency::RwSpinReaderLock lock(graph_lock_);
+        out.result = engine_.evaluate_chunk(item.partition, query,
+                                            *item.clipped, *item.chunk, mode,
+                                            out.cells);
+      } catch (...) {
+        out.error = std::current_exception();
+      }
+      // Release pairs with the submitter's acquire below: when it reads 0,
+      // every outcome written before a decrement is visible.
+      if (state->remaining.fetch_sub(1, std::memory_order_release) == 1)
+        state->done.notify_all();
+    });
+  }
+
+  // Park until the last chunk lands (prepare / re-check / commit — the
+  // same gate protocol the workers use, proven in tests/mc/).
+  while (state->remaining.load(std::memory_order_acquire) != 0) {
+    const concurrency::WakeupGate::Ticket ticket = state->done.prepare_wait();
+    if (state->remaining.load(std::memory_order_acquire) == 0) {
+      state->done.cancel_wait();
+      break;
+    }
+    state->done.commit_wait(ticket);
+  }
+
+  for (const ChunkOutcome& out : outcomes)
+    if (out.error) std::rethrow_exception(out.error);
+}
+
+void ParallelQueryEngine::assemble(const QueryEngine::PartitionPlan& plan,
+                                   std::vector<ChunkOutcome>& outcomes,
+                                   std::size_t first, Evaluation& eval) {
+  std::set<std::int64_t> days_scanned;
+  for (std::size_t i = 0; i < plan.chunks.size(); ++i) {
+    ChunkOutcome& out = outcomes[first + i];
+    eval.touched_chunks.push_back(plan.chunks[i]);
+    eval.breakdown += out.result.breakdown;
+    for (auto& [key, summary] : out.cells) {
+      auto [it, inserted] = eval.cells.try_emplace(key, std::move(summary));
+      if (!inserted) it->second.merge(summary);
+    }
+    if (out.result.fetched)
+      eval.fetched.push_back(std::move(*out.result.fetched));
+    eval.corrupt_blocks.insert(eval.corrupt_blocks.end(),
+                               out.result.corrupt_blocks.begin(),
+                               out.result.corrupt_blocks.end());
+    days_scanned.insert(out.result.days_scanned.begin(),
+                        out.result.days_scanned.end());
+  }
+  eval.breakdown.scan.blocks_touched = days_scanned.size();
+}
+
+Evaluation ParallelQueryEngine::evaluate_partition(
+    std::string_view partition, const AggregationQuery& query,
+    EvalMode mode) const {
+  validate(query);
+  Evaluation eval;
+  const QueryEngine::PartitionPlan plan =
+      engine_.plan_partition(partition, query);
+  if (plan.empty) return eval;
+
+  std::vector<ChunkItem> items;
+  items.reserve(plan.chunks.size());
+  for (const ChunkKey& chunk : plan.chunks)
+    items.push_back({partition, &plan.clipped, &chunk});
+  std::vector<ChunkOutcome> outcomes;
+  run_batch(items, query, mode, outcomes);
+  assemble(plan, outcomes, 0, eval);
+  return eval;
+}
+
+Evaluation ParallelQueryEngine::evaluate(const AggregationQuery& query,
+                                         EvalMode mode) const {
+  validate(query);
+
+  // Plan every partition first so the whole query fans out as one batch —
+  // the covering order here is the canonical merge order.
+  struct PartitionWork {
+    std::string partition;
+    QueryEngine::PartitionPlan plan;
+    std::size_t first = 0;  // index of this partition's first outcome
+  };
+  std::vector<PartitionWork> work;
+  for (const auto& partition : geohash::covering(
+           query.area, engine_.store().partition_prefix_length())) {
+    PartitionWork w{partition, engine_.plan_partition(partition, query), 0};
+    if (!w.plan.empty) work.push_back(std::move(w));
+  }
+
+  std::vector<ChunkItem> items;
+  for (auto& w : work) {
+    w.first = items.size();
+    for (const ChunkKey& chunk : w.plan.chunks)
+      items.push_back({w.partition, &w.plan.clipped, &chunk});
+  }
+  std::vector<ChunkOutcome> outcomes;
+  run_batch(items, query, mode, outcomes);
+
+  // Mirror QueryEngine::evaluate: per-partition assembly, then the same
+  // partition-order merge into the total.
+  Evaluation total;
+  for (auto& w : work) {
+    Evaluation part;
+    assemble(w.plan, outcomes, w.first, part);
+    total.breakdown += part.breakdown;
+    for (auto& [key, summary] : part.cells) {
+      auto [it, inserted] = total.cells.try_emplace(key, std::move(summary));
+      if (!inserted) it->second.merge(summary);
+    }
+    std::move(part.fetched.begin(), part.fetched.end(),
+              std::back_inserter(total.fetched));
+    std::move(part.touched_chunks.begin(), part.touched_chunks.end(),
+              std::back_inserter(total.touched_chunks));
+    std::move(part.corrupt_blocks.begin(), part.corrupt_blocks.end(),
+              std::back_inserter(total.corrupt_blocks));
+  }
+  return total;
+}
+
+MaintenanceStats ParallelQueryEngine::absorb(const Evaluation& eval,
+                                             const Resolution& res,
+                                             sim::SimTime now) {
+  concurrency::RwSpinWriterLock lock(graph_lock_);
+  return engine_.absorb(eval, res, now);
+}
+
+}  // namespace stash::exec

@@ -1,0 +1,96 @@
+// Wall-clock execution mode (ROADMAP item 1): shard a query's STASH-graph
+// work — cell scan, V-B roll-up, merge — across real worker threads.
+//
+// The unit of parallelism is the chunk: QueryEngine::evaluate_chunk is
+// pure per chunk (a cell belongs to exactly one chunk at a resolution),
+// so per-chunk results merge back in the canonical plan order without any
+// cross-chunk summary merges.  That is the oracle-equivalence contract
+// (DESIGN.md §13): for the same graph state, ParallelQueryEngine and the
+// sequential QueryEngine produce answers with identical cell sets and
+// bit-identical Summary values, at every thread count — proven by the
+// property test in tests/exec/parallel_engine_test.cpp via canonical
+// (sorted, codec-encoded) digests.
+//
+// Locking: workers take the RwSpinlock shared while evaluating (const
+// graph reads + Galileo scans); absorb() — the maintenance pass — takes
+// it exclusive.  Tasks flow through the WorkerPool's MpmcRings; the
+// submitting thread parks on a per-batch WakeupGate until the last chunk
+// lands (exec.batch remaining-counter, release/acquire paired).
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+#include "concurrency/rw_spinlock.hpp"
+#include "concurrency/worker_pool.hpp"
+#include "core/query_engine.hpp"
+
+namespace stash::exec {
+
+struct ExecConfig {
+  /// Worker threads; 0 resolves from hardware_concurrency (always >= 1).
+  std::size_t threads = 0;
+  /// Per-worker MpmcRing capacity (power of two >= 2).
+  std::size_t queue_capacity = 256;
+};
+
+class ParallelQueryEngine {
+ public:
+  ParallelQueryEngine(StashGraph& graph, const GalileoStore& store,
+                      ExecConfig config = {});
+
+  /// Same contract as QueryEngine::evaluate_partition, answered by the
+  /// worker pool.  Blocks the calling thread until the answer is whole.
+  [[nodiscard]] Evaluation evaluate_partition(
+      std::string_view partition, const AggregationQuery& query,
+      EvalMode mode = EvalMode::Cached) const;
+
+  /// Whole-query evaluation: every (partition, chunk) fans out at once;
+  /// partitions are merged in the same canonical covering order as
+  /// QueryEngine::evaluate.
+  [[nodiscard]] Evaluation evaluate(const AggregationQuery& query,
+                                    EvalMode mode = EvalMode::Cached) const;
+
+  /// Maintenance pass under the exclusive graph lock.
+  MaintenanceStats absorb(const Evaluation& eval, const Resolution& res,
+                          sim::SimTime now);
+
+  [[nodiscard]] std::size_t worker_count() const {
+    return pool_.worker_count();
+  }
+  [[nodiscard]] std::size_t queue_depth() const { return pool_.queue_depth(); }
+  [[nodiscard]] std::size_t worker_queue_depth(std::size_t i) const {
+    return pool_.worker_queue_depth(i);
+  }
+  [[nodiscard]] concurrency::WorkerStats worker_stats(std::size_t i) const {
+    return pool_.worker_stats(i);
+  }
+  [[nodiscard]] concurrency::WorkerStats total_stats() const {
+    return pool_.total_stats();
+  }
+
+  /// The sequential engine this executor shards (also the test oracle).
+  [[nodiscard]] const QueryEngine& engine() const noexcept { return engine_; }
+
+ private:
+  struct ChunkOutcome;
+  struct ChunkItem;
+
+  void validate(const AggregationQuery& query) const;
+  /// Fan out one batch of chunk tasks and park until the last one lands.
+  void run_batch(const std::vector<ChunkItem>& items,
+                 const AggregationQuery& query, EvalMode mode,
+                 std::vector<ChunkOutcome>& outcomes) const;
+  /// Merge one partition's outcome slice into `eval` in canonical chunk
+  /// order — the exact merge sequence QueryEngine::evaluate_partition runs.
+  static void assemble(const QueryEngine::PartitionPlan& plan,
+                       std::vector<ChunkOutcome>& outcomes, std::size_t first,
+                       Evaluation& eval);
+
+  QueryEngine engine_;
+  mutable concurrency::RwSpinlock graph_lock_;
+  mutable concurrency::WorkerPool pool_;
+};
+
+}  // namespace stash::exec

@@ -1,0 +1,72 @@
+#include "exec/wall_clock.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/checksum.hpp"
+#include "sim/clock.hpp"
+
+namespace stash::exec {
+
+codec::Buffer canonical_answer(const CellSummaryMap& cells) {
+  std::vector<const std::pair<const CellKey, Summary>*> sorted;
+  sorted.reserve(cells.size());
+  for (const auto& entry : cells) sorted.push_back(&entry);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto* a, const auto* b) { return a->first < b->first; });
+  codec::Buffer out;
+  for (const auto* entry : sorted) {
+    codec::encode(out, entry->first);
+    codec::encode(out, entry->second);
+  }
+  return out;
+}
+
+std::uint64_t answer_digest(const CellSummaryMap& cells, std::uint64_t seed) {
+  const codec::Buffer bytes = canonical_answer(cells);
+  return checksum64(bytes.data(), bytes.size(), seed);
+}
+
+namespace {
+
+template <typename Engine>
+RunResult run_queries(Engine& engine,
+                      const std::vector<AggregationQuery>& queries,
+                      EvalMode mode) {
+  RunResult out;
+  out.digest = kChecksumSeed;
+  for (const AggregationQuery& query : queries) {
+    const Evaluation eval = engine.evaluate(query, mode);
+    const codec::Buffer bytes = canonical_answer(eval.cells);
+    const std::uint64_t digest =
+        checksum64(bytes.data(), bytes.size(), out.digest);
+    out.per_query.push_back(digest);
+    out.digest = digest;
+    out.cells += eval.cells.size();
+    out.bytes += bytes.size();
+    ++out.queries;
+    // Deterministic pseudo-time: both modes absorb at the same instants,
+    // so freshness and eviction state evolve identically.
+    engine.absorb(eval, query.res,
+                  static_cast<sim::SimTime>(out.queries) * sim::kMillisecond);
+  }
+  return out;
+}
+
+}  // namespace
+
+RunResult run_queries_sim(StashGraph& graph, const GalileoStore& store,
+                          const std::vector<AggregationQuery>& queries,
+                          EvalMode mode) {
+  QueryEngine engine(graph, store);
+  return run_queries(engine, queries, mode);
+}
+
+RunResult run_queries_wallclock(StashGraph& graph, const GalileoStore& store,
+                                const std::vector<AggregationQuery>& queries,
+                                const ExecConfig& config, EvalMode mode) {
+  ParallelQueryEngine engine(graph, store, config);
+  return run_queries(engine, queries, mode);
+}
+
+}  // namespace stash::exec

@@ -1,0 +1,49 @@
+// Wall-clock vs sim oracle harness (DESIGN.md §13).
+//
+// The discrete-event sim is the correctness oracle for the wall-clock
+// execution mode: the same query sequence over the same seed must produce
+// byte-identical answers.  "Byte-identical" is made precise by a
+// canonical encoding — cells sorted by CellKey, wire-codec bytes — so the
+// comparison is independent of unordered_map iteration order, which is
+// the only representational freedom the two modes have.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/codec.hpp"
+#include "exec/parallel_engine.hpp"
+
+namespace stash::exec {
+
+/// Canonical bytes of one answer: cells sorted by CellKey, codec-encoded.
+[[nodiscard]] codec::Buffer canonical_answer(const CellSummaryMap& cells);
+
+/// checksum64 over canonical_answer (chained from `seed`).
+[[nodiscard]] std::uint64_t answer_digest(const CellSummaryMap& cells,
+                                          std::uint64_t seed);
+
+/// What one engine produced over a query sequence.
+struct RunResult {
+  std::size_t queries = 0;
+  std::size_t cells = 0;   ///< total cells across all answers
+  std::size_t bytes = 0;   ///< total canonical bytes
+  std::uint64_t digest = 0;  ///< chained digest over per-query digests
+  std::vector<std::uint64_t> per_query;  ///< digest of each answer
+};
+
+/// Oracle run: sequential QueryEngine, absorbing after each query at the
+/// deterministic pseudo-time (i + 1) * kMillisecond — the wall-clock run
+/// uses the same times, so freshness/eviction state evolves identically.
+[[nodiscard]] RunResult run_queries_sim(
+    StashGraph& graph, const GalileoStore& store,
+    const std::vector<AggregationQuery>& queries,
+    EvalMode mode = EvalMode::Cached);
+
+/// Wall-clock run: ParallelQueryEngine with `config.threads` workers.
+[[nodiscard]] RunResult run_queries_wallclock(
+    StashGraph& graph, const GalileoStore& store,
+    const std::vector<AggregationQuery>& queries, const ExecConfig& config,
+    EvalMode mode = EvalMode::Cached);
+
+}  // namespace stash::exec

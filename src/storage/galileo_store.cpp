@@ -41,9 +41,14 @@ ScanResult GalileoStore::scan_partition(std::string_view partition,
         // The block's checksum no longer matches its contents: count the
         // failure, quarantine it for the scrubber, charge the seek that
         // discovered the rot, and withhold its records so the caller
-        // answers degraded instead of wrong.
-        ++integrity_.checksum_failures;
-        if (quarantine_.insert(block).second) ++integrity_.blocks_quarantined;
+        // answers degraded instead of wrong.  Scans run concurrently on
+        // wall-clock worker threads; only this cold path takes the lock.
+        {
+          MutexLock lock(integrity_mutex_);
+          ++integrity_.checksum_failures;
+          if (quarantine_.insert(block).second)
+            ++integrity_.blocks_quarantined;
+        }
         ++out.stats.blocks_touched;
         ++out.stats.blocks_corrupt;
         out.corrupt_blocks.push_back(block);
@@ -73,7 +78,10 @@ std::uint64_t GalileoStore::ingest_update(const BlockKey& key) {
     throw std::invalid_argument("GalileoStore::ingest_update: bad partition key");
   // A rewrite replaces the block's bytes wholesale, healing any rot.
   rot_.erase(key);
-  quarantine_.erase(key);
+  {
+    MutexLock lock(integrity_mutex_);
+    quarantine_.erase(key);
+  }
   return ++versions_[key];
 }
 
@@ -86,11 +94,13 @@ void GalileoStore::rot_block(const BlockKey& key) {
   hash_combine(salt, static_cast<std::uint64_t>(key.day));
   if (salt == 0) salt = 1;
   rot_[key] = salt;
+  MutexLock lock(integrity_mutex_);
   ++integrity_.blocks_rotted;
 }
 
 bool GalileoStore::repair_block(const BlockKey& key) {
   const bool was_bad = rot_.erase(key) > 0;
+  MutexLock lock(integrity_mutex_);
   const bool was_quarantined = quarantine_.erase(key) > 0;
   if (was_bad || was_quarantined) ++integrity_.blocks_repaired;
   return was_bad || was_quarantined;
@@ -101,6 +111,7 @@ bool GalileoStore::block_rotted(const BlockKey& key) const {
 }
 
 bool GalileoStore::block_quarantined(const BlockKey& key) const {
+  MutexLock lock(integrity_mutex_);
   return quarantine_.contains(key);
 }
 
@@ -110,6 +121,7 @@ bool GalileoStore::verify_block(const BlockKey& key) const {
 
 std::size_t GalileoStore::scrub() {
   std::size_t newly = 0;
+  MutexLock lock(integrity_mutex_);
   for (const auto& [key, salt] : rot_) {
     if (!quarantine_.insert(key).second) continue;
     ++integrity_.checksum_failures;
@@ -120,7 +132,13 @@ std::size_t GalileoStore::scrub() {
 }
 
 std::vector<BlockKey> GalileoStore::quarantine_list() const {
+  MutexLock lock(integrity_mutex_);
   return {quarantine_.begin(), quarantine_.end()};
+}
+
+GalileoStore::IntegrityStats GalileoStore::integrity() const {
+  MutexLock lock(integrity_mutex_);
+  return integrity_;
 }
 
 std::uint64_t GalileoStore::block_version(const BlockKey& key) const {

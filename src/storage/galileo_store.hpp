@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "common/summary.hpp"
+#include "common/thread_annotations.hpp"
 #include "geo/cell_key.hpp"
 #include "geo/resolution.hpp"
 #include "model/nam_generator.hpp"
@@ -139,9 +140,9 @@ class GalileoStore {
   /// Blocks currently in quarantine, in no particular order.
   [[nodiscard]] std::vector<BlockKey> quarantine_list() const;
 
-  [[nodiscard]] const IntegrityStats& integrity() const noexcept {
-    return integrity_;
-  }
+  /// Snapshot of the lifetime counters (copied under the integrity lock —
+  /// scans on wall-clock worker threads update them concurrently).
+  [[nodiscard]] IntegrityStats integrity() const;
 
   /// Toggles checksum verification on scans (on by default; off only to
   /// demonstrate the silently-wrong baseline in tests).
@@ -160,8 +161,13 @@ class GalileoStore {
   bool verify_checksums_ = true;
   // Detection happens inside const scans; quarantine state and counters
   // are bookkeeping about the store, not logical contents, hence mutable.
-  mutable std::unordered_set<BlockKey, BlockKeyHash> quarantine_;
-  mutable IntegrityStats integrity_;
+  // Wall-clock workers scan concurrently, so the bookkeeping is guarded:
+  // the lock is taken only on the corruption-detection path and in the
+  // (cold) accessors, never on a clean scan.
+  mutable Mutex integrity_mutex_;
+  mutable std::unordered_set<BlockKey, BlockKeyHash> quarantine_
+      STASH_GUARDED_BY(integrity_mutex_);
+  mutable IntegrityStats integrity_ STASH_GUARDED_BY(integrity_mutex_);
 };
 
 }  // namespace stash

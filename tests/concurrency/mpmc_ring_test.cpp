@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <deque>
@@ -78,6 +79,116 @@ TEST(MpmcRingTest, WraparoundMatchesReferenceDeque) {
       }
     }
   }
+}
+
+// Payload that counts live instances — proves the destructor drain
+// (unconsumed elements must be destroyed exactly once, PR 8 satellite).
+struct CountedPayload {
+  static std::atomic<int> live;
+  explicit CountedPayload(int v) : value(v) { live.fetch_add(1); }
+  CountedPayload(const CountedPayload& o) : value(o.value) {
+    live.fetch_add(1);
+  }
+  CountedPayload(CountedPayload&& o) noexcept : value(o.value) {
+    live.fetch_add(1);
+  }
+  ~CountedPayload() { live.fetch_sub(1); }
+  int value;  // NOLINT: no default ctor on purpose
+};
+std::atomic<int> CountedPayload::live{0};
+
+TEST(MpmcRingTest, DestructorDrainsUnconsumedElements) {
+  CountedPayload::live.store(0);
+  {
+    MpmcRing<CountedPayload> ring(8);
+    for (int v = 0; v < 6; ++v) EXPECT_TRUE(ring.try_push(CountedPayload(v)));
+    for (int v = 0; v < 2; ++v) {
+      const auto got = ring.try_pop();
+      ASSERT_TRUE(got.has_value());
+      EXPECT_EQ(got->value, v);
+    }
+    EXPECT_EQ(CountedPayload::live.load(), 4);  // 6 pushed, 2 popped
+  }
+  // ~MpmcRing drained the 4 unconsumed payloads.
+  EXPECT_EQ(CountedPayload::live.load(), 0);
+}
+
+TEST(MpmcRingTest, SupportsNonDefaultConstructiblePayloads) {
+  CountedPayload::live.store(0);
+  {
+    MpmcRing<CountedPayload> ring(2);
+    EXPECT_TRUE(ring.try_push(CountedPayload(41)));
+    const auto got = ring.try_pop();
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(got->value, 41);
+  }
+  EXPECT_EQ(CountedPayload::live.load(), 0);
+}
+
+TEST(MpmcRingTest, RejectedPushLeavesCallerValueIntact) {
+  MpmcRing<std::unique_ptr<int>> ring(2);
+  EXPECT_TRUE(ring.try_push(std::make_unique<int>(1)));
+  EXPECT_TRUE(ring.try_push(std::make_unique<int>(2)));
+  auto keep = std::make_unique<int>(3);
+  EXPECT_FALSE(ring.try_push(std::move(keep)));
+  // A failed push must not have moved the payload out from under us.
+  ASSERT_TRUE(keep != nullptr);
+  EXPECT_EQ(*keep, 3);
+}
+
+// Regression for the size_approx() bug (PR 8 satellite): it loaded
+// dequeue_pos_ before enqueue_pos_, so concurrent pushes between the two
+// loads made head - tail exceed capacity().  The fix loads head first and
+// clamps; under sustained contention the estimate must stay in
+// [0, capacity()].
+TEST(ConcurrentRingStressTest, SizeApproxNeverExceedsCapacity) {
+  constexpr std::uint32_t kProducers = 3;
+  constexpr std::uint32_t kConsumers = 3;
+  constexpr std::uint32_t kPerProducer = 20000;
+
+  MpmcRing<std::uint64_t> ring(16);
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> consumed{0};
+  constexpr std::uint64_t kTotal =
+      static_cast<std::uint64_t>(kProducers) * kPerProducer;
+
+  std::vector<std::thread> threads;
+  threads.reserve(kProducers + kConsumers + 1);
+  for (std::uint32_t p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&ring] {
+      for (std::uint32_t seq = 0; seq < kPerProducer; ++seq) {
+        while (!ring.try_push(seq)) std::this_thread::yield();
+      }
+    });
+  }
+  for (std::uint32_t c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&ring, &consumed] {
+      for (;;) {
+        if (ring.try_pop()) {
+          consumed.fetch_add(1, std::memory_order_relaxed);
+        } else if (consumed.load(std::memory_order_relaxed) >= kTotal) {
+          break;
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  std::uint64_t samples = 0;
+  std::size_t worst = 0;
+  threads.emplace_back([&ring, &done, &samples, &worst] {
+    while (!done.load(std::memory_order_relaxed)) {
+      worst = std::max(worst, ring.size_approx());
+      ++samples;
+    }
+  });
+  for (std::uint32_t i = 0; i < kProducers + kConsumers; ++i)
+    threads[i].join();
+  done.store(true, std::memory_order_relaxed);
+  threads.back().join();
+  EXPECT_GT(samples, 0u);
+  EXPECT_LE(worst, ring.capacity()) << "size_approx overshot capacity";
+  EXPECT_EQ(ring.size_approx(), 0u);
 }
 
 TEST(ConcurrentRingStressTest, ManyProducersManyConsumersConserveItems) {

@@ -1,0 +1,153 @@
+// WorkerPool unit tests: worker-count resolution (PR 8 satellite — must
+// survive hardware_concurrency() == 0), task execution, batch completion,
+// shutdown drain, and the stats counters.  The Concurrent* suite name puts
+// the threaded cases in the TSan CI lane.
+
+#include "concurrency/worker_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace stash {
+namespace {
+
+using concurrency::resolve_worker_count;
+using concurrency::WorkerPool;
+
+TEST(WorkerCountTest, ExplicitConfigurationWinsVerbatim) {
+  EXPECT_EQ(resolve_worker_count(1, 8u), 1u);
+  EXPECT_EQ(resolve_worker_count(3, 8u), 3u);
+  EXPECT_EQ(resolve_worker_count(16, 2u), 16u);  // override beats the hint
+  EXPECT_EQ(resolve_worker_count(5, 0u), 5u);    // even with no hint at all
+}
+
+TEST(WorkerCountTest, ZeroConfigFallsBackToHardwareHint) {
+  EXPECT_EQ(resolve_worker_count(0, 4u), 4u);
+  EXPECT_EQ(resolve_worker_count(0, 1u), 1u);
+}
+
+TEST(WorkerCountTest, UncomputableHardwareHintClampsToOne) {
+  // The standard allows hardware_concurrency() to return 0 ("not
+  // computable"); a zero-thread pool would deadlock every submit.
+  EXPECT_EQ(resolve_worker_count(0, 0u), 1u);
+}
+
+TEST(WorkerCountTest, DefaultHintOverloadIsPositive) {
+  EXPECT_GE(resolve_worker_count(0), 1u);
+  EXPECT_EQ(resolve_worker_count(7), 7u);
+}
+
+TEST(ConcurrentWorkerPoolTest, RunsEverySubmittedTask) {
+  WorkerPool pool(WorkerPool::Config{4, 8});
+  EXPECT_EQ(pool.worker_count(), 4u);
+
+  constexpr int kTasks = 2000;
+  std::atomic<int> ran{0};
+  for (int i = 0; i < kTasks; ++i) {
+    pool.submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+  }
+  while (ran.load(std::memory_order_relaxed) < kTasks)
+    std::this_thread::yield();
+  EXPECT_EQ(ran.load(), kTasks);
+  EXPECT_EQ(pool.total_stats().executed, static_cast<std::uint64_t>(kTasks));
+}
+
+TEST(ConcurrentWorkerPoolTest, ShutdownDrainsQueuedTasks) {
+  std::atomic<int> ran{0};
+  constexpr int kTasks = 500;
+  {
+    WorkerPool pool(WorkerPool::Config{2, 16});
+    for (int i = 0; i < kTasks; ++i) {
+      pool.submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+    }
+    // Destructor must not return until every submitted task has run.
+  }
+  EXPECT_EQ(ran.load(), kTasks);
+}
+
+TEST(ConcurrentWorkerPoolTest, SingleWorkerPoolStillCompletes) {
+  WorkerPool pool(WorkerPool::Config{1, 4});
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 64; ++i) {
+    pool.submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+  }
+  while (ran.load(std::memory_order_relaxed) < 64) std::this_thread::yield();
+  const auto stats = pool.total_stats();
+  EXPECT_EQ(stats.executed, 64u);
+  EXPECT_EQ(stats.stolen, 0u);  // nobody to steal from
+}
+
+TEST(ConcurrentWorkerPoolTest, IdleWorkersParkAndWake) {
+  WorkerPool pool(WorkerPool::Config{2, 8});
+  // Give the workers time to run out of spin budget and park.
+  for (int tries = 0; tries < 200; ++tries) {
+    if (pool.total_stats().parks >= 2) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_GE(pool.total_stats().parks, 2u) << "idle workers never parked";
+
+  // A submit after the park must wake someone and run.
+  std::atomic<bool> ran{false};
+  pool.submit([&ran] { ran.store(true, std::memory_order_relaxed); });
+  for (int tries = 0; tries < 2000 && !ran.load(); ++tries)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  EXPECT_TRUE(ran.load()) << "task submitted to a parked pool never ran";
+}
+
+TEST(ConcurrentWorkerPoolTest, BlockedWorkerGetsRobbed) {
+  // One worker wedges on a gate; the other must steal its backlog.
+  // (Captured atomics declared before the pool so they outlive its join.)
+  std::atomic<bool> release{false};
+  std::atomic<int> ran{0};
+  WorkerPool pool(WorkerPool::Config{2, 64});
+  pool.submit([&release] {
+    while (!release.load(std::memory_order_relaxed))
+      std::this_thread::yield();
+  });
+  constexpr int kTasks = 100;
+  for (int i = 0; i < kTasks; ++i) {
+    pool.submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+  }
+  // All kTasks must finish even though one worker is wedged.
+  for (int tries = 0; tries < 5000 && ran.load() < kTasks; ++tries)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  EXPECT_EQ(ran.load(), kTasks);
+  release.store(true, std::memory_order_relaxed);
+}
+
+TEST(ConcurrentWorkerPoolTest, QueueDepthStaysWithinBounds) {
+  std::atomic<bool> release{false};
+  std::atomic<int> ran{0};
+  WorkerPool pool(WorkerPool::Config{2, 4});
+  // Wedge both workers, then fill the rings to exercise backpressure.
+  for (int i = 0; i < 2; ++i) {
+    pool.submit([&release] {
+      while (!release.load(std::memory_order_relaxed))
+        std::this_thread::yield();
+    });
+  }
+  std::thread submitter([&pool, &ran] {
+    for (int i = 0; i < 64; ++i) {
+      pool.submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+    }
+  });
+  for (int tries = 0; tries < 100; ++tries) {
+    EXPECT_LE(pool.queue_depth(), pool.worker_count() * 4u);
+    for (std::size_t w = 0; w < pool.worker_count(); ++w)
+      EXPECT_LE(pool.worker_queue_depth(w), 4u);
+    std::this_thread::yield();
+  }
+  release.store(true, std::memory_order_relaxed);
+  submitter.join();
+  while (ran.load(std::memory_order_relaxed) < 64) std::this_thread::yield();
+  EXPECT_EQ(ran.load(), 64);
+}
+
+}  // namespace
+}  // namespace stash

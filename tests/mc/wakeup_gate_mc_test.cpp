@@ -1,0 +1,234 @@
+// Model-check of the WakeupGate park protocol (PR 8 tentpole proof).
+//
+// The property is lost-wakeup freedom.  A blocked thread holds its
+// waiter slot until woken, so the model represents "parked" by stopping
+// after the failed re-check *without* calling commit_wait — the waiter
+// count stays elevated exactly as it would for a thread blocked inside
+// the epoch wait.  A parked consumer that never saw the published work
+// is then stuck iff the epoch still equals its ticket once the producer
+// has finished: commit_wait(ticket) on that state would block forever,
+// and no further notify is coming.  The finally-check asserts that state
+// is unreachable for the correct protocol.
+//
+// The broken variants prove the checker has teeth: skipping the re-check
+// between prepare_wait and commit_wait (or re-checking before
+// prepare_wait) breaks the Dekker pairing and must be caught.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "concurrency/wakeup_gate.hpp"
+#include "mc/model_checker.hpp"
+
+namespace stash {
+namespace {
+
+using concurrency::WakeupGate;
+
+mc::Options gate_opts() {
+  mc::Options o;
+  o.preemption_bound = 3;
+  o.max_executions = 400000;
+  o.max_steps = 5000;
+  return o;
+}
+
+// How the consumer orders its re-check against the gate calls.
+enum class Variant {
+  Correct,         // prepare -> re-check -> cancel or park
+  SkipRecheck,     // prepare -> park (no re-check): loses wakeups
+  RecheckTooEarly  // re-check -> prepare -> park: same TOCTOU hole
+};
+
+struct GateState {
+  WakeupGate gate;
+  concurrency::catomic<std::uint32_t> work{0, "mc.work"};
+  bool saw_work = false;  // consumer's re-check found the item
+  bool parked = false;    // consumer blocked holding its waiter slot
+  WakeupGate::Ticket ticket = 0;
+};
+
+void produce(const std::shared_ptr<GateState>& st) {
+  st->work.store(1, std::memory_order_seq_cst);  // publish (ring push)
+  st->gate.notify_all();
+}
+
+void consume(const std::shared_ptr<GateState>& st, Variant variant) {
+  switch (variant) {
+    case Variant::Correct: {
+      st->ticket = st->gate.prepare_wait();
+      if (st->work.load(std::memory_order_seq_cst) != 0) {
+        st->gate.cancel_wait();
+        st->saw_work = true;
+        return;
+      }
+      st->parked = true;  // commit_wait would block here
+      return;
+    }
+    case Variant::SkipRecheck: {
+      st->ticket = st->gate.prepare_wait();
+      st->parked = true;
+      return;
+    }
+    case Variant::RecheckTooEarly: {
+      if (st->work.load(std::memory_order_seq_cst) != 0) {
+        st->saw_work = true;
+        return;
+      }
+      st->ticket = st->gate.prepare_wait();
+      st->parked = true;
+      return;
+    }
+  }
+}
+
+std::function<mc::Execution()> gate_scenario(Variant variant) {
+  return [variant] {
+    auto st = std::make_shared<GateState>();
+    mc::Execution e;
+    e.threads.push_back([st] { produce(st); });
+    e.threads.push_back([st, variant] { consume(st, variant); });
+    e.finally = [st] {
+      // The producer has finished: work is published and its one
+      // notify_all has run.  A consumer parked without having seen the
+      // work is therefore stuck unless that notify bumped the epoch past
+      // its ticket.
+      if (st->parked && !st->saw_work) {
+        MC_ASSERT_MSG(st->gate.epoch_approx() != st->ticket,
+                      "lost wakeup: slept through the only notify");
+      }
+      const std::uint32_t expected_waiters = st->parked ? 1u : 0u;
+      MC_ASSERT_MSG(st->gate.waiters_approx() == expected_waiters,
+                    "waiter count out of step with the protocol");
+    };
+    return e;
+  };
+}
+
+TEST(ModelCheckGateTest, ParkProtocolNeverLosesTheWakeup) {
+  const mc::Result r =
+      mc::ModelChecker(gate_opts()).run(gate_scenario(Variant::Correct));
+  EXPECT_FALSE(r.bug_found) << r.bug << "\n" << r.trace;
+  EXPECT_TRUE(r.complete) << "executions=" << r.executions;
+  EXPECT_GT(r.executions, 1u);
+}
+
+TEST(ModelCheckGateTest, SkippedRecheckIsCaught) {
+  const auto make = gate_scenario(Variant::SkipRecheck);
+  const mc::Result r = mc::ModelChecker(gate_opts()).run(make);
+  ASSERT_TRUE(r.bug_found) << "checker missed the skipped re-check";
+  EXPECT_NE(r.bug.find("lost wakeup"), std::string::npos) << r.bug;
+  // The failing schedule must replay deterministically from its token.
+  const mc::Result replay = mc::ModelChecker::replay(make, r.schedule_string());
+  ASSERT_TRUE(replay.bug_found) << r.schedule_string();
+  EXPECT_EQ(replay.bug, r.bug);
+}
+
+TEST(ModelCheckGateTest, RecheckBeforePrepareIsCaught) {
+  const mc::Result r = mc::ModelChecker(gate_opts())
+                           .run(gate_scenario(Variant::RecheckTooEarly));
+  ASSERT_TRUE(r.bug_found) << "checker missed the early re-check TOCTOU";
+  EXPECT_NE(r.bug.find("lost wakeup"), std::string::npos) << r.bug;
+}
+
+TEST(ModelCheckGateTest, TwoParkersBothGetTheEpochBump) {
+  // One producer, two consumers racing the same publication: every
+  // consumer that parks without seeing the work needs the epoch advanced.
+  const mc::Result r = mc::ModelChecker(gate_opts()).run([] {
+    struct TwoState {
+      WakeupGate gate;
+      concurrency::catomic<std::uint32_t> work{0, "mc.work2"};
+      bool saw[2] = {false, false};
+      bool parked[2] = {false, false};
+      WakeupGate::Ticket ticket[2] = {0, 0};
+    };
+    auto st = std::make_shared<TwoState>();
+    const auto consumer = [st](int i) {
+      st->ticket[i] = st->gate.prepare_wait();
+      if (st->work.load(std::memory_order_seq_cst) != 0) {
+        st->gate.cancel_wait();
+        st->saw[i] = true;
+        return;
+      }
+      st->parked[i] = true;
+    };
+    mc::Execution e;
+    e.threads.push_back([st] {
+      st->work.store(1, std::memory_order_seq_cst);
+      st->gate.notify_all();
+    });
+    e.threads.push_back([consumer] { consumer(0); });
+    e.threads.push_back([consumer] { consumer(1); });
+    e.finally = [st] {
+      std::uint32_t expected_waiters = 0;
+      for (int i = 0; i < 2; ++i) {
+        if (st->parked[i] && !st->saw[i]) {
+          MC_ASSERT_MSG(st->gate.epoch_approx() != st->ticket[i],
+                        "lost wakeup with two parkers");
+        }
+        if (st->parked[i]) ++expected_waiters;
+      }
+      MC_ASSERT(st->gate.waiters_approx() == expected_waiters);
+    };
+    return e;
+  });
+  EXPECT_FALSE(r.bug_found) << r.bug << "\n" << r.trace;
+  EXPECT_TRUE(r.complete) << "executions=" << r.executions;
+}
+
+TEST(ModelCheckGateTest, RandomWalkExercisesTheFullCallSequence) {
+  // Two publish rounds against a consumer running the real loop —
+  // prepare / re-check / cancel-or-commit_wait — where the modeled
+  // commit_wait returns spuriously and the caller loops back, exactly as
+  // the WorkerPool does.  Safety only (no liveness under spurious
+  // wakeups): consumption never exceeds publication and every prepare is
+  // balanced by a cancel or a commit.
+  mc::Options o = gate_opts();
+  o.random = true;
+  o.random_iterations = 20000;
+  o.seed = 20260808;
+  const mc::Result r = mc::ModelChecker(o).run([] {
+    struct RoundState {
+      WakeupGate gate;
+      concurrency::catomic<std::uint32_t> work{0, "mc.rounds"};
+      std::uint32_t taken = 0;
+    };
+    auto st = std::make_shared<RoundState>();
+    mc::Execution e;
+    e.threads.push_back([st] {
+      for (int round = 0; round < 2; ++round) {
+        st->work.fetch_add(1, std::memory_order_seq_cst);
+        st->gate.notify_all();
+      }
+    });
+    e.threads.push_back([st] {
+      for (int spins = 0; spins < 6; ++spins) {
+        const auto ticket = st->gate.prepare_wait();
+        const std::uint32_t available =
+            st->work.load(std::memory_order_seq_cst);
+        if (available > st->taken) {
+          st->gate.cancel_wait();
+          MC_ASSERT_MSG(available <= 2, "consumed more than was published");
+          st->taken = available;
+          if (st->taken == 2) return;
+          continue;
+        }
+        st->gate.commit_wait(ticket);  // spurious return; loop re-checks
+      }
+    });
+    e.finally = [st] {
+      MC_ASSERT(st->taken <= 2);
+      MC_ASSERT_MSG(st->gate.waiters_approx() == 0,
+                    "prepare_wait leaked a waiter slot");
+    };
+    return e;
+  });
+  EXPECT_FALSE(r.bug_found) << r.bug << "\n" << r.trace;
+  EXPECT_GT(r.executions, 1u);
+}
+
+}  // namespace
+}  // namespace stash

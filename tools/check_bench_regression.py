@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Gate wall-clock throughput against the checked-in baseline.
+
+Usage:
+    tools/check_bench_regression.py CURRENT.json [BASELINE.json] [--tolerance F]
+
+CURRENT.json is a fresh stash-bench-parallel-v1 export from bench_parallel;
+BASELINE.json defaults to the BENCH_parallel.json checked in at the repo
+root.  The gate compares the best ops/s across each file's thread sweep —
+the most noise-tolerant scalar the sweep offers — and fails (exit 1) when
+the current run is more than `tolerance` (default 0.20 = 20%) below the
+baseline.  Exits 0 with a one-line verdict otherwise.
+
+The digest fields must also agree *within* each file (every sweep point
+reproduced its own oracle digest); cross-file digests may differ when the
+workload constants change, which is a baseline refresh, not a regression.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    if doc.get("schema") != "stash-bench-parallel-v1":
+        sys.exit(f"{path}: not a stash-bench-parallel-v1 export")
+    sweep = doc.get("sweep", [])
+    if not sweep:
+        sys.exit(f"{path}: empty thread sweep")
+    for point in sweep:
+        if point.get("digest") != doc.get("oracle_digest"):
+            sys.exit(
+                f"{path}: sweep point threads={point.get('threads')} "
+                "diverged from the oracle digest — correctness, not perf"
+            )
+    return doc
+
+
+def best_ops(doc):
+    return max(float(p["ops_per_sec"]) for p in doc["sweep"])
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("current")
+    parser.add_argument(
+        "baseline",
+        nargs="?",
+        default=str(pathlib.Path(__file__).resolve().parent.parent
+                    / "BENCH_parallel.json"),
+    )
+    parser.add_argument("--tolerance", type=float, default=0.20)
+    args = parser.parse_args()
+
+    current = load(args.current)
+    baseline = load(args.baseline)
+
+    cur = best_ops(current)
+    base = best_ops(baseline)
+    floor = base * (1.0 - args.tolerance)
+    verdict = "OK" if cur >= floor else "REGRESSION"
+    print(
+        f"{verdict}: current best {cur:.1f} ops/s vs baseline {base:.1f} "
+        f"(floor {floor:.1f} at {args.tolerance:.0%} tolerance; "
+        f"current host_threads={current.get('host_threads')}, "
+        f"baseline host_threads={baseline.get('host_threads')})"
+    )
+    return 0 if cur >= floor else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
