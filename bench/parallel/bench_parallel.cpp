@@ -34,6 +34,13 @@ StashConfig graph_config() {
   return config;
 }
 
+exec::ExecConfig exec_config(std::size_t threads) {
+  exec::ExecConfig config;
+  config.threads = threads;
+  config.queue_capacity = 64;
+  return config;
+}
+
 std::vector<AggregationQuery> bench_mix(std::size_t target) {
   workload::WorkloadConfig wc;
   wc.seed = 0x42454e43ULL;
@@ -82,7 +89,7 @@ SweepPoint run_sweep_point(const GalileoStore& store,
   for (int rep = 0; rep < repeats; ++rep) {
     StashGraph graph(graph_config());
     exec::ParallelQueryEngine engine(graph, store,
-                                     exec::ExecConfig{threads, 64});
+                                     exec_config(threads));
     std::uint64_t digest = kChecksumSeed;
     std::size_t bytes = 0;
     for (std::size_t i = 0; i < queries.size(); ++i) {

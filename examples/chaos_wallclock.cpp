@@ -1,0 +1,383 @@
+// Wall-clock datapath chaos soak (DESIGN.md §14).
+//
+// Thread-level chaos against the real-thread execution mode: seeded fault
+// plans (task delays, injected exceptions, worker stalls) and wall-clock
+// deadlines run against the ParallelQueryEngine and against a full
+// cluster, with every answer compared to the sequential oracle.
+//
+// The run self-checks its acceptance criteria and exits non-zero on
+// failure, so CI can use it as a chaos soak (the TSan lane runs it too —
+// the same sweep doubles as a race hunt):
+//   1. over seeds x thread counts x fault plans, every answer is
+//      byte-equal to the sequential oracle or explicitly flagged with the
+//      expiry/fault reason: zero silently-wrong answers;
+//   2. lossless plans (delay, stall — timing only) change no answer;
+//   3. no deadline run returns later than deadline + one watchdog tick
+//      plus scheduler slack — stalled workers become cancelled chunks,
+//      not latency;
+//   4. the chaos actually bit: cancelled chunks, quarantined exceptions;
+//   5. the cluster rides exec-level expiry through the pushback taxonomy
+//      (degraded / partial / retried — never a hang, never a wrong cell)
+//      and the robustness counters surface in the metrics export.
+//
+//   ./build/examples/chaos_wallclock [--seeds N] [--metrics-json FILE]
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "common/civil_time.hpp"
+#include "exec/fault_hooks.hpp"
+#include "exec/host_clock.hpp"
+#include "exec/parallel_engine.hpp"
+#include "exec/wall_clock.hpp"
+#include "geo/geohash.hpp"
+#include "obs/metrics.hpp"
+#include "workload/workload.hpp"
+
+using namespace stash;
+using cluster::ClusterConfig;
+using cluster::StashCluster;
+using exec::BatchReport;
+using exec::ExecConfig;
+using exec::ExecOptions;
+using exec::FaultHooks;
+using exec::ParallelQueryEngine;
+
+namespace {
+
+constexpr std::uint64_t kDeadlineMs = 20;
+// Deadline + one watchdog tick is the contract; the rest is scheduler
+// slack for a loaded single-core CI box.
+constexpr std::uint64_t kLatencyBoundMs = kDeadlineMs + 1000;
+
+struct Plan {
+  const char* name;
+  FaultHooks faults;
+  bool lossless;  // timing-only plan: must not change any answer
+};
+
+std::vector<Plan> make_plans() {
+  std::vector<Plan> plans;
+  plans.push_back({"none", {}, true});
+  {
+    FaultHooks f;
+    f.task_delay_rate = 0.5;
+    f.task_delay_spins = 5'000;
+    plans.push_back({"delay", f, true});
+  }
+  {
+    FaultHooks f;
+    f.task_exception_rate = 0.3;
+    plans.push_back({"exceptions", f, false});
+  }
+  {
+    FaultHooks f;
+    f.worker_stall_rate = 0.25;
+    f.worker_stall_spins = 200'000;
+    plans.push_back({"stalls", f, true});
+  }
+  return plans;
+}
+
+std::vector<AggregationQuery> seeded_mix(std::uint64_t seed) {
+  workload::WorkloadConfig wc;
+  wc.seed = seed;
+  workload::WorkloadGenerator gen(wc);
+  auto queries =
+      gen.throughput_workload(workload::QueryGroup::County, 2, 2, 0.25);
+  const auto dicing = gen.iterative_dicing(workload::QueryGroup::State, 2,
+                                           /*descending=*/true);
+  queries.insert(queries.end(), dicing.begin(), dicing.end());
+  return queries;
+}
+
+AggregationQuery state_query() {
+  return {{36.0, 40.0, -102.0, -94.0},
+          TemporalBin(TemporalRes::Day, 2015, 2, 2).range(),
+          {5, TemporalRes::Day}};
+}
+
+ExecConfig exec_config(std::size_t threads, FaultHooks faults) {
+  ExecConfig config;
+  config.threads = threads;
+  config.queue_capacity = 256;
+  config.faults = faults;
+  return config;
+}
+
+struct SweepResult {
+  std::size_t runs = 0;
+  std::size_t exact = 0;
+  std::size_t flagged = 0;
+  std::size_t silent_wrong = 0;   // digest mismatch without a flag
+  std::size_t unlabelled = 0;     // flagged but reason missing
+  std::size_t lossless_lost = 0;  // timing-only plan lost a chunk
+  std::uint64_t cancelled_chunks = 0;
+  std::uint64_t task_exceptions = 0;
+};
+
+/// Seeds x threads x plans, every answer against the sequential oracle.
+SweepResult engine_sweep(const GalileoStore& store, std::size_t seeds) {
+  StashConfig graph_config;
+  graph_config.max_cells = 10'000'000;
+  const std::vector<Plan> plans = make_plans();
+
+  SweepResult out;
+  for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+    const auto queries = seeded_mix(0x5EED0000ull + seed);
+
+    StashGraph seq_graph(graph_config);
+    QueryEngine seq(seq_graph, store);
+    std::vector<std::uint64_t> want;
+    want.reserve(queries.size());
+    for (const auto& q : queries)
+      want.push_back(exec::answer_digest(seq.evaluate(q).cells, 0));
+
+    for (const std::size_t threads : {1u, 2u, 4u}) {
+      for (const Plan& plan : plans) {
+        FaultHooks faults = plan.faults;
+        faults.seed = seed * 0x9E3779B9ull;
+        StashGraph par_graph(graph_config);
+        ParallelQueryEngine par(par_graph, store,
+                                exec_config(threads, faults));
+        for (std::size_t i = 0; i < queries.size(); ++i) {
+          BatchReport report;
+          const Evaluation got =
+              par.evaluate(queries[i], EvalMode::Cached, {}, report);
+          ++out.runs;
+          if (report.complete()) {
+            if (exec::answer_digest(got.cells, 0) == want[i])
+              ++out.exact;
+            else
+              ++out.silent_wrong;
+          } else {
+            ++out.flagged;
+            if (report.chunks_failed == 0 ||
+                report.incomplete_partitions.empty() ||
+                report.first_error == nullptr)
+              ++out.unlabelled;
+            if (plan.lossless) ++out.lossless_lost;
+          }
+        }
+        const exec::ExecStats stats = par.exec_stats();
+        out.cancelled_chunks += stats.cancelled_chunks;
+        out.task_exceptions += stats.task_exceptions;
+      }
+    }
+  }
+  return out;
+}
+
+struct DeadlineResult {
+  std::size_t runs = 0;
+  std::size_t late = 0;             // returned past the latency bound
+  std::size_t dishonest = 0;        // partial cells not oracle-exact
+  std::uint64_t worst_ms = 0;
+  std::uint64_t cancelled_chunks = 0;
+  std::uint64_t deadline_exceeded = 0;
+};
+
+/// Hard-stalled workers against a tight deadline: the submitter must come
+/// back within the bound and the partial must cover exactly the
+/// partitions the report vouches for, byte-equal to the oracle.
+DeadlineResult deadline_sweep(const GalileoStore& store, std::size_t seeds) {
+  StashConfig graph_config;
+  graph_config.max_cells = 10'000'000;
+  const AggregationQuery query = state_query();
+
+  StashGraph seq_graph(graph_config);
+  QueryEngine seq(seq_graph, store);
+
+  DeadlineResult out;
+  for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+    for (const std::size_t threads : {1u, 2u, 4u}) {
+      FaultHooks faults;
+      faults.seed = seed;
+      faults.worker_stall_rate = 1.0;
+      faults.worker_stall_spins = 20'000'000;
+      StashGraph par_graph(graph_config);
+      ParallelQueryEngine par(par_graph, store, exec_config(threads, faults));
+
+      ExecOptions options;
+      const std::uint64_t start = exec::host_now_ns();
+      options.deadline_ns = start + kDeadlineMs * 1'000'000;
+      BatchReport report;
+      const Evaluation got =
+          par.evaluate(query, EvalMode::Cached, options, report);
+      const std::uint64_t elapsed_ms =
+          (exec::host_now_ns() - start) / 1'000'000;
+
+      ++out.runs;
+      if (elapsed_ms > kLatencyBoundMs) ++out.late;
+      if (elapsed_ms > out.worst_ms) out.worst_ms = elapsed_ms;
+      out.cancelled_chunks += report.chunks_cancelled;
+      out.deadline_exceeded += report.deadline_exceeded ? 1 : 0;
+
+      // Honest partial: the answer is the oracle's merge of exactly the
+      // partitions NOT named incomplete.
+      const std::set<std::string> incomplete(
+          report.incomplete_partitions.begin(),
+          report.incomplete_partitions.end());
+      CellSummaryMap expected;
+      for (const auto& partition :
+           geohash::covering(query.area, store.partition_prefix_length())) {
+        if (incomplete.count(partition) != 0) continue;
+        const Evaluation want = seq.evaluate_partition(partition, query);
+        for (const auto& [key, summary] : want.cells) {
+          auto [it, inserted] = expected.try_emplace(key, summary);
+          if (!inserted) it->second.merge(summary);
+        }
+      }
+      if (exec::answer_digest(got.cells, 0) !=
+          exec::answer_digest(expected, 0))
+        ++out.dishonest;
+    }
+  }
+  return out;
+}
+
+struct ClusterResult {
+  cluster::QueryStats stats;
+  double deadline_exceeded = -1.0;
+  double cancelled_chunks = -1.0;
+  double task_exceptions = -1.0;
+  bool counters_present = false;
+  std::string metrics_json;
+};
+
+/// Full cluster under a 1 ms exec deadline with every chunk stalling: the
+/// expiry must ride the pushback taxonomy, not hang the front-end.
+ClusterResult cluster_run() {
+  ClusterConfig config;
+  config.num_nodes = 8;
+  config.exec_threads = 2;
+  config.exec_deadline_ms = 1;
+  config.exec_faults.seed = 0x9E0;
+  config.exec_faults.worker_stall_rate = 1.0;
+  StashCluster cluster(config, std::make_shared<const NamGenerator>());
+
+  ClusterResult out;
+  out.stats = cluster.run_query(state_query());
+
+  const obs::MetricsSnapshot snap = cluster.metrics_registry().snapshot();
+  out.counters_present = true;
+  for (const char* name :
+       {"stash_exec_deadline_exceeded_total",
+        "stash_exec_cancelled_chunks_total", "stash_exec_task_exceptions_total",
+        "stash_exec_watchdog_stalls_total", "stash_exec_submit_shed_total"}) {
+    bool found = false;
+    for (const auto& s : snap.scalars) found |= s.name == name;
+    out.counters_present &= found;
+  }
+  for (const auto& s : snap.scalars) {
+    if (s.name == "stash_exec_deadline_exceeded_total")
+      out.deadline_exceeded = s.value;
+    if (s.name == "stash_exec_cancelled_chunks_total")
+      out.cancelled_chunks = s.value;
+    if (s.name == "stash_exec_task_exceptions_total")
+      out.task_exceptions = s.value;
+  }
+  out.metrics_json = obs::to_json(snap, cluster.loop().now());
+  return out;
+}
+
+bool check(bool ok, const char* what) {
+  std::printf("  [%s] %s\n", ok ? "PASS" : "FAIL", what);
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t seeds = 2;
+  std::string metrics_json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--seeds") == 0 && i + 1 < argc) {
+      seeds = static_cast<std::size_t>(std::atol(argv[++i]));
+      if (seeds == 0) seeds = 1;
+    } else if (std::strcmp(argv[i], "--metrics-json") == 0 && i + 1 < argc) {
+      metrics_json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--seeds N] [--metrics-json FILE]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  auto gen = std::make_shared<const NamGenerator>();
+  GalileoStore store(gen);
+
+  std::printf("engine sweep: %zu seeds x threads {1,2,4} x plans "
+              "{none, delay, exceptions, stalls}\n",
+              seeds);
+  const SweepResult sweep = engine_sweep(store, seeds);
+  std::printf("  runs %zu: exact %zu, flagged %zu; cancelled chunks %llu, "
+              "quarantined exceptions %llu\n",
+              sweep.runs, sweep.exact, sweep.flagged,
+              static_cast<unsigned long long>(sweep.cancelled_chunks),
+              static_cast<unsigned long long>(sweep.task_exceptions));
+
+  std::printf("deadline sweep: %zu seeds x threads {1,2,4}, %llu ms budget, "
+              "every chunk stalling\n",
+              seeds, static_cast<unsigned long long>(kDeadlineMs));
+  const DeadlineResult deadline = deadline_sweep(store, seeds);
+  std::printf("  runs %zu: worst return %llu ms (bound %llu ms), cancelled "
+              "chunks %llu\n",
+              deadline.runs, static_cast<unsigned long long>(deadline.worst_ms),
+              static_cast<unsigned long long>(kLatencyBoundMs),
+              static_cast<unsigned long long>(deadline.cancelled_chunks));
+
+  std::printf("cluster: 8 nodes x 2 workers, 1 ms exec deadline, all chunks "
+              "stalling\n");
+  const ClusterResult cl = cluster_run();
+  std::printf("  pushbacks %zu, degraded %zu, failed %zu, retries %zu; "
+              "deadline-exceeded %.0f, cancelled-chunks %.0f\n\n",
+              cl.stats.shed_subqueries, cl.stats.degraded_subqueries,
+              cl.stats.failed_subqueries, cl.stats.retries,
+              cl.deadline_exceeded, cl.cancelled_chunks);
+
+  std::printf("acceptance checks:\n");
+  bool ok = true;
+  ok &= check(sweep.silent_wrong == 0,
+              "every complete answer byte-equal to the sequential oracle");
+  ok &= check(sweep.unlabelled == 0,
+              "every incomplete answer names its reason (failed chunks, "
+              "incomplete partitions, first error)");
+  ok &= check(sweep.lossless_lost == 0,
+              "timing-only plans (delay, stall) lost no chunks");
+  ok &= check(sweep.task_exceptions > 0,
+              "the exception plan actually bit (quarantines counted)");
+  ok &= check(deadline.late == 0,
+              "no deadline run returned later than deadline + watchdog tick "
+              "+ slack");
+  ok &= check(deadline.dishonest == 0,
+              "every deadline partial covers exactly the vouched partitions, "
+              "byte-equal to the oracle");
+  ok &= check(deadline.cancelled_chunks > 0 && deadline.deadline_exceeded > 0,
+              "deadlines actually cancelled work");
+  ok &= check(cl.stats.shed_subqueries > 0,
+              "cluster exec expiry rode the pushback taxonomy");
+  ok &= check(cl.stats.degraded || cl.stats.partial || cl.stats.retries > 0,
+              "cluster answer honestly degraded / partial / retried");
+  ok &= check(cl.counters_present && cl.deadline_exceeded > 0.0,
+              "robustness counters exported and non-zero where chaos hit");
+
+  if (!metrics_json_path.empty()) {
+    std::FILE* f = metrics_json_path == "-"
+                       ? stdout
+                       : std::fopen(metrics_json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "%s: cannot write %s\n", argv[0],
+                   metrics_json_path.c_str());
+      return 2;
+    }
+    std::fprintf(f, "%s\n", cl.metrics_json.c_str());
+    if (f != stdout) std::fclose(f);
+  }
+  return ok ? 0 : 1;
+}

@@ -36,6 +36,13 @@
 //     --deadline-ms MS      per-query deadline; at MS ms the query completes
 //                           with whatever has arrived (missing partitions
 //                           reported honestly)
+//     --exec-deadline-ms MS wall-clock budget per subquery on the worker
+//                           pool (needs --threads); an expired subquery is
+//                           cancelled cooperatively and rerouted through
+//                           the degraded/retry path
+//     --chaos-exec SPEC     seeded thread-level fault injection on the
+//                           worker pool: delay=P,exc=P,stall=P[,seed=N]
+//                           (probabilities per chunk task; needs --threads)
 //     --retry-budget N      retry token bucket per query (0 = unlimited);
 //                           exact responses refill half a token
 //     --help                print this usage and exit
@@ -68,6 +75,7 @@
 
 #include "client/visual_client.hpp"
 #include "common/civil_time.hpp"
+#include "exec/fault_hooks.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -83,7 +91,8 @@ namespace {
                "[--bitflip-rate P] [--bitrot GH2[@MS]] [--scrub-ms MS] "
                "[--partition A|B] [--heal-ms MS] [--recovery|--no-recovery] "
                "[--no-failover] [--queue-limit N] [--threads N] "
-               "[--deadline-ms MS] "
+               "[--deadline-ms MS] [--exec-deadline-ms MS] "
+               "[--chaos-exec delay=P,exc=P,stall=P[,seed=N]] "
                "[--retry-budget N] [--audit] [--metrics] "
                "[--metrics-json FILE] [--trace ID|last] [--help] "
                "<lat_min> <lat_max> <lng_min> <lng_max>\n",
@@ -123,6 +132,34 @@ std::vector<std::vector<std::uint32_t>> parse_partition(
   return groups;
 }
 
+/// "delay=0.2,exc=0.05,stall=0.01[,seed=N]" -> FaultHooks; false when
+/// malformed or when no fault rate is set.
+bool parse_chaos_exec(const std::string& spec, exec::FaultHooks* out) {
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t end = spec.find(',', pos);
+    if (end == std::string::npos) end = spec.size();
+    const std::string item = spec.substr(pos, end - pos);
+    const std::size_t eq = item.find('=');
+    if (eq == std::string::npos) return false;
+    const std::string key = item.substr(0, eq);
+    const std::string value = item.substr(eq + 1);
+    if (value.empty()) return false;
+    if (key == "seed") {
+      out->seed = static_cast<std::uint64_t>(std::atoll(value.c_str()));
+    } else {
+      const double p = std::atof(value.c_str());
+      if (p < 0.0 || p > 1.0) return false;
+      if (key == "delay") out->task_delay_rate = p;
+      else if (key == "exc") out->task_exception_rate = p;
+      else if (key == "stall") out->worker_stall_rate = p;
+      else return false;
+    }
+    pos = end + 1;
+  }
+  return out->enabled();
+}
+
 bool parse_date(const std::string& text, CivilDate* out) {
   if (text.size() != 10 || text[4] != '-' || text[7] != '-') return false;
   out->year = std::atoi(text.substr(0, 4).c_str());
@@ -150,6 +187,8 @@ int main(int argc, char** argv) {
   long queue_limit = 0;
   long threads = 0;
   double deadline_ms = 0.0;
+  double exec_deadline_ms = 0.0;
+  exec::FaultHooks chaos_exec;
   double retry_budget = 0.0;
   sim::FaultPlan plan;
   double drop_rate = 0.0;
@@ -240,6 +279,11 @@ int main(int argc, char** argv) {
     } else if (arg == "--deadline-ms") {
       deadline_ms = std::atof(next().c_str());
       if (deadline_ms < 0.0) usage(argv[0]);
+    } else if (arg == "--exec-deadline-ms") {
+      exec_deadline_ms = std::atof(next().c_str());
+      if (exec_deadline_ms < 0.0) usage(argv[0]);
+    } else if (arg == "--chaos-exec") {
+      if (!parse_chaos_exec(next(), &chaos_exec)) usage(argv[0]);
     } else if (arg == "--retry-budget") {
       retry_budget = std::atof(next().c_str());
       if (retry_budget < 0.0) usage(argv[0]);
@@ -265,6 +309,8 @@ int main(int argc, char** argv) {
   }
   if (coords.size() != 4 || sres < 2 || sres > 12 || repeat < 1 || nodes < 1)
     usage(argv[0]);
+  if ((exec_deadline_ms > 0.0 || chaos_exec.enabled()) && threads == 0)
+    usage(argv[0]);  // wall-clock controls need a worker pool
   if (drop_rate > 0.0 || bitflip_rate > 0.0) {
     // One combined wildcard rule: the injector's first-match semantics mean
     // separate --drop and --bitflip-rate rules would shadow each other.
@@ -303,6 +349,9 @@ int main(int argc, char** argv) {
   config.failover_to_successor = failover;
   config.queue_limit = static_cast<std::size_t>(queue_limit);
   config.exec_threads = static_cast<std::size_t>(threads);
+  config.exec_deadline_ms =
+      static_cast<std::uint64_t>(std::llround(exec_deadline_ms));
+  config.exec_faults = chaos_exec;
   config.query_deadline =
       static_cast<sim::SimTime>(std::llround(deadline_ms * 1000.0));
   config.retry_budget = retry_budget;
@@ -364,6 +413,20 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(m.degraded_subqueries),
                 static_cast<unsigned long long>(m.deadline_cut_subqueries),
                 static_cast<unsigned long long>(m.retries_suppressed));
+  }
+  if (threads > 0 && (exec_deadline_ms > 0.0 || chaos_exec.enabled())) {
+    double deadline_cut = 0.0, cancelled = 0.0, exceptions = 0.0;
+    double stalls = 0.0, shed = 0.0;
+    for (const auto& s : cluster.metrics_registry().snapshot().scalars) {
+      if (s.name == "stash_exec_deadline_exceeded_total") deadline_cut = s.value;
+      else if (s.name == "stash_exec_cancelled_chunks_total") cancelled = s.value;
+      else if (s.name == "stash_exec_task_exceptions_total") exceptions = s.value;
+      else if (s.name == "stash_exec_watchdog_stalls_total") stalls = s.value;
+      else if (s.name == "stash_exec_submit_shed_total") shed = s.value;
+    }
+    std::printf("exec robustness: deadline-exceeded=%.0f cancelled-chunks=%.0f "
+                "task-exceptions=%.0f watchdog-stalls=%.0f submit-shed=%.0f\n",
+                deadline_cut, cancelled, exceptions, stalls, shed);
   }
   if (!plan.empty()) {
     const auto& m = cluster.metrics();

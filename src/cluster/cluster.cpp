@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "common/codec.hpp"
+#include "exec/host_clock.hpp"
 
 namespace stash::cluster {
 
@@ -173,10 +174,13 @@ StashCluster::StashCluster(ClusterConfig config,
     // Wall-clock datapath: every node shards its chunk work across a real
     // thread pool.  Answers stay byte-identical to the inline engine, so
     // the sim remains deterministic for a fixed seed.
+    exec::ExecConfig exec_config;
+    exec_config.threads = config_.exec_threads;
+    exec_config.queue_capacity = config_.exec_queue_capacity;
+    exec_config.faults = config_.exec_faults;
     for (auto& node : nodes_)
       node->exec_engine = std::make_unique<exec::ParallelQueryEngine>(
-          node->graph, store_,
-          exec::ExecConfig{config_.exec_threads, config_.exec_queue_capacity});
+          node->graph, store_, exec_config);
   }
   // Gossip rides the normal (faulty) message path as background traffic:
   // subject to the same drops/partitions/latency as queries, but never
@@ -479,6 +483,50 @@ void StashCluster::register_callback_metrics() {
       "stash_exec_wakeups_total", "Times a parked worker was woken",
       MetricKind::Counter,
       [exec_sum] { return exec_sum(&concurrency::WorkerStats::wakeups); });
+  // Wall-clock robustness counters (DESIGN.md §14), also schema-required.
+  const auto exec_stat_sum =
+      [this](std::uint64_t exec::ExecStats::* field) {
+        std::uint64_t total = 0;
+        for (const auto& node : nodes_)
+          if (node->exec_engine) {
+            const exec::ExecStats s = node->exec_engine->exec_stats();
+            total += s.*field;
+          }
+        return static_cast<double>(total);
+      };
+  registry_.callback(
+      "stash_exec_deadline_exceeded_total",
+      "Wall-clock evaluate calls that hit their deadline", MetricKind::Counter,
+      [exec_stat_sum] {
+        return exec_stat_sum(&exec::ExecStats::deadline_exceeded);
+      });
+  registry_.callback(
+      "stash_exec_cancelled_chunks_total",
+      "Chunk tasks cancelled cooperatively after a deadline or shutdown",
+      MetricKind::Counter, [exec_stat_sum] {
+        return exec_stat_sum(&exec::ExecStats::cancelled_chunks);
+      });
+  registry_.callback(
+      "stash_exec_task_exceptions_total",
+      "Chunk tasks that threw and were quarantined", MetricKind::Counter,
+      [exec_stat_sum, exec_sum] {
+        // Engine-recorded chunk failures plus anything the pool caught
+        // from tasks submitted outside a batch.
+        return exec_stat_sum(&exec::ExecStats::task_exceptions) +
+               exec_sum(&concurrency::WorkerStats::task_exceptions);
+      });
+  registry_.callback(
+      "stash_exec_watchdog_stalls_total",
+      "Stuck-worker detections by the exec watchdog", MetricKind::Counter,
+      [exec_sum] {
+        return exec_sum(&concurrency::WorkerStats::watchdog_stalls);
+      });
+  registry_.callback(
+      "stash_exec_submit_shed_total",
+      "Chunk submissions shed to inline execution (all rings full)",
+      MetricKind::Counter, [exec_sum] {
+        return exec_sum(&concurrency::WorkerStats::submit_shed);
+      });
   registry_.callback("stash_exec_queue_depth",
                      "Queued-but-unexecuted chunk tasks across all exec rings",
                      MetricKind::Gauge, [this] {
@@ -1363,22 +1411,46 @@ void StashCluster::enqueue_local(NodeId node_id, std::uint64_t query_id,
   const sim::SimTime deadline =
       pit != pending_.end() ? pit->second.deadline : 0;
   auto slot = std::make_shared<Evaluation>();
+  auto exec_partial = std::make_shared<bool>(false);
   node.server.submit(
-      [this, &node, query_id, idx, attempt, mode, slot]() -> sim::SimTime {
+      [this, &node, query_id, idx, attempt, mode, slot,
+       exec_partial]() -> sim::SimTime {
         const auto it = pending_.find(query_id);
         if (it == pending_.end()) return 0;
         const Subquery& sq = it->second.subqueries[idx];
         if (sq.done || sq.attempts != attempt) return 0;  // superseded
-        *slot = node.exec_engine
-                    ? node.exec_engine->evaluate_partition(
-                          sq.partition, it->second.query, mode)
-                    : node.engine.evaluate_partition(sq.partition,
-                                                     it->second.query, mode);
+        if (node.exec_engine) {
+          // Wall-clock datapath: evaluate under the configured host-time
+          // budget.  An expired or fault-hit batch comes back partial;
+          // the completion below reroutes it through the PR-4 pushback
+          // taxonomy instead of delivering a half answer.
+          exec::ExecOptions exec_opts;
+          if (config_.exec_deadline_ms > 0)
+            exec_opts.deadline_ns = exec::host_now_ns() +
+                                    config_.exec_deadline_ms * 1'000'000ull;
+          exec::BatchReport exec_report;
+          *slot = node.exec_engine->evaluate_partition(
+              sq.partition, it->second.query, mode, exec_opts, exec_report);
+          *exec_partial = !exec_report.complete();
+        } else {
+          *slot = node.engine.evaluate_partition(sq.partition,
+                                                 it->second.query, mode);
+        }
         return service_time(slot->breakdown);
       },
-      [this, &node, query_id, idx, attempt, slot](sim::Outcome outcome) {
+      [this, &node, query_id, idx, attempt, slot,
+       exec_partial](sim::Outcome outcome) {
         if (outcome != sim::Outcome::kOk) {
           handle_server_pushback(node.id, query_id, idx, attempt, outcome,
+                                 /*guest=*/false);
+          return;
+        }
+        if (*exec_partial) {
+          // The wall-clock engine gave up on its deadline (or quarantined
+          // a faulted chunk): same taxonomy as a queue-expired job —
+          // degraded cached ancestor if resident, else the retry path.
+          handle_server_pushback(node.id, query_id, idx, attempt,
+                                 sim::Outcome::kDeadlineExceeded,
                                  /*guest=*/false);
           return;
         }

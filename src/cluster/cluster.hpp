@@ -190,6 +190,15 @@ struct ClusterConfig {
   std::size_t exec_threads = 0;
   /// Per-worker MpmcRing capacity for the exec pools (power of two >= 2).
   std::size_t exec_queue_capacity = 256;
+  /// Wall-clock budget (host milliseconds) for one exec subquery
+  /// evaluation; 0 = none.  On expiry the engine cancels outstanding
+  /// chunks cooperatively and the node answers through the PR-4 pushback
+  /// taxonomy (degraded cached ancestor, else honest retry/miss) instead
+  /// of blocking the serve path (DESIGN.md §14).
+  std::uint64_t exec_deadline_ms = 0;
+  /// Seeded thread-level fault injection for the exec pools (inert by
+  /// default) — task delays, task exceptions, worker stalls.
+  exec::FaultHooks exec_faults;
 };
 
 /// Per-partition report of what a query's answer actually contains — the

@@ -1,0 +1,114 @@
+// CancellationToken: one-shot cooperative cancellation for the wall-clock
+// datapath (DESIGN.md §14).
+//
+// A batch submitter that gives up on a deadline cancels the token; worker
+// threads probe it between chunks (and between cells inside a chunk scan)
+// and bail out instead of finishing work nobody will read.  The token is
+// also a *publication channel*: the canceller records why (reason) and a
+// detail word (e.g. the deadline that fired) before the cancelled flag
+// becomes visible, and an observer that has seen `cancelled()` may read
+// both race-free.
+//
+// Protocol (proven in tests/mc/cancellation_mc_test.cpp):
+//
+//   canceller:                          observer:
+//     CAS state 0 -> kClaiming            if (cancelled())   [acquire]
+//     write reason_/detail_ (plain)           read reason()/detail()
+//     state.store(kCancelled, release)
+//
+// The claim CAS makes multi-canceller races safe (exactly one writer ever
+// touches the plain payload; losers return false), and the release store
+// pairs with the observer's acquire load so the payload writes
+// happen-before any read that saw the flag.  Publishing with a relaxed
+// store instead is a real data race on the payload — the mc test's broken
+// variant proves the checker catches exactly that.
+//
+// stash-lint: lock-free-file
+#pragma once
+
+#include <cstdint>
+
+#include "concurrency/catomic.hpp"
+
+STASH_CONCURRENCY_NS_BEGIN
+
+/// Why a token was cancelled.  kNone is never published.
+enum class CancelReason : std::uint8_t {
+  kNone = 0,
+  kDeadline = 1,  // the batch's wall-clock budget expired
+  kShutdown = 2,  // the owning component is being torn down
+  kCaller = 3,    // explicit caller request
+};
+
+[[nodiscard]] constexpr const char* to_string(CancelReason reason) noexcept {
+  switch (reason) {
+    case CancelReason::kNone:
+      return "none";
+    case CancelReason::kDeadline:
+      return "deadline";
+    case CancelReason::kShutdown:
+      return "shutdown";
+    case CancelReason::kCaller:
+      return "caller";
+  }
+  return "?";
+}
+
+class CancellationToken {
+ public:
+  CancellationToken()
+      : state_(kIdle, "cancel.state"), detail_(0, "cancel.detail") {}
+  CancellationToken(const CancellationToken&) = delete;
+  CancellationToken& operator=(const CancellationToken&) = delete;
+
+  /// Requests cancellation.  Exactly one caller wins (returns true) and
+  /// publishes `reason`/`detail`; every other caller returns false and
+  /// must not assume its arguments were recorded.  `reason` must not be
+  /// kNone.
+  bool cancel(CancelReason reason, std::uint64_t detail = 0) STASH_MC_MAY_THROW {
+    std::uint32_t expected = kIdle;
+    // The claim makes this thread the only payload writer; relaxed is
+    // enough because the *release* publication below is what readers pair
+    // their acquire with.
+    if (!state_.compare_exchange_strong(expected, kClaiming,
+                                        std::memory_order_relaxed,
+                                        std::memory_order_relaxed))
+      return false;
+    detail_.store(detail);
+    // Pairs with the acquire in cancelled(): an observer that sees the
+    // flag sees the payload.
+    state_.store(kCancelled | (static_cast<std::uint32_t>(reason) << 16),
+                 std::memory_order_release);
+    return true;
+  }
+
+  /// True once a cancel has been *published* (a concurrent canceller that
+  /// has claimed but not yet published does not count — its payload is
+  /// not readable yet).
+  [[nodiscard]] bool cancelled() const STASH_MC_MAY_THROW {
+    return (state_.load(std::memory_order_acquire) & kCancelled) != 0;
+  }
+
+  /// The published reason; kNone while not (yet) cancelled.
+  [[nodiscard]] CancelReason reason() const STASH_MC_MAY_THROW {
+    const std::uint32_t s = state_.load(std::memory_order_acquire);
+    if ((s & kCancelled) == 0) return CancelReason::kNone;
+    return static_cast<CancelReason>((s >> 16) & 0xff);
+  }
+
+  /// The canceller's detail word.  Only meaningful after cancelled() has
+  /// returned true on this thread (the acquire there orders this read).
+  [[nodiscard]] std::uint64_t detail() const STASH_MC_MAY_THROW {
+    return detail_.load();
+  }
+
+ private:
+  static constexpr std::uint32_t kIdle = 0;
+  static constexpr std::uint32_t kClaiming = 1;
+  static constexpr std::uint32_t kCancelled = 2;
+
+  catomic<std::uint32_t> state_;
+  var<std::uint64_t> detail_;
+};
+
+STASH_CONCURRENCY_NS_END

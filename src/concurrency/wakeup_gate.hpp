@@ -21,10 +21,20 @@
 //
 // commit_wait() may return spuriously; callers loop back to the re-check.
 //
+// commit_wait_until() is the deadline-capable variant (DESIGN.md §14): it
+// keeps the same prepare/re-check/commit protocol but polls a caller
+// predicate between bounded sleep slices, so a waiter whose producer died
+// (or is wedged) still returns by its deadline instead of parking forever.
+//
 // stash-lint: lock-free-file
 #pragma once
 
 #include <cstdint>
+
+#ifndef STASH_MODEL_CHECK
+#include <chrono>
+#include <thread>
+#endif
 
 #include "concurrency/catomic.hpp"
 
@@ -59,6 +69,37 @@ class WakeupGate {
     waiters_.fetch_sub(1, std::memory_order_seq_cst);
   }
 
+  /// Timed variant of commit_wait: parks until the epoch moves past
+  /// `ticket` OR `expired()` first returns true, releasing the waiter
+  /// slot either way.  Returns true when the epoch moved (possibly
+  /// spuriously — callers loop back to their re-check exactly as with
+  /// commit_wait), false when the wait ended on expiry.  `expired` is
+  /// polled between bounded sleep slices; there is no futex timeout in
+  /// C++20, so the poll granularity (kPollSliceUs) bounds how late past
+  /// its deadline a waiter can oversleep.  Proven (lost-wakeup freedom +
+  /// waiter accounting on both exits) in tests/mc/cancellation_mc_test.cpp.
+  template <typename ExpiredFn>
+  [[nodiscard]] bool commit_wait_until(Ticket ticket, ExpiredFn&& expired)
+      STASH_MC_MAY_THROW {
+    for (;;) {
+      if (epoch_.load(std::memory_order_seq_cst) != ticket) {
+        waiters_.fetch_sub(1, std::memory_order_seq_cst);
+        return true;
+      }
+      if (expired()) {
+        waiters_.fetch_sub(1, std::memory_order_seq_cst);
+        return false;
+      }
+#ifndef STASH_MODEL_CHECK
+      // A short sleep instead of a futex wait: the epoch re-load above is
+      // the wakeup edge, so a notify is noticed within one slice.  Under
+      // the model checker the loop is pure loads — the scheduler owns the
+      // interleaving and the test's expired() predicate bounds the steps.
+      std::this_thread::sleep_for(std::chrono::microseconds(kPollSliceUs));
+#endif
+    }
+  }
+
   /// Wake every parked (and parking) waiter.  Callers publish their work
   /// *before* this call.  Cheap when nobody waits: one fence + one load.
   void notify_all() {
@@ -81,6 +122,12 @@ class WakeupGate {
   }
 
  private:
+  /// Poll slice for commit_wait_until (µs): small enough that deadline
+  /// overshoot is negligible against millisecond budgets, large enough
+  /// that a parked-with-deadline submitter costs ~10k wakeups/s, not a
+  /// spinning core.
+  static constexpr unsigned kPollSliceUs = 100;
+
   catomic<std::uint32_t> epoch_;
   catomic<std::uint32_t> waiters_;
 };

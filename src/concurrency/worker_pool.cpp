@@ -1,6 +1,7 @@
 // stash-lint: lock-free-file
 #include "concurrency/worker_pool.hpp"
 
+#include <chrono>
 #include <utility>
 
 namespace stash::concurrency {
@@ -10,6 +11,10 @@ namespace {
 // sub-microsecond producer/consumer gaps, short enough that an idle pool
 // sleeps (the bench harness checks parks > 0 on an idle pool).
 constexpr int kSpinRounds = 64;
+// Bounded yield-sweeps before a blocked submitter parks on space_gate_.
+// This replaces the old unbounded yield loop: past this, the submitter
+// sleeps and a worker's post-pop kick wakes it.
+constexpr int kSubmitSpinRounds = 64;
 }  // namespace
 
 std::size_t resolve_worker_count(std::size_t configured,
@@ -23,7 +28,15 @@ std::size_t resolve_worker_count(std::size_t configured) {
 }
 
 WorkerPool::WorkerPool(Config config)
-    : stop_(0, "pool.stop"), next_ring_(0, "pool.next_ring") {
+    : stop_(0, "pool.stop"),
+      next_ring_(0, "pool.next_ring"),
+      inflight_submits_(0, "pool.inflight_submits"),
+      submit_shed_(0, "pool.submit_shed"),
+      submit_blocked_(0, "pool.submit_blocked"),
+      watchdog_stalls_(0, "pool.watchdog_stalls"),
+      drain_on_shutdown_(config.drain_on_shutdown),
+      watchdog_interval_ns_(config.watchdog_interval_ns),
+      now_ns_(std::move(config.now_ns)) {
   const std::size_t n = resolve_worker_count(config.threads);
   workers_.reserve(n);
   for (std::size_t i = 0; i < n; ++i)
@@ -32,46 +45,115 @@ WorkerPool::WorkerPool(Config config)
   // whole vector, which must never reallocate under it.
   for (std::size_t i = 0; i < n; ++i)
     workers_[i]->thread = std::thread([this, i] { run(i); });
+  if (watchdog_interval_ns_ > 0 && now_ns_)
+    watchdog_ = std::thread([this] { watchdog_run(); });
 }
 
 WorkerPool::~WorkerPool() {
   stop_.store(1, std::memory_order_seq_cst);
   gate_.notify_all();
+  space_gate_.notify_all();
+  // Wait out submitters first: a thread parked in submit() backpressure
+  // wakes (the notify above), observes stop_, runs its task inline and
+  // leaves.  Only then is it safe to tear the workers down under it.
+  while (inflight_submits_.load(std::memory_order_seq_cst) != 0) {
+    space_gate_.notify_all();
+    std::this_thread::yield();
+  }
+  if (watchdog_.joinable()) watchdog_.join();
   for (auto& w : workers_)
     if (w->thread.joinable()) w->thread.join();
+  // Abandon mode: whatever is still queued is destroyed, unrun, by the
+  // MpmcRing destructors (the PR 8 ring-drain contract).
+}
+
+bool WorkerPool::push_sweep(Task& task) {
+  const std::size_t n = workers_.size();
+  const std::size_t start = static_cast<std::size_t>(
+      next_ring_.fetch_add(1, std::memory_order_relaxed));
+  for (std::size_t i = 0; i < n; ++i) {
+    if (workers_[(start + i) % n]->ring.try_push(std::move(task))) {
+      gate_.notify_all();
+      return true;
+    }
+  }
+  return false;
 }
 
 void WorkerPool::submit(Task task) {
-  const std::size_t n = workers_.size();
-  std::size_t start = static_cast<std::size_t>(
-      next_ring_.fetch_add(1, std::memory_order_relaxed));
-  for (;;) {
-    for (std::size_t i = 0; i < n; ++i) {
-      if (workers_[(start + i) % n]->ring.try_push(std::move(task))) {
-        gate_.notify_all();
-        return;
-      }
+  inflight_submits_.fetch_add(1, std::memory_order_seq_cst);
+  for (int attempt = 0;; ++attempt) {
+    if (stop_.load(std::memory_order_seq_cst) != 0) {
+      // Shutting down with the task still in hand: run it inline.  The
+      // caller's thread is the only executor guaranteed to still exist,
+      // and the no-silent-drop contract outranks shutdown latency.
+      execute(*workers_[0], task);
+      break;
     }
-    // Every ring full: the submitter is the backpressure.  Yield so the
-    // workers we are waiting on get the core.
-    std::this_thread::yield();
+    if (push_sweep(task)) break;
+    if (attempt < kSubmitSpinRounds) {
+      // Every ring full: the submitter is the backpressure.  Yield so
+      // the workers we are waiting on get the core.
+      std::this_thread::yield();
+      continue;
+    }
+    // Still full after the bounded spin: park until a worker frees a
+    // slot.  Same prepare/re-check/commit protocol as the workers' idle
+    // park (proven in tests/mc/) — the re-check is a full push sweep.
+    const WakeupGate::Ticket ticket = space_gate_.prepare_wait();
+    if (stop_.load(std::memory_order_seq_cst) != 0) {
+      space_gate_.cancel_wait();
+      continue;  // loop re-checks stop_ and runs inline
+    }
+    if (push_sweep(task)) {
+      space_gate_.cancel_wait();
+      break;
+    }
+    submit_blocked_.fetch_add(1, std::memory_order_relaxed);
+    space_gate_.commit_wait(ticket);
+  }
+  inflight_submits_.fetch_sub(1, std::memory_order_seq_cst);
+}
+
+bool WorkerPool::try_submit(Task& task) {
+  inflight_submits_.fetch_add(1, std::memory_order_seq_cst);
+  bool pushed = false;
+  if (stop_.load(std::memory_order_seq_cst) == 0) pushed = push_sweep(task);
+  if (!pushed) submit_shed_.fetch_add(1, std::memory_order_relaxed);
+  inflight_submits_.fetch_sub(1, std::memory_order_seq_cst);
+  return pushed;
+}
+
+void WorkerPool::execute(Worker& self, Task& task) {
+  try {
+    task();
+  } catch (...) {
+    // Quarantine: a throwing task must never unwind into run()'s loop
+    // (std::terminate) or poison the worker.  Count it; the submitter
+    // owns any richer error reporting (the exec engine records per-chunk
+    // errors before they ever reach this backstop).
+    self.task_exceptions.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
 bool WorkerPool::try_execute_one(std::size_t index) {
   Worker& self = *workers_[index];
   if (auto task = self.ring.try_pop()) {
-    (*task)();
+    space_gate_.notify_all();  // a slot freed: wake blocked submitters
+    execute(self, *task);
     self.executed.fetch_add(1, std::memory_order_relaxed);
+    self.heartbeat.fetch_add(1, std::memory_order_relaxed);
     return true;
   }
   const std::size_t n = workers_.size();
   for (std::size_t i = 1; i < n; ++i) {
     Worker& victim = *workers_[(index + i) % n];
     if (auto task = victim.ring.try_pop()) {
-      (*task)();
+      space_gate_.notify_all();
+      execute(self, *task);
       self.executed.fetch_add(1, std::memory_order_relaxed);
       self.stolen.fetch_add(1, std::memory_order_relaxed);
+      self.heartbeat.fetch_add(1, std::memory_order_relaxed);
       return true;
     }
   }
@@ -81,6 +163,11 @@ bool WorkerPool::try_execute_one(std::size_t index) {
 void WorkerPool::run(std::size_t index) {
   Worker& self = *workers_[index];
   for (;;) {
+    // Abandon-mode shutdown wins over queued work: without this check a
+    // worker woken by the destructor would happily drain its ring first,
+    // and "abandon" would only ever abandon what nobody was awake to see.
+    if (!drain_on_shutdown_ && stop_.load(std::memory_order_seq_cst) != 0)
+      return;
     if (try_execute_one(index)) continue;
 
     bool found = false;
@@ -95,9 +182,11 @@ void WorkerPool::run(std::size_t index) {
     const WakeupGate::Ticket ticket = gate_.prepare_wait();
     if (stop_.load(std::memory_order_seq_cst) != 0) {
       gate_.cancel_wait();
-      // Shutdown drains: run whatever is still queued before exiting so
-      // no submitted task is silently dropped.
-      while (try_execute_one(index)) {
+      if (drain_on_shutdown_) {
+        // Shutdown drains: run whatever is still queued before exiting
+        // so no submitted task is silently dropped.
+        while (try_execute_one(index)) {
+        }
       }
       return;
     }
@@ -106,8 +195,44 @@ void WorkerPool::run(std::size_t index) {
       continue;
     }
     self.parks.fetch_add(1, std::memory_order_relaxed);
+    self.heartbeat.fetch_add(1, std::memory_order_relaxed);
     gate_.commit_wait(ticket);
     self.wakeups.fetch_add(1, std::memory_order_relaxed);
+    self.heartbeat.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void WorkerPool::watchdog_run() {
+  // One sample slot per worker: heartbeat at the start of the interval
+  // currently being watched, or no value when the worker looked healthy
+  // at the last tick.
+  std::vector<std::uint64_t> last_beat(workers_.size());
+  std::vector<bool> watching(workers_.size(), false);
+  std::uint64_t next_tick = now_ns_() + watchdog_interval_ns_;
+  while (stop_.load(std::memory_order_seq_cst) == 0) {
+    // Sleep in short slices so shutdown is prompt; the tick boundary is
+    // computed from the injected clock, not from sleep accumulation.
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+    if (now_ns_() < next_tick) continue;
+    next_tick = now_ns_() + watchdog_interval_ns_;
+    for (std::size_t i = 0; i < workers_.size(); ++i) {
+      Worker& w = *workers_[i];
+      const std::uint64_t beat = w.heartbeat.load(std::memory_order_relaxed);
+      const bool backlog = w.ring.size_approx() > 0;
+      if (!backlog) {
+        watching[i] = false;
+        continue;
+      }
+      if (watching[i] && beat == last_beat[i]) {
+        // A full interval with queued work and zero progress: the worker
+        // is wedged (long task, injected stall, or lost wakeup).  Count
+        // it and kick the gate so awake-able peers steal the backlog.
+        watchdog_stalls_.fetch_add(1, std::memory_order_relaxed);
+        gate_.notify_all();
+      }
+      last_beat[i] = beat;
+      watching[i] = true;
+    }
   }
 }
 
@@ -121,6 +246,10 @@ std::size_t WorkerPool::worker_queue_depth(std::size_t index) const {
   return workers_[index]->ring.size_approx();
 }
 
+std::uint64_t WorkerPool::worker_heartbeat(std::size_t index) const {
+  return workers_[index]->heartbeat.load(std::memory_order_relaxed);
+}
+
 WorkerStats WorkerPool::worker_stats(std::size_t index) const {
   const Worker& w = *workers_[index];
   WorkerStats out;
@@ -128,12 +257,16 @@ WorkerStats WorkerPool::worker_stats(std::size_t index) const {
   out.stolen = w.stolen.load(std::memory_order_relaxed);
   out.parks = w.parks.load(std::memory_order_relaxed);
   out.wakeups = w.wakeups.load(std::memory_order_relaxed);
+  out.task_exceptions = w.task_exceptions.load(std::memory_order_relaxed);
   return out;
 }
 
 WorkerStats WorkerPool::total_stats() const {
   WorkerStats out;
   for (std::size_t i = 0; i < workers_.size(); ++i) out += worker_stats(i);
+  out.submit_shed = submit_shed_.load(std::memory_order_relaxed);
+  out.submit_blocked = submit_blocked_.load(std::memory_order_relaxed);
+  out.watchdog_stalls = watchdog_stalls_.load(std::memory_order_relaxed);
   return out;
 }
 

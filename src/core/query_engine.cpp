@@ -117,8 +117,13 @@ ChunkEvalResult QueryEngine::evaluate_chunk(std::string_view partition,
                                             const BoundingBox& clipped,
                                             const ChunkKey& chunk,
                                             EvalMode mode,
-                                            CellSummaryMap& out_cells) const {
+                                            CellSummaryMap& out_cells,
+                                            const CancelProbe* cancel) const {
   ChunkEvalResult result;
+  if (cancel != nullptr && cancel->cancelled()) {
+    result.cancelled = true;
+    return result;
+  }
   ++result.breakdown.chunks_total;
 
   if (mode != EvalMode::Basic) {
@@ -169,6 +174,13 @@ ChunkEvalResult QueryEngine::evaluate_chunk(std::string_view partition,
   const TimeRange bin_range = chunk.bin().range();
   result.days_scanned = days;
   for (std::int64_t day : days) {
+    // The between-cells cancellation point (DESIGN.md §14): one day's
+    // scan is the smallest unit worth finishing — past a fired deadline,
+    // every further day is work nobody will read.
+    if (cancel != nullptr && cancel->cancelled()) {
+      result.cancelled = true;
+      return result;
+    }
     const TimeRange day_range{day * 86400, (day + 1) * 86400};
     const TimeRange scan_range{std::max(day_range.begin, bin_range.begin),
                                std::min(day_range.end, bin_range.end)};

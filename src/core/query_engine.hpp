@@ -75,6 +75,19 @@ struct MaintenanceStats {
   std::size_t cells_evicted = 0;
 };
 
+/// Cooperative-cancellation probe for long evaluations.  The core engine
+/// knows nothing about threads or tokens; the wall-clock executor passes
+/// an adapter over concurrency::CancellationToken and evaluate_chunk
+/// polls it between per-day cell scans — the unit below which giving up
+/// saves nothing.  A chunk that observes cancellation returns early with
+/// `ChunkEvalResult::cancelled` set and its partial output must be
+/// discarded by the caller (a half-scanned chunk is not an honest answer).
+class CancelProbe {
+ public:
+  virtual ~CancelProbe() = default;
+  [[nodiscard]] virtual bool cancelled() const noexcept = 0;
+};
+
 /// Everything one chunk contributes to a partition evaluation, except the
 /// response cells (those are appended straight into a caller-supplied map
 /// so the sequential path keeps its exact insertion order).  This is the
@@ -87,6 +100,9 @@ struct ChunkEvalResult {
   std::optional<ChunkContribution> fetched;
   std::vector<BlockKey> corrupt_blocks;
   std::vector<std::int64_t> days_scanned;  // disk days, for seek accounting
+  /// The CancelProbe fired mid-chunk: everything above is partial and
+  /// must be discarded (cells already appended to out_cells included).
+  bool cancelled = false;
 };
 
 class QueryEngine {
@@ -120,13 +136,12 @@ class QueryEngine {
   /// result.  `clipped` must be the query area already intersected with
   /// the partition box (see evaluate_partition).  Thread-safe for
   /// concurrent const use when no graph mutation runs — the wall-clock
-  /// executor guards that with its RwSpinlock.
-  [[nodiscard]] ChunkEvalResult evaluate_chunk(std::string_view partition,
-                                               const AggregationQuery& query,
-                                               const BoundingBox& clipped,
-                                               const ChunkKey& chunk,
-                                               EvalMode mode,
-                                               CellSummaryMap& out_cells) const;
+  /// executor guards that with its RwSpinlock.  `cancel` (optional) is
+  /// polled between per-day scans; see CancelProbe.
+  [[nodiscard]] ChunkEvalResult evaluate_chunk(
+      std::string_view partition, const AggregationQuery& query,
+      const BoundingBox& clipped, const ChunkKey& chunk, EvalMode mode,
+      CellSummaryMap& out_cells, const CancelProbe* cancel = nullptr) const;
 
   /// The canonical (prefix-major, bin-minor) chunk enumeration for a
   /// partition subquery, and the clipped box it applies to.  Sequential

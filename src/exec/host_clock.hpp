@@ -1,0 +1,31 @@
+// Host monotonic time for the wall-clock execution mode's deadline path.
+//
+// Everything else in src/ is deterministic and runs on sim::Clock — the
+// stash_lint wall-clock rule enforces that.  The exec deadline contract
+// (DESIGN.md §14) is the one feature whose whole point is host time: a
+// pan/zoom must be answered within a real-time budget, so the engine has
+// to read the machine's monotonic clock.  This header is the single
+// sanctioned read site; `ParallelQueryEngine`, the worker-pool watchdog
+// and `stashctl --exec-deadline-ms` all take their notion of "now" from
+// here (tests inject fake sources through the same `std::uint64_t`
+// nanosecond representation).
+//
+// stash-lint: allow-file(wall-clock) -- the exec deadline/watchdog path is
+// the codebase's single intentional host-time read site (DESIGN.md §14)
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace stash::exec {
+
+/// Monotonic host time in nanoseconds.  Only differences and comparisons
+/// are meaningful; the epoch is unspecified (steady_clock's).
+[[nodiscard]] inline std::uint64_t host_now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace stash::exec

@@ -95,6 +95,12 @@ TEST(ExecClusterTest, ExecCountersSurfaceInBothExporters) {
   EXPECT_GE(scalar("stash_exec_steals_total"), 0.0);
   EXPECT_GE(scalar("stash_exec_parks_total"), 0.0);
   EXPECT_GE(scalar("stash_exec_wakeups_total"), 0.0);
+  // PR 9 robustness counters: present (and zero on a healthy run).
+  EXPECT_EQ(scalar("stash_exec_deadline_exceeded_total"), 0.0);
+  EXPECT_EQ(scalar("stash_exec_cancelled_chunks_total"), 0.0);
+  EXPECT_EQ(scalar("stash_exec_task_exceptions_total"), 0.0);
+  EXPECT_EQ(scalar("stash_exec_watchdog_stalls_total"), 0.0);
+  EXPECT_GE(scalar("stash_exec_submit_shed_total"), 0.0);
   EXPECT_EQ(scalar("stash_exec_workers"), 8.0 * 2.0);  // nodes x threads
   EXPECT_EQ(scalar("stash_exec_queue_depth"), 0.0);
   // Per-worker-slot breakdowns registered when exec is on.
@@ -104,8 +110,12 @@ TEST(ExecClusterTest, ExecCountersSurfaceInBothExporters) {
   const std::string prom = obs::to_prometheus(snap);
   EXPECT_NE(prom.find("# TYPE stash_exec_tasks_total counter"),
             std::string::npos);
+  EXPECT_NE(prom.find("# TYPE stash_exec_deadline_exceeded_total counter"),
+            std::string::npos);
   const std::string json = obs::to_json(snap, cluster.loop().now());
   EXPECT_NE(json.find("\"stash_exec_tasks_total\":"), std::string::npos);
+  EXPECT_NE(json.find("\"stash_exec_deadline_exceeded_total\":"),
+            std::string::npos);
 }
 
 TEST(ExecClusterTest, SimOnlyClusterStillExportsZeroedExecCounters) {
@@ -130,6 +140,63 @@ TEST(ExecClusterTest, SimOnlyClusterStillExportsZeroedExecCounters) {
   }
   EXPECT_TRUE(tasks_found);
   EXPECT_FALSE(worker_slot_found);  // per-slot metrics only when enabled
+  // The PR 9 robustness counters are schema-required too: they must exist,
+  // zeroed, even with exec disabled.
+  for (const char* name :
+       {"stash_exec_deadline_exceeded_total", "stash_exec_cancelled_chunks_total",
+        "stash_exec_task_exceptions_total", "stash_exec_watchdog_stalls_total",
+        "stash_exec_submit_shed_total"}) {
+    bool found = false;
+    for (const auto& s : snap.scalars) {
+      if (s.name == name) {
+        found = true;
+        EXPECT_EQ(s.value, 0.0) << name;
+      }
+    }
+    EXPECT_TRUE(found) << "missing schema-required counter " << name;
+  }
+}
+
+TEST(ExecClusterTest, ExecDeadlineDegradesInsteadOfHanging) {
+  // Every chunk stalls well past a 1 ms exec deadline, so every partition
+  // evaluation comes back partial.  The cluster must route that through
+  // the PR 4 pushback taxonomy — degraded cached-ancestor answers where
+  // resident, retries and honest holes otherwise — and never hang.
+  ClusterConfig config = exec_config(2);
+  config.exec_deadline_ms = 1;
+  config.exec_faults.seed = 0x9E0;
+  config.exec_faults.worker_stall_rate = 1.0;
+  StashCluster cluster(config, shared_generator());
+
+  const QueryStats stats = cluster.run_query(state_query());
+  EXPECT_GT(stats.shed_subqueries, 0u);
+  EXPECT_TRUE(stats.degraded || stats.partial || stats.retries > 0);
+
+  const obs::MetricsSnapshot snap = cluster.metrics_registry().snapshot();
+  double deadline_exceeded = -1.0;
+  for (const auto& s : snap.scalars)
+    if (s.name == "stash_exec_deadline_exceeded_total")
+      deadline_exceeded = s.value;
+  EXPECT_GT(deadline_exceeded, 0.0);
+}
+
+TEST(ExecClusterTest, ExecChaosExceptionsAreQuarantinedAndCounted) {
+  // Exception rate 1.0: every chunk throws InjectedFault.  The pool must
+  // survive (quarantine, never std::terminate), the partitions all flag
+  // partial, and the counter surfaces the injected failures.
+  ClusterConfig config = exec_config(2);
+  config.exec_faults.seed = 0xFA11;
+  config.exec_faults.task_exception_rate = 1.0;
+  StashCluster cluster(config, shared_generator());
+
+  const QueryStats stats = cluster.run_query(county_query());
+  EXPECT_TRUE(stats.degraded || stats.partial);
+
+  const obs::MetricsSnapshot snap = cluster.metrics_registry().snapshot();
+  double exceptions = -1.0;
+  for (const auto& s : snap.scalars)
+    if (s.name == "stash_exec_task_exceptions_total") exceptions = s.value;
+  EXPECT_GT(exceptions, 0.0);
 }
 
 TEST(ExecClusterTest, NodeCrashAndRestartKeepWorkersCoherent) {

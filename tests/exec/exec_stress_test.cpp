@@ -21,6 +21,13 @@ namespace {
 
 using exec::ExecConfig;
 using exec::ParallelQueryEngine;
+
+ExecConfig exec_config(std::size_t threads, std::size_t capacity) {
+  ExecConfig config;
+  config.threads = threads;
+  config.queue_capacity = capacity;
+  return config;
+}
 using workload::QueryGroup;
 using workload::WorkloadConfig;
 using workload::WorkloadGenerator;
@@ -57,7 +64,7 @@ TEST(ParallelExecStressTest, FullQueryMixMatchesOracleWithAbsorbs) {
 
   StashGraph par_graph(graph_config());
   const auto got = exec::run_queries_wallclock(par_graph, store, queries,
-                                               ExecConfig{4, 32});
+                                               exec_config(4, 32));
   EXPECT_EQ(got.digest, want.digest);
   EXPECT_EQ(got.per_query, want.per_query);
   EXPECT_EQ(got.cells, want.cells);
@@ -72,7 +79,7 @@ TEST(ParallelExecStressTest, ConcurrentCallersShareOnePool) {
   std::shared_ptr<const NamGenerator> gen = std::make_shared<NamGenerator>();
   GalileoStore store{gen};
   StashGraph graph(graph_config());
-  ParallelQueryEngine par(graph, store, ExecConfig{4, 32});
+  ParallelQueryEngine par(graph, store, exec_config(4, 32));
 
   WorkloadConfig wc;
   wc.seed = 0x434f4e43ULL;
@@ -118,7 +125,7 @@ TEST(ParallelExecStressTest, ManySmallBatchesChurnThePool) {
   std::shared_ptr<const NamGenerator> gen = std::make_shared<NamGenerator>();
   GalileoStore store{gen};
   StashGraph graph(graph_config());
-  ParallelQueryEngine par(graph, store, ExecConfig{4, 8});
+  ParallelQueryEngine par(graph, store, exec_config(4, 8));
 
   WorkloadConfig wc;
   wc.seed = 0x43485552ULL;

@@ -20,6 +20,13 @@ namespace {
 
 using exec::ExecConfig;
 using exec::ParallelQueryEngine;
+
+ExecConfig exec_config(std::size_t threads, std::size_t capacity) {
+  ExecConfig config;
+  config.threads = threads;
+  config.queue_capacity = capacity;
+  return config;
+}
 using exec::RunResult;
 using workload::QueryGroup;
 using workload::WorkloadConfig;
@@ -63,7 +70,7 @@ TEST_F(ParallelEngineTest, MatchesSequentialEngineOnOneQuery) {
   const Evaluation want = seq.evaluate(query);
 
   StashGraph par_graph(graph_config());
-  ParallelQueryEngine par(par_graph, store_, ExecConfig{3, 16});
+  ParallelQueryEngine par(par_graph, store_, exec_config(3, 16));
   const Evaluation got = par.evaluate(query);
 
   EXPECT_EQ(exec::answer_digest(got.cells, 0),
@@ -80,7 +87,7 @@ TEST_F(ParallelEngineTest, MatchesSequentialEngineOnOneQuery) {
 
 TEST_F(ParallelEngineTest, RejectsInvalidQueriesLikeTheOracle) {
   StashGraph graph(graph_config());
-  ParallelQueryEngine par(graph, store_, ExecConfig{2, 8});
+  ParallelQueryEngine par(graph, store_, exec_config(2, 8));
   AggregationQuery bad = county_query();
   bad.time = {100, 50};
   EXPECT_THROW((void)par.evaluate(bad), std::invalid_argument);
@@ -92,7 +99,7 @@ TEST_F(ParallelEngineTest, RejectsInvalidQueriesLikeTheOracle) {
 TEST_F(ParallelEngineTest, AbsorbWarmsTheCacheLikeTheOracle) {
   const auto query = county_query();
   StashGraph graph(graph_config());
-  ParallelQueryEngine par(graph, store_, ExecConfig{2, 16});
+  ParallelQueryEngine par(graph, store_, exec_config(2, 16));
 
   const Evaluation cold = par.evaluate(query);
   EXPECT_GT(cold.breakdown.chunks_scanned, 0u);
@@ -125,7 +132,7 @@ TEST_F(ParallelEngineTest, OracleEquivalenceAcrossSeedsAndThreadCounts) {
     for (const std::size_t threads : thread_counts) {
       StashGraph par_graph(graph_config());
       const RunResult got = exec::run_queries_wallclock(
-          par_graph, store_, queries, ExecConfig{threads, 32});
+          par_graph, store_, queries, exec_config(threads, 32));
       EXPECT_EQ(got.digest, want.digest)
           << "seed=" << seed << " threads=" << threads;
       EXPECT_EQ(got.per_query, want.per_query)
@@ -141,7 +148,7 @@ TEST_F(ParallelEngineTest, EvaluatePartitionMatchesOracle) {
   StashGraph seq_graph(graph_config());
   QueryEngine seq(seq_graph, store_);
   StashGraph par_graph(graph_config());
-  ParallelQueryEngine par(par_graph, store_, ExecConfig{2, 16});
+  ParallelQueryEngine par(par_graph, store_, exec_config(2, 16));
 
   for (const std::string partition : {"9y", "9z", "dn"}) {
     const Evaluation want = seq.evaluate_partition(partition, query);
@@ -156,7 +163,7 @@ TEST_F(ParallelEngineTest, EvaluatePartitionMatchesOracle) {
 
 TEST_F(ParallelEngineTest, ReportsWorkerTopology) {
   StashGraph graph(graph_config());
-  ParallelQueryEngine par(graph, store_, ExecConfig{3, 16});
+  ParallelQueryEngine par(graph, store_, exec_config(3, 16));
   EXPECT_EQ(par.worker_count(), 3u);
   (void)par.evaluate(county_query());
   EXPECT_GT(par.total_stats().executed, 0u);

@@ -1,0 +1,328 @@
+// Model-check of the CancellationToken publish protocol and the timed
+// gate wait (PR 9 tentpole proofs).
+//
+// Token property: the payload (reason/detail) is a *publication channel*.
+// The canceller claims with a CAS, writes the plain payload, then
+// release-stores the cancelled flag; an observer that saw cancelled()
+// (acquire) may read the payload race-free and must see exactly the
+// published values.  The broken twin publishes the flag with a relaxed
+// store — the claim CAS still makes it the sole writer, but nothing
+// orders the observer's payload read after the write: a data race the
+// checker must report (and replay deterministically).
+//
+// Timed-wait property: commit_wait_until(ticket, expired) releases the
+// waiter slot on BOTH exits — epoch bump (woken) and predicate expiry
+// (timeout) — and a consumer that times out without seeing the work has
+// not lost a wakeup it was entitled to: the producer's notify bumps the
+// epoch, so a re-check after the timeout finds the work.  The broken
+// twin models a timeout path that abandons the slot without
+// cancel_wait — the leaked waiter count is caught in finally.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "concurrency/cancellation.hpp"
+#include "concurrency/catomic.hpp"
+#include "concurrency/wakeup_gate.hpp"
+#include "mc/model_checker.hpp"
+
+namespace stash {
+namespace {
+
+using concurrency::CancellationToken;
+using concurrency::CancelReason;
+using concurrency::WakeupGate;
+
+mc::Options token_opts() {
+  mc::Options o;
+  o.preemption_bound = 3;
+  o.max_executions = 400000;
+  o.max_steps = 5000;
+  return o;
+}
+
+// ---------------------------------------------------------------------------
+// CancellationToken: correct protocol, exhaustively.
+// ---------------------------------------------------------------------------
+
+TEST(ModelCheckCancellationTest, PublishedPayloadIsRaceFreeAndExact) {
+  const mc::Result r = mc::ModelChecker(token_opts()).run([] {
+    struct State {
+      CancellationToken token;
+      bool observed = false;
+      CancelReason reason = CancelReason::kNone;
+      std::uint64_t detail = 0;
+    };
+    auto st = std::make_shared<State>();
+    mc::Execution e;
+    e.threads.push_back([st] {
+      (void)st->token.cancel(CancelReason::kDeadline, 0xfeedu);
+    });
+    e.threads.push_back([st] {
+      if (st->token.cancelled()) {
+        st->observed = true;
+        st->reason = st->token.reason();
+        st->detail = st->token.detail();
+      }
+    });
+    e.finally = [st] {
+      if (st->observed) {
+        MC_ASSERT_MSG(st->reason == CancelReason::kDeadline,
+                      "observer saw the flag but a stale reason");
+        MC_ASSERT_MSG(st->detail == 0xfeedu,
+                      "observer saw the flag but a stale detail word");
+      }
+      // The canceller always wins an uncontended claim.
+      MC_ASSERT(st->token.cancelled());
+      MC_ASSERT(st->token.reason() == CancelReason::kDeadline);
+    };
+    return e;
+  });
+  EXPECT_FALSE(r.bug_found) << r.bug << "\n" << r.trace;
+  EXPECT_TRUE(r.complete) << "executions=" << r.executions;
+  EXPECT_GT(r.executions, 1u);
+}
+
+TEST(ModelCheckCancellationTest, RacingCancellersElectExactlyOneWriter) {
+  // Two cancellers with different payloads: the claim CAS must elect one,
+  // and every observer (and the final state) sees that winner's payload
+  // as a consistent pair — never reason from one and detail from the
+  // other, never a torn mix.
+  const mc::Result r = mc::ModelChecker(token_opts()).run([] {
+    struct State {
+      CancellationToken token;
+      bool won[2] = {false, false};
+    };
+    auto st = std::make_shared<State>();
+    mc::Execution e;
+    e.threads.push_back([st] {
+      st->won[0] = st->token.cancel(CancelReason::kDeadline, 111);
+    });
+    e.threads.push_back([st] {
+      st->won[1] = st->token.cancel(CancelReason::kShutdown, 222);
+    });
+    e.finally = [st] {
+      MC_ASSERT_MSG(st->won[0] != st->won[1],
+                    "claim CAS must elect exactly one canceller");
+      MC_ASSERT(st->token.cancelled());
+      const bool deadline_won = st->won[0];
+      MC_ASSERT_MSG(st->token.reason() == (deadline_won
+                                               ? CancelReason::kDeadline
+                                               : CancelReason::kShutdown),
+                    "published reason is not the winner's");
+      MC_ASSERT_MSG(st->token.detail() == (deadline_won ? 111u : 222u),
+                    "published detail is not the winner's");
+    };
+    return e;
+  });
+  EXPECT_FALSE(r.bug_found) << r.bug << "\n" << r.trace;
+  EXPECT_TRUE(r.complete) << "executions=" << r.executions;
+}
+
+// ---------------------------------------------------------------------------
+// Broken twin: relaxed publish.  Same claim CAS, same sole-writer
+// discipline — only the release edge is missing, so the observer's
+// payload read races with the canceller's write.
+// ---------------------------------------------------------------------------
+
+struct RelaxedPublishToken {
+  bool cancel(std::uint64_t detail_word) {
+    std::uint32_t expected = 0;
+    if (!state.compare_exchange_strong(expected, 1,
+                                       std::memory_order_relaxed,
+                                       std::memory_order_relaxed))
+      return false;
+    detail.store(detail_word);
+    state.store(2, std::memory_order_relaxed);  // BUG: should be release
+    return true;
+  }
+  [[nodiscard]] bool cancelled() const {
+    return state.load(std::memory_order_acquire) == 2;
+  }
+
+  concurrency::catomic<std::uint32_t> state{0, "broken.cancel.state"};
+  concurrency::var<std::uint64_t> detail{0, "broken.cancel.detail"};
+};
+
+TEST(ModelCheckCancellationTest, RelaxedPublishIsCaughtAndReplays) {
+  const auto make = [] {
+    auto st = std::make_shared<RelaxedPublishToken>();
+    mc::Execution e;
+    e.threads.push_back([st] { (void)st->cancel(0xfeedu); });
+    e.threads.push_back([st] {
+      if (st->cancelled()) (void)st->detail.load();
+    });
+    return e;
+  };
+  const mc::Result r = mc::ModelChecker(token_opts()).run(make);
+  ASSERT_TRUE(r.bug_found) << "checker missed the relaxed cancel publish";
+  EXPECT_NE(r.bug.find("data race"), std::string::npos) << r.bug;
+  // The failing schedule must replay deterministically from its token.
+  const mc::Result replay = mc::ModelChecker::replay(make, r.schedule_string());
+  ASSERT_TRUE(replay.bug_found) << r.schedule_string();
+  EXPECT_EQ(replay.bug, r.bug);
+}
+
+// ---------------------------------------------------------------------------
+// Timed gate wait.  Under the checker commit_wait_until is a pure
+// load/predicate loop (the sleep slice compiles out), so a bounded
+// expiry predicate makes the state space finite.
+// ---------------------------------------------------------------------------
+
+TEST(ModelCheckCancellationTest, TimedWaitReleasesTheSlotOnBothExits) {
+  const mc::Result r = mc::ModelChecker(token_opts()).run([] {
+    struct State {
+      WakeupGate gate;
+      concurrency::catomic<std::uint32_t> work{0, "mc.timed.work"};
+      bool woken = false;    // commit_wait_until saw the epoch bump
+      bool timed_out = false;
+      bool saw_work = false;
+    };
+    auto st = std::make_shared<State>();
+    mc::Execution e;
+    e.threads.push_back([st] {
+      st->work.store(1, std::memory_order_seq_cst);
+      st->gate.notify_all();
+    });
+    e.threads.push_back([st] {
+      const auto ticket = st->gate.prepare_wait();
+      if (st->work.load(std::memory_order_seq_cst) != 0) {
+        st->gate.cancel_wait();
+        st->saw_work = true;
+        return;
+      }
+      int polls = 0;
+      const bool woken = st->gate.commit_wait_until(
+          ticket, [&polls] { return ++polls > 2; });
+      st->woken = woken;
+      st->timed_out = !woken;
+      // The deadline path re-checks once more before giving up — this is
+      // the submitter's loop shape in ParallelQueryEngine::run_batch.
+      if (st->work.load(std::memory_order_seq_cst) != 0) st->saw_work = true;
+    });
+    e.finally = [st] {
+      // Both exits release the waiter slot: a later notify_all must never
+      // think someone is still parked.
+      MC_ASSERT_MSG(st->gate.waiters_approx() == 0,
+                    "commit_wait_until leaked a waiter slot");
+      MC_ASSERT_MSG(st->saw_work || st->woken || st->timed_out,
+                    "consumer exited without a classified outcome");
+      // No lost wakeup: a consumer the notify actually woke (epoch bump
+      // observed) is downstream of the producer's seq_cst publish, so its
+      // post-wait re-check must find the work.  A timeout that raced
+      // ahead of the producer is allowed to miss it — that is what the
+      // deadline path's honest-partial accounting is for.
+      MC_ASSERT_MSG(!st->woken || st->saw_work,
+                    "woken consumer missed the published work");
+    };
+    return e;
+  });
+  EXPECT_FALSE(r.bug_found) << r.bug << "\n" << r.trace;
+  EXPECT_TRUE(r.complete) << "executions=" << r.executions;
+  EXPECT_GT(r.executions, 1u);
+}
+
+TEST(ModelCheckCancellationTest, TimeoutPathThatAbandonsTheSlotIsCaught) {
+  // Broken twin of the timeout exit: a waiter that gives up by simply
+  // returning (no cancel_wait / no commit_wait_until bookkeeping) leaves
+  // the waiter count elevated forever — every future notify_all pays for
+  // a phantom parker, and teardown spins on it.
+  const auto make = [] {
+    struct State {
+      WakeupGate gate;
+      concurrency::catomic<std::uint32_t> work{0, "mc.leak.work"};
+    };
+    auto st = std::make_shared<State>();
+    mc::Execution e;
+    e.threads.push_back([st] {
+      st->work.store(1, std::memory_order_seq_cst);
+      st->gate.notify_all();
+    });
+    e.threads.push_back([st] {
+      (void)st->gate.prepare_wait();
+      if (st->work.load(std::memory_order_seq_cst) != 0) {
+        return;  // BUG: "timed out" without releasing the waiter slot
+      }
+      st->gate.cancel_wait();
+    });
+    e.finally = [st] {
+      MC_ASSERT_MSG(st->gate.waiters_approx() == 0,
+                    "timeout path leaked a waiter slot");
+    };
+    return e;
+  };
+  const mc::Result r = mc::ModelChecker(token_opts()).run(make);
+  ASSERT_TRUE(r.bug_found) << "checker missed the leaked waiter slot";
+  EXPECT_NE(r.bug.find("leaked"), std::string::npos) << r.bug;
+  const mc::Result replay = mc::ModelChecker::replay(make, r.schedule_string());
+  ASSERT_TRUE(replay.bug_found) << r.schedule_string();
+  EXPECT_EQ(replay.bug, r.bug);
+}
+
+TEST(ModelCheckCancellationTest, RandomWalkTokenAndTimedWaitCompose) {
+  // The full deadline shape: a worker loops on (token? bail : work),
+  // while the submitter publishes a chunk, waits with a bounded timed
+  // wait, and cancels on expiry — exactly run_batch's wind-down.  Safety:
+  // the worker never consumes after it saw the token, and the waiter
+  // count is balanced at the end.
+  mc::Options o = token_opts();
+  o.random = true;
+  o.random_iterations = 20000;
+  o.seed = 20260808;
+  const mc::Result r = mc::ModelChecker(o).run([] {
+    struct State {
+      WakeupGate gate;
+      CancellationToken token;
+      concurrency::catomic<std::uint32_t> done{0, "mc.compose.done"};
+      std::uint32_t worked = 0;
+      bool bailed = false;
+    };
+    auto st = std::make_shared<State>();
+    mc::Execution e;
+    e.threads.push_back([st] {  // worker: two chunks, token-probing
+      for (int chunk = 0; chunk < 2; ++chunk) {
+        if (st->token.cancelled()) {
+          st->bailed = true;
+          return;
+        }
+        ++st->worked;
+        st->done.fetch_add(1, std::memory_order_seq_cst);
+        st->gate.notify_all();
+      }
+    });
+    e.threads.push_back([st] {  // submitter: timed wait, cancel on expiry
+      for (int spins = 0; spins < 4; ++spins) {
+        if (st->done.load(std::memory_order_seq_cst) == 2) return;
+        const auto ticket = st->gate.prepare_wait();
+        if (st->done.load(std::memory_order_seq_cst) == 2) {
+          st->gate.cancel_wait();
+          return;
+        }
+        int polls = 0;
+        (void)st->gate.commit_wait_until(ticket,
+                                         [&polls] { return ++polls > 1; });
+      }
+      (void)st->token.cancel(CancelReason::kDeadline, 99);
+    });
+    e.finally = [st] {
+      MC_ASSERT(st->gate.waiters_approx() == 0);
+      MC_ASSERT(st->worked <= 2);
+      if (st->bailed) {
+        MC_ASSERT_MSG(st->token.cancelled(),
+                      "worker bailed without a published cancel");
+      }
+      MC_ASSERT_MSG(st->worked ==
+                        st->done.load(std::memory_order_seq_cst),
+                    "done count out of step with work performed");
+    };
+    return e;
+  });
+  EXPECT_FALSE(r.bug_found) << r.bug << "\n" << r.trace;
+  EXPECT_GT(r.executions, 1u);
+}
+
+}  // namespace
+}  // namespace stash

@@ -43,6 +43,13 @@ def best_ops(doc):
     return max(float(p["ops_per_sec"]) for p in doc["sweep"])
 
 
+def single_thread_ops(doc, path):
+    for point in doc["sweep"]:
+        if int(point.get("threads", 0)) == 1:
+            return float(point["ops_per_sec"])
+    sys.exit(f"{path}: no threads=1 sweep point for like-for-like compare")
+
+
 def main():
     parser = argparse.ArgumentParser()
     parser.add_argument("current")
@@ -58,15 +65,34 @@ def main():
     current = load(args.current)
     baseline = load(args.baseline)
 
-    cur = best_ops(current)
-    base = best_ops(baseline)
+    cur_host = current.get("host_threads")
+    base_host = baseline.get("host_threads")
+    if cur_host == base_host:
+        # Like-for-like hardware: the best point of the full sweep is the
+        # most noise-tolerant scalar on offer.
+        cur = best_ops(current)
+        base = best_ops(baseline)
+        scope = "best of sweep"
+    else:
+        # Different core counts make the multi-threaded points
+        # incomparable (the baseline box may scale where this one
+        # contends, or vice versa); the threads=1 point is the only
+        # apples-to-apples number left.
+        print(
+            f"note: host_threads differ (current={cur_host}, "
+            f"baseline={base_host}); comparing only the threads=1 sweep "
+            "point"
+        )
+        cur = single_thread_ops(current, args.current)
+        base = single_thread_ops(baseline, args.baseline)
+        scope = "threads=1"
     floor = base * (1.0 - args.tolerance)
     verdict = "OK" if cur >= floor else "REGRESSION"
     print(
-        f"{verdict}: current best {cur:.1f} ops/s vs baseline {base:.1f} "
+        f"{verdict}: current {scope} {cur:.1f} ops/s vs baseline {base:.1f} "
         f"(floor {floor:.1f} at {args.tolerance:.0%} tolerance; "
-        f"current host_threads={current.get('host_threads')}, "
-        f"baseline host_threads={baseline.get('host_threads')})"
+        f"current host_threads={cur_host}, "
+        f"baseline host_threads={base_host})"
     )
     return 0 if cur >= floor else 1
 
