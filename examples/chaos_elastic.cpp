@@ -1,0 +1,311 @@
+// Elastic membership chaos soak (DESIGN.md "Elastic membership").
+//
+// A 4-node cluster doubles to 8 while a Zipf-skewed county workload is in
+// flight: scripted joins land mid-burst, the ring watcher advances the
+// epoch once gossip stabilizes, and every moved partition is pulled warm
+// from its old owner while that owner keeps serving — queries race the
+// handoff flips the whole way.  Three variants run back to back:
+//
+//   steady      scale-out with no adversity;
+//   crash       one joiner dies 1ms after the epoch advance, while its
+//               inbound transfers are provably in flight — the join must
+//               revert, old owners keep serving, and the next epoch drops
+//               the corpse;
+//   partition   one joiner is cut off mid-transfer and heals later — the
+//               transfer deadline/retry budget must bound the stall and
+//               flip the partition cold rather than wedge routing.
+//
+// Each variant self-checks its acceptance criteria and the binary exits
+// non-zero on any failure, so CI uses it as the elastic soak lane:
+//   1. every racing query is answered byte-equal to a fixed-size control
+//      cluster or honestly flagged partial/degraded — never silently wrong;
+//   2. the rebalance engaged (epochs advanced, partitions moved) and the
+//      epoch counter agrees with the installed ring;
+//   3. after quiescence no partition is lost or double-owned: the serving
+//      owner of all 1024 partitions sits on the installed ring and no
+//      handoff is left in flight;
+//   4. the hierarchy/routing/ring audit passes on every node;
+//   5. goodput recovers: the post-rebalance probe is exact, and in the
+//      steady variant answered warm (the handoff actually shipped state).
+//
+//   ./build/examples/chaos_elastic [--seed N] [--metrics-json FILE]
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "dht/partitioner.hpp"
+#include "obs/metrics.hpp"
+#include "workload/workload.hpp"
+
+using namespace stash;
+using cluster::ClusterConfig;
+using cluster::StashCluster;
+
+namespace {
+
+constexpr std::uint32_t kNodes = 4;
+constexpr std::uint32_t kMaxNodes = 8;
+constexpr std::size_t kQueries = 80;
+constexpr sim::SimTime kLoadStart = 1 * sim::kSecond;
+constexpr sim::SimTime kLoadGap = 25 * sim::kMillisecond;
+constexpr sim::SimTime kJoinAt = 1200 * sim::kMillisecond;
+// The ring watcher ticks at 50ms multiples and the join lands exactly on
+// the 1.2s tick, so the stability clock starts at 1.2s and the epoch
+// admitting the joiners advances at exactly 1.35s (1.2s + the 150ms
+// stabilize window).  Its transfer chains (several 250µs hops each,
+// payload-sized) are in flight for milliseconds after, so faults 1ms past
+// the advance are provably mid-transfer — the sim is deterministic, not
+// racy.
+constexpr sim::SimTime kAdvanceAt = 1350 * sim::kMillisecond;
+constexpr sim::SimTime kCrashAt = kAdvanceAt + 1 * sim::kMillisecond;
+constexpr sim::SimTime kCutAt = kAdvanceAt + 1 * sim::kMillisecond;
+constexpr sim::SimTime kHealAt = 2500 * sim::kMillisecond;
+
+enum class Variant { kSteady, kCrash, kPartition };
+
+const char* name_of(Variant v) {
+  switch (v) {
+    case Variant::kSteady: return "steady";
+    case Variant::kCrash: return "crash";
+    case Variant::kPartition: return "partition";
+  }
+  return "?";
+}
+
+ClusterConfig make_config(Variant variant, std::uint64_t seed) {
+  ClusterConfig config;
+  config.num_nodes = kNodes;
+  config.max_nodes = kMaxNodes;
+  config.subquery_timeout = 50 * sim::kMillisecond;
+  config.retry_backoff = 5 * sim::kMillisecond;
+  config.query_deadline = 1 * sim::kSecond;
+  config.membership.probe_interval = 50 * sim::kMillisecond;
+  config.membership.probe_timeout = 5 * sim::kMillisecond;
+  config.membership.suspicion_timeout = 100 * sim::kMillisecond;
+  config.ring_check_interval = 50 * sim::kMillisecond;
+  config.ring_stabilize_delay = 150 * sim::kMillisecond;
+  config.rebalance_transfer_deadline = 400 * sim::kMillisecond;
+  config.fault_plan.seed = seed;
+  for (std::uint32_t id = kNodes; id < kMaxNodes; ++id)
+    config.fault_plan.joins.push_back({.node = id, .at = kJoinAt});
+  switch (variant) {
+    case Variant::kSteady:
+      break;
+    case Variant::kCrash:
+      // Joiner 4 dies 1ms after the epoch advance, while its inbound
+      // transfers are still in flight: the revert path, not established-
+      // member failover.
+      config.fault_plan.crashes.push_back({.node = 4, .at = kCrashAt});
+      break;
+    case Variant::kPartition: {
+      std::vector<std::uint32_t> rest = {sim::kFrontendNode};
+      for (std::uint32_t id = 0; id < kMaxNodes; ++id)
+        if (id != 5) rest.push_back(id);
+      config.fault_plan.partitions.push_back(
+          {.groups = {{5}, rest}, .at = kCutAt, .heal_at = kHealAt});
+      break;
+    }
+  }
+  return config;
+}
+
+struct RunResult {
+  std::vector<cluster::QueryStats> stats;  // racing queries, arrival order
+  cluster::QueryStats probe;               // post-quiescence
+  cluster::ClusterMetrics metrics;
+  RingView ring;
+  std::uint32_t total_slots = 0;
+  bool stable = false;
+  bool drained = false;  // no handoff left in flight
+  bool owners_on_ring = true;
+  bool audit_ok = false;
+  std::string metrics_json;
+};
+
+RunResult run(Variant variant, std::uint64_t seed,
+              const std::vector<AggregationQuery>& load) {
+  StashCluster cluster(make_config(variant, seed),
+                       std::make_shared<const NamGenerator>());
+
+  // Warm the initial owners, then fire the Zipf burst across the resize.
+  RunResult out;
+  out.stats.resize(load.size());
+  cluster.loop().schedule_at(0, [&] {
+    AggregationQuery warm = load.front();
+    warm.area = warm.area.scaled(16.0);
+    cluster.submit(warm, [](const cluster::QueryStats&) {});
+  });
+  for (std::size_t i = 0; i < load.size(); ++i)
+    cluster.loop().schedule_at(
+        kLoadStart + static_cast<sim::SimTime>(i) * kLoadGap, [&, i] {
+          cluster.submit(load[i], [&, i](const cluster::QueryStats& st) {
+            out.stats[i] = st;
+          });
+        });
+  cluster.loop().run();
+  out.stable = cluster.run_until_stable(60 * sim::kSecond);
+  out.drained = !cluster.rebalance_in_progress();
+
+  out.ring = cluster.ring();
+  out.total_slots = cluster.total_slots();
+  ZeroHopDht keyspace(1, 2);
+  for (const auto& partition : keyspace.all_partitions())
+    if (!out.ring.contains(cluster.serving_owner(partition)))
+      out.owners_on_ring = false;
+  out.audit_ok = cluster.audit_all().ok();
+  out.probe = cluster.run_query(load.front());
+  out.metrics = cluster.metrics();
+  out.metrics_json = obs::to_json(cluster.metrics_registry().snapshot(),
+                                  cluster.loop().now());
+  return out;
+}
+
+bool check(bool ok, const char* what) {
+  std::printf("  [%s] %s\n", ok ? "PASS" : "FAIL", what);
+  return ok;
+}
+
+bool verify(Variant variant, const RunResult& r,
+            const std::vector<std::size_t>& control) {
+  const auto& m = r.metrics;
+  std::size_t exact = 0, flagged = 0, wrong = 0, unanswered = 0;
+  for (std::size_t i = 0; i < r.stats.size(); ++i) {
+    const auto& st = r.stats[i];
+    if (st.completed_at == 0) {
+      ++unanswered;
+    } else if (st.partial || st.degraded) {
+      ++flagged;  // honest: the answer says it is not the oracle's
+    } else if (st.result_cells == control[i]) {
+      ++exact;
+    } else {
+      ++wrong;
+    }
+  }
+  std::printf("%s: %zu exact / %zu flagged / %zu wrong / %zu unanswered; "
+              "epoch=%llu members=%zu moved=%llu aborted=%llu reverts=%llu\n",
+              name_of(variant), exact, flagged, wrong, unanswered,
+              static_cast<unsigned long long>(r.ring.epoch),
+              r.ring.members.size(),
+              static_cast<unsigned long long>(m.rebalance_partitions_moved),
+              static_cast<unsigned long long>(m.rebalance_transfers_aborted),
+              static_cast<unsigned long long>(m.rebalance_ownership_reverts));
+
+  bool ok = true;
+  ok &= check(unanswered == 0 && wrong == 0,
+              "every racing query answered, byte-equal or honestly flagged");
+  ok &= check(m.rebalance_epoch_advances >= 1 &&
+                  m.rebalance_partitions_moved > 0,
+              "the rebalance engaged (epochs advanced, partitions moved)");
+  ok &= check(m.rebalance_epoch_advances == r.ring.epoch,
+              "epoch counter agrees with the installed ring");
+  ok &= check(r.stable && r.drained,
+              "rebalance quiesced inside the deadline, no handoff in flight");
+  ok &= check(r.owners_on_ring,
+              "all 1024 partitions served from the ring (none lost/orphaned)");
+  ok &= check(r.audit_ok, "hierarchy/routing/ring audit passes everywhere");
+  ok &= check(!r.probe.partial && !r.probe.degraded,
+              "post-rebalance probe is exact (goodput recovered)");
+  switch (variant) {
+    case Variant::kSteady:
+      ok &= check(r.ring.members.size() == kMaxNodes,
+                  "all four standbys admitted");
+      ok &= check(exact == r.stats.size(),
+                  "no adversity: every racing answer is exact");
+      ok &= check(m.rebalance_transfers_aborted == 0 &&
+                      m.rebalance_ownership_reverts == 0,
+                  "no aborts or reverts without adversity");
+      ok &= check(r.probe.breakdown.chunks_from_cache > 0,
+                  "post-rebalance probe answered warm (state was shipped)");
+      break;
+    case Variant::kCrash:
+      ok &= check(!r.ring.contains(4),
+                  "the next epoch dropped the crashed joiner");
+      ok &= check(m.rebalance_ownership_reverts > 0,
+                  "in-flight moves onto the corpse were reverted");
+      break;
+    case Variant::kPartition:
+      ok &= check(r.ring.members.size() == kMaxNodes,
+                  "the cut joiner is admitted once the partition heals");
+      ok &= check(m.rebalance_transfers_aborted > 0,
+                  "stalled transfers hit the deadline/retry budget");
+      break;
+  }
+  std::printf("\n");
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t seed = 1;
+  std::string metrics_json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--metrics-json") == 0 && i + 1 < argc) {
+      metrics_json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--seed N] [--metrics-json FILE]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  workload::WorkloadConfig wl_config;
+  wl_config.seed = seed;
+  workload::WorkloadGenerator wl(wl_config);
+  const auto load =
+      wl.zipf_workload(workload::QueryGroup::County, 16, kQueries, 0.9);
+
+  // Control answers from a fixed-size cluster over the same generative
+  // store: what every elastic answer must be byte-equal to.
+  std::vector<std::size_t> control;
+  {
+    ClusterConfig config;
+    config.num_nodes = kNodes;
+    config.mode = cluster::SystemMode::Basic;
+    StashCluster oracle(config, std::make_shared<const NamGenerator>());
+    control.reserve(load.size());
+    for (const auto& q : load)
+      control.push_back(oracle.run_query(q).result_cells);
+  }
+
+  std::printf("scaling %u -> %u nodes at %.1fs under %zu Zipf county queries "
+              "(seed %llu); variants: steady, joiner-crash at %.1fs, "
+              "joiner cut %.2fs..%.1fs\n\n",
+              kNodes, kMaxNodes, sim::to_millis(kJoinAt) / 1000.0, kQueries,
+              static_cast<unsigned long long>(seed),
+              sim::to_millis(kCrashAt) / 1000.0,
+              sim::to_millis(kCutAt) / 1000.0,
+              sim::to_millis(kHealAt) / 1000.0);
+
+  bool ok = true;
+  std::string steady_json;
+  for (const Variant variant :
+       {Variant::kSteady, Variant::kCrash, Variant::kPartition}) {
+    const RunResult r = run(variant, seed, load);
+    if (variant == Variant::kSteady) steady_json = r.metrics_json;
+    ok &= verify(variant, r, control);
+  }
+
+  if (!metrics_json_path.empty()) {
+    std::FILE* f = metrics_json_path == "-"
+                       ? stdout
+                       : std::fopen(metrics_json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "%s: cannot write %s\n", argv[0],
+                   metrics_json_path.c_str());
+      return 2;
+    }
+    std::fprintf(f, "%s\n", steady_json.c_str());
+    if (f != stdout) std::fclose(f);
+  }
+  std::printf("%s\n", ok ? "ELASTIC SOAK PASS" : "ELASTIC SOAK FAIL");
+  return ok ? 0 : 1;
+}

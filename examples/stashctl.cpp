@@ -45,6 +45,15 @@
 //                           (probabilities per chunk task; needs --threads)
 //     --retry-budget N      retry token bucket per query (0 = unlimited);
 //                           exact responses refill half a token
+//     --scale-out N         after the runs, live-join N standby nodes, wait
+//                           for the ring rebalance to settle, and re-run
+//                           the query on the grown cluster
+//     --scale-in N          after the runs, gracefully decommission the N
+//                           highest members (each drains its partitions to
+//                           the new owners before leaving)
+//     --autoscale           enable the load-driven autoscaler (queue depth
+//                           and shed rate with hysteresis); standby slots
+//                           default to one per initial node
 //     --help                print this usage and exit
 //     --audit               after the runs, audit every node's graph, guest
 //                           graph and routing table; exit 1 on violations
@@ -93,7 +102,8 @@ namespace {
                "[--no-failover] [--queue-limit N] [--threads N] "
                "[--deadline-ms MS] [--exec-deadline-ms MS] "
                "[--chaos-exec delay=P,exc=P,stall=P[,seed=N]] "
-               "[--retry-budget N] [--audit] [--metrics] "
+               "[--retry-budget N] [--scale-out N] [--scale-in N] "
+               "[--autoscale] [--audit] [--metrics] "
                "[--metrics-json FILE] [--trace ID|last] [--help] "
                "<lat_min> <lat_max> <lng_min> <lng_max>\n",
                argv0);
@@ -190,6 +200,9 @@ int main(int argc, char** argv) {
   double exec_deadline_ms = 0.0;
   exec::FaultHooks chaos_exec;
   double retry_budget = 0.0;
+  long scale_out = 0;
+  long scale_in = 0;
+  bool autoscale = false;
   sim::FaultPlan plan;
   double drop_rate = 0.0;
   double bitflip_rate = 0.0;
@@ -287,6 +300,14 @@ int main(int argc, char** argv) {
     } else if (arg == "--retry-budget") {
       retry_budget = std::atof(next().c_str());
       if (retry_budget < 0.0) usage(argv[0]);
+    } else if (arg == "--scale-out") {
+      scale_out = std::atol(next().c_str());
+      if (scale_out < 1) usage(argv[0]);
+    } else if (arg == "--scale-in") {
+      scale_in = std::atol(next().c_str());
+      if (scale_in < 1) usage(argv[0]);
+    } else if (arg == "--autoscale") {
+      autoscale = true;
     } else if (arg == "--help") {
       usage(argv[0], /*requested=*/true);
     } else if (arg == "--audit") {
@@ -358,6 +379,25 @@ int main(int argc, char** argv) {
   config.scrub_interval =
       static_cast<sim::SimTime>(std::llround(scrub_ms * 1000.0));
   if (recovery.has_value()) config.recovery = *recovery;
+  const bool elastic = scale_out > 0 || scale_in > 0 || autoscale;
+  if (elastic) {
+    // Standby slots for every planned (or autoscaled) join, plus elastic
+    // timers scaled to the CLI's millisecond-scale runs.
+    config.max_nodes =
+        nodes + static_cast<std::uint32_t>(
+                    scale_out > 0 ? scale_out : (autoscale ? nodes : 0));
+    config.ring_check_interval = 10 * sim::kMillisecond;
+    config.ring_stabilize_delay = 30 * sim::kMillisecond;
+    config.rebalance_transfer_deadline = 200 * sim::kMillisecond;
+    config.membership.probe_interval = 10 * sim::kMillisecond;
+    config.membership.probe_timeout = 2 * sim::kMillisecond;
+    config.membership.suspicion_timeout = 20 * sim::kMillisecond;
+    if (autoscale) {
+      config.autoscale.enabled = true;
+      config.autoscale.eval_interval = 10 * sim::kMillisecond;
+      config.autoscale.cooldown = 100 * sim::kMillisecond;
+    }
+  }
   if (!plan.empty()) config.subquery_timeout = 20 * sim::kMillisecond;
   if (!plan.partitions.empty()) {
     // Gossip timers scaled to the CLI's millisecond-scale runs, so the
@@ -392,6 +432,37 @@ int main(int argc, char** argv) {
                 "disk=%zu chunks)%s\n",
                 r + 1, last.cells.size(),
                 sim::to_millis(last.stats.latency()),
+                last.stats.breakdown.chunks_from_cache,
+                last.stats.breakdown.chunks_synthesized,
+                last.stats.breakdown.chunks_scanned,
+                last.stats.partial     ? "  [PARTIAL]"
+                : last.stats.degraded ? "  [DEGRADED]"
+                                      : "");
+  }
+  if (elastic) {
+    for (long k = 0; k < scale_out; ++k)
+      cluster.join_node(nodes + static_cast<std::uint32_t>(k));
+    const std::vector<NodeId> members = cluster.ring().members;  // snapshot
+    for (long k = 0; k < scale_in && k < static_cast<long>(members.size());
+         ++k)
+      cluster.decommission_node(
+          members[members.size() - 1 - static_cast<std::size_t>(k)]);
+    const bool stable = cluster.run_until_stable(60 * sim::kSecond);
+    const auto& m = cluster.metrics();
+    std::printf("elastic activity: epoch=%llu members=%zu moved=%llu "
+                "aborted=%llu reverts=%llu%s\n",
+                static_cast<unsigned long long>(cluster.ring().epoch),
+                cluster.ring().members.size(),
+                static_cast<unsigned long long>(m.rebalance_partitions_moved),
+                static_cast<unsigned long long>(m.rebalance_transfers_aborted),
+                static_cast<unsigned long long>(m.rebalance_ownership_reverts),
+                stable ? "" : "  [REBALANCE STILL IN FLIGHT]");
+    // One more run on the resized ring: warm handoffs mean the answer
+    // stays fast and byte-identical.
+    last = client.refresh();
+    std::printf("  post-resize: %5zu cells in %8.2f ms  (cache=%zu synth=%zu "
+                "disk=%zu chunks)%s\n",
+                last.cells.size(), sim::to_millis(last.stats.latency()),
                 last.stats.breakdown.chunks_from_cache,
                 last.stats.breakdown.chunks_synthesized,
                 last.stats.breakdown.chunks_scanned,

@@ -124,17 +124,32 @@ StashCluster::Counters::Counters(obs::MetricsRegistry& reg)
       replica_divergences(reg.counter(
           "stash_replica_divergences_total",
           "Cached chunks dropped and re-pulled after an anti-entropy digest "
-          "mismatch")) {}
+          "mismatch")),
+      rebalance_partitions_moved(reg.counter(
+          "stash_rebalance_partitions_moved_total",
+          "Partition ownership flips completed by ring rebalancing")),
+      rebalance_transfers_aborted(reg.counter(
+          "stash_rebalance_transfers_aborted_total",
+          "Warm rebalance transfer attempts that timed out or failed")),
+      rebalance_ownership_reverts(reg.counter(
+          "stash_rebalance_ownership_reverts_total",
+          "Rebalance moves reverted to the old owner (target died mid-join)")),
+      rebalance_epoch_advances(reg.counter(
+          "stash_rebalance_epoch_advances_total",
+          "Membership ring epochs installed by the front-end")) {}
 
 StashCluster::StashCluster(ClusterConfig config,
                            std::shared_ptr<const NamGenerator> generator)
     : config_(config),
       dht_(config.num_nodes, config.partition_prefix_length),
-      fault_(config.fault_plan, config.num_nodes),
+      // Slots beyond num_nodes are elastic standbys: addressable by the
+      // fault plan and the network, but outside the ring until they join.
+      fault_(config.fault_plan, std::max(config.num_nodes, config.max_nodes)),
       generator_(std::move(generator)),
       store_(generator_, config.partition_prefix_length),
-      suspect_until_(config.num_nodes, kNeverSuspected),
-      last_recovery_(config.num_nodes,
+      suspect_until_(std::max(config.num_nodes, config.max_nodes),
+                     kNeverSuspected),
+      last_recovery_(std::max(config.num_nodes, config.max_nodes),
                      std::numeric_limits<sim::SimTime>::min() / 2),
       frontend_rng_(config.seed ^ 0x46524f4e54ULL),
       tracer_(config.tracing, config.trace_capacity),
@@ -151,6 +166,13 @@ StashCluster::StashCluster(ClusterConfig config,
           "Background maintenance task duration (simulated us)",
           obs::latency_buckets_us())) {
   if (!generator_) throw std::invalid_argument("StashCluster: null generator");
+  if (config_.max_nodes != 0 && config_.max_nodes < config_.num_nodes)
+    throw std::invalid_argument("StashCluster: max_nodes < num_nodes");
+  const std::uint32_t slots = std::max(config_.num_nodes, config_.max_nodes);
+  elastic_ = config_.max_nodes > config_.num_nodes ||
+             !config_.fault_plan.joins.empty() ||
+             !config_.fault_plan.decommissions.empty() ||
+             config_.autoscale.enabled;
   store_.set_verify_checksums(config_.verify_checksums);
   // Validate scripted bit-rot targets eagerly: a bad partition key should
   // fail construction, not throw from inside the event loop at fire time.
@@ -163,10 +185,10 @@ StashCluster::StashCluster(ClusterConfig config,
       throw std::invalid_argument(
           "StashCluster: bit-rot partition is not a valid geohash");
   }
-  nodes_.reserve(config_.num_nodes);
+  nodes_.reserve(slots);
   const sim::SimServer::Config server_config{
       config_.workers_per_node, config_.queue_limit, config_.admission_policy};
-  for (NodeId id = 0; id < config_.num_nodes; ++id)
+  for (NodeId id = 0; id < slots; ++id)
     nodes_.push_back(std::make_unique<Node>(id, config_.stash, store_, loop_,
                                             server_config,
                                             config_.seed ^ mix64(id)));
@@ -186,19 +208,21 @@ StashCluster::StashCluster(ClusterConfig config,
   // subject to the same drops/partitions/latency as queries, but never
   // keeping run-to-quiescence alive.
   membership_ = std::make_unique<GossipMembership>(
-      config_.membership, config_.num_nodes, loop_,
+      config_.membership, slots, loop_,
       [this](std::uint32_t from, std::uint32_t to, std::size_t bytes,
              std::function<void()> deliver) {
         send_message(from, to, bytes, std::move(deliver), /*background=*/true);
       },
-      [this](std::uint32_t node) { return fault_.alive(node); });
+      [this](std::uint32_t node) { return fault_.alive(node); },
+      /*initial_members=*/config_.num_nodes);
   membership_->set_state_handler(
       [this](std::uint32_t observer, std::uint32_t node, MemberState state) {
         // Stale-replica fix: the moment a node's own view declares a peer
-        // dead, routing entries pointing at that peer are invalidated, so
-        // no subquery is ever forwarded to a host known to be gone.
-        if (state == MemberState::kDead && observer != sim::kFrontendNode &&
-            fault_.alive(observer))
+        // dead (or learns it left), routing entries pointing at that peer
+        // are invalidated, so no subquery is ever forwarded to a host known
+        // to be gone.
+        if ((state == MemberState::kDead || state == MemberState::kLeft) &&
+            observer != sim::kFrontendNode && fault_.alive(observer))
           nodes_[observer]->routing.drop_helper(node);
       });
   register_callback_metrics();
@@ -210,6 +234,7 @@ StashCluster::StashCluster(ClusterConfig config,
     wipe_node(id);
     membership_->reset_view(id);  // its beliefs were volatile state too
     counters_.node_crashes.inc();
+    if (elastic_) handle_elastic_crash(id);
   });
   fault_.set_restart_handler([this](std::uint32_t id) {
     counters_.node_restarts.inc();
@@ -236,8 +261,14 @@ StashCluster::StashCluster(ClusterConfig config,
   fault_.set_bitrot_handler([this](const sim::BitRotEvent& event) {
     store_.rot_block(BlockKey{event.partition, event.day});
   });
+  fault_.set_join_handler([this](std::uint32_t id) { join_node(id); });
+  fault_.set_decommission_handler(
+      [this](std::uint32_t id) { decommission_node(id); });
   fault_.arm(loop_);
   membership_->start();
+  // Ring watcher + autoscaler run only when something elastic can happen,
+  // so fixed-size runs stay bit-identical to the pre-elastic cluster.
+  if (elastic_) ensure_elastic();
   // Background scrubber: detect -> quarantine -> repair without waiting
   // for a query to trip over the rot.  Background scheduling means an idle
   // cluster still quiesces.
@@ -264,9 +295,11 @@ void StashCluster::scrub_tick(bool reschedule) {
   // against its ring successors over the anti-entropy path.  A cached
   // replica whose digest disagrees with its peers' is dropped and
   // re-pulled there, not trusted.
-  if (config_.num_nodes > 0) {
-    const NodeId id = scrub_cursor_ % config_.num_nodes;
-    scrub_cursor_ = (scrub_cursor_ + 1) % config_.num_nodes;
+  const auto& members = dht_.ring().members;
+  if (!members.empty()) {
+    const NodeId id = members[scrub_cursor_ % members.size()];
+    scrub_cursor_ =
+        static_cast<std::uint32_t>((scrub_cursor_ + 1) % members.size());
     if (fault_.alive(id)) start_recovery(id);
   }
   if (reschedule && config_.scrub_interval > 0)
@@ -413,6 +446,22 @@ void StashCluster::register_callback_metrics() {
                      MetricKind::Counter, [this] {
                        return static_cast<double>(
                            fault_.stats().partitions_observed);
+                     });
+  // Elastic membership gauges: the installed ring, read at snapshot time.
+  registry_.callback("stash_ring_epoch",
+                     "Epoch of the installed membership ring",
+                     MetricKind::Gauge, [this] {
+                       return static_cast<double>(dht_.epoch());
+                     });
+  registry_.callback("stash_ring_members",
+                     "Members in the installed membership ring",
+                     MetricKind::Gauge, [this] {
+                       return static_cast<double>(dht_.num_nodes());
+                     });
+  registry_.callback("stash_rebalance_moves_inflight",
+                     "Partition handoffs currently mid-transfer",
+                     MetricKind::Gauge, [this] {
+                       return static_cast<double>(moves_.size());
                      });
   // Integrity counters read straight from the store and fault-injection
   // stats at snapshot time (same pattern as the membership counters).
@@ -636,6 +685,12 @@ ClusterMetrics StashCluster::metrics() const {
   m.scrub_cycles = counters_.scrub_cycles.value();
   m.scrub_repairs = counters_.scrub_repairs.value();
   m.replica_divergences = counters_.replica_divergences.value();
+  m.rebalance_partitions_moved = counters_.rebalance_partitions_moved.value();
+  m.rebalance_transfers_aborted =
+      counters_.rebalance_transfers_aborted.value();
+  m.rebalance_ownership_reverts =
+      counters_.rebalance_ownership_reverts.value();
+  m.rebalance_epoch_advances = counters_.rebalance_epoch_advances.value();
   return m;
 }
 
@@ -659,7 +714,7 @@ bool StashCluster::reachable(NodeId id) const {
 }
 
 void StashCluster::recover_node(NodeId id) {
-  if (id >= config_.num_nodes)
+  if (id >= nodes_.size())
     throw std::out_of_range("StashCluster::recover_node: bad node id");
   start_recovery(id);
 }
@@ -708,7 +763,7 @@ void StashCluster::start_recovery(NodeId id) {
   // Routing hygiene first: entries pointing at peers this node's own view
   // does not consider alive are invalidated before any query can follow
   // them into a black hole.
-  for (NodeId peer = 0; peer < config_.num_nodes; ++peer)
+  for (NodeId peer = 0; peer < nodes_.size(); ++peer)
     if (peer != id && !membership_->usable(id, peer))
       node.routing.drop_helper(peer);
   // Digest peers: the first recovery_peers nodes along this node's ring
@@ -720,10 +775,15 @@ void StashCluster::start_recovery(NodeId id) {
   // view: right after a heal that view still calls the other side dead,
   // and those are exactly the replica holders.  A digest request to a
   // truly dead peer just goes unanswered — recovery is fire-and-forget.
+  // Successors come from the installed ring, so recovery keeps working
+  // across epoch changes (a decommissioned slot is simply never a peer).
   std::vector<NodeId> peers;
-  for (std::uint32_t k = 1;
-       k < config_.num_nodes && peers.size() < config_.recovery_peers; ++k)
-    peers.push_back((id + k) % config_.num_nodes);
+  const std::size_t ring_size = dht_.ring().members.size();
+  for (std::uint32_t k = 0;
+       k + 1 < ring_size && peers.size() < config_.recovery_peers; ++k) {
+    const NodeId peer = dht_.successor_of_node(id, k);
+    if (peer != id) peers.push_back(peer);
+  }
   for (const NodeId peer : peers) {
     // Digest Request: rejoining node -> replica holder.
     send_message(id, peer, config_.request_bytes, [this, id, peer] {
@@ -801,6 +861,501 @@ void StashCluster::start_recovery(NodeId id) {
         });
       });
     });
+  }
+}
+
+std::vector<StashCluster::DigestEntry> StashCluster::partition_digest(
+    NodeId holder, const std::string& partition) const {
+  std::vector<DigestEntry> out;
+  const Node& node = *nodes_[holder];
+  const auto covers = [&](const std::string& prefix) {
+    return prefix.size() >= partition.size()
+               ? prefix.compare(0, partition.size(), partition) == 0
+               : partition.compare(0, prefix.size(), prefix) == 0;
+  };
+  std::set<std::pair<int, ChunkKey>> seen;
+  const auto collect = [&](const StashGraph& graph) {
+    for (int lvl = 0; lvl < kNumLevels; ++lvl) {
+      const Resolution res = resolution_of_level(lvl);
+      graph.for_each_chunk(
+          res, [&](const ChunkKey& key, const StashGraph::ChunkData&) {
+            if (!covers(key.prefix_str())) return;
+            if (!graph.chunk_complete(res, key)) return;
+            if (!seen.insert({lvl, key}).second) return;
+            out.push_back({res, key, graph.chunk_digest(res, key)});
+          });
+    }
+  };
+  collect(node.graph);
+  collect(node.guest_graph);
+  return out;
+}
+
+// --- elastic membership & ring rebalancing -------------------------------
+//
+// Ownership is the epoch-versioned ring in the DHT plus the handoff
+// records in moves_: a partition with a live Move is answered by its OLD
+// owner (Move::from); erasing the record is the atomic flip to the ring
+// owner.  The front-end drives everything — it watches its own gossip
+// view, advances the epoch only after the desired member set holds stable,
+// plans one Move per partition whose serving owner changes, and the new
+// owners pull warm state from live donors over the same digest/pull/
+// checksummed-frame path anti-entropy recovery uses.  All of it is
+// background traffic: a run-to-quiescence test that never scales sees a
+// bit-identical cluster.
+
+NodeId StashCluster::serving_owner(const std::string& partition) const {
+  const auto it = moves_.find(partition);
+  return it != moves_.end() ? it->second.from
+                            : dht_.node_for_partition(partition);
+}
+
+bool StashCluster::move_current(const std::string& partition,
+                                std::uint64_t epoch, int attempt) const {
+  const auto it = moves_.find(partition);
+  return it != moves_.end() && it->second.epoch == epoch &&
+         it->second.attempt == attempt;
+}
+
+bool StashCluster::rebalance_in_progress() const {
+  if (!moves_.empty() || !joining_.empty() || !leaving_.empty()) return true;
+  return elastic_ && desired_ring_members() != dht_.ring().members;
+}
+
+bool StashCluster::run_until_stable(sim::SimTime max_wait) {
+  const sim::SimTime deadline = loop_.now() + max_wait;
+  const sim::SimTime step =
+      std::max<sim::SimTime>(config_.ring_check_interval, 1);
+  while (loop_.now() < deadline) {
+    if (!rebalance_in_progress()) return true;
+    loop_.run_for(std::min(step, deadline - loop_.now()));
+  }
+  return !rebalance_in_progress();
+}
+
+void StashCluster::ensure_elastic() {
+  if (elastic_armed_) return;
+  elastic_armed_ = true;
+  elastic_ = true;
+  ring_candidate_ = dht_.ring().members;
+  ring_candidate_since_ = loop_.now();
+  loop_.schedule_background(config_.ring_check_interval,
+                            [this] { ring_watch_tick(); });
+  if (config_.autoscale.enabled)
+    loop_.schedule_background(config_.autoscale.eval_interval,
+                              [this] { autoscale_tick(); });
+}
+
+void StashCluster::join_node(NodeId id) {
+  if (id >= nodes_.size())
+    throw std::out_of_range("StashCluster::join_node: bad node id");
+  if (membership_->is_registered(id)) return;  // member or already joining
+  if (!fault_.alive(id)) return;  // a dead standby cannot announce itself
+  ensure_elastic();  // programmatic scaling arms the watcher lazily
+  joining_.insert(id);
+  membership_->join(id);
+}
+
+void StashCluster::decommission_node(NodeId id) {
+  if (id >= nodes_.size())
+    throw std::out_of_range("StashCluster::decommission_node: bad node id");
+  if (!membership_->is_registered(id)) return;  // standby or already left
+  if (leaving_.contains(id) || joining_.contains(id)) return;
+  if (!dht_.ring().contains(id)) {
+    // Registered but never made it into an epoch (join still converging):
+    // it owns nothing, so it can leave immediately.
+    membership_->leave(id);
+    return;
+  }
+  // Never drain the last serving member.
+  if (dht_.ring().members.size() <= leaving_.size() + 1) return;
+  ensure_elastic();  // programmatic scaling arms the watcher lazily
+  leaving_.insert(id);  // keeps serving until its last outbound move flips
+}
+
+std::vector<NodeId> StashCluster::desired_ring_members() const {
+  std::vector<NodeId> out;
+  for (const NodeId m : dht_.ring().members) {
+    if (leaving_.contains(m)) continue;
+    // A deregistered ring member is a reverted joiner: it died before its
+    // inbound transfers completed, so the next epoch drops it.  (Crashed
+    // *established* members stay — failover covers them, and only an
+    // explicit decommission removes a member.)
+    if (!membership_->is_registered(m)) continue;
+    out.push_back(m);
+  }
+  for (const NodeId j : joining_) {
+    if (dht_.ring().contains(j)) continue;
+    if (!membership_->is_registered(j)) continue;
+    // Admit a joiner only once the front-end's own view believes it alive
+    // (the stabilize window then debounces the rest of the convergence).
+    if (membership_->state(sim::kFrontendNode, j) != MemberState::kAlive)
+      continue;
+    out.push_back(j);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void StashCluster::ring_watch_tick() {
+  loop_.schedule_background(config_.ring_check_interval,
+                            [this] { ring_watch_tick(); });
+  std::vector<NodeId> desired = desired_ring_members();
+  if (desired == dht_.ring().members || desired.empty()) {
+    ring_candidate_ = dht_.ring().members;
+    ring_candidate_since_ = loop_.now();
+    return;
+  }
+  if (desired != ring_candidate_) {
+    // New candidate: start the stability clock.
+    ring_candidate_ = std::move(desired);
+    ring_candidate_since_ = loop_.now();
+    return;
+  }
+  if (loop_.now() - ring_candidate_since_ < config_.ring_stabilize_delay)
+    return;
+  advance_epoch(std::move(desired));
+  ring_candidate_ = dht_.ring().members;
+  ring_candidate_since_ = loop_.now();
+}
+
+void StashCluster::advance_epoch(std::vector<NodeId> members) {
+  // Who answers each partition under the OUTGOING epoch + handoffs?  That
+  // node keeps answering through the transition: it becomes Move::from
+  // wherever ownership shifts.
+  std::vector<std::pair<std::string, NodeId>> serving;
+  dht_.for_each_partition([&](std::string_view p) {
+    std::string key(p);
+    NodeId owner = serving_owner(key);
+    serving.emplace_back(std::move(key), owner);
+  });
+  // Supersede in-flight moves: their (epoch, attempt) tags go stale, so
+  // every outstanding transfer continuation drops itself on arrival.
+  for (auto& [partition, move] : moves_)
+    if (move.deadline_timer != 0) loop_.cancel(move.deadline_timer);
+  RingView next;
+  next.epoch = dht_.epoch() + 1;
+  next.members = std::move(members);
+  dht_.install(std::move(next));
+  counters_.rebalance_epoch_advances.inc();
+  std::unordered_map<std::string, Move> planned;
+  for (auto& [partition, old_owner] : serving) {
+    const NodeId new_owner = dht_.node_for_partition(partition);
+    if (new_owner == old_owner) continue;
+    Move move;
+    move.from = old_owner;
+    move.to = new_owner;
+    move.epoch = dht_.epoch();
+    planned.emplace(partition, move);
+  }
+  moves_ = std::move(planned);
+  for (const auto& [partition, move] : moves_) start_move(partition);
+  // A leaver that owned nothing (or whose every move was superseded into
+  // a no-op) finishes right away; likewise a joiner with no inbound moves
+  // is fully admitted.
+  for (auto it = joining_.begin(); it != joining_.end();) {
+    const NodeId j = *it;
+    bool inbound = false;
+    for (const auto& [p, m] : moves_)
+      if (m.to == j) {
+        inbound = true;
+        break;
+      }
+    if (dht_.ring().contains(j) && !inbound)
+      it = joining_.erase(it);
+    else
+      ++it;
+  }
+  const std::vector<NodeId> leavers(leaving_.begin(), leaving_.end());
+  for (const NodeId l : leavers) maybe_finish_decommission(l);
+}
+
+void StashCluster::start_move(const std::string& partition) {
+  const auto it = moves_.find(partition);
+  if (it == moves_.end()) return;
+  Move& move = it->second;
+  const std::uint64_t epoch = move.epoch;
+  const int attempt = move.attempt;
+  const NodeId to = move.to;
+  // Retry budget + deadline bound every attempt: a wedged transfer can
+  // stall routing for at most max_attempts * transfer_deadline before the
+  // partition flips cold.
+  move.deadline_timer = loop_.schedule_background_cancellable(
+      config_.rebalance_transfer_deadline,
+      [this, partition, epoch, attempt] {
+        on_move_deadline(partition, epoch, attempt);
+      });
+  // Donor: the serving owner while it lives; a dead donor fails over to
+  // any live ring member (complete cached chunks are content-digested, so
+  // any holder is equivalent — and a cold donor just answers "nothing").
+  NodeId donor = move.from;
+  if (!fault_.alive(donor) || donor == to) {
+    donor = to;
+    for (const NodeId m : dht_.ring().members)
+      if (m != to && fault_.alive(m)) {
+        donor = m;
+        break;
+      }
+  }
+  if (donor == to || !fault_.alive(to)) return;  // deadline path owns this
+  // Kickoff: front-end -> new owner -> donor digest -> diff -> pull ->
+  // checksummed frame -> absorb -> done report.  Same shape (and the same
+  // counters) as anti-entropy recovery, scoped to one partition.
+  send_message(
+      sim::kFrontendNode, to, config_.request_bytes,
+      [this, partition, epoch, attempt, donor, to] {
+        if (!move_current(partition, epoch, attempt)) return;
+        send_message(
+            to, donor, config_.request_bytes,
+            [this, partition, epoch, attempt, donor, to] {
+              const auto digest = std::make_shared<std::vector<DigestEntry>>(
+                  partition_digest(donor, partition));
+              const std::size_t bytes =
+                  config_.request_bytes + 24 * digest->size();
+              send_message(
+                  donor, to, bytes,
+                  [this, partition, epoch, attempt, donor, to, digest] {
+                    if (!move_current(partition, epoch, attempt)) return;
+                    counters_.digests_exchanged.inc();
+                    Node& local = *nodes_[to];
+                    auto wanted = std::make_shared<
+                        std::vector<std::pair<Resolution, ChunkKey>>>();
+                    for (const auto& entry : *digest) {
+                      if (wanted->size() >= config_.rebalance_max_chunks)
+                        break;
+                      const std::uint64_t local_hash =
+                          local.graph.chunk_digest(entry.res, entry.chunk);
+                      if (local_hash == entry.hash) continue;
+                      if (local_hash != 0) {
+                        if (!local.graph.chunk_complete(entry.res,
+                                                        entry.chunk))
+                          continue;  // partial: absorb's guard protects it
+                        local.graph.drop_chunk(entry.res, entry.chunk);
+                        counters_.replica_divergences.inc();
+                      }
+                      wanted->emplace_back(entry.res, entry.chunk);
+                    }
+                    if (wanted->empty()) {
+                      // Nothing warm to pull (cold partition, or already
+                      // in sync): the handoff is complete as-is.
+                      send_message(
+                          to, sim::kFrontendNode, kAckBytes,
+                          [this, partition, epoch, attempt] {
+                            complete_move(partition, epoch, attempt);
+                          },
+                          /*background=*/true);
+                      return;
+                    }
+                    const std::size_t req_bytes =
+                        config_.request_bytes + 16 * wanted->size();
+                    send_message(
+                        to, donor, req_bytes,
+                        [this, partition, epoch, attempt, donor, to, wanted] {
+                          if (!move_current(partition, epoch, attempt))
+                            return;
+                          Node& holder = *nodes_[donor];
+                          auto payload = chunk_payload(holder.graph, *wanted);
+                          std::set<std::pair<int, ChunkKey>> shipped;
+                          for (const auto& c : payload)
+                            shipped.insert({level_index(c.res), c.chunk});
+                          std::vector<std::pair<Resolution, ChunkKey>> rest;
+                          for (const auto& [res, chunk] : *wanted)
+                            if (!shipped.contains({level_index(res), chunk}))
+                              rest.emplace_back(res, chunk);
+                          for (auto& c :
+                               chunk_payload(holder.guest_graph, rest))
+                            payload.push_back(std::move(c));
+                          if (payload.empty()) {
+                            send_message(
+                                donor, to, kAckBytes,
+                                [this, partition, epoch, attempt, to] {
+                                  if (!move_current(partition, epoch,
+                                                    attempt))
+                                    return;
+                                  send_message(
+                                      to, sim::kFrontendNode, kAckBytes,
+                                      [this, partition, epoch, attempt] {
+                                        complete_move(partition, epoch,
+                                                      attempt);
+                                      },
+                                      /*background=*/true);
+                                },
+                                /*background=*/true);
+                            return;
+                          }
+                          codec::Buffer wire =
+                              codec::encode_replication_frame(payload);
+                          send_frame(
+                              donor, to, std::move(wire),
+                              [this, partition, epoch, attempt,
+                               to](codec::Buffer&& verified) {
+                                if (!move_current(partition, epoch, attempt))
+                                  return;
+                                Node& target = *nodes_[to];
+                                std::vector<ChunkContribution> contributions;
+                                try {
+                                  contributions =
+                                      codec::decode_replication_payload(
+                                          verified);
+                                } catch (const std::exception&) {
+                                  counters_.poison_messages.inc();
+                                  return;  // deadline path retries
+                                }
+                                std::uint64_t chunks = 0, cells = 0;
+                                for (const auto& c : contributions) {
+                                  if (target.graph.absorb(c, loop_.now()) ==
+                                      0)
+                                    continue;
+                                  ++chunks;
+                                  cells += c.cells.size();
+                                }
+                                counters_.chunks_rewarmed.inc(chunks);
+                                counters_.cells_rewarmed.inc(cells);
+                                send_message(
+                                    to, sim::kFrontendNode, kAckBytes,
+                                    [this, partition, epoch, attempt] {
+                                      complete_move(partition, epoch,
+                                                    attempt);
+                                    },
+                                    /*background=*/true);
+                              },
+                              /*background=*/true, config_.max_redeliveries);
+                        },
+                        /*background=*/true);
+                  },
+                  /*background=*/true);
+            },
+            /*background=*/true);
+      },
+      /*background=*/true);
+}
+
+void StashCluster::on_move_deadline(const std::string& partition,
+                                    std::uint64_t epoch, int attempt) {
+  if (!move_current(partition, epoch, attempt)) return;
+  Move& move = moves_.find(partition)->second;
+  move.deadline_timer = 0;
+  counters_.rebalance_transfers_aborted.inc();
+  // A deregistered target is a reverting joiner: hold the handoff (old
+  // owner keeps serving) until the watcher advances the epoch past it.
+  if (!membership_->is_registered(move.to)) return;
+  if (move.attempt + 1 < config_.rebalance_max_attempts) {
+    ++move.attempt;
+    start_move(partition);
+    return;
+  }
+  // Attempts exhausted: flip cold.  The ring owner answers from durable
+  // storage (never wrong, just unwarmed) and rebuilds warmth on demand.
+  flip_move(partition);
+}
+
+void StashCluster::complete_move(const std::string& partition,
+                                 std::uint64_t epoch, int attempt) {
+  if (!move_current(partition, epoch, attempt)) return;
+  flip_move(partition);
+}
+
+void StashCluster::flip_move(const std::string& partition) {
+  const auto it = moves_.find(partition);
+  if (it == moves_.end()) return;
+  const Move move = it->second;
+  if (move.deadline_timer != 0) loop_.cancel(move.deadline_timer);
+  moves_.erase(it);  // THE flip: routing now reads the installed ring
+  counters_.rebalance_partitions_moved.inc();
+  if (joining_.contains(move.to)) {
+    bool inbound = false;
+    for (const auto& [p, m] : moves_)
+      if (m.to == move.to) {
+        inbound = true;
+        break;
+      }
+    if (!inbound) joining_.erase(move.to);  // fully admitted
+  }
+  if (leaving_.contains(move.from)) maybe_finish_decommission(move.from);
+}
+
+void StashCluster::maybe_finish_decommission(NodeId id) {
+  if (!leaving_.contains(id)) return;
+  if (dht_.ring().contains(id)) return;  // epoch has not moved past it yet
+  for (const auto& [p, m] : moves_)
+    if (m.from == id) return;  // still draining
+  leaving_.erase(id);
+  // Explicit departure rumor (kLeft out-bids dead): even observers that
+  // watched it crash mid-drain converge to "left", never probe it again.
+  membership_->leave(id);
+  wipe_node(id);
+  // Routing hygiene cluster-wide: nobody reroutes to a departed member.
+  for (const auto& node : nodes_)
+    if (node->id != id && fault_.alive(node->id))
+      node->routing.drop_helper(id);
+}
+
+void StashCluster::handle_elastic_crash(NodeId id) {
+  if (!joining_.contains(id)) return;
+  // A joiner died before its handoffs completed: the join is reverted, not
+  // failed over.  Deregistering drops it from the desired member set, so
+  // the watcher advances the epoch without it; until then the in-flight
+  // Move records keep the old owners serving (that IS the revert — routing
+  // never pointed at the dead joiner).  Timers are silenced so the
+  // deadline path cannot flip a partition cold onto a corpse.
+  joining_.erase(id);
+  membership_->leave(id);
+  for (auto& [partition, move] : moves_) {
+    if (move.to != id) continue;
+    if (move.deadline_timer != 0) {
+      loop_.cancel(move.deadline_timer);
+      move.deadline_timer = 0;
+    }
+    counters_.rebalance_ownership_reverts.inc();
+  }
+}
+
+void StashCluster::autoscale_tick() {
+  loop_.schedule_background(config_.autoscale.eval_interval,
+                            [this] { autoscale_tick(); });
+  const AutoscalePolicy& policy = config_.autoscale;
+  // PR-3 signals: worst queue depth seen across serving members since the
+  // previous tick (the high-water mark, so sub-interval bursts count — an
+  // instantaneous sample at the tick would miss every queue that built and
+  // drained between evaluations), and admission-control sheds since the
+  // previous tick.
+  std::size_t peak = 0, high_water = 0;
+  for (const NodeId m : dht_.ring().members) {
+    peak = std::max(peak, nodes_[m]->server.queue_length());
+    high_water = std::max(high_water, nodes_[m]->server.peak_queue_length());
+  }
+  const bool queue_spiked =
+      high_water > autoscale_prev_peak_ && high_water >= policy.high_queue;
+  autoscale_prev_peak_ = std::max(autoscale_prev_peak_, high_water);
+  std::uint64_t shed = 0;
+  for (const auto& node : nodes_) shed += node->server.shed_jobs();
+  const std::uint64_t shed_delta =
+      shed >= autoscale_prev_shed_ ? shed - autoscale_prev_shed_ : 0;
+  autoscale_prev_shed_ = shed;
+  const bool hot = queue_spiked || shed_delta >= policy.high_shed_delta;
+  const bool cold =
+      !queue_spiked && peak <= policy.low_queue && shed_delta == 0;
+  autoscale_high_ticks_ = hot ? autoscale_high_ticks_ + 1 : 0;
+  autoscale_low_ticks_ = cold ? autoscale_low_ticks_ + 1 : 0;
+  if (loop_.now() - autoscale_last_action_ < policy.cooldown) return;
+  if (rebalance_in_progress()) return;  // let the current move land first
+  if (autoscale_high_ticks_ >= policy.hysteresis_ticks) {
+    // Scale out: admit the lowest live standby slot.
+    for (NodeId id = 0; id < nodes_.size(); ++id) {
+      if (membership_->is_registered(id) || !fault_.alive(id)) continue;
+      join_node(id);
+      autoscale_last_action_ = loop_.now();
+      autoscale_high_ticks_ = 0;
+      return;
+    }
+    return;
+  }
+  if (autoscale_low_ticks_ >= policy.hysteresis_ticks &&
+      dht_.ring().members.size() > policy.min_nodes) {
+    // Scale in: drain the highest member back to standby.
+    decommission_node(dht_.ring().members.back());
+    autoscale_last_action_ = loop_.now();
+    autoscale_low_ticks_ = 0;
   }
 }
 
@@ -1035,16 +1590,24 @@ void StashCluster::start_attempt(std::uint64_t query_id, std::size_t idx) {
   }
   sq.forwarded_to.reset();
 
-  const NodeId owner = dht_.node_for_partition(sq.partition);
+  // Handoff-aware routing: while a rebalance move is in flight the *old*
+  // owner keeps answering; the instant the move flips, the ring owner
+  // does.  A query racing the flip is answered by whichever side holds the
+  // handoff — never neither.
+  const NodeId owner = serving_owner(sq.partition);
   NodeId target = owner;
   if (config_.failover_to_successor && !reachable(owner)) {
     // The owner's partition lives on durable storage every node can reach,
     // so the next live ring successor re-scans it from disk.  Liveness is
     // the gossip view plus the timeout circuit breaker: a partitioned or
     // dead owner is routed around before paying a single timeout.
-    for (std::uint32_t k = 1; k < config_.num_nodes; ++k) {
+    const std::uint32_t ring_size =
+        static_cast<std::uint32_t>(dht_.ring().members.size());
+    // k = 0 is the ring owner itself — normally `owner`, but during a
+    // handoff it is the pulling side, the best possible failover target.
+    for (std::uint32_t k = 0; k < ring_size; ++k) {
       const NodeId candidate = dht_.successor_for_partition(sq.partition, k);
-      if (reachable(candidate)) {
+      if (candidate != owner && reachable(candidate)) {
         target = candidate;
         break;
       }
@@ -1953,8 +2516,33 @@ AuditReport StashCluster::audit_all(AuditOptions options) const {
     };
     annotate(auditor.audit(node->graph), "graph");
     annotate(auditor.audit(node->guest_graph), "guest");
-    annotate(auditor.audit_routing(node->routing, config_.num_nodes, node->id),
+    annotate(auditor.audit_routing(node->routing,
+                                   static_cast<std::uint32_t>(nodes_.size()),
+                                   node->id),
              "routing");
+  }
+  // Epoch-aware membership checks: the installed ring is structurally
+  // sound, and every in-flight handoff record agrees with it — planned
+  // under the current epoch, genuinely moving (from != to), and pointing
+  // at the member the ring says now owns the partition.  Together with the
+  // single moves_ map (presence == old owner serves, absence == ring owner
+  // serves) this is the no-partition-double-owned / none-lost invariant.
+  total.merge(auditor.audit_ring(dht_.ring(),
+                                 static_cast<std::uint32_t>(nodes_.size())));
+  for (const auto& [partition, move] : moves_) {
+    const auto bad = [&](const std::string& why) {
+      total.violations.push_back(
+          {AuditViolationKind::RingInconsistent,
+           "move " + partition + " (" + std::to_string(move.from) + " -> " +
+               std::to_string(move.to) + ", epoch " +
+               std::to_string(move.epoch) + "): " + why});
+    };
+    if (move.epoch != dht_.epoch())
+      bad("stale epoch (installed " + std::to_string(dht_.epoch()) + ")");
+    if (move.from == move.to) bad("does not move ownership");
+    if (dht_.node_for_partition(partition) != move.to)
+      bad("target is not the installed epoch's owner (" +
+          std::to_string(dht_.node_for_partition(partition)) + ")");
   }
   return total;
 }
@@ -1963,7 +2551,9 @@ std::size_t StashCluster::preload(const AggregationQuery& query) {
   std::size_t inserted = 0;
   for (const auto& partition :
        geohash::covering(query.area, config_.partition_prefix_length)) {
-    const NodeId owner = dht_.node_for_partition(partition);
+    // Warm whoever is *serving* the partition — mid-handoff that is still
+    // the old owner, and warming anyone else would be wasted work.
+    const NodeId owner = serving_owner(partition);
     if (!fault_.alive(owner)) continue;  // a dead node cannot warm its cache
     Node& node = *nodes_[owner];
     const Evaluation eval =

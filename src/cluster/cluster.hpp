@@ -14,8 +14,12 @@
 #pragma once
 
 #include <functional>
+#include <limits>
 #include <memory>
 #include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "cluster/membership.hpp"
@@ -46,6 +50,30 @@ enum class SystemMode {
 enum class HelperPolicy {
   Antipode,   // node owning the diametrically opposite region (the paper)
   Neighbor,   // node owning a lateral neighbor region of the hot Clique
+};
+
+/// Metrics-driven elastic scaling (ROADMAP item 4).  Evaluated on a
+/// background tick over the PR-3 observability signals: peak server queue
+/// depth and admission-control sheds.  Hysteresis (consecutive ticks above
+/// or below the watermarks) plus a cooldown between actions keep a bursty
+/// workload from flapping the ring.
+struct AutoscalePolicy {
+  bool enabled = false;
+  /// Policy evaluation period.
+  sim::SimTime eval_interval = 500 * sim::kMillisecond;
+  /// Scale OUT when the peak per-node queue exceeds this...
+  std::size_t high_queue = 16;
+  /// ...or this many jobs were shed since the previous tick.
+  std::uint64_t high_shed_delta = 8;
+  /// Scale IN when the peak queue stays at or below this (and nothing shed).
+  std::size_t low_queue = 1;
+  /// Consecutive ticks a watermark must hold before acting.
+  int hysteresis_ticks = 3;
+  /// Minimum spacing between scaling actions (lets a rebalance land and
+  /// the metrics respond before the next decision).
+  sim::SimTime cooldown = 5 * sim::kSecond;
+  /// Never scale in below this many ring members.
+  std::uint32_t min_nodes = 1;
 };
 
 struct ClusterConfig {
@@ -199,6 +227,31 @@ struct ClusterConfig {
   /// Seeded thread-level fault injection for the exec pools (inert by
   /// default) — task delays, task exceptions, worker stalls.
   exec::FaultHooks exec_faults;
+
+  // --- elastic membership & ring rebalancing (ROADMAP item 4) ---
+  /// Total addressable node slots.  0 (the default) keeps the historical
+  /// fixed-size cluster.  When > num_nodes, slots [num_nodes, max_nodes)
+  /// are provisioned as *standbys*: they exist (store access, server,
+  /// empty caches) but start outside the membership ring (gossip kLeft)
+  /// and own nothing until join_node() — or a scripted JoinEvent, or the
+  /// autoscaler — admits them.
+  std::uint32_t max_nodes = 0;
+  /// How often the front-end compares the installed ring against its
+  /// gossip view + join/leave intents.
+  sim::SimTime ring_check_interval = 200 * sim::kMillisecond;
+  /// A changed desired member set must hold stable this long before the
+  /// epoch advances (debounces gossip churn mid-convergence).
+  sim::SimTime ring_stabilize_delay = 400 * sim::kMillisecond;
+  /// Deadline for one warm-transfer attempt of one moved partition; on
+  /// expiry the attempt aborts and is retried (fresh attempt tag).
+  sim::SimTime rebalance_transfer_deadline = 2 * sim::kSecond;
+  /// Warm-transfer attempts per moved partition before flipping cold (the
+  /// new owner serves from durable storage; warmth rebuilds on demand).
+  int rebalance_max_attempts = 3;
+  /// Cap on chunks pulled per moved partition (bounds each transfer).
+  std::size_t rebalance_max_chunks = 512;
+  /// Metrics-driven scale-out/scale-in (inert by default).
+  AutoscalePolicy autoscale;
 };
 
 /// Per-partition report of what a query's answer actually contains — the
@@ -321,6 +374,11 @@ struct ClusterMetrics {
   std::uint64_t scrub_cycles = 0;           // scrubber ticks run
   std::uint64_t scrub_repairs = 0;          // blocks repaired by the scrubber
   std::uint64_t replica_divergences = 0;    // cached chunks dropped + re-pulled
+  // --- elastic membership & ring rebalancing ---
+  std::uint64_t rebalance_partitions_moved = 0;  // ownership flips completed
+  std::uint64_t rebalance_transfers_aborted = 0; // warm transfers timed out
+  std::uint64_t rebalance_ownership_reverts = 0; // moves undone (joiner died)
+  std::uint64_t rebalance_epoch_advances = 0;    // ring epochs installed
 };
 
 class StashCluster {
@@ -430,6 +488,37 @@ class StashCluster {
   /// Starts one anti-entropy recovery round for `id` now.  Also runs
   /// automatically on restart and partition heal when config.recovery.
   void recover_node(NodeId id);
+
+  // --- elastic membership & ring rebalancing ---
+  /// The currently installed ownership ring (epoch + sorted members).
+  [[nodiscard]] const RingView& ring() const noexcept { return dht_.ring(); }
+  /// Total addressable node slots (num_nodes, or max_nodes when elastic).
+  [[nodiscard]] std::uint32_t total_slots() const noexcept {
+    return static_cast<std::uint32_t>(nodes_.size());
+  }
+  /// Scale out: admit standby slot `id` into the cluster.  It announces
+  /// through gossip; once the front-end observes it stable the epoch
+  /// advances and moved partitions are pulled onto it (old owners keep
+  /// serving until each handoff flips).  Throws on a bad slot; a no-op for
+  /// a slot that is already a member or already joining.
+  void join_node(NodeId id);
+  /// Scale in: gracefully decommission member `id`.  It keeps serving its
+  /// partitions while the new owners pull warm state; when its last
+  /// outbound move flips, it leaves via an explicit gossip rumor and its
+  /// volatile state is wiped.  Throws on a bad slot; no-op if not a member.
+  void decommission_node(NodeId id);
+  /// The node currently answering for `partition`: the old owner while a
+  /// rebalance move is in flight, the ring owner otherwise.  Queries racing
+  /// an epoch flip are routed here, so exactly one side answers.
+  [[nodiscard]] NodeId serving_owner(const std::string& partition) const;
+  /// Any partition still mid-handoff, or any join/leave not yet reflected
+  /// in an installed epoch?
+  [[nodiscard]] bool rebalance_in_progress() const;
+  /// Drives the loop in ring_check_interval slices until no rebalance is in
+  /// progress (or `max_wait` virtual time elapses; returns true on quiet).
+  /// The rebalance machinery is background traffic, which run-to-quiescence
+  /// ignores — tests and drivers settle the ring through this instead.
+  bool run_until_stable(sim::SimTime max_wait = 60 * sim::kSecond);
 
   // --- data integrity ---
   /// The shared durable block store (integrity introspection: quarantine
@@ -541,6 +630,10 @@ class StashCluster {
     obs::Counter& scrub_cycles;
     obs::Counter& scrub_repairs;
     obs::Counter& replica_divergences;
+    obs::Counter& rebalance_partitions_moved;
+    obs::Counter& rebalance_transfers_aborted;
+    obs::Counter& rebalance_ownership_reverts;
+    obs::Counter& rebalance_epoch_advances;
   };
 
   /// One entry of an anti-entropy digest: "I hold (res, chunk) complete,
@@ -549,6 +642,18 @@ class StashCluster {
     Resolution res;
     ChunkKey chunk;
     std::uint64_t hash = 0;
+  };
+
+  /// One in-flight rebalance handoff: partition ownership moved from ->
+  /// to at `epoch`, but routing still points at `from` (the handoff record
+  /// — erasing the entry IS the atomic flip).  Transfer messages carry
+  /// (epoch, attempt); anything stale is dropped on arrival.
+  struct Move {
+    NodeId from = 0;
+    NodeId to = 0;
+    std::uint64_t epoch = 0;
+    int attempt = 0;
+    sim::EventLoop::EventId deadline_timer = 0;
   };
 
   void submit_impl(const AggregationQuery& query, Callback done,
@@ -621,6 +726,50 @@ class StashCluster {
   /// to the partitions `owner` owns — the anti-entropy comparison unit.
   [[nodiscard]] std::vector<DigestEntry> recovery_digest(NodeId holder,
                                                          NodeId owner) const;
+  /// Same digest restricted to one partition (the rebalance transfer unit).
+  [[nodiscard]] std::vector<DigestEntry> partition_digest(
+      NodeId holder, const std::string& partition) const;
+  // --- elastic membership & ring rebalancing ---
+  /// Arms the ring watcher (and autoscaler, if enabled) exactly once.
+  /// Called from the ctor for elastic configs, and lazily from
+  /// join_node/decommission_node so programmatic scaling works on a
+  /// cluster that was constructed fixed-size.
+  void ensure_elastic();
+  /// Front-end ring watcher tick: computes the desired member set, waits
+  /// for it to hold stable (ring_stabilize_delay), then advances the epoch.
+  void ring_watch_tick();
+  /// Desired ring = current members, minus leavers and crashed joiners,
+  /// plus joiners the front-end's gossip view believes alive.
+  [[nodiscard]] std::vector<NodeId> desired_ring_members() const;
+  /// Installs `members` as a new epoch and (re)plans one Move per
+  /// partition whose serving owner changes; supersedes any in-flight moves.
+  void advance_epoch(std::vector<NodeId> members);
+  /// Starts (or retries) the warm transfer for one moved partition: the
+  /// new owner pulls complete chunks from a live donor over the
+  /// anti-entropy digest/pull path, then reports done to the front-end.
+  void start_move(const std::string& partition);
+  /// Transfer deadline: aborts the attempt and retries, or flips cold
+  /// after rebalance_max_attempts.
+  void on_move_deadline(const std::string& partition, std::uint64_t epoch,
+                        int attempt);
+  /// Front-end receipt of a completed transfer: the atomic flip.
+  void complete_move(const std::string& partition, std::uint64_t epoch,
+                     int attempt);
+  /// Stale-transfer guard: is this (partition, epoch, attempt) still the
+  /// live move?  Every transfer continuation checks before acting.
+  [[nodiscard]] bool move_current(const std::string& partition,
+                                  std::uint64_t epoch, int attempt) const;
+  /// Shared flip bookkeeping (warm or cold): erase the handoff record,
+  /// count it, and settle any decommission/join waiting on it.
+  void flip_move(const std::string& partition);
+  /// A decommissioning member's last outbound move flipped: gossip the
+  /// explicit departure, wipe it, and drop routing entries to it.
+  void maybe_finish_decommission(NodeId id);
+  /// Crash handler hook: a joiner died mid-rebalance — revert its inbound
+  /// moves to their old owners and let the watcher advance past it.
+  void handle_elastic_crash(NodeId id);
+  /// Autoscaler tick: watermark + hysteresis + cooldown over PR-3 metrics.
+  void autoscale_tick();
   [[nodiscard]] bool suspected(NodeId id) const;
   void suspect(NodeId id);
   void absolve(NodeId id);
@@ -660,6 +809,34 @@ class StashCluster {
   /// injector rolled its drop dice exactly once for each.
   std::uint64_t messages_sent_ = 0;
   Rng frontend_rng_;  // retry jitter only: node Rngs stay untouched
+  // --- elastic membership & ring rebalancing state (front-end owned) ---
+  /// True when any elastic machinery is active (standby slots, a scripted
+  /// join/decommission, or the autoscaler).  False keeps legacy runs
+  /// bit-identical: no watcher ticks, no extra dice, no behavior change.
+  bool elastic_ = false;
+  /// Set by ensure_elastic(): the watcher/autoscaler timers are armed.
+  bool elastic_armed_ = false;
+  /// In-flight handoffs keyed by partition.  Presence == routing still
+  /// points at Move::from; erasure == the flip.  Only unflipped moves live
+  /// here, so serving_owner() is one hash probe.
+  std::unordered_map<std::string, Move> moves_;
+  /// Slots admitted but still receiving their first inbound transfers.  A
+  /// crash while in this set reverts the join instead of failing over.
+  std::unordered_set<NodeId> joining_;
+  /// Members draining outbound moves before their explicit gossip leave.
+  std::unordered_set<NodeId> leaving_;
+  /// Ring-watcher debounce: the candidate member set and when it was first
+  /// observed (epoch advances only after ring_stabilize_delay of stability).
+  std::vector<NodeId> ring_candidate_;
+  sim::SimTime ring_candidate_since_ = 0;
+  // Autoscaler hysteresis state.
+  int autoscale_high_ticks_ = 0;
+  int autoscale_low_ticks_ = 0;
+  sim::SimTime autoscale_last_action_ = std::numeric_limits<sim::SimTime>::min() / 2;
+  std::uint64_t autoscale_prev_shed_ = 0;
+  /// Queue high-water mark already accounted for by a previous evaluation
+  /// tick: only *growth* past it counts as fresh overload pressure.
+  std::size_t autoscale_prev_peak_ = 0;
   /// Next node the scrubber's anti-entropy walk visits (round-robin).
   std::uint32_t scrub_cursor_ = 0;
   std::uint64_t next_query_id_ = 0;

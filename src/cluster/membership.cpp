@@ -11,6 +11,7 @@ const char* to_string(MemberState state) noexcept {
     case MemberState::kAlive: return "alive";
     case MemberState::kSuspect: return "suspect";
     case MemberState::kDead: return "dead";
+    case MemberState::kLeft: return "left";
   }
   return "?";
 }
@@ -18,7 +19,8 @@ const char* to_string(MemberState state) noexcept {
 GossipMembership::GossipMembership(MembershipConfig config,
                                    std::uint32_t num_nodes,
                                    sim::EventLoop& loop, Transport transport,
-                                   Liveness liveness)
+                                   Liveness liveness,
+                                   std::uint32_t initial_members)
     : config_(config),
       num_nodes_(num_nodes),
       loop_(loop),
@@ -29,7 +31,9 @@ GossipMembership::GossipMembership(MembershipConfig config,
       rumors_(num_nodes + 1),
       probes_(num_nodes + 1),
       tick_counts_(num_nodes + 1, 0),
-      incarnations_(num_nodes, 0) {
+      incarnations_(num_nodes, 0),
+      registered_(num_nodes, true),
+      wants_left_(num_nodes, false) {
   if (num_nodes == 0)
     throw std::invalid_argument("GossipMembership: empty cluster");
   if (config_.probe_interval <= 0 || config_.probe_timeout <= 0 ||
@@ -38,6 +42,16 @@ GossipMembership::GossipMembership(MembershipConfig config,
   if (config_.ping_req_fanout < 0 || config_.piggyback_limit < 0 ||
       config_.update_retransmits < 1 || config_.announce_fanout < 0)
     throw std::invalid_argument("GossipMembership: negative fan-out/limit");
+  if (initial_members != kAllSlots) {
+    if (initial_members == 0 || initial_members > num_nodes)
+      throw std::invalid_argument("GossipMembership: bad initial member count");
+    // Slots beyond the initial membership are standbys: kLeft in every
+    // view from the start, waiting for an explicit join().
+    for (std::uint32_t s = initial_members; s < num_nodes_; ++s) {
+      registered_[s] = false;
+      for (auto& view : views_) view[s] = MemberInfo{MemberState::kLeft, 0, 0};
+    }
+  }
 }
 
 std::size_t GossipMembership::index_of(std::uint32_t observer) const {
@@ -67,11 +81,13 @@ void GossipMembership::start() {
 void GossipMembership::tick(std::size_t obs) {
   loop_.schedule_background(config_.probe_interval, [this, obs] { tick(obs); });
   if (!liveness_(address_of(obs))) return;  // crashed: keep idling
+  if (obs < num_nodes_ && !registered_[obs]) return;  // standby/left: no probing
   ++tick_counts_[obs];
 
   std::vector<std::uint32_t> live, dead;
   for (std::uint32_t m = 0; m < num_nodes_; ++m) {
     if (obs < num_nodes_ && m == obs) continue;
+    if (views_[obs][m].state == MemberState::kLeft) continue;  // not a member
     (views_[obs][m].state == MemberState::kDead ? dead : live).push_back(m);
   }
   // Mostly probe members believed up; every Nth round reach for a member
@@ -114,7 +130,7 @@ void GossipMembership::on_ping(std::size_t obs, std::uint32_t sender,
   apply_all(obs, updates);
   evidence_alive(obs, sender, sender_incarnation);
   auto reply = take_updates(obs);
-  if (obs < num_nodes_)  // self-assertion rides every ack
+  if (obs < num_nodes_ && registered_[obs])  // self-assertion rides every ack
     reply.push_back({static_cast<std::uint32_t>(obs), MemberState::kAlive,
                      incarnations_[obs]});
   const std::uint64_t self_inc = obs < num_nodes_ ? incarnations_[obs] : 0;
@@ -207,8 +223,11 @@ bool GossipMembership::apply_at(std::size_t obs,
                                 const MembershipUpdate& update) {
   if (update.node >= num_nodes_) return false;
   // Only a member may speak for itself: rumors of our own suspicion or
-  // death are refuted by bumping the incarnation, never accepted.
+  // death are refuted by bumping the incarnation, never accepted.  A node
+  // that chose to leave does not refute — out-bidding its own departure
+  // rumor would trap the cluster in a join/leave flap.
   if (obs < num_nodes_ && update.node == obs) {
+    if (wants_left_[obs]) return false;
     if (update.state != MemberState::kAlive &&
         update.incarnation >= incarnations_[obs]) {
       incarnations_[obs] = update.incarnation + 1;
@@ -234,7 +253,17 @@ bool GossipMembership::apply_at(std::size_t obs,
       break;
     case MemberState::kDead:
       // Dead wins ties: it takes a *bumped* incarnation to come back.
+      // It does not override an intentional departure at equal
+      // incarnation, though — left slots are settled, not faulted.
       accept = (cur.state != MemberState::kDead &&
+                cur.state != MemberState::kLeft &&
+                update.incarnation >= cur.incarnation) ||
+               update.incarnation > cur.incarnation;
+      break;
+    case MemberState::kLeft:
+      // Departure wins ties like death does; only a join() with a bumped
+      // incarnation (kAlive, inc > cur) brings the slot back.
+      accept = (cur.state != MemberState::kLeft &&
                 update.incarnation >= cur.incarnation) ||
                update.incarnation > cur.incarnation;
       break;
@@ -307,7 +336,9 @@ void GossipMembership::announce(std::uint32_t node) {
   if (!config_.enabled) return;
   if (node >= num_nodes_)
     throw std::invalid_argument("GossipMembership::announce: unknown member");
+  if (!registered_[node]) return;  // a left slot only returns via join()
   ++stats_.announces;
+  wants_left_[node] = false;
   ++incarnations_[node];
   const std::uint64_t inc = incarnations_[node];
   views_[node][node] = MemberInfo{MemberState::kAlive, inc, loop_.now()};
@@ -315,7 +346,8 @@ void GossipMembership::announce(std::uint32_t node) {
   if (!started_) return;
   std::vector<std::uint32_t> pool;
   for (std::uint32_t m = 0; m < num_nodes_; ++m)
-    if (m != node) pool.push_back(m);
+    if (m != node && views_[node][m].state != MemberState::kLeft)
+      pool.push_back(m);
   for (int k = 0; k < config_.announce_fanout && !pool.empty(); ++k) {
     const std::size_t pick = rng_.next_below(pool.size());
     const std::uint32_t member = pool[pick];
@@ -331,13 +363,53 @@ void GossipMembership::announce(std::uint32_t node) {
   }
 }
 
+void GossipMembership::join(std::uint32_t node) {
+  if (node >= num_nodes_)
+    throw std::invalid_argument("GossipMembership::join: unknown slot");
+  ++stats_.joins;
+  registered_[node] = true;
+  wants_left_[node] = false;
+  // The joiner's alive@inc+1 out-bids its kLeft record everywhere; the
+  // frontend (which admits joiners into the ring) hears it directly so a
+  // ring decision never waits on gossip fan-out alone.
+  announce(node);
+  if (config_.enabled)
+    apply_at(num_nodes_,
+             {node, MemberState::kAlive, incarnations_[node]});
+}
+
+void GossipMembership::leave(std::uint32_t node) {
+  if (node >= num_nodes_)
+    throw std::invalid_argument("GossipMembership::leave: unknown slot");
+  if (!registered_[node]) return;
+  ++stats_.leaves;
+  registered_[node] = false;
+  wants_left_[node] = true;
+  ++incarnations_[node];
+  const std::uint64_t inc = incarnations_[node];
+  const MembershipUpdate update{node, MemberState::kLeft, inc};
+  // The leaver adopts and gossips its own departure...
+  views_[node][node] = MemberInfo{MemberState::kLeft, inc, loop_.now()};
+  enqueue_update(node, update);
+  // ...and the frontend, which drives decommissions, seconds the rumor —
+  // a leaver that crashes mid-farewell still converges to left, not dead.
+  if (config_.enabled) apply_at(num_nodes_, update);
+}
+
 void GossipMembership::reset_view(std::uint32_t node) {
   if (node >= num_nodes_)
     throw std::invalid_argument("GossipMembership::reset_view: unknown member");
+  // Rebuild from the ground-truth ledger: current members presumed alive,
+  // everyone else remembered as left (both survive the crash, like the
+  // incarnations they are pinned with).
   for (std::uint32_t m = 0; m < num_nodes_; ++m)
-    views_[node][m] = MemberInfo{MemberState::kAlive, 0, loop_.now()};
-  views_[node][node] =
-      MemberInfo{MemberState::kAlive, incarnations_[node], loop_.now()};
+    views_[node][m] = registered_[m]
+                          ? MemberInfo{MemberState::kAlive, 0, loop_.now()}
+                          : MemberInfo{MemberState::kLeft, incarnations_[m],
+                                       loop_.now()};
+  views_[node][node] = MemberInfo{registered_[node] ? MemberState::kAlive
+                                                    : MemberState::kLeft,
+                                  incarnations_[node], loop_.now()};
   rumors_[node].clear();
   probes_[node] = Probe{};  // stale probe timers no longer match
 }

@@ -39,7 +39,17 @@
 
 namespace stash::cluster {
 
-enum class MemberState : std::uint8_t { kAlive = 0, kSuspect = 1, kDead = 2 };
+/// kLeft marks a slot that is not part of the cluster: either a standby
+/// that has never joined, or a member that was decommissioned.  Unlike
+/// kDead (a fault to rout around and probe for recovery), kLeft is an
+/// *intentional* absence — left slots are never probed, and only an
+/// explicit (re)join with a strictly higher incarnation brings one back.
+enum class MemberState : std::uint8_t {
+  kAlive = 0,
+  kSuspect = 1,
+  kDead = 2,
+  kLeft = 3,
+};
 
 [[nodiscard]] const char* to_string(MemberState state) noexcept;
 
@@ -93,6 +103,8 @@ struct MembershipStats {
   std::uint64_t deaths_declared = 0;
   std::uint64_t updates_applied = 0;
   std::uint64_t announces = 0;
+  std::uint64_t joins = 0;
+  std::uint64_t leaves = 0;
 };
 
 /// Gossip failure detector over `num_nodes` members, observed by each node
@@ -113,9 +125,15 @@ class GossipMembership {
   using StateHandler = std::function<void(
       std::uint32_t observer, std::uint32_t node, MemberState state)>;
 
+  /// `num_nodes` total addressable slots; slots >= `initial_members` start
+  /// as kLeft standbys that can join() later (the default joins every
+  /// slot, the historical fixed-size behavior).
   GossipMembership(MembershipConfig config, std::uint32_t num_nodes,
                    sim::EventLoop& loop, Transport transport,
-                   Liveness liveness);
+                   Liveness liveness,
+                   std::uint32_t initial_members = kAllSlots);
+
+  static constexpr std::uint32_t kAllSlots = 0xFFFFFFFFu;
 
   void set_state_handler(StateHandler handler) {
     on_state_ = std::move(handler);
@@ -129,6 +147,23 @@ class GossipMembership {
   /// news to `announce_fanout` members directly.  Overrides any suspect or
   /// dead rumor about it at lower incarnations.
   void announce(std::uint32_t node);
+
+  /// Membership join: registers a standby (or re-registers a decommissioned
+  /// slot) and announces it with a bumped incarnation, which out-bids the
+  /// kLeft record everywhere.
+  void join(std::uint32_t node);
+
+  /// Intentional departure: deregisters the slot, bumps its incarnation,
+  /// and disseminates an explicit kLeft rumor — from the leaver itself and
+  /// from the frontend (which drives decommissions), so a leaver that
+  /// crashes mid-drain still converges to left, not merely dead.
+  void leave(std::uint32_t node);
+
+  /// Ground truth: is this slot currently a registered cluster member?
+  /// (Pinned to the durable store in a real deployment, like incarnations.)
+  [[nodiscard]] bool is_registered(std::uint32_t node) const {
+    return node < num_nodes_ && registered_[node];
+  }
 
   /// Forget everything observer `node` believed (its view is volatile
   /// state, wiped on crash).  Its own persisted incarnation survives.
@@ -221,6 +256,12 @@ class GossipMembership {
   /// to the durable store the Galileo blocks live on, so a cold restart
   /// can still out-bid the rumors of its own death.
   std::vector<std::uint64_t> incarnations_;
+  /// Ground-truth membership ledger (survives reset_view, like
+  /// incarnations_): true iff the slot is currently joined.
+  std::vector<bool> registered_;
+  /// Set by leave(): suppresses the self-refutation path so a leaver does
+  /// not out-bid its own departure rumor.  Cleared by join()/announce.
+  std::vector<bool> wants_left_;
   std::uint64_t next_seq_ = 0;
   bool started_ = false;
 };

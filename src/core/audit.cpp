@@ -18,6 +18,7 @@ std::string_view to_string(AuditViolationKind kind) noexcept {
     case AuditViolationKind::FreshnessInvalid: return "freshness-invalid";
     case AuditViolationKind::RollupMismatch: return "rollup-mismatch";
     case AuditViolationKind::RoutingMalformed: return "routing-malformed";
+    case AuditViolationKind::RingInconsistent: return "ring-inconsistent";
   }
   return "?";
 }
@@ -268,6 +269,31 @@ AuditReport GraphAuditor::audit_routing(const RoutingTable& routing,
       add(report, AuditViolationKind::RoutingMalformed,
           where(level, chunk) + ": negative replication timestamp");
   });
+  return report;
+}
+
+AuditReport GraphAuditor::audit_ring(const RingView& ring,
+                                     std::uint32_t total_slots) const {
+  AuditReport report;
+  if (ring.members.empty()) {
+    add(report, AuditViolationKind::RingInconsistent,
+        "epoch " + std::to_string(ring.epoch) + ": empty member set");
+    return report;
+  }
+  for (std::size_t i = 0; i < ring.members.size(); ++i) {
+    if (ring.members[i] >= total_slots)
+      add(report, AuditViolationKind::RingInconsistent,
+          "epoch " + std::to_string(ring.epoch) + ": member " +
+              std::to_string(ring.members[i]) + " outside the " +
+              std::to_string(total_slots) + " addressable slots");
+    if (i > 0 && ring.members[i] <= ring.members[i - 1])
+      add(report, AuditViolationKind::RingInconsistent,
+          "epoch " + std::to_string(ring.epoch) +
+              ": members not strictly sorted at index " + std::to_string(i) +
+              " (" + std::to_string(ring.members[i - 1]) + " then " +
+              std::to_string(ring.members[i]) + ")");
+    if (report.truncated) return report;
+  }
   return report;
 }
 

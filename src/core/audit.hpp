@@ -21,6 +21,9 @@
 //   RollupMismatch    a complete parent chunk agrees with the roll-up of a
 //                     fully-resident complete child level (§V-B exactness)
 //   RoutingMalformed  routing entries have valid levels/chunks/helper ids
+//   RingInconsistent  membership ring malformed (empty, duplicate or
+//                     out-of-range members) or a rebalance handoff record
+//                     disagrees with the installed epoch's ownership
 #pragma once
 
 #include <cstdint>
@@ -30,6 +33,7 @@
 
 #include "core/graph.hpp"
 #include "core/routing_table.hpp"
+#include "dht/partitioner.hpp"
 
 namespace stash {
 
@@ -44,6 +48,7 @@ enum class AuditViolationKind {
   FreshnessInvalid,
   RollupMismatch,
   RoutingMalformed,
+  RingInconsistent,
 };
 
 [[nodiscard]] std::string_view to_string(AuditViolationKind kind) noexcept;
@@ -94,6 +99,13 @@ class GraphAuditor {
   [[nodiscard]] AuditReport audit_routing(const RoutingTable& routing,
                                           std::uint32_t num_nodes,
                                           std::uint32_t self) const;
+
+  /// Audits a membership ring view: non-empty, members sorted and
+  /// duplicate-free, every member within [0, total_slots).  Epoch-aware
+  /// checks on the handoff records live with their owner (the cluster),
+  /// which reports through the same violation kind.
+  [[nodiscard]] AuditReport audit_ring(const RingView& ring,
+                                       std::uint32_t total_slots) const;
 
  private:
   void check_chunks(const StashGraph& graph, AuditReport& report) const;

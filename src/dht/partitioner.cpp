@@ -1,5 +1,6 @@
 #include "dht/partitioner.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "common/hash.hpp"
@@ -7,11 +8,30 @@
 
 namespace stash {
 
+bool RingView::contains(NodeId node) const noexcept {
+  return std::binary_search(members.begin(), members.end(), node);
+}
+
 ZeroHopDht::ZeroHopDht(std::uint32_t num_nodes, int prefix_length)
-    : num_nodes_(num_nodes), prefix_length_(prefix_length) {
+    : prefix_length_(prefix_length) {
   if (num_nodes == 0) throw std::invalid_argument("ZeroHopDht: need >= 1 node");
   if (prefix_length < 1 || prefix_length > geohash::kMaxPrecision)
     throw std::invalid_argument("ZeroHopDht: bad prefix length");
+  ring_.epoch = 0;
+  ring_.members.resize(num_nodes);
+  for (std::uint32_t i = 0; i < num_nodes; ++i) ring_.members[i] = i;
+}
+
+void ZeroHopDht::install(RingView view) {
+  if (view.epoch <= ring_.epoch)
+    throw std::invalid_argument("ZeroHopDht::install: epoch must advance");
+  if (view.members.empty())
+    throw std::invalid_argument("ZeroHopDht::install: empty member set");
+  std::sort(view.members.begin(), view.members.end());
+  if (std::adjacent_find(view.members.begin(), view.members.end()) !=
+      view.members.end())
+    throw std::invalid_argument("ZeroHopDht::install: duplicate member");
+  ring_ = std::move(view);
 }
 
 std::string ZeroHopDht::partition_key(std::string_view gh) const {
@@ -29,15 +49,31 @@ NodeId ZeroHopDht::node_for(std::string_view gh) const {
       gh.substr(0, static_cast<std::size_t>(prefix_length_)));
 }
 
-NodeId ZeroHopDht::node_for_partition(std::string_view partition) const {
+std::size_t ZeroHopDht::owner_index(std::string_view partition) const {
   if (partition.size() != static_cast<std::size_t>(prefix_length_))
     throw std::invalid_argument("ZeroHopDht::node_for_partition: bad key length");
-  return static_cast<NodeId>(mix64(fnv1a(partition)) % num_nodes_);
+  return static_cast<std::size_t>(mix64(fnv1a(partition)) %
+                                  ring_.members.size());
+}
+
+NodeId ZeroHopDht::node_for_partition(std::string_view partition) const {
+  return ring_.members[owner_index(partition)];
 }
 
 NodeId ZeroHopDht::successor_for_partition(std::string_view partition,
                                            std::uint32_t k) const {
-  return (node_for_partition(partition) + k) % num_nodes_;
+  const std::size_t idx = owner_index(partition);
+  return ring_.members[(idx + k) % ring_.members.size()];
+}
+
+NodeId ZeroHopDht::successor_of_node(NodeId node, std::uint32_t k) const {
+  // First member strictly after `node` in sorted order, cyclically.
+  const auto it =
+      std::upper_bound(ring_.members.begin(), ring_.members.end(), node);
+  const std::size_t start =
+      static_cast<std::size_t>(it - ring_.members.begin()) %
+      ring_.members.size();
+  return ring_.members[(start + k) % ring_.members.size()];
 }
 
 NodeId ZeroHopDht::node_for_point(const LatLng& point) const {
@@ -46,21 +82,50 @@ NodeId ZeroHopDht::node_for_point(const LatLng& point) const {
 
 std::vector<std::string> ZeroHopDht::partitions_of(NodeId node) const {
   std::vector<std::string> out;
-  for (auto& key : all_partitions())
-    if (node_for_partition(key) == node) out.push_back(std::move(key));
+  for_each_partition_of(node,
+                        [&out](std::string_view key) { out.emplace_back(key); });
   return out;
 }
 
 std::vector<std::string> ZeroHopDht::all_partitions() const {
-  std::vector<std::string> keys{""};
-  for (int round = 0; round < prefix_length_; ++round) {
-    std::vector<std::string> next;
-    next.reserve(keys.size() * 32);
-    for (const auto& k : keys)
-      for (char c : geohash::kAlphabet) next.push_back(k + c);
-    keys = std::move(next);
+  std::vector<std::string> out;
+  out.reserve(1);
+  for_each_partition([&out](std::string_view key) { out.emplace_back(key); });
+  return out;
+}
+
+void ZeroHopDht::for_each_partition(
+    const std::function<void(std::string_view)>& fn) const {
+  // Odometer over the geohash alphabet, most-significant digit first —
+  // identical (lexicographic-in-alphabet) order to the historical eager
+  // expansion, but O(prefix_length) working memory.
+  std::string key(static_cast<std::size_t>(prefix_length_),
+                  geohash::kAlphabet[0]);
+  std::vector<int> digits(static_cast<std::size_t>(prefix_length_), 0);
+  const int base = static_cast<int>(geohash::kAlphabet.size());
+  for (;;) {
+    fn(key);
+    int pos = prefix_length_ - 1;
+    while (pos >= 0) {
+      if (++digits[static_cast<std::size_t>(pos)] < base) {
+        key[static_cast<std::size_t>(pos)] =
+            geohash::kAlphabet[static_cast<std::size_t>(
+                digits[static_cast<std::size_t>(pos)])];
+        break;
+      }
+      digits[static_cast<std::size_t>(pos)] = 0;
+      key[static_cast<std::size_t>(pos)] = geohash::kAlphabet[0];
+      --pos;
+    }
+    if (pos < 0) return;  // odometer wrapped: every key visited
   }
-  return keys;
+}
+
+void ZeroHopDht::for_each_partition_of(
+    NodeId node, const std::function<void(std::string_view)>& fn) const {
+  for_each_partition([this, node, &fn](std::string_view key) {
+    if (node_for_partition(key) == node) fn(key);
+  });
 }
 
 }  // namespace stash

@@ -5,9 +5,19 @@
 // geospatially proximate data points."  Every node knows the full
 // key-range → node mapping, so locating the owner of any geohash is a
 // single local computation: O(1), at most one query forwarding (§IV-D).
+//
+// Elastic membership: ownership is computed against an epoch-versioned
+// RingView — a sorted member list published by the cluster frontend once
+// gossip membership stabilizes.  owner(p) = members[hash(p) % |members|],
+// successor k = members[(owner_index + k) % |members|].  For the
+// contiguous member set {0..N-1} this is bit-identical to the classic
+// fixed-size modulo mapping, so a never-resized cluster behaves exactly
+// as before; a resize moves a non-minimal set of partitions (accepted:
+// the durable store is generative, so moves cost warmth, not data).
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -18,15 +28,38 @@ namespace stash {
 
 using NodeId = std::uint32_t;
 
+/// Epoch-versioned cluster membership snapshot.  `members` is kept sorted
+/// and duplicate-free; `epoch` only ever advances, so two RingViews are
+/// totally ordered and every in-flight transfer can be tagged with the
+/// epoch it was planned under and discarded when the ring moves on.
+struct RingView {
+  std::uint64_t epoch = 0;
+  std::vector<NodeId> members;
+
+  [[nodiscard]] bool contains(NodeId node) const noexcept;
+};
+
 class ZeroHopDht {
  public:
-  /// `num_nodes` cluster members; `prefix_length` characters of the geohash
-  /// form the partition key (paper §VIII-A: "partitioned uniformly over the
-  /// cluster based on the first 2 characters of their Geohash").
+  /// `num_nodes` initial cluster members (ring epoch 0 = {0..num_nodes-1});
+  /// `prefix_length` characters of the geohash form the partition key
+  /// (paper §VIII-A: "partitioned uniformly over the cluster based on the
+  /// first 2 characters of their Geohash").
   ZeroHopDht(std::uint32_t num_nodes, int prefix_length = 2);
 
-  [[nodiscard]] std::uint32_t num_nodes() const noexcept { return num_nodes_; }
+  [[nodiscard]] std::uint32_t num_nodes() const noexcept {
+    return static_cast<std::uint32_t>(ring_.members.size());
+  }
   [[nodiscard]] int prefix_length() const noexcept { return prefix_length_; }
+
+  /// The currently installed membership view.
+  [[nodiscard]] const RingView& ring() const noexcept { return ring_; }
+  [[nodiscard]] std::uint64_t epoch() const noexcept { return ring_.epoch; }
+
+  /// Installs a new membership view.  The epoch must strictly advance and
+  /// the member list must be non-empty and duplicate-free (it is sorted in
+  /// place).  Throws std::invalid_argument otherwise.
+  void install(RingView view);
 
   /// Partition key (geohash prefix) that owns a geohash. The geohash must be
   /// at least prefix_length characters long.
@@ -42,9 +75,15 @@ class ZeroHopDht {
   /// k-th successor of a partition's owner on the node ring — the failover
   /// target when the owner is unreachable: any node can re-scan the
   /// partition from durable storage, so the next live ring member takes
-  /// over.  k == 0 is the owner itself; k wraps modulo the cluster size.
+  /// over.  k == 0 is the owner itself; k wraps modulo the member count.
   [[nodiscard]] NodeId successor_for_partition(std::string_view partition,
                                                std::uint32_t k) const;
+
+  /// k-th member after `node` in cyclic sorted member order (k == 0 is the
+  /// first member *after* node).  If `node` is not itself a member the walk
+  /// starts at the first member with id > node.  Used to pick anti-entropy
+  /// peers when the member set is no longer contiguous.
+  [[nodiscard]] NodeId successor_of_node(NodeId node, std::uint32_t k) const;
 
   /// Owner node of a raw point.
   [[nodiscard]] NodeId node_for_point(const LatLng& point) const;
@@ -55,9 +94,19 @@ class ZeroHopDht {
   /// Every partition key in the keyspace (32^prefix_length entries).
   [[nodiscard]] std::vector<std::string> all_partitions() const;
 
+  /// Streaming forms of the above: invoke `fn` per key without
+  /// materializing the 32^prefix_length keyspace.  Rebalance inventory
+  /// scans run these once per epoch change, so the allocation matters.
+  void for_each_partition(
+      const std::function<void(std::string_view)>& fn) const;
+  void for_each_partition_of(
+      NodeId node, const std::function<void(std::string_view)>& fn) const;
+
  private:
-  std::uint32_t num_nodes_;
+  [[nodiscard]] std::size_t owner_index(std::string_view partition) const;
+
   int prefix_length_;
+  RingView ring_;
 };
 
 }  // namespace stash

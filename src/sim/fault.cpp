@@ -62,6 +62,18 @@ FaultInjector::FaultInjector(FaultPlan plan, std::uint32_t num_nodes)
     if (event.at < 0)
       throw std::invalid_argument("FaultPlan: bit-rot time must be >= 0");
   }
+  for (const auto& event : plan_.joins) {
+    if (event.node >= num_nodes)
+      throw std::invalid_argument("FaultPlan: join targets unknown slot");
+    if (event.at < 0)
+      throw std::invalid_argument("FaultPlan: join time must be >= 0");
+  }
+  for (const auto& event : plan_.decommissions) {
+    if (event.node >= num_nodes)
+      throw std::invalid_argument("FaultPlan: decommission targets unknown node");
+    if (event.at < 0)
+      throw std::invalid_argument("FaultPlan: decommission time must be >= 0");
+  }
   std::stable_sort(plan_.links.begin(), plan_.links.end(),
                    [](const LinkRule& a, const LinkRule& b) {
                      return rule_rank(a) < rule_rank(b);
@@ -118,6 +130,18 @@ void FaultInjector::arm(EventLoop& loop) {
     loop.schedule_at(plan_.bitrot[i].at, [this, i] {
       ++stats_.bitrot_injected;
       if (on_bitrot_) on_bitrot_(plan_.bitrot[i]);
+    });
+  }
+  for (const auto& event : plan_.joins) {
+    loop.schedule_at(event.at, [this, node = event.node] {
+      ++stats_.joins_fired;
+      if (on_join_) on_join_(node);
+    });
+  }
+  for (const auto& event : plan_.decommissions) {
+    loop.schedule_at(event.at, [this, node = event.node] {
+      ++stats_.decommissions_fired;
+      if (on_decommission_) on_decommission_(node);
     });
   }
 }

@@ -96,17 +96,38 @@ struct PartitionEvent {
   SimTime heal_at = kNever;  // kNever: never heals
 };
 
+/// A scripted elastic scale-out: at `at`, standby slot `node` joins the
+/// cluster (gossip announce with a fresh incarnation; the frontend admits
+/// it into the ring once membership stabilizes and rebalances partitions
+/// onto it).  Not a fault per se, but scripted here so joins interleave
+/// deterministically with crashes and partitions — the whole point of the
+/// elastic chaos suites.
+struct JoinEvent {
+  std::uint32_t node = 0;
+  SimTime at = 0;
+};
+
+/// A scripted elastic scale-in: at `at`, member `node` begins a graceful
+/// decommission — it keeps serving while successors pull its partitions,
+/// then leaves via an explicit gossip rumor.
+struct DecommissionEvent {
+  std::uint32_t node = 0;
+  SimTime at = 0;
+};
+
 /// A complete scripted failure scenario.  Empty plan == healthy cluster.
 struct FaultPlan {
   std::vector<CrashEvent> crashes;
   std::vector<LinkRule> links;
   std::vector<PartitionEvent> partitions;
   std::vector<BitRotEvent> bitrot;
+  std::vector<JoinEvent> joins;
+  std::vector<DecommissionEvent> decommissions;
   std::uint64_t seed = 0x4641554c54ULL;  // "FAULT"
 
   [[nodiscard]] bool empty() const noexcept {
     return crashes.empty() && links.empty() && partitions.empty() &&
-           bitrot.empty();
+           bitrot.empty() && joins.empty() && decommissions.empty();
   }
 };
 
@@ -122,6 +143,8 @@ struct FaultStats {
   std::uint64_t messages_corrupted = 0;  // bit-flip tampers rolled
   std::uint64_t messages_truncated = 0;  // truncation tampers rolled
   std::uint64_t bitrot_injected = 0;     // BitRotEvents fired
+  std::uint64_t joins_fired = 0;           // JoinEvents fired
+  std::uint64_t decommissions_fired = 0;   // DecommissionEvents fired
   /// Number of should_drop() calls.  The cluster sends every message
   /// through exactly one should_drop() roll; STASH_AUDIT builds assert
   /// this equals the cluster's send count (a double or missed roll would
@@ -159,6 +182,12 @@ class FaultInjector {
   /// it to the storage layer).
   void set_bitrot_handler(BitRotHandler handler) {
     on_bitrot_ = std::move(handler);
+  }
+  /// Handlers invoked when a scripted join / decommission fires (the owner
+  /// routes them to the cluster's elastic membership machinery).
+  void set_join_handler(NodeHandler handler) { on_join_ = std::move(handler); }
+  void set_decommission_handler(NodeHandler handler) {
+    on_decommission_ = std::move(handler);
   }
 
   /// Schedules every crash/restart/partition in the plan on `loop`.  Call once.
@@ -215,6 +244,8 @@ class FaultInjector {
   PartitionHandler on_partition_;
   PartitionHandler on_heal_;
   BitRotHandler on_bitrot_;
+  NodeHandler on_join_;
+  NodeHandler on_decommission_;
   bool armed_ = false;
 };
 

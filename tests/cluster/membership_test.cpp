@@ -38,7 +38,8 @@ struct Harness {
   std::unique_ptr<GossipMembership> membership;
 
   explicit Harness(MembershipConfig config, std::uint32_t nodes,
-                   sim::FaultPlan plan = {})
+                   sim::FaultPlan plan = {},
+                   std::uint32_t initial_members = GossipMembership::kAllSlots)
       : fault(std::move(plan), nodes) {
     fault.arm(loop);
     membership = std::make_unique<GossipMembership>(
@@ -52,7 +53,8 @@ struct Harness {
                                      if (fault.alive(to)) fn();
                                    });
         },
-        [this](std::uint32_t id) { return fault.alive(id); });
+        [this](std::uint32_t id) { return fault.alive(id); },
+        initial_members);
     membership->start();
   }
 
@@ -226,6 +228,100 @@ TEST(MembershipTest, DisabledProtocolIsInertAndAlwaysUsable) {
   EXPECT_EQ(h.membership->stats().probes_sent, 0u);
   EXPECT_TRUE(h.membership->usable(0, 2));
   EXPECT_TRUE(h.membership->usable(kFrontendNode, 2));
+}
+
+TEST(MembershipTest, StandbySlotsStartLeftAndJoinAdmitsThem) {
+  // 6 slots, 4 initial members: slots 4 and 5 are standbys — kLeft in
+  // every view, never probed, not registered.
+  Harness h(test_config(), 6, {}, /*initial_members=*/4);
+  h.loop.run_for(2 * kSecond);
+  for (std::uint32_t obs = 0; obs < 4; ++obs) {
+    EXPECT_EQ(h.membership->state(obs, 4), MemberState::kLeft);
+    EXPECT_EQ(h.membership->state(obs, 5), MemberState::kLeft);
+  }
+  EXPECT_FALSE(h.membership->is_registered(4));
+  EXPECT_FALSE(h.membership->usable(kFrontendNode, 4));
+  EXPECT_EQ(h.membership->stats().suspicions, 0u);  // nobody probed a standby
+
+  h.membership->join(4);
+  h.loop.run_for(3 * kSecond);
+  EXPECT_TRUE(h.membership->is_registered(4));
+  for (std::uint32_t obs = 0; obs < 4; ++obs)
+    EXPECT_EQ(h.membership->state(obs, 4), MemberState::kAlive)
+        << "observer " << obs;
+  EXPECT_EQ(h.membership->state(kFrontendNode, 4), MemberState::kAlive);
+  EXPECT_EQ(h.membership->state(0, 5), MemberState::kLeft);  // still standby
+  EXPECT_EQ(h.membership->stats().joins, 1u);
+}
+
+TEST(MembershipTest, LeaveConvergesToLeftEverywhereAndStops) {
+  Harness h(test_config(), 6);
+  h.loop.run_for(1 * kSecond);
+  h.membership->leave(3);
+  h.loop.run_for(4 * kSecond);
+  EXPECT_FALSE(h.membership->is_registered(3));
+  for (std::uint32_t obs = 0; obs < 6; ++obs) {
+    if (obs == 3) continue;
+    EXPECT_EQ(h.membership->state(obs, 3), MemberState::kLeft)
+        << "observer " << obs;
+  }
+  EXPECT_EQ(h.membership->state(kFrontendNode, 3), MemberState::kLeft);
+  EXPECT_FALSE(h.membership->usable(0, 3));
+  EXPECT_EQ(h.membership->stats().leaves, 1u);
+  // Intentional absence is not a fault: no death was ever declared.
+  EXPECT_EQ(h.membership->stats().deaths_declared, 0u);
+}
+
+TEST(MembershipTest, LeftPrecedenceRules) {
+  Harness h(test_config(), 4);
+  const std::uint64_t inc = h.membership->incarnation(2);
+  EXPECT_TRUE(h.membership->apply(0, {2, MemberState::kLeft, inc}));
+  EXPECT_EQ(h.membership->state(0, 2), MemberState::kLeft);
+  // dead at the same incarnation must NOT override left: a decommissioned
+  // node that later misses probes stays "left", not "dead" (otherwise the
+  // two rumors flap forever).
+  EXPECT_FALSE(h.membership->apply(0, {2, MemberState::kDead, inc}));
+  EXPECT_EQ(h.membership->state(0, 2), MemberState::kLeft);
+  // alive at the same incarnation cannot take it back either...
+  EXPECT_FALSE(h.membership->apply(0, {2, MemberState::kAlive, inc}));
+  EXPECT_EQ(h.membership->state(0, 2), MemberState::kLeft);
+  // ...only a strictly higher incarnation (an explicit rejoin) can.
+  EXPECT_TRUE(h.membership->apply(0, {2, MemberState::kAlive, inc + 1}));
+  EXPECT_EQ(h.membership->state(0, 2), MemberState::kAlive);
+}
+
+TEST(MembershipTest, LeaverCrashingMidDrainStillConvergesToLeft) {
+  // A decommissioned node that dies before the rumor finishes spreading
+  // must still end as kLeft everywhere: the frontend re-disseminates the
+  // departure, and dead cannot out-bid left at the same incarnation.
+  Harness h(test_config(), 6);
+  h.loop.run_for(1 * kSecond);
+  h.membership->leave(2);
+  h.fault.force_crash(2);
+  h.loop.run_for(6 * kSecond);
+  for (std::uint32_t obs = 0; obs < 6; ++obs) {
+    if (obs == 2) continue;
+    EXPECT_EQ(h.membership->state(obs, 2), MemberState::kLeft)
+        << "observer " << obs;
+  }
+  EXPECT_EQ(h.membership->state(kFrontendNode, 2), MemberState::kLeft);
+}
+
+TEST(MembershipTest, RejoinAfterLeaveRidesAHigherIncarnation) {
+  Harness h(test_config(), 6);
+  h.loop.run_for(1 * kSecond);
+  h.membership->leave(4);
+  h.loop.run_for(3 * kSecond);
+  ASSERT_EQ(h.membership->state(0, 4), MemberState::kLeft);
+  const std::uint64_t inc_at_leave = h.membership->incarnation(4);
+
+  h.membership->join(4);
+  h.loop.run_for(3 * kSecond);
+  EXPECT_TRUE(h.membership->is_registered(4));
+  EXPECT_GT(h.membership->incarnation(4), inc_at_leave);
+  for (std::uint32_t obs = 0; obs < 6; ++obs)
+    EXPECT_EQ(h.membership->state(obs, 4), MemberState::kAlive)
+        << "observer " << obs;
 }
 
 TEST(MembershipTest, ConfigValidation) {

@@ -127,6 +127,69 @@ TEST(ZeroHopDhtTest, SuccessorWalksTheRing) {
   EXPECT_EQ(seen.count(owner), 0u);
 }
 
+TEST(ZeroHopDhtTest, InstallValidatesEpochAndMembers) {
+  ZeroHopDht dht(4, 2);
+  EXPECT_EQ(dht.epoch(), 0u);
+  // Epoch must strictly advance.
+  EXPECT_THROW(dht.install({.epoch = 0, .members = {0, 1}}),
+               std::invalid_argument);
+  // Members must be non-empty and duplicate-free.
+  EXPECT_THROW(dht.install({.epoch = 1, .members = {}}),
+               std::invalid_argument);
+  EXPECT_THROW(dht.install({.epoch = 1, .members = {0, 1, 1}}),
+               std::invalid_argument);
+  // Unsorted input is accepted and sorted in place.
+  dht.install({.epoch = 1, .members = {5, 0, 2}});
+  EXPECT_EQ(dht.epoch(), 1u);
+  EXPECT_EQ(dht.ring().members, (std::vector<NodeId>{0, 2, 5}));
+  // Going backwards (or standing still) is rejected after the install too.
+  EXPECT_THROW(dht.install({.epoch = 1, .members = {0, 1}}),
+               std::invalid_argument);
+}
+
+TEST(ZeroHopDhtTest, ContiguousInstallMatchesFixedSizeMapping) {
+  // Installing {0..N-1} must be bit-identical to a fresh N-node DHT: the
+  // epoch-versioned ring is a strict generalization of the classic modulo
+  // mapping, so never-resized clusters keep their historical placement.
+  ZeroHopDht resized(7, 2);
+  resized.install({.epoch = 3, .members = {0, 1, 2, 3}});
+  const ZeroHopDht fixed(4, 2);
+  for (const auto& key : fixed.all_partitions()) {
+    EXPECT_EQ(resized.node_for_partition(key), fixed.node_for_partition(key));
+    EXPECT_EQ(resized.successor_for_partition(key, 2),
+              fixed.successor_for_partition(key, 2));
+  }
+}
+
+TEST(ZeroHopDhtTest, SparseRingOwnsEveryPartition) {
+  ZeroHopDht dht(8, 2);
+  dht.install({.epoch = 1, .members = {1, 4, 6}});
+  for (const auto& key : dht.all_partitions()) {
+    const NodeId owner = dht.node_for_partition(key);
+    EXPECT_TRUE(dht.ring().contains(owner)) << key;
+    // Failover walk k = 1..n-1 covers the other members, duplicate-free.
+    std::set<NodeId> seen;
+    for (std::uint32_t k = 1; k < 3; ++k)
+      seen.insert(dht.successor_for_partition(key, k));
+    EXPECT_EQ(seen.size(), 2u) << key;
+    EXPECT_EQ(seen.count(owner), 0u) << key;
+  }
+}
+
+TEST(ZeroHopDhtTest, SuccessorOfNodeWalksSparseRingCyclically) {
+  ZeroHopDht dht(8, 2);
+  dht.install({.epoch = 1, .members = {1, 4, 6}});
+  // k == 0 is the first member strictly after the node, wrapping.
+  EXPECT_EQ(dht.successor_of_node(1, 0), 4u);
+  EXPECT_EQ(dht.successor_of_node(4, 0), 6u);
+  EXPECT_EQ(dht.successor_of_node(6, 0), 1u);
+  // Non-members start the walk at the next higher member.
+  EXPECT_EQ(dht.successor_of_node(5, 0), 6u);
+  EXPECT_EQ(dht.successor_of_node(7, 0), 1u);
+  // k wraps modulo the member count.
+  EXPECT_EQ(dht.successor_of_node(1, 3), 4u);
+}
+
 TEST(ZeroHopDhtTest, DifferentClusterSizesRedistribute) {
   const ZeroHopDht small(4, 2);
   const ZeroHopDht large(120, 2);

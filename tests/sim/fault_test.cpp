@@ -402,5 +402,56 @@ TEST(FaultInjectorTest, BitRotEventsFireOnScheduleWithHandler) {
   EXPECT_EQ(injector.stats().bitrot_injected, 2u);
 }
 
+TEST(FaultInjectorTest, ElasticPlanValidation) {
+  const auto with_join = [](JoinEvent event) {
+    FaultPlan plan;
+    plan.joins.push_back(event);
+    return plan;
+  };
+  const auto with_decommission = [](DecommissionEvent event) {
+    FaultPlan plan;
+    plan.decommissions.push_back(event);
+    return plan;
+  };
+  EXPECT_THROW(FaultInjector(with_join({.node = 4, .at = 0}), 4),
+               std::invalid_argument);
+  EXPECT_THROW(FaultInjector(with_join({.node = 0, .at = -1}), 4),
+               std::invalid_argument);
+  EXPECT_THROW(FaultInjector(with_decommission({.node = 9, .at = 0}), 4),
+               std::invalid_argument);
+  EXPECT_THROW(FaultInjector(with_decommission({.node = 1, .at = -5}), 4),
+               std::invalid_argument);
+  EXPECT_NO_THROW(FaultInjector(with_join({.node = 3, .at = 0}), 4));
+  // A plan with only elastic events is not "empty": the cluster must arm
+  // its elastic machinery for it.
+  EXPECT_FALSE(with_join({.node = 3, .at = 0}).empty());
+  EXPECT_FALSE(with_decommission({.node = 1, .at = 0}).empty());
+}
+
+TEST(FaultInjectorTest, JoinAndDecommissionEventsFireOnSchedule) {
+  EventLoop loop;
+  FaultPlan plan;
+  plan.joins.push_back({.node = 6, .at = 100});
+  plan.joins.push_back({.node = 7, .at = 250});
+  plan.decommissions.push_back({.node = 1, .at = 400});
+  FaultInjector injector(plan, 8);
+  std::vector<std::pair<std::uint32_t, SimTime>> joined, decommissioned;
+  injector.set_join_handler(
+      [&](std::uint32_t node) { joined.emplace_back(node, loop.now()); });
+  injector.set_decommission_handler([&](std::uint32_t node) {
+    decommissioned.emplace_back(node, loop.now());
+  });
+  injector.arm(loop);
+  loop.run();
+
+  ASSERT_EQ(joined.size(), 2u);
+  EXPECT_EQ(joined[0], (std::pair<std::uint32_t, SimTime>{6, 100}));
+  EXPECT_EQ(joined[1], (std::pair<std::uint32_t, SimTime>{7, 250}));
+  ASSERT_EQ(decommissioned.size(), 1u);
+  EXPECT_EQ(decommissioned[0], (std::pair<std::uint32_t, SimTime>{1, 400}));
+  EXPECT_EQ(injector.stats().joins_fired, 2u);
+  EXPECT_EQ(injector.stats().decommissions_fired, 1u);
+}
+
 }  // namespace
 }  // namespace stash::sim

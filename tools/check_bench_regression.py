@@ -39,6 +39,26 @@ def load(path):
     return doc
 
 
+def warn_oversubscribed(doc, path):
+    """Caveat (never a failure) when the sweep ran more threads than the
+    host has cores: those points measure scheduler contention, not scaling,
+    so their ops/s are soft and best-of-sweep may be flattered or punished
+    by timeslicing noise."""
+    host = doc.get("host_threads")
+    if not host:
+        return
+    over = sorted(
+        {int(p["threads"]) for p in doc["sweep"] if int(p["threads"]) > host}
+    )
+    if over:
+        points = ", ".join(str(t) for t in over)
+        print(
+            f"note: {path}: sweep points with threads={points} oversubscribe "
+            f"the host ({host} core(s)); treating their ops/s as "
+            "contention-bound, not a scaling measurement"
+        )
+
+
 def best_ops(doc):
     return max(float(p["ops_per_sec"]) for p in doc["sweep"])
 
@@ -64,6 +84,8 @@ def main():
 
     current = load(args.current)
     baseline = load(args.baseline)
+    warn_oversubscribed(current, args.current)
+    warn_oversubscribed(baseline, args.baseline)
 
     cur_host = current.get("host_threads")
     base_host = baseline.get("host_threads")
